@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation: the storage-format view of resource underutilization.
+ * ELL pads every row to the widest row — the memory mirror of a
+ * fixed unroll factor — while Acamar's per-set plan is the compute
+ * mirror of a sliced format. Compares ELL padding overhead, Eq. 5
+ * R.U at the matching fixed factor, and the plan's R.U.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "accel/fine_grained_reconfig.hh"
+#include "bench_common.hh"
+#include "metrics/underutilization.hh"
+#include "sparse/ell.hh"
+#include "sparse/properties.hh"
+
+using namespace acamar;
+
+int
+main(int argc, char **argv)
+{
+    const auto cfg = bench::parseArgs(argc, argv);
+    const int32_t dim = bench::dimFrom(cfg);
+    bench::banner("Ablation — ELL padding vs Eq. 5 underutilization",
+                  "extends Figure 2 / Section III-B");
+
+    AcamarConfig acfg;
+    acfg.chunkRows = dim;
+    EventQueue eq;
+    FineGrainedReconfigUnit fgr(&eq, acfg);
+
+    Table t({"ID", "max row", "ELL pad%", "slicedELL pad%",
+             "RU@URB=maxrow %", "plan RU%",
+             "plan occupancy-idle%"});
+    for (const auto &w : bench::allWorkloads(dim)) {
+        const auto ell = EllMatrix<float>::fromCsr(w.a);
+        const auto width = static_cast<int>(
+            std::max<int64_t>(1, ell.width()));
+        const auto plan = fgr.plan(w.a);
+        // Slice size = the plan's set size: the storage twin of the
+        // per-set unroll factors.
+        const auto sliced = SlicedEllMatrix<float>::fromCsr(
+            w.a, std::max<int64_t>(1, plan.setSize));
+        double occ = 0.0;
+        for (int32_t r = 0; r < w.a.numRows(); ++r) {
+            occ += occupancyRowUnderutilization(
+                w.a.rowNnz(r), plan.factorForRow(r));
+        }
+        occ /= static_cast<double>(w.a.numRows());
+        t.newRow()
+            .cell(w.spec.id)
+            .cell(static_cast<int64_t>(ell.width()))
+            .cell(100.0 * ell.paddingOverhead(), 1)
+            .cell(100.0 * sliced.paddingOverhead(), 1)
+            .cell(100.0 * meanOccupancyUnderutilization(w.a, width),
+                  1)
+            .cell(100.0 * meanUnderutilizationPerSet(
+                              w.a, plan.factors, plan.setSize),
+                  1)
+            .cell(100.0 * occ, 1);
+    }
+    t.print(std::cout);
+    std::cout << "\nELL's padding equals the idle-lane fraction of a"
+                 " max-row-width unit, and the\nper-set plan removes"
+                 " most of it — the format-level restatement of the"
+                 " paper's\nresource-underutilization argument.\n";
+    return 0;
+}

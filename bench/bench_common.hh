@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench binary accepts --key=value overrides (notably
+ * --dim=N, default 4096 = the paper's chunk size) and prints one
+ * paper-style table on stdout.
+ */
+
+#ifndef ACAMAR_BENCH_BENCH_COMMON_HH
+#define ACAMAR_BENCH_BENCH_COMMON_HH
+
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/table.hh"
+#include "sparse/catalog.hh"
+
+namespace acamar {
+namespace bench {
+
+/** One generated workload: matrix (fp32) and right-hand side. */
+struct Workload {
+    DatasetSpec spec;
+    CsrMatrix<float> a;
+    std::vector<float> b;
+};
+
+/** Parse --key=value args (fatal on anything else). */
+inline Config
+parseArgs(int argc, char **argv)
+{
+    return Config::fromArgs(argc, argv);
+}
+
+/** Matrix dimension to run at (--dim, default one 4096 chunk). */
+inline int32_t
+dimFrom(const Config &cfg)
+{
+    return static_cast<int32_t>(cfg.getInt("dim", 4096));
+}
+
+/** Generate every catalog dataset at the requested dimension. */
+inline std::vector<Workload>
+allWorkloads(int32_t dim)
+{
+    std::vector<Workload> out;
+    for (const auto &spec : datasetCatalog()) {
+        Workload w;
+        w.spec = spec;
+        w.a = generateDataset(spec, dim).cast<float>();
+        w.b = datasetRhs(w.a, spec.id);
+        out.push_back(std::move(w));
+    }
+    return out;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_ref)
+{
+    std::cout << "== Acamar reproduction: " << what << " ==\n";
+    std::cout << "   (paper reference: " << paper_ref << ")\n\n";
+}
+
+} // namespace bench
+} // namespace acamar
+
+#endif // ACAMAR_BENCH_BENCH_COMMON_HH

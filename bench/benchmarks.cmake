@@ -1,0 +1,39 @@
+# Bench targets are defined from the top level (include(), not
+# add_subdirectory()) so that build/bench/ contains ONLY the bench
+# binaries — the README's `for b in build/bench/*; do $b; done` loop
+# must not trip over CMake bookkeeping directories.
+
+set(ACAMAR_BENCHES
+    table1_criteria
+    table2_convergence
+    fig1_spmv_latency
+    fig2_underutilization
+    fig5_reconfig_rate
+    fig6_speedup
+    fig7_ru_improvement
+    fig8_gpu_underutil
+    fig9_throughput
+    fig10_perf_efficiency
+    fig11_msid_sweep
+    fig12_sampling_rate
+    fig13_reconfig_bounds
+    ablation_reconfig_overlap
+    ablation_formats
+    ablation_ru_metrics
+    ablation_gpu_kernels
+    ablation_msid_tolerance
+)
+
+foreach(bench IN LISTS ACAMAR_BENCHES)
+    add_executable(${bench} ${CMAKE_SOURCE_DIR}/bench/${bench}.cc)
+    target_link_libraries(${bench} PRIVATE acamar)
+    target_include_directories(${bench}
+                               PRIVATE ${CMAKE_SOURCE_DIR}/bench)
+    set_target_properties(${bench} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()
+
+add_executable(micro_kernels ${CMAKE_SOURCE_DIR}/bench/micro_kernels.cc)
+target_link_libraries(micro_kernels PRIVATE acamar benchmark::benchmark)
+set_target_properties(micro_kernels PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

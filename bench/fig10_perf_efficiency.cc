@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 10 reproduction: performance efficiency (GFLOPS per mm^2
+ * of fabric) of Acamar vs static designs, plus the area-saving
+ * ratio (paper: Acamar ~2x more area efficient on average).
+ */
+
+#include <iostream>
+
+#include "accel/acamar.hh"
+#include "accel/static_design.hh"
+#include "bench_common.hh"
+#include "metrics/efficiency.hh"
+
+using namespace acamar;
+
+int
+main(int argc, char **argv)
+{
+    const auto cfg = bench::parseArgs(argc, argv);
+    const int32_t dim = bench::dimFrom(cfg);
+    const int urb = static_cast<int>(cfg.getInt("urb", 16));
+    bench::banner("Figure 10 — performance efficiency (GFLOPS/mm^2)",
+                  "Figure 10, Section VI-D");
+
+    AcamarConfig acfg;
+    acfg.chunkRows = dim;
+    Acamar acc(acfg);
+    const auto dev = FpgaDevice::alveoU55c();
+    StaticDesign base(dev, urb, acfg.criteria);
+    EventQueue eq;
+    const MemoryModel mem(dev);
+    DynamicSpmvKernel spmv(&eq, mem);
+    FineGrainedReconfigUnit fgr(&eq, acfg);
+
+    Table t({"ID", "Acamar GF/mm2", "static GF/mm2", "ratio",
+             "area saving"});
+    std::vector<double> effs, ratios, savings;
+    for (const auto &w : bench::allWorkloads(dim)) {
+        const auto plan = fgr.plan(w.a);
+        const auto mine = spmv.timePlanned(w.a, plan);
+        const double my_secs =
+            static_cast<double>(mine.cycles) / dev.kernelClockHz;
+        const double my_flops =
+            2.0 * static_cast<double>(mine.usefulMacs) / my_secs;
+        // Compare the *dynamic SpMV region* only: both designs
+        // share identical static units (Section V-E), so they
+        // cancel; what differs is the fabric each SpMV engine
+        // occupies (time-weighted for Acamar's plan).
+        const double my_area = acc.dynamicAreaMm2(w.a, plan) -
+                               acc.staticAreaMm2();
+        const auto my_eff = efficiencyFrom(my_flops, my_area);
+
+        const auto spass = base.spmvPass(w.a);
+        const double s_secs =
+            static_cast<double>(spass.cycles) / dev.kernelClockHz;
+        const double s_flops =
+            2.0 * static_cast<double>(spass.usefulMacs) / s_secs;
+        const double s_area =
+            acc.resources().areaMm2(acc.resources().spmvUnit(urb));
+        const auto s_eff = efficiencyFrom(s_flops, s_area);
+
+        const double ratio =
+            my_eff.gflopsPerMm2 / s_eff.gflopsPerMm2;
+        const double saving = areaSaving(my_area, s_area);
+        effs.push_back(my_eff.gflopsPerMm2);
+        ratios.push_back(ratio);
+        savings.push_back(saving);
+        t.newRow()
+            .cell(w.spec.id)
+            .cell(my_eff.gflopsPerMm2, 2)
+            .cell(s_eff.gflopsPerMm2, 2)
+            .cell(ratio, 2)
+            .cell(saving, 2);
+    }
+    t.print(std::cout);
+    std::cout << "\nGMEAN efficiency ratio " << formatDouble(
+                     geomean(ratios), 2)
+              << "x, GMEAN area saving "
+              << formatDouble(geomean(savings), 2)
+              << "x (paper: ~2x more area efficient on average)\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 1 reproduction: fraction of each solver's per-iteration
+ * latency spent in SpMV, per dataset — SpMV must dominate.
+ */
+
+#include <iostream>
+
+#include "accel/dense_kernels.hh"
+#include "accel/dynamic_spmv.hh"
+#include "bench_common.hh"
+#include "solvers/solver.hh"
+
+using namespace acamar;
+
+int
+main(int argc, char **argv)
+{
+    const auto cfg = bench::parseArgs(argc, argv);
+    const int32_t dim = bench::dimFrom(cfg);
+    const int urb = static_cast<int>(cfg.getInt("urb", 8));
+    bench::banner(
+        "Figure 1 — share of solver latency spent in SpMV",
+        "Figure 1, Section III-B");
+
+    const auto dev = FpgaDevice::alveoU55c();
+    EventQueue eq;
+    const MemoryModel mem(dev);
+    DynamicSpmvKernel spmv(&eq, mem);
+    DenseKernelModel dense(&eq, mem);
+
+    Table t({"ID", "JB spmv%", "CG spmv%", "BiCG spmv%"});
+    std::vector<double> all;
+    for (const auto &w : bench::allWorkloads(dim)) {
+        t.newRow().cell(w.spec.id);
+        for (auto k : {SolverKind::Jacobi, SolverKind::CG,
+                       SolverKind::BiCgStab}) {
+            const auto prof = makeSolver(k)->iterationProfile();
+            const auto pass =
+                spmv.timeRows(w.a, 0, w.a.numRows(), urb);
+            const double spmv_cycles =
+                static_cast<double>(pass.cycles) * prof.spmvs;
+            const double dense_cycles = static_cast<double>(
+                dense.iterationDenseCycles(prof, w.a.numRows()));
+            const double frac =
+                spmv_cycles / (spmv_cycles + dense_cycles);
+            t.cell(100.0 * frac, 1);
+            all.push_back(frac);
+        }
+    }
+    t.print(std::cout);
+
+    double mn = 1.0, sum = 0.0;
+    for (double f : all) {
+        mn = std::min(mn, f);
+        sum += f;
+    }
+    std::cout << "\nmean SpMV share " << formatDouble(
+                     100.0 * sum / static_cast<double>(all.size()), 1)
+              << "%  min " << formatDouble(100.0 * mn, 1)
+              << "%  (paper: SpMV consumes most of the time)\n";
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 9 reproduction: achieved compute throughput as a fraction
+ * of peak — Acamar vs static design (top) and vs the GPU (bottom).
+ */
+
+#include <iostream>
+
+#include "accel/acamar.hh"
+#include "accel/static_design.hh"
+#include "bench_common.hh"
+#include "gpu/gpu_spmv_model.hh"
+#include "metrics/throughput.hh"
+
+using namespace acamar;
+
+int
+main(int argc, char **argv)
+{
+    const auto cfg = bench::parseArgs(argc, argv);
+    const int32_t dim = bench::dimFrom(cfg);
+    const int urb = static_cast<int>(cfg.getInt("urb", 16));
+    bench::banner("Figure 9 — achieved % of peak throughput",
+                  "Figure 9, Section VI-C");
+
+    AcamarConfig acfg;
+    acfg.chunkRows = dim;
+    const auto dev = FpgaDevice::alveoU55c();
+    EventQueue eq;
+    const MemoryModel mem(dev);
+    FineGrainedReconfigUnit fgr(&eq, acfg);
+    DynamicSpmvKernel spmv(&eq, mem);
+    StaticDesign base(dev, urb, acfg.criteria);
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+
+    Table t({"ID", "Acamar %peak", "static %peak", "GPU %peak"});
+    double a_sum = 0.0, s_sum = 0.0, g_sum = 0.0, a_max = 0.0;
+    int n = 0;
+    for (const auto &w : bench::allWorkloads(dim)) {
+        const auto plan = fgr.plan(w.a);
+        const auto mine = spmv.timePlanned(w.a, plan);
+        const double a_pct =
+            static_cast<double>(mine.usefulMacs) /
+            static_cast<double>(mine.offeredMacs);
+        const auto spass = base.spmvPass(w.a);
+        const double s_pct =
+            static_cast<double>(spass.usefulMacs) /
+            static_cast<double>(spass.offeredMacs);
+        const double g_pct = gpu.run(w.a).pctOfPeak;
+
+        a_sum += a_pct;
+        s_sum += s_pct;
+        g_sum += g_pct;
+        a_max = std::max(a_max, a_pct);
+        ++n;
+        t.newRow()
+            .cell(w.spec.id)
+            .cell(100.0 * a_pct, 1)
+            .cell(100.0 * s_pct, 1)
+            .cell(100.0 * g_pct, 2);
+    }
+    t.print(std::cout);
+    std::cout << "\naverages: Acamar "
+              << formatDouble(100.0 * a_sum / n, 1) << "% (max "
+              << formatDouble(100.0 * a_max, 1) << "%), static@URB="
+              << urb << " " << formatDouble(100.0 * s_sum / n, 1)
+              << "%, GPU " << formatDouble(100.0 * g_sum / n, 2)
+              << "%\n(paper: Acamar ~70% avg, up to 83%; GPU very"
+                 " low)\n";
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the functional kernels the
+ * simulator rests on: CSR SpMV, laned SpMV, dense ops, solver
+ * iterations, structure analysis and the MSID chain.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/msid_chain.hh"
+#include "accel/row_length_trace.hh"
+#include "common/random.hh"
+#include "solvers/solver.hh"
+#include "sparse/catalog.hh"
+#include "sparse/properties.hh"
+#include "sparse/spmv.hh"
+#include "sparse/vector_ops.hh"
+
+namespace {
+
+using namespace acamar;
+
+const CsrMatrix<float> &
+benchMatrix()
+{
+    static const CsrMatrix<float> a = [] {
+        return generateDataset(*findDataset("Mo"), 4096)
+            .cast<float>();
+    }();
+    return a;
+}
+
+void
+BM_SpmvCsr(benchmark::State &state)
+{
+    const auto &a = benchMatrix();
+    std::vector<float> x(static_cast<size_t>(a.numCols()), 1.0f);
+    std::vector<float> y;
+    for (auto _ : state) {
+        spmv(a, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * a.nnz());
+}
+BENCHMARK(BM_SpmvCsr);
+
+void
+BM_SpmvLaned(benchmark::State &state)
+{
+    const auto &a = benchMatrix();
+    const int unroll = static_cast<int>(state.range(0));
+    std::vector<float> x(static_cast<size_t>(a.numCols()), 1.0f);
+    std::vector<float> y;
+    for (auto _ : state) {
+        spmvLaned(a, x, y, unroll);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * a.nnz());
+}
+BENCHMARK(BM_SpmvLaned)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_Dot(benchmark::State &state)
+{
+    std::vector<float> x(65536, 1.5f), y(65536, 0.5f);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dot(x, y));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_Dot);
+
+void
+BM_SolverIteration(benchmark::State &state)
+{
+    const auto kind = static_cast<SolverKind>(state.range(0));
+    const auto &a = benchMatrix();
+    Rng rng(1);
+    std::vector<float> xt(static_cast<size_t>(a.numRows()));
+    for (auto &v : xt)
+        v = static_cast<float>(rng.uniform(0.5, 1.5));
+    const auto b = rhsForSolution(a, xt);
+    ConvergenceCriteria crit;
+    crit.maxIterations = 10; // time a fixed chunk of iterations
+    crit.tolerance = 1e-30;
+    crit.setupIterations = 0;
+    crit.divergenceGrowth = 1e30;
+    const auto solver = makeSolver(kind);
+    for (auto _ : state) {
+        const auto res = solver->solve(a, b, {}, crit);
+        benchmark::DoNotOptimize(res.iterations);
+    }
+}
+BENCHMARK(BM_SolverIteration)
+    ->Arg(static_cast<int>(SolverKind::Jacobi))
+    ->Arg(static_cast<int>(SolverKind::CG))
+    ->Arg(static_cast<int>(SolverKind::BiCgStab));
+
+void
+BM_StructureAnalysis(benchmark::State &state)
+{
+    const auto &a = benchMatrix();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analyzeStructure(a, 1e-6f));
+    }
+}
+BENCHMARK(BM_StructureAnalysis);
+
+void
+BM_RowLengthTrace(benchmark::State &state)
+{
+    const auto &a = benchMatrix();
+    const RowLengthTrace trace(32, 4096, 64);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trace.compute(a));
+    }
+}
+BENCHMARK(BM_RowLengthTrace);
+
+void
+BM_MsidChain(benchmark::State &state)
+{
+    Rng rng(2);
+    std::vector<int> t(4096);
+    for (auto &v : t)
+        v = static_cast<int>(rng.uniformInt(1, 64));
+    const MsidChain chain(8, 0.15);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(chain.apply(t));
+    }
+}
+BENCHMARK(BM_MsidChain);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Table I reproduction: convergence criteria per solver, checked
+ * empirically — for each (solver, matrix-class) pair we generate a
+ * matrix satisfying/violating the criterion and report the outcome.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/random.hh"
+#include "solvers/solver.hh"
+#include "sparse/generators.hh"
+
+using namespace acamar;
+
+namespace {
+
+std::string
+outcome(SolverKind k, const CsrMatrix<double> &ad, const char *rhs_id)
+{
+    const auto a = ad.cast<float>();
+    Rng rng(0x5eed + static_cast<uint64_t>(rhs_id[0]));
+    std::vector<float> xt(static_cast<size_t>(a.numRows()));
+    for (auto &v : xt)
+        v = static_cast<float>(rng.uniform(0.5, 1.5));
+    const auto b = rhsForSolution(a, xt);
+    const auto res =
+        makeSolver(k)->solve(a, b, {}, ConvergenceCriteria{});
+    return res.ok() ? "converges" : to_string(res.status);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cfg = bench::parseArgs(argc, argv);
+    const int32_t dim = std::min<int32_t>(bench::dimFrom(cfg), 1024);
+    bench::banner("Table I — structural requirements for convergence",
+                  "Table I, Section III-B");
+
+    Rng rng(7);
+    const auto dd = ddNonsymmetric(dim, RowProfile::Uniform, 8.0,
+                                   1.5, rng);
+    const auto spd = blockOnesSpd(dim, 8, 0.35, 0.05, rng);
+    const auto nonsym = convectionDiffusion2d(
+        static_cast<int32_t>(std::sqrt(dim)),
+        static_cast<int32_t>(std::sqrt(dim)), 2.5, 2.5);
+    const auto indef = symIndefiniteDd(dim, 0.5, rng);
+
+    Table t({"Solver", "Criterion (Table I)", "criterion met",
+             "criterion violated"});
+    t.newRow()
+        .cell("Jacobi")
+        .cell("strictly diagonally dominant")
+        .cell(outcome(SolverKind::Jacobi, dd, "a"))
+        .cell(outcome(SolverKind::Jacobi, spd, "b"));
+    t.newRow()
+        .cell("Gauss-Seidel")
+        .cell("strictly diagonally dominant")
+        .cell(outcome(SolverKind::GaussSeidel, dd, "c"))
+        .cell(outcome(SolverKind::GaussSeidel, spd, "d"));
+    t.newRow()
+        .cell("CG")
+        .cell("symmetric, positive definite")
+        .cell(outcome(SolverKind::CG, spd, "e"))
+        .cell(outcome(SolverKind::CG, nonsym, "f"));
+    t.newRow()
+        .cell("BiCG-STAB")
+        .cell("non-symmetric")
+        .cell(outcome(SolverKind::BiCgStab, nonsym, "g"))
+        .cell(outcome(SolverKind::BiCgStab, indef, "h"));
+    t.newRow()
+        .cell("GMRES")
+        .cell("symmetric and non-symmetric")
+        .cell(outcome(SolverKind::Gmres, nonsym, "i"))
+        .cell(outcome(SolverKind::Gmres, spd, "j"));
+    t.newRow()
+        .cell("SOR")
+        .cell("symmetric, positive definite")
+        .cell(outcome(SolverKind::Sor, dd, "k"))
+        .cell(outcome(SolverKind::Sor, nonsym, "l"));
+    t.newRow()
+        .cell("Conjugate Residual")
+        .cell("Hermitian (symmetric)")
+        .cell(outcome(SolverKind::ConjugateResidual, spd, "m"))
+        .cell(outcome(SolverKind::ConjugateResidual, nonsym, "n"));
+    t.print(std::cout);
+
+    std::cout << "\nNote: 'criterion violated' failing confirms the\n"
+                 "requirement is load-bearing, motivating Acamar's\n"
+                 "structure-driven solver selection.\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * HPCG-like workload: the paper opens with supercomputers reaching
+ * only a few percent of peak on HPCG. This example builds HPCG's
+ * operator — the 27-point stencil on a 3D grid — runs CG on the
+ * Acamar model and on the static design, and reports the achieved
+ * fraction of peak each gets, next to the GPU model, reproducing
+ * the paper's motivation end to end.
+ */
+
+#include <iostream>
+
+#include "accel/acamar.hh"
+#include "accel/report.hh"
+#include "accel/static_design.hh"
+#include "common/config.hh"
+#include "common/table.hh"
+#include "gpu/gpu_spmv_model.hh"
+#include "sparse/generators.hh"
+
+using namespace acamar;
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    const auto edge = static_cast<int32_t>(cfg.getInt("edge", 16));
+
+    std::cout << "HPCG-like run: 27-point stencil on a " << edge
+              << "^3 grid\n\n";
+
+    // HPCG's operator, shifted slightly so Jacobi smoothing-style
+    // convergence is also possible (keeps all three solvers viable).
+    const auto a = stencil27(edge, edge, edge, 0.5).cast<float>();
+    const auto n = static_cast<size_t>(a.numRows());
+    std::vector<float> x_true(n, 1.0f);
+    const auto b = rhsForSolution(a, x_true);
+
+    Acamar acc;
+    const auto rep = acc.run(a, b);
+    printRunReport(std::cout, rep, acc.clockHz());
+    if (!rep.converged)
+        return 1;
+
+    // The 27-point operator mixes 8-entry corner rows with
+    // 27-entry interior rows inside every contiguous run of rows
+    // (the boundary recurs every `edge` rows), so any multi-row set
+    // leaves the per-set *mean* factor straddling both populations.
+    // Per-row sets (sampling rate >= #rows) dissolve the mix — the
+    // extreme end of the paper's Figure 12 trade-off.
+    AcamarConfig fine_cfg;
+    fine_cfg.samplingRate = a.numRows();
+    Acamar fine(fine_cfg);
+    const auto fine_rep = fine.run(a, b);
+
+    StaticDesign base16(FpgaDevice::alveoU55c(), 16,
+                        acc.config().criteria);
+    const auto bt = base16.run(a, b, rep.finalSolver);
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+    const auto gs = gpu.run(a);
+
+    auto pct = [](int64_t useful, int64_t offered) {
+        return offered == 0 ? 0.0
+                            : 100.0 * static_cast<double>(useful) /
+                                  static_cast<double>(offered);
+    };
+    const auto bpass = base16.spmvPass(a);
+
+    Table t({"engine", "achieved % of peak (SpMV)",
+             "reconfig events/pass"});
+    t.newRow()
+        .cell("Acamar, sampling rate 32")
+        .cell(pct(rep.passStats.usefulMacs,
+                  rep.passStats.offeredMacs),
+              1)
+        .cell(static_cast<int64_t>(rep.plan.reconfigEvents));
+    t.newRow()
+        .cell("Acamar, per-row sets")
+        .cell(pct(fine_rep.passStats.usefulMacs,
+                  fine_rep.passStats.offeredMacs),
+              1)
+        .cell(static_cast<int64_t>(fine_rep.plan.reconfigEvents));
+    t.newRow()
+        .cell("static design URB=16")
+        .cell(pct(bpass.usefulMacs, bpass.offeredMacs), 1)
+        .cell(int64_t{0});
+    t.newRow()
+        .cell("GTX 1650 Super (csrmv)")
+        .cell(100.0 * gs.pctOfPeak, 2)
+        .cell(int64_t{0});
+    std::cout << '\n';
+    t.print(std::cout);
+
+    const double speedup =
+        static_cast<double>(bt.timing.computeCycles()) /
+        static_cast<double>(rep.totalTiming.computeCycles());
+    std::cout << "\nlatency vs static URB=16: "
+              << formatDouble(speedup, 2)
+              << "x\nThe stencil's corner/interior row mix inside"
+                 " each contiguous set pulls the\nper-set *mean*"
+                 " factor between both populations; per-row sets"
+                 " dissolve the mix\nat the cost of far more"
+                 " reconfiguration events — the two ends of the\n"
+                 "paper's Figure 12 trade-off on the workload HPCG"
+                 " is built from.\n";
+    return 0;
+}

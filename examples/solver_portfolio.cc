@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Robust convergence demo: runs one matrix from each structural
+ * class through (a) each fixed solver, as a static accelerator
+ * would, and (b) Acamar with its Matrix Structure unit and Solver
+ * Modifier — including a case where the initial pick is wrong and
+ * the fallback chain rescues the solve.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "accel/acamar.hh"
+#include "accel/report.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+#include "solvers/solver.hh"
+#include "sparse/catalog.hh"
+#include "sparse/coo.hh"
+
+using namespace acamar;
+
+namespace {
+
+/**
+ * Symmetric indefinite but not strictly dominant: the structure
+ * check picks CG (symmetry), CG fails (indefinite), the Solver
+ * Modifier falls back to JB, which converges — the exact scenario
+ * Section IV-B builds the unit for.
+ */
+CsrMatrix<float>
+trickyMatrix(int32_t n)
+{
+    CooMatrix<double> coo(n, n);
+    Rng rng(3);
+    for (int32_t i = 0; i < n / 2; ++i) {
+        const int32_t a = 2 * i, b = 2 * i + 1;
+        const double d =
+            i < 2 ? 1.0 : std::pow(10.0, rng.uniform(-3.5, 0.0));
+        coo.add(a, a, d);
+        coo.add(b, b, -d);
+        coo.add(a, b, 0.7 * d);
+        coo.add(b, a, 0.7 * d);
+    }
+    coo.add(0, 2, 0.31);
+    coo.add(2, 0, 0.31);
+    return coo.toCsr().cast<float>();
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr int32_t kDim = 1024;
+    std::cout << "Solver portfolio vs Acamar across structural"
+                 " classes\n\n";
+
+    Table t({"workload", "JB", "CG", "BiCG", "Acamar",
+             "attempts (chain)"});
+
+    AcamarConfig cfg;
+    cfg.chunkRows = kDim;
+    Acamar acc(cfg);
+
+    auto run_row = [&](const std::string &name,
+                       const CsrMatrix<float> &a,
+                       const std::vector<float> &b) {
+        t.newRow().cell(name);
+        for (auto k : {SolverKind::Jacobi, SolverKind::CG,
+                       SolverKind::BiCgStab}) {
+            const auto res =
+                makeSolver(k)->solve(a, b, {}, cfg.criteria);
+            t.cell(res.ok() ? "ok" : to_string(res.status));
+        }
+        const auto rep = acc.run(a, b);
+        t.cell(rep.converged ? "ok" : "FAILED");
+        std::string chain;
+        for (const auto &attempt : rep.attempts) {
+            if (!chain.empty())
+                chain += " -> ";
+            chain += to_string(attempt.kind);
+        }
+        t.cell(chain);
+    };
+
+    for (const char *id : {"Wa", "2C", "Wi", "If", "Fe", "Bc"}) {
+        const auto spec = *findDataset(id);
+        const auto a = generateDataset(spec, kDim).cast<float>();
+        run_row(spec.id + ":" + to_string(spec.klass), a,
+                datasetRhs(a, spec.id));
+    }
+
+    // The fallback showcase.
+    const auto tricky = trickyMatrix(kDim);
+    run_row("tricky:sym-indef (CG mispick)", tricky,
+            rhsForSolution(tricky,
+                           std::vector<float>(kDim, 1.0f)));
+
+    t.print(std::cout);
+    std::cout << "\nEvery static solver fails somewhere; Acamar"
+                 " converges everywhere, switching\nsolvers"
+                 " on-fabric when its first pick diverges.\n";
+    return 0;
+}

@@ -1,0 +1,146 @@
+#include "accel/acamar.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "metrics/underutilization.hh"
+
+namespace acamar {
+
+Cycles
+AcamarRunReport::latencyCycles(bool charge_reconfig) const
+{
+    Cycles c = analyzerCycles;
+    c += totalTiming.totalCycles(charge_reconfig);
+    return c;
+}
+
+Acamar::Acamar(const AcamarConfig &cfg, const FpgaDevice &device)
+    : cfg_(cfg), device_(device), eq_(), res_(device), mem_(device),
+      structUnit_(&eq_), fgrUnit_(&eq_, cfg_), spmv_(&eq_, mem_),
+      dense_(&eq_, mem_), reconfig_(&eq_, res_, cfg_.maxUnroll),
+      init_(&eq_, cfg_, &spmv_, &dense_),
+      solver_(&eq_, cfg_, &spmv_, &dense_, &reconfig_),
+      modifier_(&eq_, cfg_.extendedSolverChain)
+{
+    cfg_.validate();
+}
+
+AcamarRunReport
+Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
+{
+    if (a.numRows() != a.numCols())
+        ACAMAR_FATAL("Acamar needs a square matrix, got ", a.numRows(),
+                     "x", a.numCols());
+    if (b.size() != static_cast<size_t>(a.numRows()))
+        ACAMAR_FATAL("rhs size ", b.size(), " != matrix dim ",
+                     a.numRows());
+
+    AcamarRunReport rep;
+
+    // The three statically-programmed front-end units run
+    // concurrently (Figure 3); their latency overlaps.
+    rep.structure = structUnit_.analyze(a);
+    rep.plan = fgrUnit_.plan(a);
+    rep.analyzerCycles = std::max(rep.structure.analysisCycles,
+                                  fgrUnit_.analysisCycles(a.numRows()));
+
+    rep.passStats = spmv_.timePlanned(a, rep.plan);
+    rep.paperRu = meanUnderutilizationPerSet(a, rep.plan.factors,
+                                             rep.plan.setSize);
+    rep.occupancyRu = rep.passStats.occupancyUnderutilization();
+
+    // Solve loop with Solver Modifier fallback.
+    modifier_.reset();
+    SolverKind kind = rep.structure.solver;
+    while (true) {
+        const auto solver = makeSolver(kind);
+        const Cycles init_cycles = init_.cycles(a, *solver);
+        TimedSolve attempt =
+            solver_.run(a, b, kind, rep.plan, init_cycles);
+        modifier_.markTried(kind);
+        rep.totalTiming += attempt.timing;
+        const bool ok = attempt.result.ok();
+        rep.attempts.push_back(std::move(attempt));
+        rep.finalSolver = kind;
+        if (ok) {
+            rep.converged = true;
+            break;
+        }
+        const auto next = modifier_.onDivergence();
+        if (!next)
+            break; // chain exhausted: report the failure honestly
+        // The host swaps the solver region; charge it when asked.
+        reconfig_.chargeSolverReconfig();
+        if (cfg_.chargeReconfigTime) {
+            rep.totalTiming.reconfigCycles +=
+                reconfig_.solverReconfigCycles();
+        }
+        kind = *next;
+    }
+    return rep;
+}
+
+double
+Acamar::dynamicAreaMm2(const CsrMatrix<float> &a,
+                       const ReconfigPlan &plan) const
+{
+    ACAMAR_ASSERT(!plan.factors.empty(), "empty plan");
+    // Weight each set's SpMV-unit area by the beats it occupies the
+    // fabric for, then add the always-resident units.
+    double weighted = 0.0;
+    double total_beats = 0.0;
+    for (size_t s = 0; s < plan.factors.size(); ++s) {
+        const int64_t begin = static_cast<int64_t>(s) * plan.setSize;
+        if (begin >= a.numRows())
+            break;
+        const int64_t end =
+            s + 1 == plan.factors.size()
+                ? a.numRows()
+                : std::min<int64_t>(begin + plan.setSize,
+                                    a.numRows());
+        const SpmvRunStats st =
+            spmv_.timeRows(a, begin, end, plan.factors[s]);
+        const auto beats = static_cast<double>(st.beats);
+        weighted +=
+            beats * res_.areaMm2(res_.spmvUnit(plan.factors[s]));
+        total_beats += beats;
+    }
+    const double spmv_area =
+        total_beats > 0.0 ? weighted / total_beats : 0.0;
+    return spmv_area + staticAreaMm2();
+}
+
+double
+Acamar::staticAreaMm2() const
+{
+    return res_.areaMm2(res_.denseUnits() + res_.analyzerUnits());
+}
+
+void
+Acamar::dumpStats(std::ostream &os) const
+{
+    structUnit_.stats().dump(os);
+    fgrUnit_.stats().dump(os);
+    spmv_.stats().dump(os);
+    dense_.stats().dump(os);
+    reconfig_.stats().dump(os);
+    init_.stats().dump(os);
+    solver_.stats().dump(os);
+    modifier_.stats().dump(os);
+}
+
+void
+Acamar::resetStats()
+{
+    structUnit_.stats().resetAll();
+    fgrUnit_.stats().resetAll();
+    spmv_.stats().resetAll();
+    dense_.stats().resetAll();
+    reconfig_.stats().resetAll();
+    init_.stats().resetAll();
+    solver_.stats().resetAll();
+    modifier_.stats().resetAll();
+}
+
+} // namespace acamar

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Acamar top level: the public entry point of the library.
+ *
+ * Wires the Figure 3 pipeline together: Matrix Structure,
+ * Fine-Grained Reconfiguration (Row Length Trace + MSID chain) and
+ * Initialize run concurrently; the Reconfigurable Solver then
+ * executes with the Dynamic SpMV Kernel following the plan, and the
+ * Solver Modifier walks the fallback chain on divergence.
+ */
+
+#ifndef ACAMAR_ACCEL_ACAMAR_HH
+#define ACAMAR_ACCEL_ACAMAR_HH
+
+#include <ostream>
+#include <vector>
+
+#include "accel/acamar_config.hh"
+#include "accel/dense_kernels.hh"
+#include "accel/dynamic_spmv.hh"
+#include "accel/fine_grained_reconfig.hh"
+#include "accel/initialize_unit.hh"
+#include "accel/matrix_structure_unit.hh"
+#include "accel/reconfig_controller.hh"
+#include "accel/reconfigurable_solver.hh"
+#include "accel/solver_modifier.hh"
+#include "fpga/device.hh"
+#include "fpga/resource_model.hh"
+
+namespace acamar {
+
+/** Everything one Acamar run reports. */
+struct AcamarRunReport {
+    StructureDecision structure;      //!< analysis + initial pick
+    ReconfigPlan plan;                //!< per-set SpMV schedule
+    std::vector<TimedSolve> attempts; //!< one per configuration
+    bool converged = false;           //!< final outcome
+    SolverKind finalSolver = SolverKind::Jacobi; //!< last config
+    Cycles analyzerCycles = 0;        //!< concurrent analyzers (max)
+    TimingBreakdown totalTiming;      //!< all attempts summed
+    SpmvRunStats passStats;           //!< one planned SpMV pass
+    double paperRu = 0.0;             //!< Eq. 5 mean, per-set plan
+    double occupancyRu = 0.0;         //!< idle-slot fraction
+
+    /** Final iterate of the last attempt. */
+    const std::vector<float> &
+    solution() const
+    {
+        return attempts.back().result.solution;
+    }
+
+    /** End-to-end latency in cycles (per the config's policy). */
+    Cycles latencyCycles(bool charge_reconfig) const;
+};
+
+/** The accelerator. */
+class Acamar
+{
+  public:
+    /**
+     * @param cfg tunables (defaults are the paper's).
+     * @param device FPGA card model (defaults to Alveo u55c).
+     */
+    explicit Acamar(const AcamarConfig &cfg = {},
+                    const FpgaDevice &device = FpgaDevice::alveoU55c());
+
+    /** Solve A x = b with full dynamic reconfiguration. */
+    AcamarRunReport run(const CsrMatrix<float> &a,
+                        const std::vector<float> &b);
+
+    /** Time-weighted fabric area of the dynamic design on `a`. */
+    double dynamicAreaMm2(const CsrMatrix<float> &a,
+                          const ReconfigPlan &plan) const;
+
+    /** Area of the always-resident units (dense + analyzers). */
+    double staticAreaMm2() const;
+
+    /** Kernel clock in Hz. */
+    double clockHz() const { return device_.kernelClockHz; }
+
+    /** Configuration in force. */
+    const AcamarConfig &config() const { return cfg_; }
+
+    /** Device model in force. */
+    const FpgaDevice &device() const { return device_; }
+
+    /** Resource model (for area queries in benches). */
+    const ResourceModel &resources() const { return res_; }
+
+    /** Reconfiguration controller (for DFX cost queries). */
+    const ReconfigController &reconfigController() const
+    {
+        return reconfig_;
+    }
+
+    /** Dump every unit's statistics (gem5-style text). */
+    void dumpStats(std::ostream &os) const;
+
+    /** Reset all unit statistics between experiments. */
+    void resetStats();
+
+  private:
+    AcamarConfig cfg_;
+    FpgaDevice device_;
+    EventQueue eq_;
+    ResourceModel res_;
+    MemoryModel mem_;
+    MatrixStructureUnit structUnit_;
+    FineGrainedReconfigUnit fgrUnit_;
+    DynamicSpmvKernel spmv_;
+    DenseKernelModel dense_;
+    ReconfigController reconfig_;
+    InitializeUnit init_;
+    ReconfigurableSolver solver_;
+    SolverModifier modifier_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_ACAMAR_HH

@@ -1,0 +1,30 @@
+#include "accel/acamar_config.hh"
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+void
+AcamarConfig::validate() const
+{
+    if (samplingRate < 1)
+        ACAMAR_FATAL("samplingRate must be >= 1, got ", samplingRate);
+    if (rOptStages < 0)
+        ACAMAR_FATAL("rOptStages must be >= 0, got ", rOptStages);
+    if (msidTolerance < 0.0)
+        ACAMAR_FATAL("msidTolerance must be >= 0, got ",
+                     msidTolerance);
+    if (chunkRows < 1)
+        ACAMAR_FATAL("chunkRows must be >= 1, got ", chunkRows);
+    if (maxUnroll < 1)
+        ACAMAR_FATAL("maxUnroll must be >= 1, got ", maxUnroll);
+    if (initUnroll < 1 || initUnroll > maxUnroll)
+        ACAMAR_FATAL("initUnroll must be in [1, maxUnroll], got ",
+                     initUnroll);
+    if (criteria.tolerance <= 0.0)
+        ACAMAR_FATAL("convergence tolerance must be positive");
+    if (criteria.maxIterations < 1)
+        ACAMAR_FATAL("maxIterations must be >= 1");
+}
+
+} // namespace acamar

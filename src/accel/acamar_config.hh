@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Acamar configuration knobs (Section V-D of the paper).
+ */
+
+#ifndef ACAMAR_ACCEL_ACAMAR_CONFIG_HH
+#define ACAMAR_ACCEL_ACAMAR_CONFIG_HH
+
+#include "solvers/convergence.hh"
+
+namespace acamar {
+
+/** All tunables of the accelerator, with the paper's defaults. */
+struct AcamarConfig {
+    /** Sets of rows per 4096-row chunk (paper default: 32). */
+    int samplingRate = 32;
+
+    /** MSID chain stages; 0 disables the optimization (paper: 8). */
+    int rOptStages = 8;
+
+    /** MSID chain normalized-difference tolerance (paper: 0.15). */
+    double msidTolerance = 0.15;
+
+    /** Rows per processing chunk (paper: 4096). */
+    int chunkRows = 4096;
+
+    /** Largest unroll factor the DFX region can host. */
+    int maxUnroll = 64;
+
+    /** Unroll factor of the un-optimized Initialize-unit SpMV. */
+    int initUnroll = 8;
+
+    /**
+     * When true the Solver Modifier chain continues past the three
+     * fabric solvers into GS and GMRES (library extension).
+     */
+    bool extendedSolverChain = false;
+
+    /**
+     * When true, total latency charges ICAP reconfiguration time
+     * instead of assuming it hides behind compute (the paper
+     * reports compute latency and treats the reconfiguration budget
+     * separately in Figure 13).
+     */
+    bool chargeReconfigTime = false;
+
+    /** Solver convergence thresholds (paper Section V-B). */
+    ConvergenceCriteria criteria;
+
+    /** Fatal on out-of-range settings. */
+    void validate() const;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_ACAMAR_CONFIG_HH

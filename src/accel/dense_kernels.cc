@@ -1,0 +1,55 @@
+#include "accel/dense_kernels.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+DenseKernelModel::DenseKernelModel(EventQueue *eq,
+                                   const MemoryModel &mem)
+    : SimObject("acamar.dense_kernels", eq), mem_(mem),
+      dotPipe_(hls_defaults::dotPipeline()),
+      axpyPipe_(hls_defaults::axpyPipeline())
+{
+    stats().addScalar("dot_ops", &dotOps_, "inner products timed");
+    stats().addScalar("axpy_ops", &axpyOps_, "axpy passes timed");
+}
+
+Cycles
+DenseKernelModel::dotCycles(int64_t n) const
+{
+    ACAMAR_ASSERT(n >= 0, "negative vector length");
+    dotOps_.inc();
+    const int64_t trips =
+        (n + hls_defaults::kDenseLanes - 1) / hls_defaults::kDenseLanes;
+    const Cycles compute = dotPipe_.cycles(trips);
+    const Cycles memory =
+        mem_.streamCycles(MemoryModel::vectorBytes(n, 2));
+    return std::max(compute, memory);
+}
+
+Cycles
+DenseKernelModel::axpyCycles(int64_t n) const
+{
+    ACAMAR_ASSERT(n >= 0, "negative vector length");
+    axpyOps_.inc();
+    const int64_t trips =
+        (n + hls_defaults::kDenseLanes - 1) / hls_defaults::kDenseLanes;
+    const Cycles compute = axpyPipe_.cycles(trips);
+    const Cycles memory =
+        mem_.streamCycles(MemoryModel::vectorBytes(n, 3));
+    return std::max(compute, memory);
+}
+
+Cycles
+DenseKernelModel::iterationDenseCycles(const KernelProfile &prof,
+                                       int64_t n) const
+{
+    Cycles c = 0;
+    c += static_cast<Cycles>(prof.dots) * dotCycles(n);
+    c += static_cast<Cycles>(prof.axpys) * axpyCycles(n);
+    return c;
+}
+
+} // namespace acamar

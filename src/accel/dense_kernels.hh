@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Static dense-kernel timing models.
+ *
+ * The Reconfigurable Solver's dense kernels (dot products, axpy
+ * updates) are "implemented in their most optimized HLS design" and
+ * never reconfigured (Section IV-B); this model times them as
+ * 16-lane streaming pipelines bounded by HBM bandwidth.
+ */
+
+#ifndef ACAMAR_ACCEL_DENSE_KERNELS_HH
+#define ACAMAR_ACCEL_DENSE_KERNELS_HH
+
+#include <cstdint>
+
+#include "fpga/hls_kernel.hh"
+#include "fpga/memory_model.hh"
+#include "sim/sim_object.hh"
+#include "solvers/solver.hh"
+
+namespace acamar {
+
+/** Timing for the fixed dense units. */
+class DenseKernelModel : public SimObject
+{
+  public:
+    DenseKernelModel(EventQueue *eq, const MemoryModel &mem);
+
+    /** Cycles for one n-element inner product. */
+    Cycles dotCycles(int64_t n) const;
+
+    /** Cycles for one n-element axpy/waxpby pass. */
+    Cycles axpyCycles(int64_t n) const;
+
+    /**
+     * Cycles for the dense part of one solver iteration given its
+     * kernel profile and the vector length.
+     */
+    Cycles iterationDenseCycles(const KernelProfile &prof,
+                                int64_t n) const;
+
+  private:
+    MemoryModel mem_;
+    HlsPipelineModel dotPipe_;
+    HlsPipelineModel axpyPipe_;
+
+    // Timing queries are logically const; the op counters are
+    // observability only.
+    mutable ScalarStat dotOps_;
+    mutable ScalarStat axpyOps_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_DENSE_KERNELS_HH

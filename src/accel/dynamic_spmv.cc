@@ -1,0 +1,155 @@
+#include "accel/dynamic_spmv.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sparse/spmv.hh"
+
+namespace acamar {
+
+SpmvRunStats &
+SpmvRunStats::operator+=(const SpmvRunStats &o)
+{
+    cycles += o.cycles;
+    computeCycles += o.computeCycles;
+    memoryCycles += o.memoryCycles;
+    beats += o.beats;
+    usefulMacs += o.usefulMacs;
+    offeredMacs += o.offeredMacs;
+    rows += o.rows;
+    return *this;
+}
+
+DynamicSpmvKernel::DynamicSpmvKernel(EventQueue *eq,
+                                     const MemoryModel &mem)
+    : SimObject("acamar.dynamic_spmv", eq), mem_(mem),
+      pipe_(hls_defaults::spmvPipeline())
+{
+    stats().addScalar("passes", &passes_, "SpMV passes executed");
+    stats().addScalar("cycles", &totalCycles_, "total SpMV cycles");
+    stats().addScalar("useful_macs", &totalUseful_,
+                      "MAC slots doing real work");
+    stats().addScalar("offered_macs", &totalOffered_,
+                      "MAC slots offered by the datapath");
+}
+
+template <typename T>
+SpmvRunStats
+DynamicSpmvKernel::timeRows(const CsrMatrix<T> &a, int64_t row_begin,
+                            int64_t row_end, int unroll) const
+{
+    ACAMAR_ASSERT(unroll >= 1, "unroll factor must be >= 1");
+    ACAMAR_ASSERT(row_begin >= 0 && row_begin <= row_end &&
+                      row_end <= a.numRows(),
+                  "bad row range");
+    SpmvRunStats st;
+    st.rows = row_end - row_begin;
+
+    int64_t nnz = 0;
+    for (int64_t r = row_begin; r < row_end; ++r) {
+        const int64_t n = a.rowNnz(static_cast<int32_t>(r));
+        nnz += n;
+        // A row always consumes at least one beat (result write).
+        st.beats += std::max<int64_t>(1, (n + unroll - 1) / unroll);
+    }
+    st.usefulMacs = nnz;
+    st.offeredMacs = st.beats * unroll;
+
+    // Beats at II=1, slowed by the unit's achievable clock; one
+    // pipeline fill (base depth + adder tree) for the whole range.
+    const double penalty = hls_defaults::clockPenalty(unroll);
+    const auto depth = static_cast<Cycles>(
+        pipe_.depth + hls_defaults::treeDepth(unroll));
+    st.computeCycles =
+        st.beats == 0
+            ? 0
+            : depth + static_cast<Cycles>(std::llround(
+                          penalty * static_cast<double>(st.beats)));
+    st.memoryCycles =
+        mem_.streamCycles(MemoryModel::spmvBytes(nnz, st.rows));
+    st.cycles = std::max(st.computeCycles, st.memoryCycles);
+    return st;
+}
+
+template <typename T>
+SpmvRunStats
+DynamicSpmvKernel::timePlanned(const CsrMatrix<T> &a,
+                               const ReconfigPlan &plan) const
+{
+    ACAMAR_ASSERT(!plan.factors.empty(), "empty reconfiguration plan");
+    SpmvRunStats total;
+    const int64_t rows = a.numRows();
+    double beat_time = 0.0; // clock-penalty-weighted beats
+    Cycles max_depth = 0;
+    for (size_t s = 0; s < plan.factors.size(); ++s) {
+        const int64_t begin = static_cast<int64_t>(s) * plan.setSize;
+        if (begin >= rows)
+            break;
+        const int64_t end =
+            s + 1 == plan.factors.size()
+                ? rows
+                : std::min<int64_t>(begin + plan.setSize, rows);
+        const int unroll = plan.factors[s];
+
+        int64_t seg_beats = 0;
+        for (int64_t r = begin; r < end; ++r) {
+            const int64_t n = a.rowNnz(static_cast<int32_t>(r));
+            total.usefulMacs += n;
+            seg_beats +=
+                std::max<int64_t>(1, (n + unroll - 1) / unroll);
+        }
+        total.beats += seg_beats;
+        total.offeredMacs += seg_beats * unroll;
+        total.rows += end - begin;
+        beat_time += hls_defaults::clockPenalty(unroll) *
+                     static_cast<double>(seg_beats);
+        max_depth = std::max<Cycles>(
+            max_depth,
+            static_cast<Cycles>(pipe_.depth +
+                                hls_defaults::treeDepth(unroll)));
+    }
+
+    // The pipeline only drains where the host actually swaps the
+    // unit (plan.reconfigEvents times) plus the initial fill.
+    const auto fills =
+        static_cast<Cycles>(plan.reconfigEvents + 1) * max_depth;
+    total.computeCycles =
+        fills + static_cast<Cycles>(std::llround(beat_time));
+    total.memoryCycles = mem_.streamCycles(
+        MemoryModel::spmvBytes(total.usefulMacs, total.rows));
+    total.cycles = std::max(total.computeCycles, total.memoryCycles);
+    return total;
+}
+
+SpmvRunStats
+DynamicSpmvKernel::run(const CsrMatrix<float> &a,
+                       const std::vector<float> &x,
+                       std::vector<float> &y, const ReconfigPlan &plan)
+{
+    SpmvRunStats st = timePlanned(a, plan);
+    // Functional result: the laned model with the plan's dominant
+    // factor reproduces the hardware's adder-tree association.
+    spmvLaned(a, x, y, plan.maxFactor);
+
+    passes_.inc();
+    totalCycles_.add(static_cast<double>(st.cycles));
+    totalUseful_.add(static_cast<double>(st.usefulMacs));
+    totalOffered_.add(static_cast<double>(st.offeredMacs));
+    return st;
+}
+
+template SpmvRunStats
+DynamicSpmvKernel::timeRows<float>(const CsrMatrix<float> &, int64_t,
+                                   int64_t, int) const;
+template SpmvRunStats
+DynamicSpmvKernel::timeRows<double>(const CsrMatrix<double> &, int64_t,
+                                    int64_t, int) const;
+template SpmvRunStats
+DynamicSpmvKernel::timePlanned<float>(const CsrMatrix<float> &,
+                                      const ReconfigPlan &) const;
+template SpmvRunStats
+DynamicSpmvKernel::timePlanned<double>(const CsrMatrix<double> &,
+                                       const ReconfigPlan &) const;
+
+} // namespace acamar

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Dynamic SpMV Kernel: the reconfigurable sparse datapath.
+ *
+ * Functionally it is a CSR SpMV; architecturally it is a U-lane MAC
+ * array whose unroll factor U the host reconfigures per set of rows.
+ * The cycle model charges ceil(nnz/U) pipeline beats per row
+ * (HLS II=1 after fill) bounded below by the HBM streaming time,
+ * and tracks useful vs offered MAC slots for the utilization and
+ * throughput figures.
+ */
+
+#ifndef ACAMAR_ACCEL_DYNAMIC_SPMV_HH
+#define ACAMAR_ACCEL_DYNAMIC_SPMV_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/fine_grained_reconfig.hh"
+#include "fpga/hls_kernel.hh"
+#include "fpga/memory_model.hh"
+#include "sim/sim_object.hh"
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/** Timing/occupancy accounting of one SpMV execution. */
+struct SpmvRunStats {
+    Cycles cycles = 0;          //!< max(compute, memory) cycles
+    Cycles computeCycles = 0;   //!< datapath beats + fill
+    Cycles memoryCycles = 0;    //!< HBM streaming bound
+    int64_t beats = 0;          //!< U-wide issue slots consumed
+    int64_t usefulMacs = 0;     //!< nonzeros processed
+    int64_t offeredMacs = 0;    //!< beats * U summed per segment
+    int64_t rows = 0;           //!< rows processed
+
+    SpmvRunStats &operator+=(const SpmvRunStats &o);
+
+    /** Idle MAC-slot fraction of this run. */
+    double
+    occupancyUnderutilization() const
+    {
+        return offeredMacs == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(usefulMacs) /
+                               static_cast<double>(offeredMacs);
+    }
+};
+
+/** The reconfigurable SpMV unit (one DFX region). */
+class DynamicSpmvKernel : public SimObject
+{
+  public:
+    /**
+     * @param eq shared event queue.
+     * @param mem memory model for the streaming bound.
+     */
+    DynamicSpmvKernel(EventQueue *eq, const MemoryModel &mem);
+
+    /**
+     * Time a row range at one fixed unroll factor (no functional
+     * output; used by both Acamar per set and the static baseline
+     * for the whole matrix).
+     */
+    template <typename T>
+    SpmvRunStats timeRows(const CsrMatrix<T> &a, int64_t row_begin,
+                          int64_t row_end, int unroll) const;
+
+    /**
+     * Time a whole pass under a per-set reconfiguration plan
+     * (reconfiguration cost itself is charged by the
+     * ReconfigController, not here).
+     */
+    template <typename T>
+    SpmvRunStats timePlanned(const CsrMatrix<T> &a,
+                             const ReconfigPlan &plan) const;
+
+    /**
+     * Functional + timed pass: y = A x with the plan's per-set
+     * factors (functional result is unroll-invariant up to fp32
+     * association; computed with the laned golden model).
+     */
+    SpmvRunStats run(const CsrMatrix<float> &a,
+                     const std::vector<float> &x,
+                     std::vector<float> &y, const ReconfigPlan &plan);
+
+    /** Pipeline shape used for the beat loop. */
+    const HlsPipelineModel &pipeline() const { return pipe_; }
+
+  private:
+    MemoryModel mem_;
+    HlsPipelineModel pipe_;
+
+    ScalarStat passes_;
+    ScalarStat totalCycles_;
+    ScalarStat totalUseful_;
+    ScalarStat totalOffered_;
+};
+
+extern template SpmvRunStats
+DynamicSpmvKernel::timeRows<float>(const CsrMatrix<float> &, int64_t,
+                                   int64_t, int) const;
+extern template SpmvRunStats
+DynamicSpmvKernel::timeRows<double>(const CsrMatrix<double> &, int64_t,
+                                    int64_t, int) const;
+extern template SpmvRunStats
+DynamicSpmvKernel::timePlanned<float>(const CsrMatrix<float> &,
+                                      const ReconfigPlan &) const;
+extern template SpmvRunStats
+DynamicSpmvKernel::timePlanned<double>(const CsrMatrix<double> &,
+                                       const ReconfigPlan &) const;
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_DYNAMIC_SPMV_HH

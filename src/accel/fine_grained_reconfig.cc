@@ -1,0 +1,64 @@
+#include "accel/fine_grained_reconfig.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "fpga/hls_kernel.hh"
+
+namespace acamar {
+
+FineGrainedReconfigUnit::FineGrainedReconfigUnit(EventQueue *eq,
+                                                 const AcamarConfig &cfg)
+    : SimObject("acamar.fine_grained_reconfig", eq), cfg_(cfg),
+      trace_(cfg.samplingRate, cfg.chunkRows, cfg.maxUnroll),
+      chain_(cfg.rOptStages, cfg.msidTolerance)
+{
+    cfg.validate();
+    stats().addScalar("plans_made", &plansMade_,
+                      "matrices analyzed");
+    stats().addScalar("events_saved", &eventsSaved_,
+                      "reconfig events removed by the MSID chain");
+}
+
+template <typename T>
+ReconfigPlan
+FineGrainedReconfigUnit::plan(const CsrMatrix<T> &a)
+{
+    ReconfigPlan p;
+    const RowLengthTraceResult tr = trace_.compute(a);
+    p.setSize = tr.setSize;
+    p.avgNnz = tr.avgNnz;
+    p.rawFactors = tr.unrollFactors;
+    p.factors = chain_.apply(tr.unrollFactors);
+    p.reconfigEventsRaw = MsidChain::reconfigEvents(p.rawFactors);
+    p.reconfigEvents = MsidChain::reconfigEvents(p.factors);
+    p.maxFactor = p.factors.empty()
+                      ? 1
+                      : *std::max_element(p.factors.begin(),
+                                          p.factors.end());
+    plansMade_.inc();
+    eventsSaved_.add(p.reconfigEventsRaw - p.reconfigEvents);
+    return p;
+}
+
+Cycles
+FineGrainedReconfigUnit::analysisCycles(int64_t rows) const
+{
+    // One pipelined pass over the rowPtr offsets plus one pass over
+    // the per-set buffer for each MSID stage.
+    const auto scan = hls_defaults::scanPipeline();
+    const int64_t sets =
+        (rows + trace_.setSizeFor(rows) - 1) /
+        std::max<int64_t>(1, trace_.setSizeFor(rows));
+    Cycles c = scan.cycles(rows + 1);
+    c += scan.cycles(sets) * static_cast<Cycles>(
+                                 std::max(1, cfg_.rOptStages));
+    return c;
+}
+
+template ReconfigPlan
+FineGrainedReconfigUnit::plan<float>(const CsrMatrix<float> &);
+template ReconfigPlan
+FineGrainedReconfigUnit::plan<double>(const CsrMatrix<double> &);
+
+} // namespace acamar

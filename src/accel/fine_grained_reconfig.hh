@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fine-Grained Reconfiguration unit.
+ *
+ * Combines the Row Length Trace and the MSID chain into a
+ * reconfiguration plan: which unroll factor the Dynamic SpMV Kernel
+ * runs with on each set of rows, and how many reconfiguration events
+ * that plan costs per SpMV pass.
+ */
+
+#ifndef ACAMAR_ACCEL_FINE_GRAINED_RECONFIG_HH
+#define ACAMAR_ACCEL_FINE_GRAINED_RECONFIG_HH
+
+#include <vector>
+
+#include "accel/acamar_config.hh"
+#include "accel/msid_chain.hh"
+#include "accel/row_length_trace.hh"
+#include "sim/sim_object.hh"
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/** The per-set SpMV configuration schedule for one matrix. */
+struct ReconfigPlan {
+    int64_t setSize = 0;           //!< rows per set
+    std::vector<double> avgNnz;    //!< raw trace (Eq. 7)
+    std::vector<int> rawFactors;   //!< pre-MSID unroll factors
+    std::vector<int> factors;      //!< post-MSID unroll factors
+    int reconfigEventsRaw = 0;     //!< events without MSID
+    int reconfigEvents = 0;        //!< events with MSID
+    int maxFactor = 1;             //!< largest factor in the plan
+
+    /** Unroll factor for a given row. */
+    int
+    factorForRow(int64_t row) const
+    {
+        auto s = static_cast<size_t>(row / setSize);
+        if (s >= factors.size())
+            s = factors.size() - 1;
+        return factors[s];
+    }
+};
+
+/**
+ * The statically-programmed analyzer that reads CSR offsets and
+ * emits the plan; also models its own analysis latency (one pass
+ * over the row offsets).
+ */
+class FineGrainedReconfigUnit : public SimObject
+{
+  public:
+    FineGrainedReconfigUnit(EventQueue *eq, const AcamarConfig &cfg);
+
+    /** Analyze one matrix and produce the schedule. */
+    template <typename T>
+    ReconfigPlan plan(const CsrMatrix<T> &a);
+
+    /** Cycles one analysis takes (scan of rows+1 offsets). */
+    Cycles analysisCycles(int64_t rows) const;
+
+  private:
+    AcamarConfig cfg_;
+    RowLengthTrace trace_;
+    MsidChain chain_;
+
+    ScalarStat plansMade_;
+    ScalarStat eventsSaved_;
+};
+
+extern template ReconfigPlan
+FineGrainedReconfigUnit::plan<float>(const CsrMatrix<float> &);
+extern template ReconfigPlan
+FineGrainedReconfigUnit::plan<double>(const CsrMatrix<double> &);
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_FINE_GRAINED_RECONFIG_HH

@@ -1,0 +1,36 @@
+#include "accel/initialize_unit.hh"
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+InitializeUnit::InitializeUnit(EventQueue *eq, const AcamarConfig &cfg,
+                               const DynamicSpmvKernel *spmv,
+                               const DenseKernelModel *dense)
+    : SimObject("acamar.initialize", eq), cfg_(cfg), spmv_(spmv),
+      dense_(dense)
+{
+    ACAMAR_ASSERT(spmv && dense, "InitializeUnit needs kernel models");
+    stats().addScalar("runs", &initRuns_, "initialize phases timed");
+}
+
+Cycles
+InitializeUnit::cycles(const CsrMatrix<float> &a,
+                       const IterativeSolver &solver) const
+{
+    initRuns_.inc();
+    const KernelProfile prof = solver.setupProfile();
+    Cycles c = 0;
+    if (prof.spmvs > 0) {
+        // Unoptimized static SpMV variant at the fixed init factor.
+        const SpmvRunStats st =
+            spmv_->timeRows(a, 0, a.numRows(), cfg_.initUnroll);
+        c += static_cast<Cycles>(prof.spmvs) * st.cycles;
+    }
+    c += dense_->iterationDenseCycles(
+        {.spmvs = 0, .dots = prof.dots, .axpys = prof.axpys},
+        a.numRows());
+    return c;
+}
+
+} // namespace acamar

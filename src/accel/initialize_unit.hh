@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Initialize unit: executes each solver's pre-loop work.
+ *
+ * Per Section IV-B it runs once per (re)configuration and keeps an
+ * *unoptimized* static SpMV variant so the very first iteration
+ * never waits on a reconfiguration.
+ */
+
+#ifndef ACAMAR_ACCEL_INITIALIZE_UNIT_HH
+#define ACAMAR_ACCEL_INITIALIZE_UNIT_HH
+
+#include "accel/acamar_config.hh"
+#include "accel/dense_kernels.hh"
+#include "accel/dynamic_spmv.hh"
+#include "sim/sim_object.hh"
+#include "solvers/solver.hh"
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/** Timed model of the pre-loop phase. */
+class InitializeUnit : public SimObject
+{
+  public:
+    InitializeUnit(EventQueue *eq, const AcamarConfig &cfg,
+                   const DynamicSpmvKernel *spmv,
+                   const DenseKernelModel *dense);
+
+    /**
+     * Cycles the Initialize phase takes for one solver on one
+     * matrix: the solver's setup profile with SpMV at the fixed
+     * `initUnroll` factor.
+     */
+    Cycles cycles(const CsrMatrix<float> &a,
+                  const IterativeSolver &solver) const;
+
+  private:
+    AcamarConfig cfg_;
+    const DynamicSpmvKernel *spmv_;
+    const DenseKernelModel *dense_;
+
+    mutable ScalarStat initRuns_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_INITIALIZE_UNIT_HH

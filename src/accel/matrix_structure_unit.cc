@@ -1,0 +1,42 @@
+#include "accel/matrix_structure_unit.hh"
+
+#include "fpga/hls_kernel.hh"
+
+namespace acamar {
+
+MatrixStructureUnit::MatrixStructureUnit(EventQueue *eq)
+    : SimObject("acamar.matrix_structure", eq)
+{
+    stats().addScalar("analyses", &analyses_, "matrices analyzed");
+    stats().addScalar("picked_jb", &pickedJb_, "JB selections");
+    stats().addScalar("picked_cg", &pickedCg_, "CG selections");
+    stats().addScalar("picked_bicg", &pickedBicg_,
+                      "BiCG-STAB selections");
+}
+
+StructureDecision
+MatrixStructureUnit::analyze(const CsrMatrix<float> &a)
+{
+    StructureDecision dec;
+    // Symmetry tolerance: exact-ish compare in fp32.
+    dec.report = analyzeStructure(a, 1e-6f);
+    dec.solver = selectInitialSolver(dec.report);
+
+    // Dominance: one pass over nnz. Symmetry: transpose-style CSC
+    // build (2 passes over nnz) plus the array compare (1 pass).
+    const auto scan = hls_defaults::scanPipeline();
+    dec.analysisCycles = scan.cycles(a.nnz()) +     // dominance
+                         scan.cycles(2 * a.nnz()) + // CSC build
+                         scan.cycles(a.nnz());      // compare
+
+    analyses_.inc();
+    switch (dec.solver) {
+      case SolverKind::Jacobi:   pickedJb_.inc(); break;
+      case SolverKind::CG:       pickedCg_.inc(); break;
+      case SolverKind::BiCgStab: pickedBicg_.inc(); break;
+      default: break;
+    }
+    return dec;
+}
+
+} // namespace acamar

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Matrix Structure unit.
+ *
+ * The statically-programmed analyzer that inspects the coefficient
+ * matrix's diagonal dominance and symmetry (via CSR->CSC conversion
+ * and compare) and tells the host which solver to configure the
+ * Reconfigurable Solver with (Section IV-B).
+ */
+
+#ifndef ACAMAR_ACCEL_MATRIX_STRUCTURE_UNIT_HH
+#define ACAMAR_ACCEL_MATRIX_STRUCTURE_UNIT_HH
+
+#include "sim/sim_object.hh"
+#include "solvers/solver_select.hh"
+#include "sparse/csr.hh"
+#include "sparse/properties.hh"
+
+namespace acamar {
+
+/** What the unit reports to the host. */
+struct StructureDecision {
+    StructureReport report;   //!< full property analysis
+    SolverKind solver;        //!< initial fabric configuration
+    Cycles analysisCycles = 0; //!< time spent analyzing
+};
+
+/** Timed wrapper around the structure checks. */
+class MatrixStructureUnit : public SimObject
+{
+  public:
+    explicit MatrixStructureUnit(EventQueue *eq);
+
+    /**
+     * Analyze a matrix and pick the initial solver. The cycle cost
+     * models one scan over the nonzeros for the dominance check and
+     * a CSC conversion plus compare (~3 passes) for symmetry.
+     */
+    StructureDecision analyze(const CsrMatrix<float> &a);
+
+  private:
+    ScalarStat analyses_;
+    ScalarStat pickedJb_;
+    ScalarStat pickedCg_;
+    ScalarStat pickedBicg_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_MATRIX_STRUCTURE_UNIT_HH

@@ -1,0 +1,83 @@
+#include "accel/msid_chain.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+MsidChain::MsidChain(int stages, double tolerance)
+    : stages_(stages), tolerance_(tolerance)
+{
+    ACAMAR_ASSERT(stages >= 0, "stage count must be >= 0");
+    ACAMAR_ASSERT(tolerance >= 0.0, "tolerance must be >= 0");
+}
+
+std::vector<int>
+MsidChain::oneStage(const std::vector<int> &prev) const
+{
+    // Algorithm 4, lines 5-16 with j = 1: the first entry is copied;
+    // each set adopts the *previous stage's* predecessor factor when
+    // the normalized difference is within tolerance. Reading from
+    // the previous stage (not the in-progress one) is what makes
+    // each stage extend plateaus exactly one hop, so the
+    // reconfiguration rate keeps dropping with more stages (Fig. 5).
+    std::vector<int> next = prev;
+    for (size_t k = 1; k < prev.size(); ++k) {
+        ACAMAR_ASSERT(prev[k - 1] > 0, "unroll factors must be > 0");
+        const double diff =
+            std::abs(static_cast<double>(prev[k]) /
+                         static_cast<double>(prev[k - 1]) -
+                     1.0);
+        if (diff <= tolerance_)
+            next[k] = prev[k - 1];
+        else
+            next[k] = prev[k];
+    }
+    return next;
+}
+
+std::vector<int>
+MsidChain::apply(const std::vector<int> &tbuffer) const
+{
+    std::vector<int> cur = tbuffer;
+    for (int t = 0; t < stages_; ++t) {
+        std::vector<int> next = oneStage(cur);
+        if (next == cur)
+            break; // fixed point: further stages are no-ops
+        cur = std::move(next);
+    }
+    return cur;
+}
+
+std::vector<std::vector<int>>
+MsidChain::applyTraced(const std::vector<int> &tbuffer) const
+{
+    std::vector<std::vector<int>> stages;
+    stages.push_back(tbuffer);
+    for (int t = 0; t < stages_; ++t)
+        stages.push_back(oneStage(stages.back()));
+    return stages;
+}
+
+int
+MsidChain::reconfigEvents(const std::vector<int> &factors)
+{
+    int events = 0;
+    for (size_t k = 1; k < factors.size(); ++k) {
+        if (factors[k] != factors[k - 1])
+            ++events;
+    }
+    return events;
+}
+
+double
+MsidChain::reconfigRate(const std::vector<int> &factors)
+{
+    if (factors.size() <= 1)
+        return 0.0;
+    return static_cast<double>(reconfigEvents(factors)) /
+           static_cast<double>(factors.size());
+}
+
+} // namespace acamar

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Multi-Stage Iterative Decision chain (Algorithm 4 of the paper).
+ *
+ * Smooths the per-set unroll factors in tBuffer so the Dynamic SpMV
+ * Kernel is reconfigured fewer times: whenever two adjacent sets'
+ * factors differ by less than the tolerance, the later set adopts
+ * the earlier factor. Each stage extends plateaus one more hop;
+ * Figure 5 shows the reconfiguration rate flattening near 8 stages.
+ */
+
+#ifndef ACAMAR_ACCEL_MSID_CHAIN_HH
+#define ACAMAR_ACCEL_MSID_CHAIN_HH
+
+#include <vector>
+
+namespace acamar {
+
+/** Algorithm 4 with its per-stage trace kept for inspection. */
+class MsidChain
+{
+  public:
+    /**
+     * @param stages rOpt; 0 means the chain is bypassed.
+     * @param tolerance normalized-difference threshold.
+     */
+    MsidChain(int stages, double tolerance);
+
+    /** Run the chain over one tBuffer; returns the final stage. */
+    std::vector<int> apply(const std::vector<int> &tbuffer) const;
+
+    /** Run the chain keeping every stage (stage 0 = input). */
+    std::vector<std::vector<int>>
+    applyTraced(const std::vector<int> &tbuffer) const;
+
+    /**
+     * Number of reconfiguration events a factor sequence causes:
+     * one per adjacent pair that differs (the initial configuration
+     * is charged to programming, not reconfiguration).
+     */
+    static int reconfigEvents(const std::vector<int> &factors);
+
+    /** Events / sets, the paper's "reconfiguration rate". */
+    static double reconfigRate(const std::vector<int> &factors);
+
+    /** Configured number of stages. */
+    int stages() const { return stages_; }
+
+    /** Configured tolerance. */
+    double tolerance() const { return tolerance_; }
+
+  private:
+    int stages_;
+    double tolerance_;
+
+    std::vector<int> oneStage(const std::vector<int> &prev) const;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_MSID_CHAIN_HH

@@ -1,0 +1,131 @@
+#include "accel/overlap_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+double
+OverlapResult::hiddenFraction() const
+{
+    if (reconfigTicks == 0)
+        return 1.0;
+    const Tick exposed = std::min(stallTicks, reconfigTicks);
+    return 1.0 - static_cast<double>(exposed) /
+                     static_cast<double>(reconfigTicks);
+}
+
+ReconfigOverlapModel::ReconfigOverlapModel(
+    EventQueue *eq, const FpgaDevice &device,
+    const DynamicSpmvKernel *spmv)
+    : SimObject("acamar.overlap_model", eq), device_(device),
+      spmv_(spmv),
+      kernelClk_("kernel_clk",
+                 static_cast<uint64_t>(device.kernelClockHz))
+{
+    ACAMAR_ASSERT(spmv_, "overlap model needs the SpMV timing model");
+    stats().addScalar("passes_simulated", &passesSimulated_);
+}
+
+OverlapResult
+ReconfigOverlapModel::simulate(const CsrMatrix<float> &a,
+                               const ReconfigPlan &plan,
+                               ReconfigPolicy policy,
+                               int64_t bitstream_bits)
+{
+    ACAMAR_ASSERT(!plan.factors.empty(), "empty plan");
+    passesSimulated_.inc();
+
+    // Per-segment compute durations in ticks.
+    const int64_t rows = a.numRows();
+    std::vector<Tick> seg_ticks;
+    std::vector<int> seg_factor;
+    for (size_t s = 0; s < plan.factors.size(); ++s) {
+        const int64_t begin = static_cast<int64_t>(s) * plan.setSize;
+        if (begin >= rows)
+            break;
+        const int64_t end =
+            s + 1 == plan.factors.size()
+                ? rows
+                : std::min<int64_t>(begin + plan.setSize, rows);
+        const auto st =
+            spmv_->timeRows(a, begin, end, plan.factors[s]);
+        seg_ticks.push_back(kernelClk_.cyclesToTicks(st.cycles));
+        seg_factor.push_back(plan.factors[s]);
+    }
+    const auto num_segs = seg_factor.size();
+
+    const IcapModel icap(device_);
+    const Tick reconfig_ticks = icap.reconfigTicks(bitstream_bits);
+    const int slots = policy == ReconfigPolicy::Blocking ? 1 : 2;
+
+    // Simulation state driven entirely by queue events.
+    EventQueue &eq = *eventq();
+    eq.reset();
+
+    OverlapResult res;
+    std::vector<int> slot_factor(static_cast<size_t>(slots), -1);
+    std::vector<Tick> slot_free(static_cast<size_t>(slots), 0);
+    std::vector<Tick> slot_ready(static_cast<size_t>(slots), 0);
+    Tick icap_free = 0;
+    Tick compute_free = 0;
+
+    // The dependency chain is linear (segment order), so each
+    // segment schedules its successor's start decision; the event
+    // payloads mutate the shared state above. Slots alternate per
+    // *configuration run* (maximal stretch of equal factors), so a
+    // run of identical sets is loaded once, and the other slot
+    // preloads the next run's configuration meanwhile.
+    int64_t run = -1;
+    int prev_factor = -1;
+    for (size_t s = 0; s < num_segs; ++s) {
+        if (seg_factor[s] != prev_factor) {
+            ++run;
+            prev_factor = seg_factor[s];
+        }
+        const auto slot = static_cast<size_t>(run % slots);
+
+        // Issue an ICAP transfer if this slot holds the wrong
+        // configuration. It can start once the ICAP is free and the
+        // slot is no longer computing its previous segment. The
+        // resident-factor table advances with the schedule being
+        // built (list scheduling); the event marks the completion
+        // on the simulated timeline.
+        if (slot_factor[slot] != seg_factor[s]) {
+            const Tick start = std::max(icap_free, slot_free[slot]);
+            const Tick done = start + reconfig_ticks;
+            slot_factor[slot] = seg_factor[s];
+            eq.schedule(Event("reconfig",
+                              [&, slot, done] {
+                                  slot_ready[slot] = done;
+                              },
+                              Event::ReconfigPrio),
+                        done);
+            icap_free = done;
+            slot_ready[slot] = done;
+            res.reconfigTicks += reconfig_ticks;
+            ++res.reconfigs;
+        }
+
+        // Compute starts when the previous segment finished and the
+        // slot's configuration is resident.
+        const Tick start = std::max(compute_free, slot_ready[slot]);
+        const Tick done = start + seg_ticks[s];
+        eq.schedule(Event("compute",
+                          [&, slot, done] {
+                              slot_free[slot] = done;
+                          }),
+                    done);
+        compute_free = done;
+        slot_free[slot] = done;
+        res.computeTicks += seg_ticks[s];
+    }
+
+    eq.run();
+    res.totalTicks = std::max(eq.curTick(), compute_free);
+    res.stallTicks = res.totalTicks - res.computeTicks;
+    return res;
+}
+
+} // namespace acamar

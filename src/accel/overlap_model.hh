@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Event-driven model of DFX reconfiguration overlapping compute.
+ *
+ * The paper reports compute latency and treats reconfiguration as a
+ * budget (Figure 13). This model answers the follow-on question the
+ * paper leaves open: how much of the ICAP cost can a *double-
+ * buffered* nested region hide by loading the next set's SpMV
+ * configuration while the current set computes? It simulates one
+ * planned SpMV pass on the event queue under two policies:
+ *
+ *  - Blocking: one region; every factor change stalls compute for
+ *    the full ICAP transfer.
+ *  - DoubleBuffered: two region slots used alternately; the ICAP
+ *    loads slot (s+1) while slot (s) computes, and a slot whose
+ *    resident factor already matches needs no reload.
+ */
+
+#ifndef ACAMAR_ACCEL_OVERLAP_MODEL_HH
+#define ACAMAR_ACCEL_OVERLAP_MODEL_HH
+
+#include <vector>
+
+#include "accel/dynamic_spmv.hh"
+#include "accel/fine_grained_reconfig.hh"
+#include "fpga/icap.hh"
+#include "sim/clock_domain.hh"
+#include "sim/sim_object.hh"
+
+namespace acamar {
+
+/** Reconfiguration scheduling policy. */
+enum class ReconfigPolicy {
+    Blocking,       //!< single region, stalls on every swap
+    DoubleBuffered, //!< two regions, ICAP runs behind compute
+};
+
+/** Outcome of one simulated pass. */
+struct OverlapResult {
+    Tick totalTicks = 0;     //!< pass makespan
+    Tick computeTicks = 0;   //!< sum of segment compute times
+    Tick reconfigTicks = 0;  //!< total ICAP transfer time issued
+    Tick stallTicks = 0;     //!< makespan - compute (exposed cost)
+    int reconfigs = 0;       //!< ICAP transfers actually issued
+
+    /** Fraction of issued ICAP time hidden behind compute. */
+    double hiddenFraction() const;
+};
+
+/** Simulates one planned SpMV pass under a reconfig policy. */
+class ReconfigOverlapModel : public SimObject
+{
+  public:
+    /**
+     * @param eq event queue to simulate on (reset per run).
+     * @param device card model (kernel clock + ICAP rate).
+     * @param spmv timing model for per-set compute.
+     */
+    ReconfigOverlapModel(EventQueue *eq, const FpgaDevice &device,
+                         const DynamicSpmvKernel *spmv);
+
+    /**
+     * Simulate one pass of `a` under `plan` with the policy.
+     * The event queue is reset; its final tick is the makespan.
+     */
+    OverlapResult simulate(const CsrMatrix<float> &a,
+                           const ReconfigPlan &plan,
+                           ReconfigPolicy policy,
+                           int64_t bitstream_bits);
+
+  private:
+    FpgaDevice device_;
+    const DynamicSpmvKernel *spmv_;
+    ClockDomain kernelClk_;
+
+    ScalarStat passesSimulated_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_OVERLAP_MODEL_HH

@@ -1,0 +1,49 @@
+#include "accel/reconfig_controller.hh"
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+ReconfigController::ReconfigController(EventQueue *eq,
+                                       const ResourceModel &res,
+                                       int max_unroll)
+    : SimObject("acamar.reconfig_controller", eq)
+{
+    ACAMAR_ASSERT(max_unroll >= 1, "bad max unroll");
+    const IcapModel icap(res.device());
+
+    // Inner (Nested DFX) region: sized for the largest SpMV unit.
+    const KernelResources spmv_region =
+        BitstreamModel::regionFor(res.spmvUnit(max_unroll));
+    spmvBits_ = BitstreamModel::partialBitstreamBits(spmv_region);
+    spmvSeconds_ = icap.reconfigSeconds(spmvBits_);
+    spmvCycles_ = icap.reconfigKernelCycles(spmvBits_);
+
+    // Outer region: solver datapath = dense units + SpMV region.
+    const KernelResources solver_region = BitstreamModel::regionFor(
+        res.denseUnits() + res.spmvUnit(max_unroll));
+    const int64_t solver_bits =
+        BitstreamModel::partialBitstreamBits(solver_region);
+    solverSeconds_ = icap.reconfigSeconds(solver_bits);
+    solverCycles_ = icap.reconfigKernelCycles(solver_bits);
+
+    stats().addScalar("spmv_reconfigs", &spmvEvents_,
+                      "SpMV-region DFX events");
+    stats().addScalar("solver_reconfigs", &solverEvents_,
+                      "solver-region DFX events");
+}
+
+void
+ReconfigController::chargeSpmvReconfigs(int64_t n)
+{
+    ACAMAR_ASSERT(n >= 0, "negative event count");
+    spmvEvents_.add(static_cast<double>(n));
+}
+
+void
+ReconfigController::chargeSolverReconfig()
+{
+    solverEvents_.inc();
+}
+
+} // namespace acamar

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reconfiguration controller: the host-side agent that pushes
+ * partial bitstreams through ICAP when the Dynamic SpMV Kernel's
+ * unroll factor changes or the Reconfigurable Solver is swapped.
+ */
+
+#ifndef ACAMAR_ACCEL_RECONFIG_CONTROLLER_HH
+#define ACAMAR_ACCEL_RECONFIG_CONTROLLER_HH
+
+#include "fpga/bitstream.hh"
+#include "fpga/icap.hh"
+#include "fpga/resource_model.hh"
+#include "sim/sim_object.hh"
+#include "solvers/solver.hh"
+
+namespace acamar {
+
+/** Timed DFX operations (Nested DFX per Section VIII-A). */
+class ReconfigController : public SimObject
+{
+  public:
+    /**
+     * @param eq shared event queue.
+     * @param res resource model sizing the DFX regions.
+     * @param max_unroll largest SpMV configuration the inner region
+     *        must host (sizes the region and its bitstream).
+     */
+    ReconfigController(EventQueue *eq, const ResourceModel &res,
+                       int max_unroll);
+
+    /** Cycles (kernel clock) to reconfigure the SpMV region. */
+    Cycles spmvReconfigCycles() const { return spmvCycles_; }
+
+    /** Seconds to reconfigure the SpMV region. */
+    double spmvReconfigSeconds() const { return spmvSeconds_; }
+
+    /** Cycles to swap the whole Reconfigurable Solver region. */
+    Cycles solverReconfigCycles() const { return solverCycles_; }
+
+    /** Seconds to swap the whole solver region. */
+    double solverReconfigSeconds() const { return solverSeconds_; }
+
+    /** Record `n` SpMV-region reconfiguration events. */
+    void chargeSpmvReconfigs(int64_t n);
+
+    /** Record one solver-region swap. */
+    void chargeSolverReconfig();
+
+    /** Total events charged so far. */
+    int64_t spmvReconfigs() const
+    {
+        return static_cast<int64_t>(spmvEvents_.value());
+    }
+
+    /** Total solver swaps charged so far. */
+    int64_t solverReconfigs() const
+    {
+        return static_cast<int64_t>(solverEvents_.value());
+    }
+
+    /** Partial bitstream size of the SpMV region, in bits. */
+    int64_t spmvBitstreamBits() const { return spmvBits_; }
+
+  private:
+    Cycles spmvCycles_;
+    double spmvSeconds_;
+    Cycles solverCycles_;
+    double solverSeconds_;
+    int64_t spmvBits_;
+
+    ScalarStat spmvEvents_;
+    ScalarStat solverEvents_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_RECONFIG_CONTROLLER_HH

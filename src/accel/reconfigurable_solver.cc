@@ -1,0 +1,85 @@
+#include "accel/reconfigurable_solver.hh"
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+TimingBreakdown &
+TimingBreakdown::operator+=(const TimingBreakdown &o)
+{
+    initCycles += o.initCycles;
+    spmvCycles += o.spmvCycles;
+    denseCycles += o.denseCycles;
+    reconfigCycles += o.reconfigCycles;
+    iterations += o.iterations;
+    spmvUsefulMacs += o.spmvUsefulMacs;
+    spmvOfferedMacs += o.spmvOfferedMacs;
+    reconfigEvents += o.reconfigEvents;
+    return *this;
+}
+
+ReconfigurableSolver::ReconfigurableSolver(EventQueue *eq,
+                                           const AcamarConfig &cfg,
+                                           DynamicSpmvKernel *spmv,
+                                           DenseKernelModel *dense,
+                                           ReconfigController *reconfig)
+    : SimObject("acamar.solver", eq), cfg_(cfg), spmv_(spmv),
+      dense_(dense), reconfig_(reconfig)
+{
+    ACAMAR_ASSERT(spmv && dense && reconfig,
+                  "ReconfigurableSolver needs its kernel models");
+    stats().addScalar("runs", &runs_, "solver configurations run");
+    stats().addScalar("converged", &converged_, "runs that converged");
+    stats().addScalar("diverged", &diverged_,
+                      "runs that diverged / broke down / stalled");
+}
+
+TimedSolve
+ReconfigurableSolver::run(const CsrMatrix<float> &a,
+                          const std::vector<float> &b, SolverKind kind,
+                          const ReconfigPlan &plan, Cycles init_cycles)
+{
+    runs_.inc();
+    TimedSolve ts;
+    ts.kind = kind;
+
+    const auto solver = makeSolver(kind);
+    ts.result = solver->solve(a, b, {}, cfg_.criteria);
+
+    const KernelProfile prof = solver->iterationProfile();
+    const auto iters =
+        static_cast<Cycles>(std::max(ts.result.iterations, 1));
+
+    // SpMV: `prof.spmvs` planned passes per iteration.
+    const SpmvRunStats pass = spmv_->timePlanned(a, plan);
+    const auto passes =
+        static_cast<int64_t>(prof.spmvs) *
+        static_cast<int64_t>(iters);
+    ts.timing.spmvCycles =
+        pass.cycles * static_cast<Cycles>(passes);
+    ts.timing.spmvUsefulMacs = pass.usefulMacs * passes;
+    ts.timing.spmvOfferedMacs = pass.offeredMacs * passes;
+
+    // Dense kernels: static units, fixed shape per iteration.
+    ts.timing.denseCycles =
+        dense_->iterationDenseCycles(prof, a.numRows()) * iters;
+
+    ts.timing.initCycles = init_cycles;
+    ts.timing.iterations = ts.result.iterations;
+
+    // Each planned pass replays the plan's DFX events.
+    ts.timing.reconfigEvents =
+        static_cast<int64_t>(plan.reconfigEvents) * passes;
+    reconfig_->chargeSpmvReconfigs(ts.timing.reconfigEvents);
+    ts.timing.reconfigCycles =
+        reconfig_->spmvReconfigCycles() *
+        static_cast<Cycles>(ts.timing.reconfigEvents);
+
+    if (ts.result.ok())
+        converged_.inc();
+    else
+        diverged_.inc();
+    return ts;
+}
+
+} // namespace acamar

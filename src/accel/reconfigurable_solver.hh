@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reconfigurable Solver unit: one fabric configuration executing a
+ * solver loop, with the Dynamic SpMV Kernel timed per the current
+ * reconfiguration plan and dense kernels timed as static units.
+ */
+
+#ifndef ACAMAR_ACCEL_RECONFIGURABLE_SOLVER_HH
+#define ACAMAR_ACCEL_RECONFIGURABLE_SOLVER_HH
+
+#include <vector>
+
+#include "accel/acamar_config.hh"
+#include "accel/dense_kernels.hh"
+#include "accel/dynamic_spmv.hh"
+#include "accel/reconfig_controller.hh"
+#include "sim/sim_object.hh"
+#include "solvers/solver.hh"
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/** Cycle accounting of one solver run on the fabric. */
+struct TimingBreakdown {
+    Cycles initCycles = 0;     //!< Initialize-unit time
+    Cycles spmvCycles = 0;     //!< Dynamic SpMV Kernel time
+    Cycles denseCycles = 0;    //!< static dense kernels time
+    Cycles reconfigCycles = 0; //!< modeled ICAP time (if charged)
+    int iterations = 0;        //!< solver loop trips
+    int64_t spmvUsefulMacs = 0;  //!< across all iterations
+    int64_t spmvOfferedMacs = 0; //!< across all iterations
+    int64_t reconfigEvents = 0;  //!< SpMV DFX events (all passes)
+
+    /** Loop compute time (paper's latency metric). */
+    Cycles
+    computeCycles() const
+    {
+        return initCycles + spmvCycles + denseCycles;
+    }
+
+    /** Loop time including the modeled reconfiguration cost. */
+    Cycles
+    totalCycles(bool charge_reconfig) const
+    {
+        return computeCycles() +
+               (charge_reconfig ? reconfigCycles : 0);
+    }
+
+    TimingBreakdown &operator+=(const TimingBreakdown &o);
+};
+
+/** One solve attempt: functional result plus its timing. */
+struct TimedSolve {
+    SolverKind kind = SolverKind::Jacobi;
+    SolveResult result;
+    TimingBreakdown timing;
+};
+
+/** The configured solver datapath. */
+class ReconfigurableSolver : public SimObject
+{
+  public:
+    ReconfigurableSolver(EventQueue *eq, const AcamarConfig &cfg,
+                         DynamicSpmvKernel *spmv,
+                         DenseKernelModel *dense,
+                         ReconfigController *reconfig);
+
+    /**
+     * Run one solver to convergence/divergence with the SpMV unit
+     * following `plan`. The functional answer comes from the
+     * solvers/ library; the timing replays its kernel profile
+     * against the hardware models.
+     *
+     * @param init_cycles Initialize-unit cost to fold into timing.
+     */
+    TimedSolve run(const CsrMatrix<float> &a,
+                   const std::vector<float> &b, SolverKind kind,
+                   const ReconfigPlan &plan, Cycles init_cycles);
+
+  private:
+    AcamarConfig cfg_;
+    DynamicSpmvKernel *spmv_;
+    DenseKernelModel *dense_;
+    ReconfigController *reconfig_;
+
+    ScalarStat runs_;
+    ScalarStat converged_;
+    ScalarStat diverged_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_RECONFIGURABLE_SOLVER_HH

@@ -1,0 +1,51 @@
+#include "accel/report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace acamar {
+
+std::string
+attemptSummary(const TimedSolve &attempt)
+{
+    std::ostringstream os;
+    os << to_string(attempt.kind) << ": "
+       << to_string(attempt.result.status) << " in "
+       << attempt.result.iterations << " iterations (rel residual "
+       << std::scientific << std::setprecision(2)
+       << attempt.result.relativeResidual << ")";
+    return os.str();
+}
+
+void
+printRunReport(std::ostream &os, const AcamarRunReport &rep,
+               double clock_hz)
+{
+    os << "matrix: " << rep.structure.report.describe() << '\n';
+    os << "initial solver: " << to_string(rep.structure.solver)
+       << '\n';
+    os << "plan: " << rep.plan.factors.size() << " sets of "
+       << rep.plan.setSize << " rows, " << rep.plan.reconfigEvents
+       << " reconfig events/pass (raw " << rep.plan.reconfigEventsRaw
+       << ")\n";
+    for (const auto &attempt : rep.attempts)
+        os << "  attempt " << attemptSummary(attempt) << '\n';
+    os << "outcome: " << (rep.converged ? "converged" : "FAILED")
+       << " with " << to_string(rep.finalSolver) << '\n';
+
+    const Cycles lat = rep.latencyCycles(false);
+    os << "compute latency: " << lat << " cycles ("
+       << std::scientific << std::setprecision(3)
+       << cyclesToSeconds(lat, clock_hz) << " s)\n";
+    os << std::fixed << std::setprecision(1);
+    os << "SpMV underutilization (Eq.5): " << 100.0 * rep.paperRu
+       << "%  occupancy-idle: " << 100.0 * rep.occupancyRu << "%\n";
+}
+
+double
+cyclesToSeconds(Cycles c, double clock_hz)
+{
+    return static_cast<double>(c) / clock_hz;
+}
+
+} // namespace acamar

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Human-readable rendering of Acamar run reports.
+ */
+
+#ifndef ACAMAR_ACCEL_REPORT_HH
+#define ACAMAR_ACCEL_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "accel/acamar.hh"
+
+namespace acamar {
+
+/** One-line summary of a solve attempt ("CG: converged in 42 it"). */
+std::string attemptSummary(const TimedSolve &attempt);
+
+/** Multi-line report: structure, plan, attempts, timing, metrics. */
+void printRunReport(std::ostream &os, const AcamarRunReport &rep,
+                    double clock_hz);
+
+/** Latency in seconds for a cycle count at a clock. */
+double cyclesToSeconds(Cycles c, double clock_hz);
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_REPORT_HH

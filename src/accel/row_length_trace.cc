@@ -1,0 +1,65 @@
+#include "accel/row_length_trace.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+RowLengthTrace::RowLengthTrace(int sampling_rate, int chunk_rows,
+                               int max_unroll)
+    : samplingRate_(sampling_rate), chunkRows_(chunk_rows),
+      maxUnroll_(max_unroll)
+{
+    ACAMAR_ASSERT(sampling_rate >= 1, "sampling rate must be >= 1");
+    ACAMAR_ASSERT(chunk_rows >= 1, "chunk rows must be >= 1");
+    ACAMAR_ASSERT(max_unroll >= 1, "max unroll must be >= 1");
+}
+
+int64_t
+RowLengthTrace::setSizeFor(int64_t rows) const
+{
+    const int64_t chunk = std::min<int64_t>(rows, chunkRows_);
+    // Eq. 8: set size = rows-per-chunk / sampling rate.
+    return std::max<int64_t>(1, chunk / samplingRate_);
+}
+
+template <typename T>
+RowLengthTraceResult
+RowLengthTrace::compute(const CsrMatrix<T> &a) const
+{
+    RowLengthTraceResult res;
+    const int64_t rows = a.numRows();
+    if (rows == 0)
+        return res;
+
+    res.setSize = setSizeFor(rows);
+    const auto num_sets =
+        static_cast<size_t>((rows + res.setSize - 1) / res.setSize);
+    res.avgNnz.resize(num_sets, 0.0);
+    res.unrollFactors.resize(num_sets, 1);
+
+    for (size_t s = 0; s < num_sets; ++s) {
+        const int64_t begin = static_cast<int64_t>(s) * res.setSize;
+        const int64_t end = std::min<int64_t>(begin + res.setSize,
+                                              rows);
+        int64_t nnz = 0;
+        for (int64_t r = begin; r < end; ++r)
+            nnz += a.rowNnz(static_cast<int32_t>(r));
+        // Eq. 7: optimal unroll factor = mean NNZ/row of the set.
+        res.avgNnz[s] = static_cast<double>(nnz) /
+                        static_cast<double>(end - begin);
+        const int rounded =
+            static_cast<int>(std::lround(res.avgNnz[s]));
+        res.unrollFactors[s] = std::clamp(rounded, 1, maxUnroll_);
+    }
+    return res;
+}
+
+template RowLengthTraceResult
+RowLengthTrace::compute<float>(const CsrMatrix<float> &) const;
+template RowLengthTraceResult
+RowLengthTrace::compute<double>(const CsrMatrix<double> &) const;
+
+} // namespace acamar

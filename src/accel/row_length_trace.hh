@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Row Length Trace unit (part of Fine-Grained Reconfiguration).
+ *
+ * Reads the CSR row offsets, averages NNZ/row over each set of rows
+ * (Eq. 7/8 of the paper) and writes the resulting optimal unroll
+ * factors into tBuffer, which the MSID chain then smooths.
+ */
+
+#ifndef ACAMAR_ACCEL_ROW_LENGTH_TRACE_HH
+#define ACAMAR_ACCEL_ROW_LENGTH_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/** Per-set trace of a matrix's row lengths. */
+struct RowLengthTraceResult {
+    int64_t setSize = 0;            //!< rows per set (Eq. 8)
+    std::vector<double> avgNnz;     //!< mean NNZ/row per set (Eq. 7)
+    std::vector<int> unrollFactors; //!< rounded optimal factors
+};
+
+/** Computes the tBuffer contents for one matrix. */
+class RowLengthTrace
+{
+  public:
+    /**
+     * @param sampling_rate number of sets per chunk (paper Eq. 9).
+     * @param chunk_rows rows per chunk; set size is derived from
+     *        the chunk so that a 4096-row chunk at rate 32 yields
+     *        128-row sets regardless of total matrix size.
+     * @param max_unroll clamp for the rounded factors.
+     */
+    RowLengthTrace(int sampling_rate, int chunk_rows, int max_unroll);
+
+    /** Trace one matrix. */
+    template <typename T>
+    RowLengthTraceResult compute(const CsrMatrix<T> &a) const;
+
+    /** Rows per set for a matrix with `rows` rows. */
+    int64_t setSizeFor(int64_t rows) const;
+
+  private:
+    int samplingRate_;
+    int chunkRows_;
+    int maxUnroll_;
+};
+
+extern template RowLengthTraceResult
+RowLengthTrace::compute<float>(const CsrMatrix<float> &) const;
+extern template RowLengthTraceResult
+RowLengthTrace::compute<double>(const CsrMatrix<double> &) const;
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_ROW_LENGTH_TRACE_HH

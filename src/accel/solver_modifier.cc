@@ -1,0 +1,41 @@
+#include "accel/solver_modifier.hh"
+
+namespace acamar {
+
+SolverModifier::SolverModifier(EventQueue *eq, bool extended)
+    : SimObject("acamar.solver_modifier", eq), extended_(extended),
+      policy_(extended)
+{
+    stats().addScalar("switches", &switches_,
+                      "solver reconfigurations triggered");
+    stats().addScalar("exhausted", &exhausted_,
+                      "problems where every solver failed");
+}
+
+void
+SolverModifier::markTried(SolverKind k)
+{
+    policy_.markTried(k);
+}
+
+std::optional<SolverKind>
+SolverModifier::onDivergence()
+{
+    const auto next = policy_.nextUntried();
+    if (next) {
+        switches_.inc();
+    } else {
+        exhausted_.inc();
+    }
+    return next;
+}
+
+void
+SolverModifier::reset()
+{
+    policy_ = SolverModifierPolicy(extended_);
+    // Keep cumulative stats across problems; SimObject::reset()
+    // would clear them, which benches do explicitly when needed.
+}
+
+} // namespace acamar

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Solver Modifier unit.
+ *
+ * When the Reconfigurable Solver reports divergence, this unit picks
+ * the next solver whose bit is still low in its tried-register and
+ * triggers the host to reconfigure the fabric and the Initialize
+ * unit to reset (Section IV-B).
+ */
+
+#ifndef ACAMAR_ACCEL_SOLVER_MODIFIER_HH
+#define ACAMAR_ACCEL_SOLVER_MODIFIER_HH
+
+#include <optional>
+
+#include "sim/sim_object.hh"
+#include "solvers/solver_select.hh"
+
+namespace acamar {
+
+/** Timed wrapper around SolverModifierPolicy. */
+class SolverModifier : public SimObject
+{
+  public:
+    /**
+     * @param eq shared event queue.
+     * @param extended continue past the three fabric solvers.
+     */
+    SolverModifier(EventQueue *eq, bool extended);
+
+    /** Note that a solver has been loaded onto the fabric. */
+    void markTried(SolverKind k);
+
+    /** Next configuration after a divergence; nullopt = exhausted. */
+    std::optional<SolverKind> onDivergence();
+
+    /** Solver switches performed so far. */
+    int64_t switches() const
+    {
+        return static_cast<int64_t>(switches_.value());
+    }
+
+    /** Reset the tried-register for a new problem. */
+    void reset() override;
+
+  private:
+    bool extended_;
+    SolverModifierPolicy policy_;
+
+    ScalarStat switches_;
+    ScalarStat exhausted_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_SOLVER_MODIFIER_HH

@@ -1,0 +1,71 @@
+#include "accel/static_design.hh"
+
+#include "common/logging.hh"
+#include "metrics/underutilization.hh"
+
+namespace acamar {
+
+StaticDesign::StaticDesign(const FpgaDevice &device, int urb,
+                           const ConvergenceCriteria &criteria)
+    : device_(device), urb_(urb), criteria_(criteria), eq_(),
+      res_(device), mem_(device), spmv_(&eq_, mem_),
+      dense_(&eq_, mem_)
+{
+    ACAMAR_ASSERT(urb >= 1, "SpMV_URB must be >= 1");
+}
+
+TimedSolve
+StaticDesign::run(const CsrMatrix<float> &a,
+                  const std::vector<float> &b, SolverKind kind)
+{
+    TimedSolve ts;
+    ts.kind = kind;
+
+    const auto solver = makeSolver(kind);
+    ts.result = solver->solve(a, b, {}, criteria_);
+
+    const KernelProfile prof = solver->iterationProfile();
+    const auto iters =
+        static_cast<Cycles>(std::max(ts.result.iterations, 1));
+
+    const SpmvRunStats pass = spmv_.timeRows(a, 0, a.numRows(), urb_);
+    const auto passes = static_cast<int64_t>(prof.spmvs) *
+                        static_cast<int64_t>(iters);
+    ts.timing.spmvCycles = pass.cycles * static_cast<Cycles>(passes);
+    ts.timing.spmvUsefulMacs = pass.usefulMacs * passes;
+    ts.timing.spmvOfferedMacs = pass.offeredMacs * passes;
+    ts.timing.denseCycles =
+        dense_.iterationDenseCycles(prof, a.numRows()) * iters;
+
+    // Initialize phase at the same fixed factor.
+    const KernelProfile setup = solver->setupProfile();
+    Cycles init = 0;
+    if (setup.spmvs > 0)
+        init += static_cast<Cycles>(setup.spmvs) * pass.cycles;
+    init += dense_.iterationDenseCycles(
+        {.spmvs = 0, .dots = setup.dots, .axpys = setup.axpys},
+        a.numRows());
+    ts.timing.initCycles = init;
+    ts.timing.iterations = ts.result.iterations;
+    return ts;
+}
+
+SpmvRunStats
+StaticDesign::spmvPass(const CsrMatrix<float> &a) const
+{
+    return spmv_.timeRows(a, 0, a.numRows(), urb_);
+}
+
+double
+StaticDesign::paperRu(const CsrMatrix<float> &a) const
+{
+    return meanUnderutilization(a, urb_);
+}
+
+double
+StaticDesign::areaMm2() const
+{
+    return res_.areaMm2(res_.spmvUnit(urb_) + res_.denseUnits());
+}
+
+} // namespace acamar

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Static baseline design (Section V-E).
+ *
+ * The paper's baseline has the same optimized static units as Acamar
+ * but a fixed solver and a fixed SpMV unroll factor (SpMV_URB); no
+ * structure analysis, no fine-grained reconfiguration, no solver
+ * fallback. If its solver diverges, it simply fails.
+ */
+
+#ifndef ACAMAR_ACCEL_STATIC_DESIGN_HH
+#define ACAMAR_ACCEL_STATIC_DESIGN_HH
+
+#include <vector>
+
+#include "accel/acamar_config.hh"
+#include "accel/dense_kernels.hh"
+#include "accel/dynamic_spmv.hh"
+#include "accel/reconfigurable_solver.hh"
+#include "fpga/device.hh"
+#include "fpga/resource_model.hh"
+
+namespace acamar {
+
+/** Fixed-configuration accelerator model. */
+class StaticDesign
+{
+  public:
+    /**
+     * @param device FPGA card model.
+     * @param urb the fixed SpMV unroll factor (SpMV_URB).
+     * @param criteria convergence thresholds (same as Acamar's).
+     */
+    StaticDesign(const FpgaDevice &device, int urb,
+                 const ConvergenceCriteria &criteria);
+
+    /** Run one solver; no fallback on divergence. */
+    TimedSolve run(const CsrMatrix<float> &a,
+                   const std::vector<float> &b, SolverKind kind);
+
+    /** Time one SpMV pass at the fixed factor. */
+    SpmvRunStats spmvPass(const CsrMatrix<float> &a) const;
+
+    /** The paper-Eq.5 mean underutilization at the fixed factor. */
+    double paperRu(const CsrMatrix<float> &a) const;
+
+    /** Fabric area of this design (solver + dense + SpMV@URB). */
+    double areaMm2() const;
+
+    /** The fixed unroll factor. */
+    int urb() const { return urb_; }
+
+    /** Kernel clock in Hz (for absolute throughput). */
+    double clockHz() const { return device_.kernelClockHz; }
+
+  private:
+    FpgaDevice device_;
+    int urb_;
+    ConvergenceCriteria criteria_;
+    EventQueue eq_;
+    ResourceModel res_;
+    MemoryModel mem_;
+    DynamicSpmvKernel spmv_;
+    DenseKernelModel dense_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_ACCEL_STATIC_DESIGN_HH

@@ -1,0 +1,73 @@
+#include "common/config.hh"
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace acamar {
+
+Config
+Config::fromArgs(int argc, char **argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!startsWith(arg, "--"))
+            ACAMAR_FATAL("unexpected argument '", arg,
+                         "', expected --key=value");
+        const size_t eq = arg.find('=');
+        if (eq == std::string::npos)
+            ACAMAR_FATAL("argument '", arg, "' is missing '=value'");
+        cfg.set(arg.substr(2, eq - 2), arg.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+long long
+Config::getInt(const std::string &key, long long def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : parseInt(it->second);
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? def : parseDouble(it->second);
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string v = toLower(it->second);
+    if (v == "1" || v == "true" || v == "yes")
+        return true;
+    if (v == "0" || v == "false" || v == "no")
+        return false;
+    ACAMAR_FATAL("bad boolean value '", it->second, "' for key '", key,
+                 "'");
+}
+
+} // namespace acamar

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Typed key/value configuration with command-line override parsing.
+ *
+ * Bench binaries accept "--key=value" overrides so sweeps can be
+ * scripted without recompiling; the examples use it for scenario
+ * parameters.
+ */
+
+#ifndef ACAMAR_COMMON_CONFIG_HH
+#define ACAMAR_COMMON_CONFIG_HH
+
+#include <map>
+#include <string>
+
+namespace acamar {
+
+/** A flat string->string map with typed getters and defaults. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse "--key=value" arguments; unknown args are fatal. */
+    static Config fromArgs(int argc, char **argv);
+
+    /** Set (or overwrite) a key. */
+    void set(const std::string &key, const std::string &value);
+
+    /** True when the key exists. */
+    bool has(const std::string &key) const;
+
+    /** String value or default. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+
+    /** Integer value or default; fatal when malformed. */
+    long long getInt(const std::string &key, long long def) const;
+
+    /** Double value or default; fatal when malformed. */
+    double getDouble(const std::string &key, double def) const;
+
+    /** Bool value or default; accepts 0/1/true/false. */
+    bool getBool(const std::string &key, bool def) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_COMMON_CONFIG_HH

@@ -1,0 +1,49 @@
+#include "common/logging.hh"
+
+#include <stdexcept>
+
+namespace acamar {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel lvl, const std::string &msg)
+{
+    if (lvl < threshold_)
+        return;
+
+    const char *tag = "info";
+    switch (lvl) {
+      case LogLevel::Debug: tag = "debug"; break;
+      case LogLevel::Info:  tag = "info";  break;
+      case LogLevel::Warn:  tag = "warn";  break;
+      case LogLevel::Error: tag = "error"; break;
+    }
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+namespace detail {
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    // Throwing (rather than exit()) keeps fatal paths testable; the
+    // top-level binaries let it escape and terminate with an error.
+    throw std::runtime_error(concat("fatal: ", msg, " (", file, ":",
+                                    line, ")"));
+}
+
+} // namespace detail
+} // namespace acamar

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in this library), fatal() is for user errors that
+ * make continuing impossible, warn()/inform() report conditions that
+ * do not stop execution.
+ */
+
+#ifndef ACAMAR_COMMON_LOGGING_HH
+#define ACAMAR_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace acamar {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Minimal global logger. Messages below the threshold are dropped.
+ * Output goes to stderr so bench tables on stdout stay clean.
+ */
+class Logger
+{
+  public:
+    /** Access the process-wide logger instance. */
+    static Logger &instance();
+
+    /** Set the minimum level that will be printed. */
+    void setThreshold(LogLevel lvl) { threshold_ = lvl; }
+
+    /** Current minimum printed level. */
+    LogLevel threshold() const { return threshold_; }
+
+    /** Print one message at the given level. */
+    void log(LogLevel lvl, const std::string &msg);
+
+  private:
+    Logger() = default;
+
+    LogLevel threshold_ = LogLevel::Info;
+};
+
+namespace detail {
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+} // namespace detail
+
+/** Report an informational message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    Logger::instance().log(LogLevel::Info,
+                           detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    Logger::instance().log(LogLevel::Warn,
+                           detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort because an internal invariant was violated (a library bug).
+ * Never returns.
+ */
+#define ACAMAR_PANIC(...)                                                  \
+    ::acamar::detail::panicImpl(__FILE__, __LINE__,                        \
+                                ::acamar::detail::concat(__VA_ARGS__))
+
+/**
+ * Exit because the caller supplied input the library cannot work with.
+ * Never returns.
+ */
+#define ACAMAR_FATAL(...)                                                  \
+    ::acamar::detail::fatalImpl(__FILE__, __LINE__,                        \
+                                ::acamar::detail::concat(__VA_ARGS__))
+
+/** Panic when a condition that must hold does not. */
+#define ACAMAR_ASSERT(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ACAMAR_PANIC("assertion failed: " #cond " ", __VA_ARGS__);     \
+        }                                                                  \
+    } while (0)
+
+} // namespace acamar
+
+#endif // ACAMAR_COMMON_LOGGING_HH

@@ -1,0 +1,114 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace acamar {
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    for (auto &s : s_)
+        s = splitmix64(seed);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    ACAMAR_ASSERT(lo <= hi, "bad uniformInt range");
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(next() % span);
+}
+
+double
+Rng::normal()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 1e-300) {
+        u1 = uniform();
+    }
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    haveSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double sigma)
+{
+    return mean + sigma * normal();
+}
+
+int64_t
+Rng::powerLaw(double alpha, int64_t cap)
+{
+    ACAMAR_ASSERT(cap >= 1, "powerLaw cap must be >= 1");
+    // Inverse-CDF sampling of a continuous power law, clamped.
+    const double u = uniform();
+    const double x = std::pow(1.0 - u, -1.0 / (alpha - 1.0));
+    const int64_t k = static_cast<int64_t>(x);
+    return std::min<int64_t>(std::max<int64_t>(k, 1), cap);
+}
+
+void
+Rng::shuffle(std::vector<int> &v)
+{
+    for (size_t i = v.size(); i > 1; --i) {
+        const size_t j = static_cast<size_t>(uniformInt(0, i - 1));
+        std::swap(v[i - 1], v[j]);
+    }
+}
+
+} // namespace acamar

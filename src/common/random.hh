@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic parts of the library (matrix generators, workload
+ * synthesis) draw from this xoshiro256** implementation so that runs
+ * are reproducible across platforms and standard-library versions
+ * (std::mt19937 distributions are not portable across vendors).
+ */
+
+#ifndef ACAMAR_COMMON_RANDOM_HH
+#define ACAMAR_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace acamar {
+
+/**
+ * xoshiro256** 1.0 generator (Blackman & Vigna), with convenience
+ * draws for the distributions the generators need.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit draw. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Standard normal draw (Box-Muller, deterministic). */
+    double normal();
+
+    /** Normal draw with the given mean and standard deviation. */
+    double normal(double mean, double sigma);
+
+    /**
+     * Geometric-ish power-law integer in [1, cap]: P(k) ~ k^-alpha.
+     * Used by the circuit/graph matrix generators for degree draws.
+     */
+    int64_t powerLaw(double alpha, int64_t cap);
+
+    /** Fisher-Yates shuffle of an index vector. */
+    void shuffle(std::vector<int> &v);
+
+    /** True with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_COMMON_RANDOM_HH

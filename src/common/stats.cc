@@ -1,0 +1,122 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+void
+AverageStat::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void
+AverageStat::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+DistStat::DistStat(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), buckets_(static_cast<size_t>(buckets), 0)
+{
+    ACAMAR_ASSERT(hi > lo && buckets > 0, "bad DistStat range");
+}
+
+void
+DistStat::sample(double v)
+{
+    ++count_;
+    if (v < lo_) {
+        ++under_;
+    } else if (v >= hi_) {
+        ++over_;
+    } else {
+        const double frac = (v - lo_) / (hi_ - lo_);
+        auto idx = static_cast<size_t>(frac * buckets_.size());
+        idx = std::min(idx, buckets_.size() - 1);
+        ++buckets_[idx];
+    }
+}
+
+void
+DistStat::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    under_ = over_ = count_ = 0;
+}
+
+void
+StatGroup::addScalar(const std::string &name, ScalarStat *s,
+                     const std::string &desc)
+{
+    ACAMAR_ASSERT(s, "null scalar stat");
+    Entry e;
+    e.desc = desc;
+    e.scalar = s;
+    entries_[name] = e;
+}
+
+void
+StatGroup::addAverage(const std::string &name, AverageStat *s,
+                      const std::string &desc)
+{
+    ACAMAR_ASSERT(s, "null average stat");
+    Entry e;
+    e.desc = desc;
+    e.average = s;
+    entries_[name] = e;
+}
+
+const ScalarStat *
+StatGroup::scalar(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.scalar;
+}
+
+const AverageStat *
+StatGroup::average(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.average;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, e] : entries_) {
+        os << name_ << '.' << name << ' ';
+        if (e.scalar) {
+            os << e.scalar->value();
+        } else if (e.average) {
+            os << e.average->mean() << " (n=" << e.average->count()
+               << " min=" << e.average->min()
+               << " max=" << e.average->max() << ')';
+        }
+        if (!e.desc.empty())
+            os << " # " << e.desc;
+        os << '\n';
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, e] : entries_) {
+        if (e.scalar)
+            e.scalar->reset();
+        if (e.average)
+            e.average->reset();
+    }
+}
+
+} // namespace acamar

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Lightweight statistics collection (gem5-stats-flavoured).
+ *
+ * Simulation units register named statistics into a StatGroup; runs
+ * can then be dumped as text or queried programmatically by benches
+ * and tests. Only the stat kinds this project needs are provided:
+ * scalar counters, averages and distributions.
+ */
+
+#ifndef ACAMAR_COMMON_STATS_HH
+#define ACAMAR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acamar {
+
+/** A monotonically-growing named counter. */
+class ScalarStat
+{
+  public:
+    ScalarStat() = default;
+
+    /** Add to the counter. */
+    void add(double v) { value_ += v; }
+
+    /** Increment by one. */
+    void inc() { value_ += 1.0; }
+
+    /** Overwrite the value (for sampled gauges). */
+    void set(double v) { value_ = v; }
+
+    /** Current value. */
+    double value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Running mean/min/max over samples. */
+class AverageStat
+{
+  public:
+    /** Record one sample. */
+    void sample(double v);
+
+    /** Number of samples recorded. */
+    uint64_t count() const { return count_; }
+
+    /** Mean of samples, 0 when empty. */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Smallest sample, +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample, -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-bucket histogram over [lo, hi). */
+class DistStat
+{
+  public:
+    DistStat() : DistStat(0.0, 1.0, 10) {}
+
+    /** Create with the given range split into n equal buckets. */
+    DistStat(double lo, double hi, int buckets);
+
+    /** Record one sample; out-of-range samples land in under/over. */
+    void sample(double v);
+
+    /** Count in bucket i. */
+    uint64_t bucket(int i) const { return buckets_.at(i); }
+
+    /** Number of buckets. */
+    int numBuckets() const { return static_cast<int>(buckets_.size()); }
+
+    /** Samples below the range. */
+    uint64_t underflows() const { return under_; }
+
+    /** Samples at or above the range end. */
+    uint64_t overflows() const { return over_; }
+
+    /** Total recorded samples. */
+    uint64_t count() const { return count_; }
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    double lo_, hi_;
+    std::vector<uint64_t> buckets_;
+    uint64_t under_ = 0, over_ = 0, count_ = 0;
+};
+
+/**
+ * A named collection of statistics. Units own a StatGroup and
+ * register their stats once; dump() renders every registered stat.
+ */
+class StatGroup
+{
+  public:
+    /** Create a group with a hierarchical name like "acamar.spmv". */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a scalar under this group. Pointer must outlive it. */
+    void addScalar(const std::string &name, ScalarStat *s,
+                   const std::string &desc = "");
+
+    /** Register an average under this group. */
+    void addAverage(const std::string &name, AverageStat *s,
+                    const std::string &desc = "");
+
+    /** Look up a registered scalar, nullptr when absent. */
+    const ScalarStat *scalar(const std::string &name) const;
+
+    /** Look up a registered average, nullptr when absent. */
+    const AverageStat *average(const std::string &name) const;
+
+    /** Render "group.stat value # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+    /** Group name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry {
+        std::string desc;
+        ScalarStat *scalar = nullptr;
+        AverageStat *average = nullptr;
+    };
+
+    std::string name_;
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_COMMON_STATS_HH

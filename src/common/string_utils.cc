@@ -1,0 +1,98 @@
+#include "common/string_utils.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+splitWhitespace(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        size_t b = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i]))) {
+            ++i;
+        }
+        if (i > b)
+            out.push_back(s.substr(b, i - b));
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    size_t b = 0;
+    while (true) {
+        size_t e = s.find(delim, b);
+        if (e == std::string::npos) {
+            out.push_back(s.substr(b));
+            break;
+        }
+        out.push_back(s.substr(b, e - b));
+        b = e + 1;
+    }
+    return out;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+double
+parseDouble(const std::string &s)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        ACAMAR_FATAL("not a number: '", s, "'");
+    return v;
+}
+
+long long
+parseInt(const std::string &s)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        ACAMAR_FATAL("not an integer: '", s, "'");
+    return v;
+}
+
+} // namespace acamar

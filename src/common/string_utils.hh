@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small string helpers shared by the MatrixMarket reader and the
+ * config parser.
+ */
+
+#ifndef ACAMAR_COMMON_STRING_UTILS_HH
+#define ACAMAR_COMMON_STRING_UTILS_HH
+
+#include <string>
+#include <vector>
+
+namespace acamar {
+
+/** Strip leading and trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Split on any whitespace run; empty tokens are dropped. */
+std::vector<std::string> splitWhitespace(const std::string &s);
+
+/** Split on a single delimiter character; empty tokens are kept. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** ASCII lowercase copy. */
+std::string toLower(const std::string &s);
+
+/** True when s starts with the given prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Parse a string to double; fatal on malformed input. */
+double parseDouble(const std::string &s);
+
+/** Parse a string to int64; fatal on malformed input. */
+long long parseInt(const std::string &s);
+
+} // namespace acamar
+
+#endif // ACAMAR_COMMON_STRING_UTILS_HH

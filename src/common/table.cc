@@ -1,0 +1,110 @@
+#include "common/table.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    ACAMAR_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+Table &
+Table::newRow()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &v)
+{
+    ACAMAR_ASSERT(!rows_.empty(), "cell() before newRow()");
+    rows_.back().push_back(v);
+    return *this;
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    return cell(formatDouble(v, precision));
+}
+
+Table &
+Table::cell(int64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &v = c < row.size() ? row[c] : "";
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << v;
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    size_t total = 0;
+    for (auto w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            os << row[c];
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+double
+geomean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : vals) {
+        ACAMAR_ASSERT(v > 0.0, "geomean needs positive values");
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(vals.size()));
+}
+
+} // namespace acamar

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * ASCII table and CSV rendering used by the benchmark harnesses to
+ * print paper-style tables and figure series.
+ */
+
+#ifndef ACAMAR_COMMON_TABLE_HH
+#define ACAMAR_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acamar {
+
+/**
+ * A simple column-aligned text table. Rows are strings; numeric
+ * helpers format with a fixed precision. Used by every bench binary
+ * so tables look uniform.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Start a new empty row. */
+    Table &newRow();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &v);
+
+    /** Append a formatted double cell (fixed, given precision). */
+    Table &cell(double v, int precision = 3);
+
+    /** Append an integer cell. */
+    Table &cell(int64_t v);
+
+    /** Render with aligned columns and a header separator. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double like "3.14" with the given precision. */
+std::string formatDouble(double v, int precision = 3);
+
+/** Geometric mean of strictly positive values; 0 on empty input. */
+double geomean(const std::vector<double> &vals);
+
+} // namespace acamar
+
+#endif // ACAMAR_COMMON_TABLE_HH

@@ -1,0 +1,31 @@
+#include "fpga/bitstream.hh"
+
+#include <cmath>
+
+namespace acamar {
+
+int64_t
+BitstreamModel::partialBitstreamBits(const KernelResources &region)
+{
+    // Configuration memory per resource (UltraScale+ ballpark):
+    // a LUT carries 64 bits of INIT plus routing; DSPs and BRAMs sit
+    // in dedicated columns with large frame footprints.
+    const double bits = 256.0 * static_cast<double>(region.luts) +
+                        64.0 * static_cast<double>(region.ffs) +
+                        16384.0 * static_cast<double>(region.dsps) +
+                        36864.0 * static_cast<double>(region.brams);
+    return static_cast<int64_t>(std::llround(bits));
+}
+
+KernelResources
+BitstreamModel::regionFor(const KernelResources &largest)
+{
+    // 30% placement margin, rounded up.
+    auto pad = [](int64_t v) {
+        return static_cast<int64_t>(std::ceil(1.3 * static_cast<double>(v)));
+    };
+    return {pad(largest.luts), pad(largest.ffs), pad(largest.dsps),
+            pad(largest.brams)};
+}
+
+} // namespace acamar

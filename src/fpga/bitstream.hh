@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Partial-bitstream size model.
+ *
+ * DFX reconfiguration time is proportional to the partial bitstream,
+ * which in turn scales with the reconfigurable region's frame count.
+ * We size the region for the largest SpMV unit it must ever host and
+ * charge configuration bits per contained resource.
+ */
+
+#ifndef ACAMAR_FPGA_BITSTREAM_HH
+#define ACAMAR_FPGA_BITSTREAM_HH
+
+#include <cstdint>
+
+#include "fpga/device.hh"
+
+namespace acamar {
+
+/** Estimate partial-bitstream bits for a reconfigurable region. */
+class BitstreamModel
+{
+  public:
+    /**
+     * Bits to configure a region holding the given resources.
+     * UltraScale+ configuration frames are 93 x 32-bit words; the
+     * per-resource constants fold frame overhead in.
+     */
+    static int64_t partialBitstreamBits(const KernelResources &region);
+
+    /**
+     * Region sizing: DFX regions are provisioned for the *largest*
+     * configuration they host, padded by a placement margin.
+     */
+    static KernelResources regionFor(const KernelResources &largest);
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_FPGA_BITSTREAM_HH

@@ -1,0 +1,38 @@
+#include "fpga/device.hh"
+
+namespace acamar {
+
+KernelResources &
+KernelResources::operator+=(const KernelResources &o)
+{
+    luts += o.luts;
+    ffs += o.ffs;
+    dsps += o.dsps;
+    brams += o.brams;
+    return *this;
+}
+
+KernelResources
+KernelResources::operator*(int64_t k) const
+{
+    return {luts * k, ffs * k, dsps * k, brams * k};
+}
+
+FpgaDevice
+FpgaDevice::alveoU55c()
+{
+    FpgaDevice dev;
+    dev.name = "Xilinx Alveo u55c";
+    // Virtex UltraScale+ XCU55C public resource counts.
+    dev.capacity = {.luts = 1303680, .ffs = 2607360, .dsps = 9024,
+                    .brams = 2016};
+    dev.dieAreaMm2 = 620.0;
+    dev.kernelClockHz = 300e6;   // typical optimized HLS kernel clock
+    dev.icapClockHz = 200e6;     // ICAP clock per Section VIII-A
+    dev.icapBitsPerSecond = 6.4e9; // 6.4 Gb/s per Section VIII-A
+    dev.hbmBytesPerSecond = 460e9; // HBM2 aggregate
+    dev.portBytesPerCycle = 128.0; // two 512-bit AXI ports
+    return dev;
+}
+
+} // namespace acamar

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * FPGA device descriptions.
+ *
+ * The paper targets a Xilinx Alveo u55c (Virtex UltraScale+, HBM2).
+ * This model carries the resource counts, clocks and bandwidths the
+ * timing and area models need; it is the stand-in for the physical
+ * card (see DESIGN.md substitution table).
+ */
+
+#ifndef ACAMAR_FPGA_DEVICE_HH
+#define ACAMAR_FPGA_DEVICE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace acamar {
+
+/** A bundle of FPGA fabric resources. */
+struct KernelResources {
+    int64_t luts = 0;
+    int64_t ffs = 0;
+    int64_t dsps = 0;
+    int64_t brams = 0;
+
+    KernelResources &operator+=(const KernelResources &o);
+    friend KernelResources operator+(KernelResources a,
+                                     const KernelResources &b)
+    {
+        a += b;
+        return a;
+    }
+    KernelResources operator*(int64_t k) const;
+};
+
+/** Static description of one FPGA card. */
+struct FpgaDevice {
+    std::string name;
+    KernelResources capacity;   //!< total fabric resources
+    double dieAreaMm2;          //!< total die area
+    double kernelClockHz;       //!< achievable HLS kernel clock
+    double icapClockHz;         //!< configuration port clock
+    double icapBitsPerSecond;   //!< partial-reconfiguration speed
+    double hbmBytesPerSecond;   //!< aggregate memory bandwidth
+    double portBytesPerCycle;   //!< one kernel's AXI port width
+
+    /**
+     * Bytes one kernel can stream per kernel-clock cycle: the
+     * narrower of its AXI port and its share of HBM. A single
+     * 512-bit AXI port moves 64 B/cycle, which is what bounds an
+     * HLS SpMV kernel long before aggregate HBM bandwidth does.
+     */
+    double
+    memBytesPerCycle() const
+    {
+        return std::min(hbmBytesPerSecond / kernelClockHz,
+                        portBytesPerCycle);
+    }
+
+    /** The paper's target card. */
+    static FpgaDevice alveoU55c();
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_FPGA_DEVICE_HH

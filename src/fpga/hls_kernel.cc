@@ -1,0 +1,7 @@
+#include "fpga/hls_kernel.hh"
+
+// Header-only models; this translation unit exists so the build
+// system has a home for future non-inline pipeline calibration code.
+
+namespace acamar {
+} // namespace acamar

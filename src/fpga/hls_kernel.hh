@@ -1,0 +1,107 @@
+/**
+ * @file
+ * HLS pipeline timing model.
+ *
+ * Vitis HLS reports kernels as (initiation interval, depth, trip
+ * count); total cycles = depth + II * (trips - 1). The paper feeds
+ * its cycle-level simulator with HLS co-simulation numbers of this
+ * exact shape — this model re-derives them (DESIGN.md substitution
+ * table).
+ */
+
+#ifndef ACAMAR_FPGA_HLS_KERNEL_HH
+#define ACAMAR_FPGA_HLS_KERNEL_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+
+namespace acamar {
+
+/** One pipelined HLS loop. */
+struct HlsPipelineModel {
+    int initiationInterval = 1; //!< cycles between loop iterations
+    int depth = 8;              //!< pipeline fill latency
+
+    /** Total cycles for `trips` loop iterations (0 trips = 0). */
+    Cycles
+    cycles(int64_t trips) const
+    {
+        if (trips <= 0)
+            return 0;
+        return static_cast<Cycles>(depth) +
+               static_cast<Cycles>(initiationInterval) *
+                   static_cast<Cycles>(trips - 1);
+    }
+};
+
+/** Default pipeline shapes for Acamar's kernels. */
+namespace hls_defaults {
+
+/** SpMV beat loop: II=1 once lanes are filled, deep fp32 tree. */
+inline HlsPipelineModel
+spmvPipeline()
+{
+    return {.initiationInterval = 1, .depth = 24};
+}
+
+/** Dense dot-product loop (16-lane reduction). */
+inline HlsPipelineModel
+dotPipeline()
+{
+    return {.initiationInterval = 1, .depth = 16};
+}
+
+/** Dense axpy/waxpby loop (16-lane streaming). */
+inline HlsPipelineModel
+axpyPipeline()
+{
+    return {.initiationInterval = 1, .depth = 10};
+}
+
+/** Structure-analysis scan over nnz entries. */
+inline HlsPipelineModel
+scanPipeline()
+{
+    return {.initiationInterval = 1, .depth = 6};
+}
+
+/** Lanes in the static dense kernel units. */
+constexpr int kDenseLanes = 16;
+
+/**
+ * Achievable-clock penalty of a U-lane SpMV unit relative to the
+ * device's nominal kernel clock. Wide fp32 reduction trees lengthen
+ * the critical path and routing congestion grows with lane count,
+ * so implementations past ~16 lanes close timing at a lower fmax.
+ * Expressed as a cycle-time multiplier (>= 1) so cycle counts stay
+ * in nominal-clock equivalents.
+ */
+inline double
+clockPenalty(int unroll)
+{
+    constexpr int knee = 12;
+    constexpr double slope = 0.04;
+    if (unroll <= knee)
+        return 1.0;
+    return 1.0 + slope * static_cast<double>(unroll - knee);
+}
+
+/** Extra pipeline depth of a U-wide adder tree (2 stages/level). */
+inline int
+treeDepth(int unroll)
+{
+    int levels = 0;
+    int v = 1;
+    while (v < unroll) {
+        v *= 2;
+        ++levels;
+    }
+    return 2 * levels;
+}
+
+} // namespace hls_defaults
+
+} // namespace acamar
+
+#endif // ACAMAR_FPGA_HLS_KERNEL_HH

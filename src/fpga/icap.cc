@@ -1,0 +1,38 @@
+#include "fpga/icap.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sim/clock_domain.hh"
+
+namespace acamar {
+
+IcapModel::IcapModel(const FpgaDevice &device)
+    : bitsPerSecond_(device.icapBitsPerSecond),
+      kernelClockHz_(device.kernelClockHz)
+{
+    ACAMAR_ASSERT(bitsPerSecond_ > 0.0, "ICAP rate must be positive");
+}
+
+double
+IcapModel::reconfigSeconds(int64_t bits) const
+{
+    ACAMAR_ASSERT(bits >= 0, "negative bitstream size");
+    return static_cast<double>(bits) / bitsPerSecond_;
+}
+
+Tick
+IcapModel::reconfigTicks(int64_t bits) const
+{
+    return static_cast<Tick>(std::llround(
+        reconfigSeconds(bits) * static_cast<double>(kTicksPerSecond)));
+}
+
+Cycles
+IcapModel::reconfigKernelCycles(int64_t bits) const
+{
+    return static_cast<Cycles>(
+        std::ceil(reconfigSeconds(bits) * kernelClockHz_));
+}
+
+} // namespace acamar

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * ICAP (Internal Configuration Access Port) timing model.
+ *
+ * Per Section VIII-A: the ICAP core runs at 200 MHz and moves
+ * partial bitstreams at 6.4 Gb/s; reconfiguration time is bitstream
+ * size over that rate.
+ */
+
+#ifndef ACAMAR_FPGA_ICAP_HH
+#define ACAMAR_FPGA_ICAP_HH
+
+#include <cstdint>
+
+#include "fpga/device.hh"
+#include "sim/event_queue.hh"
+
+namespace acamar {
+
+/** Converts partial-bitstream sizes to reconfiguration time. */
+class IcapModel
+{
+  public:
+    explicit IcapModel(const FpgaDevice &device);
+
+    /** Seconds to load a partial bitstream of `bits`. */
+    double reconfigSeconds(int64_t bits) const;
+
+    /** Same, in global Ticks (ps). */
+    Tick reconfigTicks(int64_t bits) const;
+
+    /** Same, in kernel-clock cycles of the device. */
+    Cycles reconfigKernelCycles(int64_t bits) const;
+
+  private:
+    double bitsPerSecond_;
+    double kernelClockHz_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_FPGA_ICAP_HH

@@ -1,0 +1,31 @@
+#include "fpga/memory_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+MemoryModel::MemoryModel(const FpgaDevice &device)
+    : bytesPerCycle_(device.memBytesPerCycle())
+{
+    ACAMAR_ASSERT(bytesPerCycle_ > 0.0, "device has no bandwidth");
+}
+
+Cycles
+MemoryModel::streamCycles(int64_t bytes) const
+{
+    ACAMAR_ASSERT(bytes >= 0, "negative byte count");
+    return static_cast<Cycles>(
+        std::ceil(static_cast<double>(bytes) / bytesPerCycle_));
+}
+
+int64_t
+MemoryModel::spmvBytes(int64_t nnz, int64_t rows)
+{
+    // Per nonzero: 4B value + 4B column index + 4B x-gather.
+    // Per row: 8B rowPtr entry (amortized) + 4B y write.
+    return nnz * 12 + rows * 12;
+}
+
+} // namespace acamar

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * HBM bandwidth (roofline) model.
+ *
+ * SpMV is frequently memory-bound; every kernel timing in accel/
+ * takes the max of its compute cycles and the cycles the HBM system
+ * needs to stream the kernel's bytes.
+ */
+
+#ifndef ACAMAR_FPGA_MEMORY_MODEL_HH
+#define ACAMAR_FPGA_MEMORY_MODEL_HH
+
+#include <cstdint>
+
+#include "fpga/device.hh"
+#include "sim/event_queue.hh"
+
+namespace acamar {
+
+/** Streaming-bandwidth cost model for one FPGA card. */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(const FpgaDevice &device);
+
+    /** Kernel-clock cycles needed to stream `bytes`. */
+    Cycles streamCycles(int64_t bytes) const;
+
+    /** Bytes one CSR SpMV pass touches (values+colidx+x+y+rowptr). */
+    static int64_t spmvBytes(int64_t nnz, int64_t rows);
+
+    /** Bytes a dense n-element kernel streams per vector operand. */
+    static int64_t
+    vectorBytes(int64_t n, int operands)
+    {
+        return n * 4 * operands; // fp32
+    }
+
+  private:
+    double bytesPerCycle_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_FPGA_MEMORY_MODEL_HH

@@ -1,0 +1,86 @@
+#include "fpga/resource_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace acamar {
+namespace {
+
+// Approximate Vitis HLS fp32 operator costs (post-implementation
+// ballpark for UltraScale+): one fp32 multiplier is 3 DSPs, one
+// fp32 adder 2 DSPs, plus control logic.
+constexpr KernelResources kFp32Mac = {.luts = 800, .ffs = 1200,
+                                      .dsps = 5, .brams = 0};
+constexpr KernelResources kRowSequencer = {.luts = 1500, .ffs = 2200,
+                                           .dsps = 0, .brams = 2};
+constexpr KernelResources kDenseBlock = {.luts = 9000, .ffs = 14000,
+                                         .dsps = 40, .brams = 8};
+constexpr KernelResources kAnalyzers = {.luts = 14000, .ffs = 20000,
+                                        .dsps = 8, .brams = 16};
+
+} // namespace
+
+ResourceModel::ResourceModel(const FpgaDevice &device) : device_(device)
+{
+}
+
+KernelResources
+ResourceModel::macLane() const
+{
+    return kFp32Mac;
+}
+
+KernelResources
+ResourceModel::spmvUnit(int unroll) const
+{
+    ACAMAR_ASSERT(unroll >= 1, "unroll factor must be >= 1");
+    KernelResources r = kFp32Mac * unroll;
+    // Adder tree: unroll-1 fp32 adders at 2 DSPs + logic each.
+    const int64_t adders = std::max(0, unroll - 1);
+    r += KernelResources{.luts = 350 * adders, .ffs = 500 * adders,
+                         .dsps = 2 * adders, .brams = 0};
+    r += kRowSequencer;
+    return r;
+}
+
+KernelResources
+ResourceModel::denseUnits() const
+{
+    return kDenseBlock;
+}
+
+KernelResources
+ResourceModel::analyzerUnits() const
+{
+    return kAnalyzers;
+}
+
+double
+ResourceModel::areaMm2(const KernelResources &r) const
+{
+    // Die area prorated by each resource class's share of the
+    // device, weighted by typical silicon footprint split
+    // (LUT/FF fabric ~70%, DSP ~20%, BRAM ~10% of the die).
+    const auto &cap = device_.capacity;
+    const double fabric =
+        0.5 * (static_cast<double>(r.luts) / cap.luts +
+               static_cast<double>(r.ffs) / cap.ffs);
+    const double dsp = static_cast<double>(r.dsps) / cap.dsps;
+    const double bram = static_cast<double>(r.brams) / cap.brams;
+    const double frac = 0.70 * fabric + 0.20 * dsp + 0.10 * bram;
+    return frac * device_.dieAreaMm2;
+}
+
+double
+ResourceModel::utilizationFraction(const KernelResources &r) const
+{
+    const auto &cap = device_.capacity;
+    return std::max({static_cast<double>(r.luts) / cap.luts,
+                     static_cast<double>(r.ffs) / cap.ffs,
+                     static_cast<double>(r.dsps) / cap.dsps,
+                     static_cast<double>(r.brams) / cap.brams});
+}
+
+} // namespace acamar

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * HLS resource/area model.
+ *
+ * Maps architectural units (a U-lane SpMV kernel, the static dense
+ * kernels, the analyzer units) to fabric resources and die area.
+ * Constants approximate Vitis HLS fp32 implementation reports; what
+ * matters for reproducing Figure 10 is that per-lane cost is linear
+ * in the unroll factor and dwarfs the static overhead.
+ */
+
+#ifndef ACAMAR_FPGA_RESOURCE_MODEL_HH
+#define ACAMAR_FPGA_RESOURCE_MODEL_HH
+
+#include "fpga/device.hh"
+
+namespace acamar {
+
+/** Resource/area estimation for Acamar's units. */
+class ResourceModel
+{
+  public:
+    /** @param device the card whose area scale to use. */
+    explicit ResourceModel(const FpgaDevice &device);
+
+    /** One fp32 MAC lane (DSP-based) incl. its slice of the tree. */
+    KernelResources macLane() const;
+
+    /** A U-lane SpMV unit: lanes + adder tree + row sequencer. */
+    KernelResources spmvUnit(int unroll) const;
+
+    /** The fixed dense-kernel block (dot/axpy/waxpby engines). */
+    KernelResources denseUnits() const;
+
+    /**
+     * The statically-programmed analyzers (Matrix Structure,
+     * Fine-Grained Reconfiguration incl. tBuffer, Initialize
+     * sequencing, Solver Modifier).
+     */
+    KernelResources analyzerUnits() const;
+
+    /** Die area consumed by a resource bundle. */
+    double areaMm2(const KernelResources &r) const;
+
+    /**
+     * Fraction of the device each resource class uses; the maximum
+     * over classes is the practical utilization bound.
+     */
+    double utilizationFraction(const KernelResources &r) const;
+
+    /** The modeled device. */
+    const FpgaDevice &device() const { return device_; }
+
+  private:
+    FpgaDevice device_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_FPGA_RESOURCE_MODEL_HH

@@ -1,0 +1,19 @@
+#include "gpu/gpu_device.hh"
+
+namespace acamar {
+
+GpuDevice
+GpuDevice::gtx1650Super()
+{
+    GpuDevice dev;
+    dev.name = "Nvidia GTX 1650 Super";
+    dev.numSms = 20;
+    dev.coresPerSm = 64;
+    dev.warpSize = 32;
+    dev.maxWarpsPerSm = 32;
+    dev.boostClockHz = 1.725e9;
+    dev.memBytesPerSecond = 192e9; // 12 Gbps GDDR6, 128-bit bus
+    return dev;
+}
+
+} // namespace acamar

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * GPU device description for the cuSPARSE SpMV baseline.
+ *
+ * The paper's GPU baseline is an Nvidia GTX 1650 Super running the
+ * cuSPARSE csrmv sample under CUDA 11.6; this model carries the
+ * public specification the occupancy/throughput model needs
+ * (DESIGN.md substitution table).
+ */
+
+#ifndef ACAMAR_GPU_GPU_DEVICE_HH
+#define ACAMAR_GPU_GPU_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace acamar {
+
+/** Static description of one GPU. */
+struct GpuDevice {
+    std::string name;
+    int numSms;               //!< streaming multiprocessors
+    int coresPerSm;           //!< fp32 CUDA cores per SM
+    int warpSize;             //!< threads per warp
+    int maxWarpsPerSm;        //!< resident warp limit per SM
+    double boostClockHz;      //!< sustained boost clock
+    double memBytesPerSecond; //!< GDDR bandwidth
+
+    /** Peak fp32 throughput (2 flops per core-cycle FMA). */
+    double
+    peakFlops() const
+    {
+        return 2.0 * static_cast<double>(numSms) *
+               static_cast<double>(coresPerSm) * boostClockHz;
+    }
+
+    /** Bytes delivered per GPU core clock. */
+    double
+    memBytesPerCycle() const
+    {
+        return memBytesPerSecond / boostClockHz;
+    }
+
+    /** The paper's baseline card. */
+    static GpuDevice gtx1650Super();
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_GPU_GPU_DEVICE_HH

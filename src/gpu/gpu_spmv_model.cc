@@ -1,0 +1,170 @@
+#include "gpu/gpu_spmv_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+std::string
+to_string(GpuKernel k)
+{
+    switch (k) {
+      case GpuKernel::CsrVector: return "csr-vector";
+      case GpuKernel::CsrScalar: return "csr-scalar";
+      case GpuKernel::Adaptive:  return "adaptive";
+    }
+    return "unknown";
+}
+
+GpuSpmvModel::GpuSpmvModel(const GpuDevice &device) : device_(device)
+{
+}
+
+GpuSpmvStats
+GpuSpmvModel::run(const CsrMatrix<float> &a) const
+{
+    return run(a, GpuKernel::CsrVector);
+}
+
+namespace {
+
+/** Accumulated lane/beat accounting before the roofline step. */
+struct LaneAccounting {
+    int64_t warp_beats = 0;       //!< 32-wide issue slots
+    int64_t useful = 0;           //!< real MACs
+    int64_t longest_chain = 1;    //!< critical path in beats
+};
+
+/**
+ * CSR-vector: one warp per row; a row with n nonzeros issues
+ * ceil(n/32) beats with n useful lanes total.
+ */
+LaneAccounting
+vectorAccounting(const CsrMatrix<float> &a,
+                 const std::vector<int32_t> &rows, int ws)
+{
+    LaneAccounting acc;
+    for (int32_t r : rows) {
+        const int64_t n = a.rowNnz(r);
+        const int64_t beats = std::max<int64_t>(1, (n + ws - 1) / ws);
+        acc.warp_beats += beats;
+        acc.useful += n;
+        acc.longest_chain = std::max(acc.longest_chain, beats);
+    }
+    return acc;
+}
+
+/**
+ * CSR-scalar: one thread per row; 32 consecutive rows share a warp
+ * and the warp runs for the *longest* row among them (divergence),
+ * idling lanes whose rows finished earlier.
+ */
+LaneAccounting
+scalarAccounting(const CsrMatrix<float> &a,
+                 const std::vector<int32_t> &rows, int ws)
+{
+    LaneAccounting acc;
+    for (size_t base = 0; base < rows.size();
+         base += static_cast<size_t>(ws)) {
+        const size_t end =
+            std::min(rows.size(), base + static_cast<size_t>(ws));
+        int64_t longest = 1;
+        for (size_t i = base; i < end; ++i) {
+            const int64_t n = a.rowNnz(rows[i]);
+            acc.useful += n;
+            longest = std::max(longest, n);
+        }
+        acc.warp_beats += longest;
+        acc.longest_chain = std::max(acc.longest_chain, longest);
+    }
+    return acc;
+}
+
+} // namespace
+
+GpuSpmvStats
+GpuSpmvModel::run(const CsrMatrix<float> &a, GpuKernel kernel) const
+{
+    GpuSpmvStats st;
+    const int64_t rows = a.numRows();
+    const int64_t nnz = a.nnz();
+    const int ws = device_.warpSize;
+
+    // Partition rows per the kernel policy.
+    std::vector<int32_t> vector_rows;
+    std::vector<int32_t> scalar_rows;
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        switch (kernel) {
+          case GpuKernel::CsrVector:
+            vector_rows.push_back(r);
+            break;
+          case GpuKernel::CsrScalar:
+            scalar_rows.push_back(r);
+            break;
+          case GpuKernel::Adaptive:
+            // Long rows profit from intra-row lanes; short rows
+            // waste fewer lanes packed one-per-thread.
+            if (a.rowNnz(r) >= ws)
+                vector_rows.push_back(r);
+            else
+                scalar_rows.push_back(r);
+            break;
+        }
+    }
+    const LaneAccounting acc_v = vectorAccounting(a, vector_rows, ws);
+    const LaneAccounting acc_s = scalarAccounting(a, scalar_rows, ws);
+
+    const int64_t warp_beats = acc_v.warp_beats + acc_s.warp_beats;
+    st.usefulMacs = acc_v.useful + acc_s.useful;
+    st.offeredLaneSlots = warp_beats * ws;
+    st.laneUnderutilization =
+        st.offeredLaneSlots == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(st.usefulMacs) /
+                        static_cast<double>(st.offeredLaneSlots);
+
+    // Compute time: warps execute concurrently across SM lanes.
+    const double warp_slots_per_cycle =
+        static_cast<double>(device_.numSms) *
+        (static_cast<double>(device_.coresPerSm) / ws);
+    const double compute_cycles =
+        static_cast<double>(warp_beats) / warp_slots_per_cycle;
+    const auto longest_chain = static_cast<double>(
+        std::max(acc_v.longest_chain, acc_s.longest_chain));
+
+    // Memory time: stream vals+colidx, gather x, write y. The
+    // scalar kernel's per-thread strided walks coalesce poorly; an
+    // effective-bandwidth derating models that.
+    int64_t bytes = nnz * 12 + rows * 12;
+    double mem_derate = 1.0;
+    if (kernel == GpuKernel::CsrScalar) {
+        mem_derate = 0.35;
+    } else if (kernel == GpuKernel::Adaptive && !scalar_rows.empty()) {
+        const double frac_scalar =
+            static_cast<double>(acc_s.useful) /
+            std::max<double>(1.0, static_cast<double>(nnz));
+        mem_derate = 1.0 - 0.65 * frac_scalar;
+    }
+    const double mem_cycles =
+        static_cast<double>(bytes) /
+        (device_.memBytesPerCycle() * mem_derate);
+
+    st.cycles = std::max({compute_cycles, mem_cycles, longest_chain});
+    st.memoryBound = mem_cycles >= compute_cycles;
+    st.seconds = st.cycles / device_.boostClockHz;
+    st.achievedFlops =
+        st.seconds > 0.0 ? 2.0 * static_cast<double>(nnz) / st.seconds
+                         : 0.0;
+    st.pctOfPeak = st.achievedFlops / device_.peakFlops();
+
+    const double warps_resident =
+        static_cast<double>(device_.numSms) * device_.maxWarpsPerSm;
+    st.smOccupancy = std::min(
+        1.0, static_cast<double>(rows) / warps_resident);
+    return st;
+}
+
+} // namespace acamar

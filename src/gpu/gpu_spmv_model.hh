@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Warp-level cuSPARSE csrmv occupancy and throughput model.
+ *
+ * Figures 8 and 9 (bottom) of the paper only need the GPU's lane
+ * *underutilization* and achieved fraction of peak throughput on
+ * SpMV. The cuSPARSE CSR-vector kernel assigns one warp per row; a
+ * row with nnz nonzeros keeps nnz of the 32 lanes busy in each
+ * 32-wide beat, so sparse rows idle most lanes — exactly the effect
+ * the paper measures with Nsight.
+ */
+
+#ifndef ACAMAR_GPU_GPU_SPMV_MODEL_HH
+#define ACAMAR_GPU_GPU_SPMV_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "gpu/gpu_device.hh"
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/** Which cuSPARSE-style kernel the model assumes. */
+enum class GpuKernel {
+    CsrVector, //!< one warp per row (default; the paper's case)
+    CsrScalar, //!< one thread per row
+    Adaptive,  //!< vector for long rows, scalar for short ones
+};
+
+/** Short kernel name for reports. */
+std::string to_string(GpuKernel k);
+
+/** Result of one modeled GPU SpMV pass. */
+struct GpuSpmvStats {
+    double cycles = 0.0;         //!< GPU clocks for the pass
+    double seconds = 0.0;        //!< wall time
+    int64_t usefulMacs = 0;      //!< one per nonzero
+    int64_t offeredLaneSlots = 0; //!< warp beats * warp size
+    double laneUnderutilization = 0.0; //!< 1 - useful/offered
+    double smOccupancy = 0.0;    //!< busy SM fraction incl. imbalance
+    double achievedFlops = 0.0;  //!< 2*nnz / seconds
+    double pctOfPeak = 0.0;      //!< achieved / device peak
+    bool memoryBound = false;    //!< roofline verdict
+};
+
+/** Analytical cuSPARSE csrmv (CSR-vector) model. */
+class GpuSpmvModel
+{
+  public:
+    explicit GpuSpmvModel(const GpuDevice &device);
+
+    /** Model one y = A x pass with the warp-per-row kernel. */
+    GpuSpmvStats run(const CsrMatrix<float> &a) const;
+
+    /** Model one pass with an explicit kernel choice. */
+    GpuSpmvStats run(const CsrMatrix<float> &a, GpuKernel kernel)
+        const;
+
+    /** The modeled device. */
+    const GpuDevice &device() const { return device_; }
+
+  private:
+    GpuDevice device_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_GPU_GPU_SPMV_MODEL_HH

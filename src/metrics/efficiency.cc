@@ -1,0 +1,25 @@
+#include "metrics/efficiency.hh"
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+EfficiencyReport
+efficiencyFrom(double achieved_flops, double area_mm2)
+{
+    ACAMAR_ASSERT(area_mm2 >= 0.0, "negative area");
+    EfficiencyReport rep;
+    rep.gflops = achieved_flops / 1e9;
+    rep.areaMm2 = area_mm2;
+    rep.gflopsPerMm2 = area_mm2 > 0.0 ? rep.gflops / area_mm2 : 0.0;
+    return rep;
+}
+
+double
+areaSaving(double area_a_mm2, double area_b_mm2)
+{
+    ACAMAR_ASSERT(area_a_mm2 > 0.0, "design area must be positive");
+    return area_b_mm2 / area_a_mm2;
+}
+
+} // namespace acamar

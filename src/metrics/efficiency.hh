@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Performance-efficiency metrics: FLOPS per mm^2 of fabric
+ * (Figure 10 of the paper) and area-saving ratios.
+ */
+
+#ifndef ACAMAR_METRICS_EFFICIENCY_HH
+#define ACAMAR_METRICS_EFFICIENCY_HH
+
+namespace acamar {
+
+/** Performance-efficiency summary of one timed run. */
+struct EfficiencyReport {
+    double gflops = 0.0;        //!< achieved throughput
+    double areaMm2 = 0.0;       //!< fabric area occupied
+    double gflopsPerMm2 = 0.0;  //!< the Figure 10 metric
+};
+
+/** Combine throughput and area into the Figure 10 metric. */
+EfficiencyReport efficiencyFrom(double achieved_flops,
+                                double area_mm2);
+
+/**
+ * Area saving of design `a` over design `b`:
+ * ratio of b's area to a's (>1 means a is smaller).
+ */
+double areaSaving(double area_a_mm2, double area_b_mm2);
+
+} // namespace acamar
+
+#endif // ACAMAR_METRICS_EFFICIENCY_HH

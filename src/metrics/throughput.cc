@@ -1,0 +1,36 @@
+#include "metrics/throughput.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+ThroughputReport
+throughputFromSlots(int64_t useful_macs, int64_t offered_mac_slots,
+                    double cycles, double clock_hz)
+{
+    ACAMAR_ASSERT(useful_macs >= 0 && offered_mac_slots >= 0,
+                  "negative slot counts");
+    ThroughputReport rep;
+    if (cycles <= 0.0 || offered_mac_slots == 0)
+        return rep;
+    const double seconds = cycles / clock_hz;
+    rep.achievedFlops =
+        2.0 * static_cast<double>(useful_macs) / seconds;
+    // Peak: had every offered slot been useful in the same cycles.
+    rep.peakFlops =
+        2.0 * static_cast<double>(offered_mac_slots) / seconds;
+    rep.pctOfPeak = rep.peakFlops > 0.0
+                        ? rep.achievedFlops / rep.peakFlops
+                        : 0.0;
+    return rep;
+}
+
+double
+safePct(double v)
+{
+    return std::max(v, 1e-6);
+}
+
+} // namespace acamar

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Achieved-throughput metrics (Figure 9 of the paper).
+ */
+
+#ifndef ACAMAR_METRICS_THROUGHPUT_HH
+#define ACAMAR_METRICS_THROUGHPUT_HH
+
+#include <cstdint>
+
+namespace acamar {
+
+/** Throughput summary of one timed kernel or solve. */
+struct ThroughputReport {
+    double achievedFlops = 0.0; //!< useful flops / second
+    double peakFlops = 0.0;     //!< lanes * 2 * clock
+    double pctOfPeak = 0.0;     //!< achieved / peak, in [0, 1]
+};
+
+/**
+ * Build a report from slot accounting: `useful_macs` MACs retired in
+ * `cycles` while the datapath offered `offered_mac_slots` MAC slots
+ * (beats * lanes). Each MAC is 2 flops.
+ *
+ * @param clock_hz datapath clock for absolute numbers.
+ */
+ThroughputReport throughputFromSlots(int64_t useful_macs,
+                                     int64_t offered_mac_slots,
+                                     double cycles, double clock_hz);
+
+/** Geometric-mean-friendly percentage (clamped away from zero). */
+double safePct(double v);
+
+} // namespace acamar
+
+#endif // ACAMAR_METRICS_THROUGHPUT_HH

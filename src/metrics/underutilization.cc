@@ -1,0 +1,87 @@
+#include "metrics/underutilization.hh"
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+double
+paperRowUnderutilization(int64_t row_nnz, int unroll)
+{
+    ACAMAR_ASSERT(unroll >= 1, "unroll factor must be >= 1");
+    ACAMAR_ASSERT(row_nnz >= 0, "negative row length");
+    const auto u = static_cast<double>(unroll);
+    if (row_nnz >= unroll) {
+        const auto m = static_cast<double>(row_nnz % unroll);
+        return 1.0 - (u - m) / u;
+    }
+    return (u - static_cast<double>(row_nnz)) / u;
+}
+
+double
+occupancyRowUnderutilization(int64_t row_nnz, int unroll)
+{
+    ACAMAR_ASSERT(unroll >= 1, "unroll factor must be >= 1");
+    if (row_nnz <= 0)
+        return 1.0;
+    const int64_t beats = (row_nnz + unroll - 1) / unroll;
+    const auto offered = static_cast<double>(beats * unroll);
+    return 1.0 - static_cast<double>(row_nnz) / offered;
+}
+
+template <typename T>
+double
+meanUnderutilization(const CsrMatrix<T> &a, int unroll)
+{
+    if (a.numRows() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (int32_t r = 0; r < a.numRows(); ++r)
+        acc += paperRowUnderutilization(a.rowNnz(r), unroll);
+    return acc / static_cast<double>(a.numRows());
+}
+
+template <typename T>
+double
+meanUnderutilizationPerSet(const CsrMatrix<T> &a,
+                           const std::vector<int> &factors,
+                           int64_t set_size)
+{
+    ACAMAR_ASSERT(set_size >= 1, "set size must be >= 1");
+    ACAMAR_ASSERT(!factors.empty(), "need at least one unroll factor");
+    if (a.numRows() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        auto s = static_cast<size_t>(r / set_size);
+        s = std::min(s, factors.size() - 1);
+        acc += paperRowUnderutilization(a.rowNnz(r), factors[s]);
+    }
+    return acc / static_cast<double>(a.numRows());
+}
+
+template <typename T>
+double
+meanOccupancyUnderutilization(const CsrMatrix<T> &a, int unroll)
+{
+    if (a.numRows() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (int32_t r = 0; r < a.numRows(); ++r)
+        acc += occupancyRowUnderutilization(a.rowNnz(r), unroll);
+    return acc / static_cast<double>(a.numRows());
+}
+
+template double meanUnderutilization<float>(const CsrMatrix<float> &,
+                                            int);
+template double meanUnderutilization<double>(const CsrMatrix<double> &,
+                                             int);
+template double meanUnderutilizationPerSet<float>(
+    const CsrMatrix<float> &, const std::vector<int> &, int64_t);
+template double meanUnderutilizationPerSet<double>(
+    const CsrMatrix<double> &, const std::vector<int> &, int64_t);
+template double meanOccupancyUnderutilization<float>(
+    const CsrMatrix<float> &, int);
+template double meanOccupancyUnderutilization<double>(
+    const CsrMatrix<double> &, int);
+
+} // namespace acamar

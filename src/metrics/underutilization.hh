@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Resource-underutilization metrics (Equation 5 of the paper).
+ */
+
+#ifndef ACAMAR_METRICS_UNDERUTILIZATION_HH
+#define ACAMAR_METRICS_UNDERUTILIZATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/**
+ * The paper's per-row R.U formula (Eq. 5), verbatim:
+ *   nnz >= U : 1 - (U - mod(nnz, U)) / U
+ *   nnz <  U : (U - nnz) / U
+ * Returns a fraction in [0, 1); lower is better.
+ */
+double paperRowUnderutilization(int64_t row_nnz, int unroll);
+
+/**
+ * Cycle-occupancy alternative: fraction of lane-slots left idle
+ * over the ceil(nnz/U) beats a row actually occupies. Reported by
+ * the ablation bench next to the paper metric.
+ */
+double occupancyRowUnderutilization(int64_t row_nnz, int unroll);
+
+/** Mean paper-R.U over all rows for one fixed unroll factor. */
+template <typename T>
+double meanUnderutilization(const CsrMatrix<T> &a, int unroll);
+
+/**
+ * Mean paper-R.U when rows in set s run with unroll factors[s];
+ * `set_size` rows per set (last set takes the remainder).
+ */
+template <typename T>
+double meanUnderutilizationPerSet(const CsrMatrix<T> &a,
+                                  const std::vector<int> &factors,
+                                  int64_t set_size);
+
+/** Idle-lane fraction over beats for a fixed unroll (occupancy). */
+template <typename T>
+double meanOccupancyUnderutilization(const CsrMatrix<T> &a, int unroll);
+
+extern template double meanUnderutilization<float>(
+    const CsrMatrix<float> &, int);
+extern template double meanUnderutilization<double>(
+    const CsrMatrix<double> &, int);
+extern template double meanUnderutilizationPerSet<float>(
+    const CsrMatrix<float> &, const std::vector<int> &, int64_t);
+extern template double meanUnderutilizationPerSet<double>(
+    const CsrMatrix<double> &, const std::vector<int> &, int64_t);
+extern template double meanOccupancyUnderutilization<float>(
+    const CsrMatrix<float> &, int);
+extern template double meanOccupancyUnderutilization<double>(
+    const CsrMatrix<double> &, int);
+
+} // namespace acamar
+
+#endif // ACAMAR_METRICS_UNDERUTILIZATION_HH

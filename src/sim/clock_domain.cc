@@ -1,0 +1,16 @@
+#include "sim/clock_domain.hh"
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+ClockDomain::ClockDomain(std::string name, uint64_t freq_hz)
+    : name_(std::move(name)), freq_(freq_hz)
+{
+    ACAMAR_ASSERT(freq_hz > 0, "zero clock frequency");
+    ACAMAR_ASSERT(freq_hz <= kTicksPerSecond,
+                  "clock faster than tick resolution");
+    period_ = kTicksPerSecond / freq_hz;
+}
+
+} // namespace acamar

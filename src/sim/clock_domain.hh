@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Clock domains: convert between cycles in a domain and global Ticks.
+ *
+ * Ticks are picoseconds, so a 200 MHz ICAP clock (5000 ps period) and
+ * a 300 MHz HLS kernel clock (3333 ps period, truncated) coexist on
+ * one event queue.
+ */
+
+#ifndef ACAMAR_SIM_CLOCK_DOMAIN_HH
+#define ACAMAR_SIM_CLOCK_DOMAIN_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event_queue.hh"
+
+namespace acamar {
+
+/** Ticks (picoseconds) per second. */
+constexpr Tick kTicksPerSecond = 1000ull * 1000ull * 1000ull * 1000ull;
+
+/** A named clock with a fixed frequency. */
+class ClockDomain
+{
+  public:
+    /**
+     * Create a clock domain.
+     *
+     * @param name Debug name, e.g. "kernel_clk".
+     * @param freq_hz Frequency in Hz; must divide into >= 1 ps.
+     */
+    ClockDomain(std::string name, uint64_t freq_hz);
+
+    /** Clock period in ticks (ps). */
+    Tick period() const { return period_; }
+
+    /** Frequency in Hz. */
+    uint64_t frequency() const { return freq_; }
+
+    /** Convert a cycle count in this domain to ticks. */
+    Tick cyclesToTicks(Cycles c) const { return c * period_; }
+
+    /** Convert ticks to whole cycles in this domain (rounding up). */
+    Cycles ticksToCycles(Tick t) const
+    {
+        return (t + period_ - 1) / period_;
+    }
+
+    /** Seconds represented by a cycle count in this domain. */
+    double cyclesToSeconds(Cycles c) const
+    {
+        return static_cast<double>(c) / static_cast<double>(freq_);
+    }
+
+    /** Debug name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    uint64_t freq_;
+    Tick period_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SIM_CLOCK_DOMAIN_HH

@@ -1,0 +1,60 @@
+#include "sim/event_queue.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+void
+EventQueue::schedule(Event ev, Tick when)
+{
+    ACAMAR_ASSERT(when >= curTick_, "scheduling event '", ev.name(),
+                  "' in the past (", when, " < ", curTick_, ")");
+    Entry e;
+    e.when = when;
+    e.prio = ev.priority();
+    e.seq = nextSeq_++;
+    e.ev = std::make_shared<Event>(std::move(ev));
+    heap_.push(std::move(e));
+}
+
+uint64_t
+EventQueue::run(uint64_t limit)
+{
+    uint64_t processed = 0;
+    while (!heap_.empty() && processed < limit) {
+        Entry e = heap_.top();
+        heap_.pop();
+        curTick_ = e.when;
+        e.ev->process();
+        ++processed;
+    }
+    return processed;
+}
+
+uint64_t
+EventQueue::runUntil(Tick until)
+{
+    uint64_t processed = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        Entry e = heap_.top();
+        heap_.pop();
+        curTick_ = e.when;
+        e.ev->process();
+        ++processed;
+    }
+    if (curTick_ < until)
+        curTick_ = until;
+    return processed;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    curTick_ = 0;
+    nextSeq_ = 0;
+}
+
+} // namespace acamar

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A gem5-flavoured event queue: events are scheduled at absolute
+ * Ticks (1 Tick = 1 ps so multiple clock domains divide evenly) and
+ * processed in (tick, priority, sequence) order. The accelerator
+ * models use this to time reconfiguration overlapping with compute.
+ */
+
+#ifndef ACAMAR_SIM_EVENT_QUEUE_HH
+#define ACAMAR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace acamar {
+
+/** Simulated time in picoseconds. */
+using Tick = uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = uint64_t;
+
+/** One pending piece of work in the event queue. */
+class Event
+{
+  public:
+    /** Relative ordering for events scheduled at the same tick. */
+    enum Priority {
+        ReconfigPrio = 10,
+        DefaultPrio = 50,
+        StatsPrio = 90,
+    };
+
+    /**
+     * Create an event that runs the callback when processed.
+     *
+     * @param name Debug name shown in traces.
+     * @param cb Work to perform at the scheduled tick.
+     * @param prio Tie-break priority (lower runs first).
+     */
+    Event(std::string name, std::function<void()> cb,
+          int prio = DefaultPrio)
+        : name_(std::move(name)), callback_(std::move(cb)), prio_(prio)
+    {}
+
+    /** Debug name. */
+    const std::string &name() const { return name_; }
+
+    /** Tie-break priority. */
+    int priority() const { return prio_; }
+
+    /** Run the payload. */
+    void process() { callback_(); }
+
+  private:
+    std::string name_;
+    std::function<void()> callback_;
+    int prio_;
+};
+
+/**
+ * An ordered queue of events with a current simulated time. The
+ * queue is single-threaded and deterministic: equal (tick, priority)
+ * events run in scheduling order.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /**
+     * Schedule an event at an absolute tick.
+     * Scheduling in the past is a library bug.
+     */
+    void schedule(Event ev, Tick when);
+
+    /** Schedule an event `delay` ticks from now. */
+    void scheduleIn(Event ev, Tick delay)
+    {
+        schedule(std::move(ev), curTick_ + delay);
+    }
+
+    /** Number of pending events. */
+    size_t numPending() const { return heap_.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Run until the queue drains or `limit` events have been
+     * processed.
+     *
+     * @return the number of events processed.
+     */
+    uint64_t run(uint64_t limit = UINT64_MAX);
+
+    /**
+     * Run events with tick <= until; curTick ends at `until` even if
+     * the queue drained earlier.
+     *
+     * @return the number of events processed.
+     */
+    uint64_t runUntil(Tick until);
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry {
+        Tick when;
+        int prio;
+        uint64_t seq;
+        // shared_ptr keeps Entry copyable for priority_queue.
+        std::shared_ptr<Event> ev;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return seq > o.seq;
+        }
+    };
+
+    Tick curTick_ = 0;
+    uint64_t nextSeq_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SIM_EVENT_QUEUE_HH

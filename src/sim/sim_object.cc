@@ -1,0 +1,13 @@
+#include "sim/sim_object.hh"
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+SimObject::SimObject(std::string name, EventQueue *eq)
+    : name_(std::move(name)), eq_(eq), stats_(name_)
+{
+    ACAMAR_ASSERT(eq_, "SimObject '", name_, "' needs an event queue");
+}
+
+} // namespace acamar

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Base class for simulated hardware units.
+ *
+ * A SimObject owns a name, a pointer to the shared event queue and a
+ * StatGroup. Acamar's units (SpMV kernel, reconfiguration controller,
+ * solver datapath) derive from it so tests can introspect them
+ * uniformly.
+ */
+
+#ifndef ACAMAR_SIM_SIM_OBJECT_HH
+#define ACAMAR_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/event_queue.hh"
+
+namespace acamar {
+
+/** A named, stat-bearing simulation unit bound to an event queue. */
+class SimObject
+{
+  public:
+    /**
+     * @param name Hierarchical debug name, e.g. "acamar.spmv".
+     * @param eq Event queue shared by the whole simulated system.
+     */
+    SimObject(std::string name, EventQueue *eq);
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Debug name. */
+    const std::string &name() const { return name_; }
+
+    /** Statistics owned by this unit. */
+    StatGroup &stats() { return stats_; }
+
+    /** Statistics owned by this unit (read-only). */
+    const StatGroup &stats() const { return stats_; }
+
+    /** Reset unit state between runs; default clears stats. */
+    virtual void reset() { stats_.resetAll(); }
+
+  protected:
+    /** The system event queue (not owned). */
+    EventQueue *eventq() const { return eq_; }
+
+  private:
+    std::string name_;
+    EventQueue *eq_;
+    StatGroup stats_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SIM_SIM_OBJECT_HH

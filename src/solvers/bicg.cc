@@ -1,0 +1,75 @@
+#include "solvers/bicg.hh"
+
+#include <cmath>
+
+#include "sparse/spmv.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+
+SolveResult
+BiCgSolver::solve(const CsrMatrix<float> &a,
+                  const std::vector<float> &b,
+                  const std::vector<float> &x0,
+                  const ConvergenceCriteria &criteria) const
+{
+    solver_detail::checkInputs(a, b, x0);
+    const auto n = static_cast<size_t>(a.numRows());
+
+    SolveResult res;
+    std::vector<float> x = solver_detail::initialGuess(x0, n);
+    const CsrMatrix<float> at = a.transpose();
+
+    std::vector<float> r(n);
+    std::vector<float> ap;
+    spmv(a, x, ap);
+    for (size_t i = 0; i < n; ++i)
+        r[i] = b[i] - ap[i];
+
+    std::vector<float> rs = r; // shadow residual
+    std::vector<float> p = r;
+    std::vector<float> ps = rs;
+    std::vector<float> atps;
+
+    double rho = dot(r, rs);
+    ConvergenceMonitor mon(criteria, norm2(r));
+
+    while (mon.status() != SolveStatus::Converged) {
+        if (!std::isfinite(rho) || std::abs(rho) < 1e-30) {
+            mon.flagBreakdown();
+            break;
+        }
+        spmv(a, p, ap);
+        const double ps_ap = dot(ps, ap);
+        if (!std::isfinite(ps_ap) || std::abs(ps_ap) < 1e-30) {
+            mon.flagBreakdown();
+            break;
+        }
+        const auto alpha = static_cast<float>(rho / ps_ap);
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        spmv(at, ps, atps);
+        axpy(-alpha, atps, rs);
+        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+            break;
+
+        const double rho_new = dot(r, rs);
+        const auto beta = static_cast<float>(rho_new / rho);
+        rho = rho_new;
+        for (size_t i = 0; i < n; ++i) {
+            p[i] = r[i] + beta * p[i];
+            ps[i] = rs[i] + beta * ps[i];
+        }
+    }
+
+    res.status = mon.status();
+    res.iterations = mon.iterations();
+    res.initialResidual = mon.initialResidual();
+    res.finalResidual = mon.lastResidual();
+    res.relativeResidual = mon.relativeResidual();
+    res.residualHistory = mon.history();
+    res.solution = std::move(x);
+    return res;
+}
+
+} // namespace acamar

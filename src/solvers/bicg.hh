@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain Bi-Conjugate Gradient (Table I lists it for non-symmetric
+ * systems; BiCG-STAB is its stabilized successor).
+ */
+
+#ifndef ACAMAR_SOLVERS_BICG_HH
+#define ACAMAR_SOLVERS_BICG_HH
+
+#include "solvers/solver.hh"
+
+namespace acamar {
+
+/**
+ * BiCG: maintains a dual residual/direction pair driven by A^T, so
+ * each iteration needs one SpMV with A and one with A^T (the
+ * transpose is materialized once at setup). Convergence is often
+ * oscillatory — the instability BiCG-STAB's omega step smooths —
+ * which this implementation reports honestly through the monitor.
+ */
+class BiCgSolver : public IterativeSolver
+{
+  public:
+    SolverKind kind() const override { return SolverKind::BiCg; }
+
+    SolveResult solve(const CsrMatrix<float> &a,
+                      const std::vector<float> &b,
+                      const std::vector<float> &x0,
+                      const ConvergenceCriteria &criteria)
+        const override;
+
+    /** Two SpMVs (A p and A^T p*), three dots, five axpys. */
+    KernelProfile
+    iterationProfile() const override
+    {
+        return {.spmvs = 2, .dots = 3, .axpys = 5};
+    }
+
+    /** Setup: r0 plus the transpose materialization pass. */
+    KernelProfile
+    setupProfile() const override
+    {
+        return {.spmvs = 2, .dots = 1, .axpys = 2};
+    }
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_BICG_HH

@@ -1,0 +1,105 @@
+#include "solvers/bicgstab.hh"
+
+#include <cmath>
+
+#include "sparse/spmv.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+
+SolveResult
+BiCgStabSolver::solve(const CsrMatrix<float> &a,
+                      const std::vector<float> &b,
+                      const std::vector<float> &x0,
+                      const ConvergenceCriteria &criteria) const
+{
+    solver_detail::checkInputs(a, b, x0);
+    const auto n = static_cast<size_t>(a.numRows());
+
+    SolveResult res;
+    std::vector<float> x = solver_detail::initialGuess(x0, n);
+
+    std::vector<float> r(n);
+    std::vector<float> ap;
+    spmv(a, x, ap);
+    for (size_t i = 0; i < n; ++i)
+        r[i] = b[i] - ap[i];
+    const std::vector<float> r0s = r; // shadow residual r0*
+    std::vector<float> p = r;
+    std::vector<float> s(n);
+    std::vector<float> as;
+
+    ConvergenceMonitor mon(criteria, norm2(r));
+    double rho = dot(r, r0s);
+
+    while (mon.status() != SolveStatus::Converged) {
+        if (!std::isfinite(rho) || std::abs(rho) < 1e-30) {
+            // Serious breakdown: r orthogonal to the shadow residual.
+            mon.flagBreakdown();
+            break;
+        }
+        spmv(a, p, ap);
+        const double ap_r0s = dot(ap, r0s);
+        if (!std::isfinite(ap_r0s) || std::abs(ap_r0s) < 1e-30) {
+            mon.flagBreakdown();
+            break;
+        }
+        const auto alpha = static_cast<float>(rho / ap_r0s);
+
+        // s = r - alpha A p
+        for (size_t i = 0; i < n; ++i)
+            s[i] = r[i] - alpha * ap[i];
+
+        const double s_norm = norm2(s);
+        if (s_norm <= criteria.tolerance *
+                          std::max(mon.initialResidual(), 1e-30)) {
+            // Early half-step convergence: omega step unnecessary.
+            axpy(alpha, p, x);
+            mon.observe(s_norm);
+            break;
+        }
+
+        spmv(a, s, as);
+        const double as_s = dot(as, s);
+        const double as_as = dot(as, as);
+        if (!std::isfinite(as_as) || as_as < 1e-30) {
+            mon.flagBreakdown();
+            break;
+        }
+        const auto omega = static_cast<float>(as_s / as_as);
+        if (!std::isfinite(omega) || std::abs(omega) < 1e-12) {
+            // Stabilization stalls: no progress possible this step.
+            mon.flagBreakdown();
+            break;
+        }
+
+        // x += alpha p + omega s
+        for (size_t i = 0; i < n; ++i)
+            x[i] += alpha * p[i] + omega * s[i];
+        // r = s - omega A s
+        for (size_t i = 0; i < n; ++i)
+            r[i] = s[i] - omega * as[i];
+
+        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+            break;
+
+        const double rho_new = dot(r, r0s);
+        const auto beta =
+            static_cast<float>((rho_new / rho) * (alpha / omega));
+        rho = rho_new;
+        // p = r + beta (p - omega A p)
+        for (size_t i = 0; i < n; ++i)
+            p[i] = r[i] + beta * (p[i] - omega * ap[i]);
+    }
+
+    res.status = mon.status();
+    res.iterations = mon.iterations();
+    res.initialResidual = mon.initialResidual();
+    res.finalResidual = mon.lastResidual();
+    res.relativeResidual = mon.relativeResidual();
+    res.residualHistory = mon.history();
+    res.solution = std::move(x);
+    return res;
+}
+
+} // namespace acamar

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Bi-Conjugate Gradient Stabilized (Algorithm 3 of the paper).
+ */
+
+#ifndef ACAMAR_SOLVERS_BICGSTAB_HH
+#define ACAMAR_SOLVERS_BICGSTAB_HH
+
+#include "solvers/solver.hh"
+
+namespace acamar {
+
+/**
+ * BiCG-STAB: Krylov solver for non-symmetric systems. Its short
+ * recurrences can break down when rho = (r, r0*) or the
+ * stabilization weight omega approaches zero — e.g. on (near-)
+ * symmetric indefinite spectra — which is reported as
+ * SolveStatus::Breakdown and exercised by Table II rows Fe/Sd/Ct/Ci.
+ */
+class BiCgStabSolver : public IterativeSolver
+{
+  public:
+    SolverKind kind() const override { return SolverKind::BiCgStab; }
+
+    SolveResult solve(const CsrMatrix<float> &a,
+                      const std::vector<float> &b,
+                      const std::vector<float> &x0,
+                      const ConvergenceCriteria &criteria)
+        const override;
+
+    /** Two SpMVs (Ap and As), four dots, six axpy-class updates. */
+    KernelProfile
+    iterationProfile() const override
+    {
+        return {.spmvs = 2, .dots = 4, .axpys = 6};
+    }
+
+    /** Setup computes r0 = b - A x0 and copies p0/r0*. */
+    KernelProfile
+    setupProfile() const override
+    {
+        return {.spmvs = 1, .dots = 1, .axpys = 2};
+    }
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_BICGSTAB_HH

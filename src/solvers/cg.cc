@@ -1,0 +1,64 @@
+#include "solvers/cg.hh"
+
+#include <cmath>
+
+#include "sparse/spmv.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+
+SolveResult
+CgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
+                const std::vector<float> &x0,
+                const ConvergenceCriteria &criteria) const
+{
+    solver_detail::checkInputs(a, b, x0);
+    const auto n = static_cast<size_t>(a.numRows());
+
+    SolveResult res;
+    std::vector<float> x = solver_detail::initialGuess(x0, n);
+
+    std::vector<float> r(n);
+    std::vector<float> ap;
+    spmv(a, x, ap);
+    for (size_t i = 0; i < n; ++i)
+        r[i] = b[i] - ap[i];
+    std::vector<float> p = r;
+
+    double rr = dot(r, r);
+    ConvergenceMonitor mon(criteria, std::sqrt(rr));
+
+    while (mon.status() != SolveStatus::Converged) {
+        spmv(a, p, ap);
+        const double pap = dot(p, ap);
+        if (!(std::abs(pap) > 1e-30) || !std::isfinite(pap)) {
+            // p^T A p ~ 0: A is (numerically) not definite along p.
+            mon.flagBreakdown();
+            break;
+        }
+        const auto alpha = static_cast<float>(rr / pap);
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        const double rr_new = dot(r, r);
+        if (mon.observe(std::sqrt(rr_new)) ==
+            ConvergenceMonitor::Action::Stop) {
+            break;
+        }
+        const auto beta = static_cast<float>(rr_new / rr);
+        rr = rr_new;
+        // p = r + beta p
+        for (size_t i = 0; i < n; ++i)
+            p[i] = r[i] + beta * p[i];
+    }
+
+    res.status = mon.status();
+    res.iterations = mon.iterations();
+    res.initialResidual = mon.initialResidual();
+    res.finalResidual = mon.lastResidual();
+    res.relativeResidual = mon.relativeResidual();
+    res.residualHistory = mon.history();
+    res.solution = std::move(x);
+    return res;
+}
+
+} // namespace acamar

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Conjugate Gradient (Algorithm 2 of the paper).
+ */
+
+#ifndef ACAMAR_SOLVERS_CG_HH
+#define ACAMAR_SOLVERS_CG_HH
+
+#include "solvers/solver.hh"
+
+namespace acamar {
+
+/**
+ * CG: Krylov solver for symmetric positive definite matrices. On an
+ * indefinite matrix p^T A p can reach (near) zero, which is reported
+ * as SolveStatus::Breakdown — the case the paper's Solver Modifier
+ * exists to rescue, since the Matrix Structure unit only checks
+ * symmetry, not definiteness.
+ */
+class CgSolver : public IterativeSolver
+{
+  public:
+    SolverKind kind() const override { return SolverKind::CG; }
+
+    SolveResult solve(const CsrMatrix<float> &a,
+                      const std::vector<float> &b,
+                      const std::vector<float> &x0,
+                      const ConvergenceCriteria &criteria)
+        const override;
+
+    /** One SpMV, two dots (alpha and new rr), three axpys. */
+    KernelProfile
+    iterationProfile() const override
+    {
+        return {.spmvs = 1, .dots = 2, .axpys = 3};
+    }
+
+    /** Setup computes r0 = b - A x0 (one SpMV) and (r0, r0). */
+    KernelProfile
+    setupProfile() const override
+    {
+        return {.spmvs = 1, .dots = 1, .axpys = 1};
+    }
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_CG_HH

@@ -1,0 +1,71 @@
+#include "solvers/conjugate_residual.hh"
+
+#include <cmath>
+
+#include "sparse/spmv.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+
+SolveResult
+ConjugateResidualSolver::solve(const CsrMatrix<float> &a,
+                               const std::vector<float> &b,
+                               const std::vector<float> &x0,
+                               const ConvergenceCriteria &criteria)
+    const
+{
+    solver_detail::checkInputs(a, b, x0);
+    const auto n = static_cast<size_t>(a.numRows());
+
+    SolveResult res;
+    std::vector<float> x = solver_detail::initialGuess(x0, n);
+
+    std::vector<float> r(n);
+    std::vector<float> tmp;
+    spmv(a, x, tmp);
+    for (size_t i = 0; i < n; ++i)
+        r[i] = b[i] - tmp[i];
+
+    std::vector<float> p = r;
+    std::vector<float> ar;
+    spmv(a, r, ar);
+    std::vector<float> ap = ar;
+
+    double r_ar = dot(r, ar);
+    ConvergenceMonitor mon(criteria, norm2(r));
+
+    while (mon.status() != SolveStatus::Converged) {
+        const double ap_ap = dot(ap, ap);
+        if (!std::isfinite(ap_ap) || ap_ap < 1e-30 ||
+            !std::isfinite(r_ar) || std::abs(r_ar) < 1e-30) {
+            mon.flagBreakdown();
+            break;
+        }
+        const auto alpha = static_cast<float>(r_ar / ap_ap);
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+            break;
+
+        spmv(a, r, ar);
+        const double r_ar_new = dot(r, ar);
+        const auto beta = static_cast<float>(r_ar_new / r_ar);
+        r_ar = r_ar_new;
+        // p = r + beta p ; Ap = Ar + beta Ap (no extra SpMV).
+        for (size_t i = 0; i < n; ++i) {
+            p[i] = r[i] + beta * p[i];
+            ap[i] = ar[i] + beta * ap[i];
+        }
+    }
+
+    res.status = mon.status();
+    res.iterations = mon.iterations();
+    res.initialResidual = mon.initialResidual();
+    res.finalResidual = mon.lastResidual();
+    res.relativeResidual = mon.relativeResidual();
+    res.residualHistory = mon.history();
+    res.solution = std::move(x);
+    return res;
+}
+
+} // namespace acamar

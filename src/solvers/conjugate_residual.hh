@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Conjugate Residual method (Table I: applicable to Hermitian —
+ * in the real case symmetric, possibly indefinite — matrices).
+ */
+
+#ifndef ACAMAR_SOLVERS_CONJUGATE_RESIDUAL_HH
+#define ACAMAR_SOLVERS_CONJUGATE_RESIDUAL_HH
+
+#include "solvers/solver.hh"
+
+namespace acamar {
+
+/**
+ * CR: like CG but minimizing the residual 2-norm, with
+ * alpha = (r, Ar) / (Ap, Ap). Works on symmetric indefinite
+ * systems where CG's (p, Ap) pivots break down, as long as
+ * (r, Ar) stays bounded away from zero.
+ */
+class ConjugateResidualSolver : public IterativeSolver
+{
+  public:
+    SolverKind
+    kind() const override
+    {
+        return SolverKind::ConjugateResidual;
+    }
+
+    SolveResult solve(const CsrMatrix<float> &a,
+                      const std::vector<float> &b,
+                      const std::vector<float> &x0,
+                      const ConvergenceCriteria &criteria)
+        const override;
+
+    /** One SpMV (Ar via recurrence reuse), two dots, four axpys. */
+    KernelProfile
+    iterationProfile() const override
+    {
+        return {.spmvs = 1, .dots = 2, .axpys = 4};
+    }
+
+    /** Setup computes r0 and A r0. */
+    KernelProfile
+    setupProfile() const override
+    {
+        return {.spmvs = 2, .dots = 1, .axpys = 1};
+    }
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_CONJUGATE_RESIDUAL_HH

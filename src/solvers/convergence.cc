@@ -1,0 +1,87 @@
+#include "solvers/convergence.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+std::string
+to_string(SolveStatus s)
+{
+    switch (s) {
+      case SolveStatus::Converged: return "converged";
+      case SolveStatus::Diverged:  return "diverged";
+      case SolveStatus::Breakdown: return "breakdown";
+      case SolveStatus::Stalled:   return "stalled";
+    }
+    return "unknown";
+}
+
+ConvergenceMonitor::ConvergenceMonitor(
+    const ConvergenceCriteria &criteria, double initial_residual)
+    : criteria_(criteria), initialResidual_(initial_residual),
+      lastResidual_(initial_residual)
+{
+    ACAMAR_ASSERT(criteria_.tolerance > 0.0, "non-positive tolerance");
+    ACAMAR_ASSERT(criteria_.maxIterations > 0, "non-positive cap");
+    history_.push_back(initial_residual);
+    if (initial_residual == 0.0 ||
+        relativeResidual() <= criteria_.tolerance) {
+        status_ = SolveStatus::Converged;
+        done_ = true;
+    }
+}
+
+ConvergenceMonitor::Action
+ConvergenceMonitor::observe(double residual)
+{
+    if (done_)
+        return Action::Stop;
+
+    ++iterations_;
+    lastResidual_ = residual;
+    history_.push_back(residual);
+
+    if (relativeResidual() <= criteria_.tolerance) {
+        status_ = SolveStatus::Converged;
+        done_ = true;
+        return Action::Stop;
+    }
+
+    const bool past_setup = iterations_ > criteria_.setupIterations;
+    if (!std::isfinite(residual)) {
+        // Non-finite residuals are hopeless regardless of setup time.
+        status_ = SolveStatus::Diverged;
+        done_ = true;
+        return Action::Stop;
+    }
+    if (past_setup &&
+        residual > criteria_.divergenceGrowth *
+                       std::max(initialResidual_, 1e-30)) {
+        status_ = SolveStatus::Diverged;
+        done_ = true;
+        return Action::Stop;
+    }
+    if (iterations_ >= criteria_.maxIterations) {
+        status_ = SolveStatus::Stalled;
+        done_ = true;
+        return Action::Stop;
+    }
+    return Action::Continue;
+}
+
+void
+ConvergenceMonitor::flagBreakdown()
+{
+    status_ = SolveStatus::Breakdown;
+    done_ = true;
+}
+
+double
+ConvergenceMonitor::relativeResidual() const
+{
+    return lastResidual_ / std::max(initialResidual_, 1e-30);
+}
+
+} // namespace acamar

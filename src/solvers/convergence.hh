@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Convergence/divergence bookkeeping shared by every solver.
+ *
+ * The paper (Section V-B) fixes the convergence threshold at 1e-5
+ * and gives each solver a 200-iteration "setup time" before checking
+ * for divergence; both knobs live here.
+ */
+
+#ifndef ACAMAR_SOLVERS_CONVERGENCE_HH
+#define ACAMAR_SOLVERS_CONVERGENCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acamar {
+
+/** Outcome of one solver run. */
+enum class SolveStatus {
+    Converged,  //!< relative residual fell below the threshold
+    Diverged,   //!< residual blew up or became non-finite
+    Breakdown,  //!< solver recurrence hit a zero pivot (rho/omega/pAp)
+    Stalled,    //!< iteration budget exhausted without converging
+};
+
+/** Human-readable status name. */
+std::string to_string(SolveStatus s);
+
+/** True only for SolveStatus::Converged (a Table II checkmark). */
+inline bool
+succeeded(SolveStatus s)
+{
+    return s == SolveStatus::Converged;
+}
+
+/** Knobs for the convergence monitor. */
+struct ConvergenceCriteria {
+    /** Relative-residual convergence threshold (paper: 1e-5). */
+    double tolerance = 1e-5;
+
+    /** Iterations before divergence checks engage (paper: 200). */
+    int setupIterations = 200;
+
+    /** Residual growth past initial that counts as divergence. */
+    double divergenceGrowth = 1e4;
+
+    /** Hard iteration cap; exceeding it is SolveStatus::Stalled. */
+    int maxIterations = 3000;
+};
+
+/**
+ * Tracks the residual trajectory of one solve and decides when to
+ * stop. Mirrors the divergence-detection role of the paper's
+ * Reconfigurable Solver unit ("runs until convergence or divergence
+ * occurs").
+ */
+class ConvergenceMonitor
+{
+  public:
+    /** What the driving loop should do after an observation. */
+    enum class Action {
+        Continue,  //!< keep iterating
+        Stop,      //!< status() is final
+    };
+
+    /**
+     * @param criteria thresholds to apply.
+     * @param initial_residual ||b - A x0||; a zero initial residual
+     *        converges immediately.
+     */
+    ConvergenceMonitor(const ConvergenceCriteria &criteria,
+                       double initial_residual);
+
+    /** Record the residual after one iteration and decide. */
+    Action observe(double residual);
+
+    /** Force a breakdown outcome (zero rho/omega/pAp). */
+    void flagBreakdown();
+
+    /** Final (or running) status. */
+    SolveStatus status() const { return status_; }
+
+    /** Iterations observed so far. */
+    int iterations() const { return iterations_; }
+
+    /** Residual right after the last observation. */
+    double lastResidual() const { return lastResidual_; }
+
+    /** Initial residual the run started from. */
+    double initialResidual() const { return initialResidual_; }
+
+    /** Relative residual (last / max(initial, tiny)). */
+    double relativeResidual() const;
+
+    /** Entire residual trajectory (index 0 = initial). */
+    const std::vector<double> &history() const { return history_; }
+
+  private:
+    ConvergenceCriteria criteria_;
+    double initialResidual_;
+    double lastResidual_;
+    int iterations_ = 0;
+    SolveStatus status_ = SolveStatus::Stalled;
+    bool done_ = false;
+    std::vector<double> history_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_CONVERGENCE_HH

@@ -1,0 +1,70 @@
+#include "solvers/gauss_seidel.hh"
+
+#include <cmath>
+
+#include "sparse/spmv.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+
+SolveResult
+GaussSeidelSolver::solve(const CsrMatrix<float> &a,
+                         const std::vector<float> &b,
+                         const std::vector<float> &x0,
+                         const ConvergenceCriteria &criteria) const
+{
+    solver_detail::checkInputs(a, b, x0);
+    const auto n = static_cast<size_t>(a.numRows());
+
+    SolveResult res;
+    std::vector<float> x = solver_detail::initialGuess(x0, n);
+
+    const std::vector<float> diag = a.diagonal();
+    for (size_t i = 0; i < n; ++i) {
+        if (diag[i] == 0.0f) {
+            res.status = SolveStatus::Breakdown;
+            res.solution = std::move(x);
+            return res;
+        }
+    }
+
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    const auto &va = a.values();
+
+    std::vector<float> ax;
+    std::vector<float> r(n);
+    spmv(a, x, ax);
+    for (size_t i = 0; i < n; ++i)
+        r[i] = b[i] - ax[i];
+    ConvergenceMonitor mon(criteria, norm2(r));
+
+    while (mon.status() != SolveStatus::Converged) {
+        // One forward sweep, updating in place.
+        for (size_t i = 0; i < n; ++i) {
+            float acc = b[i];
+            const auto row = static_cast<int32_t>(i);
+            for (int64_t k = rp[row]; k < rp[row + 1]; ++k) {
+                if (ci[k] != row)
+                    acc -= va[k] * x[ci[k]];
+            }
+            x[i] = acc / diag[i];
+        }
+        spmv(a, x, ax);
+        for (size_t i = 0; i < n; ++i)
+            r[i] = b[i] - ax[i];
+        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+            break;
+    }
+
+    res.status = mon.status();
+    res.iterations = mon.iterations();
+    res.initialResidual = mon.initialResidual();
+    res.finalResidual = mon.lastResidual();
+    res.relativeResidual = mon.relativeResidual();
+    res.residualHistory = mon.history();
+    res.solution = std::move(x);
+    return res;
+}
+
+} // namespace acamar

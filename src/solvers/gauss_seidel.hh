@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Gauss-Seidel iterative method (extension solver; its convergence
+ * criterion appears in the paper's Table I).
+ */
+
+#ifndef ACAMAR_SOLVERS_GAUSS_SEIDEL_HH
+#define ACAMAR_SOLVERS_GAUSS_SEIDEL_HH
+
+#include "solvers/solver.hh"
+
+namespace acamar {
+
+/**
+ * Gauss-Seidel: forward sweeps x_i <- (b_i - sum_{j<i} a_ij x_j^new
+ * - sum_{j>i} a_ij x_j^old) / a_ii. Converges for strictly
+ * diagonally dominant or SPD matrices; sequential by nature, so the
+ * paper's reconfigurable fabric prefers JB, but it is part of this
+ * library as a portfolio extension.
+ */
+class GaussSeidelSolver : public IterativeSolver
+{
+  public:
+    SolverKind kind() const override { return SolverKind::GaussSeidel; }
+
+    SolveResult solve(const CsrMatrix<float> &a,
+                      const std::vector<float> &b,
+                      const std::vector<float> &x0,
+                      const ConvergenceCriteria &criteria)
+        const override;
+
+    /** One matrix sweep (counted as an SpMV) plus residual norm. */
+    KernelProfile
+    iterationProfile() const override
+    {
+        return {.spmvs = 2, .dots = 1, .axpys = 0};
+    }
+
+    /** Setup: diagonal extraction only. */
+    KernelProfile
+    setupProfile() const override
+    {
+        return {.spmvs = 0, .dots = 0, .axpys = 1};
+    }
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_GAUSS_SEIDEL_HH

@@ -1,0 +1,144 @@
+#include "solvers/gmres.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sparse/spmv.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+
+GmresSolver::GmresSolver(int restart) : restart_(restart)
+{
+    ACAMAR_ASSERT(restart >= 1, "GMRES restart must be >= 1");
+}
+
+KernelProfile
+GmresSolver::iterationProfile() const
+{
+    return {.spmvs = 1, .dots = restart_ / 2 + 1,
+            .axpys = restart_ / 2 + 1};
+}
+
+SolveResult
+GmresSolver::solve(const CsrMatrix<float> &a,
+                   const std::vector<float> &b,
+                   const std::vector<float> &x0,
+                   const ConvergenceCriteria &criteria) const
+{
+    solver_detail::checkInputs(a, b, x0);
+    const auto n = static_cast<size_t>(a.numRows());
+    const int m = restart_;
+
+    SolveResult res;
+    std::vector<float> x = solver_detail::initialGuess(x0, n);
+
+    std::vector<float> ax;
+    std::vector<float> r(n);
+    spmv(a, x, ax);
+    for (size_t i = 0; i < n; ++i)
+        r[i] = b[i] - ax[i];
+    ConvergenceMonitor mon(criteria, norm2(r));
+
+    // Arnoldi basis and Hessenberg factors for one restart cycle.
+    std::vector<std::vector<float>> basis;
+    std::vector<std::vector<double>> h(
+        static_cast<size_t>(m) + 1,
+        std::vector<double>(static_cast<size_t>(m), 0.0));
+    std::vector<double> cs(static_cast<size_t>(m), 0.0);
+    std::vector<double> sn(static_cast<size_t>(m), 0.0);
+    std::vector<double> g(static_cast<size_t>(m) + 1, 0.0);
+
+    bool done = mon.status() == SolveStatus::Converged;
+    while (!done) {
+        // Start a restart cycle from the current residual.
+        spmv(a, x, ax);
+        for (size_t i = 0; i < n; ++i)
+            r[i] = b[i] - ax[i];
+        double beta = norm2(r);
+        if (beta == 0.0)
+            break;
+
+        basis.assign(1, r);
+        for (size_t i = 0; i < n; ++i)
+            basis[0][i] = static_cast<float>(r[i] / beta);
+        std::fill(g.begin(), g.end(), 0.0);
+        g[0] = beta;
+        for (auto &col : h)
+            std::fill(col.begin(), col.end(), 0.0);
+
+        int steps = 0;
+        for (int j = 0; j < m; ++j) {
+            std::vector<float> w;
+            spmv(a, basis[j], w);
+            // Modified Gram-Schmidt.
+            for (int i = 0; i <= j; ++i) {
+                const double hij = dot(w, basis[i]);
+                h[i][j] = hij;
+                axpy(static_cast<float>(-hij), basis[i], w);
+            }
+            const double hnext = norm2(w);
+            h[j + 1][j] = hnext;
+
+            // Apply accumulated Givens rotations to column j.
+            for (int i = 0; i < j; ++i) {
+                const double tmp = cs[i] * h[i][j] + sn[i] * h[i + 1][j];
+                h[i + 1][j] =
+                    -sn[i] * h[i][j] + cs[i] * h[i + 1][j];
+                h[i][j] = tmp;
+            }
+            const double denom =
+                std::sqrt(h[j][j] * h[j][j] + hnext * hnext);
+            if (denom < 1e-30) {
+                mon.flagBreakdown();
+                done = true;
+                break;
+            }
+            cs[j] = h[j][j] / denom;
+            sn[j] = hnext / denom;
+            h[j][j] = denom;
+            g[j + 1] = -sn[j] * g[j];
+            g[j] = cs[j] * g[j];
+            steps = j + 1;
+
+            const double rel_res = std::abs(g[j + 1]);
+            if (mon.observe(rel_res) ==
+                ConvergenceMonitor::Action::Stop) {
+                done = true;
+                break;
+            }
+            if (hnext < 1e-30)
+                break; // lucky breakdown: exact solution in space
+
+            std::vector<float> v(n);
+            for (size_t i = 0; i < n; ++i)
+                v[i] = static_cast<float>(w[i] / hnext);
+            basis.push_back(std::move(v));
+        }
+
+        if (steps > 0 && mon.status() != SolveStatus::Breakdown) {
+            // Back-substitute y from the triangularized system and
+            // update x += V y.
+            std::vector<double> y(static_cast<size_t>(steps), 0.0);
+            for (int i = steps - 1; i >= 0; --i) {
+                double acc = g[i];
+                for (int k = i + 1; k < steps; ++k)
+                    acc -= h[i][k] * y[k];
+                y[i] = acc / h[i][i];
+            }
+            for (int i = 0; i < steps; ++i)
+                axpy(static_cast<float>(y[i]), basis[i], x);
+        }
+    }
+
+    res.status = mon.status();
+    res.iterations = mon.iterations();
+    res.initialResidual = mon.initialResidual();
+    res.finalResidual = mon.lastResidual();
+    res.relativeResidual = mon.relativeResidual();
+    res.residualHistory = mon.history();
+    res.solution = std::move(x);
+    return res;
+}
+
+} // namespace acamar

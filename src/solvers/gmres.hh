@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Restarted GMRES (the "general method of residuals" of the paper's
+ * Table I; an extension solver in this library).
+ */
+
+#ifndef ACAMAR_SOLVERS_GMRES_HH
+#define ACAMAR_SOLVERS_GMRES_HH
+
+#include "solvers/solver.hh"
+
+namespace acamar {
+
+/**
+ * GMRES(m): Arnoldi process with Givens-rotation least squares,
+ * restarted every `restart` inner steps. Applicable to general
+ * non-singular systems; used by the portfolio example and as the
+ * final fallback in the extended solver chain.
+ */
+class GmresSolver : public IterativeSolver
+{
+  public:
+    /** @param restart inner Krylov dimension before restarting. */
+    explicit GmresSolver(int restart = 30);
+
+    SolverKind kind() const override { return SolverKind::Gmres; }
+
+    SolveResult solve(const CsrMatrix<float> &a,
+                      const std::vector<float> &b,
+                      const std::vector<float> &x0,
+                      const ConvergenceCriteria &criteria)
+        const override;
+
+    /** Average inner step: one SpMV plus ~m/2 orthogonalizations. */
+    KernelProfile iterationProfile() const override;
+
+    /** Setup computes r0 and normalizes the first basis vector. */
+    KernelProfile
+    setupProfile() const override
+    {
+        return {.spmvs = 1, .dots = 2, .axpys = 1};
+    }
+
+    /** Inner Krylov dimension. */
+    int restart() const { return restart_; }
+
+  private:
+    int restart_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_GMRES_HH

@@ -1,0 +1,63 @@
+#include "solvers/jacobi.hh"
+
+#include <cmath>
+
+#include "sparse/spmv.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+
+SolveResult
+JacobiSolver::solve(const CsrMatrix<float> &a,
+                    const std::vector<float> &b,
+                    const std::vector<float> &x0,
+                    const ConvergenceCriteria &criteria) const
+{
+    solver_detail::checkInputs(a, b, x0);
+    const auto n = static_cast<size_t>(a.numRows());
+
+    SolveResult res;
+    std::vector<float> x = solver_detail::initialGuess(x0, n);
+
+    const std::vector<float> diag = a.diagonal();
+    std::vector<float> inv_diag(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (diag[i] == 0.0f) {
+            // D^-1 does not exist: Algorithm 1 cannot start.
+            res.status = SolveStatus::Breakdown;
+            res.solution = std::move(x);
+            return res;
+        }
+        inv_diag[i] = 1.0f / diag[i];
+    }
+
+    std::vector<float> ax;
+    std::vector<float> r(n);
+
+    spmv(a, x, ax);
+    for (size_t i = 0; i < n; ++i)
+        r[i] = b[i] - ax[i];
+    ConvergenceMonitor mon(criteria, norm2(r));
+
+    while (mon.status() != SolveStatus::Converged) {
+        // x += D^-1 r; then refresh r = b - A x.
+        for (size_t i = 0; i < n; ++i)
+            x[i] += inv_diag[i] * r[i];
+        spmv(a, x, ax);
+        for (size_t i = 0; i < n; ++i)
+            r[i] = b[i] - ax[i];
+        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+            break;
+    }
+
+    res.status = mon.status();
+    res.iterations = mon.iterations();
+    res.initialResidual = mon.initialResidual();
+    res.finalResidual = mon.lastResidual();
+    res.relativeResidual = mon.relativeResidual();
+    res.residualHistory = mon.history();
+    res.solution = std::move(x);
+    return res;
+}
+
+} // namespace acamar

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Jacobi iterative method (Algorithm 1 of the paper).
+ */
+
+#ifndef ACAMAR_SOLVERS_JACOBI_HH
+#define ACAMAR_SOLVERS_JACOBI_HH
+
+#include "solvers/solver.hh"
+
+namespace acamar {
+
+/**
+ * Jacobi (JB): x_{j+1} = x_j + D^-1 (b - A x_j). Converges when the
+ * coefficient matrix is strictly diagonally dominant (Eq. 1) —
+ * more generally when rho(D^-1 (L+U)) < 1. A zero diagonal entry is
+ * an immediate breakdown.
+ */
+class JacobiSolver : public IterativeSolver
+{
+  public:
+    SolverKind kind() const override { return SolverKind::Jacobi; }
+
+    SolveResult solve(const CsrMatrix<float> &a,
+                      const std::vector<float> &b,
+                      const std::vector<float> &x0,
+                      const ConvergenceCriteria &criteria)
+        const override;
+
+    /** One SpMV, one norm, one scaled update per iteration. */
+    KernelProfile
+    iterationProfile() const override
+    {
+        return {.spmvs = 1, .dots = 1, .axpys = 1};
+    }
+
+    /** Setup: extract D^-1 and compute c = D^-1 b (one axpy-ish). */
+    KernelProfile
+    setupProfile() const override
+    {
+        return {.spmvs = 0, .dots = 1, .axpys = 1};
+    }
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_JACOBI_HH

@@ -1,0 +1,107 @@
+#include "solvers/preconditioner.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sparse/spmv.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+
+void
+IdentityPreconditioner::setup(const CsrMatrix<float> &)
+{
+}
+
+void
+IdentityPreconditioner::apply(const std::vector<float> &r,
+                              std::vector<float> &z) const
+{
+    z = r;
+}
+
+void
+JacobiPreconditioner::setup(const CsrMatrix<float> &a)
+{
+    const auto diag = a.diagonal();
+    invDiag_.resize(diag.size());
+    for (size_t i = 0; i < diag.size(); ++i) {
+        if (diag[i] == 0.0f)
+            ACAMAR_FATAL("Jacobi preconditioner needs a full diagonal");
+        invDiag_[i] = 1.0f / diag[i];
+    }
+}
+
+void
+JacobiPreconditioner::apply(const std::vector<float> &r,
+                            std::vector<float> &z) const
+{
+    ACAMAR_ASSERT(r.size() == invDiag_.size(),
+                  "preconditioner size mismatch");
+    z.resize(r.size());
+    for (size_t i = 0; i < r.size(); ++i)
+        z[i] = invDiag_[i] * r[i];
+}
+
+PcgSolver::PcgSolver(std::unique_ptr<Preconditioner> prec)
+    : prec_(std::move(prec))
+{
+    ACAMAR_ASSERT(prec_, "PCG needs a preconditioner");
+}
+
+SolveResult
+PcgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
+                 const std::vector<float> &x0,
+                 const ConvergenceCriteria &criteria) const
+{
+    solver_detail::checkInputs(a, b, x0);
+    const auto n = static_cast<size_t>(a.numRows());
+
+    SolveResult res;
+    std::vector<float> x = solver_detail::initialGuess(x0, n);
+    prec_->setup(a);
+
+    std::vector<float> r(n);
+    std::vector<float> ap;
+    spmv(a, x, ap);
+    for (size_t i = 0; i < n; ++i)
+        r[i] = b[i] - ap[i];
+
+    std::vector<float> z;
+    prec_->apply(r, z);
+    std::vector<float> p = z;
+    double rz = dot(r, z);
+
+    ConvergenceMonitor mon(criteria, norm2(r));
+
+    while (mon.status() != SolveStatus::Converged) {
+        spmv(a, p, ap);
+        const double pap = dot(p, ap);
+        if (!(std::abs(pap) > 1e-30) || !std::isfinite(pap)) {
+            mon.flagBreakdown();
+            break;
+        }
+        const auto alpha = static_cast<float>(rz / pap);
+        axpy(alpha, p, x);
+        axpy(-alpha, ap, r);
+        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+            break;
+        prec_->apply(r, z);
+        const double rz_new = dot(r, z);
+        const auto beta = static_cast<float>(rz_new / rz);
+        rz = rz_new;
+        for (size_t i = 0; i < n; ++i)
+            p[i] = z[i] + beta * p[i];
+    }
+
+    res.status = mon.status();
+    res.iterations = mon.iterations();
+    res.initialResidual = mon.initialResidual();
+    res.finalResidual = mon.lastResidual();
+    res.relativeResidual = mon.relativeResidual();
+    res.residualHistory = mon.history();
+    res.solution = std::move(x);
+    return res;
+}
+
+} // namespace acamar

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Preconditioners and preconditioned CG (Table I lists
+ * "Preconditioned CG" among the solver portfolio; this library ships
+ * it as an extension beyond the paper's three fabric solvers).
+ */
+
+#ifndef ACAMAR_SOLVERS_PRECONDITIONER_HH
+#define ACAMAR_SOLVERS_PRECONDITIONER_HH
+
+#include <memory>
+#include <vector>
+
+#include "solvers/solver.hh"
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/** Applies z = M^-1 r for some preconditioner M. */
+class Preconditioner
+{
+  public:
+    virtual ~Preconditioner() = default;
+
+    /** Bind to a matrix (extract whatever M needs). */
+    virtual void setup(const CsrMatrix<float> &a) = 0;
+
+    /** z = M^-1 r. */
+    virtual void apply(const std::vector<float> &r,
+                       std::vector<float> &z) const = 0;
+};
+
+/** M = I; turns PCG back into plain CG. */
+class IdentityPreconditioner : public Preconditioner
+{
+  public:
+    void setup(const CsrMatrix<float> &a) override;
+    void apply(const std::vector<float> &r,
+               std::vector<float> &z) const override;
+};
+
+/** M = diag(A); cheap and effective for graded diagonals. */
+class JacobiPreconditioner : public Preconditioner
+{
+  public:
+    void setup(const CsrMatrix<float> &a) override;
+    void apply(const std::vector<float> &r,
+               std::vector<float> &z) const override;
+
+  private:
+    std::vector<float> invDiag_;
+};
+
+/**
+ * Preconditioned Conjugate Gradient. Not one of Acamar's three
+ * fabric configurations; provided for the solver-portfolio example
+ * and for ill-conditioned SPD datasets.
+ */
+class PcgSolver
+{
+  public:
+    /** @param prec preconditioner (owned). */
+    explicit PcgSolver(std::unique_ptr<Preconditioner> prec);
+
+    /** Solve like IterativeSolver::solve. */
+    SolveResult solve(const CsrMatrix<float> &a,
+                      const std::vector<float> &b,
+                      const std::vector<float> &x0,
+                      const ConvergenceCriteria &criteria) const;
+
+  private:
+    std::unique_ptr<Preconditioner> prec_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_PRECONDITIONER_HH

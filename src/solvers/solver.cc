@@ -1,0 +1,80 @@
+#include "solvers/solver.hh"
+
+#include "common/logging.hh"
+#include "solvers/bicg.hh"
+#include "solvers/bicgstab.hh"
+#include "solvers/cg.hh"
+#include "solvers/conjugate_residual.hh"
+#include "solvers/gauss_seidel.hh"
+#include "solvers/gmres.hh"
+#include "solvers/jacobi.hh"
+#include "solvers/sor.hh"
+
+namespace acamar {
+
+std::string
+to_string(SolverKind k)
+{
+    switch (k) {
+      case SolverKind::Jacobi:      return "JB";
+      case SolverKind::CG:          return "CG";
+      case SolverKind::BiCgStab:    return "BiCG-STAB";
+      case SolverKind::GaussSeidel: return "GS";
+      case SolverKind::Gmres:       return "GMRES";
+      case SolverKind::Sor:         return "SOR";
+      case SolverKind::BiCg:        return "BiCG";
+      case SolverKind::ConjugateResidual: return "CR";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<IterativeSolver>
+makeSolver(SolverKind kind)
+{
+    switch (kind) {
+      case SolverKind::Jacobi:
+        return std::make_unique<JacobiSolver>();
+      case SolverKind::CG:
+        return std::make_unique<CgSolver>();
+      case SolverKind::BiCgStab:
+        return std::make_unique<BiCgStabSolver>();
+      case SolverKind::GaussSeidel:
+        return std::make_unique<GaussSeidelSolver>();
+      case SolverKind::Gmres:
+        return std::make_unique<GmresSolver>();
+      case SolverKind::Sor:
+        return std::make_unique<SorSolver>();
+      case SolverKind::BiCg:
+        return std::make_unique<BiCgSolver>();
+      case SolverKind::ConjugateResidual:
+        return std::make_unique<ConjugateResidualSolver>();
+    }
+    ACAMAR_PANIC("unknown solver kind");
+}
+
+namespace solver_detail {
+
+void
+checkInputs(const CsrMatrix<float> &a, const std::vector<float> &b,
+            const std::vector<float> &x0)
+{
+    if (a.numRows() != a.numCols())
+        ACAMAR_FATAL("solver needs a square matrix, got ", a.numRows(),
+                     "x", a.numCols());
+    if (b.size() != static_cast<size_t>(a.numRows()))
+        ACAMAR_FATAL("rhs size ", b.size(), " != matrix dim ",
+                     a.numRows());
+    if (!x0.empty() && x0.size() != b.size())
+        ACAMAR_FATAL("x0 size ", x0.size(), " != rhs size ", b.size());
+}
+
+std::vector<float>
+initialGuess(const std::vector<float> &x0, size_t n)
+{
+    if (x0.empty())
+        return std::vector<float>(n, 0.0f);
+    return x0;
+}
+
+} // namespace solver_detail
+} // namespace acamar

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Iterative-solver interface.
+ *
+ * Solvers here are the *functional* counterparts of the paper's
+ * Reconfigurable Solver configurations; they compute real answers in
+ * the requested precision and report the per-iteration kernel mix
+ * (SpMV / dot / axpy counts) that the accelerator timing models
+ * replay.
+ */
+
+#ifndef ACAMAR_SOLVERS_SOLVER_HH
+#define ACAMAR_SOLVERS_SOLVER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solvers/convergence.hh"
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/** The solver configurations Acamar can load onto the fabric. */
+enum class SolverKind {
+    Jacobi,      //!< Algorithm 1 (JB)
+    CG,          //!< Algorithm 2
+    BiCgStab,    //!< Algorithm 3
+    GaussSeidel, //!< extension (Table I lists its criterion)
+    Gmres,       //!< extension (general method of residuals)
+    Sor,         //!< extension (successive over-relaxation)
+    BiCg,        //!< extension (Table I: plain bi-conjugate gradient)
+    ConjugateResidual, //!< extension (Table I: Hermitian systems)
+};
+
+/** Short name ("JB", "CG", "BiCG-STAB", ...). */
+std::string to_string(SolverKind k);
+
+/**
+ * Kernel invocations per solver iteration; multiplied by iteration
+ * counts this drives every latency model in accel/.
+ */
+struct KernelProfile {
+    int spmvs = 0;     //!< sparse matrix-vector products
+    int dots = 0;      //!< dense inner products / norms
+    int axpys = 0;     //!< dense vector scale-add passes
+};
+
+/** Everything one solve run reports. */
+struct SolveResult {
+    SolveStatus status = SolveStatus::Stalled;
+    int iterations = 0;          //!< iterations actually executed
+    double initialResidual = 0.0;
+    double finalResidual = 0.0;
+    double relativeResidual = 0.0;
+    std::vector<double> residualHistory; //!< index 0 = initial
+    std::vector<float> solution;         //!< last iterate
+
+    /** True on SolveStatus::Converged. */
+    bool ok() const { return succeeded(status); }
+};
+
+/**
+ * Abstract iterative solver over fp32 data (the paper's compute
+ * precision).
+ */
+class IterativeSolver
+{
+  public:
+    virtual ~IterativeSolver() = default;
+
+    /** Which configuration this is. */
+    virtual SolverKind kind() const = 0;
+
+    /**
+     * Solve A x = b from the given starting guess.
+     *
+     * @param a square coefficient matrix.
+     * @param b right-hand side (size = rows of a).
+     * @param x0 starting guess; empty means the zero vector.
+     * @param criteria convergence thresholds.
+     */
+    virtual SolveResult solve(const CsrMatrix<float> &a,
+                              const std::vector<float> &b,
+                              const std::vector<float> &x0,
+                              const ConvergenceCriteria &criteria)
+        const = 0;
+
+    /** Kernel mix of one solver-loop iteration. */
+    virtual KernelProfile iterationProfile() const = 0;
+
+    /** Kernel mix of the pre-loop Initialize work. */
+    virtual KernelProfile setupProfile() const = 0;
+};
+
+/** Construct a solver of the given kind. */
+std::unique_ptr<IterativeSolver> makeSolver(SolverKind kind);
+
+namespace solver_detail {
+
+/** Validate common solve() inputs; fatal on misuse. */
+void checkInputs(const CsrMatrix<float> &a, const std::vector<float> &b,
+                 const std::vector<float> &x0);
+
+/** x0 when provided, otherwise a zero vector of length n. */
+std::vector<float> initialGuess(const std::vector<float> &x0, size_t n);
+
+} // namespace solver_detail
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_SOLVER_HH

@@ -1,0 +1,59 @@
+#include "solvers/solver_select.hh"
+
+namespace acamar {
+
+SolverKind
+selectInitialSolver(const StructureReport &report)
+{
+    if (report.strictlyDiagDominant)
+        return SolverKind::Jacobi;
+    if (report.symmetric)
+        return SolverKind::CG;
+    return SolverKind::BiCgStab;
+}
+
+SolverModifierPolicy::SolverModifierPolicy(bool extended)
+{
+    chain_ = {SolverKind::Jacobi, SolverKind::CG, SolverKind::BiCgStab};
+    if (extended) {
+        chain_.push_back(SolverKind::GaussSeidel);
+        chain_.push_back(SolverKind::Gmres);
+    }
+}
+
+int
+SolverModifierPolicy::indexOf(SolverKind k) const
+{
+    for (size_t i = 0; i < chain_.size(); ++i) {
+        if (chain_[i] == k)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+SolverModifierPolicy::markTried(SolverKind k)
+{
+    const int idx = indexOf(k);
+    if (idx >= 0)
+        triedMask_ |= 1u << idx;
+}
+
+bool
+SolverModifierPolicy::tried(SolverKind k) const
+{
+    const int idx = indexOf(k);
+    return idx >= 0 && (triedMask_ & (1u << idx)) != 0;
+}
+
+std::optional<SolverKind>
+SolverModifierPolicy::nextUntried() const
+{
+    for (size_t i = 0; i < chain_.size(); ++i) {
+        if ((triedMask_ & (1u << i)) == 0)
+            return chain_[i];
+    }
+    return std::nullopt;
+}
+
+} // namespace acamar

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Structure-based solver selection and the fallback chain.
+ *
+ * This is the decision policy of the paper's Matrix Structure unit
+ * (initial pick from diagonal dominance / symmetry) and Solver
+ * Modifier unit (on divergence, move to the next solver whose bit is
+ * still low in the tried-register). The hardware-timed wrappers live
+ * in accel/; this header holds the pure policy so it can be tested
+ * exhaustively.
+ */
+
+#ifndef ACAMAR_SOLVERS_SOLVER_SELECT_HH
+#define ACAMAR_SOLVERS_SOLVER_SELECT_HH
+
+#include <optional>
+#include <vector>
+
+#include "solvers/solver.hh"
+#include "sparse/properties.hh"
+
+namespace acamar {
+
+/**
+ * Initial solver choice from the structure report, exactly as the
+ * paper's Matrix Structure unit decides:
+ *  - strictly diagonally dominant -> JB (Eq. 1 guarantee);
+ *  - else symmetric -> CG (symmetry is the only CG property checked;
+ *    definiteness is left to the Solver Modifier to discover);
+ *  - else -> BiCG-STAB.
+ */
+SolverKind selectInitialSolver(const StructureReport &report);
+
+/**
+ * The tried-solver bitmask register of the Solver Modifier unit.
+ * Bits are indexed by SolverKind order in the chain.
+ */
+class SolverModifierPolicy
+{
+  public:
+    /**
+     * @param extended when true the chain continues past the
+     *        paper's three fabric solvers into GS and GMRES.
+     */
+    explicit SolverModifierPolicy(bool extended = false);
+
+    /** Mark a solver as tried (its register bit goes high). */
+    void markTried(SolverKind k);
+
+    /** True when the solver's bit is already high. */
+    bool tried(SolverKind k) const;
+
+    /**
+     * Next solver whose bit is low, in chain order; std::nullopt
+     * when every configuration has been exhausted.
+     */
+    std::optional<SolverKind> nextUntried() const;
+
+    /** Number of solvers in the chain. */
+    int chainLength() const
+    {
+        return static_cast<int>(chain_.size());
+    }
+
+    /** Chain order (for reports). */
+    const std::vector<SolverKind> &chain() const { return chain_; }
+
+  private:
+    std::vector<SolverKind> chain_;
+    unsigned triedMask_ = 0;
+
+    int indexOf(SolverKind k) const;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_SOLVER_SELECT_HH

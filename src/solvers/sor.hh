@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Successive Over-Relaxation (Table I lists its criterion:
+ * symmetric positive definite, with 0 < omega < 2).
+ */
+
+#ifndef ACAMAR_SOLVERS_SOR_HH
+#define ACAMAR_SOLVERS_SOR_HH
+
+#include "solvers/solver.hh"
+
+namespace acamar {
+
+/**
+ * SOR: Gauss-Seidel sweeps blended with the previous iterate by a
+ * relaxation weight omega. omega = 1 reduces to Gauss-Seidel;
+ * 1 < omega < 2 over-relaxes and can shrink the spectral radius
+ * dramatically on SPD systems.
+ */
+class SorSolver : public IterativeSolver
+{
+  public:
+    /** @param omega relaxation weight in (0, 2). */
+    explicit SorSolver(float omega = 1.5f);
+
+    SolverKind kind() const override { return SolverKind::Sor; }
+
+    SolveResult solve(const CsrMatrix<float> &a,
+                      const std::vector<float> &b,
+                      const std::vector<float> &x0,
+                      const ConvergenceCriteria &criteria)
+        const override;
+
+    /** One sweep (as an SpMV) plus the residual refresh. */
+    KernelProfile
+    iterationProfile() const override
+    {
+        return {.spmvs = 2, .dots = 1, .axpys = 1};
+    }
+
+    /** Setup extracts the diagonal. */
+    KernelProfile
+    setupProfile() const override
+    {
+        return {.spmvs = 0, .dots = 0, .axpys = 1};
+    }
+
+    /** Relaxation weight. */
+    float omega() const { return omega_; }
+
+  private:
+    float omega_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_SOR_HH

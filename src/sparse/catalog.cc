@@ -1,0 +1,194 @@
+#include "sparse/catalog.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+
+namespace acamar {
+
+std::string
+to_string(MatrixClass c)
+{
+    switch (c) {
+      case MatrixClass::SpdDdStencil2d: return "spd-dd-stencil2d";
+      case MatrixClass::SpdDdStencil3d: return "spd-dd-stencil3d";
+      case MatrixClass::SpdDdGraph:     return "spd-dd-graph";
+      case MatrixClass::SpdNotDd:       return "spd-not-dd";
+      case MatrixClass::DdNonsym:       return "dd-nonsym";
+      case MatrixClass::NonsymHard:     return "nonsym-hard";
+      case MatrixClass::SymIndefDd:     return "sym-indef-dd";
+      case MatrixClass::IllCondSpd:     return "illcond-spd";
+    }
+    return "unknown";
+}
+
+const std::vector<DatasetSpec> &
+datasetCatalog()
+{
+    using MC = MatrixClass;
+    using RP = RowProfile;
+    // One row per Table II entry, in paper order. meanNnz and the
+    // profile approximate each matrix family: stencils are uniform,
+    // circuit/graph matrices are power-law, FEM matrices wave-like.
+    static const std::vector<DatasetSpec> catalog = {
+        {"2C", "2cubes_sphere", 101000, 0.016, MC::SpdNotDd,
+         RP::Wave, 16.0, false, true, true},
+        {"Of", "offshore", 259000, 0.0063, MC::SpdNotDd,
+         RP::Uniform, 16.0, false, true, true},
+        {"Wi", "windtunnel_evap3d", 40000, 0.1426, MC::DdNonsym,
+         RP::Wave, 40.0, true, false, true},
+        {"If", "ifiss_mat", 96000, 0.0388, MC::NonsymHard,
+         RP::Uniform, 5.0, false, false, true},
+        {"Wa", "wang3", 177000, 8.3e-5, MC::SpdDdStencil3d,
+         RP::Uniform, 7.0, true, true, true},
+        {"Fe", "fe_rotor", 99000, 5.6e-6, MC::SymIndefDd,
+         RP::Uniform, 2.0, true, false, false},
+        {"Eb", "epb3", 84000, 0.0065, MC::DdNonsym,
+         RP::Banded, 6.0, true, false, true},
+        {"Qa", "qa8fm", 66000, 0.038, MC::SpdNotDd,
+         RP::Wave, 25.0, false, true, true},
+        {"Th", "thermomech_TC", 711000, 0.0068, MC::SpdNotDd,
+         RP::Uniform, 10.0, false, true, true},
+        {"Bc", "bcircuit", 375000, 4.8e-5, MC::IllCondSpd,
+         RP::PowerLaw, 12.0, false, true, false},
+        {"Sd", "sd2010", 88000, 5.2e-5, MC::SymIndefDd,
+         RP::Uniform, 2.0, true, false, false},
+        {"Li", "light_in_tissue", 29000, 0.0474, MC::SpdDdStencil2d,
+         RP::Uniform, 5.0, true, true, true},
+        {"Po", "poisson3Db", 85000, 0.032, MC::SpdDdStencil3d,
+         RP::Uniform, 7.0, true, true, true},
+        {"Cr", "crystm03", 583000, 0.0957, MC::SpdNotDd,
+         RP::Banded, 14.0, false, true, true},
+        {"At", "atmosmodm", 1400000, 0.0005, MC::SpdDdStencil3d,
+         RP::Uniform, 7.0, true, true, true},
+        {"Mo", "mono_500Hz", 169000, 0.0175, MC::SpdDdGraph,
+         RP::PowerLaw, 20.0, true, true, true},
+        {"Ct", "cti", 16000, 1.8e-4, MC::SymIndefDd,
+         RP::Uniform, 2.0, true, false, false},
+        {"Ns", "ns3Da", 1670000, 7.2e-7, MC::NonsymHard,
+         RP::Uniform, 5.0, false, false, true},
+        {"Fi", "finan512", 74000, 0.0107, MC::SpdDdGraph,
+         RP::PowerLaw, 11.0, true, true, true},
+        {"G2", "G2_circuit", 150000, 2.8e-5, MC::SpdDdGraph,
+         RP::PowerLaw, 4.0, true, true, true},
+        {"Ga", "GaAsH6", 3300000, 5.3e-8, MC::SpdNotDd,
+         RP::Wave, 50.0, false, true, true},
+        {"Si", "Si34H36", 5100000, 0.016, MC::SpdNotDd,
+         RP::Uniform, 55.0, false, true, true},
+        {"To", "torso2", 1000000, 1.1e-5, MC::SpdDdStencil2d,
+         RP::Uniform, 5.0, true, true, true},
+        {"Ci", "cit-HepPh", 27000, 1.9e-5, MC::SymIndefDd,
+         RP::Uniform, 2.0, true, false, false},
+        {"Tf", "Trefethen_20000", 20000, 0.0014, MC::SpdNotDd,
+         RP::PowerLaw, 35.0, false, true, true},
+    };
+    return catalog;
+}
+
+const std::vector<std::pair<std::string, SolverKind>> &
+knownTable2Deviations()
+{
+    static const std::vector<std::pair<std::string, SolverKind>> devs =
+        {{"Bc", SolverKind::BiCgStab}};
+    return devs;
+}
+
+std::optional<DatasetSpec>
+findDataset(const std::string &id_or_name)
+{
+    const std::string key = toLower(id_or_name);
+    for (const auto &spec : datasetCatalog()) {
+        if (toLower(spec.id) == key || toLower(spec.name) == key)
+            return spec;
+    }
+    return std::nullopt;
+}
+
+namespace {
+
+/** Deterministic seed from the dataset ID. */
+uint64_t
+seedFor(const std::string &id, uint64_t salt)
+{
+    uint64_t h = 0xcbf29ce484222325ull + salt;
+    for (char c : id) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Largest grid edge so that nx*ny ~= dim for 2D stencils. */
+int32_t
+gridEdge2d(int32_t dim)
+{
+    return std::max<int32_t>(
+        2, static_cast<int32_t>(std::lround(std::sqrt(dim))));
+}
+
+/** Grid edge for 3D stencils. */
+int32_t
+gridEdge3d(int32_t dim)
+{
+    return std::max<int32_t>(
+        2, static_cast<int32_t>(std::lround(std::cbrt(dim))));
+}
+
+} // namespace
+
+CsrMatrix<double>
+generateDataset(const DatasetSpec &spec, int32_t dim)
+{
+    ACAMAR_ASSERT(dim >= 16, "dataset dim too small");
+    Rng rng(seedFor(spec.id, 1));
+
+    switch (spec.klass) {
+      case MatrixClass::SpdDdStencil2d: {
+        const int32_t e = gridEdge2d(dim);
+        return poisson2d(e, e, 0.5);
+      }
+      case MatrixClass::SpdDdStencil3d: {
+        const int32_t e = gridEdge3d(dim);
+        return poisson3d(e, e, e, 0.5);
+      }
+      case MatrixClass::SpdDdGraph:
+        return graphLaplacianPowerLaw(
+            dim, 2.1,
+            static_cast<int32_t>(std::max(4.0, spec.meanNnz * 4.0)),
+            0.5, rng);
+      case MatrixClass::SpdNotDd: {
+        // rho * (block - 1) ~ 2.5 keeps the Jacobi radius well past
+        // one while the matrix stays SPD (rho < 1).
+        const auto block = static_cast<int32_t>(
+            std::max(4.0, spec.meanNnz));
+        const double rho =
+            std::min(0.9, 2.5 / static_cast<double>(block - 1));
+        return blockOnesSpd(dim, block, rho, 0.05, rng);
+      }
+      case MatrixClass::DdNonsym:
+        return ddNonsymmetric(dim, spec.profile, spec.meanNnz, 1.5,
+                              rng);
+      case MatrixClass::NonsymHard: {
+        const int32_t e = gridEdge2d(dim);
+        return convectionDiffusion2d(e, e, 2.5, 2.5);
+      }
+      case MatrixClass::SymIndefDd:
+        return symIndefiniteDd(dim - dim % 2, 0.5, rng);
+      case MatrixClass::IllCondSpd:
+        return illConditionedSpd(dim, 1e6, 0.4, 3, rng);
+    }
+    ACAMAR_PANIC("unknown matrix class");
+}
+
+std::vector<float>
+datasetRhs(const CsrMatrix<float> &a, const std::string &id)
+{
+    Rng rng(seedFor(id, 2));
+    std::vector<float> x_true(static_cast<size_t>(a.numCols()));
+    for (auto &v : x_true)
+        v = static_cast<float>(rng.uniform(0.5, 1.5));
+    return rhsForSolution(a, x_true);
+}
+
+} // namespace acamar

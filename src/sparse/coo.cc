@@ -1,0 +1,71 @@
+#include "sparse/coo.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+template <typename T>
+CooMatrix<T>::CooMatrix(int32_t rows, int32_t cols)
+    : rows_(rows), cols_(cols)
+{
+    ACAMAR_ASSERT(rows >= 0 && cols >= 0, "negative matrix dims");
+}
+
+template <typename T>
+void
+CooMatrix<T>::add(int32_t row, int32_t col, T value)
+{
+    ACAMAR_ASSERT(row >= 0 && row < rows_, "COO row ", row,
+                  " out of range [0, ", rows_, ")");
+    ACAMAR_ASSERT(col >= 0 && col < cols_, "COO col ", col,
+                  " out of range [0, ", cols_, ")");
+    triplets_.push_back({row, col, value});
+}
+
+template <typename T>
+CsrMatrix<T>
+CooMatrix<T>::toCsr() const
+{
+    std::vector<Triplet> sorted = triplets_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  if (a.row != b.row)
+                      return a.row < b.row;
+                  return a.col < b.col;
+              });
+
+    std::vector<int64_t> row_ptr(static_cast<size_t>(rows_) + 1, 0);
+    std::vector<int32_t> col_idx;
+    std::vector<T> values;
+    col_idx.reserve(sorted.size());
+    values.reserve(sorted.size());
+
+    size_t i = 0;
+    while (i < sorted.size()) {
+        const int32_t r = sorted[i].row;
+        const int32_t c = sorted[i].col;
+        T sum = 0;
+        while (i < sorted.size() && sorted[i].row == r &&
+               sorted[i].col == c) {
+            sum += sorted[i].value;
+            ++i;
+        }
+        col_idx.push_back(c);
+        values.push_back(sum);
+        ++row_ptr[static_cast<size_t>(r) + 1];
+    }
+    for (int32_t r = 0; r < rows_; ++r)
+        row_ptr[static_cast<size_t>(r) + 1] +=
+            row_ptr[static_cast<size_t>(r)];
+
+    return CsrMatrix<T>(rows_, cols_, std::move(row_ptr),
+                        std::move(col_idx), std::move(values));
+}
+
+template class CooMatrix<float>;
+template class CooMatrix<double>;
+
+} // namespace acamar

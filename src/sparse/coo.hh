@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Coordinate-format sparse matrix builder.
+ *
+ * COO is the assembly format: generators and the MatrixMarket reader
+ * append (row, col, value) triplets in any order, then convert to CSR
+ * (the accelerator's native format, as in the paper) or CSC.
+ */
+
+#ifndef ACAMAR_SPARSE_COO_HH
+#define ACAMAR_SPARSE_COO_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace acamar {
+
+template <typename T>
+class CsrMatrix;
+
+/**
+ * A sparse matrix under assembly as a triplet list. Duplicate
+ * entries are summed during conversion (FEM-style assembly).
+ */
+template <typename T>
+class CooMatrix
+{
+  public:
+    /** One (row, col, value) entry. */
+    struct Triplet {
+        int32_t row;
+        int32_t col;
+        T value;
+    };
+
+    /** Create an empty rows x cols matrix. */
+    CooMatrix(int32_t rows, int32_t cols);
+
+    /** Append one entry; duplicates are allowed and later summed. */
+    void add(int32_t row, int32_t col, T value);
+
+    /** Number of rows. */
+    int32_t numRows() const { return rows_; }
+
+    /** Number of columns. */
+    int32_t numCols() const { return cols_; }
+
+    /** Number of stored triplets (before duplicate merging). */
+    int64_t numTriplets() const
+    {
+        return static_cast<int64_t>(triplets_.size());
+    }
+
+    /** Read-only triplet access. */
+    const std::vector<Triplet> &triplets() const { return triplets_; }
+
+    /**
+     * Convert to CSR. Triplets are sorted (row, col) and duplicates
+     * summed; entries that sum to exactly zero are kept (structural
+     * nonzeros), matching common assembly semantics.
+     */
+    CsrMatrix<T> toCsr() const;
+
+  private:
+    int32_t rows_;
+    int32_t cols_;
+    std::vector<Triplet> triplets_;
+};
+
+extern template class CooMatrix<float>;
+extern template class CooMatrix<double>;
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_COO_HH

@@ -1,0 +1,61 @@
+#include "sparse/csc.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+template <typename T>
+CscMatrix<T>::CscMatrix(int32_t rows, int32_t cols,
+                        std::vector<int64_t> col_ptr,
+                        std::vector<int32_t> row_idx,
+                        std::vector<T> values)
+    : rows_(rows), cols_(cols), colPtr_(std::move(col_ptr)),
+      rowIdx_(std::move(row_idx)), values_(std::move(values))
+{
+    ACAMAR_ASSERT(rows >= 0 && cols >= 0, "negative matrix dims");
+    ACAMAR_ASSERT(colPtr_.size() == static_cast<size_t>(cols_) + 1,
+                  "colPtr size mismatch");
+    ACAMAR_ASSERT(rowIdx_.size() == values_.size(),
+                  "rowIdx/values size mismatch");
+    ACAMAR_ASSERT(colPtr_.front() == 0 &&
+                      colPtr_.back() ==
+                          static_cast<int64_t>(values_.size()),
+                  "colPtr bounds wrong");
+}
+
+template <typename T>
+CsrMatrix<T>
+CscMatrix<T>::toCsr() const
+{
+    // CSR of A has the same arrays as CSC of A^T; reuse the CSR
+    // transpose kernel by viewing our arrays as a CSR of A^T.
+    CsrMatrix<T> at_csr(cols_, rows_, colPtr_, rowIdx_, values_);
+    return at_csr.transpose();
+}
+
+template <typename T>
+bool
+CscMatrix<T>::matchesCsr(const CsrMatrix<T> &csr, T tol) const
+{
+    if (rows_ != csr.numRows() || cols_ != csr.numCols())
+        return false;
+    if (nnz() != csr.nnz())
+        return false;
+    if (colPtr_ != csr.rowPtr())
+        return false;
+    if (rowIdx_ != csr.colIdx())
+        return false;
+    for (size_t k = 0; k < values_.size(); ++k) {
+        if (std::abs(values_[k] - csr.values()[k]) > tol)
+            return false;
+    }
+    return true;
+}
+
+template class CscMatrix<float>;
+template class CscMatrix<double>;
+
+} // namespace acamar

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Compressed Sparse Column matrix.
+ *
+ * The paper's Matrix Structure unit decides symmetry by converting
+ * the CSR input to CSC and comparing the two representations; this
+ * class provides that conversion target.
+ */
+
+#ifndef ACAMAR_SPARSE_CSC_HH
+#define ACAMAR_SPARSE_CSC_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace acamar {
+
+template <typename T>
+class CsrMatrix;
+
+/** An immutable CSC sparse matrix. */
+template <typename T>
+class CscMatrix
+{
+  public:
+    /** Build directly from CSC arrays (validated). */
+    CscMatrix(int32_t rows, int32_t cols, std::vector<int64_t> col_ptr,
+              std::vector<int32_t> row_idx, std::vector<T> values);
+
+    /** Empty 0x0 matrix. */
+    CscMatrix() : rows_(0), cols_(0), colPtr_{0} {}
+
+    /** Number of rows. */
+    int32_t numRows() const { return rows_; }
+
+    /** Number of columns. */
+    int32_t numCols() const { return cols_; }
+
+    /** Number of stored entries. */
+    int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+    /** Column offsets (size cols+1). */
+    const std::vector<int64_t> &colPtr() const { return colPtr_; }
+
+    /** Row indices, sorted within each column. */
+    const std::vector<int32_t> &rowIdx() const { return rowIdx_; }
+
+    /** Entry values, parallel to rowIdx(). */
+    const std::vector<T> &values() const { return values_; }
+
+    /** Convert back to CSR. */
+    CsrMatrix<T> toCsr() const;
+
+    /**
+     * Compare against a CSR matrix as the Matrix Structure unit
+     * does: the matrix is symmetric iff its CSC arrays (colPtr,
+     * rowIdx, values) equal the CSR arrays (rowPtr, colIdx, values)
+     * within the given value tolerance.
+     */
+    bool matchesCsr(const CsrMatrix<T> &csr, T tol) const;
+
+  private:
+    int32_t rows_;
+    int32_t cols_;
+    std::vector<int64_t> colPtr_;
+    std::vector<int32_t> rowIdx_;
+    std::vector<T> values_;
+};
+
+extern template class CscMatrix<float>;
+extern template class CscMatrix<double>;
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_CSC_HH

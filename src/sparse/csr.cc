@@ -1,0 +1,144 @@
+#include "sparse/csr.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "sparse/csc.hh"
+
+namespace acamar {
+
+template <typename T>
+CsrMatrix<T>::CsrMatrix(int32_t rows, int32_t cols,
+                        std::vector<int64_t> row_ptr,
+                        std::vector<int32_t> col_idx,
+                        std::vector<T> values)
+    : rows_(rows), cols_(cols), rowPtr_(std::move(row_ptr)),
+      colIdx_(std::move(col_idx)), values_(std::move(values))
+{
+    ACAMAR_ASSERT(rows >= 0 && cols >= 0, "negative matrix dims");
+    ACAMAR_ASSERT(rowPtr_.size() == static_cast<size_t>(rows_) + 1,
+                  "rowPtr size mismatch");
+    ACAMAR_ASSERT(colIdx_.size() == values_.size(),
+                  "colIdx/values size mismatch");
+    ACAMAR_ASSERT(rowPtr_.front() == 0, "rowPtr must start at 0");
+    ACAMAR_ASSERT(rowPtr_.back() ==
+                      static_cast<int64_t>(values_.size()),
+                  "rowPtr must end at nnz");
+    for (int32_t r = 0; r < rows_; ++r) {
+        ACAMAR_ASSERT(rowPtr_[r] <= rowPtr_[r + 1],
+                      "rowPtr not monotone at row ", r);
+        for (int64_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+            ACAMAR_ASSERT(colIdx_[k] >= 0 && colIdx_[k] < cols_,
+                          "column index out of range");
+            if (k > rowPtr_[r]) {
+                ACAMAR_ASSERT(colIdx_[k - 1] < colIdx_[k],
+                              "columns not strictly sorted in row ", r);
+            }
+        }
+    }
+}
+
+template <typename T>
+T
+CsrMatrix<T>::at(int32_t r, int32_t c) const
+{
+    ACAMAR_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                  "at() index out of range");
+    const auto *base = colIdx_.data();
+    const auto *lo = base + rowPtr_[r];
+    const auto *hi = base + rowPtr_[r + 1];
+    const auto *it = std::lower_bound(lo, hi, c);
+    if (it != hi && *it == c)
+        return values_[static_cast<size_t>(it - base)];
+    return T(0);
+}
+
+template <typename T>
+std::vector<T>
+CsrMatrix<T>::diagonal() const
+{
+    const int32_t n = std::min(rows_, cols_);
+    std::vector<T> d(static_cast<size_t>(n), T(0));
+    for (int32_t r = 0; r < n; ++r)
+        d[r] = at(r, r);
+    return d;
+}
+
+template <typename T>
+bool
+CsrMatrix<T>::hasFullDiagonal() const
+{
+    const int32_t n = std::min(rows_, cols_);
+    for (int32_t r = 0; r < n; ++r) {
+        if (at(r, r) == T(0))
+            return false;
+    }
+    return true;
+}
+
+template <typename T>
+CsrMatrix<T>
+CsrMatrix<T>::transpose() const
+{
+    std::vector<int64_t> tp(static_cast<size_t>(cols_) + 1, 0);
+    for (int32_t c : colIdx_)
+        ++tp[static_cast<size_t>(c) + 1];
+    for (int32_t c = 0; c < cols_; ++c)
+        tp[static_cast<size_t>(c) + 1] += tp[static_cast<size_t>(c)];
+
+    std::vector<int32_t> tidx(values_.size());
+    std::vector<T> tval(values_.size());
+    std::vector<int64_t> cursor(tp.begin(), tp.end() - 1);
+    for (int32_t r = 0; r < rows_; ++r) {
+        for (int64_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+            const int32_t c = colIdx_[k];
+            const int64_t dst = cursor[c]++;
+            tidx[dst] = r;
+            tval[dst] = values_[k];
+        }
+    }
+    return CsrMatrix<T>(cols_, rows_, std::move(tp), std::move(tidx),
+                        std::move(tval));
+}
+
+template <typename T>
+CscMatrix<T>
+CsrMatrix<T>::toCsc() const
+{
+    // CSC of A has the same arrays as CSR of A^T.
+    CsrMatrix<T> t = transpose();
+    return CscMatrix<T>(rows_, cols_, t.rowPtr(), t.colIdx(),
+                        t.values());
+}
+
+template <typename T>
+CsrMatrix<T>
+CsrMatrix<T>::rowSlice(int32_t begin, int32_t end) const
+{
+    ACAMAR_ASSERT(begin >= 0 && begin <= end && end <= rows_,
+                  "bad rowSlice range");
+    const int64_t k0 = rowPtr_[begin];
+    const int64_t k1 = rowPtr_[end];
+    std::vector<int64_t> rp(static_cast<size_t>(end - begin) + 1);
+    for (int32_t r = begin; r <= end; ++r)
+        rp[static_cast<size_t>(r - begin)] = rowPtr_[r] - k0;
+    std::vector<int32_t> ci(colIdx_.begin() + k0, colIdx_.begin() + k1);
+    std::vector<T> vals(values_.begin() + k0, values_.begin() + k1);
+    return CsrMatrix<T>(end - begin, cols_, std::move(rp),
+                        std::move(ci), std::move(vals));
+}
+
+template <typename T>
+bool
+CsrMatrix<T>::equals(const CsrMatrix<T> &o) const
+{
+    return rows_ == o.rows_ && cols_ == o.cols_ &&
+           rowPtr_ == o.rowPtr_ && colIdx_ == o.colIdx_ &&
+           values_ == o.values_;
+}
+
+template class CsrMatrix<float>;
+template class CsrMatrix<double>;
+
+} // namespace acamar

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Compressed Sparse Row matrix — the accelerator's native format.
+ *
+ * Acamar streams the coefficient matrix in CSR: rowPtr offsets feed
+ * the Fine-Grained Reconfiguration unit (row-length trace), colIdx
+ * and values feed the SpMV lanes.
+ */
+
+#ifndef ACAMAR_SPARSE_CSR_HH
+#define ACAMAR_SPARSE_CSR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace acamar {
+
+template <typename T>
+class CscMatrix;
+
+/** An immutable CSR sparse matrix. */
+template <typename T>
+class CsrMatrix
+{
+  public:
+    /** Build directly from CSR arrays (validated). */
+    CsrMatrix(int32_t rows, int32_t cols, std::vector<int64_t> row_ptr,
+              std::vector<int32_t> col_idx, std::vector<T> values);
+
+    /** Empty 0x0 matrix. */
+    CsrMatrix() : rows_(0), cols_(0), rowPtr_{0} {}
+
+    /** Number of rows. */
+    int32_t numRows() const { return rows_; }
+
+    /** Number of columns. */
+    int32_t numCols() const { return cols_; }
+
+    /** Number of stored entries. */
+    int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+    /** Stored entries in row r. */
+    int64_t rowNnz(int32_t r) const
+    {
+        return rowPtr_[r + 1] - rowPtr_[r];
+    }
+
+    /** Row offsets (size rows+1). */
+    const std::vector<int64_t> &rowPtr() const { return rowPtr_; }
+
+    /** Column indices, sorted within each row. */
+    const std::vector<int32_t> &colIdx() const { return colIdx_; }
+
+    /** Entry values, parallel to colIdx(). */
+    const std::vector<T> &values() const { return values_; }
+
+    /**
+     * Value at (r, c); zero when the entry is not stored.
+     * Binary-searches within the row.
+     */
+    T at(int32_t r, int32_t c) const;
+
+    /** Extract the diagonal (missing entries read as zero). */
+    std::vector<T> diagonal() const;
+
+    /** True when every diagonal entry is stored and nonzero. */
+    bool hasFullDiagonal() const;
+
+    /** Transposed copy (also CSR). */
+    CsrMatrix<T> transpose() const;
+
+    /** Convert to CSC (used by the Matrix Structure unit). */
+    CscMatrix<T> toCsc() const;
+
+    /** Cast values to another scalar type (e.g. double -> float). */
+    template <typename U>
+    CsrMatrix<U>
+    cast() const
+    {
+        return CsrMatrix<U>(rows_, cols_, rowPtr_, colIdx_,
+                            std::vector<U>(values_.begin(),
+                                           values_.end()));
+    }
+
+    /**
+     * Extract rows [begin, end) as a standalone matrix with the same
+     * column count. Used to split work into 4096-row chunks.
+     */
+    CsrMatrix<T> rowSlice(int32_t begin, int32_t end) const;
+
+    /** Exact structural and numeric equality. */
+    bool equals(const CsrMatrix<T> &o) const;
+
+    /** Mean number of stored entries per row. */
+    double avgRowNnz() const
+    {
+        return rows_ ? static_cast<double>(nnz()) / rows_ : 0.0;
+    }
+
+  private:
+    int32_t rows_;
+    int32_t cols_;
+    std::vector<int64_t> rowPtr_;
+    std::vector<int32_t> colIdx_;
+    std::vector<T> values_;
+};
+
+extern template class CsrMatrix<float>;
+extern template class CsrMatrix<double>;
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_CSR_HH

@@ -1,0 +1,199 @@
+#include "sparse/ell.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+
+namespace acamar {
+
+template <typename T>
+EllMatrix<T>
+EllMatrix<T>::fromCsr(const CsrMatrix<T> &a, int64_t max_width)
+{
+    EllMatrix<T> e;
+    e.rows_ = a.numRows();
+    e.cols_ = a.numCols();
+    e.nnz_ = a.nnz();
+
+    int64_t width = 0;
+    for (int32_t r = 0; r < a.numRows(); ++r)
+        width = std::max(width, a.rowNnz(r));
+    if (max_width > 0 && width > max_width)
+        ACAMAR_FATAL("ELL width ", width, " exceeds cap ", max_width);
+    e.width_ = width;
+
+    e.colIdx_.assign(static_cast<size_t>(e.paddedSize()), -1);
+    e.values_.assign(static_cast<size_t>(e.paddedSize()), T(0));
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    const auto &va = a.values();
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        const int64_t base = static_cast<int64_t>(r) * width;
+        int64_t slot = 0;
+        for (int64_t k = rp[r]; k < rp[r + 1]; ++k, ++slot) {
+            e.colIdx_[base + slot] = ci[k];
+            e.values_[base + slot] = va[k];
+        }
+    }
+    return e;
+}
+
+template <typename T>
+double
+EllMatrix<T>::paddingOverhead() const
+{
+    const int64_t padded = paddedSize();
+    if (padded == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(nnz_) /
+                     static_cast<double>(padded);
+}
+
+template <typename T>
+void
+EllMatrix<T>::spmv(const std::vector<T> &x, std::vector<T> &y) const
+{
+    ACAMAR_ASSERT(x.size() == static_cast<size_t>(cols_),
+                  "ELL spmv x size mismatch");
+    y.resize(static_cast<size_t>(rows_));
+    for (int32_t r = 0; r < rows_; ++r) {
+        const int64_t base = static_cast<int64_t>(r) * width_;
+        T acc = 0;
+        for (int64_t s = 0; s < width_; ++s) {
+            const int32_t c = colIdx_[base + s];
+            if (c >= 0)
+                acc += values_[base + s] * x[c];
+        }
+        y[r] = acc;
+    }
+}
+
+template <typename T>
+CsrMatrix<T>
+EllMatrix<T>::toCsr() const
+{
+    CooMatrix<T> coo(rows_, cols_);
+    for (int32_t r = 0; r < rows_; ++r) {
+        const int64_t base = static_cast<int64_t>(r) * width_;
+        for (int64_t s = 0; s < width_; ++s) {
+            const int32_t c = colIdx_[base + s];
+            if (c >= 0)
+                coo.add(r, c, values_[base + s]);
+        }
+    }
+    return coo.toCsr();
+}
+
+template class EllMatrix<float>;
+template class EllMatrix<double>;
+
+template <typename T>
+SlicedEllMatrix<T>
+SlicedEllMatrix<T>::fromCsr(const CsrMatrix<T> &a, int64_t slice_rows)
+{
+    ACAMAR_ASSERT(slice_rows >= 1, "slice must hold >= 1 row");
+    SlicedEllMatrix<T> e;
+    e.rows_ = a.numRows();
+    e.cols_ = a.numCols();
+    e.sliceRows_ = slice_rows;
+    e.nnz_ = a.nnz();
+
+    const int64_t rows = a.numRows();
+    int64_t slot_base = 0;
+    for (int64_t begin = 0; begin < rows; begin += slice_rows) {
+        const int64_t end = std::min(begin + slice_rows, rows);
+        int64_t width = 0;
+        for (int64_t r = begin; r < end; ++r)
+            width = std::max(width,
+                             a.rowNnz(static_cast<int32_t>(r)));
+        width = std::max<int64_t>(width, 1);
+        e.widths_.push_back(width);
+        e.sliceBase_.push_back(slot_base);
+        slot_base += width * (end - begin);
+    }
+    if (rows == 0) {
+        return e;
+    }
+
+    e.colIdx_.assign(static_cast<size_t>(slot_base), -1);
+    e.values_.assign(static_cast<size_t>(slot_base), T(0));
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    const auto &va = a.values();
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        const auto s = static_cast<size_t>(r / slice_rows);
+        const int64_t row_in_slice = r % slice_rows;
+        const int64_t base =
+            e.sliceBase_[s] + row_in_slice * e.widths_[s];
+        int64_t slot = 0;
+        for (int64_t k = rp[r]; k < rp[r + 1]; ++k, ++slot) {
+            e.colIdx_[base + slot] = ci[k];
+            e.values_[base + slot] = va[k];
+        }
+    }
+    return e;
+}
+
+template <typename T>
+int64_t
+SlicedEllMatrix<T>::paddedSize() const
+{
+    return static_cast<int64_t>(colIdx_.size());
+}
+
+template <typename T>
+double
+SlicedEllMatrix<T>::paddingOverhead() const
+{
+    const int64_t padded = paddedSize();
+    if (padded == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(nnz_) /
+                     static_cast<double>(padded);
+}
+
+template <typename T>
+void
+SlicedEllMatrix<T>::spmv(const std::vector<T> &x,
+                         std::vector<T> &y) const
+{
+    ACAMAR_ASSERT(x.size() == static_cast<size_t>(cols_),
+                  "sliced-ELL spmv x size mismatch");
+    y.resize(static_cast<size_t>(rows_));
+    for (int32_t r = 0; r < rows_; ++r) {
+        const auto s = static_cast<size_t>(r / sliceRows_);
+        const int64_t base = sliceBase_[s] +
+                             (r % sliceRows_) * widths_[s];
+        T acc = 0;
+        for (int64_t k = 0; k < widths_[s]; ++k) {
+            const int32_t c = colIdx_[base + k];
+            if (c >= 0)
+                acc += values_[base + k] * x[c];
+        }
+        y[r] = acc;
+    }
+}
+
+template <typename T>
+CsrMatrix<T>
+SlicedEllMatrix<T>::toCsr() const
+{
+    CooMatrix<T> coo(rows_, cols_);
+    for (int32_t r = 0; r < rows_; ++r) {
+        const auto s = static_cast<size_t>(r / sliceRows_);
+        const int64_t base = sliceBase_[s] +
+                             (r % sliceRows_) * widths_[s];
+        for (int64_t k = 0; k < widths_[s]; ++k) {
+            const int32_t c = colIdx_[base + k];
+            if (c >= 0)
+                coo.add(r, c, values_[base + k]);
+        }
+    }
+    return coo.toCsr();
+}
+
+template class SlicedEllMatrix<float>;
+template class SlicedEllMatrix<double>;
+
+} // namespace acamar

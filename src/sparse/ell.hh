@@ -1,0 +1,153 @@
+/**
+ * @file
+ * ELLPACK (ELL) sparse format.
+ *
+ * ELL pads every row to the same width — the storage-format mirror
+ * of a fixed SpMV unroll factor. Its padding overhead is exactly the
+ * resource-underutilization story of the paper told in memory terms,
+ * which the `ablation_formats` bench quantifies side by side with
+ * Eq. 5.
+ */
+
+#ifndef ACAMAR_SPARSE_ELL_HH
+#define ACAMAR_SPARSE_ELL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/**
+ * An immutable ELL matrix: `width` slots per row, column-index -1
+ * marking padding. Stored row-major (row r's slots are contiguous).
+ */
+template <typename T>
+class EllMatrix
+{
+  public:
+    /**
+     * Convert from CSR, padding every row to the longest row (or
+     * fatal if that exceeds `max_width` > 0).
+     */
+    static EllMatrix fromCsr(const CsrMatrix<T> &a,
+                             int64_t max_width = 0);
+
+    /** Number of rows. */
+    int32_t numRows() const { return rows_; }
+
+    /** Number of columns. */
+    int32_t numCols() const { return cols_; }
+
+    /** Padded slots per row. */
+    int64_t width() const { return width_; }
+
+    /** Stored real (non-padding) entries. */
+    int64_t nnz() const { return nnz_; }
+
+    /** Total slots incl. padding = rows * width. */
+    int64_t
+    paddedSize() const
+    {
+        return static_cast<int64_t>(rows_) * width_;
+    }
+
+    /** Fraction of slots wasted on padding, in [0, 1). */
+    double paddingOverhead() const;
+
+    /** Column indices (-1 = padding), size paddedSize(). */
+    const std::vector<int32_t> &colIdx() const { return colIdx_; }
+
+    /** Values (0 in padding slots), size paddedSize(). */
+    const std::vector<T> &values() const { return values_; }
+
+    /** y = A x over the padded layout. */
+    void spmv(const std::vector<T> &x, std::vector<T> &y) const;
+
+    /** Convert back to CSR (padding dropped). */
+    CsrMatrix<T> toCsr() const;
+
+  private:
+    EllMatrix() = default;
+
+    int32_t rows_ = 0;
+    int32_t cols_ = 0;
+    int64_t width_ = 0;
+    int64_t nnz_ = 0;
+    std::vector<int32_t> colIdx_;
+    std::vector<T> values_;
+};
+
+extern template class EllMatrix<float>;
+extern template class EllMatrix<double>;
+
+/**
+ * Sliced ELL: rows are grouped into fixed-size slices and each
+ * slice is padded only to its own widest row. This is the storage
+ * twin of Acamar's per-set unroll factors — slice size plays the
+ * role of set size, and the padding saved over plain ELL is the
+ * memory-side analogue of the utilization the Dynamic SpMV Kernel
+ * recovers.
+ */
+template <typename T>
+class SlicedEllMatrix
+{
+  public:
+    /**
+     * Convert from CSR with the given rows-per-slice (the last
+     * slice takes the remainder).
+     */
+    static SlicedEllMatrix fromCsr(const CsrMatrix<T> &a,
+                                   int64_t slice_rows);
+
+    /** Number of rows. */
+    int32_t numRows() const { return rows_; }
+
+    /** Number of columns. */
+    int32_t numCols() const { return cols_; }
+
+    /** Rows per slice. */
+    int64_t sliceRows() const { return sliceRows_; }
+
+    /** Number of slices. */
+    size_t numSlices() const { return widths_.size(); }
+
+    /** Width of slice s. */
+    int64_t sliceWidth(size_t s) const { return widths_.at(s); }
+
+    /** Real stored entries. */
+    int64_t nnz() const { return nnz_; }
+
+    /** Total slots including padding. */
+    int64_t paddedSize() const;
+
+    /** Fraction of slots wasted on padding, in [0, 1). */
+    double paddingOverhead() const;
+
+    /** y = A x over the sliced layout. */
+    void spmv(const std::vector<T> &x, std::vector<T> &y) const;
+
+    /** Convert back to CSR (padding dropped). */
+    CsrMatrix<T> toCsr() const;
+
+  private:
+    SlicedEllMatrix() = default;
+
+    int32_t rows_ = 0;
+    int32_t cols_ = 0;
+    int64_t sliceRows_ = 0;
+    int64_t nnz_ = 0;
+    std::vector<int64_t> widths_;     //!< per-slice width
+    std::vector<int64_t> sliceBase_;  //!< slot offset of each slice
+    std::vector<int32_t> colIdx_;     //!< -1 = padding
+    std::vector<T> values_;
+};
+
+extern template class SlicedEllMatrix<float>;
+extern template class SlicedEllMatrix<double>;
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_ELL_HH

@@ -1,0 +1,499 @@
+#include "sparse/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.hh"
+#include "sparse/coo.hh"
+#include "sparse/spmv.hh"
+
+namespace acamar {
+
+std::vector<int>
+rowLengthTraceGen(int32_t n, RowProfile profile, double mean_len,
+                  Rng &rng)
+{
+    ACAMAR_ASSERT(n > 1, "need at least two rows");
+    ACAMAR_ASSERT(mean_len >= 1.0, "mean length must be >= 1");
+    const int cap = std::max(1, n - 1);
+    std::vector<int> lens(static_cast<size_t>(n), 1);
+
+    switch (profile) {
+      case RowProfile::Uniform:
+        for (auto &l : lens) {
+            const double v = rng.normal(mean_len, mean_len * 0.1);
+            l = std::clamp(static_cast<int>(std::lround(v)), 1, cap);
+        }
+        break;
+      case RowProfile::PowerLaw: {
+        // alpha 2.2 gives a heavy tail with finite mean; rescale the
+        // sample so its mean lands exactly on mean_len.
+        std::vector<double> raw(static_cast<size_t>(n));
+        double sum = 0.0;
+        for (auto &v : raw) {
+            v = static_cast<double>(rng.powerLaw(2.2, cap));
+            sum += v;
+        }
+        const double scale = mean_len * static_cast<double>(n) / sum;
+        for (int32_t r = 0; r < n; ++r) {
+            lens[r] = std::clamp(
+                static_cast<int>(std::lround(raw[r] * scale)), 1,
+                cap);
+        }
+        // Degree-sorted ordering: graph/circuit matrices are
+        // routinely permuted so high-degree rows cluster, which is
+        // the row-length locality Acamar's per-set adaptation
+        // exploits (heavy rows share sets instead of hiding in the
+        // set average).
+        std::sort(lens.begin(), lens.end(), std::greater<int>());
+        break;
+      }
+      case RowProfile::Wave:
+        for (int32_t r = 0; r < n; ++r) {
+            const double phase =
+                2.0 * M_PI * static_cast<double>(r) / 512.0;
+            const double v =
+                mean_len * (1.0 + 0.6 * std::sin(phase)) +
+                rng.normal(0.0, mean_len * 0.05);
+            lens[r] = std::clamp(static_cast<int>(std::lround(v)), 1,
+                                 cap);
+        }
+        break;
+      case RowProfile::Banded:
+        for (int32_t r = 0; r < n; ++r) {
+            // Alternate long and short row populations in runs of 64.
+            const bool heavy = (r / 64) % 2 == 0;
+            const double target =
+                heavy ? mean_len * 1.6 : mean_len * 0.4;
+            const double v = rng.normal(target, mean_len * 0.05);
+            lens[r] = std::clamp(static_cast<int>(std::lround(v)), 1,
+                                 cap);
+        }
+        break;
+    }
+    return lens;
+}
+
+namespace {
+
+/**
+ * Pick `count` distinct off-diagonal column indices for row r,
+ * biased toward a band around the diagonal so generated matrices
+ * have realistic locality.
+ */
+std::vector<int32_t>
+pickColumns(int32_t n, int32_t r, int count, Rng &rng)
+{
+    std::set<int32_t> cols;
+    int guard = 0;
+    while (static_cast<int>(cols.size()) < count &&
+           guard < count * 20) {
+        ++guard;
+        int32_t c;
+        if (rng.chance(0.7)) {
+            // Banded: within +/- 16 of the diagonal.
+            c = r + static_cast<int32_t>(rng.uniformInt(-16, 16));
+        } else {
+            c = static_cast<int32_t>(rng.uniformInt(0, n - 1));
+        }
+        if (c < 0 || c >= n || c == r)
+            continue;
+        cols.insert(c);
+    }
+    // Fall back to a linear scan if the band is saturated.
+    for (int32_t c = 0; static_cast<int>(cols.size()) < count && c < n;
+         ++c) {
+        if (c != r)
+            cols.insert(c);
+    }
+    return {cols.begin(), cols.end()};
+}
+
+} // namespace
+
+CsrMatrix<double>
+poisson2d(int32_t nx, int32_t ny, double diag_shift)
+{
+    ACAMAR_ASSERT(nx > 0 && ny > 0, "bad grid");
+    const int32_t n = nx * ny;
+    CooMatrix<double> coo(n, n);
+    auto idx = [&](int32_t i, int32_t j) { return i * ny + j; };
+    for (int32_t i = 0; i < nx; ++i) {
+        for (int32_t j = 0; j < ny; ++j) {
+            const int32_t me = idx(i, j);
+            coo.add(me, me, 4.0 + diag_shift);
+            if (i > 0)
+                coo.add(me, idx(i - 1, j), -1.0);
+            if (i < nx - 1)
+                coo.add(me, idx(i + 1, j), -1.0);
+            if (j > 0)
+                coo.add(me, idx(i, j - 1), -1.0);
+            if (j < ny - 1)
+                coo.add(me, idx(i, j + 1), -1.0);
+        }
+    }
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+poisson3d(int32_t nx, int32_t ny, int32_t nz, double diag_shift)
+{
+    ACAMAR_ASSERT(nx > 0 && ny > 0 && nz > 0, "bad grid");
+    const int32_t n = nx * ny * nz;
+    CooMatrix<double> coo(n, n);
+    auto idx = [&](int32_t i, int32_t j, int32_t k) {
+        return (i * ny + j) * nz + k;
+    };
+    for (int32_t i = 0; i < nx; ++i) {
+        for (int32_t j = 0; j < ny; ++j) {
+            for (int32_t k = 0; k < nz; ++k) {
+                const int32_t me = idx(i, j, k);
+                coo.add(me, me, 6.0 + diag_shift);
+                if (i > 0)
+                    coo.add(me, idx(i - 1, j, k), -1.0);
+                if (i < nx - 1)
+                    coo.add(me, idx(i + 1, j, k), -1.0);
+                if (j > 0)
+                    coo.add(me, idx(i, j - 1, k), -1.0);
+                if (j < ny - 1)
+                    coo.add(me, idx(i, j + 1, k), -1.0);
+                if (k > 0)
+                    coo.add(me, idx(i, j, k - 1), -1.0);
+                if (k < nz - 1)
+                    coo.add(me, idx(i, j, k + 1), -1.0);
+            }
+        }
+    }
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+stencil27(int32_t nx, int32_t ny, int32_t nz, double diag_shift)
+{
+    ACAMAR_ASSERT(nx > 0 && ny > 0 && nz > 0, "bad grid");
+    const int32_t n = nx * ny * nz;
+    CooMatrix<double> coo(n, n);
+    auto idx = [&](int32_t i, int32_t j, int32_t k) {
+        return (i * ny + j) * nz + k;
+    };
+    for (int32_t i = 0; i < nx; ++i) {
+        for (int32_t j = 0; j < ny; ++j) {
+            for (int32_t k = 0; k < nz; ++k) {
+                const int32_t me = idx(i, j, k);
+                coo.add(me, me, 26.0 + diag_shift);
+                for (int32_t di = -1; di <= 1; ++di) {
+                    for (int32_t dj = -1; dj <= 1; ++dj) {
+                        for (int32_t dk = -1; dk <= 1; ++dk) {
+                            if (di == 0 && dj == 0 && dk == 0)
+                                continue;
+                            const int32_t ni = i + di;
+                            const int32_t nj = j + dj;
+                            const int32_t nk = k + dk;
+                            if (ni < 0 || ni >= nx || nj < 0 ||
+                                nj >= ny || nk < 0 || nk >= nz) {
+                                continue;
+                            }
+                            coo.add(me, idx(ni, nj, nk), -1.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+convectionDiffusion2d(int32_t nx, int32_t ny, double px, double py)
+{
+    ACAMAR_ASSERT(nx > 0 && ny > 0, "bad grid");
+    const int32_t n = nx * ny;
+    CooMatrix<double> coo(n, n);
+    auto idx = [&](int32_t i, int32_t j) { return i * ny + j; };
+    for (int32_t i = 0; i < nx; ++i) {
+        for (int32_t j = 0; j < ny; ++j) {
+            const int32_t me = idx(i, j);
+            coo.add(me, me, 4.0);
+            // Centered differences: -1 -/+ p on the two neighbours
+            // along each convection direction.
+            if (i > 0)
+                coo.add(me, idx(i - 1, j), -1.0 - px);
+            if (i < nx - 1)
+                coo.add(me, idx(i + 1, j), -1.0 + px);
+            if (j > 0)
+                coo.add(me, idx(i, j - 1), -1.0 - py);
+            if (j < ny - 1)
+                coo.add(me, idx(i, j + 1), -1.0 + py);
+        }
+    }
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+blockOnesSpd(int32_t n, int32_t mean_block, double rho, double bridge,
+             Rng &rng)
+{
+    ACAMAR_ASSERT(n > 2, "matrix too small");
+    ACAMAR_ASSERT(mean_block >= 2, "blocks need >= 2 rows");
+    ACAMAR_ASSERT(rho > 0.0 && rho < 1.0, "need 0 < rho < 1 for SPD");
+    CooMatrix<double> coo(n, n);
+
+    int32_t row = 0;
+    while (row < n) {
+        const auto jitter =
+            static_cast<int32_t>(rng.uniformInt(-mean_block / 2,
+                                                mean_block / 2));
+        int32_t m = std::max<int32_t>(2, mean_block + jitter);
+        m = std::min(m, n - row);
+        if (n - (row + m) == 1)
+            ++m; // avoid a trailing 1x1 block
+        for (int32_t a = 0; a < m; ++a) {
+            for (int32_t b = 0; b < m; ++b) {
+                if (a == b)
+                    coo.add(row + a, row + a, 1.0);
+                else
+                    coo.add(row + a, row + b, rho);
+            }
+        }
+        row += m;
+    }
+
+    if (bridge > 0.0) {
+        // Weak SPD tridiagonal bridge spreads the spectrum so CG
+        // needs a realistic number of iterations.
+        for (int32_t r = 0; r + 1 < n; ++r) {
+            coo.add(r, r, bridge);
+            coo.add(r + 1, r + 1, bridge);
+            coo.add(r, r + 1, -bridge);
+            coo.add(r + 1, r, -bridge);
+        }
+    }
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+ddNonsymmetric(int32_t n, RowProfile profile, double mean_len,
+               double dominance, Rng &rng)
+{
+    ACAMAR_ASSERT(dominance > 1.0, "dominance must exceed 1");
+    const auto lens = rowLengthTraceGen(n, profile, mean_len, rng);
+    CooMatrix<double> coo(n, n);
+    for (int32_t r = 0; r < n; ++r) {
+        const auto cols = pickColumns(n, r, lens[r], rng);
+        double abs_sum = 0.0;
+        for (int32_t c : cols) {
+            // Sign by position: + above the diagonal, - below. The
+            // resulting strong skew-symmetric part is what actually
+            // defeats CG; random signs average out into a
+            // near-normal matrix CG can often still handle.
+            const double v =
+                rng.uniform(0.2, 1.0) * (c > r ? 1.0 : -1.0);
+            abs_sum += std::abs(v);
+            coo.add(r, c, v);
+        }
+        coo.add(r, r, dominance * std::max(abs_sum, 0.5));
+    }
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+symIndefiniteDd(int32_t n, double coupling, Rng &rng)
+{
+    ACAMAR_ASSERT(n % 2 == 0, "need an even dimension");
+    ACAMAR_ASSERT(coupling > 0.0 && coupling < 1.0,
+                  "coupling must be in (0, 1) for dominance");
+    CooMatrix<double> coo(n, n);
+    // Pair row 2i (diag +d) with row 2i+1 (diag -d), d log-uniform
+    // over four decades. Eigenvalues are +/- d sqrt(1 + coupling^2):
+    // a symmetric indefinite spectrum spanning both signs and four
+    // orders of magnitude. Krylov methods (CG, BiCG-STAB) need on
+    // the order of the condition number (~1e4) iterations here and
+    // stall or break down in fp32, while Jacobi's contraction ratio
+    // is a scale-free |coupling| < 1 per block and converges fast —
+    // the Table II (JB ok, CG x, BiCG x) rows.
+    for (int32_t i = 0; i < n / 2; ++i) {
+        const int32_t a = 2 * i;
+        const int32_t b = 2 * i + 1;
+        const double d = std::pow(10.0, rng.uniform(-4.0, 0.0));
+        const double eps = coupling * d * rng.uniform(0.9, 1.0);
+        coo.add(a, a, d);
+        coo.add(b, b, -d);
+        coo.add(a, b, eps);
+        coo.add(b, a, eps);
+    }
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+illConditionedSpd(int32_t n, double cond, double coupling, int32_t k,
+                  Rng &rng)
+{
+    ACAMAR_ASSERT(cond > 1.0, "condition target must exceed 1");
+    ACAMAR_ASSERT(k >= 1, "need at least one coupling entry per row");
+    CooMatrix<double> coo(n, n);
+
+    // Sparse B with k entries per row; A += coupling * B B^T is SPD.
+    // Building B B^T row-wise through shared columns creates cliques
+    // whose off-diagonal mass defeats diagonal dominance.
+    std::vector<std::vector<int32_t>> owners(
+        static_cast<size_t>(n / 4 + 1));
+    std::vector<std::vector<double>> weights(owners.size());
+    for (int32_t r = 0; r < n; ++r) {
+        for (int32_t e = 0; e < k; ++e) {
+            const auto c = static_cast<size_t>(
+                rng.uniformInt(0, static_cast<int64_t>(owners.size()) -
+                                      1));
+            owners[c].push_back(r);
+            weights[c].push_back(rng.uniform(0.5, 1.0));
+        }
+    }
+    for (size_t c = 0; c < owners.size(); ++c) {
+        const auto &rows = owners[c];
+        const auto &w = weights[c];
+        for (size_t i = 0; i < rows.size(); ++i) {
+            for (size_t j = 0; j < rows.size(); ++j)
+                coo.add(rows[i], rows[j], coupling * w[i] * w[j]);
+        }
+    }
+
+    // Geometric diagonal from 1 down to 1/cond sets the conditioning.
+    for (int32_t r = 0; r < n; ++r) {
+        const double t = static_cast<double>(r) /
+                         static_cast<double>(n - 1);
+        coo.add(r, r, std::pow(cond, -t));
+    }
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+graphLaplacianPowerLaw(int32_t n, double alpha, int32_t max_degree,
+                       double diag_shift, Rng &rng)
+{
+    ACAMAR_ASSERT(max_degree >= 1 && max_degree < n, "bad max degree");
+    CooMatrix<double> coo(n, n);
+    std::vector<double> degree_weight(static_cast<size_t>(n), 0.0);
+
+    // Degree-sorted vertex labelling (hubs first): mirrors the
+    // preprocessed ordering of circuit/web matrices and gives the
+    // row-length locality the per-set reconfiguration relies on.
+    std::vector<int> degrees(static_cast<size_t>(n));
+    for (auto &d : degrees)
+        d = static_cast<int>(rng.powerLaw(alpha, max_degree));
+    std::sort(degrees.begin(), degrees.end(), std::greater<int>());
+
+    for (int32_t r = 0; r < n; ++r) {
+        const int want = degrees[static_cast<size_t>(r)];
+        const auto cols = pickColumns(n, r, want, rng);
+        for (int32_t c : cols) {
+            if (c <= r)
+                continue; // add each undirected edge once
+            const double w = rng.uniform(0.2, 1.0);
+            coo.add(r, c, -w);
+            coo.add(c, r, -w);
+            degree_weight[r] += w;
+            degree_weight[c] += w;
+        }
+    }
+    for (int32_t r = 0; r < n; ++r)
+        coo.add(r, r, degree_weight[r] + diag_shift);
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+randomSparse(int32_t n, RowProfile profile, double mean_len,
+             double diag_value, Rng &rng)
+{
+    const auto lens = rowLengthTraceGen(n, profile, mean_len, rng);
+    CooMatrix<double> coo(n, n);
+    for (int32_t r = 0; r < n; ++r) {
+        for (int32_t c : pickColumns(n, r, lens[r], rng))
+            coo.add(r, c, rng.uniform(-1.0, 1.0));
+        coo.add(r, r, diag_value);
+    }
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+addDiagonal(const CsrMatrix<double> &a, double shift)
+{
+    CooMatrix<double> coo(a.numRows(), a.numCols());
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    const auto &va = a.values();
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        for (int64_t k = rp[r]; k < rp[r + 1]; ++k)
+            coo.add(r, ci[k], va[k]);
+    }
+    const int32_t n = std::min(a.numRows(), a.numCols());
+    for (int32_t r = 0; r < n; ++r)
+        coo.add(r, r, shift);
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+symmetrize(const CsrMatrix<double> &a)
+{
+    ACAMAR_ASSERT(a.numRows() == a.numCols(),
+                  "can only symmetrize square matrices");
+    CooMatrix<double> coo(a.numRows(), a.numCols());
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    const auto &va = a.values();
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        for (int64_t k = rp[r]; k < rp[r + 1]; ++k) {
+            coo.add(r, ci[k], 0.5 * va[k]);
+            coo.add(ci[k], r, 0.5 * va[k]);
+        }
+    }
+    return coo.toCsr();
+}
+
+double
+jacobiSpectralRadius(const CsrMatrix<double> &a, int iters, Rng &rng)
+{
+    ACAMAR_ASSERT(a.numRows() == a.numCols(), "need a square matrix");
+    const int32_t n = a.numRows();
+    const auto diag = a.diagonal();
+    for (double d : diag)
+        ACAMAR_ASSERT(d != 0.0, "zero diagonal in Jacobi radius probe");
+
+    std::vector<double> v(static_cast<size_t>(n));
+    for (auto &x : v)
+        x = rng.uniform(-1.0, 1.0);
+
+    std::vector<double> av;
+    double radius = 0.0;
+    for (int it = 0; it < iters; ++it) {
+        // w = -D^-1 (A - D) v = v - D^-1 A v
+        spmv(a, v, av);
+        for (int32_t i = 0; i < n; ++i)
+            av[i] = v[i] - av[i] / diag[i];
+        double nrm = 0.0;
+        for (double x : av)
+            nrm += x * x;
+        nrm = std::sqrt(nrm);
+        if (nrm == 0.0)
+            return 0.0;
+        radius = nrm;
+        for (int32_t i = 0; i < n; ++i)
+            v[i] = av[i] / nrm;
+    }
+    return radius;
+}
+
+template <typename T>
+std::vector<T>
+rhsForSolution(const CsrMatrix<T> &a, const std::vector<T> &x_true)
+{
+    std::vector<T> b;
+    spmv(a, x_true, b);
+    return b;
+}
+
+template std::vector<float> rhsForSolution<float>(
+    const CsrMatrix<float> &, const std::vector<float> &);
+template std::vector<double> rhsForSolution<double>(
+    const CsrMatrix<double> &, const std::vector<double> &);
+
+} // namespace acamar

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Synthetic sparse-matrix generators.
+ *
+ * The paper evaluates on SuiteSparse matrices whose relevance comes
+ * from (a) their structural class — strictly diagonally dominant /
+ * symmetric positive definite / non-symmetric / indefinite — which
+ * decides solver convergence (Table II), and (b) their NNZ-per-row
+ * profile, which decides SpMV resource utilization (Figures 2, 6-12).
+ * These generators control both directly; the catalog maps each
+ * paper dataset to a recipe built from them.
+ */
+
+#ifndef ACAMAR_SPARSE_GENERATORS_HH
+#define ACAMAR_SPARSE_GENERATORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/** Shapes for the NNZ-per-row length trace of generated matrices. */
+enum class RowProfile {
+    Uniform,  //!< every row near the mean length
+    PowerLaw, //!< few heavy rows, many light rows (graph-like)
+    Wave,     //!< length oscillates smoothly along rows (FEM-like)
+    Banded,   //!< two populations of short and long rows
+};
+
+/**
+ * Draw a target length for every row following a profile.
+ *
+ * @param n number of rows.
+ * @param profile trace shape.
+ * @param mean_len average target length (>= 1).
+ * @param rng deterministic generator.
+ * @return per-row lengths, each >= 1 and <= n-1.
+ */
+std::vector<int> rowLengthTraceGen(int32_t n, RowProfile profile,
+                                   double mean_len, Rng &rng);
+
+/**
+ * 5-point finite-difference Laplacian on an nx-by-ny grid, plus
+ * `diag_shift` added to the diagonal. SPD; strictly diagonally
+ * dominant when diag_shift > 0.
+ */
+CsrMatrix<double> poisson2d(int32_t nx, int32_t ny,
+                            double diag_shift = 0.0);
+
+/** 7-point Laplacian on an nx-by-ny-by-nz grid plus diagonal shift. */
+CsrMatrix<double> poisson3d(int32_t nx, int32_t ny, int32_t nz,
+                            double diag_shift = 0.0);
+
+/**
+ * 27-point stencil on an nx-by-ny-by-nz grid — the HPCG operator
+ * (each interior point couples to its full 3x3x3 neighbourhood
+ * with weight -1 and diagonal 26). SPD and weakly diagonally
+ * dominant; diag_shift > 0 makes it strictly dominant.
+ */
+CsrMatrix<double> stencil27(int32_t nx, int32_t ny, int32_t nz,
+                            double diag_shift = 0.0);
+
+/**
+ * Centered-difference convection-diffusion operator on an nx-by-ny
+ * grid with mesh Peclet numbers (px, py). For |p| > 1 the matrix
+ * loses diagonal dominance and Jacobi diverges for |p| large, while
+ * the Hermitian part stays positive definite so BiCG-STAB converges.
+ * Non-symmetric whenever px or py != 0.
+ */
+CsrMatrix<double> convectionDiffusion2d(int32_t nx, int32_t ny,
+                                        double px, double py);
+
+/**
+ * SPD block matrix: diagonal blocks (1-rho) I + rho * ones(m) for
+ * block sizes drawn around mean_block, optionally coupled to the
+ * next block with a weak SPD tridiagonal bridge of weight `bridge`.
+ * SPD for 0 < rho < 1; the Jacobi iteration matrix has spectral
+ * radius about rho*(m-1), so rho > 1/(mean_block-1) makes Jacobi
+ * diverge while CG converges quickly — the (JB x, CG ok) class.
+ */
+CsrMatrix<double> blockOnesSpd(int32_t n, int32_t mean_block,
+                               double rho, double bridge, Rng &rng);
+
+/**
+ * Strictly diagonally dominant non-symmetric random matrix: each row
+ * gets a profile-drawn number of positive off-diagonals and
+ * diagonal = dominance * (off-diagonal row sum). For dominance > 1
+ * Jacobi converges; the asymmetric pattern defeats CG.
+ */
+CsrMatrix<double> ddNonsymmetric(int32_t n, RowProfile profile,
+                                 double mean_len, double dominance,
+                                 Rng &rng);
+
+/**
+ * Strictly diagonally dominant *symmetric indefinite* matrix:
+ * diagonal is +1 on even rows and -1 on odd rows and symmetric
+ * off-diagonal coupling with row sums <= coupling < 1. Jacobi
+ * converges (dominance), CG breaks down (p^T A p changes sign) and
+ * BiCG-STAB stagnates or breaks down (omega ~ 0 on balanced
+ * spectra) — the (JB ok, CG x, BiCG x) class of Table II.
+ */
+CsrMatrix<double> symIndefiniteDd(int32_t n, double coupling, Rng &rng);
+
+/**
+ * Ill-conditioned SPD matrix without diagonal dominance:
+ * A = Q^T D Q-like product built sparsely as
+ * A = C + diag(geometric 1..1/cond) where C is a sprand-SPD
+ * coupling (B B^T) scaled by `coupling`. Conditioning defeats
+ * BiCG-STAB's short recurrences in fp32 while CG still converges;
+ * coupling pushes the Jacobi radius past 1 — the (JB x, CG ok,
+ * BiCG x) class.
+ */
+CsrMatrix<double> illConditionedSpd(int32_t n, double cond,
+                                    double coupling, int32_t k,
+                                    Rng &rng);
+
+/**
+ * Power-law graph Laplacian plus diag_shift: symmetric, strictly
+ * diagonally dominant for diag_shift > 0, with strongly skewed
+ * NNZ/row — the every-solver-converges class with realistic
+ * irregular sparsity (circuit/web-graph matrices of Table II).
+ */
+CsrMatrix<double> graphLaplacianPowerLaw(int32_t n, double alpha,
+                                         int32_t max_degree,
+                                         double diag_shift, Rng &rng);
+
+/**
+ * General random sparse matrix with the given row profile; values
+ * uniform in [-1, 1), diagonal forced present with value
+ * `diag_value`. No structural guarantees: the "anything" input used
+ * by robustness tests.
+ */
+CsrMatrix<double> randomSparse(int32_t n, RowProfile profile,
+                               double mean_len, double diag_value,
+                               Rng &rng);
+
+/** A + shift * I (returns a new matrix; missing diagonals added). */
+CsrMatrix<double> addDiagonal(const CsrMatrix<double> &a, double shift);
+
+/** Symmetric part (A + A^T) / 2. */
+CsrMatrix<double> symmetrize(const CsrMatrix<double> &a);
+
+/**
+ * Estimate the spectral radius of the Jacobi iteration matrix
+ * T = -D^-1 (A - D) by power iteration; rho(T) < 1 iff Jacobi
+ * converges. Used by tests and the catalog tuning harness.
+ */
+double jacobiSpectralRadius(const CsrMatrix<double> &a, int iters,
+                            Rng &rng);
+
+/** b = A * x_true for a known solution (testing helper). */
+template <typename T>
+std::vector<T> rhsForSolution(const CsrMatrix<T> &a,
+                              const std::vector<T> &x_true);
+
+extern template std::vector<float> rhsForSolution<float>(
+    const CsrMatrix<float> &, const std::vector<float> &);
+extern template std::vector<double> rhsForSolution<double>(
+    const CsrMatrix<double> &, const std::vector<double> &);
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_GENERATORS_HH

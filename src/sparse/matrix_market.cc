@@ -1,0 +1,133 @@
+#include "sparse/matrix_market.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "common/string_utils.hh"
+#include "sparse/coo.hh"
+
+namespace acamar {
+namespace {
+
+enum class Field { Real, Integer, Pattern };
+enum class Storage { General, Symmetric, SkewSymmetric };
+
+} // namespace
+
+CsrMatrix<double>
+readMatrixMarket(std::istream &in)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        ACAMAR_FATAL("empty MatrixMarket stream");
+
+    auto header = splitWhitespace(toLower(line));
+    if (header.size() < 5 || header[0] != "%%matrixmarket" ||
+        header[1] != "matrix" || header[2] != "coordinate") {
+        ACAMAR_FATAL("unsupported MatrixMarket header: ", line);
+    }
+
+    Field field;
+    if (header[3] == "real") {
+        field = Field::Real;
+    } else if (header[3] == "integer") {
+        field = Field::Integer;
+    } else if (header[3] == "pattern") {
+        field = Field::Pattern;
+    } else {
+        ACAMAR_FATAL("unsupported MatrixMarket field: ", header[3]);
+    }
+
+    Storage storage;
+    if (header[4] == "general") {
+        storage = Storage::General;
+    } else if (header[4] == "symmetric") {
+        storage = Storage::Symmetric;
+    } else if (header[4] == "skew-symmetric") {
+        storage = Storage::SkewSymmetric;
+    } else {
+        ACAMAR_FATAL("unsupported MatrixMarket storage: ", header[4]);
+    }
+
+    // Skip comments, find the size line.
+    while (std::getline(in, line)) {
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '%')
+            continue;
+        break;
+    }
+    auto size_tok = splitWhitespace(line);
+    if (size_tok.size() != 3)
+        ACAMAR_FATAL("bad MatrixMarket size line: ", line);
+    const auto rows = static_cast<int32_t>(parseInt(size_tok[0]));
+    const auto cols = static_cast<int32_t>(parseInt(size_tok[1]));
+    const auto entries = parseInt(size_tok[2]);
+
+    CooMatrix<double> coo(rows, cols);
+    long long seen = 0;
+    while (seen < entries && std::getline(in, line)) {
+        const std::string t = trim(line);
+        if (t.empty() || t[0] == '%')
+            continue;
+        auto tok = splitWhitespace(t);
+        const size_t want = field == Field::Pattern ? 2 : 3;
+        if (tok.size() < want)
+            ACAMAR_FATAL("bad MatrixMarket entry: ", line);
+        const auto r = static_cast<int32_t>(parseInt(tok[0])) - 1;
+        const auto c = static_cast<int32_t>(parseInt(tok[1])) - 1;
+        const double v =
+            field == Field::Pattern ? 1.0 : parseDouble(tok[2]);
+        coo.add(r, c, v);
+        if (r != c) {
+            if (storage == Storage::Symmetric)
+                coo.add(c, r, v);
+            else if (storage == Storage::SkewSymmetric)
+                coo.add(c, r, -v);
+        }
+        ++seen;
+    }
+    if (seen != entries)
+        ACAMAR_FATAL("MatrixMarket stream truncated: got ", seen,
+                     " of ", entries, " entries");
+    return coo.toCsr();
+}
+
+CsrMatrix<double>
+readMatrixMarketFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        ACAMAR_FATAL("cannot open '", path, "'");
+    return readMatrixMarket(in);
+}
+
+void
+writeMatrixMarket(const CsrMatrix<double> &a, std::ostream &out)
+{
+    // 17 significant digits round-trip any double exactly.
+    out << std::setprecision(17);
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << a.numRows() << ' ' << a.numCols() << ' ' << a.nnz() << '\n';
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    const auto &va = a.values();
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        for (int64_t k = rp[r]; k < rp[r + 1]; ++k)
+            out << (r + 1) << ' ' << (ci[k] + 1) << ' ' << va[k]
+                << '\n';
+    }
+}
+
+void
+writeMatrixMarketFile(const CsrMatrix<double> &a, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        ACAMAR_FATAL("cannot create '", path, "'");
+    writeMatrixMarket(a, out);
+}
+
+} // namespace acamar

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * MatrixMarket (.mtx) I/O.
+ *
+ * The paper evaluates on SuiteSparse matrices, which are distributed
+ * in MatrixMarket format. This reader/writer lets users run the
+ * library on the real collection when they have it; the bundled
+ * benches use the synthetic catalog instead (see DESIGN.md).
+ */
+
+#ifndef ACAMAR_SPARSE_MATRIX_MARKET_HH
+#define ACAMAR_SPARSE_MATRIX_MARKET_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/**
+ * Read a MatrixMarket coordinate-format matrix.
+ *
+ * Supports `matrix coordinate real|integer|pattern` with
+ * `general|symmetric|skew-symmetric` storage. Pattern entries read
+ * as 1.0. Symmetric/skew entries are mirrored. Fatal on anything
+ * malformed.
+ */
+CsrMatrix<double> readMatrixMarket(std::istream &in);
+
+/** Read from a file path; fatal when the file cannot be opened. */
+CsrMatrix<double> readMatrixMarketFile(const std::string &path);
+
+/** Write in `matrix coordinate real general` layout. */
+void writeMatrixMarket(const CsrMatrix<double> &a, std::ostream &out);
+
+/** Write to a file path; fatal when the file cannot be created. */
+void writeMatrixMarketFile(const CsrMatrix<double> &a,
+                           const std::string &path);
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_MATRIX_MARKET_HH

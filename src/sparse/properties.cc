@@ -1,0 +1,171 @@
+#include "sparse/properties.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sparse/csc.hh"
+
+namespace acamar {
+
+std::string
+StructureReport::describe() const
+{
+    std::ostringstream os;
+    os << (squareMatrix ? "square" : "rectangular");
+    if (strictlyDiagDominant)
+        os << ", strictly diag dominant";
+    os << (symmetric ? ", symmetric" : ", non-symmetric");
+    if (symmetric && gershgorinPositive)
+        os << " (Gershgorin-certified SPD)";
+    os << ", sparsity " << sparsity;
+    return os.str();
+}
+
+template <typename T>
+bool
+isStrictlyDiagDominant(const CsrMatrix<T> &a)
+{
+    if (a.numRows() != a.numCols())
+        return false;
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    const auto &va = a.values();
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        double diag = 0.0;
+        double off = 0.0;
+        for (int64_t k = rp[r]; k < rp[r + 1]; ++k) {
+            const double v = std::abs(static_cast<double>(va[k]));
+            if (ci[k] == r)
+                diag = v;
+            else
+                off += v;
+        }
+        if (!(off < diag))
+            return false;
+    }
+    return true;
+}
+
+template <typename T>
+bool
+isSymmetric(const CsrMatrix<T> &a, T tol)
+{
+    if (a.numRows() != a.numCols())
+        return false;
+    // The Matrix Structure unit converts CSR to CSC and compares the
+    // two array sets entry by entry (Section IV-B of the paper).
+    return a.toCsc().matchesCsr(a, tol);
+}
+
+template <typename T>
+RowNnzStats
+rowNnzStats(const CsrMatrix<T> &a)
+{
+    RowNnzStats s;
+    if (a.numRows() == 0)
+        return s;
+    s.minNnz = a.nnz();
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        const int64_t n = a.rowNnz(r);
+        s.minNnz = std::min(s.minNnz, n);
+        s.maxNnz = std::max(s.maxNnz, n);
+        if (n == 0)
+            ++s.emptyRows;
+        sum += static_cast<double>(n);
+        sum_sq += static_cast<double>(n) * static_cast<double>(n);
+    }
+    const double rows = static_cast<double>(a.numRows());
+    s.mean = sum / rows;
+    const double var = std::max(0.0, sum_sq / rows - s.mean * s.mean);
+    s.stddev = std::sqrt(var);
+    return s;
+}
+
+template <typename T>
+int32_t
+bandwidth(const CsrMatrix<T> &a)
+{
+    int32_t bw = 0;
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        for (int64_t k = rp[r]; k < rp[r + 1]; ++k)
+            bw = std::max(bw, std::abs(ci[k] - r));
+    }
+    return bw;
+}
+
+template <typename T>
+bool
+gershgorinPositive(const CsrMatrix<T> &a)
+{
+    if (a.numRows() != a.numCols())
+        return false;
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    const auto &va = a.values();
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        double diag = 0.0;
+        double radius = 0.0;
+        for (int64_t k = rp[r]; k < rp[r + 1]; ++k) {
+            const double v = static_cast<double>(va[k]);
+            if (ci[k] == r)
+                diag = v;
+            else
+                radius += std::abs(v);
+        }
+        if (!(diag - radius > 0.0))
+            return false;
+    }
+    return true;
+}
+
+template <typename T>
+StructureReport
+analyzeStructure(const CsrMatrix<T> &a, T sym_tol)
+{
+    StructureReport rep;
+    rep.squareMatrix = a.numRows() == a.numCols();
+    rep.strictlyDiagDominant = isStrictlyDiagDominant(a);
+    rep.symmetric = isSymmetric(a, sym_tol);
+    rep.fullDiagonal = a.hasFullDiagonal();
+    rep.gershgorinPositive = gershgorinPositive(a);
+    rep.bandwidth = bandwidth(a);
+    rep.rowStats = rowNnzStats(a);
+    const double cells = static_cast<double>(a.numRows()) *
+                         static_cast<double>(a.numCols());
+    rep.sparsity = cells > 0 ? static_cast<double>(a.nnz()) / cells
+                             : 0.0;
+
+    bool positive_diag = rep.fullDiagonal;
+    if (positive_diag) {
+        for (T d : a.diagonal()) {
+            if (!(d > T(0))) {
+                positive_diag = false;
+                break;
+            }
+        }
+    }
+    rep.positiveDiagonal = positive_diag;
+    return rep;
+}
+
+template bool isStrictlyDiagDominant<float>(const CsrMatrix<float> &);
+template bool isStrictlyDiagDominant<double>(const CsrMatrix<double> &);
+template bool isSymmetric<float>(const CsrMatrix<float> &, float);
+template bool isSymmetric<double>(const CsrMatrix<double> &, double);
+template RowNnzStats rowNnzStats<float>(const CsrMatrix<float> &);
+template RowNnzStats rowNnzStats<double>(const CsrMatrix<double> &);
+template int32_t bandwidth<float>(const CsrMatrix<float> &);
+template int32_t bandwidth<double>(const CsrMatrix<double> &);
+template bool gershgorinPositive<float>(const CsrMatrix<float> &);
+template bool gershgorinPositive<double>(const CsrMatrix<double> &);
+template StructureReport analyzeStructure<float>(const CsrMatrix<float> &,
+                                                 float);
+template StructureReport analyzeStructure<double>(
+    const CsrMatrix<double> &, double);
+
+} // namespace acamar

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Structural analysis of sparse coefficient matrices.
+ *
+ * Implements the checks the paper's Matrix Structure unit performs
+ * (strict diagonal dominance per Eq. 1, symmetry via CSR->CSC
+ * comparison) plus the richer diagnostics used by tests, the dataset
+ * catalog and the benches (NNZ/row statistics, bandwidth, Gershgorin
+ * bounds, definiteness probes).
+ */
+
+#ifndef ACAMAR_SPARSE_PROPERTIES_HH
+#define ACAMAR_SPARSE_PROPERTIES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/** NNZ-per-row summary of a matrix. */
+struct RowNnzStats {
+    int64_t minNnz = 0;     //!< smallest row length
+    int64_t maxNnz = 0;     //!< largest row length
+    double mean = 0.0;      //!< average row length
+    double stddev = 0.0;    //!< row-length standard deviation
+    int64_t emptyRows = 0;  //!< rows with no stored entries
+};
+
+/** Everything the structure analyses can report about a matrix. */
+struct StructureReport {
+    bool squareMatrix = false;       //!< rows == cols
+    bool strictlyDiagDominant = false; //!< Eq. 1 holds on every row
+    bool symmetric = false;          //!< A^T == A (CSR/CSC compare)
+    bool fullDiagonal = false;       //!< every diagonal entry nonzero
+    bool positiveDiagonal = false;   //!< every diagonal entry > 0
+    bool gershgorinPositive = false; //!< all Gershgorin disks > 0
+    double sparsity = 0.0;           //!< nnz / (rows*cols)
+    int32_t bandwidth = 0;           //!< max |r - c| over entries
+    RowNnzStats rowStats;            //!< NNZ/row summary
+
+    /** Human-readable one-line classification. */
+    std::string describe() const;
+};
+
+/**
+ * Strict diagonal dominance (Eq. 1 of the paper): for every row the
+ * absolute diagonal strictly exceeds the sum of absolute
+ * off-diagonals. A missing/zero diagonal fails the test.
+ */
+template <typename T>
+bool isStrictlyDiagDominant(const CsrMatrix<T> &a);
+
+/**
+ * Symmetry check done the way the paper's hardware does it: build
+ * the CSC form and compare it against the CSR arrays.
+ *
+ * @param tol absolute per-entry tolerance on the value compare.
+ */
+template <typename T>
+bool isSymmetric(const CsrMatrix<T> &a, T tol);
+
+/** Row-length statistics (drives the Row Length Trace unit). */
+template <typename T>
+RowNnzStats rowNnzStats(const CsrMatrix<T> &a);
+
+/** Maximum |row - col| over stored entries. */
+template <typename T>
+int32_t bandwidth(const CsrMatrix<T> &a);
+
+/**
+ * True when every Gershgorin disk lies strictly in the positive
+ * half-axis — a cheap sufficient (not necessary) test for positive
+ * definiteness of a symmetric matrix.
+ */
+template <typename T>
+bool gershgorinPositive(const CsrMatrix<T> &a);
+
+/** Run every analysis and collect a report. */
+template <typename T>
+StructureReport analyzeStructure(const CsrMatrix<T> &a, T sym_tol);
+
+extern template bool isStrictlyDiagDominant<float>(
+    const CsrMatrix<float> &);
+extern template bool isStrictlyDiagDominant<double>(
+    const CsrMatrix<double> &);
+extern template bool isSymmetric<float>(const CsrMatrix<float> &, float);
+extern template bool isSymmetric<double>(const CsrMatrix<double> &,
+                                         double);
+extern template RowNnzStats rowNnzStats<float>(const CsrMatrix<float> &);
+extern template RowNnzStats rowNnzStats<double>(
+    const CsrMatrix<double> &);
+extern template int32_t bandwidth<float>(const CsrMatrix<float> &);
+extern template int32_t bandwidth<double>(const CsrMatrix<double> &);
+extern template bool gershgorinPositive<float>(const CsrMatrix<float> &);
+extern template bool gershgorinPositive<double>(
+    const CsrMatrix<double> &);
+extern template StructureReport analyzeStructure<float>(
+    const CsrMatrix<float> &, float);
+extern template StructureReport analyzeStructure<double>(
+    const CsrMatrix<double> &, double);
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_PROPERTIES_HH

@@ -1,0 +1,88 @@
+#include "sparse/spmv.hh"
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+template <typename T>
+void
+spmv(const CsrMatrix<T> &a, const std::vector<T> &x, std::vector<T> &y)
+{
+    spmvRows(a, x, y, 0, a.numRows());
+}
+
+template <typename T>
+void
+spmvRows(const CsrMatrix<T> &a, const std::vector<T> &x,
+         std::vector<T> &y, int32_t begin, int32_t end)
+{
+    ACAMAR_ASSERT(x.size() == static_cast<size_t>(a.numCols()),
+                  "spmv x size mismatch");
+    ACAMAR_ASSERT(begin >= 0 && begin <= end && end <= a.numRows(),
+                  "spmv row range out of bounds");
+    y.resize(static_cast<size_t>(a.numRows()));
+
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    const auto &va = a.values();
+    for (int32_t r = begin; r < end; ++r) {
+        T acc = 0;
+        for (int64_t k = rp[r]; k < rp[r + 1]; ++k)
+            acc += va[k] * x[ci[k]];
+        y[r] = acc;
+    }
+}
+
+template <typename T>
+void
+spmvLaned(const CsrMatrix<T> &a, const std::vector<T> &x,
+          std::vector<T> &y, int unroll)
+{
+    ACAMAR_ASSERT(unroll >= 1, "unroll factor must be >= 1");
+    ACAMAR_ASSERT(x.size() == static_cast<size_t>(a.numCols()),
+                  "spmv x size mismatch");
+    y.resize(static_cast<size_t>(a.numRows()));
+
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    const auto &va = a.values();
+    std::vector<T> lanes(static_cast<size_t>(unroll));
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        T row_acc = 0;
+        for (int64_t beat = rp[r]; beat < rp[r + 1];
+             beat += unroll) {
+            // One beat: up to `unroll` MACs in parallel lanes...
+            const int64_t n = std::min<int64_t>(unroll,
+                                                rp[r + 1] - beat);
+            for (int64_t l = 0; l < n; ++l)
+                lanes[l] = va[beat + l] * x[ci[beat + l]];
+            // ...then a sequential model of the adder tree.
+            T beat_sum = 0;
+            for (int64_t l = 0; l < n; ++l)
+                beat_sum += lanes[l];
+            row_acc += beat_sum;
+        }
+        y[r] = row_acc;
+    }
+}
+
+template void spmv<float>(const CsrMatrix<float> &,
+                          const std::vector<float> &,
+                          std::vector<float> &);
+template void spmv<double>(const CsrMatrix<double> &,
+                           const std::vector<double> &,
+                           std::vector<double> &);
+template void spmvRows<float>(const CsrMatrix<float> &,
+                              const std::vector<float> &,
+                              std::vector<float> &, int32_t, int32_t);
+template void spmvRows<double>(const CsrMatrix<double> &,
+                               const std::vector<double> &,
+                               std::vector<double> &, int32_t, int32_t);
+template void spmvLaned<float>(const CsrMatrix<float> &,
+                               const std::vector<float> &,
+                               std::vector<float> &, int);
+template void spmvLaned<double>(const CsrMatrix<double> &,
+                                const std::vector<double> &,
+                                std::vector<double> &, int);
+
+} // namespace acamar

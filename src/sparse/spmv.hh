@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reference SpMV kernels.
+ *
+ * Functional (bit-deterministic) sparse matrix-vector products used
+ * by the CPU solvers and as the golden model for the accelerator's
+ * Dynamic SpMV Kernel.
+ */
+
+#ifndef ACAMAR_SPARSE_SPMV_HH
+#define ACAMAR_SPARSE_SPMV_HH
+
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+/** y = A x (CSR row-order, sequential accumulate per row). */
+template <typename T>
+void spmv(const CsrMatrix<T> &a, const std::vector<T> &x,
+          std::vector<T> &y);
+
+/**
+ * y[begin:end) = (A x)[begin:end) — row-range variant used by the
+ * chunked accelerator model. Rows outside the range are untouched.
+ */
+template <typename T>
+void spmvRows(const CsrMatrix<T> &a, const std::vector<T> &x,
+              std::vector<T> &y, int32_t begin, int32_t end);
+
+/**
+ * y = A x computed exactly as a U-lane hardware unit would: each row
+ * is processed in ceil(nnz/U) beats of U-wide partial sums reduced
+ * by an adder tree. Numerically different association from spmv();
+ * used to validate lane-order independence bounds in tests.
+ */
+template <typename T>
+void spmvLaned(const CsrMatrix<T> &a, const std::vector<T> &x,
+               std::vector<T> &y, int unroll);
+
+extern template void spmv<float>(const CsrMatrix<float> &,
+                                 const std::vector<float> &,
+                                 std::vector<float> &);
+extern template void spmv<double>(const CsrMatrix<double> &,
+                                  const std::vector<double> &,
+                                  std::vector<double> &);
+extern template void spmvRows<float>(const CsrMatrix<float> &,
+                                     const std::vector<float> &,
+                                     std::vector<float> &, int32_t,
+                                     int32_t);
+extern template void spmvRows<double>(const CsrMatrix<double> &,
+                                      const std::vector<double> &,
+                                      std::vector<double> &, int32_t,
+                                      int32_t);
+extern template void spmvLaned<float>(const CsrMatrix<float> &,
+                                      const std::vector<float> &,
+                                      std::vector<float> &, int);
+extern template void spmvLaned<double>(const CsrMatrix<double> &,
+                                       const std::vector<double> &,
+                                       std::vector<double> &, int);
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_SPMV_HH

@@ -1,0 +1,91 @@
+#include "sparse/vector_ops.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+template <typename T>
+double
+dot(const std::vector<T> &x, const std::vector<T> &y)
+{
+    ACAMAR_ASSERT(x.size() == y.size(), "dot size mismatch");
+    double acc = 0.0;
+    for (size_t i = 0; i < x.size(); ++i)
+        acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    return acc;
+}
+
+template <typename T>
+double
+norm2(const std::vector<T> &x)
+{
+    return std::sqrt(dot(x, x));
+}
+
+template <typename T>
+void
+axpy(T a, const std::vector<T> &x, std::vector<T> &y)
+{
+    ACAMAR_ASSERT(x.size() == y.size(), "axpy size mismatch");
+    for (size_t i = 0; i < x.size(); ++i)
+        y[i] += a * x[i];
+}
+
+template <typename T>
+void
+waxpby(T a, const std::vector<T> &x, T b, const std::vector<T> &y,
+       std::vector<T> &w)
+{
+    ACAMAR_ASSERT(x.size() == y.size(), "waxpby size mismatch");
+    w.resize(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        w[i] = a * x[i] + b * y[i];
+}
+
+template <typename T>
+void
+scale(std::vector<T> &x, T a)
+{
+    for (auto &v : x)
+        v *= a;
+}
+
+template <typename T>
+void
+hadamard(const std::vector<T> &x, const std::vector<T> &y,
+         std::vector<T> &w)
+{
+    ACAMAR_ASSERT(x.size() == y.size(), "hadamard size mismatch");
+    w.resize(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        w[i] = x[i] * y[i];
+}
+
+template double dot<float>(const std::vector<float> &,
+                           const std::vector<float> &);
+template double dot<double>(const std::vector<double> &,
+                            const std::vector<double> &);
+template double norm2<float>(const std::vector<float> &);
+template double norm2<double>(const std::vector<double> &);
+template void axpy<float>(float, const std::vector<float> &,
+                          std::vector<float> &);
+template void axpy<double>(double, const std::vector<double> &,
+                           std::vector<double> &);
+template void waxpby<float>(float, const std::vector<float> &, float,
+                            const std::vector<float> &,
+                            std::vector<float> &);
+template void waxpby<double>(double, const std::vector<double> &, double,
+                             const std::vector<double> &,
+                             std::vector<double> &);
+template void scale<float>(std::vector<float> &, float);
+template void scale<double>(std::vector<double> &, double);
+template void hadamard<float>(const std::vector<float> &,
+                              const std::vector<float> &,
+                              std::vector<float> &);
+template void hadamard<double>(const std::vector<double> &,
+                               const std::vector<double> &,
+                               std::vector<double> &);
+
+} // namespace acamar

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dense vector kernels used by the iterative solvers.
+ *
+ * These are the "dense kernels" of the paper's Reconfigurable Solver
+ * unit (dot products, axpy updates, norms). They are deliberately
+ * simple, deterministic implementations — the timing of their
+ * hardware counterparts lives in accel/dense_kernels.
+ */
+
+#ifndef ACAMAR_SPARSE_VECTOR_OPS_HH
+#define ACAMAR_SPARSE_VECTOR_OPS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace acamar {
+
+/** Inner product (x, y). Accumulates in double for stability. */
+template <typename T>
+double dot(const std::vector<T> &x, const std::vector<T> &y);
+
+/** Euclidean norm ||x||_2. */
+template <typename T>
+double norm2(const std::vector<T> &x);
+
+/** y += a * x. */
+template <typename T>
+void axpy(T a, const std::vector<T> &x, std::vector<T> &y);
+
+/** w = a*x + b*y (write into w, which is resized). */
+template <typename T>
+void waxpby(T a, const std::vector<T> &x, T b, const std::vector<T> &y,
+            std::vector<T> &w);
+
+/** x *= a. */
+template <typename T>
+void scale(std::vector<T> &x, T a);
+
+/** Elementwise w = x * y (Hadamard), used by Jacobi's D^-1 apply. */
+template <typename T>
+void hadamard(const std::vector<T> &x, const std::vector<T> &y,
+              std::vector<T> &w);
+
+extern template double dot<float>(const std::vector<float> &,
+                                  const std::vector<float> &);
+extern template double dot<double>(const std::vector<double> &,
+                                   const std::vector<double> &);
+extern template double norm2<float>(const std::vector<float> &);
+extern template double norm2<double>(const std::vector<double> &);
+extern template void axpy<float>(float, const std::vector<float> &,
+                                 std::vector<float> &);
+extern template void axpy<double>(double, const std::vector<double> &,
+                                  std::vector<double> &);
+extern template void waxpby<float>(float, const std::vector<float> &,
+                                   float, const std::vector<float> &,
+                                   std::vector<float> &);
+extern template void waxpby<double>(double, const std::vector<double> &,
+                                    double, const std::vector<double> &,
+                                    std::vector<double> &);
+extern template void scale<float>(std::vector<float> &, float);
+extern template void scale<double>(std::vector<double> &, double);
+extern template void hadamard<float>(const std::vector<float> &,
+                                     const std::vector<float> &,
+                                     std::vector<float> &);
+extern template void hadamard<double>(const std::vector<double> &,
+                                      const std::vector<double> &,
+                                      std::vector<double> &);
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_VECTOR_OPS_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the smaller accelerator units: dense kernels, Matrix
+ * Structure, Initialize, Reconfig controller, Solver Modifier,
+ * config validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "accel/acamar_config.hh"
+#include "accel/dense_kernels.hh"
+#include "accel/initialize_unit.hh"
+#include "accel/matrix_structure_unit.hh"
+#include "accel/reconfig_controller.hh"
+#include "accel/solver_modifier.hh"
+#include "common/random.hh"
+#include "solvers/cg.hh"
+#include "solvers/jacobi.hh"
+#include "sparse/generators.hh"
+
+namespace acamar {
+namespace {
+
+TEST(AcamarConfig, DefaultsMatchPaperSectionV)
+{
+    const AcamarConfig cfg;
+    EXPECT_EQ(cfg.samplingRate, 32);
+    EXPECT_EQ(cfg.rOptStages, 8);
+    EXPECT_DOUBLE_EQ(cfg.msidTolerance, 0.15);
+    EXPECT_EQ(cfg.chunkRows, 4096);
+    EXPECT_DOUBLE_EQ(cfg.criteria.tolerance, 1e-5);
+    EXPECT_EQ(cfg.criteria.setupIterations, 200);
+    cfg.validate();
+}
+
+TEST(AcamarConfig, ValidationRejectsBadValues)
+{
+    AcamarConfig cfg;
+    cfg.samplingRate = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = {};
+    cfg.initUnroll = 1000; // > maxUnroll
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+    cfg = {};
+    cfg.msidTolerance = -1.0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+TEST(DenseKernels, CyclesScaleWithLength)
+{
+    EventQueue eq;
+    const MemoryModel mem(FpgaDevice::alveoU55c());
+    DenseKernelModel dense(&eq, mem);
+    EXPECT_GT(dense.dotCycles(4096), dense.dotCycles(256));
+    EXPECT_GT(dense.axpyCycles(4096), dense.axpyCycles(256));
+    EXPECT_GT(dense.dotCycles(1), 0u);
+}
+
+TEST(DenseKernels, IterationProfileComposition)
+{
+    EventQueue eq;
+    const MemoryModel mem(FpgaDevice::alveoU55c());
+    DenseKernelModel dense(&eq, mem);
+    const KernelProfile prof{.spmvs = 0, .dots = 2, .axpys = 3};
+    EXPECT_EQ(dense.iterationDenseCycles(prof, 1000),
+              2 * dense.dotCycles(1000) + 3 * dense.axpyCycles(1000));
+}
+
+TEST(MatrixStructure, PicksPerPaperPolicy)
+{
+    EventQueue eq;
+    MatrixStructureUnit unit(&eq);
+    Rng rng(1);
+
+    const auto dd =
+        ddNonsymmetric(128, RowProfile::Uniform, 5.0, 1.5, rng)
+            .cast<float>();
+    EXPECT_EQ(unit.analyze(dd).solver, SolverKind::Jacobi);
+
+    const auto spd =
+        blockOnesSpd(128, 8, 0.35, 0.05, rng).cast<float>();
+    EXPECT_EQ(unit.analyze(spd).solver, SolverKind::CG);
+
+    const auto skew =
+        convectionDiffusion2d(11, 11, 2.5, 2.5).cast<float>();
+    EXPECT_EQ(unit.analyze(skew).solver, SolverKind::BiCgStab);
+
+    EXPECT_EQ(unit.stats().scalar("analyses")->value(), 3.0);
+    EXPECT_EQ(unit.stats().scalar("picked_jb")->value(), 1.0);
+    EXPECT_EQ(unit.stats().scalar("picked_cg")->value(), 1.0);
+    EXPECT_EQ(unit.stats().scalar("picked_bicg")->value(), 1.0);
+}
+
+TEST(MatrixStructure, AnalysisCyclesGrowWithNnz)
+{
+    EventQueue eq;
+    MatrixStructureUnit unit(&eq);
+    const auto small = poisson2d(8, 8, 0.5).cast<float>();
+    const auto large = poisson2d(32, 32, 0.5).cast<float>();
+    EXPECT_GT(unit.analyze(large).analysisCycles,
+              unit.analyze(small).analysisCycles);
+}
+
+TEST(InitializeUnit, CgCostsMoreThanJacobiSetup)
+{
+    // CG's Initialize runs an SpMV (r0 = b - A x0); Jacobi's does
+    // not — so CG's init must cost more on the same matrix.
+    EventQueue eq;
+    const MemoryModel mem(FpgaDevice::alveoU55c());
+    DynamicSpmvKernel spmv(&eq, mem);
+    DenseKernelModel dense(&eq, mem);
+    AcamarConfig cfg;
+    InitializeUnit init(&eq, cfg, &spmv, &dense);
+
+    const auto a = poisson2d(24, 24, 0.5).cast<float>();
+    EXPECT_GT(init.cycles(a, CgSolver()),
+              init.cycles(a, JacobiSolver()));
+}
+
+TEST(ReconfigController, CostsMatchIcapAndRegion)
+{
+    EventQueue eq;
+    const ResourceModel res(FpgaDevice::alveoU55c());
+    ReconfigController small(&eq, res, 4);
+    ReconfigController large(&eq, res, 64);
+    // Bigger region -> bigger bitstream -> longer reconfiguration.
+    EXPECT_GT(large.spmvBitstreamBits(), small.spmvBitstreamBits());
+    EXPECT_GT(large.spmvReconfigCycles(), small.spmvReconfigCycles());
+    EXPECT_GT(large.spmvReconfigSeconds(), 0.0);
+    // The outer (solver) region contains the SpMV region.
+    EXPECT_GT(large.solverReconfigCycles(),
+              large.spmvReconfigCycles());
+}
+
+TEST(ReconfigController, EventAccounting)
+{
+    EventQueue eq;
+    const ResourceModel res(FpgaDevice::alveoU55c());
+    ReconfigController rc(&eq, res, 16);
+    rc.chargeSpmvReconfigs(5);
+    rc.chargeSpmvReconfigs(2);
+    rc.chargeSolverReconfig();
+    EXPECT_EQ(rc.spmvReconfigs(), 7);
+    EXPECT_EQ(rc.solverReconfigs(), 1);
+}
+
+TEST(SolverModifier, WalksChainAndCountsSwitches)
+{
+    EventQueue eq;
+    SolverModifier mod(&eq, false);
+    mod.markTried(SolverKind::CG); // initial pick failed
+    auto next = mod.onDivergence();
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(*next, SolverKind::Jacobi);
+    mod.markTried(*next);
+    next = mod.onDivergence();
+    EXPECT_EQ(*next, SolverKind::BiCgStab);
+    mod.markTried(*next);
+    EXPECT_FALSE(mod.onDivergence().has_value());
+    EXPECT_EQ(mod.switches(), 2);
+    EXPECT_EQ(mod.stats().scalar("exhausted")->value(), 1.0);
+}
+
+TEST(SolverModifier, ResetClearsTriedRegister)
+{
+    EventQueue eq;
+    SolverModifier mod(&eq, false);
+    mod.markTried(SolverKind::Jacobi);
+    mod.markTried(SolverKind::CG);
+    mod.markTried(SolverKind::BiCgStab);
+    mod.reset();
+    EXPECT_EQ(mod.onDivergence(), SolverKind::Jacobi);
+}
+
+} // namespace
+} // namespace acamar

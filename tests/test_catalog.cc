@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the Table II dataset catalog: every recipe must deliver
+ * its promised structural class and deterministic output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sparse/catalog.hh"
+#include "sparse/properties.hh"
+
+namespace acamar {
+namespace {
+
+TEST(Catalog, HasAll25TableTwoRows)
+{
+    EXPECT_EQ(datasetCatalog().size(), 25u);
+}
+
+TEST(Catalog, IdsAreUnique)
+{
+    std::set<std::string> ids;
+    for (const auto &s : datasetCatalog())
+        EXPECT_TRUE(ids.insert(s.id).second) << "duplicate " << s.id;
+}
+
+TEST(Catalog, FindByIdAndNameCaseInsensitive)
+{
+    EXPECT_TRUE(findDataset("2C").has_value());
+    EXPECT_TRUE(findDataset("2c").has_value());
+    EXPECT_TRUE(findDataset("offshore").has_value());
+    EXPECT_TRUE(findDataset("OFFSHORE").has_value());
+    EXPECT_FALSE(findDataset("nope").has_value());
+    EXPECT_EQ(findDataset("Tf")->name, "Trefethen_20000");
+}
+
+TEST(Catalog, GenerationIsDeterministic)
+{
+    const auto spec = *findDataset("Mo");
+    const auto a = generateDataset(spec, 256);
+    const auto b = generateDataset(spec, 256);
+    EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Catalog, RhsIsDeterministicPerId)
+{
+    const auto spec = *findDataset("Wa");
+    const auto a = generateDataset(spec, 256).cast<float>();
+    const auto b1 = datasetRhs(a, spec.id);
+    const auto b2 = datasetRhs(a, spec.id);
+    EXPECT_EQ(b1, b2);
+    const auto other = datasetRhs(a, "Li");
+    EXPECT_NE(b1, other);
+}
+
+TEST(Catalog, ExpectationsEncodeTableTwo)
+{
+    // Spot-check some paper rows.
+    const auto c2 = *findDataset("2C");
+    EXPECT_FALSE(c2.jbExpected);
+    EXPECT_TRUE(c2.cgExpected);
+    EXPECT_TRUE(c2.bicgExpected);
+
+    const auto fe = *findDataset("Fe");
+    EXPECT_TRUE(fe.jbExpected);
+    EXPECT_FALSE(fe.cgExpected);
+    EXPECT_FALSE(fe.bicgExpected);
+
+    const auto wa = *findDataset("Wa");
+    EXPECT_TRUE(wa.jbExpected && wa.cgExpected && wa.bicgExpected);
+}
+
+TEST(Catalog, KnownDeviationsIsJustBcBicg)
+{
+    const auto &dev = knownTable2Deviations();
+    ASSERT_EQ(dev.size(), 1u);
+    EXPECT_EQ(dev[0].first, "Bc");
+    EXPECT_EQ(dev[0].second, SolverKind::BiCgStab);
+}
+
+TEST(Catalog, ClassNames)
+{
+    EXPECT_EQ(to_string(MatrixClass::SpdNotDd), "spd-not-dd");
+    EXPECT_EQ(to_string(MatrixClass::SymIndefDd), "sym-indef-dd");
+}
+
+class CatalogStructure
+    : public ::testing::TestWithParam<DatasetSpec>
+{
+};
+
+TEST_P(CatalogStructure, RecipeDeliversItsClass)
+{
+    const auto &spec = GetParam();
+    const auto a = generateDataset(spec, 512);
+    EXPECT_EQ(a.numRows(), a.numCols());
+    EXPECT_GE(a.numRows(), 500); // SymIndefDd rounds to even
+    const auto rep = analyzeStructure(a, 1e-12);
+
+    switch (spec.klass) {
+      case MatrixClass::SpdDdStencil2d:
+      case MatrixClass::SpdDdStencil3d:
+      case MatrixClass::SpdDdGraph:
+        EXPECT_TRUE(rep.symmetric);
+        EXPECT_TRUE(rep.strictlyDiagDominant);
+        EXPECT_TRUE(rep.gershgorinPositive);
+        break;
+      case MatrixClass::SpdNotDd:
+      case MatrixClass::IllCondSpd:
+        EXPECT_TRUE(rep.symmetric);
+        EXPECT_FALSE(rep.strictlyDiagDominant);
+        break;
+      case MatrixClass::DdNonsym:
+        EXPECT_FALSE(rep.symmetric);
+        EXPECT_TRUE(rep.strictlyDiagDominant);
+        break;
+      case MatrixClass::NonsymHard:
+        EXPECT_FALSE(rep.symmetric);
+        EXPECT_FALSE(rep.strictlyDiagDominant);
+        break;
+      case MatrixClass::SymIndefDd:
+        EXPECT_TRUE(rep.symmetric);
+        EXPECT_TRUE(rep.strictlyDiagDominant);
+        EXPECT_FALSE(rep.positiveDiagonal);
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, CatalogStructure,
+    ::testing::ValuesIn(datasetCatalog()),
+    [](const auto &info) { return info.param.id; });
+
+} // namespace
+} // namespace acamar

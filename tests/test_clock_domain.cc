@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for sim/clock_domain and sim/sim_object.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock_domain.hh"
+#include "sim/sim_object.hh"
+
+namespace acamar {
+namespace {
+
+TEST(ClockDomain, PeriodFromFrequency)
+{
+    ClockDomain clk("kernel", 300'000'000); // 300 MHz
+    EXPECT_EQ(clk.period(), kTicksPerSecond / 300'000'000);
+    EXPECT_EQ(clk.frequency(), 300'000'000u);
+    EXPECT_EQ(clk.name(), "kernel");
+}
+
+TEST(ClockDomain, CyclesToTicksRoundTrip)
+{
+    ClockDomain clk("icap", 200'000'000); // 200 MHz -> 5000 ps
+    EXPECT_EQ(clk.period(), 5000u);
+    EXPECT_EQ(clk.cyclesToTicks(3), 15000u);
+    EXPECT_EQ(clk.ticksToCycles(15000), 3u);
+    EXPECT_EQ(clk.ticksToCycles(15001), 4u); // rounds up
+}
+
+TEST(ClockDomain, CyclesToSeconds)
+{
+    ClockDomain clk("clk", 1'000'000); // 1 MHz
+    EXPECT_DOUBLE_EQ(clk.cyclesToSeconds(1'000'000), 1.0);
+}
+
+TEST(ClockDomainDeathTest, ZeroFrequencyPanics)
+{
+    EXPECT_DEATH(ClockDomain("bad", 0), "zero clock frequency");
+}
+
+TEST(SimObject, CarriesNameQueueAndStats)
+{
+    EventQueue eq;
+
+    class Unit : public SimObject
+    {
+      public:
+        explicit Unit(EventQueue *q) : SimObject("test.unit", q)
+        {
+            stats().addScalar("ops", &ops_);
+        }
+        ScalarStat ops_;
+    };
+
+    Unit u(&eq);
+    EXPECT_EQ(u.name(), "test.unit");
+    u.ops_.add(2);
+    EXPECT_EQ(u.stats().scalar("ops")->value(), 2.0);
+    u.reset();
+    EXPECT_EQ(u.stats().scalar("ops")->value(), 0.0);
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for common/config.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace acamar {
+namespace {
+
+Config
+parse(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    static std::vector<std::string> storage;
+    storage = std::move(args);
+    argv.push_back(const_cast<char *>("prog"));
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    return Config::fromArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Config, ParsesKeyValues)
+{
+    Config c = parse({"--rate=32", "--tol=0.15", "--name=acamar"});
+    EXPECT_EQ(c.getInt("rate", 0), 32);
+    EXPECT_DOUBLE_EQ(c.getDouble("tol", 0.0), 0.15);
+    EXPECT_EQ(c.getString("name", ""), "acamar");
+}
+
+TEST(Config, DefaultsWhenMissing)
+{
+    Config c = parse({});
+    EXPECT_EQ(c.getInt("rate", 8), 8);
+    EXPECT_DOUBLE_EQ(c.getDouble("tol", 0.5), 0.5);
+    EXPECT_EQ(c.getString("x", "def"), "def");
+    EXPECT_TRUE(c.getBool("flag", true));
+    EXPECT_FALSE(c.has("rate"));
+}
+
+TEST(Config, BoolParsing)
+{
+    Config c = parse({"--a=true", "--b=0", "--c=YES", "--d=false"});
+    EXPECT_TRUE(c.getBool("a", false));
+    EXPECT_FALSE(c.getBool("b", true));
+    EXPECT_TRUE(c.getBool("c", false));
+    EXPECT_FALSE(c.getBool("d", true));
+}
+
+TEST(Config, RejectsMalformedArgs)
+{
+    EXPECT_THROW(parse({"positional"}), std::runtime_error);
+    EXPECT_THROW(parse({"--novalue"}), std::runtime_error);
+}
+
+TEST(Config, RejectsBadBool)
+{
+    Config c = parse({"--flag=maybe"});
+    EXPECT_THROW(c.getBool("flag", false), std::runtime_error);
+}
+
+TEST(Config, SetOverwrites)
+{
+    Config c;
+    c.set("k", "1");
+    c.set("k", "2");
+    EXPECT_EQ(c.getInt("k", 0), 2);
+    EXPECT_TRUE(c.has("k"));
+}
+
+TEST(Config, EmptyValueAllowed)
+{
+    Config c = parse({"--key="});
+    EXPECT_TRUE(c.has("key"));
+    EXPECT_EQ(c.getString("key", "x"), "");
+}
+
+} // namespace
+} // namespace acamar

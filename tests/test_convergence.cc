@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the convergence monitor (Section V-B semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "solvers/convergence.hh"
+
+namespace acamar {
+namespace {
+
+ConvergenceCriteria
+quick()
+{
+    ConvergenceCriteria c;
+    c.tolerance = 1e-3;
+    c.setupIterations = 5;
+    c.divergenceGrowth = 100.0;
+    c.maxIterations = 50;
+    return c;
+}
+
+TEST(Monitor, ImmediateConvergenceOnZeroResidual)
+{
+    ConvergenceMonitor m(quick(), 0.0);
+    EXPECT_EQ(m.status(), SolveStatus::Converged);
+    EXPECT_EQ(m.iterations(), 0);
+}
+
+TEST(Monitor, ConvergesWhenRelativeResidualFalls)
+{
+    ConvergenceMonitor m(quick(), 10.0);
+    EXPECT_EQ(m.observe(1.0), ConvergenceMonitor::Action::Continue);
+    EXPECT_EQ(m.observe(0.009),
+              ConvergenceMonitor::Action::Stop); // 9e-4 relative
+    EXPECT_EQ(m.status(), SolveStatus::Converged);
+    EXPECT_EQ(m.iterations(), 2);
+    EXPECT_DOUBLE_EQ(m.relativeResidual(), 0.009 / 10.0);
+}
+
+TEST(Monitor, SetupTimeShieldsEarlyGrowth)
+{
+    ConvergenceMonitor m(quick(), 1.0);
+    // Growth past 100x within the first 5 iterations: tolerated.
+    EXPECT_EQ(m.observe(500.0), ConvergenceMonitor::Action::Continue);
+    EXPECT_EQ(m.observe(900.0), ConvergenceMonitor::Action::Continue);
+    EXPECT_EQ(m.status(), SolveStatus::Stalled); // provisional
+}
+
+TEST(Monitor, DivergenceAfterSetupTime)
+{
+    ConvergenceMonitor m(quick(), 1.0);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(m.observe(2.0), ConvergenceMonitor::Action::Continue);
+    EXPECT_EQ(m.observe(500.0), ConvergenceMonitor::Action::Stop);
+    EXPECT_EQ(m.status(), SolveStatus::Diverged);
+}
+
+TEST(Monitor, NanDivergesEvenDuringSetup)
+{
+    ConvergenceMonitor m(quick(), 1.0);
+    EXPECT_EQ(m.observe(std::numeric_limits<double>::quiet_NaN()),
+              ConvergenceMonitor::Action::Stop);
+    EXPECT_EQ(m.status(), SolveStatus::Diverged);
+}
+
+TEST(Monitor, InfDivergesEvenDuringSetup)
+{
+    ConvergenceMonitor m(quick(), 1.0);
+    EXPECT_EQ(m.observe(std::numeric_limits<double>::infinity()),
+              ConvergenceMonitor::Action::Stop);
+    EXPECT_EQ(m.status(), SolveStatus::Diverged);
+}
+
+TEST(Monitor, IterationCapYieldsStalled)
+{
+    ConvergenceMonitor m(quick(), 1.0);
+    for (int i = 0; i < 49; ++i)
+        EXPECT_EQ(m.observe(0.5), ConvergenceMonitor::Action::Continue);
+    EXPECT_EQ(m.observe(0.5), ConvergenceMonitor::Action::Stop);
+    EXPECT_EQ(m.status(), SolveStatus::Stalled);
+    EXPECT_EQ(m.iterations(), 50);
+}
+
+TEST(Monitor, BreakdownFlagIsTerminal)
+{
+    ConvergenceMonitor m(quick(), 1.0);
+    m.observe(0.9);
+    m.flagBreakdown();
+    EXPECT_EQ(m.status(), SolveStatus::Breakdown);
+    EXPECT_EQ(m.observe(1e-9), ConvergenceMonitor::Action::Stop);
+    EXPECT_EQ(m.status(), SolveStatus::Breakdown);
+}
+
+TEST(Monitor, HistoryRecordsTrajectory)
+{
+    ConvergenceMonitor m(quick(), 4.0);
+    m.observe(2.0);
+    m.observe(1.0);
+    const auto &h = m.history();
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_DOUBLE_EQ(h[0], 4.0);
+    EXPECT_DOUBLE_EQ(h[1], 2.0);
+    EXPECT_DOUBLE_EQ(h[2], 1.0);
+}
+
+TEST(Monitor, PaperDefaults)
+{
+    const ConvergenceCriteria c;
+    EXPECT_DOUBLE_EQ(c.tolerance, 1e-5);
+    EXPECT_EQ(c.setupIterations, 200);
+}
+
+TEST(SolveStatus, Names)
+{
+    EXPECT_EQ(to_string(SolveStatus::Converged), "converged");
+    EXPECT_EQ(to_string(SolveStatus::Diverged), "diverged");
+    EXPECT_EQ(to_string(SolveStatus::Breakdown), "breakdown");
+    EXPECT_EQ(to_string(SolveStatus::Stalled), "stalled");
+    EXPECT_TRUE(succeeded(SolveStatus::Converged));
+    EXPECT_FALSE(succeeded(SolveStatus::Stalled));
+}
+
+} // namespace
+} // namespace acamar

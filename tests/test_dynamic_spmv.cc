@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the Dynamic SpMV Kernel timing/occupancy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/dynamic_spmv.hh"
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+#include "sparse/spmv.hh"
+
+namespace acamar {
+namespace {
+
+class DynamicSpmvTest : public ::testing::Test
+{
+  protected:
+    DynamicSpmvTest()
+        : dev_(FpgaDevice::alveoU55c()), mem_(dev_),
+          kernel_(&eq_, mem_)
+    {}
+
+    CsrMatrix<float>
+    uniformRows(int rows, int nnz_per_row)
+    {
+        CooMatrix<float> coo(rows, rows);
+        for (int r = 0; r < rows; ++r)
+            for (int c = 0; c < nnz_per_row; ++c)
+                coo.add(r, (r + c) % rows, 1.0f);
+        return coo.toCsr();
+    }
+
+    FpgaDevice dev_;
+    EventQueue eq_;
+    MemoryModel mem_;
+    DynamicSpmvKernel kernel_;
+};
+
+TEST_F(DynamicSpmvTest, BeatsAreCeilNnzOverU)
+{
+    const auto a = uniformRows(10, 9);
+    const auto st4 = kernel_.timeRows(a, 0, 10, 4);
+    EXPECT_EQ(st4.beats, 10 * 3); // ceil(9/4) = 3
+    const auto st9 = kernel_.timeRows(a, 0, 10, 9);
+    EXPECT_EQ(st9.beats, 10);
+    const auto st16 = kernel_.timeRows(a, 0, 10, 16);
+    EXPECT_EQ(st16.beats, 10); // min one beat per row
+}
+
+TEST_F(DynamicSpmvTest, SlotAccounting)
+{
+    const auto a = uniformRows(8, 5);
+    const auto st = kernel_.timeRows(a, 0, 8, 4);
+    EXPECT_EQ(st.usefulMacs, 40);
+    EXPECT_EQ(st.beats, 16);
+    EXPECT_EQ(st.offeredMacs, 64);
+    EXPECT_NEAR(st.occupancyUnderutilization(), 1.0 - 40.0 / 64.0,
+                1e-12);
+}
+
+TEST_F(DynamicSpmvTest, EmptyRowStillCostsABeat)
+{
+    CooMatrix<float> coo(4, 4);
+    coo.add(0, 0, 1.0f);
+    const auto st = kernel_.timeRows(coo.toCsr(), 0, 4, 2);
+    EXPECT_EQ(st.beats, 4);
+    EXPECT_EQ(st.usefulMacs, 1);
+}
+
+TEST_F(DynamicSpmvTest, ComputeVsMemoryBound)
+{
+    // unroll 1 on long rows: compute-bound.
+    const auto dense = uniformRows(64, 60);
+    const auto st1 = kernel_.timeRows(dense, 0, 64, 1);
+    EXPECT_GT(st1.computeCycles, st1.memoryCycles);
+    EXPECT_EQ(st1.cycles, st1.computeCycles);
+    // generous unroll: the AXI port becomes the bound.
+    const auto st64 = kernel_.timeRows(dense, 0, 64, 64);
+    EXPECT_GT(st64.memoryCycles, st64.computeCycles);
+    EXPECT_EQ(st64.cycles, st64.memoryCycles);
+}
+
+TEST_F(DynamicSpmvTest, WideUnitsPayClockPenalty)
+{
+    const auto a = uniformRows(512, 64);
+    // 64 lanes do 8x fewer beats than 8 lanes, but the achievable
+    // clock drops; compute time shrinks by less than 8x.
+    const auto st8 = kernel_.timeRows(a, 0, 512, 8);
+    const auto st64 = kernel_.timeRows(a, 0, 512, 64);
+    EXPECT_EQ(st8.beats, 8 * st64.beats);
+    EXPECT_LT(st64.computeCycles, st8.computeCycles);
+    EXPECT_GT(st64.computeCycles * 8, st8.computeCycles);
+}
+
+TEST_F(DynamicSpmvTest, PlannedPassSumsSegments)
+{
+    Rng rng(9);
+    const auto a =
+        randomSparse(64, RowProfile::Banded, 8.0, 2.0, rng)
+            .cast<float>();
+    ReconfigPlan plan;
+    plan.setSize = 16;
+    plan.factors = {2, 8, 2, 8};
+    plan.reconfigEvents = 3;
+    plan.maxFactor = 8;
+    const auto st = kernel_.timePlanned(a, plan);
+    EXPECT_EQ(st.rows, 64);
+    EXPECT_EQ(st.usefulMacs, a.nnz());
+
+    int64_t beats = 0;
+    for (int s = 0; s < 4; ++s) {
+        beats +=
+            kernel_.timeRows(a, s * 16, (s + 1) * 16, plan.factors[s])
+                .beats;
+    }
+    EXPECT_EQ(st.beats, beats);
+}
+
+TEST_F(DynamicSpmvTest, FillsChargedPerReconfigEvent)
+{
+    const auto a = uniformRows(32, 4);
+    ReconfigPlan flat;
+    flat.setSize = 8;
+    flat.factors = {4, 4, 4, 4};
+    flat.reconfigEvents = 0;
+    flat.maxFactor = 4;
+
+    ReconfigPlan churn = flat;
+    churn.factors = {4, 3, 4, 3};
+    churn.reconfigEvents = 3;
+
+    const auto quiet = kernel_.timePlanned(a, flat);
+    const auto busy = kernel_.timePlanned(a, churn);
+    EXPECT_GT(busy.computeCycles, quiet.computeCycles);
+}
+
+TEST_F(DynamicSpmvTest, RunIsFunctionallyCorrect)
+{
+    Rng rng(10);
+    const auto a =
+        randomSparse(96, RowProfile::PowerLaw, 6.0, 2.0, rng)
+            .cast<float>();
+    std::vector<float> x(96);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    ReconfigPlan plan;
+    plan.setSize = 24;
+    plan.factors = {4, 4, 8, 2};
+    plan.maxFactor = 8;
+
+    std::vector<float> y, ref;
+    const auto st = kernel_.run(a, x, y, plan);
+    spmv(a, x, ref);
+    ASSERT_EQ(y.size(), ref.size());
+    for (size_t i = 0; i < y.size(); ++i)
+        EXPECT_NEAR(y[i], ref[i], 1e-4f * (std::abs(ref[i]) + 1.0f));
+    EXPECT_GT(st.cycles, 0u);
+    EXPECT_EQ(kernel_.stats().scalar("passes")->value(), 1.0);
+}
+
+TEST_F(DynamicSpmvTest, RowRangeValidation)
+{
+    const auto a = uniformRows(8, 2);
+    EXPECT_DEATH(kernel_.timeRows(a, 0, 9, 2), "bad row range");
+    EXPECT_DEATH(kernel_.timeRows(a, 0, 8, 0), "unroll factor");
+}
+
+TEST_F(DynamicSpmvTest, StatsAggregateAcrossRuns)
+{
+    const auto a = uniformRows(16, 4);
+    ReconfigPlan plan;
+    plan.setSize = 16;
+    plan.factors = {4};
+    plan.maxFactor = 4;
+    std::vector<float> x(16, 1.0f), y;
+    kernel_.run(a, x, y, plan);
+    kernel_.run(a, x, y, plan);
+    EXPECT_EQ(kernel_.stats().scalar("passes")->value(), 2.0);
+    EXPECT_EQ(kernel_.stats().scalar("useful_macs")->value(),
+              2.0 * static_cast<double>(a.nnz()));
+}
+
+} // namespace
+} // namespace acamar

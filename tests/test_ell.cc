@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the ELLPACK format and its padding-overhead metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/ell.hh"
+#include "sparse/generators.hh"
+#include "sparse/spmv.hh"
+
+namespace acamar {
+namespace {
+
+CsrMatrix<float>
+ragged()
+{
+    // Row lengths 1, 3, 2 -> width 3, 6 real entries of 9 slots.
+    CooMatrix<float> coo(3, 4);
+    coo.add(0, 1, 2.0f);
+    coo.add(1, 0, 1.0f);
+    coo.add(1, 2, 3.0f);
+    coo.add(1, 3, 4.0f);
+    coo.add(2, 0, 5.0f);
+    coo.add(2, 3, 6.0f);
+    return coo.toCsr();
+}
+
+TEST(Ell, WidthAndPadding)
+{
+    const auto e = EllMatrix<float>::fromCsr(ragged());
+    EXPECT_EQ(e.width(), 3);
+    EXPECT_EQ(e.nnz(), 6);
+    EXPECT_EQ(e.paddedSize(), 9);
+    EXPECT_NEAR(e.paddingOverhead(), 1.0 - 6.0 / 9.0, 1e-12);
+}
+
+TEST(Ell, PaddingSlotsAreMarked)
+{
+    const auto e = EllMatrix<float>::fromCsr(ragged());
+    // Row 0 has one real entry then two pads.
+    EXPECT_EQ(e.colIdx()[0], 1);
+    EXPECT_EQ(e.colIdx()[1], -1);
+    EXPECT_EQ(e.colIdx()[2], -1);
+    EXPECT_FLOAT_EQ(e.values()[1], 0.0f);
+}
+
+TEST(Ell, SpmvMatchesCsr)
+{
+    Rng rng(3);
+    const auto a =
+        randomSparse(128, RowProfile::PowerLaw, 6.0, 2.0, rng)
+            .cast<float>();
+    const auto e = EllMatrix<float>::fromCsr(a);
+    std::vector<float> x(128);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    std::vector<float> ye, yc;
+    e.spmv(x, ye);
+    spmv(a, x, yc);
+    ASSERT_EQ(ye.size(), yc.size());
+    for (size_t i = 0; i < ye.size(); ++i)
+        EXPECT_NEAR(ye[i], yc[i], 1e-4f);
+}
+
+TEST(Ell, RoundTripToCsr)
+{
+    Rng rng(4);
+    const auto a =
+        randomSparse(64, RowProfile::Banded, 5.0, 2.0, rng)
+            .cast<float>();
+    EXPECT_TRUE(EllMatrix<float>::fromCsr(a).toCsr().equals(a));
+}
+
+TEST(Ell, UniformRowsHaveNoPadding)
+{
+    CooMatrix<float> coo(4, 4);
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 2; ++c)
+            coo.add(r, c, 1.0f);
+    const auto e = EllMatrix<float>::fromCsr(coo.toCsr());
+    EXPECT_DOUBLE_EQ(e.paddingOverhead(), 0.0);
+}
+
+TEST(Ell, WidthCapEnforced)
+{
+    EXPECT_THROW(EllMatrix<float>::fromCsr(ragged(), 2),
+                 std::runtime_error);
+    EXPECT_NO_THROW(EllMatrix<float>::fromCsr(ragged(), 3));
+}
+
+TEST(Ell, PaddingEqualsMaxWidthIdleFraction)
+{
+    // The format-level identity the ablation bench rests on: ELL
+    // padding equals the idle-lane fraction of a max-row-width
+    // single-beat SpMV unit.
+    Rng rng(5);
+    const auto a =
+        randomSparse(256, RowProfile::Wave, 8.0, 2.0, rng)
+            .cast<float>();
+    const auto e = EllMatrix<float>::fromCsr(a);
+    double idle = 0.0;
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        idle += 1.0 - static_cast<double>(a.rowNnz(r)) /
+                          static_cast<double>(e.width());
+    }
+    idle /= static_cast<double>(a.numRows());
+    EXPECT_NEAR(e.paddingOverhead(), idle, 1e-9);
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the discrete-event core (sim/event_queue).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace acamar {
+namespace {
+
+TEST(EventQueue, StartsAtTickZeroEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.numPending(), 0u);
+}
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(Event("b", [&] { order.push_back(2); }), 20);
+    eq.schedule(Event("a", [&] { order.push_back(1); }), 10);
+    eq.schedule(Event("c", [&] { order.push_back(3); }), 30);
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(Event("late", [&] { order.push_back(2); },
+                      Event::StatsPrio),
+                5);
+    eq.schedule(Event("early", [&] { order.push_back(1); },
+                      Event::ReconfigPrio),
+                5);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, FifoWithinSamePriority)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(Event("e", [&order, i] { order.push_back(i); }), 7);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(Event("outer", [&] {
+                    eq.scheduleIn(Event("inner", [&] {
+                                      seen = eq.curTick();
+                                  }),
+                                  15);
+                }),
+                10);
+    eq.run();
+    EXPECT_EQ(seen, 25u);
+}
+
+TEST(EventQueue, RunLimitStopsEarly)
+{
+    EventQueue eq;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(Event("e", [&] { ++count; }), i);
+    EXPECT_EQ(eq.run(4), 4u);
+    EXPECT_EQ(count, 4);
+    EXPECT_EQ(eq.numPending(), 6u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.runUntil(100), 0u);
+    EXPECT_EQ(eq.curTick(), 100u);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.schedule(Event("a", [&] { ++ran; }), 10);
+    eq.schedule(Event("b", [&] { ++ran; }), 50);
+    EXPECT_EQ(eq.runUntil(20), 1u);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.curTick(), 20u);
+    EXPECT_EQ(eq.numPending(), 1u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.scheduleIn(Event("chain", chain), 1);
+    };
+    eq.schedule(Event("start", chain), 0);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.curTick(), 4u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(Event("e", [] {}), 5);
+    eq.runUntil(3);
+    eq.reset();
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(Event("e", [] {}), 10);
+    eq.run();
+    EXPECT_DEATH(eq.schedule(Event("late", [] {}), 5), "in the past");
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the extension solvers (SOR, Conjugate Residual) and
+ * their factory/name plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/random.hh"
+#include "solvers/bicg.hh"
+#include "solvers/conjugate_residual.hh"
+#include "solvers/gauss_seidel.hh"
+#include "solvers/sor.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+namespace acamar {
+namespace {
+
+struct Problem {
+    CsrMatrix<float> a;
+    std::vector<float> b;
+    std::vector<float> x_true;
+};
+
+Problem
+spdProblem(int edge = 16)
+{
+    Problem p;
+    p.a = poisson2d(edge, edge, 0.1).cast<float>();
+    Rng rng(21);
+    p.x_true.resize(static_cast<size_t>(edge * edge));
+    for (auto &v : p.x_true)
+        v = static_cast<float>(rng.uniform(0.5, 1.5));
+    p.b = rhsForSolution(p.a, p.x_true);
+    return p;
+}
+
+TEST(Sor, ConvergesOnSpd)
+{
+    const auto p = spdProblem();
+    const auto res = SorSolver(1.5f).solve(p.a, p.b, {}, {});
+    EXPECT_EQ(res.status, SolveStatus::Converged);
+    EXPECT_LT(res.relativeResidual, 1e-5);
+}
+
+TEST(Sor, OverRelaxationBeatsGaussSeidel)
+{
+    const auto p = spdProblem(24);
+    const auto gs = GaussSeidelSolver().solve(p.a, p.b, {}, {});
+    const auto sor = SorSolver(1.7f).solve(p.a, p.b, {}, {});
+    ASSERT_TRUE(gs.ok());
+    ASSERT_TRUE(sor.ok());
+    EXPECT_LT(sor.iterations, gs.iterations);
+}
+
+TEST(Sor, OmegaOneMatchesGaussSeidel)
+{
+    const auto p = spdProblem(10);
+    const auto gs = GaussSeidelSolver().solve(p.a, p.b, {}, {});
+    const auto sor = SorSolver(1.0f).solve(p.a, p.b, {}, {});
+    EXPECT_EQ(sor.iterations, gs.iterations);
+}
+
+TEST(Sor, RejectsBadOmega)
+{
+    EXPECT_THROW(SorSolver(0.0f), std::runtime_error);
+    EXPECT_THROW(SorSolver(2.0f), std::runtime_error);
+    EXPECT_NO_THROW(SorSolver(1.99f));
+}
+
+TEST(Sor, ZeroDiagonalIsBreakdown)
+{
+    CooMatrix<float> coo(2, 2);
+    coo.add(0, 1, 1.0f);
+    coo.add(1, 1, 1.0f);
+    std::vector<float> b{1.0f, 1.0f};
+    EXPECT_EQ(SorSolver().solve(coo.toCsr(), b, {}, {}).status,
+              SolveStatus::Breakdown);
+}
+
+TEST(ConjugateResidual, ConvergesOnSpd)
+{
+    const auto p = spdProblem();
+    const auto res =
+        ConjugateResidualSolver().solve(p.a, p.b, {}, {});
+    EXPECT_EQ(res.status, SolveStatus::Converged);
+}
+
+TEST(ConjugateResidual, HandlesMildSymmetricIndefinite)
+{
+    // Shifted Laplacian with a slightly negative shift: symmetric
+    // indefinite with few negative eigenvalues — CR's residual
+    // minimization handles what CG's pivots may not.
+    const auto a = poisson2d(12, 12, -0.15).cast<float>();
+    Rng rng(9);
+    std::vector<float> xt(144);
+    for (auto &v : xt)
+        v = static_cast<float>(rng.uniform(0.5, 1.5));
+    const auto b = rhsForSolution(a, xt);
+    ConvergenceCriteria crit;
+    crit.maxIterations = 2000;
+    const auto res = ConjugateResidualSolver().solve(a, b, {}, crit);
+    EXPECT_EQ(res.status, SolveStatus::Converged);
+}
+
+TEST(ConjugateResidual, ResidualNormIsMonotone)
+{
+    // CR minimizes ||r||_2 over the Krylov space each step; on an
+    // SPD system the history must be non-increasing.
+    const auto p = spdProblem(12);
+    const auto res =
+        ConjugateResidualSolver().solve(p.a, p.b, {}, {});
+    ASSERT_TRUE(res.ok());
+    for (size_t i = 1; i < res.residualHistory.size(); ++i) {
+        EXPECT_LE(res.residualHistory[i],
+                  res.residualHistory[i - 1] * (1.0 + 1e-6));
+    }
+}
+
+TEST(BiCg, SolvesNonsymmetricSystem)
+{
+    const auto a =
+        convectionDiffusion2d(14, 14, 2.0, 2.0).cast<float>();
+    Rng rng(31);
+    std::vector<float> xt(196);
+    for (auto &v : xt)
+        v = static_cast<float>(rng.uniform(0.5, 1.5));
+    const auto b = rhsForSolution(a, xt);
+    const auto res = BiCgSolver().solve(a, b, {}, {});
+    EXPECT_EQ(res.status, SolveStatus::Converged);
+}
+
+TEST(BiCg, MatchesCgIterationsOnSpd)
+{
+    // On symmetric systems BiCG's dual recurrences collapse onto
+    // CG's, so the iteration counts coincide.
+    const auto p = spdProblem(12);
+    const auto cg =
+        makeSolver(SolverKind::CG)->solve(p.a, p.b, {}, {});
+    const auto bicg = BiCgSolver().solve(p.a, p.b, {}, {});
+    ASSERT_TRUE(cg.ok());
+    ASSERT_TRUE(bicg.ok());
+    EXPECT_NEAR(bicg.iterations, cg.iterations, 2);
+}
+
+TEST(BiCg, FailsOnWideIndefiniteSpectrum)
+{
+    Rng rng(33);
+    const auto a = symIndefiniteDd(512, 0.5, rng).cast<float>();
+    const auto b = rhsForSolution(a, std::vector<float>(512, 1.0f));
+    const auto res = BiCgSolver().solve(a, b, {}, {});
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(ExtraSolvers, FactoryAndNames)
+{
+    EXPECT_EQ(to_string(SolverKind::Sor), "SOR");
+    EXPECT_EQ(to_string(SolverKind::ConjugateResidual), "CR");
+    EXPECT_EQ(to_string(SolverKind::BiCg), "BiCG");
+    EXPECT_EQ(makeSolver(SolverKind::Sor)->kind(), SolverKind::Sor);
+    EXPECT_EQ(makeSolver(SolverKind::BiCg)->kind(),
+              SolverKind::BiCg);
+    EXPECT_EQ(makeSolver(SolverKind::ConjugateResidual)->kind(),
+              SolverKind::ConjugateResidual);
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the Fine-Grained Reconfiguration unit (trace + MSID
+ * combined into a reconfiguration plan).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/fine_grained_reconfig.hh"
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+namespace acamar {
+namespace {
+
+AcamarConfig
+smallCfg()
+{
+    AcamarConfig cfg;
+    cfg.samplingRate = 4;
+    cfg.chunkRows = 64;
+    cfg.rOptStages = 2;
+    cfg.msidTolerance = 0.15;
+    return cfg;
+}
+
+TEST(FgrUnit, PlanShapesMatchTrace)
+{
+    EventQueue eq;
+    FineGrainedReconfigUnit fgr(&eq, smallCfg());
+    Rng rng(1);
+    const auto a =
+        randomSparse(64, RowProfile::Banded, 8.0, 2.0, rng);
+    const auto plan = fgr.plan(a);
+    EXPECT_EQ(plan.setSize, 16); // 64-row chunk / rate 4
+    EXPECT_EQ(plan.factors.size(), 4u);
+    EXPECT_EQ(plan.rawFactors.size(), 4u);
+    EXPECT_EQ(plan.avgNnz.size(), 4u);
+    EXPECT_GE(plan.maxFactor, 1);
+}
+
+TEST(FgrUnit, MsidNeverAddsEvents)
+{
+    EventQueue eq;
+    AcamarConfig cfg = smallCfg();
+    cfg.samplingRate = 16;
+    cfg.rOptStages = 8;
+    FineGrainedReconfigUnit fgr(&eq, cfg);
+    Rng rng(2);
+    const auto a =
+        randomSparse(64, RowProfile::PowerLaw, 6.0, 2.0, rng);
+    const auto plan = fgr.plan(a);
+    EXPECT_LE(plan.reconfigEvents, plan.reconfigEventsRaw);
+}
+
+TEST(FgrUnit, ZeroStagesKeepsRawFactors)
+{
+    EventQueue eq;
+    AcamarConfig cfg = smallCfg();
+    cfg.rOptStages = 0;
+    FineGrainedReconfigUnit fgr(&eq, cfg);
+    Rng rng(3);
+    const auto a = randomSparse(64, RowProfile::Wave, 6.0, 2.0, rng);
+    const auto plan = fgr.plan(a);
+    EXPECT_EQ(plan.factors, plan.rawFactors);
+    EXPECT_EQ(plan.reconfigEvents, plan.reconfigEventsRaw);
+}
+
+TEST(FgrUnit, FactorForRowMapsSets)
+{
+    ReconfigPlan plan;
+    plan.setSize = 10;
+    plan.factors = {2, 5, 9};
+    EXPECT_EQ(plan.factorForRow(0), 2);
+    EXPECT_EQ(plan.factorForRow(9), 2);
+    EXPECT_EQ(plan.factorForRow(10), 5);
+    EXPECT_EQ(plan.factorForRow(29), 9);
+    // Rows past the planned sets use the last factor.
+    EXPECT_EQ(plan.factorForRow(1000), 9);
+}
+
+TEST(FgrUnit, StatsTrackPlansAndSavings)
+{
+    EventQueue eq;
+    AcamarConfig cfg = smallCfg();
+    cfg.samplingRate = 16;
+    cfg.rOptStages = 8;
+    cfg.msidTolerance = 0.5;
+    FineGrainedReconfigUnit fgr(&eq, cfg);
+    Rng rng(4);
+    const auto a = randomSparse(64, RowProfile::Wave, 8.0, 2.0, rng);
+    const auto plan = fgr.plan(a);
+    EXPECT_EQ(fgr.stats().scalar("plans_made")->value(), 1.0);
+    EXPECT_EQ(fgr.stats().scalar("events_saved")->value(),
+              plan.reconfigEventsRaw - plan.reconfigEvents);
+}
+
+TEST(FgrUnit, AnalysisCyclesGrowWithRows)
+{
+    EventQueue eq;
+    FineGrainedReconfigUnit fgr(&eq, smallCfg());
+    EXPECT_GT(fgr.analysisCycles(4096), fgr.analysisCycles(64));
+    EXPECT_GT(fgr.analysisCycles(64), 0u);
+}
+
+TEST(FgrUnit, UniformMatrixNeedsNoReconfig)
+{
+    EventQueue eq;
+    FineGrainedReconfigUnit fgr(&eq, smallCfg());
+    // Exactly 6 entries in every row -> identical factors.
+    CooMatrix<double> coo(64, 64);
+    for (int r = 0; r < 64; ++r)
+        for (int c = 0; c < 6; ++c)
+            coo.add(r, c, 1.0);
+    const auto plan = fgr.plan(coo.toCsr());
+    EXPECT_EQ(plan.reconfigEventsRaw, 0);
+    EXPECT_EQ(plan.reconfigEvents, 0);
+    for (int f : plan.factors)
+        EXPECT_EQ(f, 6);
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the sparse formats (COO/CSR/CSC) and conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/csc.hh"
+#include "sparse/csr.hh"
+#include "sparse/generators.hh"
+
+namespace acamar {
+namespace {
+
+CsrMatrix<double>
+small3x3()
+{
+    // [ 4 -1  0 ]
+    // [-1  4 -1 ]
+    // [ 0 -1  4 ]
+    CooMatrix<double> coo(3, 3);
+    coo.add(0, 0, 4.0);
+    coo.add(0, 1, -1.0);
+    coo.add(1, 0, -1.0);
+    coo.add(1, 1, 4.0);
+    coo.add(1, 2, -1.0);
+    coo.add(2, 1, -1.0);
+    coo.add(2, 2, 4.0);
+    return coo.toCsr();
+}
+
+TEST(Coo, BuildsCsrSortedByRowCol)
+{
+    CooMatrix<double> coo(2, 3);
+    coo.add(1, 2, 3.0);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 2.0);
+    const auto csr = coo.toCsr();
+    EXPECT_EQ(csr.numRows(), 2);
+    EXPECT_EQ(csr.numCols(), 3);
+    EXPECT_EQ(csr.nnz(), 3);
+    EXPECT_EQ(csr.rowPtr(), (std::vector<int64_t>{0, 1, 3}));
+    EXPECT_EQ(csr.colIdx(), (std::vector<int32_t>{1, 0, 2}));
+    EXPECT_EQ(csr.values(), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Coo, DuplicatesAreSummed)
+{
+    CooMatrix<double> coo(2, 2);
+    coo.add(0, 0, 1.5);
+    coo.add(0, 0, 2.5);
+    coo.add(1, 1, -1.0);
+    coo.add(1, 1, 1.0); // sums to structural zero, kept
+    const auto csr = coo.toCsr();
+    EXPECT_EQ(csr.nnz(), 2);
+    EXPECT_DOUBLE_EQ(csr.at(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(csr.at(1, 1), 0.0);
+    EXPECT_EQ(csr.rowNnz(1), 1);
+}
+
+TEST(Coo, EmptyMatrix)
+{
+    CooMatrix<double> coo(4, 4);
+    const auto csr = coo.toCsr();
+    EXPECT_EQ(csr.nnz(), 0);
+    EXPECT_EQ(csr.rowPtr().size(), 5u);
+    EXPECT_DOUBLE_EQ(csr.at(2, 2), 0.0);
+}
+
+TEST(CooDeathTest, OutOfRangeIndexPanics)
+{
+    CooMatrix<double> coo(2, 2);
+    EXPECT_DEATH(coo.add(2, 0, 1.0), "out of range");
+    EXPECT_DEATH(coo.add(0, -1, 1.0), "out of range");
+}
+
+TEST(Csr, AtFindsStoredAndMissing)
+{
+    const auto a = small3x3();
+    EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(a.at(1, 2), -1.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+}
+
+TEST(Csr, DiagonalAndFullDiagonal)
+{
+    const auto a = small3x3();
+    EXPECT_EQ(a.diagonal(), (std::vector<double>{4.0, 4.0, 4.0}));
+    EXPECT_TRUE(a.hasFullDiagonal());
+
+    CooMatrix<double> coo(2, 2);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 1, 1.0);
+    EXPECT_FALSE(coo.toCsr().hasFullDiagonal());
+}
+
+TEST(Csr, TransposeOfSymmetricIsIdentical)
+{
+    const auto a = small3x3();
+    EXPECT_TRUE(a.transpose().equals(a));
+}
+
+TEST(Csr, TransposeNonsymmetric)
+{
+    CooMatrix<double> coo(2, 3);
+    coo.add(0, 2, 5.0);
+    coo.add(1, 0, 7.0);
+    const auto t = coo.toCsr().transpose();
+    EXPECT_EQ(t.numRows(), 3);
+    EXPECT_EQ(t.numCols(), 2);
+    EXPECT_DOUBLE_EQ(t.at(2, 0), 5.0);
+    EXPECT_DOUBLE_EQ(t.at(0, 1), 7.0);
+}
+
+TEST(Csr, TransposeTwiceIsIdentity)
+{
+    Rng rng(5);
+    const auto a = randomSparse(64, RowProfile::Uniform, 6.0, 2.0, rng);
+    EXPECT_TRUE(a.transpose().transpose().equals(a));
+}
+
+TEST(Csr, RowSliceKeepsContent)
+{
+    const auto a = small3x3();
+    const auto s = a.rowSlice(1, 3);
+    EXPECT_EQ(s.numRows(), 2);
+    EXPECT_EQ(s.numCols(), 3);
+    EXPECT_DOUBLE_EQ(s.at(0, 0), -1.0); // old row 1
+    EXPECT_DOUBLE_EQ(s.at(1, 2), 4.0);  // old row 2
+}
+
+TEST(Csr, RowSliceEmptyRange)
+{
+    const auto a = small3x3();
+    const auto s = a.rowSlice(1, 1);
+    EXPECT_EQ(s.numRows(), 0);
+    EXPECT_EQ(s.nnz(), 0);
+}
+
+TEST(Csr, CastToFloatKeepsStructure)
+{
+    const auto a = small3x3();
+    const auto f = a.cast<float>();
+    EXPECT_EQ(f.nnz(), a.nnz());
+    EXPECT_EQ(f.rowPtr(), a.rowPtr());
+    EXPECT_FLOAT_EQ(f.at(1, 1), 4.0f);
+}
+
+TEST(Csr, AvgRowNnz)
+{
+    const auto a = small3x3();
+    EXPECT_NEAR(a.avgRowNnz(), 7.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(CsrMatrix<double>().avgRowNnz(), 0.0);
+}
+
+TEST(CsrDeathTest, ValidationCatchesBadArrays)
+{
+    // rowPtr not ending at nnz.
+    EXPECT_DEATH(CsrMatrix<double>(1, 1, {0, 2}, {0}, {1.0}),
+                 "rowPtr must end at nnz");
+    // unsorted columns within a row.
+    EXPECT_DEATH(
+        CsrMatrix<double>(1, 3, {0, 2}, {2, 0}, {1.0, 2.0}),
+        "columns not strictly sorted");
+    // column out of range.
+    EXPECT_DEATH(CsrMatrix<double>(1, 1, {0, 1}, {5}, {1.0}),
+                 "column index out of range");
+}
+
+TEST(Csc, RoundTripThroughCsr)
+{
+    Rng rng(9);
+    const auto a =
+        randomSparse(80, RowProfile::PowerLaw, 5.0, 3.0, rng);
+    EXPECT_TRUE(a.toCsc().toCsr().equals(a));
+}
+
+TEST(Csc, MatchesCsrDetectsSymmetry)
+{
+    const auto sym = small3x3();
+    EXPECT_TRUE(sym.toCsc().matchesCsr(sym, 0.0));
+
+    CooMatrix<double> coo(2, 2);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 1, 2.0);
+    coo.add(1, 0, 3.0); // asymmetric value
+    coo.add(1, 1, 1.0);
+    const auto asym = coo.toCsr();
+    EXPECT_FALSE(asym.toCsc().matchesCsr(asym, 1e-9));
+}
+
+TEST(Csc, MatchesCsrValueTolerance)
+{
+    CooMatrix<double> coo(2, 2);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 1.0 + 1e-8);
+    const auto a = coo.toCsr();
+    EXPECT_TRUE(a.toCsc().matchesCsr(a, 1e-6));
+    EXPECT_FALSE(a.toCsc().matchesCsr(a, 1e-10));
+}
+
+TEST(Csc, PatternAsymmetryDetected)
+{
+    CooMatrix<double> coo(3, 3);
+    coo.add(0, 0, 1.0);
+    coo.add(1, 1, 1.0);
+    coo.add(2, 2, 1.0);
+    coo.add(0, 2, 5.0); // no mirror entry
+    const auto a = coo.toCsr();
+    EXPECT_FALSE(a.toCsc().matchesCsr(a, 1e-9));
+}
+
+class FormatRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FormatRoundTrip, CsrCscCsrIsIdentity)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()));
+    const auto a = randomSparse(
+        32 + 17 * GetParam(),
+        static_cast<RowProfile>(GetParam() % 4), 4.0, 1.5, rng);
+    EXPECT_TRUE(a.toCsc().toCsr().equals(a));
+    EXPECT_TRUE(a.transpose().transpose().equals(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, FormatRoundTrip,
+                         ::testing::Range(0, 8));
+
+} // namespace
+} // namespace acamar

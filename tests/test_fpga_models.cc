@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the FPGA substrate models: device, resources/area, HLS
+ * pipelines, memory roofline, bitstream sizing and ICAP timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fpga/bitstream.hh"
+#include "fpga/device.hh"
+#include "sim/clock_domain.hh"
+#include "fpga/hls_kernel.hh"
+#include "fpga/icap.hh"
+#include "fpga/memory_model.hh"
+#include "fpga/resource_model.hh"
+
+namespace acamar {
+namespace {
+
+TEST(Device, AlveoU55cSpec)
+{
+    const auto dev = FpgaDevice::alveoU55c();
+    EXPECT_EQ(dev.capacity.dsps, 9024);
+    EXPECT_GT(dev.capacity.luts, 1'000'000);
+    EXPECT_DOUBLE_EQ(dev.icapBitsPerSecond, 6.4e9); // Section VIII-A
+    EXPECT_DOUBLE_EQ(dev.icapClockHz, 200e6);       // Section VIII-A
+    EXPECT_GT(dev.memBytesPerCycle(), 0.0);
+    // The per-kernel AXI port, not aggregate HBM, is the bound.
+    EXPECT_DOUBLE_EQ(dev.memBytesPerCycle(), dev.portBytesPerCycle);
+}
+
+TEST(KernelResources, Arithmetic)
+{
+    KernelResources a{100, 200, 3, 1};
+    KernelResources b{10, 20, 1, 0};
+    const auto sum = a + b;
+    EXPECT_EQ(sum.luts, 110);
+    EXPECT_EQ(sum.dsps, 4);
+    const auto scaled = b * 3;
+    EXPECT_EQ(scaled.ffs, 60);
+    EXPECT_EQ(scaled.brams, 0);
+}
+
+TEST(ResourceModel, SpmvUnitScalesWithUnroll)
+{
+    const ResourceModel res(FpgaDevice::alveoU55c());
+    const auto u1 = res.spmvUnit(1);
+    const auto u8 = res.spmvUnit(8);
+    const auto u32 = res.spmvUnit(32);
+    EXPECT_LT(u1.dsps, u8.dsps);
+    EXPECT_LT(u8.dsps, u32.dsps);
+    EXPECT_LT(u1.luts, u32.luts);
+    // Lanes dominate: 32 lanes cost more than 4x the 8-lane unit's
+    // MACs alone would predict is impossible, but monotone growth
+    // and near-linear scaling must hold.
+    EXPECT_GT(u32.dsps, 3 * u8.dsps);
+}
+
+TEST(ResourceModel, AreaPositiveAndMonotone)
+{
+    const ResourceModel res(FpgaDevice::alveoU55c());
+    const double a1 = res.areaMm2(res.spmvUnit(1));
+    const double a16 = res.areaMm2(res.spmvUnit(16));
+    EXPECT_GT(a1, 0.0);
+    EXPECT_GT(a16, a1);
+    EXPECT_LT(a16, res.device().dieAreaMm2);
+}
+
+TEST(ResourceModel, UtilizationFractionBounded)
+{
+    const ResourceModel res(FpgaDevice::alveoU55c());
+    const double f = res.utilizationFraction(
+        res.spmvUnit(64) + res.denseUnits() + res.analyzerUnits());
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 1.0); // fits the device
+}
+
+TEST(HlsPipeline, CycleFormula)
+{
+    const HlsPipelineModel p{.initiationInterval = 2, .depth = 10};
+    EXPECT_EQ(p.cycles(0), 0u);
+    EXPECT_EQ(p.cycles(1), 10u);
+    EXPECT_EQ(p.cycles(5), 10u + 2u * 4u);
+}
+
+TEST(HlsPipeline, ClockPenaltyKneeAndSlope)
+{
+    EXPECT_DOUBLE_EQ(hls_defaults::clockPenalty(1), 1.0);
+    EXPECT_DOUBLE_EQ(hls_defaults::clockPenalty(12), 1.0);
+    EXPECT_GT(hls_defaults::clockPenalty(16), 1.0);
+    EXPECT_GT(hls_defaults::clockPenalty(32),
+              hls_defaults::clockPenalty(16));
+}
+
+TEST(HlsPipeline, TreeDepthIsLog)
+{
+    EXPECT_EQ(hls_defaults::treeDepth(1), 0);
+    EXPECT_EQ(hls_defaults::treeDepth(2), 2);
+    EXPECT_EQ(hls_defaults::treeDepth(8), 6);
+    EXPECT_EQ(hls_defaults::treeDepth(9), 8); // rounds up
+}
+
+TEST(MemoryModel, StreamCyclesRoundsUp)
+{
+    const MemoryModel mem(FpgaDevice::alveoU55c());
+    EXPECT_EQ(mem.streamCycles(0), 0u);
+    const auto one_byte = mem.streamCycles(1);
+    EXPECT_EQ(one_byte, 1u);
+    const double bpc = FpgaDevice::alveoU55c().memBytesPerCycle();
+    EXPECT_EQ(mem.streamCycles(static_cast<int64_t>(bpc) * 10), 10u);
+}
+
+TEST(MemoryModel, SpmvBytesFormula)
+{
+    // 12 bytes per nonzero + 12 per row.
+    EXPECT_EQ(MemoryModel::spmvBytes(100, 10), 100 * 12 + 10 * 12);
+    EXPECT_EQ(MemoryModel::vectorBytes(100, 3), 1200);
+}
+
+TEST(Bitstream, SizeScalesWithRegion)
+{
+    const ResourceModel res(FpgaDevice::alveoU55c());
+    const auto small = BitstreamModel::partialBitstreamBits(
+        BitstreamModel::regionFor(res.spmvUnit(2)));
+    const auto large = BitstreamModel::partialBitstreamBits(
+        BitstreamModel::regionFor(res.spmvUnit(32)));
+    EXPECT_GT(small, 0);
+    EXPECT_GT(large, 4 * small);
+}
+
+TEST(Bitstream, RegionPadsForPlacement)
+{
+    const KernelResources r{1000, 2000, 10, 2};
+    const auto region = BitstreamModel::regionFor(r);
+    EXPECT_GE(region.luts, static_cast<int64_t>(1.3 * 1000));
+    EXPECT_GE(region.dsps, 13);
+}
+
+TEST(Icap, TimingMatchesSectionViii)
+{
+    const IcapModel icap(FpgaDevice::alveoU55c());
+    // 6.4 Gb in one second at 6.4 Gb/s.
+    EXPECT_DOUBLE_EQ(icap.reconfigSeconds(6'400'000'000ll), 1.0);
+    // 6.4 Mb -> 1 ms -> 300k kernel cycles at 300 MHz.
+    EXPECT_EQ(icap.reconfigKernelCycles(6'400'000), 300'000u);
+    EXPECT_EQ(icap.reconfigTicks(6'400'000),
+              kTicksPerSecond / 1000);
+}
+
+TEST(Icap, ZeroBitsZeroTime)
+{
+    const IcapModel icap(FpgaDevice::alveoU55c());
+    EXPECT_DOUBLE_EQ(icap.reconfigSeconds(0), 0.0);
+    EXPECT_EQ(icap.reconfigKernelCycles(0), 0u);
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests that each synthetic generator delivers the structural class
+ * it promises (the property Table II's reproduction rests on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+#include "sparse/properties.hh"
+
+namespace acamar {
+namespace {
+
+TEST(RowLengthTraceGen, MeansNearTarget)
+{
+    Rng rng(5);
+    for (auto p : {RowProfile::Uniform, RowProfile::PowerLaw,
+                   RowProfile::Wave, RowProfile::Banded}) {
+        const auto lens = rowLengthTraceGen(2048, p, 12.0, rng);
+        ASSERT_EQ(lens.size(), 2048u);
+        double sum = 0.0;
+        for (int l : lens) {
+            EXPECT_GE(l, 1);
+            sum += l;
+        }
+        const double mean = sum / 2048.0;
+        EXPECT_GT(mean, 4.0) << "profile " << static_cast<int>(p);
+        EXPECT_LT(mean, 24.0) << "profile " << static_cast<int>(p);
+    }
+}
+
+TEST(RowLengthTraceGen, PowerLawIsDegreeSorted)
+{
+    Rng rng(6);
+    const auto lens =
+        rowLengthTraceGen(1024, RowProfile::PowerLaw, 10.0, rng);
+    for (size_t i = 1; i < lens.size(); ++i)
+        EXPECT_LE(lens[i], lens[i - 1]);
+}
+
+TEST(RowLengthTraceGen, WaveOscillates)
+{
+    Rng rng(7);
+    const auto lens =
+        rowLengthTraceGen(1024, RowProfile::Wave, 20.0, rng);
+    const int first = lens[128];  // near sin peak
+    const int later = lens[384];  // near sin trough
+    EXPECT_GT(first, later);
+}
+
+TEST(Poisson2d, StructureAndStencil)
+{
+    const auto a = poisson2d(5, 7, 0.0);
+    EXPECT_EQ(a.numRows(), 35);
+    EXPECT_TRUE(isSymmetric(a, 0.0));
+    EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 7), -1.0);
+    // Interior row has 5 entries, corner has 3.
+    EXPECT_EQ(a.rowNnz(8), 5); // (1,1)
+    EXPECT_EQ(a.rowNnz(0), 3);
+}
+
+TEST(Poisson3d, StructureAndStencil)
+{
+    const auto a = poisson3d(3, 3, 3, 0.25);
+    EXPECT_EQ(a.numRows(), 27);
+    EXPECT_TRUE(isSymmetric(a, 0.0));
+    EXPECT_DOUBLE_EQ(a.at(13, 13), 6.25); // center voxel
+    EXPECT_EQ(a.rowNnz(13), 7);
+    EXPECT_TRUE(isStrictlyDiagDominant(a));
+}
+
+TEST(ConvectionDiffusion, PecletControlsDominance)
+{
+    // |p| < 1: all off-diagonals negative, weakly dominant rows
+    // exist, but corner rows are strictly dominant; with the
+    // centered scheme at p=0 it reduces to the Laplacian.
+    const auto mild = convectionDiffusion2d(6, 6, 0.0, 0.0);
+    EXPECT_TRUE(isSymmetric(mild, 1e-12));
+
+    const auto strong = convectionDiffusion2d(6, 6, 2.5, 2.5);
+    EXPECT_FALSE(isSymmetric(strong, 1e-12));
+    EXPECT_FALSE(isStrictlyDiagDominant(strong));
+    // Downwind coefficient flips sign at p > 1.
+    EXPECT_GT(strong.at(0, 6), 0.0);  // -1 + 2.5
+    EXPECT_LT(strong.at(6, 0), 0.0);  // -1 - 2.5
+}
+
+TEST(ConvectionDiffusion, JacobiDivergesAtHighPeclet)
+{
+    Rng rng(11);
+    const auto a = convectionDiffusion2d(24, 24, 2.5, 2.5);
+    EXPECT_GT(jacobiSpectralRadius(a, 300, rng), 1.0);
+}
+
+TEST(BlockOnesSpd, SpdButJacobiDivergent)
+{
+    Rng rng(12);
+    const auto a = blockOnesSpd(256, 8, 0.35, 0.05, rng);
+    EXPECT_TRUE(isSymmetric(a, 1e-12));
+    EXPECT_FALSE(isStrictlyDiagDominant(a));
+    Rng rng2(13);
+    // rho*(m-1) ~ 2.4 > 1: Jacobi must diverge.
+    EXPECT_GT(jacobiSpectralRadius(a, 300, rng2), 1.0);
+}
+
+TEST(DdNonsymmetric, DominantAndSkewed)
+{
+    Rng rng(14);
+    const auto a =
+        ddNonsymmetric(256, RowProfile::Uniform, 8.0, 1.5, rng);
+    EXPECT_TRUE(isStrictlyDiagDominant(a));
+    EXPECT_FALSE(isSymmetric(a, 1e-12));
+    Rng rng2(15);
+    EXPECT_LT(jacobiSpectralRadius(a, 300, rng2), 1.0);
+}
+
+TEST(SymIndefiniteDd, DominantSymmetricIndefinite)
+{
+    Rng rng(16);
+    const auto a = symIndefiniteDd(256, 0.5, rng);
+    EXPECT_TRUE(isStrictlyDiagDominant(a));
+    EXPECT_TRUE(isSymmetric(a, 1e-12));
+    bool saw_neg = false, saw_pos = false;
+    for (double d : a.diagonal()) {
+        saw_neg |= d < 0.0;
+        saw_pos |= d > 0.0;
+    }
+    EXPECT_TRUE(saw_neg);
+    EXPECT_TRUE(saw_pos);
+    Rng rng2(17);
+    EXPECT_LT(jacobiSpectralRadius(a, 300, rng2), 1.0);
+}
+
+TEST(IllConditionedSpd, SymmetricNotDominant)
+{
+    Rng rng(18);
+    const auto a = illConditionedSpd(256, 1e6, 0.4, 3, rng);
+    EXPECT_TRUE(isSymmetric(a, 1e-12));
+    EXPECT_FALSE(isStrictlyDiagDominant(a));
+    Rng rng2(19);
+    EXPECT_GT(jacobiSpectralRadius(a, 300, rng2), 1.0);
+}
+
+TEST(GraphLaplacian, ShiftedDominantWithSkewedDegrees)
+{
+    Rng rng(20);
+    const auto a = graphLaplacianPowerLaw(512, 2.1, 64, 0.5, rng);
+    EXPECT_TRUE(isSymmetric(a, 1e-12));
+    EXPECT_TRUE(isStrictlyDiagDominant(a));
+    const auto st = rowNnzStats(a);
+    EXPECT_GT(st.maxNnz, 4 * static_cast<int64_t>(st.mean));
+}
+
+TEST(RandomSparse, ShapeAndDiagonal)
+{
+    Rng rng(21);
+    const auto a =
+        randomSparse(100, RowProfile::Banded, 6.0, 3.5, rng);
+    EXPECT_EQ(a.numRows(), 100);
+    for (double d : a.diagonal())
+        EXPECT_DOUBLE_EQ(d, 3.5);
+}
+
+TEST(AddDiagonal, ShiftsAndInsertsMissing)
+{
+    CooMatrix<double> coo(2, 2);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 1, 2.0); // row 1 has no diagonal
+    const auto a = addDiagonal(coo.toCsr(), 0.5);
+    EXPECT_DOUBLE_EQ(a.at(0, 0), 1.5);
+    EXPECT_DOUBLE_EQ(a.at(1, 1), 0.5);
+}
+
+TEST(Symmetrize, ProducesSymmetricHalfSum)
+{
+    CooMatrix<double> coo(2, 2);
+    coo.add(0, 1, 4.0);
+    const auto s = symmetrize(coo.toCsr());
+    EXPECT_DOUBLE_EQ(s.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(s.at(1, 0), 2.0);
+    EXPECT_TRUE(isSymmetric(s, 0.0));
+}
+
+TEST(JacobiSpectralRadius, KnownValue)
+{
+    // A = [[2, 1], [1, 2]]: T = [[0, -1/2], [-1/2, 0]], rho = 0.5.
+    CooMatrix<double> coo(2, 2);
+    coo.add(0, 0, 2.0);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 1.0);
+    coo.add(1, 1, 2.0);
+    Rng rng(22);
+    EXPECT_NEAR(jacobiSpectralRadius(coo.toCsr(), 500, rng), 0.5,
+                0.01);
+}
+
+TEST(RhsForSolution, ExactProduct)
+{
+    const auto a = poisson2d(4, 4, 0.5).cast<float>();
+    std::vector<float> x(16, 2.0f);
+    const auto b = rhsForSolution(a, x);
+    // Corner row: (4.5 - 2) * 2 = 5; interior row: 0.5 * 2 = 1.
+    EXPECT_FLOAT_EQ(b[0], 2.0f * (4.5f - 2.0f));
+    EXPECT_FLOAT_EQ(b[5], 2.0f * 0.5f);
+}
+
+} // namespace
+} // namespace acamar

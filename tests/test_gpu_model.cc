@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the GTX 1650 Super cuSPARSE csrmv model (Figures 8/9).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.hh"
+#include "gpu/gpu_spmv_model.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+namespace acamar {
+namespace {
+
+TEST(GpuDevice, Spec1650Super)
+{
+    const auto dev = GpuDevice::gtx1650Super();
+    EXPECT_EQ(dev.numSms, 20);
+    EXPECT_EQ(dev.numSms * dev.coresPerSm, 1280);
+    EXPECT_EQ(dev.warpSize, 32);
+    // ~4.4 TFLOPS fp32 peak.
+    EXPECT_NEAR(dev.peakFlops(), 4.416e12, 1e10);
+}
+
+TEST(GpuModel, LaneUnderutilizationForSparseRows)
+{
+    // Rows with 5 nonzeros keep 5/32 lanes busy: ~84% idle.
+    CooMatrix<float> coo(256, 256);
+    for (int r = 0; r < 256; ++r)
+        for (int c = 0; c < 5; ++c)
+            coo.add(r, (r + c) % 256, 1.0f);
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+    const auto st = gpu.run(coo.toCsr());
+    EXPECT_NEAR(st.laneUnderutilization, 1.0 - 5.0 / 32.0, 1e-9);
+    EXPECT_EQ(st.usefulMacs, 256 * 5);
+}
+
+TEST(GpuModel, DenseRowsUtilizeWell)
+{
+    CooMatrix<float> coo(64, 64);
+    for (int r = 0; r < 64; ++r)
+        for (int c = 0; c < 64; ++c)
+            coo.add(r, c, 1.0f);
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+    const auto st = gpu.run(coo.toCsr());
+    EXPECT_DOUBLE_EQ(st.laneUnderutilization, 0.0); // 64 = 2 beats
+}
+
+TEST(GpuModel, PctOfPeakIsTinyOnSparseInput)
+{
+    Rng rng(4);
+    const auto a =
+        randomSparse(1024, RowProfile::Uniform, 8.0, 2.0, rng)
+            .cast<float>();
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+    const auto st = gpu.run(a);
+    // The paper's Fig. 9 bottom: GPU achieves a very low fraction
+    // of peak on SpMV.
+    EXPECT_LT(st.pctOfPeak, 0.10);
+    EXPECT_GT(st.pctOfPeak, 0.0);
+    EXPECT_TRUE(st.memoryBound);
+}
+
+TEST(GpuModel, OccupancyCapsAtOne)
+{
+    CooMatrix<float> coo(8, 8);
+    for (int r = 0; r < 8; ++r)
+        coo.add(r, r, 1.0f);
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+    const auto st = gpu.run(coo.toCsr());
+    EXPECT_LE(st.smOccupancy, 1.0);
+    EXPECT_GT(st.smOccupancy, 0.0);
+}
+
+TEST(GpuModel, EmptyRowsStillIssueBeats)
+{
+    CooMatrix<float> coo(16, 16);
+    coo.add(0, 0, 1.0f);
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+    const auto st = gpu.run(coo.toCsr());
+    // 15 empty rows issue bookkeeping beats with zero useful MACs.
+    EXPECT_EQ(st.usefulMacs, 1);
+    EXPECT_GE(st.offeredLaneSlots, 16 * 32);
+    EXPECT_GT(st.laneUnderutilization, 0.9);
+}
+
+TEST(GpuKernels, ScalarPacksShortRowsBetter)
+{
+    // 5-nnz rows: csr-vector idles 27/32 lanes; csr-scalar packs 32
+    // rows per warp and only diverges on length differences.
+    CooMatrix<float> coo(256, 256);
+    for (int r = 0; r < 256; ++r)
+        for (int c = 0; c < 5; ++c)
+            coo.add(r, (r + c) % 256, 1.0f);
+    const auto a = coo.toCsr();
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+    const auto vec = gpu.run(a, GpuKernel::CsrVector);
+    const auto sca = gpu.run(a, GpuKernel::CsrScalar);
+    EXPECT_LT(sca.laneUnderutilization, vec.laneUnderutilization);
+    // Equal-length rows don't diverge at all.
+    EXPECT_DOUBLE_EQ(sca.laneUnderutilization, 0.0);
+}
+
+TEST(GpuKernels, ScalarDivergesOnMixedRowLengths)
+{
+    Rng rng(12);
+    const auto a =
+        randomSparse(512, RowProfile::PowerLaw, 6.0, 2.0, rng)
+            .cast<float>();
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+    const auto sca = gpu.run(a, GpuKernel::CsrScalar);
+    EXPECT_GT(sca.laneUnderutilization, 0.1);
+    EXPECT_EQ(sca.usefulMacs, a.nnz());
+}
+
+TEST(GpuKernels, AdaptiveBetweenOrBetterThanBoth)
+{
+    Rng rng(13);
+    const auto a =
+        randomSparse(512, RowProfile::Banded, 10.0, 2.0, rng)
+            .cast<float>();
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+    const auto vec = gpu.run(a, GpuKernel::CsrVector);
+    const auto sca = gpu.run(a, GpuKernel::CsrScalar);
+    const auto ada = gpu.run(a, GpuKernel::Adaptive);
+    EXPECT_LE(ada.laneUnderutilization,
+              std::max(vec.laneUnderutilization,
+                       sca.laneUnderutilization) +
+                  1e-9);
+    EXPECT_EQ(ada.usefulMacs, a.nnz());
+}
+
+TEST(GpuKernels, EveryKernelStaysFarBelowPeakOnSparseRows)
+{
+    // The Figure 8/9 robustness claim behind the ablation bench.
+    Rng rng(14);
+    const auto a =
+        randomSparse(1024, RowProfile::Uniform, 8.0, 2.0, rng)
+            .cast<float>();
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+    for (auto k : {GpuKernel::CsrVector, GpuKernel::CsrScalar,
+                   GpuKernel::Adaptive}) {
+        EXPECT_LT(gpu.run(a, k).pctOfPeak, 0.10) << to_string(k);
+    }
+}
+
+TEST(GpuKernels, Names)
+{
+    EXPECT_EQ(to_string(GpuKernel::CsrVector), "csr-vector");
+    EXPECT_EQ(to_string(GpuKernel::CsrScalar), "csr-scalar");
+    EXPECT_EQ(to_string(GpuKernel::Adaptive), "adaptive");
+}
+
+TEST(GpuModel, SecondsPositiveAndConsistent)
+{
+    Rng rng(8);
+    const auto a =
+        randomSparse(512, RowProfile::PowerLaw, 6.0, 2.0, rng)
+            .cast<float>();
+    const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
+    const auto st = gpu.run(a);
+    EXPECT_GT(st.seconds, 0.0);
+    EXPECT_NEAR(st.achievedFlops * st.seconds,
+                2.0 * static_cast<double>(st.usefulMacs),
+                1e-3 * st.achievedFlops * st.seconds);
+}
+
+} // namespace
+} // namespace acamar

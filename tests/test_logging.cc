@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tests for common/logging: fatal/panic/assert semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace acamar {
+namespace {
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(ACAMAR_FATAL("bad input ", 42), std::runtime_error);
+}
+
+TEST(Logging, FatalMessageContainsPayloadAndLocation)
+{
+    try {
+        ACAMAR_FATAL("value was ", 7);
+        FAIL() << "fatal did not throw";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("value was 7"), std::string::npos);
+        EXPECT_NE(msg.find("test_logging.cc"), std::string::npos);
+    }
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(ACAMAR_PANIC("invariant broke"), "invariant broke");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(ACAMAR_ASSERT(1 == 2, "math is off"), "math is off");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    ACAMAR_ASSERT(2 + 2 == 4, "unreachable");
+    SUCCEED();
+}
+
+TEST(Logging, ThresholdFiltersMessages)
+{
+    Logger &log = Logger::instance();
+    const LogLevel old = log.threshold();
+    log.setThreshold(LogLevel::Error);
+    EXPECT_EQ(log.threshold(), LogLevel::Error);
+    // Messages below threshold are dropped (no crash, no output).
+    inform("this should be filtered");
+    warn("this should be filtered too");
+    log.setThreshold(old);
+}
+
+} // namespace
+} // namespace acamar

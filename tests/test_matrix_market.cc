@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the MatrixMarket reader/writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/random.hh"
+#include "sparse/generators.hh"
+#include "sparse/matrix_market.hh"
+
+namespace acamar {
+namespace {
+
+TEST(MatrixMarket, ParsesGeneralReal)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "3 3 4\n"
+        "1 1 2.0\n"
+        "2 2 3.0\n"
+        "3 3 4.0\n"
+        "1 3 -1.5\n");
+    const auto a = readMatrixMarket(in);
+    EXPECT_EQ(a.numRows(), 3);
+    EXPECT_EQ(a.nnz(), 4);
+    EXPECT_DOUBLE_EQ(a.at(0, 2), -1.5);
+    EXPECT_DOUBLE_EQ(a.at(1, 1), 3.0);
+}
+
+TEST(MatrixMarket, SymmetricMirrorsEntries)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "2 2 2\n"
+        "1 1 1.0\n"
+        "2 1 5.0\n");
+    const auto a = readMatrixMarket(in);
+    EXPECT_EQ(a.nnz(), 3);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), 5.0);
+    EXPECT_DOUBLE_EQ(a.at(1, 0), 5.0);
+}
+
+TEST(MatrixMarket, SkewSymmetricNegatesMirror)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 1 3.0\n");
+    const auto a = readMatrixMarket(in);
+    EXPECT_DOUBLE_EQ(a.at(1, 0), 3.0);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), -3.0);
+}
+
+TEST(MatrixMarket, PatternReadsOnes)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    const auto a = readMatrixMarket(in);
+    EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+}
+
+TEST(MatrixMarket, RejectsBadHeader)
+{
+    std::istringstream in("%%MatrixMarket matrix array real general\n");
+    EXPECT_THROW(readMatrixMarket(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedStream)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n"
+        "1 1 1.0\n");
+    EXPECT_THROW(readMatrixMarket(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsComplexField)
+{
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate complex general\n"
+        "1 1 1\n"
+        "1 1 1.0 0.0\n");
+    EXPECT_THROW(readMatrixMarket(in), std::runtime_error);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip)
+{
+    Rng rng(77);
+    const auto a =
+        randomSparse(50, RowProfile::Uniform, 4.0, 2.0, rng);
+    std::stringstream s;
+    writeMatrixMarket(a, s);
+    const auto back = readMatrixMarket(s);
+    ASSERT_EQ(back.nnz(), a.nnz());
+    EXPECT_EQ(back.rowPtr(), a.rowPtr());
+    EXPECT_EQ(back.colIdx(), a.colIdx());
+    for (int64_t k = 0; k < a.nnz(); ++k)
+        EXPECT_NEAR(back.values()[k], a.values()[k], 1e-12);
+}
+
+TEST(MatrixMarket, MissingFileIsFatal)
+{
+    EXPECT_THROW(readMatrixMarketFile("/nonexistent/file.mtx"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the metrics module, anchored on the paper's own worked
+ * examples of Equation 5 (Equations 10 and 11, Section VII-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/efficiency.hh"
+#include "metrics/throughput.hh"
+#include "metrics/underutilization.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+namespace acamar {
+namespace {
+
+TEST(Eq5, PaperExampleEq10)
+{
+    // "8 non-zeros in a row ... unroll factor 10: 20% R.U."
+    EXPECT_NEAR(paperRowUnderutilization(8, 10), 0.20, 1e-12);
+}
+
+TEST(Eq5, PaperExampleEq11)
+{
+    // "6 non-zero values, unroll factor 3: 0%" and
+    // "6 non-zeros, unroll factor 7: 14%".
+    EXPECT_NEAR(paperRowUnderutilization(6, 3), 0.0, 1e-12);
+    EXPECT_NEAR(paperRowUnderutilization(6, 7), 1.0 / 7.0, 1e-12);
+}
+
+TEST(Eq5, ExactMultipleIsZero)
+{
+    EXPECT_DOUBLE_EQ(paperRowUnderutilization(8, 4), 0.0);
+    EXPECT_DOUBLE_EQ(paperRowUnderutilization(4, 4), 0.0);
+    EXPECT_DOUBLE_EQ(paperRowUnderutilization(64, 8), 0.0);
+}
+
+TEST(Eq5, UnrollOneIsAlwaysZeroForNonEmptyRows)
+{
+    // The paper: URB=1 "will run for every non-zero value,
+    // resulting in 0% resource underutilization".
+    for (int64_t nnz = 1; nnz <= 100; ++nnz)
+        EXPECT_DOUBLE_EQ(paperRowUnderutilization(nnz, 1), 0.0);
+}
+
+TEST(Eq5, FirstBranchIsModOverU)
+{
+    EXPECT_NEAR(paperRowUnderutilization(9, 8), 1.0 / 8.0, 1e-12);
+    EXPECT_NEAR(paperRowUnderutilization(15, 8), 7.0 / 8.0, 1e-12);
+}
+
+TEST(Eq5, EmptyRowWastesWholeUnit)
+{
+    EXPECT_DOUBLE_EQ(paperRowUnderutilization(0, 4), 1.0);
+}
+
+TEST(OccupancyRu, LastBeatAccounting)
+{
+    // nnz=9, U=8: 2 beats offering 16 slots, 9 useful -> 7/16 idle.
+    EXPECT_NEAR(occupancyRowUnderutilization(9, 8), 7.0 / 16.0,
+                1e-12);
+    EXPECT_DOUBLE_EQ(occupancyRowUnderutilization(8, 8), 0.0);
+    EXPECT_DOUBLE_EQ(occupancyRowUnderutilization(0, 8), 1.0);
+}
+
+TEST(MeanRu, FixedUnrollOverMatrix)
+{
+    // Rows with 3 and 5 nonzeros at U=4: (1/4 + 1/4) / 2.
+    CooMatrix<double> coo(2, 8);
+    for (int c = 0; c < 3; ++c)
+        coo.add(0, c, 1.0);
+    for (int c = 0; c < 5; ++c)
+        coo.add(1, c, 1.0);
+    const auto a = coo.toCsr();
+    EXPECT_NEAR(meanUnderutilization(a, 4), 0.25, 1e-12);
+}
+
+TEST(MeanRu, PerSetFactorsBeatOneGlobalFactor)
+{
+    // Two populations of rows: per-set matched factors hit 0% while
+    // any single factor leaves one population misfit.
+    CooMatrix<double> coo(8, 16);
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 3; ++c)
+            coo.add(r, c, 1.0);
+    for (int r = 4; r < 8; ++r)
+        for (int c = 0; c < 10; ++c)
+            coo.add(r, c, 1.0);
+    const auto a = coo.toCsr();
+    const double per_set =
+        meanUnderutilizationPerSet(a, {3, 10}, 4);
+    EXPECT_DOUBLE_EQ(per_set, 0.0);
+    EXPECT_GT(meanUnderutilization(a, 3), 0.0);
+    EXPECT_GT(meanUnderutilization(a, 10), 0.0);
+}
+
+TEST(MeanRu, LastSetAbsorbsRemainder)
+{
+    CooMatrix<double> coo(5, 8);
+    for (int r = 0; r < 5; ++r)
+        for (int c = 0; c < 4; ++c)
+            coo.add(r, c, 1.0);
+    const auto a = coo.toCsr();
+    // set_size 2 with 2 factors: rows 4 falls into the last set.
+    EXPECT_DOUBLE_EQ(meanUnderutilizationPerSet(a, {4, 4}, 2), 0.0);
+}
+
+TEST(Throughput, SlotAccounting)
+{
+    const auto rep = throughputFromSlots(80, 100, 50.0, 100e6);
+    // 80 useful MACs = 160 flops in 0.5 us -> 320 MFLOPS.
+    EXPECT_NEAR(rep.achievedFlops, 320e6, 1.0);
+    EXPECT_NEAR(rep.pctOfPeak, 0.8, 1e-12);
+    EXPECT_GT(rep.peakFlops, rep.achievedFlops);
+}
+
+TEST(Throughput, ZeroWorkIsSafe)
+{
+    const auto rep = throughputFromSlots(0, 0, 0.0, 100e6);
+    EXPECT_EQ(rep.achievedFlops, 0.0);
+    EXPECT_EQ(rep.pctOfPeak, 0.0);
+}
+
+TEST(Efficiency, GflopsPerMm2)
+{
+    const auto rep = efficiencyFrom(50e9, 25.0);
+    EXPECT_DOUBLE_EQ(rep.gflops, 50.0);
+    EXPECT_DOUBLE_EQ(rep.gflopsPerMm2, 2.0);
+}
+
+TEST(Efficiency, AreaSavingRatio)
+{
+    EXPECT_DOUBLE_EQ(areaSaving(10.0, 20.0), 2.0);
+    EXPECT_DOUBLE_EQ(areaSaving(20.0, 10.0), 0.5);
+}
+
+TEST(MetricsDeathTest, InvalidInputsPanic)
+{
+    EXPECT_DEATH(paperRowUnderutilization(4, 0), "unroll factor");
+    EXPECT_DEATH(paperRowUnderutilization(-1, 4), "negative row");
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the MSID chain (Algorithm 4), anchored on the paper's
+ * Figure 4 example and the Figure 5 rate-vs-stages property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/msid_chain.hh"
+#include "accel/row_length_trace.hh"
+#include "common/random.hh"
+#include "sparse/generators.hh"
+
+namespace acamar {
+namespace {
+
+TEST(MsidChain, PaperFigure4Example)
+{
+    // tBuffer (4, 6, 2, 10) at tolerance 0.6:
+    //   |6/4-1|  = 0.50 <= 0.6 -> adopt 4
+    //   |2/6-1|  = 0.67 >  0.6 -> keep 2
+    //   |10/2-1| = 4.0  >  0.6 -> keep 10
+    MsidChain one(1, 0.6);
+    EXPECT_EQ(one.apply({4, 6, 2, 10}),
+              (std::vector<int>{4, 4, 2, 10}));
+    // A second stage then merges 2 into the 4-plateau.
+    MsidChain two(2, 0.6);
+    EXPECT_EQ(two.apply({4, 6, 2, 10}),
+              (std::vector<int>{4, 4, 4, 10}));
+}
+
+TEST(MsidChain, ZeroStagesIsIdentity)
+{
+    MsidChain chain(0, 0.6);
+    const std::vector<int> t{5, 9, 3, 7};
+    EXPECT_EQ(chain.apply(t), t);
+}
+
+TEST(MsidChain, ZeroToleranceMergesOnlyEqualNeighbours)
+{
+    MsidChain chain(4, 0.0);
+    EXPECT_EQ(chain.apply({3, 3, 4, 4, 5}),
+              (std::vector<int>{3, 3, 4, 4, 5}));
+    EXPECT_EQ(chain.apply({2, 7, 2, 9}),
+              (std::vector<int>{2, 7, 2, 9}));
+}
+
+TEST(MsidChain, HugeToleranceFlattensEverything)
+{
+    MsidChain chain(16, 100.0);
+    const auto out = chain.apply({4, 6, 2, 10, 3, 8});
+    for (int v : out)
+        EXPECT_EQ(v, 4);
+}
+
+TEST(MsidChain, StagesExtendPlateausOneHopEach)
+{
+    // Stage t propagates the previous stage's predecessor, so each
+    // stage can extend a plateau by exactly one set.
+    const std::vector<int> t{8, 9, 10, 11, 12};
+    MsidChain one(1, 0.2);
+    MsidChain four(4, 0.2);
+    EXPECT_EQ(one.apply(t), (std::vector<int>{8, 8, 9, 10, 11}));
+    EXPECT_EQ(four.apply(t), (std::vector<int>{8, 8, 8, 8, 8}));
+}
+
+TEST(MsidChain, ApplyTracedKeepsEveryStage)
+{
+    MsidChain chain(3, 0.6);
+    const auto stages = chain.applyTraced({4, 6, 2, 10});
+    ASSERT_EQ(stages.size(), 4u); // input + 3 stages
+    EXPECT_EQ(stages[0], (std::vector<int>{4, 6, 2, 10}));
+    EXPECT_EQ(stages[2], chain.apply({4, 6, 2, 10}));
+}
+
+TEST(MsidChain, ReconfigEventsCountsChanges)
+{
+    EXPECT_EQ(MsidChain::reconfigEvents({4, 4, 4}), 0);
+    EXPECT_EQ(MsidChain::reconfigEvents({4, 6, 2, 10}), 3);
+    EXPECT_EQ(MsidChain::reconfigEvents({4, 6, 6, 2}), 2);
+    EXPECT_EQ(MsidChain::reconfigEvents({7}), 0);
+    EXPECT_EQ(MsidChain::reconfigEvents({}), 0);
+}
+
+TEST(MsidChain, ReconfigRateNormalized)
+{
+    EXPECT_DOUBLE_EQ(MsidChain::reconfigRate({4, 6, 2, 10}), 0.75);
+    EXPECT_DOUBLE_EQ(MsidChain::reconfigRate({4}), 0.0);
+}
+
+TEST(MsidChain, FixedPointStopsEarly)
+{
+    // Once a stage changes nothing, further stages are no-ops; a
+    // huge stage count must not change the result.
+    MsidChain few(8, 0.3);
+    MsidChain many(1000, 0.3);
+    Rng rng(5);
+    std::vector<int> t;
+    for (int i = 0; i < 64; ++i)
+        t.push_back(static_cast<int>(rng.uniformInt(1, 20)));
+    EXPECT_EQ(few.apply(t), many.apply(t));
+}
+
+class MsidRateMonotone : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MsidRateMonotone, MoreStagesNeverIncreaseEvents)
+{
+    // The Figure 5 property: reconfiguration rate is non-increasing
+    // in rOpt and flattens once the chain reaches its fixed point.
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+    std::vector<int> t;
+    for (int i = 0; i < 128; ++i)
+        t.push_back(static_cast<int>(rng.uniformInt(1, 32)));
+
+    int prev_events = MsidChain::reconfigEvents(t);
+    for (int stages = 1; stages <= 12; ++stages) {
+        const int events = MsidChain::reconfigEvents(
+            MsidChain(stages, 0.15).apply(t));
+        EXPECT_LE(events, prev_events) << "stages " << stages;
+        prev_events = events;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, MsidRateMonotone,
+                         ::testing::Range(0, 10));
+
+TEST(MsidChainDeathTest, InvalidParamsPanic)
+{
+    EXPECT_DEATH(MsidChain(-1, 0.5), "stage count");
+    EXPECT_DEATH(MsidChain(2, -0.1), "tolerance");
+    MsidChain chain(1, 0.5);
+    EXPECT_DEATH(chain.apply({4, 0, 2}), "unroll factors");
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the event-driven DFX overlap model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accel/overlap_model.hh"
+#include "sparse/coo.hh"
+
+namespace acamar {
+namespace {
+
+class OverlapTest : public ::testing::Test
+{
+  protected:
+    OverlapTest()
+        : dev_(FpgaDevice::alveoU55c()), mem_(dev_),
+          spmv_(&spmv_eq_, mem_), model_(&sim_eq_, dev_, &spmv_)
+    {}
+
+    /** Matrix whose sets (size 8) have the given nnz/row. */
+    CsrMatrix<float>
+    matrixWithSetLengths(const std::vector<int> &per_set)
+    {
+        const auto rows = static_cast<int32_t>(per_set.size() * 8);
+        CooMatrix<float> coo(rows, rows);
+        for (int32_t r = 0; r < rows; ++r) {
+            const int len = per_set[static_cast<size_t>(r / 8)];
+            for (int c = 0; c < len; ++c)
+                coo.add(r, (r + c) % rows, 1.0f);
+        }
+        return coo.toCsr();
+    }
+
+    ReconfigPlan
+    planFor(const std::vector<int> &factors)
+    {
+        ReconfigPlan plan;
+        plan.setSize = 8;
+        plan.factors = factors;
+        plan.reconfigEvents = MsidChain::reconfigEvents(factors);
+        plan.maxFactor =
+            *std::max_element(factors.begin(), factors.end());
+        return plan;
+    }
+
+    FpgaDevice dev_;
+    EventQueue spmv_eq_;
+    EventQueue sim_eq_;
+    MemoryModel mem_;
+    DynamicSpmvKernel spmv_;
+    ReconfigOverlapModel model_;
+};
+
+TEST_F(OverlapTest, UniformPlanLoadsOnce)
+{
+    const auto a = matrixWithSetLengths({4, 4, 4, 4});
+    const auto plan = planFor({4, 4, 4, 4});
+    const auto blocking = model_.simulate(
+        a, plan, ReconfigPolicy::Blocking, 1'000'000);
+    EXPECT_EQ(blocking.reconfigs, 1); // initial load only
+    const auto dbl = model_.simulate(
+        a, plan, ReconfigPolicy::DoubleBuffered, 1'000'000);
+    EXPECT_EQ(dbl.reconfigs, 1);
+}
+
+TEST_F(OverlapTest, RunsLoadOncePerRun)
+{
+    const auto a = matrixWithSetLengths({4, 4, 8, 8, 4, 4});
+    const auto plan = planFor({4, 4, 8, 8, 4, 4});
+    const auto blocking = model_.simulate(
+        a, plan, ReconfigPolicy::Blocking, 1'000'000);
+    EXPECT_EQ(blocking.reconfigs, 3); // runs: 4, 8, 4
+    // Double buffering alternates two slots; the second "4" run
+    // reuses the slot still holding 4.
+    const auto dbl = model_.simulate(
+        a, plan, ReconfigPolicy::DoubleBuffered, 1'000'000);
+    EXPECT_EQ(dbl.reconfigs, 2);
+}
+
+TEST_F(OverlapTest, DoubleBufferNeverSlower)
+{
+    const auto a =
+        matrixWithSetLengths({2, 6, 3, 9, 2, 7, 4, 4});
+    const auto plan = planFor({2, 6, 3, 9, 2, 7, 4, 4});
+    for (int64_t bits : {10'000ll, 1'000'000ll, 50'000'000ll}) {
+        const auto blocking = model_.simulate(
+            a, plan, ReconfigPolicy::Blocking, bits);
+        const auto dbl = model_.simulate(
+            a, plan, ReconfigPolicy::DoubleBuffered, bits);
+        EXPECT_LE(dbl.totalTicks, blocking.totalTicks)
+            << "bits " << bits;
+        EXPECT_EQ(dbl.computeTicks, blocking.computeTicks);
+    }
+}
+
+TEST_F(OverlapTest, AlternatingFactorsStickToTheirSlots)
+{
+    // (2,6,2,6,...) maps the 2-runs to slot 0 and the 6-runs to
+    // slot 1, so after the two warm-up loads no ICAP transfer is
+    // needed at all.
+    const auto a = matrixWithSetLengths({2, 6, 2, 6, 2, 6});
+    const auto plan = planFor({2, 6, 2, 6, 2, 6});
+    const auto dbl = model_.simulate(
+        a, plan, ReconfigPolicy::DoubleBuffered, 1'000'000);
+    EXPECT_EQ(dbl.reconfigs, 2);
+}
+
+TEST_F(OverlapTest, TinyBitstreamsHideAlmostCompletely)
+{
+    // Six distinct factors force six loads; at 64 bits (~10 ns) a
+    // set's compute covers each next load, so only the first one is
+    // exposed: hidden fraction 5/6.
+    const auto a = matrixWithSetLengths({2, 6, 3, 9, 4, 7});
+    const auto plan = planFor({2, 6, 3, 9, 4, 7});
+    const auto dbl = model_.simulate(
+        a, plan, ReconfigPolicy::DoubleBuffered, 64);
+    EXPECT_EQ(dbl.reconfigs, 6);
+    EXPECT_GT(dbl.hiddenFraction(), 0.8);
+    EXPECT_LT(dbl.stallTicks,
+              dbl.computeTicks / 10 + dbl.reconfigTicks);
+}
+
+TEST_F(OverlapTest, HugeBitstreamsSerializeOnIcap)
+{
+    const auto a = matrixWithSetLengths({2, 6, 2, 6});
+    const auto plan = planFor({2, 6, 2, 6});
+    const int64_t bits = 50'000'000; // ~7.8 ms per load
+    const auto dbl = model_.simulate(
+        a, plan, ReconfigPolicy::DoubleBuffered, bits);
+    // Makespan is dominated by the serial ICAP transfers.
+    EXPECT_GT(dbl.totalTicks, dbl.reconfigTicks);
+    EXPECT_LT(dbl.hiddenFraction(), 0.2);
+}
+
+TEST_F(OverlapTest, AccountingIsConsistent)
+{
+    const auto a = matrixWithSetLengths({3, 5, 3, 5});
+    const auto plan = planFor({3, 5, 3, 5});
+    const auto res = model_.simulate(
+        a, plan, ReconfigPolicy::Blocking, 100'000);
+    EXPECT_EQ(res.totalTicks, res.computeTicks + res.stallTicks);
+    // Blocking exposes every issued transfer in full.
+    EXPECT_EQ(res.stallTicks, res.reconfigTicks);
+    EXPECT_DOUBLE_EQ(res.hiddenFraction(), 0.0);
+}
+
+} // namespace
+} // namespace acamar

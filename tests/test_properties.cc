@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the structural property analyses (Eq. 1 dominance, the
+ * CSR/CSC symmetry check, Gershgorin bounds, row statistics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+#include "sparse/properties.hh"
+
+namespace acamar {
+namespace {
+
+TEST(DiagDominance, StrictHoldsAndFails)
+{
+    // diag 4 vs off-sum 2: strictly dominant.
+    EXPECT_TRUE(isStrictlyDiagDominant(poisson2d(4, 4, 0.5)));
+    // Pure 5-point Laplacian interior rows: 4 == 4, NOT strict.
+    EXPECT_FALSE(isStrictlyDiagDominant(poisson2d(4, 4, 0.0)));
+}
+
+TEST(DiagDominance, AbsoluteValuesUsed)
+{
+    // Negative diagonal with small coupling is still dominant by
+    // Eq. 1 (absolute values).
+    CooMatrix<double> coo(2, 2);
+    coo.add(0, 0, -2.0);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 1.0);
+    coo.add(1, 1, -2.0);
+    EXPECT_TRUE(isStrictlyDiagDominant(coo.toCsr()));
+}
+
+TEST(DiagDominance, MissingDiagonalFails)
+{
+    CooMatrix<double> coo(2, 2);
+    coo.add(0, 1, 0.5);
+    coo.add(1, 1, 2.0);
+    EXPECT_FALSE(isStrictlyDiagDominant(coo.toCsr()));
+}
+
+TEST(DiagDominance, RectangularFails)
+{
+    CooMatrix<double> coo(2, 3);
+    coo.add(0, 0, 5.0);
+    EXPECT_FALSE(isStrictlyDiagDominant(coo.toCsr()));
+}
+
+TEST(Symmetry, CsrCscCompareOnGenerators)
+{
+    Rng rng(42);
+    EXPECT_TRUE(isSymmetric(poisson2d(6, 7, 0.1), 0.0));
+    EXPECT_TRUE(isSymmetric(blockOnesSpd(128, 8, 0.3, 0.05, rng),
+                            1e-12));
+    EXPECT_TRUE(isSymmetric(
+        graphLaplacianPowerLaw(128, 2.1, 20, 0.5, rng), 1e-12));
+    EXPECT_TRUE(isSymmetric(symIndefiniteDd(128, 0.5, rng), 1e-12));
+    EXPECT_FALSE(
+        isSymmetric(convectionDiffusion2d(8, 8, 2.5, 2.5), 1e-12));
+    EXPECT_FALSE(isSymmetric(
+        ddNonsymmetric(128, RowProfile::Uniform, 5.0, 1.5, rng),
+        1e-12));
+}
+
+TEST(Symmetry, ToleranceOnValues)
+{
+    CooMatrix<double> coo(2, 2);
+    coo.add(0, 1, 1.0);
+    coo.add(1, 0, 1.0 + 5e-7);
+    const auto a = coo.toCsr();
+    EXPECT_TRUE(isSymmetric(a, 1e-6));
+    EXPECT_FALSE(isSymmetric(a, 1e-8));
+}
+
+TEST(RowStats, CountsAndMoments)
+{
+    CooMatrix<double> coo(4, 4);
+    coo.add(0, 0, 1.0); // row 0: 1 entry
+    coo.add(1, 0, 1.0); // row 1: 3 entries
+    coo.add(1, 1, 1.0);
+    coo.add(1, 2, 1.0);
+    coo.add(3, 3, 1.0); // row 3: 1, row 2: empty
+    const auto st = rowNnzStats(coo.toCsr());
+    EXPECT_EQ(st.minNnz, 0);
+    EXPECT_EQ(st.maxNnz, 3);
+    EXPECT_EQ(st.emptyRows, 1);
+    EXPECT_DOUBLE_EQ(st.mean, 5.0 / 4.0);
+    EXPECT_GT(st.stddev, 0.0);
+}
+
+TEST(Bandwidth, Values)
+{
+    EXPECT_EQ(bandwidth(poisson2d(4, 4, 0.0)), 4); // ny = 4
+    CooMatrix<double> coo(5, 5);
+    coo.add(0, 4, 1.0);
+    EXPECT_EQ(bandwidth(coo.toCsr()), 4);
+    CooMatrix<double> diag_only(3, 3);
+    diag_only.add(1, 1, 1.0);
+    EXPECT_EQ(bandwidth(diag_only.toCsr()), 0);
+}
+
+TEST(Gershgorin, PositiveForShiftedLaplacianOnly)
+{
+    EXPECT_TRUE(gershgorinPositive(poisson2d(5, 5, 0.5)));
+    EXPECT_FALSE(gershgorinPositive(poisson2d(5, 5, 0.0)));
+}
+
+TEST(StructureReport, FullAnalysis)
+{
+    const auto rep = analyzeStructure(poisson2d(8, 8, 0.5), 0.0);
+    EXPECT_TRUE(rep.squareMatrix);
+    EXPECT_TRUE(rep.strictlyDiagDominant);
+    EXPECT_TRUE(rep.symmetric);
+    EXPECT_TRUE(rep.fullDiagonal);
+    EXPECT_TRUE(rep.positiveDiagonal);
+    EXPECT_TRUE(rep.gershgorinPositive);
+    EXPECT_GT(rep.sparsity, 0.0);
+    EXPECT_LT(rep.sparsity, 0.1);
+    EXPECT_EQ(rep.bandwidth, 8);
+    EXPECT_NE(rep.describe().find("strictly diag dominant"),
+              std::string::npos);
+}
+
+TEST(StructureReport, NegativeDiagonalDetected)
+{
+    Rng rng(1);
+    const auto rep =
+        analyzeStructure(symIndefiniteDd(64, 0.5, rng), 1e-12);
+    EXPECT_TRUE(rep.symmetric);
+    EXPECT_TRUE(rep.strictlyDiagDominant);
+    EXPECT_FALSE(rep.positiveDiagonal);
+    EXPECT_FALSE(rep.gershgorinPositive);
+}
+
+} // namespace
+} // namespace acamar

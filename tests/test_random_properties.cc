@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Randomized cross-module property suite: invariants that must hold
+ * for *any* matrix, checked over seeded random inputs spanning the
+ * four row profiles and a range of densities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "accel/dynamic_spmv.hh"
+#include "accel/fine_grained_reconfig.hh"
+#include "common/random.hh"
+#include "metrics/underutilization.hh"
+#include "solvers/solver.hh"
+#include "sparse/ell.hh"
+#include "sparse/generators.hh"
+#include "sparse/properties.hh"
+
+namespace acamar {
+namespace {
+
+struct Scenario {
+    uint64_t seed;
+    RowProfile profile;
+    double meanLen;
+};
+
+class RandomMatrixProps : public ::testing::TestWithParam<Scenario>
+{
+  protected:
+    CsrMatrix<float>
+    matrix() const
+    {
+        Rng rng(GetParam().seed);
+        return randomSparse(384, GetParam().profile,
+                            GetParam().meanLen, 2.0, rng)
+            .cast<float>();
+    }
+};
+
+TEST_P(RandomMatrixProps, Eq5StaysInUnitInterval)
+{
+    const auto a = matrix();
+    for (int u : {1, 2, 3, 5, 8, 13, 21, 34}) {
+        const double ru = meanUnderutilization(a, u);
+        EXPECT_GE(ru, 0.0);
+        EXPECT_LT(ru, 1.0);
+        const double occ = meanOccupancyUnderutilization(a, u);
+        EXPECT_GE(occ, 0.0);
+        EXPECT_LT(occ, 1.0);
+    }
+}
+
+TEST_P(RandomMatrixProps, PlanFactorsAreClampedAndDerivedFromTrace)
+{
+    const auto a = matrix();
+    AcamarConfig cfg;
+    cfg.chunkRows = a.numRows();
+    cfg.maxUnroll = 16;
+    EventQueue eq;
+    FineGrainedReconfigUnit fgr(&eq, cfg);
+    const auto plan = fgr.plan(a);
+    // MSID only ever *copies* factors, so every planned factor must
+    // already exist in the raw trace.
+    const std::set<int> raw(plan.rawFactors.begin(),
+                            plan.rawFactors.end());
+    for (int f : plan.factors) {
+        EXPECT_GE(f, 1);
+        EXPECT_LE(f, 16);
+        EXPECT_TRUE(raw.count(f)) << "factor " << f;
+    }
+    EXPECT_LE(plan.reconfigEvents, plan.reconfigEventsRaw);
+}
+
+TEST_P(RandomMatrixProps, TimePlannedConservesWork)
+{
+    const auto a = matrix();
+    AcamarConfig cfg;
+    cfg.chunkRows = a.numRows();
+    EventQueue eq;
+    FineGrainedReconfigUnit fgr(&eq, cfg);
+    const MemoryModel mem(FpgaDevice::alveoU55c());
+    DynamicSpmvKernel spmv(&eq, mem);
+    const auto plan = fgr.plan(a);
+    const auto st = spmv.timePlanned(a, plan);
+    EXPECT_EQ(st.usefulMacs, a.nnz());
+    EXPECT_EQ(st.rows, a.numRows());
+    EXPECT_GE(st.beats, a.numRows()); // >= one beat per row
+    EXPECT_GE(st.offeredMacs, st.usefulMacs);
+    EXPECT_GE(st.cycles, st.memoryCycles);
+    EXPECT_GE(st.cycles, 1u);
+}
+
+TEST_P(RandomMatrixProps, WiderUnrollNeverAddsBeats)
+{
+    const auto a = matrix();
+    EventQueue eq;
+    const MemoryModel mem(FpgaDevice::alveoU55c());
+    DynamicSpmvKernel spmv(&eq, mem);
+    int64_t prev = INT64_MAX;
+    for (int u : {1, 2, 4, 8, 16, 32}) {
+        const auto st = spmv.timeRows(a, 0, a.numRows(), u);
+        EXPECT_LE(st.beats, prev) << "unroll " << u;
+        prev = st.beats;
+    }
+}
+
+TEST_P(RandomMatrixProps, EllPaddingBoundsOccupancyAtWidth)
+{
+    const auto a = matrix();
+    const auto ell = EllMatrix<float>::fromCsr(a);
+    const auto width =
+        static_cast<int>(std::max<int64_t>(1, ell.width()));
+    // Padding of ELL == idle fraction of a width-wide one-beat unit.
+    EXPECT_NEAR(ell.paddingOverhead(),
+                meanOccupancyUnderutilization(a, width), 1e-9);
+    // Unroll factor 1 never idles a lane on non-empty rows.
+    EXPECT_NEAR(meanOccupancyUnderutilization(a, 1), 0.0, 1e-12);
+}
+
+TEST_P(RandomMatrixProps, SymmetryIsTransposeInvariant)
+{
+    const auto a = matrix();
+    // Symmetry verdicts must agree between A and A^T (both checks
+    // walk different array layouts, so this exercises both paths).
+    EXPECT_EQ(isSymmetric(a, 1e-6f),
+              isSymmetric(a.transpose(), 1e-6f));
+    // And the symmetrized matrix must always pass.
+    const auto s =
+        symmetrize(a.cast<double>()).cast<float>();
+    EXPECT_TRUE(isSymmetric(s, 1e-6f));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomMatrixProps,
+    ::testing::Values(
+        Scenario{1, RowProfile::Uniform, 4.0},
+        Scenario{2, RowProfile::Uniform, 12.0},
+        Scenario{3, RowProfile::PowerLaw, 5.0},
+        Scenario{4, RowProfile::PowerLaw, 15.0},
+        Scenario{5, RowProfile::Wave, 6.0},
+        Scenario{6, RowProfile::Wave, 20.0},
+        Scenario{7, RowProfile::Banded, 5.0},
+        Scenario{8, RowProfile::Banded, 16.0}),
+    [](const auto &info) {
+        return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST(SolverDeterminism, SameInputsSameTrajectory)
+{
+    Rng rng(42);
+    const auto a =
+        ddNonsymmetric(256, RowProfile::Uniform, 6.0, 1.5, rng)
+            .cast<float>();
+    const auto b = rhsForSolution(a, std::vector<float>(256, 1.0f));
+    for (auto k : {SolverKind::Jacobi, SolverKind::CG,
+                   SolverKind::BiCgStab, SolverKind::Gmres}) {
+        const auto r1 = makeSolver(k)->solve(a, b, {}, {});
+        const auto r2 = makeSolver(k)->solve(a, b, {}, {});
+        EXPECT_EQ(r1.iterations, r2.iterations) << to_string(k);
+        EXPECT_EQ(r1.residualHistory, r2.residualHistory)
+            << to_string(k);
+        EXPECT_EQ(r1.solution, r2.solution) << to_string(k);
+    }
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the Row Length Trace unit (Eq. 7/8 of the paper).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/row_length_trace.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+namespace acamar {
+namespace {
+
+/** Matrix with exactly `len[r]` entries in row r. */
+CsrMatrix<double>
+withRowLengths(const std::vector<int> &len, int32_t cols)
+{
+    CooMatrix<double> coo(static_cast<int32_t>(len.size()), cols);
+    for (size_t r = 0; r < len.size(); ++r)
+        for (int c = 0; c < len[r]; ++c)
+            coo.add(static_cast<int32_t>(r), c, 1.0);
+    return coo.toCsr();
+}
+
+TEST(RowLengthTrace, SetSizeFollowsEq8)
+{
+    // 4096-row chunk at sampling rate 32 -> 128-row sets.
+    RowLengthTrace tr(32, 4096, 64);
+    EXPECT_EQ(tr.setSizeFor(4096), 128);
+    // Small matrices: the chunk is the matrix.
+    EXPECT_EQ(tr.setSizeFor(1024), 32);
+    // Larger-than-chunk matrices keep the chunk-derived set size.
+    EXPECT_EQ(tr.setSizeFor(8192), 128);
+    // Degenerate: at most one row per set.
+    EXPECT_EQ(tr.setSizeFor(8), 1);
+}
+
+TEST(RowLengthTrace, AveragesPerSetAreEq7)
+{
+    // 2 sets of 2 rows: lengths (2, 4 | 6, 8) -> averages 3 and 7.
+    const auto a = withRowLengths({2, 4, 6, 8}, 16);
+    RowLengthTrace tr(2, 4, 64);
+    const auto res = tr.compute(a);
+    EXPECT_EQ(res.setSize, 2);
+    ASSERT_EQ(res.avgNnz.size(), 2u);
+    EXPECT_DOUBLE_EQ(res.avgNnz[0], 3.0);
+    EXPECT_DOUBLE_EQ(res.avgNnz[1], 7.0);
+    EXPECT_EQ(res.unrollFactors, (std::vector<int>{3, 7}));
+}
+
+TEST(RowLengthTrace, RoundsToNearestFactor)
+{
+    // Average 2.5 rounds away from zero to 3 (lround).
+    const auto a = withRowLengths({2, 3}, 8);
+    RowLengthTrace tr(1, 2, 64);
+    const auto res = tr.compute(a);
+    ASSERT_EQ(res.unrollFactors.size(), 1u);
+    EXPECT_EQ(res.unrollFactors[0], 3);
+}
+
+TEST(RowLengthTrace, ClampsToMaxUnroll)
+{
+    const auto a = withRowLengths({100, 100}, 128);
+    RowLengthTrace tr(1, 2, 16);
+    const auto res = tr.compute(a);
+    EXPECT_EQ(res.unrollFactors[0], 16);
+}
+
+TEST(RowLengthTrace, EmptySetGetsFactorOne)
+{
+    const auto a = withRowLengths({0, 0, 8, 8}, 16);
+    RowLengthTrace tr(2, 4, 64);
+    const auto res = tr.compute(a);
+    EXPECT_EQ(res.unrollFactors[0], 1); // clamped from round(0)
+    EXPECT_EQ(res.unrollFactors[1], 8);
+}
+
+TEST(RowLengthTrace, RemainderRowsFormLastSet)
+{
+    // 5 rows, set size 2 -> 3 sets (2, 2, 1 rows).
+    const auto a = withRowLengths({4, 4, 4, 4, 10}, 16);
+    RowLengthTrace tr(2, 4, 64); // chunk 4 @ rate 2 -> set size 2
+    const auto res = tr.compute(a);
+    ASSERT_EQ(res.unrollFactors.size(), 3u);
+    EXPECT_EQ(res.unrollFactors[2], 10);
+}
+
+TEST(RowLengthTrace, SamplingRateOneIsOneSetPerChunk)
+{
+    Rng rng(3);
+    const auto a = randomSparse(64, RowProfile::Uniform, 5.0, 2.0,
+                                rng);
+    RowLengthTrace tr(1, 64, 64);
+    const auto res = tr.compute(a);
+    EXPECT_EQ(res.unrollFactors.size(), 1u);
+    EXPECT_NEAR(res.avgNnz[0], a.avgRowNnz(), 1e-12);
+}
+
+TEST(RowLengthTraceDeathTest, InvalidParamsPanic)
+{
+    EXPECT_DEATH(RowLengthTrace(0, 4096, 64), "sampling rate");
+    EXPECT_DEATH(RowLengthTrace(32, 0, 64), "chunk rows");
+    EXPECT_DEATH(RowLengthTrace(32, 4096, 0), "max unroll");
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the sliced-ELL format — the storage twin of Acamar's
+ * per-set unroll factors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/ell.hh"
+#include "sparse/generators.hh"
+#include "sparse/spmv.hh"
+
+namespace acamar {
+namespace {
+
+CsrMatrix<float>
+twoPopulations()
+{
+    // Rows 0-3 have 2 entries, rows 4-7 have 6 entries.
+    CooMatrix<float> coo(8, 8);
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 2; ++c)
+            coo.add(r, c, 1.0f);
+    for (int r = 4; r < 8; ++r)
+        for (int c = 0; c < 6; ++c)
+            coo.add(r, c, 1.0f);
+    return coo.toCsr();
+}
+
+TEST(SlicedEll, PerSliceWidths)
+{
+    const auto e = SlicedEllMatrix<float>::fromCsr(twoPopulations(),
+                                                   4);
+    ASSERT_EQ(e.numSlices(), 2u);
+    EXPECT_EQ(e.sliceWidth(0), 2);
+    EXPECT_EQ(e.sliceWidth(1), 6);
+    EXPECT_EQ(e.paddedSize(), 4 * 2 + 4 * 6);
+    EXPECT_DOUBLE_EQ(e.paddingOverhead(), 0.0);
+}
+
+TEST(SlicedEll, BeatsPlainEllOnMixedPopulations)
+{
+    const auto a = twoPopulations();
+    const auto plain = EllMatrix<float>::fromCsr(a);
+    const auto sliced = SlicedEllMatrix<float>::fromCsr(a, 4);
+    EXPECT_GT(plain.paddingOverhead(), sliced.paddingOverhead());
+}
+
+TEST(SlicedEll, SliceSizeOneIsPerfect)
+{
+    // One row per slice pads nothing: the storage analogue of
+    // per-row unroll factors (sampling rate = #rows).
+    Rng rng(7);
+    const auto a =
+        randomSparse(64, RowProfile::PowerLaw, 6.0, 2.0, rng)
+            .cast<float>();
+    const auto e = SlicedEllMatrix<float>::fromCsr(a, 1);
+    EXPECT_DOUBLE_EQ(e.paddingOverhead(), 0.0);
+}
+
+TEST(SlicedEll, WholeMatrixSliceEqualsPlainEll)
+{
+    Rng rng(8);
+    const auto a =
+        randomSparse(96, RowProfile::Wave, 7.0, 2.0, rng)
+            .cast<float>();
+    const auto sliced =
+        SlicedEllMatrix<float>::fromCsr(a, a.numRows());
+    const auto plain = EllMatrix<float>::fromCsr(a);
+    EXPECT_NEAR(sliced.paddingOverhead(), plain.paddingOverhead(),
+                1e-12);
+}
+
+TEST(SlicedEll, SpmvMatchesCsr)
+{
+    Rng rng(9);
+    const auto a =
+        randomSparse(128, RowProfile::Banded, 6.0, 2.0, rng)
+            .cast<float>();
+    const auto e = SlicedEllMatrix<float>::fromCsr(a, 16);
+    std::vector<float> x(128);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    std::vector<float> ye, yc;
+    e.spmv(x, ye);
+    spmv(a, x, yc);
+    for (size_t i = 0; i < yc.size(); ++i)
+        EXPECT_NEAR(ye[i], yc[i], 1e-4f);
+}
+
+TEST(SlicedEll, RoundTripToCsr)
+{
+    Rng rng(10);
+    const auto a =
+        randomSparse(80, RowProfile::Uniform, 5.0, 2.0, rng)
+            .cast<float>();
+    EXPECT_TRUE(
+        SlicedEllMatrix<float>::fromCsr(a, 7).toCsr().equals(a));
+}
+
+TEST(SlicedEll, RemainderSliceHandled)
+{
+    const auto a = twoPopulations(); // 8 rows
+    const auto e = SlicedEllMatrix<float>::fromCsr(a, 3); // 3+3+2
+    EXPECT_EQ(e.numSlices(), 3u);
+    EXPECT_TRUE(e.toCsr().equals(a));
+}
+
+TEST(Stencil27, HpcgOperatorShape)
+{
+    const auto a = stencil27(4, 4, 4, 0.0);
+    EXPECT_EQ(a.numRows(), 64);
+    EXPECT_TRUE(a.transpose().equals(a));
+    // Interior point: full 3x3x3 neighbourhood = 27 entries.
+    // Index (1,1,1) = (1*4+1)*4+1 = 21.
+    EXPECT_EQ(a.rowNnz(21), 27);
+    EXPECT_DOUBLE_EQ(a.at(21, 21), 26.0);
+    // Corner: 2x2x2 neighbourhood = 8 entries.
+    EXPECT_EQ(a.rowNnz(0), 8);
+}
+
+TEST(Stencil27, ShiftedIsStrictlyDominant)
+{
+    const auto a = stencil27(4, 4, 4, 0.5);
+    for (int32_t r = 0; r < a.numRows(); ++r) {
+        double off = 0.0;
+        for (int64_t k = a.rowPtr()[r]; k < a.rowPtr()[r + 1]; ++k) {
+            if (a.colIdx()[k] != r)
+                off += std::abs(a.values()[k]);
+        }
+        EXPECT_LT(off, a.at(r, r));
+    }
+}
+
+} // namespace
+} // namespace acamar

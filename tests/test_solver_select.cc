@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the Matrix Structure selection policy and the Solver
+ * Modifier tried-register chain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "solvers/solver_select.hh"
+
+namespace acamar {
+namespace {
+
+StructureReport
+report(bool dd, bool sym)
+{
+    StructureReport r;
+    r.squareMatrix = true;
+    r.strictlyDiagDominant = dd;
+    r.symmetric = sym;
+    return r;
+}
+
+TEST(Selection, DominantPicksJacobi)
+{
+    EXPECT_EQ(selectInitialSolver(report(true, true)),
+              SolverKind::Jacobi);
+    EXPECT_EQ(selectInitialSolver(report(true, false)),
+              SolverKind::Jacobi);
+}
+
+TEST(Selection, SymmetricPicksCg)
+{
+    EXPECT_EQ(selectInitialSolver(report(false, true)),
+              SolverKind::CG);
+}
+
+TEST(Selection, OtherwiseBiCgStab)
+{
+    EXPECT_EQ(selectInitialSolver(report(false, false)),
+              SolverKind::BiCgStab);
+}
+
+TEST(ModifierPolicy, ChainOrderIsJbCgBicg)
+{
+    SolverModifierPolicy p(false);
+    EXPECT_EQ(p.chainLength(), 3);
+    EXPECT_EQ(p.nextUntried(), SolverKind::Jacobi);
+    p.markTried(SolverKind::Jacobi);
+    EXPECT_EQ(p.nextUntried(), SolverKind::CG);
+    p.markTried(SolverKind::CG);
+    EXPECT_EQ(p.nextUntried(), SolverKind::BiCgStab);
+    p.markTried(SolverKind::BiCgStab);
+    EXPECT_FALSE(p.nextUntried().has_value());
+}
+
+TEST(ModifierPolicy, SkipsAlreadyTriedBits)
+{
+    SolverModifierPolicy p(false);
+    p.markTried(SolverKind::CG); // structure picked CG first
+    EXPECT_EQ(p.nextUntried(), SolverKind::Jacobi);
+    p.markTried(SolverKind::Jacobi);
+    EXPECT_EQ(p.nextUntried(), SolverKind::BiCgStab);
+}
+
+TEST(ModifierPolicy, TriedQueries)
+{
+    SolverModifierPolicy p(false);
+    EXPECT_FALSE(p.tried(SolverKind::CG));
+    p.markTried(SolverKind::CG);
+    EXPECT_TRUE(p.tried(SolverKind::CG));
+    EXPECT_FALSE(p.tried(SolverKind::Jacobi));
+}
+
+TEST(ModifierPolicy, ExtendedChainAddsGsAndGmres)
+{
+    SolverModifierPolicy p(true);
+    EXPECT_EQ(p.chainLength(), 5);
+    for (auto k : {SolverKind::Jacobi, SolverKind::CG,
+                   SolverKind::BiCgStab})
+        p.markTried(k);
+    EXPECT_EQ(p.nextUntried(), SolverKind::GaussSeidel);
+    p.markTried(SolverKind::GaussSeidel);
+    EXPECT_EQ(p.nextUntried(), SolverKind::Gmres);
+    p.markTried(SolverKind::Gmres);
+    EXPECT_FALSE(p.nextUntried().has_value());
+}
+
+TEST(ModifierPolicy, MarkingOutsideChainIsHarmless)
+{
+    SolverModifierPolicy p(false);
+    p.markTried(SolverKind::Gmres); // not in the 3-solver chain
+    EXPECT_EQ(p.nextUntried(), SolverKind::Jacobi);
+    EXPECT_FALSE(p.tried(SolverKind::Gmres));
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the iterative solvers: correctness against known
+ * solutions and the documented failure modes each solver has.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "solvers/bicgstab.hh"
+#include "solvers/cg.hh"
+#include "solvers/gauss_seidel.hh"
+#include "solvers/gmres.hh"
+#include "solvers/jacobi.hh"
+#include "solvers/preconditioner.hh"
+#include "solvers/solver.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+
+namespace acamar {
+namespace {
+
+/** A strictly-dominant SPD system with a known solution. */
+struct SpdProblem {
+    CsrMatrix<float> a;
+    std::vector<float> b;
+    std::vector<float> x_true;
+};
+
+SpdProblem
+makeSpdProblem(int edge = 12)
+{
+    SpdProblem p;
+    p.a = poisson2d(edge, edge, 0.5).cast<float>();
+    Rng rng(55);
+    p.x_true.resize(static_cast<size_t>(edge * edge));
+    for (auto &v : p.x_true)
+        v = static_cast<float>(rng.uniform(0.5, 1.5));
+    p.b = rhsForSolution(p.a, p.x_true);
+    return p;
+}
+
+double
+maxAbsError(const std::vector<float> &x, const std::vector<float> &ref)
+{
+    double e = 0.0;
+    for (size_t i = 0; i < x.size(); ++i)
+        e = std::max(e, std::abs(static_cast<double>(x[i]) - ref[i]));
+    return e;
+}
+
+class AllSolvers : public ::testing::TestWithParam<SolverKind>
+{
+};
+
+TEST_P(AllSolvers, SolvesSpdDominantSystem)
+{
+    const auto p = makeSpdProblem();
+    const auto res = makeSolver(GetParam())
+                         ->solve(p.a, p.b, {}, ConvergenceCriteria{});
+    EXPECT_EQ(res.status, SolveStatus::Converged)
+        << to_string(GetParam());
+    EXPECT_LT(res.relativeResidual, 1e-5);
+    EXPECT_LT(maxAbsError(res.solution, p.x_true), 1e-3);
+    EXPECT_GT(res.iterations, 0);
+}
+
+TEST_P(AllSolvers, WarmStartAtSolutionConvergesInstantly)
+{
+    const auto p = makeSpdProblem();
+    const auto res =
+        makeSolver(GetParam())
+            ->solve(p.a, p.b, p.x_true, ConvergenceCriteria{});
+    EXPECT_EQ(res.status, SolveStatus::Converged);
+    // fp32 products leave a tiny residual; at most a few cleanup
+    // iterations should be needed from the exact solution.
+    EXPECT_LE(res.iterations, 3) << to_string(GetParam());
+}
+
+TEST_P(AllSolvers, ResidualHistoryStartsAtInitial)
+{
+    const auto p = makeSpdProblem(8);
+    const auto res = makeSolver(GetParam())
+                         ->solve(p.a, p.b, {}, ConvergenceCriteria{});
+    ASSERT_FALSE(res.residualHistory.empty());
+    EXPECT_DOUBLE_EQ(res.residualHistory.front(),
+                     res.initialResidual);
+    EXPECT_EQ(static_cast<int>(res.residualHistory.size()) - 1,
+              res.iterations);
+}
+
+TEST_P(AllSolvers, RejectsNonSquareMatrix)
+{
+    CooMatrix<float> coo(2, 3);
+    coo.add(0, 0, 1.0f);
+    std::vector<float> b{1.0f, 1.0f};
+    EXPECT_THROW(makeSolver(GetParam())
+                     ->solve(coo.toCsr(), b, {}, {}),
+                 std::runtime_error);
+}
+
+TEST_P(AllSolvers, RejectsWrongRhsSize)
+{
+    const auto p = makeSpdProblem(4);
+    std::vector<float> bad(p.b.begin(), p.b.end() - 1);
+    EXPECT_THROW(makeSolver(GetParam())->solve(p.a, bad, {}, {}),
+                 std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Portfolio, AllSolvers,
+    ::testing::Values(SolverKind::Jacobi, SolverKind::CG,
+                      SolverKind::BiCgStab, SolverKind::GaussSeidel,
+                      SolverKind::Gmres),
+    [](const auto &info) {
+        std::string n = to_string(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(Jacobi, DivergesWhenNotDominant)
+{
+    Rng rng(66);
+    const auto a =
+        blockOnesSpd(256, 8, 0.35, 0.05, rng).cast<float>();
+    std::vector<float> xt(256, 1.0f);
+    const auto b = rhsForSolution(a, xt);
+    const auto res = JacobiSolver().solve(a, b, {}, {});
+    EXPECT_EQ(res.status, SolveStatus::Diverged);
+}
+
+TEST(Jacobi, ZeroDiagonalIsBreakdown)
+{
+    CooMatrix<float> coo(2, 2);
+    coo.add(0, 1, 1.0f);
+    coo.add(1, 0, 1.0f); // both diagonals missing
+    std::vector<float> b{1.0f, 1.0f};
+    const auto res = JacobiSolver().solve(coo.toCsr(), b, {}, {});
+    EXPECT_EQ(res.status, SolveStatus::Breakdown);
+    EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(GaussSeidel, ZeroDiagonalIsBreakdown)
+{
+    CooMatrix<float> coo(2, 2);
+    coo.add(0, 0, 1.0f);
+    coo.add(1, 0, 1.0f);
+    std::vector<float> b{1.0f, 1.0f};
+    const auto res = GaussSeidelSolver().solve(coo.toCsr(), b, {}, {});
+    EXPECT_EQ(res.status, SolveStatus::Breakdown);
+}
+
+TEST(GaussSeidel, FasterThanJacobiOnDominantSystem)
+{
+    const auto p = makeSpdProblem();
+    const auto jb = JacobiSolver().solve(p.a, p.b, {}, {});
+    const auto gs = GaussSeidelSolver().solve(p.a, p.b, {}, {});
+    ASSERT_TRUE(jb.ok());
+    ASSERT_TRUE(gs.ok());
+    EXPECT_LT(gs.iterations, jb.iterations);
+}
+
+TEST(Cg, FailsOnStronglySkewSystem)
+{
+    const auto a =
+        convectionDiffusion2d(16, 16, 2.5, 2.5).cast<float>();
+    std::vector<float> xt(256, 1.0f);
+    const auto b = rhsForSolution(a, xt);
+    const auto res = CgSolver().solve(a, b, {}, {});
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(Cg, BeatsJacobiIterationCountOnSpd)
+{
+    const auto p = makeSpdProblem(16);
+    const auto jb = JacobiSolver().solve(p.a, p.b, {}, {});
+    const auto cg = CgSolver().solve(p.a, p.b, {}, {});
+    ASSERT_TRUE(jb.ok());
+    ASSERT_TRUE(cg.ok());
+    EXPECT_LT(cg.iterations, jb.iterations);
+}
+
+TEST(BiCgStab, SolvesConvectionDominatedSystem)
+{
+    const auto a =
+        convectionDiffusion2d(16, 16, 2.5, 2.5).cast<float>();
+    Rng rng(77);
+    std::vector<float> xt(256);
+    for (auto &v : xt)
+        v = static_cast<float>(rng.uniform(0.5, 1.5));
+    const auto b = rhsForSolution(a, xt);
+    const auto res = BiCgStabSolver().solve(a, b, {}, {});
+    EXPECT_EQ(res.status, SolveStatus::Converged);
+    EXPECT_LT(maxAbsError(res.solution, xt), 1e-2);
+}
+
+TEST(BiCgStab, FailsOnWideIndefiniteSpectrum)
+{
+    Rng rng(88);
+    const auto a = symIndefiniteDd(512, 0.5, rng).cast<float>();
+    const auto b = rhsForSolution(a, std::vector<float>(512, 1.0f));
+    const auto res = BiCgStabSolver().solve(a, b, {}, {});
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(Gmres, SolvesNonsymmetricWhereCgFails)
+{
+    const auto a =
+        convectionDiffusion2d(12, 12, 2.5, 2.5).cast<float>();
+    Rng rng(99);
+    std::vector<float> xt(144);
+    for (auto &v : xt)
+        v = static_cast<float>(rng.uniform(0.5, 1.5));
+    const auto b = rhsForSolution(a, xt);
+    const auto res = GmresSolver(30).solve(a, b, {}, {});
+    EXPECT_TRUE(res.ok());
+    EXPECT_LT(maxAbsError(res.solution, xt), 1e-2);
+}
+
+TEST(Gmres, RestartParameterValidated)
+{
+    EXPECT_EQ(GmresSolver(10).restart(), 10);
+    EXPECT_DEATH(GmresSolver(0), "restart");
+}
+
+TEST(Pcg, JacobiPreconditionerHelpsGradedDiagonal)
+{
+    // Diagonally-graded SPD system: Jacobi scaling equalizes it.
+    CooMatrix<double> coo(128, 128);
+    Rng rng(111);
+    for (int i = 0; i < 128; ++i)
+        coo.add(i, i, std::pow(10.0, rng.uniform(0.0, 3.0)));
+    for (int i = 0; i + 1 < 128; ++i) {
+        const double v = 0.01;
+        coo.add(i, i + 1, v);
+        coo.add(i + 1, i, v);
+    }
+    const auto a = coo.toCsr().cast<float>();
+    const auto b = rhsForSolution(a, std::vector<float>(128, 1.0f));
+
+    const auto plain = CgSolver().solve(a, b, {}, {});
+    PcgSolver pcg(std::make_unique<JacobiPreconditioner>());
+    const auto pre = pcg.solve(a, b, {}, {});
+    ASSERT_TRUE(pre.ok());
+    ASSERT_TRUE(plain.ok());
+    EXPECT_LE(pre.iterations, plain.iterations);
+}
+
+TEST(Pcg, IdentityPreconditionerMatchesCg)
+{
+    const auto p = makeSpdProblem(10);
+    PcgSolver pcg(std::make_unique<IdentityPreconditioner>());
+    const auto pre = pcg.solve(p.a, p.b, {}, {});
+    const auto cg = CgSolver().solve(p.a, p.b, {}, {});
+    ASSERT_TRUE(pre.ok());
+    EXPECT_EQ(pre.iterations, cg.iterations);
+}
+
+TEST(SolverKinds, NamesAndFactory)
+{
+    EXPECT_EQ(to_string(SolverKind::Jacobi), "JB");
+    EXPECT_EQ(to_string(SolverKind::CG), "CG");
+    EXPECT_EQ(to_string(SolverKind::BiCgStab), "BiCG-STAB");
+    for (auto k : {SolverKind::Jacobi, SolverKind::CG,
+                   SolverKind::BiCgStab, SolverKind::GaussSeidel,
+                   SolverKind::Gmres}) {
+        EXPECT_EQ(makeSolver(k)->kind(), k);
+    }
+}
+
+TEST(KernelProfiles, MatchAlgorithmShapes)
+{
+    // Algorithm 1: one SpMV per JB iteration; Algorithm 3 needs two
+    // (A p and A s).
+    EXPECT_EQ(JacobiSolver().iterationProfile().spmvs, 1);
+    EXPECT_EQ(CgSolver().iterationProfile().spmvs, 1);
+    EXPECT_EQ(BiCgStabSolver().iterationProfile().spmvs, 2);
+    EXPECT_GT(CgSolver().iterationProfile().dots, 0);
+    EXPECT_GT(BiCgStabSolver().iterationProfile().axpys,
+              CgSolver().iterationProfile().axpys);
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the reference SpMV kernels, including the property that
+ * the laned hardware model agrees with the sequential kernel up to
+ * fp association error across unroll factors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+#include "sparse/spmv.hh"
+
+namespace acamar {
+namespace {
+
+TEST(Spmv, MatchesDenseComputation)
+{
+    // [1 2 0; 0 3 0; 4 0 5] * [1 2 3]^T = [5, 6, 19]
+    CooMatrix<double> coo(3, 3);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 1, 2.0);
+    coo.add(1, 1, 3.0);
+    coo.add(2, 0, 4.0);
+    coo.add(2, 2, 5.0);
+    const auto a = coo.toCsr();
+    std::vector<double> x{1.0, 2.0, 3.0};
+    std::vector<double> y;
+    spmv(a, x, y);
+    ASSERT_EQ(y.size(), 3u);
+    EXPECT_DOUBLE_EQ(y[0], 5.0);
+    EXPECT_DOUBLE_EQ(y[1], 6.0);
+    EXPECT_DOUBLE_EQ(y[2], 19.0);
+}
+
+TEST(Spmv, EmptyRowsYieldZero)
+{
+    CooMatrix<double> coo(3, 3);
+    coo.add(0, 0, 2.0);
+    const auto a = coo.toCsr();
+    std::vector<double> x{1.0, 1.0, 1.0};
+    std::vector<double> y{9.0, 9.0, 9.0};
+    spmv(a, x, y);
+    EXPECT_DOUBLE_EQ(y[1], 0.0);
+    EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+TEST(Spmv, RowRangeLeavesOthersUntouched)
+{
+    Rng rng(3);
+    const auto a =
+        randomSparse(16, RowProfile::Uniform, 4.0, 2.0, rng)
+            .cast<float>();
+    std::vector<float> x(16, 1.0f);
+    std::vector<float> y(16, -7.0f);
+    spmvRows(a, x, y, 4, 8);
+    for (int r = 0; r < 16; ++r) {
+        if (r < 4 || r >= 8) {
+            EXPECT_FLOAT_EQ(y[r], -7.0f) << "row " << r;
+        }
+    }
+}
+
+TEST(SpmvDeathTest, SizeMismatchPanics)
+{
+    CooMatrix<float> coo(2, 3);
+    coo.add(0, 0, 1.0f);
+    const auto a = coo.toCsr();
+    std::vector<float> x(2, 1.0f); // should be 3
+    std::vector<float> y;
+    EXPECT_DEATH(spmv(a, x, y), "size mismatch");
+}
+
+class LanedSpmv : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LanedSpmv, AgreesWithSequentialKernel)
+{
+    const int unroll = GetParam();
+    Rng rng(101);
+    const auto a =
+        randomSparse(128, RowProfile::PowerLaw, 8.0, 2.0, rng)
+            .cast<float>();
+    std::vector<float> x(128);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    std::vector<float> ref, laned;
+    spmv(a, x, ref);
+    spmvLaned(a, x, laned, unroll);
+    ASSERT_EQ(ref.size(), laned.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        // Different association order: allow a few ulps of drift.
+        EXPECT_NEAR(laned[i], ref[i],
+                    1e-4f * (std::abs(ref[i]) + 1.0f))
+            << "row " << i << " unroll " << unroll;
+    }
+}
+
+TEST_P(LanedSpmv, ExactForDoublePoisson)
+{
+    const int unroll = GetParam();
+    const auto a = poisson2d(8, 8, 0.5);
+    std::vector<double> x(64, 1.0);
+    std::vector<double> ref, laned;
+    spmv(a, x, ref);
+    spmvLaned(a, x, laned, unroll);
+    for (size_t i = 0; i < ref.size(); ++i)
+        EXPECT_NEAR(laned[i], ref[i], 1e-12) << "row " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(UnrollFactors, LanedSpmv,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 64));
+
+TEST(SpmvLanedDeathTest, RejectsZeroUnroll)
+{
+    CooMatrix<float> coo(1, 1);
+    coo.add(0, 0, 1.0f);
+    const auto a = coo.toCsr();
+    std::vector<float> x{1.0f}, y;
+    EXPECT_DEATH(spmvLaned(a, x, y, 0), "unroll factor");
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for common/stats.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace acamar {
+namespace {
+
+TEST(ScalarStat, AddIncSetReset)
+{
+    ScalarStat s;
+    EXPECT_EQ(s.value(), 0.0);
+    s.add(2.5);
+    s.inc();
+    EXPECT_EQ(s.value(), 3.5);
+    s.set(7.0);
+    EXPECT_EQ(s.value(), 7.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(AverageStat, EmptyDefaults)
+{
+    AverageStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_TRUE(std::isinf(s.min()));
+    EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(AverageStat, MeanMinMax)
+{
+    AverageStat s;
+    s.sample(1.0);
+    s.sample(3.0);
+    s.sample(8.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(DistStat, BucketsAndOverflow)
+{
+    DistStat d(0.0, 10.0, 10);
+    d.sample(-1.0);  // under
+    d.sample(0.0);   // bucket 0
+    d.sample(5.5);   // bucket 5
+    d.sample(9.999); // bucket 9
+    d.sample(10.0);  // over (range is half-open)
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.underflows(), 1u);
+    EXPECT_EQ(d.overflows(), 1u);
+    EXPECT_EQ(d.bucket(0), 1u);
+    EXPECT_EQ(d.bucket(5), 1u);
+    EXPECT_EQ(d.bucket(9), 1u);
+    EXPECT_EQ(d.numBuckets(), 10);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.bucket(5), 0u);
+}
+
+TEST(StatGroup, RegisterAndLookup)
+{
+    StatGroup g("unit");
+    ScalarStat s;
+    AverageStat a;
+    g.addScalar("ops", &s, "operations");
+    g.addAverage("lat", &a, "latency");
+    s.add(5);
+    a.sample(2.0);
+    ASSERT_NE(g.scalar("ops"), nullptr);
+    EXPECT_EQ(g.scalar("ops")->value(), 5.0);
+    ASSERT_NE(g.average("lat"), nullptr);
+    EXPECT_EQ(g.average("lat")->mean(), 2.0);
+    EXPECT_EQ(g.scalar("missing"), nullptr);
+    EXPECT_EQ(g.average("missing"), nullptr);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup g("spmv");
+    ScalarStat s;
+    g.addScalar("passes", &s, "SpMV passes");
+    s.add(3);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("spmv.passes 3"), std::string::npos);
+    EXPECT_NE(out.find("# SpMV passes"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllClearsEverything)
+{
+    StatGroup g("g");
+    ScalarStat s;
+    AverageStat a;
+    g.addScalar("s", &s);
+    g.addAverage("a", &a);
+    s.add(10);
+    a.sample(1.0);
+    g.resetAll();
+    EXPECT_EQ(s.value(), 0.0);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(StatGroupDeathTest, NullRegistrationPanics)
+{
+    StatGroup g("g");
+    EXPECT_DEATH(g.addScalar("bad", nullptr), "null scalar stat");
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for common/string_utils.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/string_utils.hh"
+
+namespace acamar {
+namespace {
+
+TEST(Trim, Basics)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim(" \t\n "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(SplitWhitespace, DropsEmptyTokens)
+{
+    const auto t = splitWhitespace("  1   2\t3\n");
+    ASSERT_EQ(t.size(), 3u);
+    EXPECT_EQ(t[0], "1");
+    EXPECT_EQ(t[1], "2");
+    EXPECT_EQ(t[2], "3");
+    EXPECT_TRUE(splitWhitespace("   ").empty());
+}
+
+TEST(Split, KeepsEmptyTokens)
+{
+    const auto t = split("a,,b,", ',');
+    ASSERT_EQ(t.size(), 4u);
+    EXPECT_EQ(t[0], "a");
+    EXPECT_EQ(t[1], "");
+    EXPECT_EQ(t[2], "b");
+    EXPECT_EQ(t[3], "");
+}
+
+TEST(ToLower, Ascii)
+{
+    EXPECT_EQ(toLower("BiCG-STAB"), "bicg-stab");
+}
+
+TEST(StartsWith, Cases)
+{
+    EXPECT_TRUE(startsWith("--key=value", "--"));
+    EXPECT_FALSE(startsWith("-k", "--"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(ParseDouble, ValidAndInvalid)
+{
+    EXPECT_DOUBLE_EQ(parseDouble("2.5e-3"), 2.5e-3);
+    EXPECT_DOUBLE_EQ(parseDouble("-7"), -7.0);
+    EXPECT_THROW(parseDouble("abc"), std::runtime_error);
+    EXPECT_THROW(parseDouble("1.5x"), std::runtime_error);
+}
+
+TEST(ParseInt, ValidAndInvalid)
+{
+    EXPECT_EQ(parseInt("-42"), -42);
+    EXPECT_THROW(parseInt("4.2"), std::runtime_error);
+    EXPECT_THROW(parseInt(""), std::runtime_error);
+}
+
+} // namespace
+} // namespace acamar

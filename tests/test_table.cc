@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Tests for common/table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace acamar {
+namespace {
+
+TEST(Table, AlignedPrint)
+{
+    Table t({"name", "value"});
+    t.newRow().cell("alpha").cell(int64_t{1});
+    t.newRow().cell("b").cell(2.5, 1);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2.5"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvPrint)
+{
+    Table t({"a", "b"});
+    t.newRow().cell("x").cell(int64_t{7});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,7\n");
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"c"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.newRow().cell("1");
+    t.newRow().cell("2");
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TableDeathTest, CellBeforeRowPanics)
+{
+    Table t({"c"});
+    EXPECT_DEATH(t.cell("oops"), "before newRow");
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(GeomeanDeathTest, RejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Integration test reproducing Table II: for every catalog dataset,
+ * the individual JB/CG/BiCG-STAB outcomes must match the paper's
+ * checkmarks (modulo the one documented deviation), and Acamar must
+ * converge on ALL of them — the paper's robust-convergence claim.
+ *
+ * Runs at dim 512 to keep the suite fast; the full-size bench
+ * (bench/table2_convergence) repeats this at the paper's 4096.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accel/acamar.hh"
+#include "solvers/solver.hh"
+#include "sparse/catalog.hh"
+
+namespace acamar {
+namespace {
+
+constexpr int32_t kDim = 512;
+
+bool
+isKnownDeviation(const std::string &id, SolverKind k)
+{
+    const auto &devs = knownTable2Deviations();
+    return std::find(devs.begin(), devs.end(),
+                     std::make_pair(id, k)) != devs.end();
+}
+
+class TableTwo : public ::testing::TestWithParam<DatasetSpec>
+{
+};
+
+TEST_P(TableTwo, SolverOutcomesMatchPaperRow)
+{
+    const auto &spec = GetParam();
+    const auto a = generateDataset(spec, kDim).cast<float>();
+    const auto b = datasetRhs(a, spec.id);
+
+    const struct {
+        SolverKind kind;
+        bool expected;
+    } cells[] = {
+        {SolverKind::Jacobi, spec.jbExpected},
+        {SolverKind::CG, spec.cgExpected},
+        {SolverKind::BiCgStab, spec.bicgExpected},
+    };
+    for (const auto &cell : cells) {
+        const auto res =
+            makeSolver(cell.kind)->solve(a, b, {},
+                                         ConvergenceCriteria{});
+        if (isKnownDeviation(spec.id, cell.kind))
+            continue; // documented in EXPERIMENTS.md
+        EXPECT_EQ(res.ok(), cell.expected)
+            << spec.id << " / " << to_string(cell.kind) << " was "
+            << to_string(res.status) << " after " << res.iterations
+            << " iterations";
+    }
+}
+
+TEST_P(TableTwo, AcamarAlwaysConverges)
+{
+    const auto &spec = GetParam();
+    const auto a = generateDataset(spec, kDim).cast<float>();
+    const auto b = datasetRhs(a, spec.id);
+
+    AcamarConfig cfg;
+    cfg.chunkRows = kDim;
+    Acamar acc(cfg);
+    const auto rep = acc.run(a, b);
+    EXPECT_TRUE(rep.converged) << spec.id;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, TableTwo, ::testing::ValuesIn(datasetCatalog()),
+    [](const auto &info) { return info.param.id; });
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for sparse/vector_ops.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+namespace {
+
+TEST(VectorOps, DotBasics)
+{
+    std::vector<float> x{1.0f, 2.0f, 3.0f};
+    std::vector<float> y{4.0f, -5.0f, 6.0f};
+    EXPECT_DOUBLE_EQ(dot(x, y), 4.0 - 10.0 + 18.0);
+    EXPECT_DOUBLE_EQ(dot(std::vector<float>{}, {}), 0.0);
+}
+
+TEST(VectorOps, DotAccumulatesInDouble)
+{
+    // 1e8 + 1 - 1e8 sums exactly in double, not in float.
+    std::vector<float> x{1e8f, 1.0f, -1e8f};
+    std::vector<float> ones{1.0f, 1.0f, 1.0f};
+    EXPECT_DOUBLE_EQ(dot(x, ones), 1.0);
+}
+
+TEST(VectorOps, Norm2)
+{
+    std::vector<double> x{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+    EXPECT_DOUBLE_EQ(norm2(std::vector<double>{}), 0.0);
+}
+
+TEST(VectorOps, Axpy)
+{
+    std::vector<float> x{1.0f, 2.0f};
+    std::vector<float> y{10.0f, 20.0f};
+    axpy(2.0f, x, y);
+    EXPECT_FLOAT_EQ(y[0], 12.0f);
+    EXPECT_FLOAT_EQ(y[1], 24.0f);
+}
+
+TEST(VectorOps, Waxpby)
+{
+    std::vector<double> x{1.0, 2.0};
+    std::vector<double> y{3.0, 4.0};
+    std::vector<double> w;
+    waxpby(2.0, x, -1.0, y, w);
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_DOUBLE_EQ(w[0], -1.0);
+    EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
+TEST(VectorOps, Scale)
+{
+    std::vector<float> x{1.0f, -2.0f};
+    scale(x, -3.0f);
+    EXPECT_FLOAT_EQ(x[0], -3.0f);
+    EXPECT_FLOAT_EQ(x[1], 6.0f);
+}
+
+TEST(VectorOps, Hadamard)
+{
+    std::vector<double> x{2.0, 3.0};
+    std::vector<double> y{5.0, -1.0};
+    std::vector<double> w;
+    hadamard(x, y, w);
+    EXPECT_DOUBLE_EQ(w[0], 10.0);
+    EXPECT_DOUBLE_EQ(w[1], -3.0);
+}
+
+TEST(VectorOpsDeathTest, SizeMismatchPanics)
+{
+    std::vector<float> a{1.0f};
+    std::vector<float> b{1.0f, 2.0f};
+    EXPECT_DEATH(dot(a, b), "size mismatch");
+    EXPECT_DEATH(axpy(1.0f, a, b), "size mismatch");
+}
+
+} // namespace
+} // namespace acamar
