@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_formats.dir/bench/ablation_formats.cc.o"
+  "CMakeFiles/ablation_formats.dir/bench/ablation_formats.cc.o.d"
+  "bench/ablation_formats"
+  "bench/ablation_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

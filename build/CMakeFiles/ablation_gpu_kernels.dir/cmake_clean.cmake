@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpu_kernels.dir/bench/ablation_gpu_kernels.cc.o"
+  "CMakeFiles/ablation_gpu_kernels.dir/bench/ablation_gpu_kernels.cc.o.d"
+  "bench/ablation_gpu_kernels"
+  "bench/ablation_gpu_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

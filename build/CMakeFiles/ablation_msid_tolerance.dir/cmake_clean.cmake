@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_msid_tolerance.dir/bench/ablation_msid_tolerance.cc.o"
+  "CMakeFiles/ablation_msid_tolerance.dir/bench/ablation_msid_tolerance.cc.o.d"
+  "bench/ablation_msid_tolerance"
+  "bench/ablation_msid_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_msid_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reconfig_overlap.dir/bench/ablation_reconfig_overlap.cc.o"
+  "CMakeFiles/ablation_reconfig_overlap.dir/bench/ablation_reconfig_overlap.cc.o.d"
+  "bench/ablation_reconfig_overlap"
+  "bench/ablation_reconfig_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reconfig_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ru_metrics.dir/bench/ablation_ru_metrics.cc.o"
+  "CMakeFiles/ablation_ru_metrics.dir/bench/ablation_ru_metrics.cc.o.d"
+  "bench/ablation_ru_metrics"
+  "bench/ablation_ru_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ru_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

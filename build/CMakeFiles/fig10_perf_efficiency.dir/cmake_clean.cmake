@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_perf_efficiency.dir/bench/fig10_perf_efficiency.cc.o"
+  "CMakeFiles/fig10_perf_efficiency.dir/bench/fig10_perf_efficiency.cc.o.d"
+  "bench/fig10_perf_efficiency"
+  "bench/fig10_perf_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_perf_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

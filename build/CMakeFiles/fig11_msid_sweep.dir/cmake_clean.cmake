@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_msid_sweep.dir/bench/fig11_msid_sweep.cc.o"
+  "CMakeFiles/fig11_msid_sweep.dir/bench/fig11_msid_sweep.cc.o.d"
+  "bench/fig11_msid_sweep"
+  "bench/fig11_msid_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_msid_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

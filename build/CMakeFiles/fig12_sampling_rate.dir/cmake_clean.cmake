@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sampling_rate.dir/bench/fig12_sampling_rate.cc.o"
+  "CMakeFiles/fig12_sampling_rate.dir/bench/fig12_sampling_rate.cc.o.d"
+  "bench/fig12_sampling_rate"
+  "bench/fig12_sampling_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sampling_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_reconfig_bounds.dir/bench/fig13_reconfig_bounds.cc.o"
+  "CMakeFiles/fig13_reconfig_bounds.dir/bench/fig13_reconfig_bounds.cc.o.d"
+  "bench/fig13_reconfig_bounds"
+  "bench/fig13_reconfig_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_reconfig_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_reconfig_bounds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_spmv_latency.dir/bench/fig1_spmv_latency.cc.o"
+  "CMakeFiles/fig1_spmv_latency.dir/bench/fig1_spmv_latency.cc.o.d"
+  "bench/fig1_spmv_latency"
+  "bench/fig1_spmv_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_spmv_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_underutilization.dir/bench/fig2_underutilization.cc.o"
+  "CMakeFiles/fig2_underutilization.dir/bench/fig2_underutilization.cc.o.d"
+  "bench/fig2_underutilization"
+  "bench/fig2_underutilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_underutilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_reconfig_rate.dir/bench/fig5_reconfig_rate.cc.o"
+  "CMakeFiles/fig5_reconfig_rate.dir/bench/fig5_reconfig_rate.cc.o.d"
+  "bench/fig5_reconfig_rate"
+  "bench/fig5_reconfig_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_reconfig_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ru_improvement.dir/bench/fig7_ru_improvement.cc.o"
+  "CMakeFiles/fig7_ru_improvement.dir/bench/fig7_ru_improvement.cc.o.d"
+  "bench/fig7_ru_improvement"
+  "bench/fig7_ru_improvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ru_improvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

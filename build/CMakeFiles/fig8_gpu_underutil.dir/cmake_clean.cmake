@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_gpu_underutil.dir/bench/fig8_gpu_underutil.cc.o"
+  "CMakeFiles/fig8_gpu_underutil.dir/bench/fig8_gpu_underutil.cc.o.d"
+  "bench/fig8_gpu_underutil"
+  "bench/fig8_gpu_underutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_gpu_underutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_convergence.dir/bench/table2_convergence.cc.o"
+  "CMakeFiles/table2_convergence.dir/bench/table2_convergence.cc.o.d"
+  "bench/table2_convergence"
+  "bench/table2_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

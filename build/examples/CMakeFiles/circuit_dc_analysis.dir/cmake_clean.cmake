@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_dc_analysis.dir/circuit_dc_analysis.cc.o"
+  "CMakeFiles/circuit_dc_analysis.dir/circuit_dc_analysis.cc.o.d"
+  "circuit_dc_analysis"
+  "circuit_dc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_dc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

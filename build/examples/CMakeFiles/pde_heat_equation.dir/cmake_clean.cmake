@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pde_heat_equation.dir/pde_heat_equation.cc.o"
+  "CMakeFiles/pde_heat_equation.dir/pde_heat_equation.cc.o.d"
+  "pde_heat_equation"
+  "pde_heat_equation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pde_heat_equation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_portfolio.dir/solver_portfolio.cc.o"
+  "CMakeFiles/solver_portfolio.dir/solver_portfolio.cc.o.d"
+  "solver_portfolio"
+  "solver_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

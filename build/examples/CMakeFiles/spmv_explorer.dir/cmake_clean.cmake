@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_explorer.dir/spmv_explorer.cc.o"
+  "CMakeFiles/spmv_explorer.dir/spmv_explorer.cc.o.d"
+  "spmv_explorer"
+  "spmv_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

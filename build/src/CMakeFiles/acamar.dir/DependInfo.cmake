@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/acamar.cc" "src/CMakeFiles/acamar.dir/accel/acamar.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/acamar.cc.o.d"
+  "/root/repo/src/accel/acamar_config.cc" "src/CMakeFiles/acamar.dir/accel/acamar_config.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/acamar_config.cc.o.d"
+  "/root/repo/src/accel/dense_kernels.cc" "src/CMakeFiles/acamar.dir/accel/dense_kernels.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/dense_kernels.cc.o.d"
+  "/root/repo/src/accel/dynamic_spmv.cc" "src/CMakeFiles/acamar.dir/accel/dynamic_spmv.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/dynamic_spmv.cc.o.d"
+  "/root/repo/src/accel/fine_grained_reconfig.cc" "src/CMakeFiles/acamar.dir/accel/fine_grained_reconfig.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/fine_grained_reconfig.cc.o.d"
+  "/root/repo/src/accel/initialize_unit.cc" "src/CMakeFiles/acamar.dir/accel/initialize_unit.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/initialize_unit.cc.o.d"
+  "/root/repo/src/accel/matrix_structure_unit.cc" "src/CMakeFiles/acamar.dir/accel/matrix_structure_unit.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/matrix_structure_unit.cc.o.d"
+  "/root/repo/src/accel/msid_chain.cc" "src/CMakeFiles/acamar.dir/accel/msid_chain.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/msid_chain.cc.o.d"
+  "/root/repo/src/accel/overlap_model.cc" "src/CMakeFiles/acamar.dir/accel/overlap_model.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/overlap_model.cc.o.d"
+  "/root/repo/src/accel/reconfig_controller.cc" "src/CMakeFiles/acamar.dir/accel/reconfig_controller.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/reconfig_controller.cc.o.d"
+  "/root/repo/src/accel/reconfigurable_solver.cc" "src/CMakeFiles/acamar.dir/accel/reconfigurable_solver.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/reconfigurable_solver.cc.o.d"
+  "/root/repo/src/accel/report.cc" "src/CMakeFiles/acamar.dir/accel/report.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/report.cc.o.d"
+  "/root/repo/src/accel/row_length_trace.cc" "src/CMakeFiles/acamar.dir/accel/row_length_trace.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/row_length_trace.cc.o.d"
+  "/root/repo/src/accel/solver_modifier.cc" "src/CMakeFiles/acamar.dir/accel/solver_modifier.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/solver_modifier.cc.o.d"
+  "/root/repo/src/accel/static_design.cc" "src/CMakeFiles/acamar.dir/accel/static_design.cc.o" "gcc" "src/CMakeFiles/acamar.dir/accel/static_design.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/acamar.dir/common/config.cc.o" "gcc" "src/CMakeFiles/acamar.dir/common/config.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/acamar.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/acamar.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/acamar.dir/common/random.cc.o" "gcc" "src/CMakeFiles/acamar.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/acamar.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/acamar.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/string_utils.cc" "src/CMakeFiles/acamar.dir/common/string_utils.cc.o" "gcc" "src/CMakeFiles/acamar.dir/common/string_utils.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/acamar.dir/common/table.cc.o" "gcc" "src/CMakeFiles/acamar.dir/common/table.cc.o.d"
+  "/root/repo/src/fpga/bitstream.cc" "src/CMakeFiles/acamar.dir/fpga/bitstream.cc.o" "gcc" "src/CMakeFiles/acamar.dir/fpga/bitstream.cc.o.d"
+  "/root/repo/src/fpga/device.cc" "src/CMakeFiles/acamar.dir/fpga/device.cc.o" "gcc" "src/CMakeFiles/acamar.dir/fpga/device.cc.o.d"
+  "/root/repo/src/fpga/hls_kernel.cc" "src/CMakeFiles/acamar.dir/fpga/hls_kernel.cc.o" "gcc" "src/CMakeFiles/acamar.dir/fpga/hls_kernel.cc.o.d"
+  "/root/repo/src/fpga/icap.cc" "src/CMakeFiles/acamar.dir/fpga/icap.cc.o" "gcc" "src/CMakeFiles/acamar.dir/fpga/icap.cc.o.d"
+  "/root/repo/src/fpga/memory_model.cc" "src/CMakeFiles/acamar.dir/fpga/memory_model.cc.o" "gcc" "src/CMakeFiles/acamar.dir/fpga/memory_model.cc.o.d"
+  "/root/repo/src/fpga/resource_model.cc" "src/CMakeFiles/acamar.dir/fpga/resource_model.cc.o" "gcc" "src/CMakeFiles/acamar.dir/fpga/resource_model.cc.o.d"
+  "/root/repo/src/gpu/gpu_device.cc" "src/CMakeFiles/acamar.dir/gpu/gpu_device.cc.o" "gcc" "src/CMakeFiles/acamar.dir/gpu/gpu_device.cc.o.d"
+  "/root/repo/src/gpu/gpu_spmv_model.cc" "src/CMakeFiles/acamar.dir/gpu/gpu_spmv_model.cc.o" "gcc" "src/CMakeFiles/acamar.dir/gpu/gpu_spmv_model.cc.o.d"
+  "/root/repo/src/metrics/efficiency.cc" "src/CMakeFiles/acamar.dir/metrics/efficiency.cc.o" "gcc" "src/CMakeFiles/acamar.dir/metrics/efficiency.cc.o.d"
+  "/root/repo/src/metrics/throughput.cc" "src/CMakeFiles/acamar.dir/metrics/throughput.cc.o" "gcc" "src/CMakeFiles/acamar.dir/metrics/throughput.cc.o.d"
+  "/root/repo/src/metrics/underutilization.cc" "src/CMakeFiles/acamar.dir/metrics/underutilization.cc.o" "gcc" "src/CMakeFiles/acamar.dir/metrics/underutilization.cc.o.d"
+  "/root/repo/src/sim/clock_domain.cc" "src/CMakeFiles/acamar.dir/sim/clock_domain.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sim/clock_domain.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/acamar.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/sim_object.cc" "src/CMakeFiles/acamar.dir/sim/sim_object.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sim/sim_object.cc.o.d"
+  "/root/repo/src/solvers/bicg.cc" "src/CMakeFiles/acamar.dir/solvers/bicg.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/bicg.cc.o.d"
+  "/root/repo/src/solvers/bicgstab.cc" "src/CMakeFiles/acamar.dir/solvers/bicgstab.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/bicgstab.cc.o.d"
+  "/root/repo/src/solvers/cg.cc" "src/CMakeFiles/acamar.dir/solvers/cg.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/cg.cc.o.d"
+  "/root/repo/src/solvers/conjugate_residual.cc" "src/CMakeFiles/acamar.dir/solvers/conjugate_residual.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/conjugate_residual.cc.o.d"
+  "/root/repo/src/solvers/convergence.cc" "src/CMakeFiles/acamar.dir/solvers/convergence.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/convergence.cc.o.d"
+  "/root/repo/src/solvers/gauss_seidel.cc" "src/CMakeFiles/acamar.dir/solvers/gauss_seidel.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/gauss_seidel.cc.o.d"
+  "/root/repo/src/solvers/gmres.cc" "src/CMakeFiles/acamar.dir/solvers/gmres.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/gmres.cc.o.d"
+  "/root/repo/src/solvers/jacobi.cc" "src/CMakeFiles/acamar.dir/solvers/jacobi.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/jacobi.cc.o.d"
+  "/root/repo/src/solvers/preconditioner.cc" "src/CMakeFiles/acamar.dir/solvers/preconditioner.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/preconditioner.cc.o.d"
+  "/root/repo/src/solvers/solver.cc" "src/CMakeFiles/acamar.dir/solvers/solver.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/solver.cc.o.d"
+  "/root/repo/src/solvers/solver_select.cc" "src/CMakeFiles/acamar.dir/solvers/solver_select.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/solver_select.cc.o.d"
+  "/root/repo/src/solvers/sor.cc" "src/CMakeFiles/acamar.dir/solvers/sor.cc.o" "gcc" "src/CMakeFiles/acamar.dir/solvers/sor.cc.o.d"
+  "/root/repo/src/sparse/catalog.cc" "src/CMakeFiles/acamar.dir/sparse/catalog.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sparse/catalog.cc.o.d"
+  "/root/repo/src/sparse/coo.cc" "src/CMakeFiles/acamar.dir/sparse/coo.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sparse/coo.cc.o.d"
+  "/root/repo/src/sparse/csc.cc" "src/CMakeFiles/acamar.dir/sparse/csc.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sparse/csc.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/CMakeFiles/acamar.dir/sparse/csr.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sparse/csr.cc.o.d"
+  "/root/repo/src/sparse/ell.cc" "src/CMakeFiles/acamar.dir/sparse/ell.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sparse/ell.cc.o.d"
+  "/root/repo/src/sparse/generators.cc" "src/CMakeFiles/acamar.dir/sparse/generators.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sparse/generators.cc.o.d"
+  "/root/repo/src/sparse/matrix_market.cc" "src/CMakeFiles/acamar.dir/sparse/matrix_market.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sparse/matrix_market.cc.o.d"
+  "/root/repo/src/sparse/properties.cc" "src/CMakeFiles/acamar.dir/sparse/properties.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sparse/properties.cc.o.d"
+  "/root/repo/src/sparse/spmv.cc" "src/CMakeFiles/acamar.dir/sparse/spmv.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sparse/spmv.cc.o.d"
+  "/root/repo/src/sparse/vector_ops.cc" "src/CMakeFiles/acamar.dir/sparse/vector_ops.cc.o" "gcc" "src/CMakeFiles/acamar.dir/sparse/vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

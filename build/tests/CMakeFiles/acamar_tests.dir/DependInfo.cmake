@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acamar.cc" "tests/CMakeFiles/acamar_tests.dir/test_acamar.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_acamar.cc.o.d"
+  "/root/repo/tests/test_accel_units.cc" "tests/CMakeFiles/acamar_tests.dir/test_accel_units.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_accel_units.cc.o.d"
+  "/root/repo/tests/test_catalog.cc" "tests/CMakeFiles/acamar_tests.dir/test_catalog.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_catalog.cc.o.d"
+  "/root/repo/tests/test_clock_domain.cc" "tests/CMakeFiles/acamar_tests.dir/test_clock_domain.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_clock_domain.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/acamar_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_convergence.cc" "tests/CMakeFiles/acamar_tests.dir/test_convergence.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_convergence.cc.o.d"
+  "/root/repo/tests/test_dynamic_spmv.cc" "tests/CMakeFiles/acamar_tests.dir/test_dynamic_spmv.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_dynamic_spmv.cc.o.d"
+  "/root/repo/tests/test_ell.cc" "tests/CMakeFiles/acamar_tests.dir/test_ell.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_ell.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/acamar_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_extra_solvers.cc" "tests/CMakeFiles/acamar_tests.dir/test_extra_solvers.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_extra_solvers.cc.o.d"
+  "/root/repo/tests/test_fine_grained_reconfig.cc" "tests/CMakeFiles/acamar_tests.dir/test_fine_grained_reconfig.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_fine_grained_reconfig.cc.o.d"
+  "/root/repo/tests/test_formats.cc" "tests/CMakeFiles/acamar_tests.dir/test_formats.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_formats.cc.o.d"
+  "/root/repo/tests/test_fpga_models.cc" "tests/CMakeFiles/acamar_tests.dir/test_fpga_models.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_fpga_models.cc.o.d"
+  "/root/repo/tests/test_generators.cc" "tests/CMakeFiles/acamar_tests.dir/test_generators.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_generators.cc.o.d"
+  "/root/repo/tests/test_gpu_model.cc" "tests/CMakeFiles/acamar_tests.dir/test_gpu_model.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_gpu_model.cc.o.d"
+  "/root/repo/tests/test_logging.cc" "tests/CMakeFiles/acamar_tests.dir/test_logging.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_logging.cc.o.d"
+  "/root/repo/tests/test_matrix_market.cc" "tests/CMakeFiles/acamar_tests.dir/test_matrix_market.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_matrix_market.cc.o.d"
+  "/root/repo/tests/test_metrics.cc" "tests/CMakeFiles/acamar_tests.dir/test_metrics.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_metrics.cc.o.d"
+  "/root/repo/tests/test_msid_chain.cc" "tests/CMakeFiles/acamar_tests.dir/test_msid_chain.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_msid_chain.cc.o.d"
+  "/root/repo/tests/test_overlap_model.cc" "tests/CMakeFiles/acamar_tests.dir/test_overlap_model.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_overlap_model.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/acamar_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_random.cc" "tests/CMakeFiles/acamar_tests.dir/test_random.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_random.cc.o.d"
+  "/root/repo/tests/test_random_properties.cc" "tests/CMakeFiles/acamar_tests.dir/test_random_properties.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_random_properties.cc.o.d"
+  "/root/repo/tests/test_row_length_trace.cc" "tests/CMakeFiles/acamar_tests.dir/test_row_length_trace.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_row_length_trace.cc.o.d"
+  "/root/repo/tests/test_sliced_ell.cc" "tests/CMakeFiles/acamar_tests.dir/test_sliced_ell.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_sliced_ell.cc.o.d"
+  "/root/repo/tests/test_solver_select.cc" "tests/CMakeFiles/acamar_tests.dir/test_solver_select.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_solver_select.cc.o.d"
+  "/root/repo/tests/test_solvers.cc" "tests/CMakeFiles/acamar_tests.dir/test_solvers.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_solvers.cc.o.d"
+  "/root/repo/tests/test_spmv.cc" "tests/CMakeFiles/acamar_tests.dir/test_spmv.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_spmv.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/acamar_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_string_utils.cc" "tests/CMakeFiles/acamar_tests.dir/test_string_utils.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_string_utils.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/acamar_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_table2_convergence.cc" "tests/CMakeFiles/acamar_tests.dir/test_table2_convergence.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_table2_convergence.cc.o.d"
+  "/root/repo/tests/test_vector_ops.cc" "tests/CMakeFiles/acamar_tests.dir/test_vector_ops.cc.o" "gcc" "tests/CMakeFiles/acamar_tests.dir/test_vector_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/acamar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
