@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "metrics/underutilization.hh"
 
@@ -85,7 +86,7 @@ double
 Acamar::dynamicAreaMm2(const CsrMatrix<float> &a,
                        const ReconfigPlan &plan) const
 {
-    ACAMAR_ASSERT(!plan.factors.empty(), "empty plan");
+    ACAMAR_CHECK(!plan.factors.empty()) << "empty plan";
     // Weight each set's SpMV-unit area by the beats it occupies the
     // fabric for, then add the always-resident units.
     double weighted = 0.0;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
@@ -19,7 +19,7 @@ DenseKernelModel::DenseKernelModel(EventQueue *eq,
 Cycles
 DenseKernelModel::dotCycles(int64_t n) const
 {
-    ACAMAR_ASSERT(n >= 0, "negative vector length");
+    ACAMAR_CHECK(n >= 0) << "negative vector length";
     dotOps_.inc();
     const int64_t trips =
         (n + hls_defaults::kDenseLanes - 1) / hls_defaults::kDenseLanes;
@@ -32,7 +32,7 @@ DenseKernelModel::dotCycles(int64_t n) const
 Cycles
 DenseKernelModel::axpyCycles(int64_t n) const
 {
-    ACAMAR_ASSERT(n >= 0, "negative vector length");
+    ACAMAR_CHECK(n >= 0) << "negative vector length";
     axpyOps_.inc();
     const int64_t trips =
         (n + hls_defaults::kDenseLanes - 1) / hls_defaults::kDenseLanes;

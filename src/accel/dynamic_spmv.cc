@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "sparse/spmv.hh"
 
 namespace acamar {
@@ -39,10 +39,9 @@ SpmvRunStats
 DynamicSpmvKernel::timeRows(const CsrMatrix<T> &a, int64_t row_begin,
                             int64_t row_end, int unroll) const
 {
-    ACAMAR_ASSERT(unroll >= 1, "unroll factor must be >= 1");
-    ACAMAR_ASSERT(row_begin >= 0 && row_begin <= row_end &&
-                      row_end <= a.numRows(),
-                  "bad row range");
+    ACAMAR_CHECK(unroll >= 1) << "unroll factor must be >= 1";
+    ACAMAR_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= a.numRows())
+        << "bad row range";
     SpmvRunStats st;
     st.rows = row_end - row_begin;
 
@@ -77,7 +76,7 @@ SpmvRunStats
 DynamicSpmvKernel::timePlanned(const CsrMatrix<T> &a,
                                const ReconfigPlan &plan) const
 {
-    ACAMAR_ASSERT(!plan.factors.empty(), "empty reconfiguration plan");
+    ACAMAR_CHECK(!plan.factors.empty()) << "empty reconfiguration plan";
     SpmvRunStats total;
     const int64_t rows = a.numRows();
     double beat_time = 0.0; // clock-penalty-weighted beats

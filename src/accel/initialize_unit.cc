@@ -1,6 +1,6 @@
 #include "accel/initialize_unit.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
@@ -10,7 +10,7 @@ InitializeUnit::InitializeUnit(EventQueue *eq, const AcamarConfig &cfg,
     : SimObject("acamar.initialize", eq), cfg_(cfg), spmv_(spmv),
       dense_(dense)
 {
-    ACAMAR_ASSERT(spmv && dense, "InitializeUnit needs kernel models");
+    ACAMAR_CHECK(spmv && dense) << "InitializeUnit needs kernel models";
     stats().addScalar("runs", &initRuns_, "initialize phases timed");
 }
 

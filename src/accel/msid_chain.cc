@@ -2,15 +2,15 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
 MsidChain::MsidChain(int stages, double tolerance)
     : stages_(stages), tolerance_(tolerance)
 {
-    ACAMAR_ASSERT(stages >= 0, "stage count must be >= 0");
-    ACAMAR_ASSERT(tolerance >= 0.0, "tolerance must be >= 0");
+    ACAMAR_CHECK(stages >= 0) << "stage count must be >= 0";
+    ACAMAR_CHECK(tolerance >= 0.0) << "tolerance must be >= 0";
 }
 
 std::vector<int>
@@ -24,7 +24,7 @@ MsidChain::oneStage(const std::vector<int> &prev) const
     // reconfiguration rate keeps dropping with more stages (Fig. 5).
     std::vector<int> next = prev;
     for (size_t k = 1; k < prev.size(); ++k) {
-        ACAMAR_ASSERT(prev[k - 1] > 0, "unroll factors must be > 0");
+        ACAMAR_CHECK(prev[k - 1] > 0) << "unroll factors must be > 0";
         const double diff =
             std::abs(static_cast<double>(prev[k]) /
                          static_cast<double>(prev[k - 1]) -

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
@@ -24,7 +24,7 @@ ReconfigOverlapModel::ReconfigOverlapModel(
       kernelClk_("kernel_clk",
                  static_cast<uint64_t>(device.kernelClockHz))
 {
-    ACAMAR_ASSERT(spmv_, "overlap model needs the SpMV timing model");
+    ACAMAR_CHECK(spmv_) << "overlap model needs the SpMV timing model";
     stats().addScalar("passes_simulated", &passesSimulated_);
 }
 
@@ -34,7 +34,7 @@ ReconfigOverlapModel::simulate(const CsrMatrix<float> &a,
                                ReconfigPolicy policy,
                                int64_t bitstream_bits)
 {
-    ACAMAR_ASSERT(!plan.factors.empty(), "empty plan");
+    ACAMAR_CHECK(!plan.factors.empty()) << "empty plan";
     passesSimulated_.inc();
 
     // Per-segment compute durations in ticks.

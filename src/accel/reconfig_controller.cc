@@ -1,6 +1,6 @@
 #include "accel/reconfig_controller.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
@@ -9,7 +9,7 @@ ReconfigController::ReconfigController(EventQueue *eq,
                                        int max_unroll)
     : SimObject("acamar.reconfig_controller", eq)
 {
-    ACAMAR_ASSERT(max_unroll >= 1, "bad max unroll");
+    ACAMAR_CHECK(max_unroll >= 1) << "bad max unroll";
     const IcapModel icap(res.device());
 
     // Inner (Nested DFX) region: sized for the largest SpMV unit.
@@ -27,6 +27,19 @@ ReconfigController::ReconfigController(EventQueue *eq,
     solverSeconds_ = icap.reconfigSeconds(solver_bits);
     solverCycles_ = icap.reconfigKernelCycles(solver_bits);
 
+    // Over-committed regions would make every DFX latency and RU
+    // figure derived from them meaningless.
+    ACAMAR_CHECK(res.utilizationFraction(solver_region) <= 1.0)
+        << "solver DFX region (incl. placement margin) exceeds "
+        << res.device().name << " capacity at max unroll "
+        << max_unroll;
+    ACAMAR_CHECK(spmvBits_ > 0 && solver_bits >= spmvBits_)
+        << "partial bitstreams must be non-empty and nested "
+        << "(spmv " << spmvBits_ << " b, solver " << solver_bits
+        << " b)";
+    ACAMAR_CHECK_FINITE(spmvSeconds_) << "SpMV DFX latency";
+    ACAMAR_CHECK_FINITE(solverSeconds_) << "solver DFX latency";
+
     stats().addScalar("spmv_reconfigs", &spmvEvents_,
                       "SpMV-region DFX events");
     stats().addScalar("solver_reconfigs", &solverEvents_,
@@ -36,7 +49,7 @@ ReconfigController::ReconfigController(EventQueue *eq,
 void
 ReconfigController::chargeSpmvReconfigs(int64_t n)
 {
-    ACAMAR_ASSERT(n >= 0, "negative event count");
+    ACAMAR_CHECK(n >= 0) << "negative event count";
     spmvEvents_.add(static_cast<double>(n));
 }
 

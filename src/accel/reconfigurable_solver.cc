@@ -1,6 +1,6 @@
 #include "accel/reconfigurable_solver.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
@@ -26,8 +26,8 @@ ReconfigurableSolver::ReconfigurableSolver(EventQueue *eq,
     : SimObject("acamar.solver", eq), cfg_(cfg), spmv_(spmv),
       dense_(dense), reconfig_(reconfig)
 {
-    ACAMAR_ASSERT(spmv && dense && reconfig,
-                  "ReconfigurableSolver needs its kernel models");
+    ACAMAR_CHECK(spmv && dense && reconfig)
+        << "ReconfigurableSolver needs its kernel models";
     stats().addScalar("runs", &runs_, "solver configurations run");
     stats().addScalar("converged", &converged_, "runs that converged");
     stats().addScalar("diverged", &diverged_,

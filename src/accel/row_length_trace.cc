@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
@@ -12,9 +12,9 @@ RowLengthTrace::RowLengthTrace(int sampling_rate, int chunk_rows,
     : samplingRate_(sampling_rate), chunkRows_(chunk_rows),
       maxUnroll_(max_unroll)
 {
-    ACAMAR_ASSERT(sampling_rate >= 1, "sampling rate must be >= 1");
-    ACAMAR_ASSERT(chunk_rows >= 1, "chunk rows must be >= 1");
-    ACAMAR_ASSERT(max_unroll >= 1, "max unroll must be >= 1");
+    ACAMAR_CHECK(sampling_rate >= 1) << "sampling rate must be >= 1";
+    ACAMAR_CHECK(chunk_rows >= 1) << "chunk rows must be >= 1";
+    ACAMAR_CHECK(max_unroll >= 1) << "max unroll must be >= 1";
 }
 
 int64_t

@@ -1,6 +1,6 @@
 #include "accel/static_design.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "metrics/underutilization.hh"
 
 namespace acamar {
@@ -11,7 +11,7 @@ StaticDesign::StaticDesign(const FpgaDevice &device, int urb,
       res_(device), mem_(device), spmv_(&eq_, mem_),
       dense_(&eq_, mem_)
 {
-    ACAMAR_ASSERT(urb >= 1, "SpMV_URB must be >= 1");
+    ACAMAR_CHECK(urb >= 1) << "SpMV_URB must be >= 1";
 }
 
 TimedSolve

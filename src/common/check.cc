@@ -1,0 +1,47 @@
+#include "common/check.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace acamar {
+namespace check_detail {
+namespace {
+
+// Thread-local so a test's ScopedCheckThrowMode cannot leak into
+// concurrently running code once the codebase goes multi-threaded.
+thread_local CheckFailMode tls_fail_mode = CheckFailMode::Abort;
+
+} // namespace
+
+CheckFailMode
+failMode()
+{
+    return tls_fail_mode;
+}
+
+CheckFailMode
+setFailMode(CheckFailMode mode)
+{
+    const CheckFailMode prev = tls_fail_mode;
+    tls_fail_mode = mode;
+    return prev;
+}
+
+Failer::Failer(const char *file, int line, const char *expr)
+    : file_(file), line_(line)
+{
+    os_ << "check failed: " << expr << " — ";
+}
+
+Failer::~Failer() noexcept(false)
+{
+    const std::string msg = os_.str();
+    if (failMode() == CheckFailMode::Throw)
+        throw CheckError(msg, file_, line_);
+    std::fprintf(stderr, "%s (%s:%d)\n", msg.c_str(), file_, line_);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace check_detail
+} // namespace acamar

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Runtime-contract macros: the one way this codebase states and
+ * enforces invariants.
+ *
+ * Acamar's results are numbers (residuals, cycle counts, resource
+ * fractions) rather than behaviors, so a silent NaN or an
+ * out-of-range index produces *plausible wrong output*, not a crash.
+ * These macros make such states loud:
+ *
+ *   ACAMAR_CHECK(cond) << "message " << detail;
+ *   ACAMAR_CHECK_FINITE(residual) << "after iteration " << k;
+ *   ACAMAR_CHECK_BOUNDS(row, 0, numRows());
+ *   ACAMAR_DCHECK(expensiveInvariant());   // debug builds only
+ *
+ * A failed check reports the expression, the streamed message and
+ * the source location, then aborts the process. Tests that want to
+ * exercise failure paths without dying install a ScopedCheckThrowMode,
+ * which turns failures into CheckError exceptions instead.
+ *
+ * Failure-path macro arguments may be evaluated a second time while
+ * composing the message; never pass expressions with side effects.
+ */
+
+#ifndef ACAMAR_COMMON_CHECK_HH
+#define ACAMAR_COMMON_CHECK_HH
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace acamar {
+
+/** What a failed contract does to the process. */
+enum class CheckFailMode {
+    Abort,  //!< print to stderr and std::abort() (default)
+    Throw,  //!< throw CheckError (tests of failure paths)
+};
+
+/** Exception thrown by failed contracts under CheckFailMode::Throw. */
+class CheckError : public std::runtime_error
+{
+  public:
+    CheckError(const std::string &what, const char *file, int line)
+        : std::runtime_error(what), file_(file), line_(line)
+    {}
+
+    /** Source file of the failed check. */
+    const char *file() const { return file_; }
+
+    /** Source line of the failed check. */
+    int line() const { return line_; }
+
+  private:
+    const char *file_;
+    int line_;
+};
+
+namespace check_detail {
+
+/** Current failure mode of this thread. */
+CheckFailMode failMode();
+
+/** Install a failure mode; returns the previous one. */
+CheckFailMode setFailMode(CheckFailMode mode);
+
+/**
+ * Message collector for one failed check. Constructed only on the
+ * failure path; its destructor reports (and never returns under
+ * Abort mode).
+ */
+class Failer
+{
+  public:
+    Failer(const char *file, int line, const char *expr);
+
+    /** Reports the failure; throws under CheckFailMode::Throw. */
+    ~Failer() noexcept(false);
+
+    /** Stream to append the user message to. */
+    std::ostream &stream() { return os_; }
+
+  private:
+    const char *file_;
+    int line_;
+    std::ostringstream os_;
+};
+
+/** Swallows the stream expression so ACAMAR_CHECK has type void. */
+struct Voidify {
+    void operator&(std::ostream &) const {}
+};
+
+/** isfinite through a double widen (accepts any arithmetic type). */
+inline bool
+finite(double v)
+{
+    return std::isfinite(v);
+}
+
+} // namespace check_detail
+
+/**
+ * RAII guard that makes failed checks throw CheckError for its
+ * lifetime. Intended for tests that assert contracts fire.
+ */
+class ScopedCheckThrowMode
+{
+  public:
+    ScopedCheckThrowMode()
+        : prev_(check_detail::setFailMode(CheckFailMode::Throw))
+    {}
+
+    ~ScopedCheckThrowMode() { check_detail::setFailMode(prev_); }
+
+    ScopedCheckThrowMode(const ScopedCheckThrowMode &) = delete;
+    ScopedCheckThrowMode &operator=(const ScopedCheckThrowMode &) =
+        delete;
+
+  private:
+    CheckFailMode prev_;
+};
+
+/**
+ * Enforce an invariant in every build type. Append context with
+ * operator<<; the message is only composed on failure.
+ */
+#define ACAMAR_CHECK(cond)                                                 \
+    (static_cast<bool>(cond))                                              \
+        ? (void)0                                                          \
+        : ::acamar::check_detail::Voidify() &                              \
+              ::acamar::check_detail::Failer(__FILE__, __LINE__, #cond)    \
+                  .stream()
+
+/**
+ * Debug-only invariant: compiled (so it cannot rot) but neither
+ * evaluated nor enforced when NDEBUG is set. Use for per-element
+ * checks inside hot loops.
+ */
+#ifdef NDEBUG
+#define ACAMAR_DCHECK(cond)                                                \
+    while (false)                                                          \
+    ACAMAR_CHECK(cond)
+#else
+#define ACAMAR_DCHECK(cond) ACAMAR_CHECK(cond)
+#endif
+
+/** Enforce that a scalar is neither NaN nor infinite. */
+#define ACAMAR_CHECK_FINITE(val)                                           \
+    ACAMAR_CHECK(                                                          \
+        ::acamar::check_detail::finite(static_cast<double>(val)))          \
+        << #val " = " << static_cast<double>(val) << " is not finite; "
+
+/** Debug-only ACAMAR_CHECK_FINITE. */
+#ifdef NDEBUG
+#define ACAMAR_DCHECK_FINITE(val)                                          \
+    while (false)                                                          \
+    ACAMAR_CHECK_FINITE(val)
+#else
+#define ACAMAR_DCHECK_FINITE(val) ACAMAR_CHECK_FINITE(val)
+#endif
+
+/** Enforce lo <= idx < hi (half-open, the container convention). */
+#define ACAMAR_CHECK_BOUNDS(idx, lo, hi)                                   \
+    ACAMAR_CHECK((idx) >= (lo) && (idx) < (hi))                            \
+        << #idx " = " << (idx) << " outside [" << (lo) << ", " << (hi)     \
+        << "); "
+
+/** Debug-only ACAMAR_CHECK_BOUNDS. */
+#ifdef NDEBUG
+#define ACAMAR_DCHECK_BOUNDS(idx, lo, hi)                                  \
+    while (false)                                                          \
+    ACAMAR_CHECK_BOUNDS(idx, lo, hi)
+#else
+#define ACAMAR_DCHECK_BOUNDS(idx, lo, hi) ACAMAR_CHECK_BOUNDS(idx, lo, hi)
+#endif
+
+} // namespace acamar
+
+#endif // ACAMAR_COMMON_CHECK_HH

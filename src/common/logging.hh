@@ -104,13 +104,9 @@ warn(Args &&...args)
     ::acamar::detail::fatalImpl(__FILE__, __LINE__,                        \
                                 ::acamar::detail::concat(__VA_ARGS__))
 
-/** Panic when a condition that must hold does not. */
-#define ACAMAR_ASSERT(cond, ...)                                           \
-    do {                                                                   \
-        if (!(cond)) {                                                     \
-            ACAMAR_PANIC("assertion failed: " #cond " ", __VA_ARGS__);     \
-        }                                                                  \
-    } while (0)
+// Invariant checks live in common/check.hh (ACAMAR_CHECK and
+// friends); this header only carries message reporting and the two
+// unconditional terminators above.
 
 } // namespace acamar
 

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 namespace {
@@ -62,7 +62,7 @@ Rng::uniform(double lo, double hi)
 int64_t
 Rng::uniformInt(int64_t lo, int64_t hi)
 {
-    ACAMAR_ASSERT(lo <= hi, "bad uniformInt range");
+    ACAMAR_CHECK(lo <= hi) << "bad uniformInt range";
     const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
     return lo + static_cast<int64_t>(next() % span);
 }
@@ -94,7 +94,7 @@ Rng::normal(double mean, double sigma)
 int64_t
 Rng::powerLaw(double alpha, int64_t cap)
 {
-    ACAMAR_ASSERT(cap >= 1, "powerLaw cap must be >= 1");
+    ACAMAR_CHECK(cap >= 1) << "powerLaw cap must be >= 1";
     // Inverse-CDF sampling of a continuous power law, clamped.
     const double u = uniform();
     const double x = std::pow(1.0 - u, -1.0 / (alpha - 1.0));

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <iomanip>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
@@ -28,7 +28,7 @@ AverageStat::reset()
 DistStat::DistStat(double lo, double hi, int buckets)
     : lo_(lo), hi_(hi), buckets_(static_cast<size_t>(buckets), 0)
 {
-    ACAMAR_ASSERT(hi > lo && buckets > 0, "bad DistStat range");
+    ACAMAR_CHECK(hi > lo && buckets > 0) << "bad DistStat range";
 }
 
 void
@@ -58,7 +58,7 @@ void
 StatGroup::addScalar(const std::string &name, ScalarStat *s,
                      const std::string &desc)
 {
-    ACAMAR_ASSERT(s, "null scalar stat");
+    ACAMAR_CHECK(s) << "null scalar stat";
     Entry e;
     e.desc = desc;
     e.scalar = s;
@@ -69,7 +69,7 @@ void
 StatGroup::addAverage(const std::string &name, AverageStat *s,
                       const std::string &desc)
 {
-    ACAMAR_ASSERT(s, "null average stat");
+    ACAMAR_CHECK(s) << "null average stat";
     Entry e;
     e.desc = desc;
     e.average = s;

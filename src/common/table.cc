@@ -4,14 +4,14 @@
 #include <iomanip>
 #include <sstream>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers))
 {
-    ACAMAR_ASSERT(!headers_.empty(), "table needs at least one column");
+    ACAMAR_CHECK(!headers_.empty()) << "table needs at least one column";
 }
 
 Table &
@@ -24,7 +24,7 @@ Table::newRow()
 Table &
 Table::cell(const std::string &v)
 {
-    ACAMAR_ASSERT(!rows_.empty(), "cell() before newRow()");
+    ACAMAR_CHECK(!rows_.empty()) << "cell() before newRow()";
     rows_.back().push_back(v);
     return *this;
 }
@@ -101,7 +101,7 @@ geomean(const std::vector<double> &vals)
         return 0.0;
     double acc = 0.0;
     for (double v : vals) {
-        ACAMAR_ASSERT(v > 0.0, "geomean needs positive values");
+        ACAMAR_CHECK(v > 0.0) << "geomean needs positive values";
         acc += std::log(v);
     }
     return std::exp(acc / static_cast<double>(vals.size()));

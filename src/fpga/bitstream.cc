@@ -2,11 +2,16 @@
 
 #include <cmath>
 
+#include "common/check.hh"
+
 namespace acamar {
 
 int64_t
 BitstreamModel::partialBitstreamBits(const KernelResources &region)
 {
+    ACAMAR_CHECK(region.luts >= 0 && region.ffs >= 0 &&
+                 region.dsps >= 0 && region.brams >= 0)
+        << "negative DFX region";
     // Configuration memory per resource (UltraScale+ ballpark):
     // a LUT carries 64 bits of INIT plus routing; DSPs and BRAMs sit
     // in dedicated columns with large frame footprints.

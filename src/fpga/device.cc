@@ -1,5 +1,7 @@
 #include "fpga/device.hh"
 
+#include "common/check.hh"
+
 namespace acamar {
 
 KernelResources &
@@ -16,6 +18,24 @@ KernelResources
 KernelResources::operator*(int64_t k) const
 {
     return {luts * k, ffs * k, dsps * k, brams * k};
+}
+
+void
+FpgaDevice::validate() const
+{
+    ACAMAR_CHECK(capacity.luts > 0 && capacity.ffs > 0 &&
+                 capacity.dsps > 0 && capacity.brams > 0)
+        << "device '" << name << "' has an empty resource class";
+    ACAMAR_CHECK(dieAreaMm2 > 0.0)
+        << "device '" << name << "' has no die area";
+    ACAMAR_CHECK(kernelClockHz > 0.0 && icapClockHz > 0.0)
+        << "device '" << name << "' has a non-positive clock";
+    ACAMAR_CHECK(icapBitsPerSecond > 0.0)
+        << "device '" << name << "' has no ICAP bandwidth";
+    ACAMAR_CHECK(hbmBytesPerSecond > 0.0 && portBytesPerCycle > 0.0)
+        << "device '" << name << "' has no memory bandwidth";
+    ACAMAR_CHECK_FINITE(memBytesPerCycle())
+        << "device '" << name << "'";
 }
 
 FpgaDevice

@@ -58,6 +58,14 @@ struct FpgaDevice {
                         portBytesPerCycle);
     }
 
+    /**
+     * Contract-check the description: every capacity class, clock
+     * and bandwidth must be positive and finite. Models that consume
+     * a device call this once at construction so a half-initialized
+     * card cannot silently skew utilization or timing numbers.
+     */
+    void validate() const;
+
     /** The paper's target card. */
     static FpgaDevice alveoU55c();
 };

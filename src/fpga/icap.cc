@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "sim/clock_domain.hh"
 
 namespace acamar {
@@ -11,13 +11,13 @@ IcapModel::IcapModel(const FpgaDevice &device)
     : bitsPerSecond_(device.icapBitsPerSecond),
       kernelClockHz_(device.kernelClockHz)
 {
-    ACAMAR_ASSERT(bitsPerSecond_ > 0.0, "ICAP rate must be positive");
+    ACAMAR_CHECK(bitsPerSecond_ > 0.0) << "ICAP rate must be positive";
 }
 
 double
 IcapModel::reconfigSeconds(int64_t bits) const
 {
-    ACAMAR_ASSERT(bits >= 0, "negative bitstream size");
+    ACAMAR_CHECK(bits >= 0) << "negative bitstream size";
     return static_cast<double>(bits) / bitsPerSecond_;
 }
 

@@ -2,20 +2,20 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
 MemoryModel::MemoryModel(const FpgaDevice &device)
     : bytesPerCycle_(device.memBytesPerCycle())
 {
-    ACAMAR_ASSERT(bytesPerCycle_ > 0.0, "device has no bandwidth");
+    ACAMAR_CHECK(bytesPerCycle_ > 0.0) << "device has no bandwidth";
 }
 
 Cycles
 MemoryModel::streamCycles(int64_t bytes) const
 {
-    ACAMAR_ASSERT(bytes >= 0, "negative byte count");
+    ACAMAR_CHECK(bytes >= 0) << "negative byte count";
     return static_cast<Cycles>(
         std::ceil(static_cast<double>(bytes) / bytesPerCycle_));
 }

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 namespace {
@@ -24,6 +24,7 @@ constexpr KernelResources kAnalyzers = {.luts = 14000, .ffs = 20000,
 
 ResourceModel::ResourceModel(const FpgaDevice &device) : device_(device)
 {
+    device_.validate();
 }
 
 KernelResources
@@ -35,7 +36,7 @@ ResourceModel::macLane() const
 KernelResources
 ResourceModel::spmvUnit(int unroll) const
 {
-    ACAMAR_ASSERT(unroll >= 1, "unroll factor must be >= 1");
+    ACAMAR_CHECK(unroll >= 1) << "unroll factor must be >= 1";
     KernelResources r = kFp32Mac * unroll;
     // Adder tree: unroll-1 fp32 adders at 2 DSPs + logic each.
     const int64_t adders = std::max(0, unroll - 1);
@@ -60,6 +61,9 @@ ResourceModel::analyzerUnits() const
 double
 ResourceModel::areaMm2(const KernelResources &r) const
 {
+    ACAMAR_CHECK(r.luts >= 0 && r.ffs >= 0 && r.dsps >= 0 &&
+                 r.brams >= 0)
+        << "negative resource bundle";
     // Die area prorated by each resource class's share of the
     // device, weighted by typical silicon footprint split
     // (LUT/FF fabric ~70%, DSP ~20%, BRAM ~10% of the die).
@@ -76,6 +80,9 @@ ResourceModel::areaMm2(const KernelResources &r) const
 double
 ResourceModel::utilizationFraction(const KernelResources &r) const
 {
+    ACAMAR_CHECK(r.luts >= 0 && r.ffs >= 0 && r.dsps >= 0 &&
+                 r.brams >= 0)
+        << "negative resource bundle";
     const auto &cap = device_.capacity;
     return std::max({static_cast<double>(r.luts) / cap.luts,
                      static_cast<double>(r.ffs) / cap.ffs,

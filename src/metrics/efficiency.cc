@@ -1,13 +1,13 @@
 #include "metrics/efficiency.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
 EfficiencyReport
 efficiencyFrom(double achieved_flops, double area_mm2)
 {
-    ACAMAR_ASSERT(area_mm2 >= 0.0, "negative area");
+    ACAMAR_CHECK(area_mm2 >= 0.0) << "negative area";
     EfficiencyReport rep;
     rep.gflops = achieved_flops / 1e9;
     rep.areaMm2 = area_mm2;
@@ -18,7 +18,7 @@ efficiencyFrom(double achieved_flops, double area_mm2)
 double
 areaSaving(double area_a_mm2, double area_b_mm2)
 {
-    ACAMAR_ASSERT(area_a_mm2 > 0.0, "design area must be positive");
+    ACAMAR_CHECK(area_a_mm2 > 0.0) << "design area must be positive";
     return area_b_mm2 / area_a_mm2;
 }
 

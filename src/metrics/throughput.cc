@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
@@ -10,8 +10,8 @@ ThroughputReport
 throughputFromSlots(int64_t useful_macs, int64_t offered_mac_slots,
                     double cycles, double clock_hz)
 {
-    ACAMAR_ASSERT(useful_macs >= 0 && offered_mac_slots >= 0,
-                  "negative slot counts");
+    ACAMAR_CHECK(useful_macs >= 0 && offered_mac_slots >= 0)
+        << "negative slot counts";
     ThroughputReport rep;
     if (cycles <= 0.0 || offered_mac_slots == 0)
         return rep;

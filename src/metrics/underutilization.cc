@@ -1,14 +1,14 @@
 #include "metrics/underutilization.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
 double
 paperRowUnderutilization(int64_t row_nnz, int unroll)
 {
-    ACAMAR_ASSERT(unroll >= 1, "unroll factor must be >= 1");
-    ACAMAR_ASSERT(row_nnz >= 0, "negative row length");
+    ACAMAR_CHECK(unroll >= 1) << "unroll factor must be >= 1";
+    ACAMAR_CHECK(row_nnz >= 0) << "negative row length";
     const auto u = static_cast<double>(unroll);
     if (row_nnz >= unroll) {
         const auto m = static_cast<double>(row_nnz % unroll);
@@ -20,7 +20,7 @@ paperRowUnderutilization(int64_t row_nnz, int unroll)
 double
 occupancyRowUnderutilization(int64_t row_nnz, int unroll)
 {
-    ACAMAR_ASSERT(unroll >= 1, "unroll factor must be >= 1");
+    ACAMAR_CHECK(unroll >= 1) << "unroll factor must be >= 1";
     if (row_nnz <= 0)
         return 1.0;
     const int64_t beats = (row_nnz + unroll - 1) / unroll;
@@ -46,8 +46,8 @@ meanUnderutilizationPerSet(const CsrMatrix<T> &a,
                            const std::vector<int> &factors,
                            int64_t set_size)
 {
-    ACAMAR_ASSERT(set_size >= 1, "set size must be >= 1");
-    ACAMAR_ASSERT(!factors.empty(), "need at least one unroll factor");
+    ACAMAR_CHECK(set_size >= 1) << "set size must be >= 1";
+    ACAMAR_CHECK(!factors.empty()) << "need at least one unroll factor";
     if (a.numRows() == 0)
         return 0.0;
     double acc = 0.0;

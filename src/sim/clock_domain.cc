@@ -1,15 +1,15 @@
 #include "sim/clock_domain.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
 ClockDomain::ClockDomain(std::string name, uint64_t freq_hz)
     : name_(std::move(name)), freq_(freq_hz)
 {
-    ACAMAR_ASSERT(freq_hz > 0, "zero clock frequency");
-    ACAMAR_ASSERT(freq_hz <= kTicksPerSecond,
-                  "clock faster than tick resolution");
+    ACAMAR_CHECK(freq_hz > 0) << "zero clock frequency";
+    ACAMAR_CHECK(freq_hz <= kTicksPerSecond)
+        << "clock faster than tick resolution";
     period_ = kTicksPerSecond / freq_hz;
 }
 

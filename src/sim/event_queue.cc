@@ -2,15 +2,15 @@
 
 #include <memory>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
 void
 EventQueue::schedule(Event ev, Tick when)
 {
-    ACAMAR_ASSERT(when >= curTick_, "scheduling event '", ev.name(),
-                  "' in the past (", when, " < ", curTick_, ")");
+    ACAMAR_CHECK(when >= curTick_) << "scheduling event '" << ev.name()
+        << "' in the past (" << when << " < " << curTick_ << ")";
     Entry e;
     e.when = when;
     e.prio = ev.priority();
@@ -26,6 +26,9 @@ EventQueue::run(uint64_t limit)
     while (!heap_.empty() && processed < limit) {
         Entry e = heap_.top();
         heap_.pop();
+        ACAMAR_CHECK(e.when >= curTick_)
+            << "event '" << e.ev->name() << "' dequeued out of order ("
+            << e.when << " < " << curTick_ << ")";
         curTick_ = e.when;
         e.ev->process();
         ++processed;
@@ -40,6 +43,9 @@ EventQueue::runUntil(Tick until)
     while (!heap_.empty() && heap_.top().when <= until) {
         Entry e = heap_.top();
         heap_.pop();
+        ACAMAR_CHECK(e.when >= curTick_)
+            << "event '" << e.ev->name() << "' dequeued out of order ("
+            << e.when << " < " << curTick_ << ")";
         curTick_ = e.when;
         e.ev->process();
         ++processed;

@@ -1,13 +1,13 @@
 #include "sim/sim_object.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
 SimObject::SimObject(std::string name, EventQueue *eq)
     : name_(std::move(name)), eq_(eq), stats_(name_)
 {
-    ACAMAR_ASSERT(eq_, "SimObject '", name_, "' needs an event queue");
+    ACAMAR_CHECK(eq_) << "SimObject '" << name_ << "' needs an event queue";
 }
 
 } // namespace acamar

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
 
@@ -46,6 +47,10 @@ BiCgSolver::solve(const CsrMatrix<float> &a,
             break;
         }
         const auto alpha = static_cast<float>(rho / ps_ap);
+        if (!std::isfinite(alpha)) {
+            mon.flagBreakdown();
+            break;
+        }
         axpy(alpha, p, x);
         axpy(-alpha, ap, r);
         spmv(at, ps, atps);
@@ -55,6 +60,11 @@ BiCgSolver::solve(const CsrMatrix<float> &a,
 
         const double rho_new = dot(r, rs);
         const auto beta = static_cast<float>(rho_new / rho);
+        if (!std::isfinite(beta)) {
+            mon.flagBreakdown();
+            break;
+        }
+        ACAMAR_DCHECK_FINITE(rho_new) << "bi-orthogonal product";
         rho = rho_new;
         for (size_t i = 0; i < n; ++i) {
             p[i] = r[i] + beta * p[i];

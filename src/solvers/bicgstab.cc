@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
 
@@ -45,14 +46,17 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
             break;
         }
         const auto alpha = static_cast<float>(rho / ap_r0s);
+        if (!std::isfinite(alpha)) {
+            mon.flagBreakdown();
+            break;
+        }
 
         // s = r - alpha A p
         for (size_t i = 0; i < n; ++i)
             s[i] = r[i] - alpha * ap[i];
 
         const double s_norm = norm2(s);
-        if (s_norm <= criteria.tolerance *
-                          std::max(mon.initialResidual(), 1e-30)) {
+        if (mon.meetsTolerance(s_norm)) {
             // Early half-step convergence: omega step unnecessary.
             axpy(alpha, p, x);
             mon.observe(s_norm);
@@ -86,6 +90,11 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
         const double rho_new = dot(r, r0s);
         const auto beta =
             static_cast<float>((rho_new / rho) * (alpha / omega));
+        if (!std::isfinite(beta)) {
+            mon.flagBreakdown();
+            break;
+        }
+        ACAMAR_DCHECK_FINITE(omega) << "stabilization scalar";
         rho = rho_new;
         // p = r + beta (p - omega A p)
         for (size_t i = 0; i < n; ++i)

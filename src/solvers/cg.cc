@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
 
@@ -37,6 +38,12 @@ CgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
             break;
         }
         const auto alpha = static_cast<float>(rr / pap);
+        if (!std::isfinite(alpha)) {
+            // rr/pAp overflowed fp32: the recurrence would only
+            // emit NaNs from here on.
+            mon.flagBreakdown();
+            break;
+        }
         axpy(alpha, p, x);
         axpy(-alpha, ap, r);
         const double rr_new = dot(r, r);
@@ -45,6 +52,11 @@ CgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
             break;
         }
         const auto beta = static_cast<float>(rr_new / rr);
+        if (!std::isfinite(beta)) {
+            mon.flagBreakdown();
+            break;
+        }
+        ACAMAR_DCHECK_FINITE(rr_new) << "residual energy after step";
         rr = rr_new;
         // p = r + beta p
         for (size_t i = 0; i < n; ++i)

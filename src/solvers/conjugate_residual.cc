@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
 
@@ -42,6 +43,10 @@ ConjugateResidualSolver::solve(const CsrMatrix<float> &a,
             break;
         }
         const auto alpha = static_cast<float>(r_ar / ap_ap);
+        if (!std::isfinite(alpha)) {
+            mon.flagBreakdown();
+            break;
+        }
         axpy(alpha, p, x);
         axpy(-alpha, ap, r);
         if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
@@ -50,6 +55,11 @@ ConjugateResidualSolver::solve(const CsrMatrix<float> &a,
         spmv(a, r, ar);
         const double r_ar_new = dot(r, ar);
         const auto beta = static_cast<float>(r_ar_new / r_ar);
+        if (!std::isfinite(beta)) {
+            mon.flagBreakdown();
+            break;
+        }
+        ACAMAR_DCHECK_FINITE(r_ar_new) << "A-inner product";
         r_ar = r_ar_new;
         // p = r + beta p ; Ap = Ar + beta Ap (no extra SpMV).
         for (size_t i = 0; i < n; ++i) {

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
@@ -23,14 +23,24 @@ ConvergenceMonitor::ConvergenceMonitor(
     : criteria_(criteria), initialResidual_(initial_residual),
       lastResidual_(initial_residual)
 {
-    ACAMAR_ASSERT(criteria_.tolerance > 0.0, "non-positive tolerance");
-    ACAMAR_ASSERT(criteria_.maxIterations > 0, "non-positive cap");
+    ACAMAR_CHECK(criteria_.tolerance > 0.0) << "non-positive tolerance";
+    ACAMAR_CHECK(criteria_.maxIterations > 0) << "non-positive cap";
+    ACAMAR_CHECK_FINITE(initial_residual)
+        << "solver handed the monitor a non-finite starting residual";
+    ACAMAR_CHECK(initial_residual >= 0.0)
+        << "negative residual norm " << initial_residual;
     history_.push_back(initial_residual);
-    if (initial_residual == 0.0 ||
-        relativeResidual() <= criteria_.tolerance) {
+    if (initial_residual == 0.0 || meetsTolerance(initial_residual)) {
         status_ = SolveStatus::Converged;
         done_ = true;
     }
+}
+
+bool
+ConvergenceMonitor::meetsTolerance(double residual) const
+{
+    return residual <=
+           criteria_.tolerance * std::max(initialResidual_, 1e-30);
 }
 
 ConvergenceMonitor::Action
@@ -43,7 +53,7 @@ ConvergenceMonitor::observe(double residual)
     lastResidual_ = residual;
     history_.push_back(residual);
 
-    if (relativeResidual() <= criteria_.tolerance) {
+    if (meetsTolerance(residual)) {
         status_ = SolveStatus::Converged;
         done_ = true;
         return Action::Stop;

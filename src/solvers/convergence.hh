@@ -75,6 +75,15 @@ class ConvergenceMonitor
     /** Record the residual after one iteration and decide. */
     Action observe(double residual);
 
+    /**
+     * Would this residual satisfy the convergence tolerance? The
+     * single source of tolerance semantics: solvers that peek ahead
+     * (e.g. BiCG-STAB's half step) must ask here instead of
+     * comparing against ConvergenceCriteria fields themselves —
+     * tools/acamar_lint.py enforces this.
+     */
+    bool meetsTolerance(double residual) const;
+
     /** Force a breakdown outcome (zero rho/omega/pAp). */
     void flagBreakdown();
 

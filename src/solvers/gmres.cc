@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
 
@@ -10,7 +10,7 @@ namespace acamar {
 
 GmresSolver::GmresSolver(int restart) : restart_(restart)
 {
-    ACAMAR_ASSERT(restart >= 1, "GMRES restart must be >= 1");
+    ACAMAR_CHECK(restart >= 1) << "GMRES restart must be >= 1";
 }
 
 KernelProfile
@@ -99,6 +99,9 @@ GmresSolver::solve(const CsrMatrix<float> &a,
             h[j][j] = denom;
             g[j + 1] = -sn[j] * g[j];
             g[j] = cs[j] * g[j];
+            ACAMAR_DCHECK_FINITE(cs[j]) << "Givens cosine, step " << j;
+            ACAMAR_DCHECK_FINITE(g[j + 1])
+                << "rotated residual, step " << j;
             steps = j + 1;
 
             const double rel_res = std::abs(g[j + 1]);

@@ -22,13 +22,14 @@ JacobiSolver::solve(const CsrMatrix<float> &a,
     const std::vector<float> diag = a.diagonal();
     std::vector<float> inv_diag(n);
     for (size_t i = 0; i < n; ++i) {
-        if (diag[i] == 0.0f) {
-            // D^-1 does not exist: Algorithm 1 cannot start.
+        inv_diag[i] = 1.0f / diag[i];
+        if (diag[i] == 0.0f || !std::isfinite(inv_diag[i])) {
+            // D^-1 does not exist (or overflows fp32):
+            // Algorithm 1 cannot start.
             res.status = SolveStatus::Breakdown;
             res.solution = std::move(x);
             return res;
         }
-        inv_diag[i] = 1.0f / diag[i];
     }
 
     std::vector<float> ax;

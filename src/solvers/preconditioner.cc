@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
@@ -29,6 +30,9 @@ JacobiPreconditioner::setup(const CsrMatrix<float> &a)
         if (diag[i] == 0.0f)
             ACAMAR_FATAL("Jacobi preconditioner needs a full diagonal");
         invDiag_[i] = 1.0f / diag[i];
+        ACAMAR_CHECK_FINITE(invDiag_[i])
+            << "inverse diagonal at row " << i << " (diag = "
+            << diag[i] << ")";
     }
 }
 
@@ -36,8 +40,8 @@ void
 JacobiPreconditioner::apply(const std::vector<float> &r,
                             std::vector<float> &z) const
 {
-    ACAMAR_ASSERT(r.size() == invDiag_.size(),
-                  "preconditioner size mismatch");
+    ACAMAR_CHECK(r.size() == invDiag_.size())
+        << "preconditioner size mismatch";
     z.resize(r.size());
     for (size_t i = 0; i < r.size(); ++i)
         z[i] = invDiag_[i] * r[i];
@@ -46,7 +50,7 @@ JacobiPreconditioner::apply(const std::vector<float> &r,
 PcgSolver::PcgSolver(std::unique_ptr<Preconditioner> prec)
     : prec_(std::move(prec))
 {
-    ACAMAR_ASSERT(prec_, "PCG needs a preconditioner");
+    ACAMAR_CHECK(prec_) << "PCG needs a preconditioner";
 }
 
 SolveResult
@@ -82,6 +86,10 @@ PcgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
             break;
         }
         const auto alpha = static_cast<float>(rz / pap);
+        if (!std::isfinite(alpha)) {
+            mon.flagBreakdown();
+            break;
+        }
         axpy(alpha, p, x);
         axpy(-alpha, ap, r);
         if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
@@ -89,6 +97,10 @@ PcgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
         prec_->apply(r, z);
         const double rz_new = dot(r, z);
         const auto beta = static_cast<float>(rz_new / rz);
+        if (!std::isfinite(beta)) {
+            mon.flagBreakdown();
+            break;
+        }
         rz = rz_new;
         for (size_t i = 0; i < n; ++i)
             p[i] = z[i] + beta * p[i];

@@ -1,5 +1,6 @@
 #include "solvers/solver.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "solvers/bicg.hh"
 #include "solvers/bicgstab.hh"
@@ -66,6 +67,13 @@ checkInputs(const CsrMatrix<float> &a, const std::vector<float> &b,
                      a.numRows());
     if (!x0.empty() && x0.size() != b.size())
         ACAMAR_FATAL("x0 size ", x0.size(), " != rhs size ", b.size());
+    // A NaN/Inf smuggled in through the rhs or the guess would
+    // propagate to every iterate and surface as a plausible-looking
+    // non-convergence; reject it at the boundary instead.
+    for (size_t i = 0; i < b.size(); ++i)
+        ACAMAR_CHECK_FINITE(b[i]) << "rhs entry " << i;
+    for (size_t i = 0; i < x0.size(); ++i)
+        ACAMAR_CHECK_FINITE(x0[i]) << "initial-guess entry " << i;
 }
 
 std::vector<float>

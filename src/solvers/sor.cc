@@ -27,7 +27,7 @@ SorSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
 
     const std::vector<float> diag = a.diagonal();
     for (size_t i = 0; i < n; ++i) {
-        if (diag[i] == 0.0f) {
+        if (diag[i] == 0.0f || !std::isfinite(1.0f / diag[i])) {
             res.status = SolveStatus::Breakdown;
             res.solution = std::move(x);
             return res;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/string_utils.hh"
 
@@ -140,7 +141,7 @@ gridEdge3d(int32_t dim)
 CsrMatrix<double>
 generateDataset(const DatasetSpec &spec, int32_t dim)
 {
-    ACAMAR_ASSERT(dim >= 16, "dataset dim too small");
+    ACAMAR_CHECK(dim >= 16) << "dataset dim too small";
     Rng rng(seedFor(spec.id, 1));
 
     switch (spec.klass) {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "sparse/csr.hh"
 
 namespace acamar {
@@ -11,17 +11,17 @@ template <typename T>
 CooMatrix<T>::CooMatrix(int32_t rows, int32_t cols)
     : rows_(rows), cols_(cols)
 {
-    ACAMAR_ASSERT(rows >= 0 && cols >= 0, "negative matrix dims");
+    ACAMAR_CHECK(rows >= 0 && cols >= 0) << "negative matrix dims";
 }
 
 template <typename T>
 void
 CooMatrix<T>::add(int32_t row, int32_t col, T value)
 {
-    ACAMAR_ASSERT(row >= 0 && row < rows_, "COO row ", row,
-                  " out of range [0, ", rows_, ")");
-    ACAMAR_ASSERT(col >= 0 && col < cols_, "COO col ", col,
-                  " out of range [0, ", cols_, ")");
+    ACAMAR_CHECK(row >= 0 && row < rows_) << "COO row " << row
+        << " out of range [0, " << rows_ << ")";
+    ACAMAR_CHECK(col >= 0 && col < cols_) << "COO col " << col
+        << " out of range [0, " << cols_ << ")";
     triplets_.push_back({row, col, value});
 }
 

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "sparse/csr.hh"
 
 namespace acamar {
@@ -15,15 +15,13 @@ CscMatrix<T>::CscMatrix(int32_t rows, int32_t cols,
     : rows_(rows), cols_(cols), colPtr_(std::move(col_ptr)),
       rowIdx_(std::move(row_idx)), values_(std::move(values))
 {
-    ACAMAR_ASSERT(rows >= 0 && cols >= 0, "negative matrix dims");
-    ACAMAR_ASSERT(colPtr_.size() == static_cast<size_t>(cols_) + 1,
-                  "colPtr size mismatch");
-    ACAMAR_ASSERT(rowIdx_.size() == values_.size(),
-                  "rowIdx/values size mismatch");
-    ACAMAR_ASSERT(colPtr_.front() == 0 &&
-                      colPtr_.back() ==
-                          static_cast<int64_t>(values_.size()),
-                  "colPtr bounds wrong");
+    ACAMAR_CHECK(rows >= 0 && cols >= 0) << "negative matrix dims";
+    ACAMAR_CHECK(colPtr_.size() == static_cast<size_t>(cols_) + 1)
+        << "colPtr size mismatch";
+    ACAMAR_CHECK(rowIdx_.size() == values_.size())
+        << "rowIdx/values size mismatch";
+    ACAMAR_CHECK(colPtr_.front() == 0 && colPtr_.back() == static_cast<int64_t>(values_.size()))
+        << "colPtr bounds wrong";
 }
 
 template <typename T>

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "sparse/csc.hh"
 
 namespace acamar {
@@ -16,24 +16,26 @@ CsrMatrix<T>::CsrMatrix(int32_t rows, int32_t cols,
     : rows_(rows), cols_(cols), rowPtr_(std::move(row_ptr)),
       colIdx_(std::move(col_idx)), values_(std::move(values))
 {
-    ACAMAR_ASSERT(rows >= 0 && cols >= 0, "negative matrix dims");
-    ACAMAR_ASSERT(rowPtr_.size() == static_cast<size_t>(rows_) + 1,
-                  "rowPtr size mismatch");
-    ACAMAR_ASSERT(colIdx_.size() == values_.size(),
-                  "colIdx/values size mismatch");
-    ACAMAR_ASSERT(rowPtr_.front() == 0, "rowPtr must start at 0");
-    ACAMAR_ASSERT(rowPtr_.back() ==
-                      static_cast<int64_t>(values_.size()),
-                  "rowPtr must end at nnz");
+    ACAMAR_CHECK(rows >= 0 && cols >= 0) << "negative matrix dims";
+    ACAMAR_CHECK(rowPtr_.size() == static_cast<size_t>(rows_) + 1)
+        << "rowPtr size mismatch";
+    ACAMAR_CHECK(colIdx_.size() == values_.size())
+        << "colIdx/values size mismatch";
+    ACAMAR_CHECK(rowPtr_.front() == 0) << "rowPtr must start at 0";
+    ACAMAR_CHECK(rowPtr_.back() == static_cast<int64_t>(values_.size()))
+        << "rowPtr must end at nnz";
     for (int32_t r = 0; r < rows_; ++r) {
-        ACAMAR_ASSERT(rowPtr_[r] <= rowPtr_[r + 1],
-                      "rowPtr not monotone at row ", r);
+        ACAMAR_CHECK(rowPtr_[r] <= rowPtr_[r + 1])
+            << "rowPtr not monotone at row " << r;
         for (int64_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
-            ACAMAR_ASSERT(colIdx_[k] >= 0 && colIdx_[k] < cols_,
-                          "column index out of range");
+            ACAMAR_CHECK_BOUNDS(colIdx_[k], 0, cols_)
+                << "column index out of range in row " << r;
+            ACAMAR_DCHECK_FINITE(values_[k])
+                << "stored value at row " << r << ", col "
+                << colIdx_[k];
             if (k > rowPtr_[r]) {
-                ACAMAR_ASSERT(colIdx_[k - 1] < colIdx_[k],
-                              "columns not strictly sorted in row ", r);
+                ACAMAR_CHECK(colIdx_[k - 1] < colIdx_[k])
+                    << "columns not strictly sorted in row " << r;
             }
         }
     }
@@ -43,8 +45,8 @@ template <typename T>
 T
 CsrMatrix<T>::at(int32_t r, int32_t c) const
 {
-    ACAMAR_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_,
-                  "at() index out of range");
+    ACAMAR_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+        << "at() index out of range";
     const auto *base = colIdx_.data();
     const auto *lo = base + rowPtr_[r];
     const auto *hi = base + rowPtr_[r + 1];
@@ -116,8 +118,8 @@ template <typename T>
 CsrMatrix<T>
 CsrMatrix<T>::rowSlice(int32_t begin, int32_t end) const
 {
-    ACAMAR_ASSERT(begin >= 0 && begin <= end && end <= rows_,
-                  "bad rowSlice range");
+    ACAMAR_CHECK(begin >= 0 && begin <= end && end <= rows_)
+        << "bad rowSlice range";
     const int64_t k0 = rowPtr_[begin];
     const int64_t k1 = rowPtr_[end];
     std::vector<int64_t> rp(static_cast<size_t>(end - begin) + 1);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "sparse/coo.hh"
 
@@ -54,8 +55,8 @@ template <typename T>
 void
 EllMatrix<T>::spmv(const std::vector<T> &x, std::vector<T> &y) const
 {
-    ACAMAR_ASSERT(x.size() == static_cast<size_t>(cols_),
-                  "ELL spmv x size mismatch");
+    ACAMAR_CHECK(x.size() == static_cast<size_t>(cols_))
+        << "ELL spmv x size mismatch";
     y.resize(static_cast<size_t>(rows_));
     for (int32_t r = 0; r < rows_; ++r) {
         const int64_t base = static_cast<int64_t>(r) * width_;
@@ -92,7 +93,7 @@ template <typename T>
 SlicedEllMatrix<T>
 SlicedEllMatrix<T>::fromCsr(const CsrMatrix<T> &a, int64_t slice_rows)
 {
-    ACAMAR_ASSERT(slice_rows >= 1, "slice must hold >= 1 row");
+    ACAMAR_CHECK(slice_rows >= 1) << "slice must hold >= 1 row";
     SlicedEllMatrix<T> e;
     e.rows_ = a.numRows();
     e.cols_ = a.numCols();
@@ -158,8 +159,8 @@ void
 SlicedEllMatrix<T>::spmv(const std::vector<T> &x,
                          std::vector<T> &y) const
 {
-    ACAMAR_ASSERT(x.size() == static_cast<size_t>(cols_),
-                  "sliced-ELL spmv x size mismatch");
+    ACAMAR_CHECK(x.size() == static_cast<size_t>(cols_))
+        << "sliced-ELL spmv x size mismatch";
     y.resize(static_cast<size_t>(rows_));
     for (int32_t r = 0; r < rows_; ++r) {
         const auto s = static_cast<size_t>(r / sliceRows_);

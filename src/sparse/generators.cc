@@ -4,7 +4,7 @@
 #include <cmath>
 #include <set>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 #include "sparse/coo.hh"
 #include "sparse/spmv.hh"
 
@@ -14,8 +14,8 @@ std::vector<int>
 rowLengthTraceGen(int32_t n, RowProfile profile, double mean_len,
                   Rng &rng)
 {
-    ACAMAR_ASSERT(n > 1, "need at least two rows");
-    ACAMAR_ASSERT(mean_len >= 1.0, "mean length must be >= 1");
+    ACAMAR_CHECK(n > 1) << "need at least two rows";
+    ACAMAR_CHECK(mean_len >= 1.0) << "mean length must be >= 1";
     const int cap = std::max(1, n - 1);
     std::vector<int> lens(static_cast<size_t>(n), 1);
 
@@ -115,7 +115,7 @@ pickColumns(int32_t n, int32_t r, int count, Rng &rng)
 CsrMatrix<double>
 poisson2d(int32_t nx, int32_t ny, double diag_shift)
 {
-    ACAMAR_ASSERT(nx > 0 && ny > 0, "bad grid");
+    ACAMAR_CHECK(nx > 0 && ny > 0) << "bad grid";
     const int32_t n = nx * ny;
     CooMatrix<double> coo(n, n);
     auto idx = [&](int32_t i, int32_t j) { return i * ny + j; };
@@ -139,7 +139,7 @@ poisson2d(int32_t nx, int32_t ny, double diag_shift)
 CsrMatrix<double>
 poisson3d(int32_t nx, int32_t ny, int32_t nz, double diag_shift)
 {
-    ACAMAR_ASSERT(nx > 0 && ny > 0 && nz > 0, "bad grid");
+    ACAMAR_CHECK(nx > 0 && ny > 0 && nz > 0) << "bad grid";
     const int32_t n = nx * ny * nz;
     CooMatrix<double> coo(n, n);
     auto idx = [&](int32_t i, int32_t j, int32_t k) {
@@ -171,7 +171,7 @@ poisson3d(int32_t nx, int32_t ny, int32_t nz, double diag_shift)
 CsrMatrix<double>
 stencil27(int32_t nx, int32_t ny, int32_t nz, double diag_shift)
 {
-    ACAMAR_ASSERT(nx > 0 && ny > 0 && nz > 0, "bad grid");
+    ACAMAR_CHECK(nx > 0 && ny > 0 && nz > 0) << "bad grid";
     const int32_t n = nx * ny * nz;
     CooMatrix<double> coo(n, n);
     auto idx = [&](int32_t i, int32_t j, int32_t k) {
@@ -207,7 +207,7 @@ stencil27(int32_t nx, int32_t ny, int32_t nz, double diag_shift)
 CsrMatrix<double>
 convectionDiffusion2d(int32_t nx, int32_t ny, double px, double py)
 {
-    ACAMAR_ASSERT(nx > 0 && ny > 0, "bad grid");
+    ACAMAR_CHECK(nx > 0 && ny > 0) << "bad grid";
     const int32_t n = nx * ny;
     CooMatrix<double> coo(n, n);
     auto idx = [&](int32_t i, int32_t j) { return i * ny + j; };
@@ -234,9 +234,9 @@ CsrMatrix<double>
 blockOnesSpd(int32_t n, int32_t mean_block, double rho, double bridge,
              Rng &rng)
 {
-    ACAMAR_ASSERT(n > 2, "matrix too small");
-    ACAMAR_ASSERT(mean_block >= 2, "blocks need >= 2 rows");
-    ACAMAR_ASSERT(rho > 0.0 && rho < 1.0, "need 0 < rho < 1 for SPD");
+    ACAMAR_CHECK(n > 2) << "matrix too small";
+    ACAMAR_CHECK(mean_block >= 2) << "blocks need >= 2 rows";
+    ACAMAR_CHECK(rho > 0.0 && rho < 1.0) << "need 0 < rho < 1 for SPD";
     CooMatrix<double> coo(n, n);
 
     int32_t row = 0;
@@ -276,7 +276,7 @@ CsrMatrix<double>
 ddNonsymmetric(int32_t n, RowProfile profile, double mean_len,
                double dominance, Rng &rng)
 {
-    ACAMAR_ASSERT(dominance > 1.0, "dominance must exceed 1");
+    ACAMAR_CHECK(dominance > 1.0) << "dominance must exceed 1";
     const auto lens = rowLengthTraceGen(n, profile, mean_len, rng);
     CooMatrix<double> coo(n, n);
     for (int32_t r = 0; r < n; ++r) {
@@ -300,9 +300,9 @@ ddNonsymmetric(int32_t n, RowProfile profile, double mean_len,
 CsrMatrix<double>
 symIndefiniteDd(int32_t n, double coupling, Rng &rng)
 {
-    ACAMAR_ASSERT(n % 2 == 0, "need an even dimension");
-    ACAMAR_ASSERT(coupling > 0.0 && coupling < 1.0,
-                  "coupling must be in (0, 1) for dominance");
+    ACAMAR_CHECK(n % 2 == 0) << "need an even dimension";
+    ACAMAR_CHECK(coupling > 0.0 && coupling < 1.0)
+        << "coupling must be in (0, 1) for dominance";
     CooMatrix<double> coo(n, n);
     // Pair row 2i (diag +d) with row 2i+1 (diag -d), d log-uniform
     // over four decades. Eigenvalues are +/- d sqrt(1 + coupling^2):
@@ -329,8 +329,8 @@ CsrMatrix<double>
 illConditionedSpd(int32_t n, double cond, double coupling, int32_t k,
                   Rng &rng)
 {
-    ACAMAR_ASSERT(cond > 1.0, "condition target must exceed 1");
-    ACAMAR_ASSERT(k >= 1, "need at least one coupling entry per row");
+    ACAMAR_CHECK(cond > 1.0) << "condition target must exceed 1";
+    ACAMAR_CHECK(k >= 1) << "need at least one coupling entry per row";
     CooMatrix<double> coo(n, n);
 
     // Sparse B with k entries per row; A += coupling * B B^T is SPD.
@@ -370,7 +370,7 @@ CsrMatrix<double>
 graphLaplacianPowerLaw(int32_t n, double alpha, int32_t max_degree,
                        double diag_shift, Rng &rng)
 {
-    ACAMAR_ASSERT(max_degree >= 1 && max_degree < n, "bad max degree");
+    ACAMAR_CHECK(max_degree >= 1 && max_degree < n) << "bad max degree";
     CooMatrix<double> coo(n, n);
     std::vector<double> degree_weight(static_cast<size_t>(n), 0.0);
 
@@ -434,8 +434,8 @@ addDiagonal(const CsrMatrix<double> &a, double shift)
 CsrMatrix<double>
 symmetrize(const CsrMatrix<double> &a)
 {
-    ACAMAR_ASSERT(a.numRows() == a.numCols(),
-                  "can only symmetrize square matrices");
+    ACAMAR_CHECK(a.numRows() == a.numCols())
+        << "can only symmetrize square matrices";
     CooMatrix<double> coo(a.numRows(), a.numCols());
     const auto &rp = a.rowPtr();
     const auto &ci = a.colIdx();
@@ -452,11 +452,11 @@ symmetrize(const CsrMatrix<double> &a)
 double
 jacobiSpectralRadius(const CsrMatrix<double> &a, int iters, Rng &rng)
 {
-    ACAMAR_ASSERT(a.numRows() == a.numCols(), "need a square matrix");
+    ACAMAR_CHECK(a.numRows() == a.numCols()) << "need a square matrix";
     const int32_t n = a.numRows();
     const auto diag = a.diagonal();
     for (double d : diag)
-        ACAMAR_ASSERT(d != 0.0, "zero diagonal in Jacobi radius probe");
+        ACAMAR_CHECK(d != 0.0) << "zero diagonal in Jacobi radius probe";
 
     std::vector<double> v(static_cast<size_t>(n));
     for (auto &x : v)

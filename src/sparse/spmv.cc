@@ -1,6 +1,6 @@
 #include "sparse/spmv.hh"
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
@@ -16,10 +16,10 @@ void
 spmvRows(const CsrMatrix<T> &a, const std::vector<T> &x,
          std::vector<T> &y, int32_t begin, int32_t end)
 {
-    ACAMAR_ASSERT(x.size() == static_cast<size_t>(a.numCols()),
-                  "spmv x size mismatch");
-    ACAMAR_ASSERT(begin >= 0 && begin <= end && end <= a.numRows(),
-                  "spmv row range out of bounds");
+    ACAMAR_CHECK(x.size() == static_cast<size_t>(a.numCols()))
+        << "spmv x size mismatch";
+    ACAMAR_CHECK(begin >= 0 && begin <= end && end <= a.numRows())
+        << "spmv row range out of bounds";
     y.resize(static_cast<size_t>(a.numRows()));
 
     const auto &rp = a.rowPtr();
@@ -38,9 +38,9 @@ void
 spmvLaned(const CsrMatrix<T> &a, const std::vector<T> &x,
           std::vector<T> &y, int unroll)
 {
-    ACAMAR_ASSERT(unroll >= 1, "unroll factor must be >= 1");
-    ACAMAR_ASSERT(x.size() == static_cast<size_t>(a.numCols()),
-                  "spmv x size mismatch");
+    ACAMAR_CHECK(unroll >= 1) << "unroll factor must be >= 1";
+    ACAMAR_CHECK(x.size() == static_cast<size_t>(a.numCols()))
+        << "spmv x size mismatch";
     y.resize(static_cast<size_t>(a.numRows()));
 
     const auto &rp = a.rowPtr();

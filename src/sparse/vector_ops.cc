@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "common/logging.hh"
+#include "common/check.hh"
 
 namespace acamar {
 
@@ -10,7 +10,7 @@ template <typename T>
 double
 dot(const std::vector<T> &x, const std::vector<T> &y)
 {
-    ACAMAR_ASSERT(x.size() == y.size(), "dot size mismatch");
+    ACAMAR_CHECK(x.size() == y.size()) << "dot size mismatch";
     double acc = 0.0;
     for (size_t i = 0; i < x.size(); ++i)
         acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
@@ -28,7 +28,7 @@ template <typename T>
 void
 axpy(T a, const std::vector<T> &x, std::vector<T> &y)
 {
-    ACAMAR_ASSERT(x.size() == y.size(), "axpy size mismatch");
+    ACAMAR_CHECK(x.size() == y.size()) << "axpy size mismatch";
     for (size_t i = 0; i < x.size(); ++i)
         y[i] += a * x[i];
 }
@@ -38,7 +38,7 @@ void
 waxpby(T a, const std::vector<T> &x, T b, const std::vector<T> &y,
        std::vector<T> &w)
 {
-    ACAMAR_ASSERT(x.size() == y.size(), "waxpby size mismatch");
+    ACAMAR_CHECK(x.size() == y.size()) << "waxpby size mismatch";
     w.resize(x.size());
     for (size_t i = 0; i < x.size(); ++i)
         w[i] = a * x[i] + b * y[i];
@@ -57,7 +57,7 @@ void
 hadamard(const std::vector<T> &x, const std::vector<T> &y,
          std::vector<T> &w)
 {
-    ACAMAR_ASSERT(x.size() == y.size(), "hadamard size mismatch");
+    ACAMAR_CHECK(x.size() == y.size()) << "hadamard size mismatch";
     w.resize(x.size());
     for (size_t i = 0; i < x.size(); ++i)
         w[i] = x[i] * y[i];

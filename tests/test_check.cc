@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for common/check: the contract-macro layer every subsystem's
+ * invariants route through. Covers macro semantics (pass/fail,
+ * stream messages, source location), the test-only throw mode, the
+ * finite/bounds helpers, and — most importantly — that the hot
+ * invariants threaded through the codebase actually fire: an
+ * injected NaN residual, a malformed CSR, an out-of-order event.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.hh"
+#include "sim/event_queue.hh"
+#include "solvers/convergence.hh"
+#include "solvers/solver.hh"
+#include "sparse/csr.hh"
+#include "sparse/generators.hh"
+
+namespace acamar {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Check, PassingCheckHasNoEffect)
+{
+    ACAMAR_CHECK(2 + 2 == 4) << "unreachable";
+    ACAMAR_CHECK_FINITE(1.0) << "unreachable";
+    ACAMAR_CHECK_BOUNDS(3, 0, 4);
+    SUCCEED();
+}
+
+TEST(Check, MessageOnlyComposedOnFailure)
+{
+    int evaluations = 0;
+    auto count = [&evaluations]() {
+        ++evaluations;
+        return "msg";
+    };
+    ACAMAR_CHECK(true) << count();
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithMessage)
+{
+    EXPECT_DEATH(ACAMAR_CHECK(1 == 2) << "the answer is " << 42,
+                 "the answer is 42");
+}
+
+TEST(CheckDeathTest, FailureReportsExpressionAndLocation)
+{
+    EXPECT_DEATH(ACAMAR_CHECK(false) << "ctx", "check failed: false");
+    EXPECT_DEATH(ACAMAR_CHECK(false) << "ctx", "test_check.cc");
+}
+
+TEST(Check, ThrowModeThrowsCheckError)
+{
+    ScopedCheckThrowMode guard;
+    EXPECT_THROW(ACAMAR_CHECK(false) << "boom", CheckError);
+}
+
+TEST(Check, CheckErrorCarriesMessageAndLocation)
+{
+    ScopedCheckThrowMode guard;
+    try {
+        ACAMAR_CHECK(1 > 2) << "value was " << 7;
+        FAIL() << "check did not throw";
+    } catch (const CheckError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("1 > 2"), std::string::npos);
+        EXPECT_NE(msg.find("value was 7"), std::string::npos);
+        EXPECT_NE(std::string(e.file()).find("test_check.cc"),
+                  std::string::npos);
+        EXPECT_GT(e.line(), 0);
+    }
+}
+
+TEST(Check, CheckErrorIsARuntimeError)
+{
+    ScopedCheckThrowMode guard;
+    EXPECT_THROW(ACAMAR_CHECK(false), std::runtime_error);
+}
+
+TEST(Check, ThrowModeRestoredOnScopeExit)
+{
+    {
+        ScopedCheckThrowMode guard;
+        EXPECT_EQ(check_detail::failMode(), CheckFailMode::Throw);
+        {
+            ScopedCheckThrowMode nested;
+            EXPECT_EQ(check_detail::failMode(), CheckFailMode::Throw);
+        }
+        EXPECT_EQ(check_detail::failMode(), CheckFailMode::Throw);
+    }
+    EXPECT_EQ(check_detail::failMode(), CheckFailMode::Abort);
+}
+
+TEST(Check, FiniteHelperAcceptsFiniteRejectsNanAndInf)
+{
+    ScopedCheckThrowMode guard;
+    ACAMAR_CHECK_FINITE(0.0);
+    ACAMAR_CHECK_FINITE(-1e300);
+    ACAMAR_CHECK_FINITE(42);  // integral types widen cleanly
+    EXPECT_THROW(ACAMAR_CHECK_FINITE(kNan), CheckError);
+    EXPECT_THROW(ACAMAR_CHECK_FINITE(kInf), CheckError);
+    EXPECT_THROW(ACAMAR_CHECK_FINITE(-kInf), CheckError);
+}
+
+TEST(Check, FiniteFailureNamesTheExpression)
+{
+    ScopedCheckThrowMode guard;
+    const double residual = kNan;
+    try {
+        ACAMAR_CHECK_FINITE(residual) << "iteration " << 3;
+        FAIL() << "finite check did not throw";
+    } catch (const CheckError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("residual"), std::string::npos);
+        EXPECT_NE(msg.find("iteration 3"), std::string::npos);
+    }
+}
+
+TEST(Check, BoundsHelperIsHalfOpen)
+{
+    ScopedCheckThrowMode guard;
+    ACAMAR_CHECK_BOUNDS(0, 0, 4);
+    ACAMAR_CHECK_BOUNDS(3, 0, 4);
+    EXPECT_THROW(ACAMAR_CHECK_BOUNDS(4, 0, 4), CheckError);
+    EXPECT_THROW(ACAMAR_CHECK_BOUNDS(-1, 0, 4), CheckError);
+}
+
+TEST(Check, DcheckMatchesBuildType)
+{
+    int evaluations = 0;
+    ACAMAR_DCHECK([&evaluations]() {
+        ++evaluations;
+        return true;
+    }());
+#ifdef NDEBUG
+    EXPECT_EQ(evaluations, 0);  // compiled, never executed
+#else
+    EXPECT_EQ(evaluations, 1);
+#endif
+}
+
+#ifndef NDEBUG
+TEST(Check, DcheckEnforcesInDebugBuilds)
+{
+    ScopedCheckThrowMode guard;
+    EXPECT_THROW(ACAMAR_DCHECK(false) << "debug only", CheckError);
+    EXPECT_THROW(ACAMAR_DCHECK_FINITE(kNan), CheckError);
+    EXPECT_THROW(ACAMAR_DCHECK_BOUNDS(9, 0, 4), CheckError);
+}
+#endif
+
+// ---- Threaded invariants ---------------------------------------------
+
+TEST(CheckContracts, InjectedNanResidualFires)
+{
+    ScopedCheckThrowMode guard;
+    EXPECT_THROW(ConvergenceMonitor({}, kNan), CheckError);
+    EXPECT_THROW(ConvergenceMonitor({}, kInf), CheckError);
+    EXPECT_THROW(ConvergenceMonitor({}, -1.0), CheckError);
+}
+
+TEST(CheckContracts, SolverRejectsNanRhs)
+{
+    ScopedCheckThrowMode guard;
+    const CsrMatrix<float> a =
+        poisson2d(4, 4, 0.5).cast<float>();
+    std::vector<float> b(static_cast<size_t>(a.numRows()), 1.0f);
+    b[5] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_THROW(makeSolver(SolverKind::CG)->solve(a, b, {}, {}),
+                 CheckError);
+}
+
+TEST(CheckContracts, MalformedCsrRejected)
+{
+    ScopedCheckThrowMode guard;
+    // rowPtr not ending at nnz.
+    EXPECT_THROW(CsrMatrix<float>(2, 2, {0, 1, 3}, {0}, {1.0f}),
+                 CheckError);
+    // rowPtr not monotone.
+    EXPECT_THROW(CsrMatrix<float>(3, 2, {0, 2, 1, 3}, {0, 1, 0},
+                                  {1.0f, 2.0f, 3.0f}),
+                 CheckError);
+    // Column index outside the matrix.
+    EXPECT_THROW(CsrMatrix<float>(1, 2, {0, 1}, {5}, {1.0f}),
+                 CheckError);
+    // Duplicate (non-strictly-sorted) columns within a row.
+    EXPECT_THROW(
+        CsrMatrix<float>(1, 3, {0, 2}, {1, 1}, {1.0f, 2.0f}),
+        CheckError);
+}
+
+TEST(CheckContracts, OutOfOrderEventRejected)
+{
+    ScopedCheckThrowMode guard;
+    EventQueue eq;
+    eq.schedule(Event("ok", [] {}), 10);
+    EXPECT_EQ(eq.runUntil(10), 1u);
+    EXPECT_THROW(eq.schedule(Event("late", [] {}), 5), CheckError);
+}
+
+TEST(CheckContracts, WellFormedInputsStillAccepted)
+{
+    // The contracts must not reject legitimate work.
+    const CsrMatrix<float> a =
+        poisson2d(4, 4, 0.5).cast<float>();
+    const std::vector<float> b(static_cast<size_t>(a.numRows()),
+                               1.0f);
+    const SolveResult res =
+        makeSolver(SolverKind::CG)->solve(a, b, {}, {});
+    EXPECT_TRUE(res.ok());
+    for (double r : res.residualHistory)
+        EXPECT_TRUE(std::isfinite(r));
+}
+
+} // namespace
+} // namespace acamar

@@ -1,6 +1,7 @@
 /**
  * @file
- * Tests for common/logging: fatal/panic/assert semantics.
+ * Tests for common/logging: fatal/panic semantics. Invariant-check
+ * macros are covered in test_check.cc.
  */
 
 #include <gtest/gtest.h>
@@ -32,17 +33,6 @@ TEST(Logging, FatalMessageContainsPayloadAndLocation)
 TEST(LoggingDeathTest, PanicAborts)
 {
     EXPECT_DEATH(ACAMAR_PANIC("invariant broke"), "invariant broke");
-}
-
-TEST(LoggingDeathTest, AssertFiresOnFalse)
-{
-    EXPECT_DEATH(ACAMAR_ASSERT(1 == 2, "math is off"), "math is off");
-}
-
-TEST(Logging, AssertPassesOnTrue)
-{
-    ACAMAR_ASSERT(2 + 2 == 4, "unreachable");
-    SUCCEED();
 }
 
 TEST(Logging, ThresholdFiltersMessages)

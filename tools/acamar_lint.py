@@ -1,0 +1,329 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules for Acamar.
+
+Generic tools (clang-tidy, compiler warnings) cannot see this
+project's conventions; these rules can. Runs as the `lint` ctest and
+standalone:
+
+    python3 tools/acamar_lint.py [--root /path/to/repo] [--list-rules]
+
+Exit status 0 = clean, 1 = findings, 2 = usage error. Findings print
+as `path:line: [rule] message` so editors can jump to them.
+
+Suppress a single line with a trailing `// lint-ok: <rule>` comment.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_GLOBS = ("src/**/*.cc", "src/**/*.hh")
+ALL_CODE_GLOBS = CXX_GLOBS + (
+    "tests/**/*.cc",
+    "bench/**/*.cc",
+    "bench/**/*.hh",
+    "examples/**/*.cc",
+)
+
+# Integer-ish type names whose initialization from floating-point
+# expressions must be spelled out (rule: narrowing).
+INT_TYPES = (
+    r"(?:u?int(?:8|16|32|64)_t|int|long|size_t|unsigned|Cycles|Tick)"
+)
+# Tokens that mark an explicit, reviewed float->int conversion.
+EXPLICIT_CONV = re.compile(
+    r"static_cast<|std::l?lround\b|std::ceil\b|std::floor\b|"
+    r"std::round\b|std::trunc\b"
+)
+FLOATISH = re.compile(r"\d\.\d|\d\.e[+-]?\d|\de[+-]\d|\.0\b|\bdouble\b")
+
+
+def strip_comments_and_strings(line, state):
+    """Blank out comments and literals, preserving column positions.
+
+    `state` is True while inside a /* block comment */ spanning lines.
+    Returns (cleaned_line, new_state).
+    """
+    out = []
+    i, n = 0, len(line)
+    in_str = in_chr = False
+    while i < n:
+        c = line[i]
+        if state:  # inside a block comment
+            if line.startswith("*/", i):
+                state = False
+                out.append("  ")
+                i += 2
+            else:
+                out.append(" ")
+                i += 1
+            continue
+        if in_str:
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                in_str = False
+                out.append('"')
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        if in_chr:
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                in_chr = False
+                out.append("'")
+            else:
+                out.append(" ")
+            i += 1
+            continue
+        if line.startswith("//", i):
+            out.append(" " * (n - i))
+            break
+        if line.startswith("/*", i):
+            state = True
+            out.append("  ")
+            i += 2
+            continue
+        if c == '"':
+            in_str = True
+            out.append('"')
+            i += 1
+            continue
+        if c == "'":
+            # skip digit separators like 1'000'000
+            if i > 0 and line[i - 1].isdigit() and i + 1 < n and \
+                    line[i + 1].isdigit():
+                out.append("'")
+                i += 1
+                continue
+            in_chr = True
+            out.append("'")
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), state
+
+
+class File:
+    def __init__(self, path, root):
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.raw_lines = path.read_text(errors="replace").splitlines()
+        self.code_lines = []
+        state = False
+        for line in self.raw_lines:
+            cleaned, state = strip_comments_and_strings(line, state)
+            self.code_lines.append(cleaned)
+
+    def suppressed(self, lineno, rule):
+        raw = self.raw_lines[lineno - 1]
+        return f"lint-ok: {rule}" in raw
+
+
+class Finding:
+    def __init__(self, rel, lineno, rule, msg):
+        self.rel, self.lineno, self.rule, self.msg = rel, lineno, rule, msg
+
+    def __str__(self):
+        return f"{self.rel}:{self.lineno}: [{self.rule}] {self.msg}"
+
+
+RULES = {}
+
+
+def rule(name, doc):
+    def deco(fn):
+        RULES[name] = (fn, doc)
+        return fn
+    return deco
+
+
+@rule("raw-new-delete",
+      "library code manages memory with containers and smart "
+      "pointers, never raw new/delete")
+def raw_new_delete(files):
+    pat_new = re.compile(r"\bnew\b(?!\s*\()")
+    pat_del = re.compile(r"\bdelete\b(?!\s*\[?\]?\s*;?\s*$)|\bdelete\b")
+    for f in files:
+        if not f.rel.startswith("src/"):
+            continue
+        for no, line in enumerate(f.code_lines, 1):
+            # `= delete;` (deleted member functions) is idiomatic,
+            # including when the `delete;` wrapped onto its own line.
+            stripped = re.sub(r"=\s*delete\s*;", "", line)
+            if re.fullmatch(r"\s*delete\s*;?\s*", stripped) and \
+                    no > 1 and f.code_lines[no - 2].rstrip() \
+                    .endswith("="):
+                continue
+            if pat_new.search(line):
+                yield Finding(f.rel, no, "raw-new-delete",
+                              "raw `new`: use std::make_unique / "
+                              "containers")
+            elif pat_del.search(stripped):
+                yield Finding(f.rel, no, "raw-new-delete",
+                              "raw `delete`: ownership belongs in "
+                              "RAII types")
+
+
+@rule("std-rand",
+      "all randomness must flow through common/random.hh so runs "
+      "stay reproducible")
+def std_rand(files):
+    pat = re.compile(r"\bstd::rand\b|\bsrand\s*\(|(?<![\w.:])rand\s*\(")
+    for f in files:
+        for no, line in enumerate(f.code_lines, 1):
+            if pat.search(line):
+                yield Finding(f.rel, no, "std-rand",
+                              "use acamar::Rng (common/random.hh), "
+                              "not the C PRNG")
+
+
+@rule("legacy-assert",
+      "ACAMAR_ASSERT was replaced by the contract macros in "
+      "common/check.hh")
+def legacy_assert(files):
+    for f in files:
+        for no, line in enumerate(f.code_lines, 1):
+            if "ACAMAR_ASSERT" in line:
+                yield Finding(f.rel, no, "legacy-assert",
+                              "use ACAMAR_CHECK / ACAMAR_DCHECK from "
+                              "common/check.hh")
+
+
+@rule("narrowing",
+      "in src/fpga and src/metrics, double->integer conversions must "
+      "be explicit (static_cast / llround / ceil / floor)")
+def narrowing(files):
+    decl = re.compile(
+        rf"(?:^|[;{{(]|\bconst\s+)\s*(?:const\s+)?{INT_TYPES}\s+"
+        rf"\w+\s*=\s*(?P<rhs>[^;]*)")
+    for f in files:
+        if not (f.rel.startswith("src/fpga/") or
+                f.rel.startswith("src/metrics/")):
+            continue
+        for no, line in enumerate(f.code_lines, 1):
+            m = decl.search(line)
+            if not m:
+                continue
+            rhs = m.group("rhs")
+            if FLOATISH.search(rhs) and not EXPLICIT_CONV.search(rhs):
+                yield Finding(
+                    f.rel, no, "narrowing",
+                    "integer initialized from a floating expression "
+                    "without an explicit conversion")
+
+
+@rule("c-int-cast",
+      "C-style integer casts hide narrowing in the resource/timing "
+      "models; spell them static_cast")
+def c_int_cast(files):
+    pat = re.compile(
+        rf"\(\s*{INT_TYPES}\s*\)\s*[\w(]")
+    for f in files:
+        if not (f.rel.startswith("src/fpga/") or
+                f.rel.startswith("src/metrics/")):
+            continue
+        for no, line in enumerate(f.code_lines, 1):
+            if pat.search(line):
+                yield Finding(f.rel, no, "c-int-cast",
+                              "use static_cast<> instead of a "
+                              "C-style cast")
+
+
+@rule("solver-convergence",
+      "every solver's solve() must route stopping decisions through "
+      "ConvergenceMonitor (solvers/convergence.hh), not hand-rolled "
+      "tolerance checks")
+def solver_convergence(files):
+    tol = re.compile(r"criteria_?\s*\.\s*tolerance")
+    for f in files:
+        if not f.rel.startswith("src/solvers/"):
+            continue
+        if f.rel.endswith("convergence.cc") or \
+                f.rel.endswith("convergence.hh"):
+            continue
+        text = "\n".join(f.code_lines)
+        defines_solve = re.search(r"::\s*solve\s*\(", text)
+        if f.rel.endswith(".cc") and defines_solve and \
+                "ConvergenceMonitor" not in text:
+            yield Finding(f.rel, 1, "solver-convergence",
+                          "solve() defined without a "
+                          "ConvergenceMonitor")
+        for no, line in enumerate(f.code_lines, 1):
+            if tol.search(line):
+                yield Finding(f.rel, no, "solver-convergence",
+                              "hand-rolled tolerance check: ask "
+                              "ConvergenceMonitor::meetsTolerance()")
+
+
+@rule("header-guard",
+      "every header uses an ACAMAR_-prefixed include guard (the "
+      "codebase does not rely on #pragma once)")
+def header_guard(files):
+    for f in files:
+        if not f.rel.endswith(".hh") or not f.rel.startswith("src/"):
+            continue
+        head = "\n".join(f.raw_lines[:40])
+        if not re.search(r"#ifndef ACAMAR_\w+_HH", head):
+            yield Finding(f.rel, 1, "header-guard",
+                          "missing `#ifndef ACAMAR_..._HH` guard")
+
+
+def collect(root, globs):
+    seen = {}
+    for g in globs:
+        for p in sorted(root.glob(g)):
+            if "build" in p.parts or "CMakeFiles" in p.parts:
+                continue
+            if p.is_file():
+                seen[p] = None
+    return [File(p, root) for p in seen]
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent)
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for name, (_, doc) in sorted(RULES.items()):
+            print(f"{name}: {doc}")
+        return 0
+
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"acamar_lint: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+
+    files = collect(root, ALL_CODE_GLOBS)
+    findings = []
+    for name, (fn, _) in sorted(RULES.items()):
+        for fd in fn(files):
+            src = next(f for f in files if f.rel == fd.rel)
+            if not src.suppressed(fd.lineno, fd.rule):
+                findings.append(fd)
+
+    for fd in sorted(findings, key=lambda f: (f.rel, f.lineno)):
+        print(fd)
+    n_files = len(files)
+    if findings:
+        print(f"acamar_lint: {len(findings)} finding(s) in "
+              f"{n_files} files", file=sys.stderr)
+        return 1
+    print(f"acamar_lint: {n_files} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
