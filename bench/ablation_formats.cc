@@ -22,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
     bench::banner("Ablation — ELL padding vs Eq. 5 underutilization",
                   "extends Figure 2 / Section III-B");

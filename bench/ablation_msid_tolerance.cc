@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
     bench::banner("Ablation — MSID tolerance sweep",
                   "Section V-D 'tolerance' knob");

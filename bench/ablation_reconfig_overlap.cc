@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
     bench::banner("Ablation — DFX overlap: blocking vs "
                   "double-buffered nested regions",

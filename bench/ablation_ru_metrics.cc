@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
     bench::banner("Ablation — Eq. 5 R.U vs occupancy idle fraction",
                   "DESIGN.md 'Eq. 5 fidelity'");

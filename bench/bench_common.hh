@@ -4,7 +4,13 @@
  *
  * Every bench binary accepts --key=value overrides (notably
  * --dim=N, default 4096 = the paper's chunk size) and prints one
- * paper-style table on stdout.
+ * paper-style table on stdout. Observability keys are shared too:
+ * --trace=<path> (JSONL), --chrome-trace=<path> (Perfetto/
+ * chrome://tracing) and --stats=<path> (stats snapshot) — construct
+ * a RunArtifacts right after parseArgs to honor them.
+ *
+ * Diagnostics must go through the Logger (stderr); stdout carries
+ * only the machine-parseable tables.
  */
 
 #ifndef ACAMAR_BENCH_BENCH_COMMON_HH
@@ -16,7 +22,9 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/run_artifacts.hh"
 #include "sparse/catalog.hh"
 
 namespace acamar {
@@ -58,12 +66,15 @@ allWorkloads(int32_t dim)
     return out;
 }
 
-/** Print the standard bench banner. */
+/**
+ * Report the standard bench banner. Goes through the Logger
+ * (stderr) so redirected stdout holds nothing but the table.
+ */
 inline void
 banner(const std::string &what, const std::string &paper_ref)
 {
-    std::cout << "== Acamar reproduction: " << what << " ==\n";
-    std::cout << "   (paper reference: " << paper_ref << ")\n\n";
+    inform("== Acamar reproduction: ", what, " ==");
+    inform("   (paper reference: ", paper_ref, ")");
 }
 
 } // namespace bench

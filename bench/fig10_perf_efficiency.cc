@@ -18,6 +18,7 @@ int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
     const int urb = static_cast<int>(cfg.getInt("urb", 16));
     bench::banner("Figure 10 — performance efficiency (GFLOPS/mm^2)",

@@ -19,6 +19,7 @@ int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
     bench::banner("Figure 11 — RU and SpMV latency vs MSID stages",
                   "Figure 11, Section VII-A");

@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
     const int urb = static_cast<int>(cfg.getInt("urb", 8));
     bench::banner(

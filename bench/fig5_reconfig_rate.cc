@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
     const int rate = static_cast<int>(cfg.getInt("sampling_rate", 32));
     const double tol = cfg.getDouble("tolerance", 0.15);

@@ -17,6 +17,7 @@ int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
     bench::banner("Figure 8 — underutilization: Acamar vs GTX 1650 "
                   "Super (lower is better)",

@@ -38,6 +38,7 @@ int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const int32_t dim = std::min<int32_t>(bench::dimFrom(cfg), 1024);
     bench::banner("Table I — structural requirements for convergence",
                   "Table I, Section III-B");

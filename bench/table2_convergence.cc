@@ -27,6 +27,7 @@ int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
     bench::banner("Table II — solver convergence per dataset",
                   "Table II");

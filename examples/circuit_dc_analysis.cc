@@ -15,6 +15,7 @@
 #include "common/random.hh"
 #include "sparse/coo.hh"
 #include "sparse/spmv.hh"
+#include "obs/run_artifacts.hh"
 
 using namespace acamar;
 
@@ -22,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     const Config cfg = Config::fromArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const auto nodes = static_cast<int32_t>(cfg.getInt("nodes", 4096));
     const auto avg_degree =
         static_cast<int>(cfg.getInt("avg_degree", 6));

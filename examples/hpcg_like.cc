@@ -17,6 +17,7 @@
 #include "common/table.hh"
 #include "gpu/gpu_spmv_model.hh"
 #include "sparse/generators.hh"
+#include "obs/run_artifacts.hh"
 
 using namespace acamar;
 
@@ -24,6 +25,7 @@ int
 main(int argc, char **argv)
 {
     const Config cfg = Config::fromArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const auto edge = static_cast<int32_t>(cfg.getInt("edge", 16));
 
     std::cout << "HPCG-like run: 27-point stencil on a " << edge

@@ -15,6 +15,7 @@
 #include "common/config.hh"
 #include "solvers/cg.hh"
 #include "sparse/generators.hh"
+#include "obs/run_artifacts.hh"
 
 using namespace acamar;
 
@@ -22,6 +23,7 @@ int
 main(int argc, char **argv)
 {
     const Config cfg = Config::fromArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
     const auto nx = static_cast<int32_t>(cfg.getInt("nx", 64));
     const auto ny = static_cast<int32_t>(cfg.getInt("ny", 64));
     const double q = cfg.getDouble("heat_source", 1.0);

@@ -1,40 +1,70 @@
 /**
  * @file
- * Quickstart: build a sparse system, hand it to Acamar, inspect the
- * run report. This is the 60-second tour of the public API.
+ * Quickstart: build sparse systems, hand them to Acamar, inspect the
+ * run reports. This is the 60-second tour of the public API, and of
+ * the observability layer:
+ *
+ *     quickstart --trace=out.jsonl --chrome-trace=out.trace.json \
+ *                --stats=stats.json --report=report.json
+ *
+ * It solves three systems chosen to exercise every interesting path:
+ * a friendly SPD grid (straight convergence), a symmetric indefinite
+ * system (CG fails, the Solver Modifier rescues the run) and a
+ * power-law graph Laplacian (skewed rows: per-set reconfiguration
+ * and MSID smoothing decisions).
  */
 
+#include <cmath>
+#include <fstream>
 #include <iostream>
 
 #include "accel/acamar.hh"
 #include "accel/report.hh"
+#include "common/logging.hh"
+#include "obs/run_artifacts.hh"
+#include "sparse/coo.hh"
 #include "sparse/generators.hh"
 
-int
-main()
+using namespace acamar;
+
+namespace {
+
+// Symmetric indefinite, not strictly dominant: the Matrix Structure
+// unit picks CG (symmetry is all it checks), CG breaks down on the
+// indefinite spectrum, and the Solver Modifier falls back to a
+// configuration that converges.
+CsrMatrix<float>
+indefiniteSystem(int32_t pairs)
 {
-    using namespace acamar;
+    CooMatrix<double> coo(2 * pairs, 2 * pairs);
+    Rng rng(3);
+    for (int32_t i = 0; i < pairs; ++i) {
+        const int32_t a = 2 * i, b = 2 * i + 1;
+        const double d =
+            i < 2 ? 1.0 : std::pow(10.0, rng.uniform(-3.5, 0.0));
+        coo.add(a, a, d);
+        coo.add(b, b, -d);
+        coo.add(a, b, 0.7 * d);
+        coo.add(b, a, 0.7 * d);
+    }
+    // Break strict dominance on rows 0/2 while keeping the Jacobi
+    // iteration matrix inside the unit circle.
+    coo.add(0, 2, 0.31);
+    coo.add(2, 0, 0.31);
+    return coo.toCsr().cast<float>();
+}
 
-    // 1. A coefficient matrix: a shifted 64x64-grid Laplacian
-    //    (strictly diagonally dominant SPD), in fp32 like the
-    //    accelerator computes.
-    const CsrMatrix<float> a = poisson2d(64, 64, 0.5).cast<float>();
-
-    // 2. A right-hand side with a known solution x_true = 1.
+int
+solveOne(Acamar &accelerator, const std::string &label,
+         const CsrMatrix<float> &a, const std::string &report_path)
+{
     const std::vector<float> x_true(
         static_cast<size_t>(a.numRows()), 1.0f);
     const std::vector<float> b = rhsForSolution(a, x_true);
 
-    // 3. The accelerator with the paper's default configuration
-    //    (sampling rate 32, rOpt 8, tolerance 1e-5, Alveo u55c).
-    Acamar accelerator;
-
-    // 4. Run: the Matrix Structure unit picks a solver, the
-    //    Fine-Grained Reconfiguration unit plans per-set unroll
-    //    factors, the Reconfigurable Solver executes.
     const AcamarRunReport report = accelerator.run(a, b);
 
-    // 5. Inspect.
+    std::cout << "--- " << label << " ---\n";
     printRunReport(std::cout, report, accelerator.clockHz());
 
     double max_err = 0.0;
@@ -43,6 +73,55 @@ main()
             max_err, std::abs(static_cast<double>(
                          report.solution()[i] - x_true[i])));
     }
-    std::cout << "max |x - x_true| = " << max_err << "\n";
+    std::cout << "max |x - x_true| = " << max_err << "\n\n";
+
+    if (!report_path.empty()) {
+        std::ofstream out(report_path);
+        if (!out)
+            warn("cannot open report output '", report_path, "'");
+        else
+            printRunReportJson(out, report, accelerator.clockHz());
+    }
     return report.converged ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // 1. Observability flags: --trace=<jsonl>, --chrome-trace=<json>,
+    //    --stats=<json>. Without them this is a plain console demo.
+    const Config cfg = Config::fromArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
+
+    // 2. The accelerator with the paper's default configuration
+    //    (sampling rate 32, rOpt 8, tolerance 1e-5, Alveo u55c).
+    Acamar accelerator;
+
+    // 3. Three systems with known solutions x_true = 1.
+    int failures = 0;
+
+    //    a) A shifted 64x64-grid Laplacian: strictly diagonally
+    //       dominant SPD, converges on the first configuration.
+    failures += solveOne(
+        accelerator, "poisson2d 64x64 (SPD, friendly)",
+        poisson2d(64, 64, 0.5).cast<float>(),
+        cfg.getString("report", ""));
+
+    //    b) Symmetric indefinite: the fallback path in action.
+    failures += solveOne(accelerator,
+                         "symmetric indefinite (CG fails, modifier "
+                         "rescues)",
+                         indefiniteSystem(256), "");
+
+    //    c) Power-law graph Laplacian: skewed NNZ/row drives per-set
+    //       reconfiguration and MSID smoothing.
+    Rng rng(7);
+    failures += solveOne(
+        accelerator, "power-law graph Laplacian (skewed rows)",
+        graphLaplacianPowerLaw(2048, 2.2, 96, 0.5, rng).cast<float>(),
+        "");
+
+    return failures == 0 ? 0 : 1;
 }

@@ -12,8 +12,10 @@
 
 #include "accel/acamar.hh"
 #include "accel/report.hh"
+#include "common/config.hh"
 #include "common/random.hh"
 #include "common/table.hh"
+#include "obs/run_artifacts.hh"
 #include "solvers/solver.hh"
 #include "sparse/catalog.hh"
 #include "sparse/coo.hh"
@@ -50,8 +52,11 @@ trickyMatrix(int32_t n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const Config flags = Config::fromArgs(argc, argv);
+    const RunArtifacts artifacts(flags);
+
     constexpr int32_t kDim = 1024;
     std::cout << "Solver portfolio vs Acamar across structural"
                  " classes\n\n";

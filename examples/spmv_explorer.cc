@@ -14,7 +14,9 @@
 #include "accel/fine_grained_reconfig.hh"
 #include "accel/matrix_structure_unit.hh"
 #include "common/config.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/run_artifacts.hh"
 #include "metrics/underutilization.hh"
 #include "sparse/catalog.hh"
 #include "sparse/ell.hh"
@@ -27,6 +29,7 @@ int
 main(int argc, char **argv)
 {
     const Config cfg = Config::fromArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
 
     CsrMatrix<float> a;
     std::string name;
@@ -37,7 +40,7 @@ main(int argc, char **argv)
         const std::string id = cfg.getString("dataset", "Mo");
         const auto spec = findDataset(id);
         if (!spec) {
-            std::cerr << "unknown dataset '" << id << "'\n";
+            warn("unknown dataset '", id, "'");
             return 1;
         }
         const auto dim =

@@ -5,6 +5,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "metrics/underutilization.hh"
+#include "obs/trace.hh"
 
 namespace acamar {
 
@@ -39,21 +40,32 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
 
     AcamarRunReport rep;
 
+    // Trace events carry kernel-clock cycle positions; tell the
+    // session how to map them onto seconds.
+    if (traceEnabled())
+        TraceSession::instance().setClockHz(device_.kernelClockHz);
+
     // The three statically-programmed front-end units run
     // concurrently (Figure 3); their latency overlaps.
     rep.structure = structUnit_.analyze(a);
     rep.plan = fgrUnit_.plan(a);
     rep.analyzerCycles = std::max(rep.structure.analysisCycles,
                                   fgrUnit_.analysisCycles(a.numRows()));
+    ACAMAR_TRACE(PhaseEvent{"analyze",
+                            rep.structure.report.describe(), 0,
+                            rep.analyzerCycles});
 
     rep.passStats = spmv_.timePlanned(a, rep.plan);
     rep.paperRu = meanUnderutilizationPerSet(a, rep.plan.factors,
                                              rep.plan.setSize);
     rep.occupancyRu = rep.passStats.occupancyUnderutilization();
+    reconfig_.tracePlan(rep.plan, rep.analyzerCycles);
 
-    // Solve loop with Solver Modifier fallback.
+    // Solve loop with Solver Modifier fallback. `cursor` places the
+    // phase spans of successive attempts on one run timeline.
     modifier_.reset();
     SolverKind kind = rep.structure.solver;
+    Cycles cursor = rep.analyzerCycles;
     while (true) {
         const auto solver = makeSolver(kind);
         const Cycles init_cycles = init_.cycles(a, *solver);
@@ -61,22 +73,32 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
             solver_.run(a, b, kind, rep.plan, init_cycles);
         modifier_.markTried(kind);
         rep.totalTiming += attempt.timing;
+        ACAMAR_TRACE(PhaseEvent{
+            "solve:" + to_string(kind),
+            to_string(attempt.result.status) + " in " +
+                std::to_string(attempt.result.iterations) + " it",
+            cursor, attempt.timing.totalCycles(true)});
+        cursor += attempt.timing.totalCycles(true);
         const bool ok = attempt.result.ok();
+        const SolveStatus why = attempt.result.status;
         rep.attempts.push_back(std::move(attempt));
         rep.finalSolver = kind;
         if (ok) {
             rep.converged = true;
             break;
         }
-        const auto next = modifier_.onDivergence();
+        const auto next = modifier_.onDivergence(
+            kind, why, static_cast<int>(rep.attempts.size()));
         if (!next)
             break; // chain exhausted: report the failure honestly
         // The host swaps the solver region; charge it when asked.
         reconfig_.chargeSolverReconfig();
+        reconfig_.traceSolverSwap(cursor);
         if (cfg_.chargeReconfigTime) {
             rep.totalTiming.reconfigCycles +=
                 reconfig_.solverReconfigCycles();
         }
+        cursor += reconfig_.solverReconfigCycles();
         kind = *next;
     }
     return rep;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hh"
+#include "obs/trace.hh"
 #include "sparse/spmv.hh"
 
 namespace acamar {
@@ -32,6 +33,10 @@ DynamicSpmvKernel::DynamicSpmvKernel(EventQueue *eq,
                       "MAC slots doing real work");
     stats().addScalar("offered_macs", &totalOffered_,
                       "MAC slots offered by the datapath");
+    stats().addAverage("underutilization", &underutil_,
+                       "idle MAC-slot fraction per pass");
+    stats().addDist("underutilization_dist", &underutilDist_,
+                    "histogram of per-pass idle fraction");
 }
 
 template <typename T>
@@ -92,17 +97,31 @@ DynamicSpmvKernel::timePlanned(const CsrMatrix<T> &a,
         const int unroll = plan.factors[s];
 
         int64_t seg_beats = 0;
+        int64_t seg_nnz = 0;
         for (int64_t r = begin; r < end; ++r) {
             const int64_t n = a.rowNnz(static_cast<int32_t>(r));
-            total.usefulMacs += n;
+            seg_nnz += n;
             seg_beats +=
                 std::max<int64_t>(1, (n + unroll - 1) / unroll);
         }
+        total.usefulMacs += seg_nnz;
         total.beats += seg_beats;
         total.offeredMacs += seg_beats * unroll;
         total.rows += end - begin;
-        beat_time += hls_defaults::clockPenalty(unroll) *
-                     static_cast<double>(seg_beats);
+        const double seg_time = hls_defaults::clockPenalty(unroll) *
+                                static_cast<double>(seg_beats);
+        if (traceEnabled()) {
+            const int64_t offered = seg_beats * unroll;
+            ACAMAR_TRACE(SpmvSetEvent{
+                static_cast<int64_t>(s), end - begin, seg_nnz,
+                unroll,
+                offered == 0 ? 0.0
+                             : static_cast<double>(seg_nnz) /
+                                   static_cast<double>(offered),
+                static_cast<Cycles>(std::llround(beat_time)),
+                static_cast<Cycles>(std::llround(seg_time))});
+        }
+        beat_time += seg_time;
         max_depth = std::max<Cycles>(
             max_depth,
             static_cast<Cycles>(pipe_.depth +
@@ -135,6 +154,8 @@ DynamicSpmvKernel::run(const CsrMatrix<float> &a,
     totalCycles_.add(static_cast<double>(st.cycles));
     totalUseful_.add(static_cast<double>(st.usefulMacs));
     totalOffered_.add(static_cast<double>(st.offeredMacs));
+    underutil_.sample(st.occupancyUnderutilization());
+    underutilDist_.sample(st.occupancyUnderutilization());
     return st;
 }
 

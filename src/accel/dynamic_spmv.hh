@@ -95,6 +95,8 @@ class DynamicSpmvKernel : public SimObject
     ScalarStat totalCycles_;
     ScalarStat totalUseful_;
     ScalarStat totalOffered_;
+    AverageStat underutil_;
+    DistStat underutilDist_{0.0, 1.0, 10};
 };
 
 extern template SpmvRunStats

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "fpga/hls_kernel.hh"
+#include "obs/trace.hh"
 
 namespace acamar {
 
@@ -29,7 +30,27 @@ FineGrainedReconfigUnit::plan(const CsrMatrix<T> &a)
     p.setSize = tr.setSize;
     p.avgNnz = tr.avgNnz;
     p.rawFactors = tr.unrollFactors;
-    p.factors = chain_.apply(tr.unrollFactors);
+    if (traceEnabled()) {
+        // Replay the chain stage by stage so every smoothing
+        // decision lands in the trace; the final stage is identical
+        // to apply() (oneStage is a no-op past the fixed point).
+        const auto stages = chain_.applyTraced(tr.unrollFactors);
+        for (size_t t = 1; t < stages.size(); ++t) {
+            const auto &prev = stages[t - 1];
+            const auto &next = stages[t];
+            for (size_t k = 1; k < next.size(); ++k) {
+                if (next[k] != prev[k]) {
+                    ACAMAR_TRACE(MsidDecisionEvent{
+                        static_cast<int>(t),
+                        static_cast<int64_t>(k), prev[k], next[k],
+                        "adopted_within_tolerance"});
+                }
+            }
+        }
+        p.factors = stages.back();
+    } else {
+        p.factors = chain_.apply(tr.unrollFactors);
+    }
     p.reconfigEventsRaw = MsidChain::reconfigEvents(p.rawFactors);
     p.reconfigEvents = MsidChain::reconfigEvents(p.factors);
     p.maxFactor = p.factors.empty()

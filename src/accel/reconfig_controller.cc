@@ -1,31 +1,30 @@
 #include "accel/reconfig_controller.hh"
 
 #include "common/check.hh"
+#include "obs/trace.hh"
 
 namespace acamar {
 
 ReconfigController::ReconfigController(EventQueue *eq,
                                        const ResourceModel &res,
                                        int max_unroll)
-    : SimObject("acamar.reconfig_controller", eq)
+    : SimObject("acamar.reconfig_controller", eq), icap_(res.device())
 {
     ACAMAR_CHECK(max_unroll >= 1) << "bad max unroll";
-    const IcapModel icap(res.device());
 
     // Inner (Nested DFX) region: sized for the largest SpMV unit.
     const KernelResources spmv_region =
         BitstreamModel::regionFor(res.spmvUnit(max_unroll));
     spmvBits_ = BitstreamModel::partialBitstreamBits(spmv_region);
-    spmvSeconds_ = icap.reconfigSeconds(spmvBits_);
-    spmvCycles_ = icap.reconfigKernelCycles(spmvBits_);
+    spmvSeconds_ = icap_.reconfigSeconds(spmvBits_);
+    spmvCycles_ = icap_.reconfigKernelCycles(spmvBits_);
 
     // Outer region: solver datapath = dense units + SpMV region.
     const KernelResources solver_region = BitstreamModel::regionFor(
         res.denseUnits() + res.spmvUnit(max_unroll));
-    const int64_t solver_bits =
-        BitstreamModel::partialBitstreamBits(solver_region);
-    solverSeconds_ = icap.reconfigSeconds(solver_bits);
-    solverCycles_ = icap.reconfigKernelCycles(solver_bits);
+    solverBits_ = BitstreamModel::partialBitstreamBits(solver_region);
+    solverSeconds_ = icap_.reconfigSeconds(solverBits_);
+    solverCycles_ = icap_.reconfigKernelCycles(solverBits_);
 
     // Over-committed regions would make every DFX latency and RU
     // figure derived from them meaningless.
@@ -33,9 +32,9 @@ ReconfigController::ReconfigController(EventQueue *eq,
         << "solver DFX region (incl. placement margin) exceeds "
         << res.device().name << " capacity at max unroll "
         << max_unroll;
-    ACAMAR_CHECK(spmvBits_ > 0 && solver_bits >= spmvBits_)
+    ACAMAR_CHECK(spmvBits_ > 0 && solverBits_ >= spmvBits_)
         << "partial bitstreams must be non-empty and nested "
-        << "(spmv " << spmvBits_ << " b, solver " << solver_bits
+        << "(spmv " << spmvBits_ << " b, solver " << solverBits_
         << " b)";
     ACAMAR_CHECK_FINITE(spmvSeconds_) << "SpMV DFX latency";
     ACAMAR_CHECK_FINITE(solverSeconds_) << "solver DFX latency";
@@ -44,6 +43,8 @@ ReconfigController::ReconfigController(EventQueue *eq,
                       "SpMV-region DFX events");
     stats().addScalar("solver_reconfigs", &solverEvents_,
                       "solver-region DFX events");
+    stats().addScalar("icap_busy_cycles", &icapBusyCycles_,
+                      "kernel-clock cycles the ICAP port is busy");
 }
 
 void
@@ -51,12 +52,44 @@ ReconfigController::chargeSpmvReconfigs(int64_t n)
 {
     ACAMAR_CHECK(n >= 0) << "negative event count";
     spmvEvents_.add(static_cast<double>(n));
+    icapBusyCycles_.add(static_cast<double>(n) *
+                        static_cast<double>(spmvCycles_));
 }
 
 void
 ReconfigController::chargeSolverReconfig()
 {
     solverEvents_.inc();
+    icapBusyCycles_.add(static_cast<double>(solverCycles_));
+}
+
+void
+ReconfigController::tracePlan(const ReconfigPlan &plan,
+                              Cycles start_cycles) const
+{
+    if (!traceEnabled())
+        return;
+    Cycles at = start_cycles;
+    for (size_t k = 1; k < plan.factors.size(); ++k) {
+        if (plan.factors[k] == plan.factors[k - 1])
+            continue;
+        ACAMAR_TRACE(ReconfigTraceEvent{
+            "spmv", static_cast<int64_t>(k), plan.factors[k - 1],
+            plan.factors[k], spmvBits_ / 8, spmvCycles_, at});
+        icap_.traceTransfer("spmv", spmvBits_, at);
+        at += spmvCycles_;
+    }
+}
+
+void
+ReconfigController::traceSolverSwap(Cycles start_cycles) const
+{
+    if (!traceEnabled())
+        return;
+    ACAMAR_TRACE(ReconfigTraceEvent{"solver", -1, 0, 0,
+                                    solverBits_ / 8, solverCycles_,
+                                    start_cycles});
+    icap_.traceTransfer("solver", solverBits_, start_cycles);
 }
 
 } // namespace acamar

@@ -8,6 +8,7 @@
 #ifndef ACAMAR_ACCEL_RECONFIG_CONTROLLER_HH
 #define ACAMAR_ACCEL_RECONFIG_CONTROLLER_HH
 
+#include "accel/fine_grained_reconfig.hh"
 #include "fpga/bitstream.hh"
 #include "fpga/icap.hh"
 #include "fpga/resource_model.hh"
@@ -47,6 +48,17 @@ class ReconfigController : public SimObject
     /** Record one solver-region swap. */
     void chargeSolverReconfig();
 
+    /**
+     * Emit one reconfig + icap_transfer trace event per factor
+     * change in the plan (no-op with tracing off). `start_cycles`
+     * anchors the events on the run timeline; DFX events within the
+     * pass are laid out back to back from there.
+     */
+    void tracePlan(const ReconfigPlan &plan, Cycles start_cycles) const;
+
+    /** Emit the trace events for one solver-region swap. */
+    void traceSolverSwap(Cycles start_cycles) const;
+
     /** Total events charged so far. */
     int64_t spmvReconfigs() const
     {
@@ -63,14 +75,17 @@ class ReconfigController : public SimObject
     int64_t spmvBitstreamBits() const { return spmvBits_; }
 
   private:
+    IcapModel icap_;
     Cycles spmvCycles_;
     double spmvSeconds_;
     Cycles solverCycles_;
     double solverSeconds_;
     int64_t spmvBits_;
+    int64_t solverBits_;
 
     ScalarStat spmvEvents_;
     ScalarStat solverEvents_;
+    ScalarStat icapBusyCycles_;
 };
 
 } // namespace acamar

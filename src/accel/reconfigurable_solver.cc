@@ -32,6 +32,8 @@ ReconfigurableSolver::ReconfigurableSolver(EventQueue *eq,
     stats().addScalar("converged", &converged_, "runs that converged");
     stats().addScalar("diverged", &diverged_,
                       "runs that diverged / broke down / stalled");
+    stats().addScalar("iterations", &iterations_,
+                      "solver loop trips across all runs");
 }
 
 TimedSolve
@@ -66,6 +68,7 @@ ReconfigurableSolver::run(const CsrMatrix<float> &a,
 
     ts.timing.initCycles = init_cycles;
     ts.timing.iterations = ts.result.iterations;
+    iterations_.add(static_cast<double>(ts.result.iterations));
 
     // Each planned pass replays the plan's DFX events.
     ts.timing.reconfigEvents =

@@ -86,6 +86,7 @@ class ReconfigurableSolver : public SimObject
     ScalarStat runs_;
     ScalarStat converged_;
     ScalarStat diverged_;
+    ScalarStat iterations_;
 };
 
 } // namespace acamar

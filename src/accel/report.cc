@@ -42,10 +42,118 @@ printRunReport(std::ostream &os, const AcamarRunReport &rep,
        << "%  occupancy-idle: " << 100.0 * rep.occupancyRu << "%\n";
 }
 
-double
-cyclesToSeconds(Cycles c, double clock_hz)
+namespace {
+
+JsonValue
+timingJson(const TimingBreakdown &t)
 {
-    return static_cast<double>(c) / clock_hz;
+    JsonValue v = JsonValue::object();
+    v.set("init_cycles", JsonValue(t.initCycles));
+    v.set("spmv_cycles", JsonValue(t.spmvCycles));
+    v.set("dense_cycles", JsonValue(t.denseCycles));
+    v.set("reconfig_cycles", JsonValue(t.reconfigCycles));
+    v.set("iterations", JsonValue(t.iterations));
+    v.set("spmv_useful_macs", JsonValue(t.spmvUsefulMacs));
+    v.set("spmv_offered_macs", JsonValue(t.spmvOfferedMacs));
+    v.set("reconfig_events", JsonValue(t.reconfigEvents));
+    return v;
+}
+
+JsonValue
+attemptJson(const TimedSolve &a)
+{
+    JsonValue v = JsonValue::object();
+    v.set("solver", JsonValue(to_string(a.kind)));
+    v.set("status", JsonValue(to_string(a.result.status)));
+    v.set("iterations", JsonValue(a.result.iterations));
+    v.set("initial_residual", JsonValue(a.result.initialResidual));
+    v.set("final_residual", JsonValue(a.result.finalResidual));
+    v.set("relative_residual",
+          JsonValue(a.result.relativeResidual));
+    v.set("timing", timingJson(a.timing));
+    return v;
+}
+
+JsonValue
+structureJson(const StructureDecision &s)
+{
+    JsonValue v = JsonValue::object();
+    v.set("description", JsonValue(s.report.describe()));
+    v.set("symmetric", JsonValue(s.report.symmetric));
+    v.set("strictly_diag_dominant",
+          JsonValue(s.report.strictlyDiagDominant));
+    v.set("gershgorin_positive",
+          JsonValue(s.report.gershgorinPositive));
+    v.set("sparsity", JsonValue(s.report.sparsity));
+    v.set("bandwidth", JsonValue(s.report.bandwidth));
+    v.set("row_nnz_mean", JsonValue(s.report.rowStats.mean));
+    v.set("row_nnz_stddev", JsonValue(s.report.rowStats.stddev));
+    v.set("row_nnz_max", JsonValue(s.report.rowStats.maxNnz));
+    v.set("initial_solver", JsonValue(to_string(s.solver)));
+    v.set("analysis_cycles", JsonValue(s.analysisCycles));
+    return v;
+}
+
+JsonValue
+planJson(const ReconfigPlan &p)
+{
+    JsonValue v = JsonValue::object();
+    v.set("set_size", JsonValue(p.setSize));
+    v.set("sets", JsonValue(static_cast<int64_t>(p.factors.size())));
+    v.set("reconfig_events", JsonValue(p.reconfigEvents));
+    v.set("reconfig_events_raw", JsonValue(p.reconfigEventsRaw));
+    v.set("max_factor", JsonValue(p.maxFactor));
+    JsonValue factors = JsonValue::array();
+    for (int f : p.factors)
+        factors.push(JsonValue(f));
+    v.set("factors", std::move(factors));
+    return v;
+}
+
+} // namespace
+
+JsonValue
+runReportJson(const AcamarRunReport &rep, double clock_hz)
+{
+    JsonValue v = JsonValue::object();
+    v.set("structure", structureJson(rep.structure));
+    v.set("plan", planJson(rep.plan));
+
+    JsonValue attempts = JsonValue::array();
+    for (const auto &a : rep.attempts)
+        attempts.push(attemptJson(a));
+    v.set("attempts", std::move(attempts));
+
+    v.set("converged", JsonValue(rep.converged));
+    v.set("final_solver", JsonValue(to_string(rep.finalSolver)));
+    v.set("analyzer_cycles", JsonValue(rep.analyzerCycles));
+    v.set("total_timing", timingJson(rep.totalTiming));
+
+    const Cycles compute = rep.latencyCycles(false);
+    const Cycles total = rep.latencyCycles(true);
+    JsonValue lat = JsonValue::object();
+    lat.set("compute_cycles", JsonValue(compute));
+    lat.set("with_reconfig_cycles", JsonValue(total));
+    lat.set("clock_hz", JsonValue(clock_hz));
+    lat.set("compute_seconds",
+            JsonValue(cyclesToSeconds(compute, clock_hz)));
+    lat.set("with_reconfig_seconds",
+            JsonValue(cyclesToSeconds(total, clock_hz)));
+    v.set("latency", std::move(lat));
+
+    JsonValue ru = JsonValue::object();
+    ru.set("paper_eq5", JsonValue(rep.paperRu));
+    ru.set("occupancy_idle", JsonValue(rep.occupancyRu));
+    v.set("underutilization", std::move(ru));
+    return v;
+}
+
+void
+printRunReportJson(std::ostream &os, const AcamarRunReport &rep,
+                   double clock_hz)
+{
+    runReportJson(rep, clock_hz).writePretty(os);
+    os << '\n';
 }
 
 } // namespace acamar

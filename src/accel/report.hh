@@ -1,6 +1,6 @@
 /**
  * @file
- * Human-readable rendering of Acamar run reports.
+ * Human- and machine-readable rendering of Acamar run reports.
  */
 
 #ifndef ACAMAR_ACCEL_REPORT_HH
@@ -10,6 +10,8 @@
 #include <string>
 
 #include "accel/acamar.hh"
+#include "obs/json.hh"
+#include "sim/clock_domain.hh"
 
 namespace acamar {
 
@@ -20,8 +22,17 @@ std::string attemptSummary(const TimedSolve &attempt);
 void printRunReport(std::ostream &os, const AcamarRunReport &rep,
                     double clock_hz);
 
-/** Latency in seconds for a cycle count at a clock. */
-double cyclesToSeconds(Cycles c, double clock_hz);
+/**
+ * JSON form of a run report: structure analysis, reconfiguration
+ * plan summary, per-attempt outcomes and timing, and the
+ * underutilization metrics. Residual histories and solutions are
+ * omitted — they belong in the trace, not the report.
+ */
+JsonValue runReportJson(const AcamarRunReport &rep, double clock_hz);
+
+/** Write runReportJson pretty-printed with a trailing newline. */
+void printRunReportJson(std::ostream &os, const AcamarRunReport &rep,
+                        double clock_hz);
 
 } // namespace acamar
 

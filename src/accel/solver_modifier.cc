@@ -1,5 +1,8 @@
 #include "accel/solver_modifier.hh"
 
+#include "obs/trace.hh"
+#include "solvers/solver.hh"
+
 namespace acamar {
 
 SolverModifier::SolverModifier(EventQueue *eq, bool extended)
@@ -27,6 +30,17 @@ SolverModifier::onDivergence()
     } else {
         exhausted_.inc();
     }
+    return next;
+}
+
+std::optional<SolverKind>
+SolverModifier::onDivergence(SolverKind from, SolveStatus why,
+                             int attempt)
+{
+    const auto next = onDivergence();
+    ACAMAR_TRACE(SolverSwitchEvent{
+        to_string(from), next ? to_string(*next) : "exhausted",
+        to_string(why), attempt});
     return next;
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "sim/sim_object.hh"
+#include "solvers/convergence.hh"
 #include "solvers/solver_select.hh"
 
 namespace acamar {
@@ -33,6 +34,15 @@ class SolverModifier : public SimObject
 
     /** Next configuration after a divergence; nullopt = exhausted. */
     std::optional<SolverKind> onDivergence();
+
+    /**
+     * Traced variant: same decision, plus a solver_switch trace
+     * event recording what failed (`from`, `why`) and what runs
+     * next. `attempt` is 1-based over the run's configurations.
+     */
+    std::optional<SolverKind> onDivergence(SolverKind from,
+                                           SolveStatus why,
+                                           int attempt);
 
     /** Solver switches performed so far. */
     int64_t switches() const

@@ -1,7 +1,8 @@
 #include "common/check.hh"
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "common/logging.hh"
 
 namespace acamar {
 namespace check_detail {
@@ -38,8 +39,9 @@ Failer::~Failer() noexcept(false)
     const std::string msg = os_.str();
     if (failMode() == CheckFailMode::Throw)
         throw CheckError(msg, file_, line_);
-    std::fprintf(stderr, "%s (%s:%d)\n", msg.c_str(), file_, line_);
-    std::fflush(stderr);
+    Logger::instance().log(LogLevel::Error,
+                           detail::concat(msg, " (", file_, ":",
+                                          line_, ")"));
     std::abort();
 }
 

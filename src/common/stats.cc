@@ -1,7 +1,8 @@
 #include "common/stats.hh"
 
 #include <algorithm>
-#include <iomanip>
+#include <cmath>
+#include <cstdio>
 
 #include "common/check.hh"
 
@@ -76,6 +77,17 @@ StatGroup::addAverage(const std::string &name, AverageStat *s,
     entries_[name] = e;
 }
 
+void
+StatGroup::addDist(const std::string &name, DistStat *s,
+                   const std::string &desc)
+{
+    ACAMAR_CHECK(s) << "null dist stat";
+    Entry e;
+    e.desc = desc;
+    e.dist = s;
+    entries_[name] = e;
+}
+
 const ScalarStat *
 StatGroup::scalar(const std::string &name) const
 {
@@ -90,17 +102,74 @@ StatGroup::average(const std::string &name) const
     return it == entries_.end() ? nullptr : it->second.average;
 }
 
+const DistStat *
+StatGroup::dist(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.dist;
+}
+
+std::vector<StatGroup::StatView>
+StatGroup::view() const
+{
+    // std::map iteration is already name-sorted.
+    std::vector<StatView> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, e] : entries_) {
+        StatView v;
+        v.name = name;
+        v.desc = e.desc;
+        v.scalar = e.scalar;
+        v.average = e.average;
+        v.dist = e.dist;
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+std::string
+formatStatValue(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v > 0 ? "inf" : "-inf";
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    for (const int prec : {15, 16, 17}) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v)
+            break;
+    }
+    return buf;
+}
+
 void
 StatGroup::dump(std::ostream &os) const
 {
     for (const auto &[name, e] : entries_) {
         os << name_ << '.' << name << ' ';
         if (e.scalar) {
-            os << e.scalar->value();
+            os << formatStatValue(e.scalar->value());
         } else if (e.average) {
-            os << e.average->mean() << " (n=" << e.average->count()
-               << " min=" << e.average->min()
-               << " max=" << e.average->max() << ')';
+            os << formatStatValue(e.average->mean())
+               << " (n=" << e.average->count()
+               << " min=" << formatStatValue(e.average->min())
+               << " max=" << formatStatValue(e.average->max()) << ')';
+        } else if (e.dist) {
+            os << "dist (n=" << e.dist->count()
+               << " under=" << e.dist->underflows()
+               << " over=" << e.dist->overflows() << " buckets=[";
+            for (int i = 0; i < e.dist->numBuckets(); ++i)
+                os << (i ? " " : "") << e.dist->bucket(i);
+            os << "])";
         }
         if (!e.desc.empty())
             os << " # " << e.desc;
@@ -116,6 +185,8 @@ StatGroup::resetAll()
             e.scalar->reset();
         if (e.average)
             e.average->reset();
+        if (e.dist)
+            e.dist->reset();
     }
 }
 

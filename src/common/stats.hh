@@ -131,13 +131,36 @@ class StatGroup
     void addAverage(const std::string &name, AverageStat *s,
                     const std::string &desc = "");
 
+    /** Register a distribution under this group. */
+    void addDist(const std::string &name, DistStat *s,
+                 const std::string &desc = "");
+
     /** Look up a registered scalar, nullptr when absent. */
     const ScalarStat *scalar(const std::string &name) const;
 
     /** Look up a registered average, nullptr when absent. */
     const AverageStat *average(const std::string &name) const;
 
-    /** Render "group.stat value # desc" lines. */
+    /** Look up a registered distribution, nullptr when absent. */
+    const DistStat *dist(const std::string &name) const;
+
+    /** One registered stat, for snapshot consumers (obs/). */
+    struct StatView {
+        std::string name;           //!< stat name within the group
+        std::string desc;           //!< registration description
+        const ScalarStat *scalar = nullptr;
+        const AverageStat *average = nullptr;
+        const DistStat *dist = nullptr;
+    };
+
+    /** Every registered stat, sorted by name (deterministic). */
+    std::vector<StatView> view() const;
+
+    /**
+     * Render "group.stat value # desc" lines. Ordering is the sorted
+     * stat name and floats use a fixed shortest-round-trip format,
+     * so two runs with equal stats dump byte-identical text.
+     */
     void dump(std::ostream &os) const;
 
     /** Reset every registered stat. */
@@ -151,11 +174,19 @@ class StatGroup
         std::string desc;
         ScalarStat *scalar = nullptr;
         AverageStat *average = nullptr;
+        DistStat *dist = nullptr;
     };
 
     std::string name_;
     std::map<std::string, Entry> entries_;
 };
+
+/**
+ * Deterministic stat-value formatting shared by the text dump and
+ * the JSON snapshot: integral values have no fraction, others print
+ * in shortest round-trippable form, non-finite values as "nan"/"inf".
+ */
+std::string formatStatValue(double v);
 
 } // namespace acamar
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hh"
+#include "obs/trace.hh"
 #include "sim/clock_domain.hh"
 
 namespace acamar {
@@ -33,6 +34,15 @@ IcapModel::reconfigKernelCycles(int64_t bits) const
 {
     return static_cast<Cycles>(
         std::ceil(reconfigSeconds(bits) * kernelClockHz_));
+}
+
+void
+IcapModel::traceTransfer(const std::string &region, int64_t bits,
+                         Cycles start_cycles) const
+{
+    ACAMAR_TRACE(IcapTransferEvent{region, bits,
+                                   reconfigKernelCycles(bits),
+                                   start_cycles});
 }
 
 } // namespace acamar

@@ -11,6 +11,7 @@
 #define ACAMAR_FPGA_ICAP_HH
 
 #include <cstdint>
+#include <string>
 
 #include "fpga/device.hh"
 #include "sim/event_queue.hh"
@@ -31,6 +32,17 @@ class IcapModel
 
     /** Same, in kernel-clock cycles of the device. */
     Cycles reconfigKernelCycles(int64_t bits) const;
+
+    /**
+     * Emit an icap_transfer trace event for one partial bitstream
+     * moving through the port (no-op with tracing off).
+     *
+     * @param region DFX region name ("spmv", "solver").
+     * @param bits partial bitstream size.
+     * @param start_cycles kernel-clock position on the run timeline.
+     */
+    void traceTransfer(const std::string &region, int64_t bits,
+                       Cycles start_cycles) const;
 
   private:
     double bitsPerSecond_;

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Chrome trace_event sink (chrome://tracing / Perfetto).
+ *
+ * Renders a solve as a flame-style timeline: timed spans (phases,
+ * SpMV sets, ICAP transfers) map kernel-clock cycles onto the trace
+ * timebase in microseconds via the session clock (the ClockDomain
+ * cycles->seconds convention); untimed events (solver iterations,
+ * MSID decisions, switches) appear as instants on a separate track
+ * ordered by emission sequence.
+ */
+
+#ifndef ACAMAR_OBS_CHROME_TRACE_SINK_HH
+#define ACAMAR_OBS_CHROME_TRACE_SINK_HH
+
+#include <fstream>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace acamar {
+
+/** Streams the Chrome JSON-array trace format. */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    /** Open `path` for writing; fatal when the file cannot open. */
+    explicit ChromeTraceSink(const std::string &path);
+
+    void write(const TraceRecord &rec) override;
+
+    void finish() override;
+
+  private:
+    void writeEvent(const JsonValue &ev);
+
+    std::ofstream out_;
+    std::string path_;
+    bool first_ = true;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_CHROME_TRACE_SINK_HH

@@ -1,0 +1,458 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hh"
+
+namespace acamar {
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    ACAMAR_CHECK(kind_ == Kind::Object)
+        << "set() on a non-object JsonValue";
+    for (auto &[k, existing] : members_) {
+        if (k == key) {
+            existing = std::move(v);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(v));
+    return *this;
+}
+
+JsonValue &
+JsonValue::push(JsonValue v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    ACAMAR_CHECK(kind_ == Kind::Array)
+        << "push() on a non-array JsonValue";
+    elements_.push_back(std::move(v));
+    return *this;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+size_t
+JsonValue::size() const
+{
+    if (kind_ == Kind::Array)
+        return elements_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    return 0;
+}
+
+const JsonValue &
+JsonValue::at(size_t i) const
+{
+    ACAMAR_CHECK(kind_ == Kind::Array && i < elements_.size())
+        << "at(" << i << ") on array of " << elements_.size();
+    return elements_[i];
+}
+
+void
+JsonValue::writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+std::string
+JsonValue::formatNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Integral doubles inside the exactly-representable range print
+    // as integers so counters never grow a ".0" or an exponent.
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    // %.17g round-trips; prefer the shortest form that still does.
+    char buf[40];
+    for (const int prec : {15, 16, 17}) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(buf, "%lf", &back);
+        if (back == v)
+            break;
+    }
+    return buf;
+}
+
+void
+JsonValue::write(std::ostream &os) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::Number:
+        os << formatNumber(num_);
+        break;
+      case Kind::String:
+        writeEscaped(os, str_);
+        break;
+      case Kind::Array: {
+        os << '[';
+        bool first = true;
+        for (const auto &e : elements_) {
+            if (!first)
+                os << ',';
+            first = false;
+            e.write(os);
+        }
+        os << ']';
+        break;
+      }
+      case Kind::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &[k, v] : members_) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeEscaped(os, k);
+            os << ':';
+            v.write(os);
+        }
+        os << '}';
+        break;
+      }
+    }
+}
+
+void
+JsonValue::writePretty(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    const std::string pad2(static_cast<size_t>(indent + 1) * 2, ' ');
+    if (kind_ == Kind::Array && !elements_.empty()) {
+        os << "[\n";
+        for (size_t i = 0; i < elements_.size(); ++i) {
+            os << pad2;
+            elements_[i].writePretty(os, indent + 1);
+            os << (i + 1 < elements_.size() ? ",\n" : "\n");
+        }
+        os << pad << ']';
+        return;
+    }
+    if (kind_ == Kind::Object && !members_.empty()) {
+        os << "{\n";
+        for (size_t i = 0; i < members_.size(); ++i) {
+            os << pad2;
+            writeEscaped(os, members_[i].first);
+            os << ": ";
+            members_[i].second.writePretty(os, indent + 1);
+            os << (i + 1 < members_.size() ? ",\n" : "\n");
+        }
+        os << pad << '}';
+        return;
+    }
+    write(os);
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::ostringstream os;
+    write(os);
+    return os.str();
+}
+
+namespace {
+
+/** Recursive-descent parser over a string, tracking its offset. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    const std::string &text_;
+    size_t pos_ = 0;
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        std::ostringstream os;
+        os << "JSON parse error at offset " << pos_ << ": " << why;
+        throw std::runtime_error(os.str());
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        const size_t len = std::string(lit).size();
+        if (text_.compare(pos_, len, lit) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return JsonValue(parseString());
+        if (consumeLiteral("true"))
+            return JsonValue(true);
+        if (consumeLiteral("false"))
+            return JsonValue(false);
+        if (consumeLiteral("null"))
+            return JsonValue();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber();
+        fail("unexpected character");
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue obj = JsonValue::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj.set(key, parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue arr = JsonValue::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are passed through as two 3-byte sequences, which
+                // is enough for trace payloads).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        const std::string tok = text_.substr(start, pos_ - start);
+        try {
+            size_t used = 0;
+            const double v = std::stod(tok, &used);
+            if (used != tok.size())
+                fail("malformed number '" + tok + "'");
+            return JsonValue(v);
+        } catch (const std::invalid_argument &) {
+            fail("malformed number '" + tok + "'");
+        } catch (const std::out_of_range &) {
+            fail("number out of range '" + tok + "'");
+        }
+    }
+};
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+} // namespace acamar

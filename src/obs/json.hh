@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Minimal JSON document model for the observability layer.
+ *
+ * The trace sinks, the stats snapshot and the run-report export all
+ * need to *write* JSON deterministically, and the tests need to
+ * *read* it back to assert schemas. This is a deliberately small DOM
+ * (no SAX, no allocator tricks): objects keep insertion order so the
+ * emitted bytes are stable across runs and platforms, which makes
+ * trace files diffable artifacts.
+ */
+
+#ifndef ACAMAR_OBS_JSON_HH
+#define ACAMAR_OBS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace acamar {
+
+/** One JSON value (null / bool / number / string / array / object). */
+class JsonValue
+{
+  public:
+    /** The JSON type tags. */
+    enum class Kind {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() : kind_(Kind::Null) {}
+    JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    JsonValue(double v) : kind_(Kind::Number), num_(v) {}
+    JsonValue(int v) : kind_(Kind::Number), num_(v) {}
+    JsonValue(int64_t v)
+        : kind_(Kind::Number), num_(static_cast<double>(v))
+    {}
+    JsonValue(uint64_t v)
+        : kind_(Kind::Number), num_(static_cast<double>(v))
+    {}
+    JsonValue(const char *s) : kind_(Kind::String), str_(s) {}
+    JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+    /** An empty array value. */
+    static JsonValue array();
+
+    /** An empty object value. */
+    static JsonValue object();
+
+    /** Type tag of this value. */
+    Kind kind() const { return kind_; }
+
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Numeric payload (0 when not a number). */
+    double asDouble() const { return isNumber() ? num_ : 0.0; }
+
+    /** Numeric payload truncated to int64 (0 when not a number). */
+    int64_t asInt() const { return static_cast<int64_t>(asDouble()); }
+
+    /** String payload (empty when not a string). */
+    const std::string &str() const { return str_; }
+
+    /** Bool payload (false when not a bool). */
+    bool asBool() const { return kind_ == Kind::Bool && bool_; }
+
+    /** Set a key on an object (this becomes an object if null). */
+    JsonValue &set(const std::string &key, JsonValue v);
+
+    /** Append to an array (this becomes an array if null). */
+    JsonValue &push(JsonValue v);
+
+    /** Object lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** True when this is an object with the key present. */
+    bool has(const std::string &key) const { return find(key); }
+
+    /** Element count of an array/object; 0 otherwise. */
+    size_t size() const;
+
+    /** Array element access (valid index required). */
+    const JsonValue &at(size_t i) const;
+
+    /** Object entries in insertion order. */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** Serialize compactly (no whitespace). Deterministic. */
+    void write(std::ostream &os) const;
+
+    /** Serialize with 2-space indentation. Deterministic. */
+    void writePretty(std::ostream &os, int indent = 0) const;
+
+    /** write() into a string. */
+    std::string dump() const;
+
+    /**
+     * Parse one JSON document. Throws std::runtime_error (with an
+     * offset-bearing message) on malformed input or trailing junk.
+     */
+    static JsonValue parse(const std::string &text);
+
+    /** Write a JSON-escaped string literal (with quotes). */
+    static void writeEscaped(std::ostream &os, const std::string &s);
+
+    /**
+     * Deterministic number formatting: integral values print without
+     * a fraction, everything else as shortest round-trippable form;
+     * non-finite values become null (JSON has no NaN/inf).
+     */
+    static std::string formatNumber(double v);
+
+  private:
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> elements_;                      // Array
+    std::vector<std::pair<std::string, JsonValue>> members_; // Object
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_JSON_HH

@@ -1,0 +1,41 @@
+#include "obs/jsonl_sink.hh"
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+JsonlTraceSink::JsonlTraceSink(const std::string &path)
+    : out_(path), path_(path)
+{
+    if (!out_)
+        ACAMAR_FATAL("cannot open trace output '", path, "'");
+}
+
+void
+JsonlTraceSink::write(const TraceRecord &rec)
+{
+    JsonValue line = JsonValue::object();
+    line.set("type", rec.type).set("seq", rec.seq);
+    if (rec.timed) {
+        const double us = static_cast<double>(rec.startCycles) /
+                          TraceSession::instance().clockHz() * 1e6;
+        line.set("start_cycles", rec.startCycles)
+            .set("duration_cycles", rec.durationCycles)
+            .set("t_us", us);
+    }
+    for (const auto &[k, v] : rec.args.members())
+        line.set(k, v);
+    line.write(out_);
+    out_ << '\n';
+}
+
+void
+JsonlTraceSink::finish()
+{
+    out_.flush();
+    if (!out_)
+        warn("short write on trace output '", path_, "'");
+    out_.close();
+}
+
+} // namespace acamar

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * JSON Lines trace sink: one event per line, schema fields flattened
+ * to the top level. The format tools/trace_summary.py aggregates.
+ */
+
+#ifndef ACAMAR_OBS_JSONL_SINK_HH
+#define ACAMAR_OBS_JSONL_SINK_HH
+
+#include <fstream>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace acamar {
+
+/**
+ * Writes records as newline-delimited JSON objects. Every line has
+ * "type" and "seq"; timed records add "start_cycles",
+ * "duration_cycles" and "t_us" (microseconds on the kernel clock).
+ */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    /** Open `path` for writing; fatal when the file cannot open. */
+    explicit JsonlTraceSink(const std::string &path);
+
+    void write(const TraceRecord &rec) override;
+
+    void finish() override;
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_JSONL_SINK_HH

@@ -1,0 +1,52 @@
+#include "obs/run_artifacts.hh"
+
+#include <fstream>
+#include <memory>
+
+#include "common/logging.hh"
+#include "obs/chrome_trace_sink.hh"
+#include "obs/jsonl_sink.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
+
+namespace acamar {
+
+RunArtifacts::RunArtifacts(const Config &cfg)
+{
+    const std::string trace_path = cfg.getString("trace", "");
+    if (!trace_path.empty()) {
+        TraceSession::instance().addSink(
+            std::make_unique<JsonlTraceSink>(trace_path));
+        tracing_ = true;
+    }
+    const std::string chrome_path = cfg.getString("chrome-trace", "");
+    if (!chrome_path.empty()) {
+        TraceSession::instance().addSink(
+            std::make_unique<ChromeTraceSink>(chrome_path));
+        tracing_ = true;
+    }
+    statsPath_ = cfg.getString("stats", "");
+    if (!statsPath_.empty()) {
+        // Units created and destroyed before the snapshot (sweep
+        // loops) must still appear in it.
+        StatRegistry::instance().setRetainRemoved(true);
+    }
+}
+
+RunArtifacts::~RunArtifacts()
+{
+    if (tracing_)
+        TraceSession::instance().stop();
+    if (statsPath_.empty())
+        return;
+    std::ofstream out(statsPath_);
+    if (!out) {
+        warn("cannot open stats output '", statsPath_, "'");
+    } else {
+        StatRegistry::instance().snapshotJson().writePretty(out);
+        out << '\n';
+    }
+    StatRegistry::instance().setRetainRemoved(false);
+}
+
+} // namespace acamar

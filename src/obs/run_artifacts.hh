@@ -1,0 +1,55 @@
+/**
+ * @file
+ * RunArtifacts: one RAII object that turns --trace / --chrome-trace /
+ * --stats command-line keys into machine-readable run outputs.
+ *
+ * Benches and examples construct it right after parsing arguments:
+ *
+ *     const auto cfg = Config::fromArgs(argc, argv);
+ *     const RunArtifacts artifacts(cfg);
+ *
+ * While it lives, trace sinks are attached to the TraceSession; on
+ * destruction the session is stopped (flushing the sinks) and the
+ * stats snapshot is written. With none of the keys present it does
+ * nothing at all.
+ */
+
+#ifndef ACAMAR_OBS_RUN_ARTIFACTS_HH
+#define ACAMAR_OBS_RUN_ARTIFACTS_HH
+
+#include <string>
+
+#include "common/config.hh"
+
+namespace acamar {
+
+/** Scope guard wiring observability outputs from a Config. */
+class RunArtifacts
+{
+  public:
+    /**
+     * Recognized keys: "trace" (JSONL path), "chrome-trace"
+     * (chrome://tracing JSON path), "stats" (stats snapshot path).
+     */
+    explicit RunArtifacts(const Config &cfg);
+
+    /** Flushes traces and writes the stats snapshot. */
+    ~RunArtifacts();
+
+    RunArtifacts(const RunArtifacts &) = delete;
+    RunArtifacts &operator=(const RunArtifacts &) = delete;
+
+    /** True when any trace sink was attached. */
+    bool tracing() const { return tracing_; }
+
+    /** True when a stats snapshot will be written. */
+    bool statsRequested() const { return !statsPath_.empty(); }
+
+  private:
+    bool tracing_ = false;
+    std::string statsPath_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_RUN_ARTIFACTS_HH

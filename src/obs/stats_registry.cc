@@ -1,0 +1,137 @@
+#include "obs/stats_registry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hh"
+
+namespace acamar {
+
+namespace {
+
+JsonValue
+numberOrString(double v)
+{
+    // JSON has no NaN/inf; the text spelling keeps the value visible.
+    if (std::isfinite(v))
+        return JsonValue(v);
+    return JsonValue(formatStatValue(v));
+}
+
+} // namespace
+
+JsonValue
+statGroupJson(const StatGroup &g)
+{
+    JsonValue stats = JsonValue::object();
+    for (const auto &s : g.view()) {
+        JsonValue entry = JsonValue::object();
+        if (s.scalar) {
+            entry.set("kind", "scalar")
+                .set("value", numberOrString(s.scalar->value()));
+        } else if (s.average) {
+            entry.set("kind", "average")
+                .set("count", s.average->count())
+                .set("mean", numberOrString(s.average->mean()))
+                .set("min", numberOrString(s.average->min()))
+                .set("max", numberOrString(s.average->max()))
+                .set("sum", numberOrString(s.average->sum()));
+        } else if (s.dist) {
+            JsonValue buckets = JsonValue::array();
+            for (int i = 0; i < s.dist->numBuckets(); ++i)
+                buckets.push(s.dist->bucket(i));
+            entry.set("kind", "dist")
+                .set("count", s.dist->count())
+                .set("underflows", s.dist->underflows())
+                .set("overflows", s.dist->overflows())
+                .set("buckets", std::move(buckets));
+        }
+        if (!s.desc.empty())
+            entry.set("desc", s.desc);
+        stats.set(s.name, std::move(entry));
+    }
+    JsonValue out = JsonValue::object();
+    out.set("name", g.name()).set("stats", std::move(stats));
+    return out;
+}
+
+StatRegistry &
+StatRegistry::instance()
+{
+    static StatRegistry registry;
+    return registry;
+}
+
+void
+StatRegistry::add(const StatGroup *g)
+{
+    ACAMAR_CHECK(g) << "null stat group";
+    live_.push_back(g);
+}
+
+void
+StatRegistry::remove(const StatGroup *g)
+{
+    auto it = std::find(live_.begin(), live_.end(), g);
+    if (it == live_.end())
+        return;
+    if (retainRemoved_)
+        frozen_.push_back(statGroupJson(**it));
+    live_.erase(it);
+}
+
+void
+StatRegistry::setRetainRemoved(bool retain)
+{
+    retainRemoved_ = retain;
+    if (!retain)
+        frozen_.clear();
+}
+
+JsonValue
+StatRegistry::snapshotJson() const
+{
+    // Sort by name with a stable tiebreak so the snapshot is
+    // deterministic even when several units share a group name
+    // (multiple accelerator instances in one bench).
+    std::vector<const StatGroup *> live = live_;
+    std::stable_sort(live.begin(), live.end(),
+                     [](const StatGroup *a, const StatGroup *b) {
+                         return a->name() < b->name();
+                     });
+
+    std::vector<JsonValue> all;
+    for (const StatGroup *g : live)
+        all.push_back(statGroupJson(*g));
+    for (const JsonValue &g : frozen_)
+        all.push_back(g);
+    std::stable_sort(all.begin(), all.end(),
+                     [](const JsonValue &a, const JsonValue &b) {
+                         return a.find("name")->str() <
+                                b.find("name")->str();
+                     });
+
+    JsonValue groups = JsonValue::array();
+    for (JsonValue &g : all)
+        groups.push(std::move(g));
+
+    JsonValue out = JsonValue::object();
+    out.set("live_groups", static_cast<uint64_t>(live.size()))
+        .set("frozen_groups", static_cast<uint64_t>(frozen_.size()))
+        .set("groups", std::move(groups));
+    return out;
+}
+
+void
+StatRegistry::dumpText(std::ostream &os) const
+{
+    std::vector<const StatGroup *> live = live_;
+    std::stable_sort(live.begin(), live.end(),
+                     [](const StatGroup *a, const StatGroup *b) {
+                         return a->name() < b->name();
+                     });
+    for (const StatGroup *g : live)
+        g->dump(os);
+}
+
+} // namespace acamar

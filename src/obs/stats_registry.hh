@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Process-wide registry of every live StatGroup.
+ *
+ * SimObject registers its group on construction and removes it on
+ * destruction, so "dump all stats" no longer requires hand-listing
+ * units (the gap Acamar::dumpStats used to paper over). When
+ * retention is enabled (a --stats run), groups that die before the
+ * snapshot leave a frozen copy behind so sweep benches that build
+ * and drop accelerators in a loop still report complete numbers.
+ */
+
+#ifndef ACAMAR_OBS_STATS_REGISTRY_HH
+#define ACAMAR_OBS_STATS_REGISTRY_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "obs/json.hh"
+
+namespace acamar {
+
+/** JSON snapshot of one StatGroup (live or frozen). */
+JsonValue statGroupJson(const StatGroup &g);
+
+/** The global StatGroup directory. */
+class StatRegistry
+{
+  public:
+    /** The singleton. */
+    static StatRegistry &instance();
+
+    /** Track a live group (pointer valid until remove()). */
+    void add(const StatGroup *g);
+
+    /** Stop tracking; freezes a snapshot when retention is on. */
+    void remove(const StatGroup *g);
+
+    /**
+     * Keep snapshots of removed groups (off by default so ordinary
+     * runs never accumulate memory). Turning retention off drops
+     * existing snapshots.
+     */
+    void setRetainRemoved(bool retain);
+
+    /** Number of currently live groups. */
+    size_t liveGroups() const { return live_.size(); }
+
+    /**
+     * Full snapshot: {"groups": [...]} with live groups first, then
+     * frozen ones, each sorted by name (ties keep insertion order).
+     */
+    JsonValue snapshotJson() const;
+
+    /** gem5-style text dump of every live group, name-sorted. */
+    void dumpText(std::ostream &os) const;
+
+  private:
+    StatRegistry() = default;
+
+    std::vector<const StatGroup *> live_;
+    std::vector<JsonValue> frozen_;
+    bool retainRemoved_ = false;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_STATS_REGISTRY_HH

@@ -1,0 +1,184 @@
+#include "obs/trace.hh"
+
+#include <cmath>
+
+#include "common/check.hh"
+
+namespace acamar {
+
+namespace {
+
+/** Add an optional scalar to an args object, omitting NaN. */
+void
+setIfFinite(JsonValue &args, const char *key, double v)
+{
+    if (std::isfinite(v))
+        args.set(key, v);
+}
+
+} // namespace
+
+TraceSession &
+TraceSession::instance()
+{
+    static TraceSession session;
+    return session;
+}
+
+void
+TraceSession::addSink(std::unique_ptr<TraceSink> sink)
+{
+    ACAMAR_CHECK(sink) << "null trace sink";
+    sinks_.push_back(std::move(sink));
+    enabled_ = true;
+}
+
+void
+TraceSession::stop()
+{
+    for (auto &s : sinks_)
+        s->finish();
+    sinks_.clear();
+    enabled_ = false;
+    seq_ = 0;
+}
+
+void
+TraceSession::setClockHz(double hz)
+{
+    ACAMAR_CHECK(hz > 0.0) << "non-positive trace clock " << hz;
+    clockHz_ = hz;
+}
+
+void
+TraceSession::emit(TraceRecord rec)
+{
+    rec.seq = ++seq_;
+    for (auto &s : sinks_)
+        s->write(rec);
+}
+
+void
+TraceSession::record(const SolveIterationEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "solve_iteration";
+    rec.args.set("solver", e.solver)
+        .set("iteration", e.iteration)
+        .set("residual", e.residual);
+    setIfFinite(rec.args, "alpha", e.alpha);
+    setIfFinite(rec.args, "beta", e.beta);
+    setIfFinite(rec.args, "rho", e.rho);
+    setIfFinite(rec.args, "omega", e.omega);
+    emit(std::move(rec));
+}
+
+void
+TraceSession::record(const SolverBreakdownEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "solver_breakdown";
+    rec.args.set("solver", e.solver)
+        .set("iteration", e.iteration)
+        .set("reason", e.reason);
+    emit(std::move(rec));
+}
+
+void
+TraceSession::record(const SolverSwitchEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "solver_switch";
+    rec.args.set("from", e.from)
+        .set("to", e.to)
+        .set("trigger", e.trigger)
+        .set("attempt", e.attempt);
+    emit(std::move(rec));
+}
+
+void
+TraceSession::record(const ReconfigTraceEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "reconfig";
+    rec.form = TraceRecord::Form::Span;
+    rec.timed = true;
+    rec.startCycles = e.startCycles;
+    rec.durationCycles = e.icapCycles;
+    rec.args.set("region", e.region)
+        .set("set", e.set)
+        .set("old_factor", e.oldFactor)
+        .set("new_factor", e.newFactor)
+        .set("bitstream_bytes", e.bitstreamBytes)
+        .set("icap_cycles", e.icapCycles);
+    emit(std::move(rec));
+}
+
+void
+TraceSession::record(const MsidDecisionEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "msid_decision";
+    rec.args.set("stage", e.stage)
+        .set("set", e.set)
+        .set("proposed", e.proposed)
+        .set("accepted", e.accepted)
+        .set("reason", e.reason);
+    emit(std::move(rec));
+}
+
+void
+TraceSession::record(const SpmvSetEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "spmv_set";
+    rec.form = TraceRecord::Form::Span;
+    rec.timed = true;
+    rec.startCycles = e.startCycles;
+    rec.durationCycles = e.durationCycles;
+    rec.args.set("set", e.set)
+        .set("rows", e.rows)
+        .set("nnz", e.nnz)
+        .set("unroll", e.unroll)
+        .set("utilization", e.utilization);
+    emit(std::move(rec));
+}
+
+void
+TraceSession::record(const IcapTransferEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "icap_transfer";
+    rec.form = TraceRecord::Form::Span;
+    rec.timed = true;
+    rec.startCycles = e.startCycles;
+    rec.durationCycles = e.cycles;
+    rec.args.set("region", e.region)
+        .set("bits", e.bits)
+        .set("cycles", e.cycles);
+    emit(std::move(rec));
+}
+
+void
+TraceSession::record(const PhaseEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "phase";
+    rec.form = TraceRecord::Form::Span;
+    rec.timed = true;
+    rec.startCycles = e.startCycles;
+    rec.durationCycles = e.durationCycles;
+    rec.args.set("name", e.name).set("detail", e.detail);
+    emit(std::move(rec));
+}
+
+void
+TraceSession::record(const SimEventTrace &e)
+{
+    TraceRecord rec;
+    rec.type = "sim_event";
+    rec.args.set("name", e.name).set("tick", e.tick);
+    emit(std::move(rec));
+}
+
+} // namespace acamar

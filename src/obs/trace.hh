@@ -1,0 +1,140 @@
+/**
+ * @file
+ * TraceSession: the process-wide collector for typed trace events.
+ *
+ * Instrumentation sites call ACAMAR_TRACE(SomeEvent{...}); when no
+ * sink is attached the macro costs one relaxed bool load and the
+ * event is never constructed. Attaching a sink (JSON Lines, Chrome
+ * trace_event) enables collection; stop() flushes and detaches all
+ * sinks. Defining ACAMAR_TRACE_DISABLED at compile time removes the
+ * instrumentation entirely (the ACAMAR_CHECK pattern).
+ *
+ * Timing: events that carry cycle fields are positioned on a single
+ * kernel-clock timeline; the session owns the cycles->seconds
+ * mapping (setClockHz, fed from the FPGA device model via
+ * ClockDomain semantics) so sinks can render wall-clock units.
+ */
+
+#ifndef ACAMAR_OBS_TRACE_HH
+#define ACAMAR_OBS_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/trace_events.hh"
+
+namespace acamar {
+
+/** Sink-facing flattened form of one typed event. */
+struct TraceRecord {
+    /** How a sink should render the record on a timeline. */
+    enum class Form {
+        Instant,  //!< a point marker
+        Span,     //!< has a start and a duration
+    };
+
+    std::string type;  //!< schema name, e.g. "solve_iteration"
+    Form form = Form::Instant;
+    bool timed = false;       //!< start/duration fields are valid
+    Cycles startCycles = 0;
+    Cycles durationCycles = 0;
+    uint64_t seq = 0;         //!< global emission order
+    JsonValue args;           //!< schema payload (object)
+};
+
+/** Where flattened trace records go. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Consume one record. */
+    virtual void write(const TraceRecord &rec) = 0;
+
+    /** Flush and finalize output (called once, from stop()). */
+    virtual void finish() {}
+};
+
+/** The process-wide trace collector. */
+class TraceSession
+{
+  public:
+    /** The singleton. */
+    static TraceSession &instance();
+
+    /** True when at least one sink is attached. */
+    bool enabled() const { return enabled_; }
+
+    /** Attach a sink; collection turns on. */
+    void addSink(std::unique_ptr<TraceSink> sink);
+
+    /** Finish every sink, detach them, turn collection off. */
+    void stop();
+
+    /**
+     * Kernel clock used to map cycle fields onto seconds (mirrors
+     * ClockDomain::cyclesToSeconds). Instrumented systems set this
+     * once per run from their device model.
+     */
+    void setClockHz(double hz);
+
+    /** Current cycles->seconds clock. */
+    double clockHz() const { return clockHz_; }
+
+    /** Events recorded since the last stop(). */
+    uint64_t eventsRecorded() const { return seq_; }
+
+    void record(const SolveIterationEvent &e);
+    void record(const SolverBreakdownEvent &e);
+    void record(const SolverSwitchEvent &e);
+    void record(const ReconfigTraceEvent &e);
+    void record(const MsidDecisionEvent &e);
+    void record(const SpmvSetEvent &e);
+    void record(const IcapTransferEvent &e);
+    void record(const PhaseEvent &e);
+    void record(const SimEventTrace &e);
+
+  private:
+    TraceSession() = default;
+
+    void emit(TraceRecord rec);
+
+    bool enabled_ = false;
+    double clockHz_ = 300e6;  // Alveo u55c kernel clock default
+    uint64_t seq_ = 0;
+    std::vector<std::unique_ptr<TraceSink>> sinks_;
+};
+
+/**
+ * Emit a typed trace event. The event expression is evaluated only
+ * when a sink is attached; with ACAMAR_TRACE_DISABLED defined the
+ * whole site compiles away.
+ */
+#ifndef ACAMAR_TRACE_DISABLED
+#define ACAMAR_TRACE(...)                                                  \
+    do {                                                                   \
+        if (::acamar::TraceSession::instance().enabled())                  \
+            ::acamar::TraceSession::instance().record(__VA_ARGS__);        \
+    } while (0)
+#else
+#define ACAMAR_TRACE(...) ((void)0)
+#endif
+
+/** True when tracing is both compiled in and currently enabled. */
+inline bool
+traceEnabled()
+{
+#ifndef ACAMAR_TRACE_DISABLED
+    return TraceSession::instance().enabled();
+#else
+    return false;
+#endif
+}
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_TRACE_HH

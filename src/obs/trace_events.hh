@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Typed trace events emitted by the instrumented units.
+ *
+ * Each struct is one schema; TraceSession::record() flattens it into
+ * a generic TraceRecord that the sinks serialize. Numeric fields use
+ * the same units everywhere: cycle fields are kernel-clock cycles
+ * (the TraceSession's clock maps them onto seconds), byte/bit fields
+ * say so in their name.
+ *
+ * Events are only constructed on the enabled path (the ACAMAR_TRACE
+ * macro checks first), so std::string members cost nothing when
+ * tracing is off.
+ */
+
+#ifndef ACAMAR_OBS_TRACE_EVENTS_HH
+#define ACAMAR_OBS_TRACE_EVENTS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "sim/event_queue.hh"
+
+namespace acamar {
+
+/** Absent optional scalar (serialized keys are omitted). */
+constexpr double kTraceUnset =
+    std::numeric_limits<double>::quiet_NaN();
+
+/**
+ * One solver-loop trip: residual plus whichever recurrence scalars
+ * the solver computes (CG: alpha/beta; BiCG-STAB adds rho/omega).
+ * Unset scalars stay NaN and are omitted from the output.
+ */
+struct SolveIterationEvent {
+    std::string solver;     //!< "CG", "BiCG-STAB", ...
+    int iteration = 0;      //!< 1-based loop trip
+    double residual = 0.0;  //!< ||r|| after this trip
+    double alpha = kTraceUnset;
+    double beta = kTraceUnset;
+    double rho = kTraceUnset;
+    double omega = kTraceUnset;
+};
+
+/** A solver recurrence hit a breakdown guard and stopped. */
+struct SolverBreakdownEvent {
+    std::string solver;
+    int iteration = 0;   //!< trips completed before the breakdown
+    std::string reason;  //!< e.g. "pAp ~ 0", "omega ~ 0"
+};
+
+/** The Solver Modifier walked the fallback chain one step. */
+struct SolverSwitchEvent {
+    std::string from;     //!< solver being unloaded
+    std::string to;       //!< next configuration
+    std::string trigger;  //!< "diverged" / "breakdown" / "stalled"
+    int attempt = 0;      //!< 1-based index of the failed attempt
+};
+
+/** One DFX event: a region's configuration is replaced via ICAP. */
+struct ReconfigTraceEvent {
+    std::string region;        //!< "spmv" or "solver"
+    int64_t set = -1;          //!< set index (-1 for solver swaps)
+    int oldFactor = 0;         //!< unroll before (0 = n/a)
+    int newFactor = 0;         //!< unroll after (0 = n/a)
+    int64_t bitstreamBytes = 0;
+    Cycles icapCycles = 0;     //!< stall, in kernel-clock cycles
+    Cycles startCycles = 0;    //!< position on the pass timeline
+};
+
+/** One MSID-chain smoothing decision (Algorithm 4). */
+struct MsidDecisionEvent {
+    int stage = 0;       //!< 1-based chain stage
+    int64_t set = 0;     //!< tBuffer index the decision applies to
+    int proposed = 0;    //!< factor entering the stage
+    int accepted = 0;    //!< factor leaving the stage
+    std::string reason;  //!< hysteresis rationale
+};
+
+/** The Dynamic SpMV Kernel processed one set of rows. */
+struct SpmvSetEvent {
+    int64_t set = 0;
+    int64_t rows = 0;
+    int64_t nnz = 0;
+    int unroll = 0;
+    double utilization = 0.0;  //!< useful / offered MAC slots
+    Cycles startCycles = 0;
+    Cycles durationCycles = 0;
+};
+
+/** One partial bitstream moved through the ICAP port. */
+struct IcapTransferEvent {
+    std::string region;
+    int64_t bits = 0;
+    Cycles cycles = 0;      //!< kernel-clock cycles the port is busy
+    Cycles startCycles = 0;
+};
+
+/** A coarse pipeline phase (analyze, one solve attempt, ...). */
+struct PhaseEvent {
+    std::string name;
+    std::string detail;
+    Cycles startCycles = 0;
+    Cycles durationCycles = 0;
+};
+
+/** One discrete event processed by the simulation queue. */
+struct SimEventTrace {
+    std::string name;
+    Tick tick = 0;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_TRACE_EVENTS_HH

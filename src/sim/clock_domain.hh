@@ -20,6 +20,17 @@ namespace acamar {
 /** Ticks (picoseconds) per second. */
 constexpr Tick kTicksPerSecond = 1000ull * 1000ull * 1000ull * 1000ull;
 
+/**
+ * Latency in seconds for a cycle count at a clock. The single
+ * cycles->seconds conversion in the codebase: ClockDomain and the
+ * report/bench layers all route through here.
+ */
+inline double
+cyclesToSeconds(Cycles c, double clock_hz)
+{
+    return static_cast<double>(c) / clock_hz;
+}
+
 /** A named clock with a fixed frequency. */
 class ClockDomain
 {
@@ -50,7 +61,8 @@ class ClockDomain
     /** Seconds represented by a cycle count in this domain. */
     double cyclesToSeconds(Cycles c) const
     {
-        return static_cast<double>(c) / static_cast<double>(freq_);
+        return acamar::cyclesToSeconds(c,
+                                       static_cast<double>(freq_));
     }
 
     /** Debug name. */

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/check.hh"
+#include "obs/trace.hh"
 
 namespace acamar {
 
@@ -30,6 +31,7 @@ EventQueue::run(uint64_t limit)
             << "event '" << e.ev->name() << "' dequeued out of order ("
             << e.when << " < " << curTick_ << ")";
         curTick_ = e.when;
+        ACAMAR_TRACE(SimEventTrace{e.ev->name(), e.when});
         e.ev->process();
         ++processed;
     }
@@ -47,6 +49,7 @@ EventQueue::runUntil(Tick until)
             << "event '" << e.ev->name() << "' dequeued out of order ("
             << e.when << " < " << curTick_ << ")";
         curTick_ = e.when;
+        ACAMAR_TRACE(SimEventTrace{e.ev->name(), e.when});
         e.ev->process();
         ++processed;
     }

@@ -1,6 +1,7 @@
 #include "sim/sim_object.hh"
 
 #include "common/check.hh"
+#include "obs/stats_registry.hh"
 
 namespace acamar {
 
@@ -8,6 +9,15 @@ SimObject::SimObject(std::string name, EventQueue *eq)
     : name_(std::move(name)), eq_(eq), stats_(name_)
 {
     ACAMAR_CHECK(eq_) << "SimObject '" << name_ << "' needs an event queue";
+    // Every unit's stats are discoverable process-wide; derived
+    // constructors register individual stats into the group after
+    // this runs, which is fine — the registry reads at dump time.
+    StatRegistry::instance().add(&stats_);
+}
+
+SimObject::~SimObject()
+{
+    StatRegistry::instance().remove(&stats_);
 }
 
 } // namespace acamar

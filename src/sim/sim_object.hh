@@ -28,7 +28,7 @@ class SimObject
      */
     SimObject(std::string name, EventQueue *eq);
 
-    virtual ~SimObject() = default;
+    virtual ~SimObject();
 
     SimObject(const SimObject &) = delete;
     SimObject &operator=(const SimObject &) = delete;

@@ -33,22 +33,22 @@ BiCgSolver::solve(const CsrMatrix<float> &a,
     std::vector<float> atps;
 
     double rho = dot(r, rs);
-    ConvergenceMonitor mon(criteria, norm2(r));
+    ConvergenceMonitor mon(criteria, norm2(r), "BiCG");
 
     while (mon.status() != SolveStatus::Converged) {
         if (!std::isfinite(rho) || std::abs(rho) < 1e-30) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("rho_zero");
             break;
         }
         spmv(a, p, ap);
         const double ps_ap = dot(ps, ap);
         if (!std::isfinite(ps_ap) || std::abs(ps_ap) < 1e-30) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("psAp_zero");
             break;
         }
         const auto alpha = static_cast<float>(rho / ps_ap);
         if (!std::isfinite(alpha)) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("alpha_nonfinite");
             break;
         }
         axpy(alpha, p, x);
@@ -61,7 +61,7 @@ BiCgSolver::solve(const CsrMatrix<float> &a,
         const double rho_new = dot(r, rs);
         const auto beta = static_cast<float>(rho_new / rho);
         if (!std::isfinite(beta)) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("beta_nonfinite");
             break;
         }
         ACAMAR_DCHECK_FINITE(rho_new) << "bi-orthogonal product";

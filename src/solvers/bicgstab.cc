@@ -30,24 +30,25 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
     std::vector<float> s(n);
     std::vector<float> as;
 
-    ConvergenceMonitor mon(criteria, norm2(r));
+    ConvergenceMonitor mon(criteria, norm2(r), "BiCG-STAB");
     double rho = dot(r, r0s);
+    double last_beta = kTraceUnset;
 
     while (mon.status() != SolveStatus::Converged) {
         if (!std::isfinite(rho) || std::abs(rho) < 1e-30) {
             // Serious breakdown: r orthogonal to the shadow residual.
-            mon.flagBreakdown();
+            mon.flagBreakdown("rho_zero");
             break;
         }
         spmv(a, p, ap);
         const double ap_r0s = dot(ap, r0s);
         if (!std::isfinite(ap_r0s) || std::abs(ap_r0s) < 1e-30) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("Ap_r0_zero");
             break;
         }
         const auto alpha = static_cast<float>(rho / ap_r0s);
         if (!std::isfinite(alpha)) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("alpha_nonfinite");
             break;
         }
 
@@ -59,6 +60,10 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
         if (mon.meetsTolerance(s_norm)) {
             // Early half-step convergence: omega step unnecessary.
             axpy(alpha, p, x);
+            IterationScalars sc;
+            sc.alpha = alpha;
+            sc.rho = rho;
+            mon.stageScalars(sc);
             mon.observe(s_norm);
             break;
         }
@@ -67,13 +72,13 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
         const double as_s = dot(as, s);
         const double as_as = dot(as, as);
         if (!std::isfinite(as_as) || as_as < 1e-30) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("AsAs_zero");
             break;
         }
         const auto omega = static_cast<float>(as_s / as_as);
         if (!std::isfinite(omega) || std::abs(omega) < 1e-12) {
             // Stabilization stalls: no progress possible this step.
-            mon.flagBreakdown();
+            mon.flagBreakdown("omega_zero");
             break;
         }
 
@@ -84,6 +89,12 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
         for (size_t i = 0; i < n; ++i)
             r[i] = s[i] - omega * as[i];
 
+        IterationScalars sc;
+        sc.alpha = alpha;
+        sc.beta = last_beta; // beta that built this search direction
+        sc.rho = rho;
+        sc.omega = omega;
+        mon.stageScalars(sc);
         if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
             break;
 
@@ -91,9 +102,10 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
         const auto beta =
             static_cast<float>((rho_new / rho) * (alpha / omega));
         if (!std::isfinite(beta)) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("beta_nonfinite");
             break;
         }
+        last_beta = beta;
         ACAMAR_DCHECK_FINITE(omega) << "stabilization scalar";
         rho = rho_new;
         // p = r + beta (p - omega A p)

@@ -27,35 +27,41 @@ CgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
     std::vector<float> p = r;
 
     double rr = dot(r, r);
-    ConvergenceMonitor mon(criteria, std::sqrt(rr));
+    ConvergenceMonitor mon(criteria, std::sqrt(rr), "CG");
+    double last_beta = kTraceUnset;
 
     while (mon.status() != SolveStatus::Converged) {
         spmv(a, p, ap);
         const double pap = dot(p, ap);
         if (!(std::abs(pap) > 1e-30) || !std::isfinite(pap)) {
             // p^T A p ~ 0: A is (numerically) not definite along p.
-            mon.flagBreakdown();
+            mon.flagBreakdown("pAp_zero");
             break;
         }
         const auto alpha = static_cast<float>(rr / pap);
         if (!std::isfinite(alpha)) {
             // rr/pAp overflowed fp32: the recurrence would only
             // emit NaNs from here on.
-            mon.flagBreakdown();
+            mon.flagBreakdown("alpha_nonfinite");
             break;
         }
         axpy(alpha, p, x);
         axpy(-alpha, ap, r);
         const double rr_new = dot(r, r);
+        IterationScalars sc;
+        sc.alpha = alpha;
+        sc.beta = last_beta; // beta that built this search direction
+        mon.stageScalars(sc);
         if (mon.observe(std::sqrt(rr_new)) ==
             ConvergenceMonitor::Action::Stop) {
             break;
         }
         const auto beta = static_cast<float>(rr_new / rr);
         if (!std::isfinite(beta)) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("beta_nonfinite");
             break;
         }
+        last_beta = beta;
         ACAMAR_DCHECK_FINITE(rr_new) << "residual energy after step";
         rr = rr_new;
         // p = r + beta p

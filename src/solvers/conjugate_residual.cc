@@ -33,18 +33,18 @@ ConjugateResidualSolver::solve(const CsrMatrix<float> &a,
     std::vector<float> ap = ar;
 
     double r_ar = dot(r, ar);
-    ConvergenceMonitor mon(criteria, norm2(r));
+    ConvergenceMonitor mon(criteria, norm2(r), "CR");
 
     while (mon.status() != SolveStatus::Converged) {
         const double ap_ap = dot(ap, ap);
         if (!std::isfinite(ap_ap) || ap_ap < 1e-30 ||
             !std::isfinite(r_ar) || std::abs(r_ar) < 1e-30) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("rAr_or_ApAp_zero");
             break;
         }
         const auto alpha = static_cast<float>(r_ar / ap_ap);
         if (!std::isfinite(alpha)) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("alpha_nonfinite");
             break;
         }
         axpy(alpha, p, x);
@@ -56,7 +56,7 @@ ConjugateResidualSolver::solve(const CsrMatrix<float> &a,
         const double r_ar_new = dot(r, ar);
         const auto beta = static_cast<float>(r_ar_new / r_ar);
         if (!std::isfinite(beta)) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("beta_nonfinite");
             break;
         }
         ACAMAR_DCHECK_FINITE(r_ar_new) << "A-inner product";

@@ -1,8 +1,10 @@
 #include "solvers/convergence.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.hh"
+#include "obs/trace.hh"
 
 namespace acamar {
 
@@ -19,9 +21,10 @@ to_string(SolveStatus s)
 }
 
 ConvergenceMonitor::ConvergenceMonitor(
-    const ConvergenceCriteria &criteria, double initial_residual)
+    const ConvergenceCriteria &criteria, double initial_residual,
+    std::string solver)
     : criteria_(criteria), initialResidual_(initial_residual),
-      lastResidual_(initial_residual)
+      lastResidual_(initial_residual), solver_(std::move(solver))
 {
     ACAMAR_CHECK(criteria_.tolerance > 0.0) << "non-positive tolerance";
     ACAMAR_CHECK(criteria_.maxIterations > 0) << "non-positive cap";
@@ -53,6 +56,11 @@ ConvergenceMonitor::observe(double residual)
     lastResidual_ = residual;
     history_.push_back(residual);
 
+    ACAMAR_TRACE(SolveIterationEvent{solver_, iterations_, residual,
+                                     staged_.alpha, staged_.beta,
+                                     staged_.rho, staged_.omega});
+    staged_ = IterationScalars{};
+
     if (meetsTolerance(residual)) {
         status_ = SolveStatus::Converged;
         done_ = true;
@@ -82,10 +90,11 @@ ConvergenceMonitor::observe(double residual)
 }
 
 void
-ConvergenceMonitor::flagBreakdown()
+ConvergenceMonitor::flagBreakdown(const std::string &reason)
 {
     status_ = SolveStatus::Breakdown;
     done_ = true;
+    ACAMAR_TRACE(SolverBreakdownEvent{solver_, iterations_, reason});
 }
 
 double

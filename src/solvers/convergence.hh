@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_events.hh"
+
 namespace acamar {
 
 /** Outcome of one solver run. */
@@ -50,10 +52,27 @@ struct ConvergenceCriteria {
 };
 
 /**
+ * Per-iteration recurrence scalars a solver can stage before
+ * observe() so they ride along on the iteration trace event.
+ * Unset fields (kTraceUnset) are omitted from the event.
+ */
+struct IterationScalars {
+    double alpha = kTraceUnset;
+    double beta = kTraceUnset;
+    double rho = kTraceUnset;
+    double omega = kTraceUnset;
+};
+
+/**
  * Tracks the residual trajectory of one solve and decides when to
  * stop. Mirrors the divergence-detection role of the paper's
  * Reconfigurable Solver unit ("runs until convergence or divergence
  * occurs").
+ *
+ * Also the single tracing chokepoint for all solvers: every
+ * observe() emits a solve_iteration trace event and every flagged
+ * breakdown a solver_breakdown event, so individual solver loops
+ * never talk to the TraceSession directly.
  */
 class ConvergenceMonitor
 {
@@ -68,9 +87,21 @@ class ConvergenceMonitor
      * @param criteria thresholds to apply.
      * @param initial_residual ||b - A x0||; a zero initial residual
      *        converges immediately.
+     * @param solver short solver name for trace events ("CG");
+     *        empty suppresses nothing, events just carry "".
      */
     ConvergenceMonitor(const ConvergenceCriteria &criteria,
-                       double initial_residual);
+                       double initial_residual,
+                       std::string solver = {});
+
+    /**
+     * Stage recurrence scalars for the next observe(); cleared once
+     * that observation's trace event is emitted.
+     */
+    void stageScalars(const IterationScalars &scalars)
+    {
+        staged_ = scalars;
+    }
 
     /** Record the residual after one iteration and decide. */
     Action observe(double residual);
@@ -85,7 +116,13 @@ class ConvergenceMonitor
     bool meetsTolerance(double residual) const;
 
     /** Force a breakdown outcome (zero rho/omega/pAp). */
-    void flagBreakdown();
+    void flagBreakdown() { flagBreakdown("breakdown"); }
+
+    /**
+     * Force a breakdown outcome with a reason string that lands in
+     * the solver_breakdown trace event ("rho_zero", "pAp_zero").
+     */
+    void flagBreakdown(const std::string &reason);
 
     /** Final (or running) status. */
     SolveStatus status() const { return status_; }
@@ -113,6 +150,8 @@ class ConvergenceMonitor
     SolveStatus status_ = SolveStatus::Stalled;
     bool done_ = false;
     std::vector<double> history_;
+    std::string solver_;
+    IterationScalars staged_;
 };
 
 } // namespace acamar

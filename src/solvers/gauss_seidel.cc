@@ -37,7 +37,7 @@ GaussSeidelSolver::solve(const CsrMatrix<float> &a,
     spmv(a, x, ax);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
-    ConvergenceMonitor mon(criteria, norm2(r));
+    ConvergenceMonitor mon(criteria, norm2(r), "GS");
 
     while (mon.status() != SolveStatus::Converged) {
         // One forward sweep, updating in place.

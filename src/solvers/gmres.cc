@@ -38,7 +38,7 @@ GmresSolver::solve(const CsrMatrix<float> &a,
     spmv(a, x, ax);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
-    ConvergenceMonitor mon(criteria, norm2(r));
+    ConvergenceMonitor mon(criteria, norm2(r), "GMRES");
 
     // Arnoldi basis and Hessenberg factors for one restart cycle.
     std::vector<std::vector<float>> basis;
@@ -90,7 +90,7 @@ GmresSolver::solve(const CsrMatrix<float> &a,
             const double denom =
                 std::sqrt(h[j][j] * h[j][j] + hnext * hnext);
             if (denom < 1e-30) {
-                mon.flagBreakdown();
+                mon.flagBreakdown("givens_denominator_zero");
                 done = true;
                 break;
             }

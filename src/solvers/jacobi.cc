@@ -38,7 +38,7 @@ JacobiSolver::solve(const CsrMatrix<float> &a,
     spmv(a, x, ax);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
-    ConvergenceMonitor mon(criteria, norm2(r));
+    ConvergenceMonitor mon(criteria, norm2(r), "JB");
 
     while (mon.status() != SolveStatus::Converged) {
         // x += D^-1 r; then refresh r = b - A x.

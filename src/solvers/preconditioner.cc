@@ -76,18 +76,18 @@ PcgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
     std::vector<float> p = z;
     double rz = dot(r, z);
 
-    ConvergenceMonitor mon(criteria, norm2(r));
+    ConvergenceMonitor mon(criteria, norm2(r), "PCG");
 
     while (mon.status() != SolveStatus::Converged) {
         spmv(a, p, ap);
         const double pap = dot(p, ap);
         if (!(std::abs(pap) > 1e-30) || !std::isfinite(pap)) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("pAp_zero");
             break;
         }
         const auto alpha = static_cast<float>(rz / pap);
         if (!std::isfinite(alpha)) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("alpha_nonfinite");
             break;
         }
         axpy(alpha, p, x);
@@ -98,7 +98,7 @@ PcgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
         const double rz_new = dot(r, z);
         const auto beta = static_cast<float>(rz_new / rz);
         if (!std::isfinite(beta)) {
-            mon.flagBreakdown();
+            mon.flagBreakdown("beta_nonfinite");
             break;
         }
         rz = rz_new;

@@ -43,7 +43,7 @@ SorSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
     spmv(a, x, ax);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
-    ConvergenceMonitor mon(criteria, norm2(r));
+    ConvergenceMonitor mon(criteria, norm2(r), "SOR");
 
     while (mon.status() != SolveStatus::Converged) {
         // One relaxed forward sweep, in place.

@@ -9,6 +9,8 @@
 #include <sstream>
 
 #include "common/stats.hh"
+#include "obs/json.hh"
+#include "obs/stats_registry.hh"
 
 namespace acamar {
 namespace {
@@ -98,6 +100,98 @@ TEST(StatGroup, DumpFormat)
     const std::string out = os.str();
     EXPECT_NE(out.find("spmv.passes 3"), std::string::npos);
     EXPECT_NE(out.find("# SpMV passes"), std::string::npos);
+}
+
+TEST(StatGroup, DumpIsDeterministic)
+{
+    // Same stats -> byte-identical text, regardless of registration
+    // order (dump sorts by stat name).
+    ScalarStat n1, n2;
+    AverageStat a1, a2;
+    StatGroup g1("unit"), g2("unit");
+    g1.addScalar("ops", &n1, "operations");
+    g1.addAverage("lat", &a1, "latency");
+    g2.addAverage("lat", &a2, "latency");
+    g2.addScalar("ops", &n2, "operations");
+    for (StatGroup *g : {&g1, &g2}) {
+        g->scalar("ops");  // lookups must not perturb the dump
+    }
+    n1.add(7);
+    n2.add(7);
+    a1.sample(0.125);
+    a2.sample(0.125);
+    std::ostringstream os1, os2;
+    g1.dump(os1);
+    g2.dump(os2);
+    EXPECT_EQ(os1.str(), os2.str());
+    // "lat" sorts before "ops".
+    EXPECT_LT(os1.str().find("unit.lat"), os1.str().find("unit.ops"));
+}
+
+TEST(StatGroup, JsonSnapshotRoundTrip)
+{
+    StatGroup g("accel.spmv");
+    ScalarStat passes;
+    AverageStat util;
+    DistStat hist(0.0, 1.0, 4);
+    g.addScalar("passes", &passes, "SpMV passes");
+    g.addAverage("utilization", &util);
+    g.addDist("util_dist", &hist);
+    passes.add(12);
+    util.sample(0.5);
+    util.sample(0.75);
+    hist.sample(0.1);
+    hist.sample(0.6);
+    hist.sample(2.0);  // overflow
+
+    // Serialize -> parse back -> the numbers must survive intact.
+    const JsonValue snap =
+        JsonValue::parse(statGroupJson(g).dump());
+
+    ASSERT_TRUE(snap.isObject());
+    EXPECT_EQ(snap.find("name")->str(), "accel.spmv");
+    const JsonValue *stats = snap.find("stats");
+    ASSERT_NE(stats, nullptr);
+
+    const JsonValue *p = stats->find("passes");
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->find("kind")->str(), "scalar");
+    EXPECT_DOUBLE_EQ(p->find("value")->asDouble(), 12.0);
+    EXPECT_EQ(p->find("desc")->str(), "SpMV passes");
+
+    const JsonValue *u = stats->find("utilization");
+    ASSERT_NE(u, nullptr);
+    EXPECT_EQ(u->find("kind")->str(), "average");
+    EXPECT_EQ(u->find("count")->asInt(), 2);
+    EXPECT_DOUBLE_EQ(u->find("mean")->asDouble(), 0.625);
+    EXPECT_DOUBLE_EQ(u->find("min")->asDouble(), 0.5);
+    EXPECT_DOUBLE_EQ(u->find("max")->asDouble(), 0.75);
+
+    const JsonValue *d = stats->find("util_dist");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->find("kind")->str(), "dist");
+    EXPECT_EQ(d->find("count")->asInt(), 3);
+    EXPECT_EQ(d->find("overflows")->asInt(), 1);
+    const JsonValue *buckets = d->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_EQ(buckets->size(), 4u);
+    EXPECT_EQ(buckets->at(0).asInt(), 1);
+    EXPECT_EQ(buckets->at(2).asInt(), 1);
+}
+
+TEST(StatGroup, JsonSnapshotSpellsNonFiniteValues)
+{
+    // An empty AverageStat has min=+inf/max=-inf; JSON has no inf,
+    // so the snapshot stores the formatStatValue() spelling.
+    StatGroup g("g");
+    AverageStat a;
+    g.addAverage("a", &a);
+    const JsonValue snap =
+        JsonValue::parse(statGroupJson(g).dump());
+    const JsonValue *entry = snap.find("stats")->find("a");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(entry->find("min")->isString());
+    EXPECT_EQ(entry->find("min")->str(), formatStatValue(a.min()));
 }
 
 TEST(StatGroup, ResetAllClearsEverything)

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the obs/ trace layer: per-event-type JSONL schemas, the
+ * Chrome sink's output shape, and the disabled-tracing guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace_sink.hh"
+#include "obs/json.hh"
+#include "obs/jsonl_sink.hh"
+#include "obs/trace.hh"
+
+namespace acamar {
+namespace {
+
+/** RAII: make sure a test never leaves the singleton collecting. */
+struct SessionGuard {
+    ~SessionGuard() { TraceSession::instance().stop(); }
+};
+
+std::string
+tempPath(const std::string &stem)
+{
+    return testing::TempDir() + stem;
+}
+
+/** Emit exactly one event of every schema. */
+void
+emitOneOfEach()
+{
+    SolveIterationEvent it{"CG", 3, 1.5e-4};
+    it.alpha = 0.5;
+    it.beta = 0.25;
+    ACAMAR_TRACE(it);
+    ACAMAR_TRACE(SolverBreakdownEvent{"BiCG-STAB", 7, "omega_zero"});
+    ACAMAR_TRACE(SolverSwitchEvent{"CG", "BiCG-STAB", "diverged", 1});
+    ACAMAR_TRACE(
+        ReconfigTraceEvent{"spmv", 2, 4, 8, 1024, Cycles(900),
+                           Cycles(12000)});
+    ACAMAR_TRACE(MsidDecisionEvent{1, 5, 16, 8,
+                                   "adopted_within_tolerance"});
+    ACAMAR_TRACE(SpmvSetEvent{4, 128, 640, 8, 0.625, Cycles(2000),
+                              Cycles(80)});
+    ACAMAR_TRACE(IcapTransferEvent{"solver", 8192, Cycles(700),
+                                   Cycles(15000)});
+    ACAMAR_TRACE(PhaseEvent{"analyze", "SPD", Cycles(0), Cycles(500)});
+    ACAMAR_TRACE(SimEventTrace{"spmv.done", Tick(123456)});
+}
+
+std::vector<JsonValue>
+readJsonl(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.is_open()) << path;
+    std::vector<JsonValue> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            lines.push_back(JsonValue::parse(line));
+    }
+    return lines;
+}
+
+TEST(Trace, JsonlSchemaPerEventType)
+{
+    SessionGuard guard;
+    const std::string path = tempPath("trace_schema.jsonl");
+    auto &session = TraceSession::instance();
+    session.setClockHz(300e6);
+    session.addSink(std::make_unique<JsonlTraceSink>(path));
+    ASSERT_TRUE(session.enabled());
+
+    emitOneOfEach();
+    session.stop();
+
+    const auto lines = readJsonl(path);
+    ASSERT_EQ(lines.size(), 9u);
+
+    // Required keys per schema, beyond the universal type/seq pair.
+    const std::map<std::string, std::vector<std::string>> required = {
+        {"solve_iteration", {"solver", "iteration", "residual",
+                             "alpha", "beta"}},
+        {"solver_breakdown", {"solver", "iteration", "reason"}},
+        {"solver_switch", {"from", "to", "trigger", "attempt"}},
+        {"reconfig", {"region", "set", "old_factor", "new_factor",
+                      "bitstream_bytes", "icap_cycles",
+                      "start_cycles", "duration_cycles", "t_us"}},
+        {"msid_decision", {"stage", "set", "proposed", "accepted",
+                           "reason"}},
+        {"spmv_set", {"set", "rows", "nnz", "unroll", "utilization",
+                      "start_cycles", "duration_cycles", "t_us"}},
+        {"icap_transfer", {"region", "bits", "cycles",
+                           "start_cycles", "duration_cycles",
+                           "t_us"}},
+        {"phase", {"name", "detail", "start_cycles",
+                   "duration_cycles", "t_us"}},
+        {"sim_event", {"name", "tick"}},
+    };
+
+    std::map<std::string, int> seen;
+    uint64_t prev_seq = 0;
+    for (const auto &ev : lines) {
+        ASSERT_TRUE(ev.isObject());
+        ASSERT_TRUE(ev.has("type"));
+        ASSERT_TRUE(ev.has("seq"));
+        const std::string type = ev.find("type")->str();
+        const auto it = required.find(type);
+        ASSERT_NE(it, required.end()) << "unknown type " << type;
+        for (const auto &key : it->second)
+            EXPECT_TRUE(ev.has(key))
+                << type << " is missing \"" << key << "\"";
+        // seq is the global emission order, strictly increasing.
+        const auto seq =
+            static_cast<uint64_t>(ev.find("seq")->asInt());
+        EXPECT_GT(seq, prev_seq);
+        prev_seq = seq;
+        seen[type]++;
+    }
+    EXPECT_EQ(seen.size(), required.size());
+
+    // Spot-check values survived the round trip.
+    const JsonValue &rc = lines[3];
+    EXPECT_EQ(rc.find("region")->str(), "spmv");
+    EXPECT_EQ(rc.find("new_factor")->asInt(), 8);
+    EXPECT_EQ(rc.find("duration_cycles")->asInt(), 900);
+    // 12000 cycles at 300 MHz = 40 us.
+    EXPECT_NEAR(rc.find("t_us")->asDouble(), 40.0, 1e-9);
+
+    std::remove(path.c_str());
+}
+
+TEST(Trace, UnsetScalarsAreOmitted)
+{
+    SessionGuard guard;
+    const std::string path = tempPath("trace_unset.jsonl");
+    auto &session = TraceSession::instance();
+    session.addSink(std::make_unique<JsonlTraceSink>(path));
+
+    // A Jacobi-style iteration stages no recurrence scalars.
+    ACAMAR_TRACE(SolveIterationEvent{"JB", 1, 0.25});
+    session.stop();
+
+    const auto lines = readJsonl(path);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(lines[0].has("residual"));
+    EXPECT_FALSE(lines[0].has("alpha"));
+    EXPECT_FALSE(lines[0].has("beta"));
+    EXPECT_FALSE(lines[0].has("rho"));
+    EXPECT_FALSE(lines[0].has("omega"));
+
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ChromeSinkEmitsLoadableJson)
+{
+    SessionGuard guard;
+    const std::string path = tempPath("trace_chrome.json");
+    auto &session = TraceSession::instance();
+    session.setClockHz(300e6);
+    session.addSink(std::make_unique<ChromeTraceSink>(path));
+
+    emitOneOfEach();
+    session.stop();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const JsonValue doc = JsonValue::parse(ss.str());
+
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_TRUE(doc.has("traceEvents"));
+    const JsonValue &events = *doc.find("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    ASSERT_GT(events.size(), 0u);
+
+    bool saw_span = false, saw_instant = false, saw_meta = false;
+    for (size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &ev = events.at(i);
+        ASSERT_TRUE(ev.has("ph"));
+        ASSERT_TRUE(ev.has("name"));
+        ASSERT_TRUE(ev.has("pid"));
+        ASSERT_TRUE(ev.has("tid"));
+        const std::string ph = ev.find("ph")->str();
+        if (ph == "M") {  // thread_name metadata carries no ts
+            saw_meta = true;
+            continue;
+        }
+        ASSERT_TRUE(ev.has("ts"));
+        if (ph == "X") {
+            saw_span = true;
+            EXPECT_TRUE(ev.has("dur"));
+        } else if (ph == "i") {
+            saw_instant = true;
+        }
+    }
+    EXPECT_TRUE(saw_span);
+    EXPECT_TRUE(saw_instant);
+    EXPECT_TRUE(saw_meta);
+
+    std::remove(path.c_str());
+}
+
+TEST(Trace, DisabledSessionRecordsNothing)
+{
+    auto &session = TraceSession::instance();
+    session.stop();
+    ASSERT_FALSE(session.enabled());
+    EXPECT_FALSE(traceEnabled());
+
+    // The macro guards on enabled(): the event expression must not
+    // be evaluated, so the instrumentation cost is one bool load.
+    int constructed = 0;
+    auto make = [&constructed]() {
+        ++constructed;
+        return SolveIterationEvent{"CG", 1, 1.0};
+    };
+    ACAMAR_TRACE(make());
+    EXPECT_EQ(constructed, 0);
+    EXPECT_EQ(session.eventsRecorded(), 0u);
+}
+
+TEST(Trace, StopResetsSequenceNumbers)
+{
+    SessionGuard guard;
+    const std::string path = tempPath("trace_seq.jsonl");
+    auto &session = TraceSession::instance();
+
+    session.addSink(std::make_unique<JsonlTraceSink>(path));
+    ACAMAR_TRACE(PhaseEvent{"a", "", Cycles(0), Cycles(1)});
+    ACAMAR_TRACE(PhaseEvent{"b", "", Cycles(1), Cycles(1)});
+    EXPECT_EQ(session.eventsRecorded(), 2u);
+    session.stop();
+    EXPECT_EQ(session.eventsRecorded(), 0u);
+
+    // A fresh sink restarts seq at 1 (per-run traces are diffable).
+    session.addSink(std::make_unique<JsonlTraceSink>(path));
+    ACAMAR_TRACE(PhaseEvent{"c", "", Cycles(2), Cycles(1)});
+    session.stop();
+    const auto lines = readJsonl(path);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].find("seq")->asInt(), 1);
+
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ClockHzScalesMicroseconds)
+{
+    SessionGuard guard;
+    const std::string path = tempPath("trace_clock.jsonl");
+    auto &session = TraceSession::instance();
+    session.setClockHz(100e6);  // 10 ns per cycle
+    session.addSink(std::make_unique<JsonlTraceSink>(path));
+
+    ACAMAR_TRACE(PhaseEvent{"p", "", Cycles(1000), Cycles(500)});
+    session.stop();
+    session.setClockHz(300e6);  // restore the default for other tests
+
+    const auto lines = readJsonl(path);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NEAR(lines[0].find("t_us")->asDouble(), 10.0, 1e-9);
+
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace acamar

@@ -264,6 +264,28 @@ def solver_convergence(files):
                               "ConvergenceMonitor::meetsTolerance()")
 
 
+@rule("raw-stderr",
+      "diagnostics go through the Logger (common/logging.hh) so "
+      "stderr severity filtering works and stdout stays parseable; "
+      "raw fprintf(stderr)/std::cerr are forbidden outside "
+      "common/logging.cc")
+def raw_stderr(files):
+    pat = re.compile(r"fprintf\s*\(\s*stderr\b|\bstd::cerr\b")
+    for f in files:
+        if not (f.rel.startswith("src/") or
+                f.rel.startswith("bench/") or
+                f.rel.startswith("examples/")):
+            continue
+        if f.rel == "src/common/logging.cc":
+            continue  # the Logger's own backend
+        for no, line in enumerate(f.code_lines, 1):
+            if pat.search(line):
+                yield Finding(f.rel, no, "raw-stderr",
+                              "write diagnostics via "
+                              "Logger/inform/warn "
+                              "(common/logging.hh)")
+
+
 @rule("header-guard",
       "every header uses an ACAMAR_-prefixed include guard (the "
       "codebase does not rely on #pragma once)")

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Aggregate an Acamar JSONL trace into headline numbers.
+
+Reads the JSON Lines file written by --trace=<path> and prints, per
+event type, counts plus the figures the paper cares about: iterations
+per solver, how often the Solver Modifier had to walk the fallback
+chain, reconfiguration events and ICAP busy time, MSID smoothing
+activity and the SpMV per-set utilization histogram.
+
+    python3 tools/trace_summary.py out.jsonl
+
+Exit status 0 = summary printed, 1 = no valid events found, 2 =
+usage error. Malformed lines are counted and skipped, so a truncated
+trace (killed run) still summarizes.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+
+def load_events(path):
+    events, bad = [], 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+                continue
+            if isinstance(ev, dict) and "type" in ev:
+                events.append(ev)
+            else:
+                bad += 1
+    return events, bad
+
+
+def fmt_count(n, unit):
+    return f"{n} {unit}{'' if n == 1 else 's'}"
+
+
+def summarize(events, out):
+    by_type = defaultdict(list)
+    for ev in events:
+        by_type[ev["type"]].append(ev)
+
+    out.write("event counts:\n")
+    for t in sorted(by_type):
+        out.write(f"  {t:<18} {len(by_type[t])}\n")
+
+    iters = by_type.get("solve_iteration", [])
+    if iters:
+        per_solver = Counter(ev.get("solver", "?") for ev in iters)
+        out.write("\nsolver iterations:\n")
+        for solver, n in per_solver.most_common():
+            last = max((ev for ev in iters
+                        if ev.get("solver") == solver),
+                       key=lambda ev: ev.get("iteration", 0))
+            out.write(f"  {solver:<12} {n:>6} iterations, last "
+                      f"residual {last.get('residual', '?')}\n")
+
+    switches = by_type.get("solver_switch", [])
+    breakdowns = by_type.get("solver_breakdown", [])
+    if switches or breakdowns:
+        out.write("\nrobust-convergence path:\n")
+        for ev in breakdowns:
+            out.write(f"  breakdown: {ev.get('solver', '?')} at "
+                      f"iteration {ev.get('iteration', '?')} "
+                      f"({ev.get('reason', '?')})\n")
+        for ev in switches:
+            out.write(f"  switch: {ev.get('from', '?')} -> "
+                      f"{ev.get('to', '?')} on "
+                      f"{ev.get('trigger', '?')} (attempt "
+                      f"{ev.get('attempt', '?')})\n")
+
+    reconfigs = by_type.get("reconfig", [])
+    icap = by_type.get("icap_transfer", [])
+    if reconfigs or icap:
+        out.write("\nreconfiguration:\n")
+        per_region = Counter(ev.get("region", "?")
+                             for ev in reconfigs)
+        for region, n in sorted(per_region.items()):
+            out.write(f"  {region} region: "
+                      f"{fmt_count(n, 'DFX event')}\n")
+        busy = sum(ev.get("cycles", 0) for ev in icap)
+        if icap:
+            out.write(f"  ICAP: {fmt_count(len(icap), 'transfer')}, "
+                      f"{busy} kernel cycles busy\n")
+
+    msid = by_type.get("msid_decision", [])
+    if msid:
+        per_stage = Counter(ev.get("stage", "?") for ev in msid)
+        stages = ", ".join(f"stage {s}: {n}"
+                           for s, n in sorted(per_stage.items()))
+        out.write(f"\nMSID smoothing: {len(msid)} adoptions "
+                  f"({stages})\n")
+
+    sets = by_type.get("spmv_set", [])
+    if sets:
+        utils = [ev.get("utilization", 0.0) for ev in sets]
+        mean = sum(utils) / len(utils)
+        hist = Counter(min(int(u * 10), 9) for u in utils)
+        out.write(f"\nSpMV sets: {len(sets)}, mean utilization "
+                  f"{mean:.3f}\n")
+        for b in range(10):
+            n = hist.get(b, 0)
+            bar = "#" * n if n <= 60 else "#" * 60 + "+"
+            out.write(f"  [{b / 10:.1f},{(b + 1) / 10:.1f}) "
+                      f"{n:>5} {bar}\n")
+
+    phases = by_type.get("phase", [])
+    if phases:
+        out.write("\nphases:\n")
+        for ev in phases:
+            out.write(f"  {ev.get('name', '?'):<16} start "
+                      f"{ev.get('start_cycles', 0):>12} dur "
+                      f"{ev.get('duration_cycles', 0):>12}  "
+                      f"{ev.get('detail', '')}\n")
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="JSONL trace from --trace=<path>")
+    args = ap.parse_args(argv)
+
+    try:
+        events, bad = load_events(args.trace)
+    except OSError as e:
+        print(f"trace_summary: {e}", file=sys.stderr)
+        return 2
+
+    if not events:
+        print("trace_summary: no valid trace events in "
+              f"{args.trace}", file=sys.stderr)
+        return 1
+
+    print(f"{args.trace}: {len(events)} events"
+          + (f" ({bad} malformed lines skipped)" if bad else ""))
+    summarize(events, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
