@@ -24,6 +24,7 @@
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "exec/parallel_for.hh"
 #include "obs/run_artifacts.hh"
 #include "sparse/catalog.hh"
 
@@ -51,18 +52,33 @@ dimFrom(const Config &cfg)
     return static_cast<int32_t>(cfg.getInt("dim", 4096));
 }
 
-/** Generate every catalog dataset at the requested dimension. */
-inline std::vector<Workload>
-allWorkloads(int32_t dim)
+/**
+ * Worker threads for the sweep engine (--jobs, default 1 = the
+ * serial reference run). Any value must print byte-identical
+ * tables; see src/exec/parallel_for.hh for the recipe.
+ */
+inline int
+jobsFrom(const Config &cfg)
 {
-    std::vector<Workload> out;
-    for (const auto &spec : datasetCatalog()) {
-        Workload w;
-        w.spec = spec;
-        w.a = generateDataset(spec, dim).cast<float>();
-        w.b = datasetRhs(w.a, spec.id);
-        out.push_back(std::move(w));
-    }
+    return static_cast<int>(cfg.getInt("jobs", 1));
+}
+
+/**
+ * Generate every catalog dataset at the requested dimension.
+ * Generation is per-spec deterministic (each dataset seeds its own
+ * Rng), so the jobs > 1 path fills the same vector slot-by-slot.
+ */
+inline std::vector<Workload>
+allWorkloads(int32_t dim, int jobs = 1)
+{
+    const auto &catalog = datasetCatalog();
+    std::vector<Workload> out(catalog.size());
+    parallelForIndex(jobs, catalog.size(), [&](size_t i) {
+        const auto &spec = catalog[i];
+        out[i].spec = spec;
+        out[i].a = generateDataset(spec, dim).cast<float>();
+        out[i].b = datasetRhs(out[i].a, spec.id);
+    });
     return out;
 }
 

@@ -4,6 +4,11 @@
  * change as the MSID stage count (rOpt) grows — both should stay
  * nearly flat, showing the chain trades almost nothing for its
  * reconfiguration-rate savings.
+ *
+ * Sweep cells (stage count x workload) are independent, so they run
+ * on the --jobs engine; each cell writes only its own result slot
+ * and the table reduction stays sequential, keeping stdout
+ * byte-identical at any --jobs value.
  */
 
 #include <iostream>
@@ -15,44 +20,72 @@
 
 using namespace acamar;
 
+namespace {
+
+/** Per (rOpt, workload) cell outputs. */
+struct Cell {
+    double ru = 0.0;
+    double cycles = 0.0;
+    double events = 0.0;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
     const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
+    const int jobs = bench::jobsFrom(cfg);
     bench::banner("Figure 11 — RU and SpMV latency vs MSID stages",
                   "Figure 11, Section VII-A");
 
     const std::vector<int> stage_counts{0, 1, 2, 4, 8, 12};
-    const auto workloads = bench::allWorkloads(dim);
+    const auto workloads = bench::allWorkloads(dim, jobs);
     EventQueue eq;
     const MemoryModel mem(FpgaDevice::alveoU55c());
-    DynamicSpmvKernel spmv(&eq, mem);
+    const DynamicSpmvKernel spmv(&eq, mem);
+
+    // One flattened grid: cell (s, w) at slot s * |workloads| + w.
+    const size_t n_w = workloads.size();
+    std::vector<Cell> cells(stage_counts.size() * n_w);
+    parallelForIndex(
+        jobs, cells.size(), [&](size_t idx) {
+            const int stages = stage_counts[idx / n_w];
+            const auto &w = workloads[idx % n_w];
+            AcamarConfig acfg;
+            acfg.chunkRows = dim;
+            acfg.rOptStages = stages;
+            // Planning updates unit stats, so each cell plans on its
+            // own private unit (timePlanned is const and shared).
+            EventQueue cell_eq;
+            FineGrainedReconfigUnit fgr(&cell_eq, acfg);
+            const auto plan = fgr.plan(w.a);
+            Cell &c = cells[idx];
+            c.ru = meanUnderutilizationPerSet(w.a, plan.factors,
+                                              plan.setSize);
+            c.cycles =
+                static_cast<double>(spmv.timePlanned(w.a, plan).cycles);
+            c.events = plan.reconfigEvents;
+        });
 
     Table t({"rOpt", "mean RU%", "mean SpMV cycles",
              "latency vs rOpt=0", "mean events/pass"});
     double base_cycles = 0.0;
-    for (int stages : stage_counts) {
-        AcamarConfig acfg;
-        acfg.chunkRows = dim;
-        acfg.rOptStages = stages;
-        FineGrainedReconfigUnit fgr(&eq, acfg);
-
+    for (size_t s = 0; s < stage_counts.size(); ++s) {
         double ru_sum = 0.0, cyc_sum = 0.0, ev_sum = 0.0;
-        for (const auto &w : workloads) {
-            const auto plan = fgr.plan(w.a);
-            ru_sum += meanUnderutilizationPerSet(w.a, plan.factors,
-                                                 plan.setSize);
-            cyc_sum += static_cast<double>(
-                spmv.timePlanned(w.a, plan).cycles);
-            ev_sum += plan.reconfigEvents;
+        for (size_t wi = 0; wi < n_w; ++wi) {
+            const Cell &c = cells[s * n_w + wi];
+            ru_sum += c.ru;
+            cyc_sum += c.cycles;
+            ev_sum += c.events;
         }
-        const auto n = static_cast<double>(workloads.size());
-        if (stages == 0)
+        const auto n = static_cast<double>(n_w);
+        if (stage_counts[s] == 0)
             base_cycles = cyc_sum;
         t.newRow()
-            .cell(static_cast<int64_t>(stages))
+            .cell(static_cast<int64_t>(stage_counts[s]))
             .cell(100.0 * ru_sum / n, 2)
             .cell(cyc_sum / n, 0)
             .cell(cyc_sum / base_cycles, 3)

@@ -3,6 +3,10 @@
  * Figure 12 reproduction: Eq. 5 underutilization (after MSID) as
  * the sampling rate grows — finer sets fit the row-length trace
  * better, at the cost of more reconfiguration instances.
+ *
+ * Runs the (rate x workload) grid on the --jobs engine; every cell
+ * writes its own slot and the reduction is sequential, so the table
+ * is byte-identical at any --jobs value.
  */
 
 #include <iostream>
@@ -13,38 +17,62 @@
 
 using namespace acamar;
 
+namespace {
+
+/** Per (rate, workload) cell outputs. */
+struct Cell {
+    double ru = 0.0;
+    double events = 0.0;
+    int64_t setSize = 0;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     const auto cfg = bench::parseArgs(argc, argv);
     const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
+    const int jobs = bench::jobsFrom(cfg);
     bench::banner("Figure 12 — underutilization vs sampling rate",
                   "Figure 12, Section VII-B");
 
     const std::vector<int> rates{4, 8, 16, 32, 64, 128, 256};
-    const auto workloads = bench::allWorkloads(dim);
-    EventQueue eq;
+    const auto workloads = bench::allWorkloads(dim, jobs);
 
-    Table t({"sampling rate", "set size", "mean RU%",
-             "mean events/pass"});
-    for (int rate : rates) {
+    const size_t n_w = workloads.size();
+    std::vector<Cell> cells(rates.size() * n_w);
+    parallelForIndex(jobs, cells.size(), [&](size_t idx) {
+        const int rate = rates[idx / n_w];
+        const auto &w = workloads[idx % n_w];
         AcamarConfig acfg;
         acfg.chunkRows = dim;
         acfg.samplingRate = rate;
-        FineGrainedReconfigUnit fgr(&eq, acfg);
+        EventQueue cell_eq;
+        FineGrainedReconfigUnit fgr(&cell_eq, acfg);
+        const auto plan = fgr.plan(w.a);
+        Cell &c = cells[idx];
+        c.ru = meanUnderutilizationPerSet(w.a, plan.factors,
+                                          plan.setSize);
+        c.events = plan.reconfigEvents;
+        c.setSize = plan.setSize;
+    });
+
+    Table t({"sampling rate", "set size", "mean RU%",
+             "mean events/pass"});
+    for (size_t ri = 0; ri < rates.size(); ++ri) {
         double ru_sum = 0.0, ev_sum = 0.0;
         int64_t set_size = 0;
-        for (const auto &w : workloads) {
-            const auto plan = fgr.plan(w.a);
-            set_size = plan.setSize;
-            ru_sum += meanUnderutilizationPerSet(w.a, plan.factors,
-                                                 plan.setSize);
-            ev_sum += plan.reconfigEvents;
+        for (size_t wi = 0; wi < n_w; ++wi) {
+            const Cell &c = cells[ri * n_w + wi];
+            ru_sum += c.ru;
+            ev_sum += c.events;
+            set_size = c.setSize;
         }
-        const auto n = static_cast<double>(workloads.size());
+        const auto n = static_cast<double>(n_w);
         t.newRow()
-            .cell(static_cast<int64_t>(rate))
+            .cell(static_cast<int64_t>(rates[ri]))
             .cell(set_size)
             .cell(100.0 * ru_sum / n, 2)
             .cell(ev_sum / n, 1);

@@ -3,6 +3,11 @@
  * Figure 5 reproduction: Dynamic SpMV Kernel reconfiguration rate
  * vs number of MSID chain stages (rOpt); the rate must flatten by
  * about eight stages.
+ *
+ * The (stage x workload) grid runs on the --jobs engine; each cell
+ * writes only its own slot and the reduction (including the
+ * "delta vs prev" column) is sequential, so stdout is byte-identical
+ * at any --jobs value.
  */
 
 #include <iostream>
@@ -13,6 +18,16 @@
 
 using namespace acamar;
 
+namespace {
+
+/** Per (rOpt, workload) cell outputs. */
+struct Cell {
+    double rate = 0.0;
+    double events = 0.0;
+};
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -21,26 +36,39 @@ main(int argc, char **argv)
     const int32_t dim = bench::dimFrom(cfg);
     const int rate = static_cast<int>(cfg.getInt("sampling_rate", 32));
     const double tol = cfg.getDouble("tolerance", 0.15);
+    const int jobs = bench::jobsFrom(cfg);
     bench::banner("Figure 5 — reconfiguration rate vs MSID stages",
                   "Figure 5, Algorithm 4");
 
-    const auto workloads = bench::allWorkloads(dim);
+    const auto workloads = bench::allWorkloads(dim, jobs);
     const RowLengthTrace trace(rate, dim, 64);
+
+    const int max_stages = 12;
+    const size_t n_w = workloads.size();
+    std::vector<Cell> cells((max_stages + 1) * n_w);
+    parallelForIndex(jobs, cells.size(), [&](size_t idx) {
+        const int stages = static_cast<int>(idx / n_w);
+        const auto &w = workloads[idx % n_w];
+        const MsidChain chain(stages, tol);
+        const auto factors =
+            chain.apply(trace.compute(w.a).unrollFactors);
+        Cell &c = cells[idx];
+        c.rate = MsidChain::reconfigRate(factors);
+        c.events = MsidChain::reconfigEvents(factors);
+    });
 
     Table t({"rOpt", "mean reconfig rate", "mean events/pass",
              "delta vs prev"});
     double prev = -1.0;
-    for (int stages = 0; stages <= 12; ++stages) {
+    for (int stages = 0; stages <= max_stages; ++stages) {
         double rate_sum = 0.0;
         double events_sum = 0.0;
-        const MsidChain chain(stages, tol);
-        for (const auto &w : workloads) {
-            const auto factors =
-                chain.apply(trace.compute(w.a).unrollFactors);
-            rate_sum += MsidChain::reconfigRate(factors);
-            events_sum += MsidChain::reconfigEvents(factors);
+        for (size_t wi = 0; wi < n_w; ++wi) {
+            const Cell &c = cells[static_cast<size_t>(stages) * n_w + wi];
+            rate_sum += c.rate;
+            events_sum += c.events;
         }
-        const auto n = static_cast<double>(workloads.size());
+        const auto n = static_cast<double>(n_w);
         const double mean_rate = rate_sum / n;
         t.newRow()
             .cell(static_cast<int64_t>(stages))

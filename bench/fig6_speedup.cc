@@ -4,6 +4,11 @@
  * design as SpMV_URB grows, per dataset plus GMEAN. The baseline
  * runs the same solver Acamar converged with (the paper's
  * optimistic-baseline rule, Section VI-A).
+ *
+ * The Acamar runs go through BatchSolver and the (dataset x URB)
+ * baseline grid through parallelForIndex, both driven by --jobs;
+ * reductions stay sequential so stdout is byte-identical at any
+ * --jobs value.
  */
 
 #include <iostream>
@@ -11,6 +16,7 @@
 #include "accel/acamar.hh"
 #include "accel/static_design.hh"
 #include "bench_common.hh"
+#include "exec/batch_solver.hh"
 
 using namespace acamar;
 
@@ -20,6 +26,7 @@ main(int argc, char **argv)
     const auto cfg = bench::parseArgs(argc, argv);
     const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
+    const int jobs = bench::jobsFrom(cfg);
     bench::banner("Figure 6 — latency speedup over static design vs "
                   "SpMV_URB",
                   "Figure 6, Section VI-A");
@@ -27,28 +34,45 @@ main(int argc, char **argv)
     const std::vector<int> urbs{1, 2, 4, 8, 16, 32};
     AcamarConfig acfg;
     acfg.chunkRows = dim;
-    Acamar acc(acfg);
     const auto dev = FpgaDevice::alveoU55c();
+
+    const auto workloads = bench::allWorkloads(dim, jobs);
+    BatchSolver batch({.jobs = jobs});
+    for (const auto &w : workloads)
+        batch.add(w.a, w.b, acfg, dev);
+    const auto reports = batch.solveAll();
+
+    // Baseline grid over the converged datasets only (the paper
+    // omits non-converged rows).
+    std::vector<size_t> rows;
+    for (size_t wi = 0; wi < workloads.size(); ++wi)
+        if (reports[wi].converged)
+            rows.push_back(wi);
+
+    const size_t n_u = urbs.size();
+    std::vector<double> speedups(rows.size() * n_u);
+    parallelForIndex(jobs, speedups.size(), [&](size_t idx) {
+        const size_t wi = rows[idx / n_u];
+        const int urb = urbs[idx % n_u];
+        StaticDesign base(dev, urb, acfg.criteria);
+        const auto bt =
+            base.run(workloads[wi].a, workloads[wi].b,
+                     reports[wi].finalSolver);
+        speedups[idx] =
+            static_cast<double>(bt.timing.computeCycles()) /
+            static_cast<double>(reports[wi].totalTiming.computeCycles());
+    });
 
     std::vector<std::string> headers{"ID"};
     for (int u : urbs)
         headers.push_back("URB=" + std::to_string(u));
     Table t(headers);
 
-    std::vector<std::vector<double>> per_urb(urbs.size());
-    for (const auto &w : bench::allWorkloads(dim)) {
-        const auto rep = acc.run(w.a, w.b);
-        if (!rep.converged)
-            continue;
-        const auto acamar_cycles =
-            static_cast<double>(rep.totalTiming.computeCycles());
-        t.newRow().cell(w.spec.id);
-        for (size_t i = 0; i < urbs.size(); ++i) {
-            StaticDesign base(dev, urbs[i], acfg.criteria);
-            const auto bt = base.run(w.a, w.b, rep.finalSolver);
-            const double speedup =
-                static_cast<double>(bt.timing.computeCycles()) /
-                acamar_cycles;
+    std::vector<std::vector<double>> per_urb(n_u);
+    for (size_t ri = 0; ri < rows.size(); ++ri) {
+        t.newRow().cell(workloads[rows[ri]].spec.id);
+        for (size_t i = 0; i < n_u; ++i) {
+            const double speedup = speedups[ri * n_u + i];
             per_urb[i].push_back(speedup);
             t.cell(speedup, 2);
         }

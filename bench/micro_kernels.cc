@@ -35,7 +35,7 @@ BM_SpmvCsr(benchmark::State &state)
 {
     const auto &a = benchMatrix();
     std::vector<float> x(static_cast<size_t>(a.numCols()), 1.0f);
-    std::vector<float> y;
+    std::vector<float> y(static_cast<size_t>(a.numRows()));
     for (auto _ : state) {
         spmv(a, x, y);
         benchmark::DoNotOptimize(y.data());
@@ -51,7 +51,7 @@ BM_SpmvLaned(benchmark::State &state)
     const auto &a = benchMatrix();
     const int unroll = static_cast<int>(state.range(0));
     std::vector<float> x(static_cast<size_t>(a.numCols()), 1.0f);
-    std::vector<float> y;
+    std::vector<float> y(static_cast<size_t>(a.numRows()));
     for (auto _ : state) {
         spmvLaned(a, x, y, unroll);
         benchmark::DoNotOptimize(y.data());

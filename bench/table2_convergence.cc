@@ -3,12 +3,18 @@
  * Table II reproduction: per-dataset convergence of JB / CG /
  * BiCG-STAB and of Acamar (which must always converge), printed in
  * the paper's row order with paper-vs-measured checkmarks.
+ *
+ * The Acamar runs go through BatchSolver and the (dataset x solver)
+ * fixed-solver grid through parallelForIndex, both driven by --jobs;
+ * the table is assembled sequentially in dataset order, so stdout is
+ * byte-identical at any --jobs value.
  */
 
 #include <iostream>
 
 #include "accel/acamar.hh"
 #include "bench_common.hh"
+#include "exec/batch_solver.hh"
 #include "solvers/solver.hh"
 
 using namespace acamar;
@@ -29,43 +35,56 @@ main(int argc, char **argv)
     const auto cfg = bench::parseArgs(argc, argv);
     const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
+    const int jobs = bench::jobsFrom(cfg);
     bench::banner("Table II — solver convergence per dataset",
                   "Table II");
 
     AcamarConfig acfg;
     acfg.chunkRows = dim;
-    Acamar acc(acfg);
+
+    const auto workloads = bench::allWorkloads(dim, jobs);
+    BatchSolver batch({.jobs = jobs});
+    for (const auto &w : workloads)
+        batch.add(w.a, w.b, acfg);
+    const auto reports = batch.solveAll();
+
+    const SolverKind kinds[3] = {SolverKind::Jacobi, SolverKind::CG,
+                                 SolverKind::BiCgStab};
+    const size_t n_w = workloads.size();
+    // got[wi * 3 + i]: did fixed solver kinds[i] converge on dataset
+    // wi? std::vector<bool> packs bits, so use char slots instead
+    // (concurrent writers must not share bytes).
+    std::vector<char> got(n_w * 3, 0);
+    parallelForIndex(jobs, got.size(), [&](size_t idx) {
+        const auto &w = workloads[idx / 3];
+        const SolverKind kind = kinds[idx % 3];
+        got[idx] = makeSolver(kind)
+                       ->solve(w.a, w.b, {}, acfg.criteria)
+                       .ok();
+    });
 
     Table t({"ID", "Dataset", "class", "JB", "(paper)", "CG",
              "(paper)", "BiCG", "(paper)", "Acamar", "solver"});
     int cells = 0, matches = 0;
-    for (const auto &w : bench::allWorkloads(dim)) {
-        bool got[3];
-        const SolverKind kinds[3] = {SolverKind::Jacobi,
-                                     SolverKind::CG,
-                                     SolverKind::BiCgStab};
-        for (int i = 0; i < 3; ++i) {
-            got[i] = makeSolver(kinds[i])
-                         ->solve(w.a, w.b, {}, acfg.criteria)
-                         .ok();
-        }
+    for (size_t wi = 0; wi < n_w; ++wi) {
+        const auto &w = workloads[wi];
         const bool want[3] = {w.spec.jbExpected, w.spec.cgExpected,
                               w.spec.bicgExpected};
         for (int i = 0; i < 3; ++i) {
             ++cells;
-            matches += got[i] == want[i];
+            matches += (got[wi * 3 + i] != 0) == want[i];
         }
 
-        const auto rep = acc.run(w.a, w.b);
+        const auto &rep = reports[wi];
         t.newRow()
             .cell(w.spec.id)
             .cell(w.spec.name)
             .cell(to_string(w.spec.klass))
-            .cell(mark(got[0]))
+            .cell(mark(got[wi * 3 + 0]))
             .cell(mark(want[0]))
-            .cell(mark(got[1]))
+            .cell(mark(got[wi * 3 + 1]))
             .cell(mark(want[1]))
-            .cell(mark(got[2]))
+            .cell(mark(got[wi * 3 + 2]))
             .cell(mark(want[2]))
             .cell(mark(rep.converged))
             .cell(to_string(rep.finalSolver));

@@ -69,7 +69,7 @@ main(int argc, char **argv)
     }
 
     // KCL check: residual current at every node must be ~0.
-    std::vector<float> gv;
+    std::vector<float> gv(static_cast<size_t>(a.numRows()));
     spmv(a, rep.solution(), gv);
     double worst_kcl = 0.0;
     double v_max = 0.0;

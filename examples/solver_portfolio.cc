@@ -5,6 +5,11 @@
  * would, and (b) Acamar with its Matrix Structure unit and Solver
  * Modifier — including a case where the initial pick is wrong and
  * the fallback chain rescues the solve.
+ *
+ * The Acamar runs go through the BatchSolver engine and the fixed
+ * solver grid through parallelForIndex (--jobs=N); the table itself
+ * is assembled sequentially, so output is byte-identical at any
+ * --jobs value.
  */
 
 #include <cmath>
@@ -15,6 +20,8 @@
 #include "common/config.hh"
 #include "common/random.hh"
 #include "common/table.hh"
+#include "exec/batch_solver.hh"
+#include "exec/parallel_for.hh"
 #include "obs/run_artifacts.hh"
 #include "solvers/solver.hh"
 #include "sparse/catalog.hh"
@@ -49,6 +56,13 @@ trickyMatrix(int32_t n)
     return coo.toCsr().cast<float>();
 }
 
+/** One demo workload: label plus the solve inputs. */
+struct Workload {
+    std::string name;
+    CsrMatrix<float> a;
+    std::vector<float> b;
+};
+
 } // namespace
 
 int
@@ -56,29 +70,54 @@ main(int argc, char **argv)
 {
     const Config flags = Config::fromArgs(argc, argv);
     const RunArtifacts artifacts(flags);
+    const int jobs = static_cast<int>(flags.getInt("jobs", 1));
 
     constexpr int32_t kDim = 1024;
     std::cout << "Solver portfolio vs Acamar across structural"
                  " classes\n\n";
 
-    Table t({"workload", "JB", "CG", "BiCG", "Acamar",
-             "attempts (chain)"});
-
     AcamarConfig cfg;
     cfg.chunkRows = kDim;
-    Acamar acc(cfg);
 
-    auto run_row = [&](const std::string &name,
-                       const CsrMatrix<float> &a,
-                       const std::vector<float> &b) {
-        t.newRow().cell(name);
-        for (auto k : {SolverKind::Jacobi, SolverKind::CG,
-                       SolverKind::BiCgStab}) {
-            const auto res =
-                makeSolver(k)->solve(a, b, {}, cfg.criteria);
+    std::vector<Workload> workloads;
+    for (const char *id : {"Wa", "2C", "Wi", "If", "Fe", "Bc"}) {
+        const auto spec = *findDataset(id);
+        auto a = generateDataset(spec, kDim).cast<float>();
+        auto b = datasetRhs(a, spec.id);
+        workloads.push_back({spec.id + ":" + to_string(spec.klass),
+                             std::move(a), std::move(b)});
+    }
+    // The fallback showcase.
+    auto tricky = trickyMatrix(kDim);
+    auto tricky_b =
+        rhsForSolution(tricky, std::vector<float>(kDim, 1.0f));
+    workloads.push_back({"tricky:sym-indef (CG mispick)",
+                         std::move(tricky), std::move(tricky_b)});
+
+    BatchSolver batch({.jobs = jobs});
+    for (const auto &w : workloads)
+        batch.add(w.a, w.b, cfg);
+    const auto reports = batch.solveAll();
+
+    const SolverKind kinds[3] = {SolverKind::Jacobi, SolverKind::CG,
+                                 SolverKind::BiCgStab};
+    const size_t n_w = workloads.size();
+    std::vector<SolveResult> fixed(n_w * 3);
+    parallelForIndex(jobs, fixed.size(), [&](size_t idx) {
+        const auto &w = workloads[idx / 3];
+        fixed[idx] = makeSolver(kinds[idx % 3])
+                         ->solve(w.a, w.b, {}, cfg.criteria);
+    });
+
+    Table t({"workload", "JB", "CG", "BiCG", "Acamar",
+             "attempts (chain)"});
+    for (size_t wi = 0; wi < n_w; ++wi) {
+        t.newRow().cell(workloads[wi].name);
+        for (int i = 0; i < 3; ++i) {
+            const auto &res = fixed[wi * 3 + i];
             t.cell(res.ok() ? "ok" : to_string(res.status));
         }
-        const auto rep = acc.run(a, b);
+        const auto &rep = reports[wi];
         t.cell(rep.converged ? "ok" : "FAILED");
         std::string chain;
         for (const auto &attempt : rep.attempts) {
@@ -87,20 +126,7 @@ main(int argc, char **argv)
             chain += to_string(attempt.kind);
         }
         t.cell(chain);
-    };
-
-    for (const char *id : {"Wa", "2C", "Wi", "If", "Fe", "Bc"}) {
-        const auto spec = *findDataset(id);
-        const auto a = generateDataset(spec, kDim).cast<float>();
-        run_row(spec.id + ":" + to_string(spec.klass), a,
-                datasetRhs(a, spec.id));
     }
-
-    // The fallback showcase.
-    const auto tricky = trickyMatrix(kDim);
-    run_row("tricky:sym-indef (CG mispick)", tricky,
-            rhsForSolution(tricky,
-                           std::vector<float>(kDim, 1.0f)));
 
     t.print(std::cout);
     std::cout << "\nEvery static solver fails somewhere; Acamar"

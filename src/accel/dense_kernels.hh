@@ -26,6 +26,9 @@ class DenseKernelModel : public SimObject
   public:
     DenseKernelModel(EventQueue *eq, const MemoryModel &mem);
 
+    /** Freeze stats before the counters below are destroyed. */
+    ~DenseKernelModel() override { retireStats(); }
+
     /** Cycles for one n-element inner product. */
     Cycles dotCycles(int64_t n) const;
 

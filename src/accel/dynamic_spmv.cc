@@ -147,7 +147,10 @@ DynamicSpmvKernel::run(const CsrMatrix<float> &a,
 {
     SpmvRunStats st = timePlanned(a, plan);
     // Functional result: the laned model with the plan's dominant
-    // factor reproduces the hardware's adder-tree association.
+    // factor reproduces the hardware's adder-tree association. The
+    // kernel itself requires a pre-sized output; size here once so
+    // callers can hand in an empty vector.
+    y.resize(static_cast<size_t>(a.numRows()));
     spmvLaned(a, x, y, plan.maxFactor);
 
     passes_.inc();

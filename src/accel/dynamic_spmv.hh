@@ -57,6 +57,9 @@ class DynamicSpmvKernel : public SimObject
      */
     DynamicSpmvKernel(EventQueue *eq, const MemoryModel &mem);
 
+    /** Freeze stats before the counters below are destroyed. */
+    ~DynamicSpmvKernel() override { retireStats(); }
+
     /**
      * Time a row range at one fixed unroll factor (no functional
      * output; used by both Acamar per set and the static baseline

@@ -52,6 +52,9 @@ class FineGrainedReconfigUnit : public SimObject
   public:
     FineGrainedReconfigUnit(EventQueue *eq, const AcamarConfig &cfg);
 
+    /** Freeze stats before the counters below are destroyed. */
+    ~FineGrainedReconfigUnit() override { retireStats(); }
+
     /** Analyze one matrix and produce the schedule. */
     template <typename T>
     ReconfigPlan plan(const CsrMatrix<T> &a);

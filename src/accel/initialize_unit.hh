@@ -27,6 +27,9 @@ class InitializeUnit : public SimObject
                    const DynamicSpmvKernel *spmv,
                    const DenseKernelModel *dense);
 
+    /** Freeze stats before the counters below are destroyed. */
+    ~InitializeUnit() override { retireStats(); }
+
     /**
      * Cycles the Initialize phase takes for one solver on one
      * matrix: the solver's setup profile with SpMV at the fixed

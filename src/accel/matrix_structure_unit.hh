@@ -31,6 +31,9 @@ class MatrixStructureUnit : public SimObject
   public:
     explicit MatrixStructureUnit(EventQueue *eq);
 
+    /** Freeze stats before the counters below are destroyed. */
+    ~MatrixStructureUnit() override { retireStats(); }
+
     /**
      * Analyze a matrix and pick the initial solver. The cycle cost
      * models one scan over the nonzeros for the dominance check and

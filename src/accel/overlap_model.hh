@@ -59,6 +59,9 @@ class ReconfigOverlapModel : public SimObject
     ReconfigOverlapModel(EventQueue *eq, const FpgaDevice &device,
                          const DynamicSpmvKernel *spmv);
 
+    /** Freeze stats before the counters below are destroyed. */
+    ~ReconfigOverlapModel() override { retireStats(); }
+
     /**
      * Simulate one pass of `a` under `plan` with the policy.
      * The event queue is reset; its final tick is the makespan.

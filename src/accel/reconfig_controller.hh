@@ -30,6 +30,9 @@ class ReconfigController : public SimObject
     ReconfigController(EventQueue *eq, const ResourceModel &res,
                        int max_unroll);
 
+    /** Freeze stats before the counters below are destroyed. */
+    ~ReconfigController() override { retireStats(); }
+
     /** Cycles (kernel clock) to reconfigure the SpMV region. */
     Cycles spmvReconfigCycles() const { return spmvCycles_; }
 

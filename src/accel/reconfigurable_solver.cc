@@ -46,7 +46,7 @@ ReconfigurableSolver::run(const CsrMatrix<float> &a,
     ts.kind = kind;
 
     const auto solver = makeSolver(kind);
-    ts.result = solver->solve(a, b, {}, cfg_.criteria);
+    ts.result = solver->solve(a, b, {}, cfg_.criteria, workspace_);
 
     const KernelProfile prof = solver->iterationProfile();
     const auto iters =

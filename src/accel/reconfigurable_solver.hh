@@ -65,6 +65,9 @@ class ReconfigurableSolver : public SimObject
                          DenseKernelModel *dense,
                          ReconfigController *reconfig);
 
+    /** Freeze stats before the counters below are destroyed. */
+    ~ReconfigurableSolver() override { retireStats(); }
+
     /**
      * Run one solver to convergence/divergence with the SpMV unit
      * following `plan`. The functional answer comes from the
@@ -82,6 +85,13 @@ class ReconfigurableSolver : public SimObject
     DynamicSpmvKernel *spmv_;
     DenseKernelModel *dense_;
     ReconfigController *reconfig_;
+
+    /**
+     * Scratch-vector pool shared by every solve this unit runs:
+     * restart attempts within one Acamar::run (and successive runs
+     * at the same dimension) reuse the same allocations.
+     */
+    SolverWorkspace workspace_;
 
     ScalarStat runs_;
     ScalarStat converged_;

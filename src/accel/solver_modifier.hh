@@ -29,6 +29,9 @@ class SolverModifier : public SimObject
      */
     SolverModifier(EventQueue *eq, bool extended);
 
+    /** Freeze stats before the counters below are destroyed. */
+    ~SolverModifier() override { retireStats(); }
+
     /** Note that a solver has been loaded onto the fabric. */
     void markTried(SolverKind k);
 

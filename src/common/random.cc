@@ -8,6 +8,14 @@ namespace acamar {
 namespace {
 
 uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+uint64_t
 splitmix64(uint64_t &x)
 {
     uint64_t z = (x += 0x9e3779b97f4a7c15ull);
@@ -16,13 +24,6 @@ splitmix64(uint64_t &x)
     return z ^ (z >> 31);
 }
 
-uint64_t
-rotl(uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
 
 Rng::Rng(uint64_t seed)
 {

@@ -17,6 +17,16 @@
 namespace acamar {
 
 /**
+ * One splitmix64 step: advances `state` and returns the next draw.
+ * This is both the Rng seeding expander and the batch engine's
+ * per-job stream deriver: starting from a root seed, job i seeds
+ * its Rng from the i-th splitmix64 output, so a job's randomness
+ * depends only on its submission index, never on which worker
+ * thread ran it or in what order.
+ */
+uint64_t splitmix64(uint64_t &state);
+
+/**
  * xoshiro256** 1.0 generator (Blackman & Vigna), with convenience
  * draws for the distributions the generators need.
  */

@@ -1,0 +1,53 @@
+#include "exec/batch_solver.hh"
+
+#include "common/check.hh"
+#include "common/random.hh"
+#include "exec/parallel_for.hh"
+
+namespace acamar {
+
+BatchSolver::BatchSolver(const BatchOptions &opts)
+    : opts_(opts), seedState_(opts.rootSeed)
+{
+}
+
+size_t
+BatchSolver::add(const CsrMatrix<float> &a, const std::vector<float> &b,
+                 const AcamarConfig &cfg, const FpgaDevice &device)
+{
+    ACAMAR_CHECK(a.numRows() == a.numCols())
+        << "batch job needs a square matrix";
+    ACAMAR_CHECK(b.size() == static_cast<size_t>(a.numRows()))
+        << "batch job rhs size mismatch";
+    BatchJob job;
+    job.a = &a;
+    job.b = &b;
+    job.cfg = cfg;
+    job.device = device;
+    job.seed = splitmix64(seedState_);
+    jobs_.push_back(std::move(job));
+    return jobs_.size() - 1;
+}
+
+uint64_t
+BatchSolver::jobSeed(size_t index) const
+{
+    ACAMAR_CHECK(index < jobs_.size()) << "job index out of range";
+    return jobs_[index].seed;
+}
+
+std::vector<AcamarRunReport>
+BatchSolver::solveAll() const
+{
+    std::vector<AcamarRunReport> reports(jobs_.size());
+    parallelForIndex(opts_.jobs, jobs_.size(), [&](size_t i) {
+        const BatchJob &job = jobs_[i];
+        // A private accelerator per job: nothing mutable is shared,
+        // so the report depends only on the job's inputs.
+        Acamar acc(job.cfg, job.device);
+        reports[i] = acc.run(*job.a, *job.b);
+    });
+    return reports;
+}
+
+} // namespace acamar

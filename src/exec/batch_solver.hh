@@ -1,0 +1,87 @@
+/**
+ * @file
+ * BatchSolver: N independent Acamar solves on a thread pool.
+ *
+ * The paper's evaluation (Figures 5-13, Table II) sweeps dozens of
+ * independent matrix x config points; BatchSolver is the engine that
+ * runs them concurrently while keeping every output bit-identical to
+ * a serial run:
+ *
+ *  - each job gets its own Acamar instance (own event queue, own
+ *    simulated units), so jobs share nothing mutable;
+ *  - results land in a vector indexed by submission order, never by
+ *    completion order;
+ *  - each job carries an Rng stream seed derived by splitmix64 from
+ *    the batch's root seed, fixed at add() time.
+ *
+ * The observability layer (TraceSession, StatRegistry) is
+ * mutex-protected, so jobs may run traced; JSONL lines from
+ * concurrent jobs never interleave, though their relative order is
+ * scheduling-dependent.
+ */
+
+#ifndef ACAMAR_EXEC_BATCH_SOLVER_HH
+#define ACAMAR_EXEC_BATCH_SOLVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/acamar.hh"
+
+namespace acamar {
+
+/** Knobs for one batch. */
+struct BatchOptions {
+    /** Worker threads; <= 1 runs the batch inline (the reference). */
+    int jobs = 1;
+
+    /** Root of the per-job splitmix64 seed stream. */
+    uint64_t rootSeed = 0x9e3779b97f4a7c15ull;
+};
+
+/** One queued solve: borrowed inputs plus per-job configuration. */
+struct BatchJob {
+    const CsrMatrix<float> *a = nullptr;  //!< borrowed; caller keeps alive
+    const std::vector<float> *b = nullptr; //!< borrowed
+    AcamarConfig cfg;
+    FpgaDevice device = FpgaDevice::alveoU55c();
+    uint64_t seed = 0;  //!< this job's Rng stream seed
+};
+
+/** Deterministic parallel batch runner over the Acamar facade. */
+class BatchSolver
+{
+  public:
+    explicit BatchSolver(const BatchOptions &opts = {});
+
+    /**
+     * Queue one (matrix, rhs, config) job; returns its submission
+     * index. The matrix and rhs are borrowed and must stay alive
+     * until solveAll() returns.
+     */
+    size_t add(const CsrMatrix<float> &a, const std::vector<float> &b,
+               const AcamarConfig &cfg = {},
+               const FpgaDevice &device = FpgaDevice::alveoU55c());
+
+    /** Jobs queued so far. */
+    size_t size() const { return jobs_.size(); }
+
+    /** The Rng stream seed job `index` was assigned at add() time. */
+    uint64_t jobSeed(size_t index) const;
+
+    /**
+     * Run every queued job and return the reports in submission
+     * order. Byte-identical output for any BatchOptions::jobs value.
+     * May be called repeatedly; each call re-runs the whole batch.
+     */
+    std::vector<AcamarRunReport> solveAll() const;
+
+  private:
+    BatchOptions opts_;
+    uint64_t seedState_;
+    std::vector<BatchJob> jobs_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_EXEC_BATCH_SOLVER_HH

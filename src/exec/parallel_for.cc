@@ -1,0 +1,27 @@
+#include "exec/parallel_for.hh"
+
+#include <algorithm>
+
+#include "common/check.hh"
+#include "exec/thread_pool.hh"
+
+namespace acamar {
+
+void
+parallelForIndex(int jobs, size_t n,
+                 const std::function<void(size_t)> &fn)
+{
+    ACAMAR_CHECK(fn) << "parallelForIndex needs a body";
+    if (jobs <= 1 || n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(jobs), n)));
+    for (size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace acamar

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Deterministic parallel sweeps over an index space.
+ *
+ * The sweep benches are embarrassingly parallel (independent
+ * matrix x config points) but their tables must stay byte-identical
+ * at any --jobs value. The recipe: each point writes only its own
+ * slot of a pre-sized result vector, and reductions (sums, geomeans,
+ * table rows) happen sequentially in submission order afterwards.
+ * parallelForIndex is that recipe's engine.
+ */
+
+#ifndef ACAMAR_EXEC_PARALLEL_FOR_HH
+#define ACAMAR_EXEC_PARALLEL_FOR_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace acamar {
+
+/**
+ * Run fn(0) .. fn(n-1), each exactly once. With jobs <= 1 the calls
+ * happen inline, in order, on the calling thread — the reference
+ * execution every parallel run must reproduce. With jobs > 1 they
+ * run on a ThreadPool in unspecified order, so fn must only touch
+ * its own index's state. Rethrows the first task error after the
+ * whole index space has run.
+ */
+void parallelForIndex(int jobs, size_t n,
+                      const std::function<void(size_t)> &fn);
+
+} // namespace acamar
+
+#endif // ACAMAR_EXEC_PARALLEL_FOR_HH

@@ -1,0 +1,135 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/check.hh"
+
+namespace acamar {
+
+int
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1, static_cast<int>(hw));
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    const auto n = static_cast<size_t>(std::max(1, threads));
+    queues_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    // Drain politely so destruction never drops submitted work;
+    // swallow task errors here — wait() is the reporting channel.
+    try {
+        wait();
+    } catch (...) {
+    }
+    stop_.store(true);
+    sleepCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    ACAMAR_CHECK(task) << "null task submitted to thread pool";
+    pending_.fetch_add(1);
+    const size_t q =
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size();
+    {
+        std::lock_guard<std::mutex> lk(queues_[q]->m);
+        queues_[q]->tasks.push_back(std::move(task));
+    }
+    queued_.fetch_add(1);
+    sleepCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(waitMutex_);
+    waitCv_.wait(lk, [this] { return pending_.load() == 0; });
+    if (firstError_) {
+        auto err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+bool
+ThreadPool::popOwn(size_t self, std::function<void()> &task)
+{
+    Queue &q = *queues_[self];
+    std::lock_guard<std::mutex> lk(q.m);
+    if (q.tasks.empty())
+        return false;
+    task = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::steal(size_t self, std::function<void()> &task)
+{
+    const size_t n = queues_.size();
+    for (size_t k = 1; k < n; ++k) {
+        Queue &q = *queues_[(self + k) % n];
+        std::lock_guard<std::mutex> lk(q.m);
+        if (q.tasks.empty())
+            continue;
+        task = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::runTask(std::function<void()> &task)
+{
+    queued_.fetch_sub(1);
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(waitMutex_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    // The 1 -> 0 transition must be visible to a wait()er that is
+    // between its predicate check and its sleep, hence the lock.
+    if (pending_.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lk(waitMutex_);
+        waitCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop(size_t self)
+{
+    std::function<void()> task;
+    while (true) {
+        if (popOwn(self, task) || steal(self, task)) {
+            runTask(task);
+            task = nullptr;
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(sleepMutex_);
+        sleepCv_.wait(lk, [this] {
+            return stop_.load() || queued_.load() > 0;
+        });
+        if (stop_.load() && queued_.load() == 0)
+            return;
+    }
+}
+
+} // namespace acamar

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fixed-size worker pool with work-stealing task queues.
+ *
+ * The execution engine behind the batch-solve API: a pool of N
+ * worker threads, each with its own double-ended task queue. Workers
+ * pop their own queue LIFO (cache-warm) and steal FIFO from their
+ * siblings when idle, so uneven per-task cost (a stalled solve next
+ * to an instant breakdown) still fills every core.
+ *
+ * The pool makes no ordering promises; determinism is the caller's
+ * job (slot-indexed result vectors, per-job Rng streams — see
+ * exec/batch_solver.hh).
+ */
+
+#ifndef ACAMAR_EXEC_THREAD_POOL_HH
+#define ACAMAR_EXEC_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace acamar {
+
+/** A fixed crew of workers draining work-stealing deques. */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers (clamped to at least one). */
+    explicit ThreadPool(int threads);
+
+    /** Waits for queued tasks, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue one task. Tasks are distributed round-robin across the
+     * worker deques; an idle worker steals from its siblings.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished. If any task
+     * threw, the first exception (in completion order) is rethrown
+     * here and the rest of the batch still runs to completion.
+     */
+    void wait();
+
+    /** Number of worker threads. */
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+    /** std::thread::hardware_concurrency, never less than one. */
+    static int defaultThreads();
+
+  private:
+    /** One worker's deque; owner pops back, thieves take the front. */
+    struct Queue {
+        std::mutex m;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(size_t self);
+    bool popOwn(size_t self, std::function<void()> &task);
+    bool steal(size_t self, std::function<void()> &task);
+    void runTask(std::function<void()> &task);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::atomic<bool> stop_{false};
+    std::atomic<size_t> queued_{0};   //!< tasks sitting in deques
+    std::atomic<size_t> pending_{0};  //!< submitted, not yet finished
+    std::atomic<size_t> nextQueue_{0};
+
+    std::mutex sleepMutex_;
+    std::condition_variable sleepCv_;  //!< wakes idle workers
+
+    std::mutex waitMutex_;
+    std::condition_variable waitCv_;   //!< wakes wait() callers
+    std::exception_ptr firstError_;    //!< guarded by waitMutex_
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_EXEC_THREAD_POOL_HH

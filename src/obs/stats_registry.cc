@@ -66,12 +66,14 @@ void
 StatRegistry::add(const StatGroup *g)
 {
     ACAMAR_CHECK(g) << "null stat group";
+    std::lock_guard<std::mutex> lk(mutex_);
     live_.push_back(g);
 }
 
 void
 StatRegistry::remove(const StatGroup *g)
 {
+    std::lock_guard<std::mutex> lk(mutex_);
     auto it = std::find(live_.begin(), live_.end(), g);
     if (it == live_.end())
         return;
@@ -83,40 +85,49 @@ StatRegistry::remove(const StatGroup *g)
 void
 StatRegistry::setRetainRemoved(bool retain)
 {
+    std::lock_guard<std::mutex> lk(mutex_);
     retainRemoved_ = retain;
     if (!retain)
         frozen_.clear();
 }
 
+size_t
+StatRegistry::liveGroups() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return live_.size();
+}
+
 JsonValue
 StatRegistry::snapshotJson() const
 {
-    // Sort by name with a stable tiebreak so the snapshot is
-    // deterministic even when several units share a group name
-    // (multiple accelerator instances in one bench).
-    std::vector<const StatGroup *> live = live_;
-    std::stable_sort(live.begin(), live.end(),
-                     [](const StatGroup *a, const StatGroup *b) {
-                         return a->name() < b->name();
-                     });
+    std::lock_guard<std::mutex> lk(mutex_);
 
     std::vector<JsonValue> all;
-    for (const StatGroup *g : live)
+    for (const StatGroup *g : live_)
         all.push_back(statGroupJson(*g));
     for (const JsonValue &g : frozen_)
         all.push_back(g);
-    std::stable_sort(all.begin(), all.end(),
-                     [](const JsonValue &a, const JsonValue &b) {
-                         return a.find("name")->str() <
-                                b.find("name")->str();
-                     });
+
+    // Sort by (name, serialized content): group names repeat (one
+    // per accelerator instance in a sweep) and registration order
+    // is a race under the batch engine, but content is not — equal
+    // keys are interchangeable, so the snapshot bytes match the
+    // serial reference run's exactly.
+    std::vector<std::pair<std::string, size_t>> order;
+    order.reserve(all.size());
+    for (size_t i = 0; i < all.size(); ++i)
+        order.emplace_back(all[i].find("name")->str() + '\0' +
+                               all[i].dump(),
+                           i);
+    std::sort(order.begin(), order.end());
 
     JsonValue groups = JsonValue::array();
-    for (JsonValue &g : all)
-        groups.push(std::move(g));
+    for (const auto &[key, idx] : order)
+        groups.push(std::move(all[idx]));
 
     JsonValue out = JsonValue::object();
-    out.set("live_groups", static_cast<uint64_t>(live.size()))
+    out.set("live_groups", static_cast<uint64_t>(live_.size()))
         .set("frozen_groups", static_cast<uint64_t>(frozen_.size()))
         .set("groups", std::move(groups));
     return out;
@@ -125,6 +136,7 @@ StatRegistry::snapshotJson() const
 void
 StatRegistry::dumpText(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lk(mutex_);
     std::vector<const StatGroup *> live = live_;
     std::stable_sort(live.begin(), live.end(),
                      [](const StatGroup *a, const StatGroup *b) {

@@ -13,6 +13,7 @@
 #ifndef ACAMAR_OBS_STATS_REGISTRY_HH
 #define ACAMAR_OBS_STATS_REGISTRY_HH
 
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -25,7 +26,17 @@ namespace acamar {
 /** JSON snapshot of one StatGroup (live or frozen). */
 JsonValue statGroupJson(const StatGroup &g);
 
-/** The global StatGroup directory. */
+/**
+ * The global StatGroup directory.
+ *
+ * Thread-safe: the batch engine constructs and destroys simulated
+ * units (whose SimObject base registers here) from worker threads,
+ * so registration, removal, retention switching and snapshots are
+ * all mutex-guarded. Snapshot ordering is content-deterministic —
+ * groups sort by (name, serialized form) — so a parallel sweep
+ * freezes the same snapshot bytes as its serial reference run no
+ * matter which thread retired each unit first.
+ */
 class StatRegistry
 {
   public:
@@ -46,11 +57,12 @@ class StatRegistry
     void setRetainRemoved(bool retain);
 
     /** Number of currently live groups. */
-    size_t liveGroups() const { return live_.size(); }
+    size_t liveGroups() const;
 
     /**
-     * Full snapshot: {"groups": [...]} with live groups first, then
-     * frozen ones, each sorted by name (ties keep insertion order).
+     * Full snapshot: {"groups": [...]} with every live and frozen
+     * group, sorted by (name, serialized content) so the bytes are
+     * identical regardless of registration/retirement order.
      */
     JsonValue snapshotJson() const;
 
@@ -60,6 +72,7 @@ class StatRegistry
   private:
     StatRegistry() = default;
 
+    mutable std::mutex mutex_;
     std::vector<const StatGroup *> live_;
     std::vector<JsonValue> frozen_;
     bool retainRemoved_ = false;

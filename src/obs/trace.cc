@@ -8,6 +8,9 @@ namespace acamar {
 
 namespace {
 
+/** Staged records per thread before one locked push to the sinks. */
+constexpr size_t kStageCapacity = 64;
+
 /** Add an optional scalar to an args object, omitting NaN. */
 void
 setIfFinite(JsonValue &args, const char *key, double v)
@@ -18,6 +21,31 @@ setIfFinite(JsonValue &args, const char *key, double v)
 
 } // namespace
 
+/**
+ * Owns one thread's registration with the session. Destroyed at
+ * thread exit (or process exit for the main thread), flushing any
+ * records the thread still had staged.
+ */
+struct TraceStageHandle {
+    std::shared_ptr<TraceSession::ThreadStage> stage;
+
+    ~TraceStageHandle()
+    {
+        if (!stage)
+            return;
+        TraceSession &session = TraceSession::instance();
+        std::lock_guard<std::mutex> lk(session.sinkMutex_);
+        session.flushStageLocked(*stage);
+        auto &stages = session.stages_;
+        for (auto it = stages.begin(); it != stages.end(); ++it) {
+            if (it->get() == stage.get()) {
+                stages.erase(it);
+                break;
+            }
+        }
+    }
+};
+
 TraceSession &
 TraceSession::instance()
 {
@@ -25,37 +53,86 @@ TraceSession::instance()
     return session;
 }
 
+TraceSession::ThreadStage &
+TraceSession::thisThreadStage()
+{
+    thread_local TraceStageHandle handle;
+    if (!handle.stage) {
+        handle.stage = std::make_shared<ThreadStage>();
+        std::lock_guard<std::mutex> lk(sinkMutex_);
+        stages_.push_back(handle.stage);
+    }
+    return *handle.stage;
+}
+
+void
+TraceSession::flushStageLocked(ThreadStage &stage)
+{
+    std::vector<TraceRecord> batch;
+    {
+        std::lock_guard<std::mutex> lk(stage.m);
+        batch.swap(stage.records);
+    }
+    for (const auto &rec : batch)
+        for (auto &s : sinks_)
+            s->write(rec);
+}
+
+void
+TraceSession::flushThisThread()
+{
+    ThreadStage &stage = thisThreadStage();
+    std::lock_guard<std::mutex> lk(sinkMutex_);
+    flushStageLocked(stage);
+}
+
 void
 TraceSession::addSink(std::unique_ptr<TraceSink> sink)
 {
     ACAMAR_CHECK(sink) << "null trace sink";
+    std::lock_guard<std::mutex> lk(sinkMutex_);
     sinks_.push_back(std::move(sink));
-    enabled_ = true;
+    enabled_.store(true);
 }
 
 void
 TraceSession::stop()
 {
+    // Callers quiesce their worker threads first (the batch engine
+    // joins its pool before RunArtifacts stops the session), so
+    // every staged record is visible here.
+    std::lock_guard<std::mutex> lk(sinkMutex_);
+    for (const auto &stage : stages_)
+        flushStageLocked(*stage);
     for (auto &s : sinks_)
         s->finish();
     sinks_.clear();
-    enabled_ = false;
-    seq_ = 0;
+    enabled_.store(false);
+    seq_.store(0);
 }
 
 void
 TraceSession::setClockHz(double hz)
 {
     ACAMAR_CHECK(hz > 0.0) << "non-positive trace clock " << hz;
-    clockHz_ = hz;
+    clockHz_.store(hz);
 }
 
 void
 TraceSession::emit(TraceRecord rec)
 {
-    rec.seq = ++seq_;
-    for (auto &s : sinks_)
-        s->write(rec);
+    rec.seq = seq_.fetch_add(1) + 1;
+    ThreadStage &stage = thisThreadStage();
+    bool full = false;
+    {
+        std::lock_guard<std::mutex> lk(stage.m);
+        stage.records.push_back(std::move(rec));
+        full = stage.records.size() >= kStageCapacity;
+    }
+    if (full) {
+        std::lock_guard<std::mutex> lk(sinkMutex_);
+        flushStageLocked(stage);
+    }
 }
 
 void

@@ -18,8 +18,10 @@
 #ifndef ACAMAR_OBS_TRACE_HH
 #define ACAMAR_OBS_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,7 +61,19 @@ class TraceSink
     virtual void finish() {}
 };
 
-/** The process-wide trace collector. */
+/**
+ * The process-wide trace collector.
+ *
+ * Thread-safe: instrumentation may fire from any thread of the
+ * batch engine. Each thread stages records into a private buffer
+ * (registered with the session on first use, flushed on overflow,
+ * at thread exit and from stop()), and buffers drain into the sinks
+ * under one mutex, so a JSONL line is always written whole — lines
+ * from concurrent jobs never interleave, though their relative
+ * order is scheduling-dependent. `seq` is assigned from an atomic
+ * counter at record time, so it is globally unique and monotone
+ * within each thread.
+ */
 class TraceSession
 {
   public:
@@ -67,12 +81,16 @@ class TraceSession
     static TraceSession &instance();
 
     /** True when at least one sink is attached. */
-    bool enabled() const { return enabled_; }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     /** Attach a sink; collection turns on. */
     void addSink(std::unique_ptr<TraceSink> sink);
 
-    /** Finish every sink, detach them, turn collection off. */
+    /** Flush all staged records, finish and detach every sink. */
     void stop();
 
     /**
@@ -83,10 +101,17 @@ class TraceSession
     void setClockHz(double hz);
 
     /** Current cycles->seconds clock. */
-    double clockHz() const { return clockHz_; }
+    double clockHz() const { return clockHz_.load(); }
 
     /** Events recorded since the last stop(). */
-    uint64_t eventsRecorded() const { return seq_; }
+    uint64_t eventsRecorded() const { return seq_.load(); }
+
+    /**
+     * Push the calling thread's staged records to the sinks. The
+     * batch engine calls this at job boundaries so a job's events
+     * are durable once its report is.
+     */
+    void flushThisThread();
 
     void record(const SolveIterationEvent &e);
     void record(const SolverBreakdownEvent &e);
@@ -99,14 +124,28 @@ class TraceSession
     void record(const SimEventTrace &e);
 
   private:
+    /** One thread's staged records; `m` nests inside sinkMutex_. */
+    struct ThreadStage {
+        std::mutex m;
+        std::vector<TraceRecord> records;
+    };
+
     TraceSession() = default;
 
     void emit(TraceRecord rec);
+    ThreadStage &thisThreadStage();
+    void flushStageLocked(ThreadStage &stage);
 
-    bool enabled_ = false;
-    double clockHz_ = 300e6;  // Alveo u55c kernel clock default
-    uint64_t seq_ = 0;
+    std::atomic<bool> enabled_{false};
+    std::atomic<double> clockHz_{300e6};  // Alveo u55c default
+    std::atomic<uint64_t> seq_{0};
+
+    /** Guards sinks_ and stages_; taken before any ThreadStage::m. */
+    std::mutex sinkMutex_;
     std::vector<std::unique_ptr<TraceSink>> sinks_;
+    std::vector<std::shared_ptr<ThreadStage>> stages_;
+
+    friend struct TraceStageHandle;
 };
 
 /**

@@ -15,9 +15,18 @@ SimObject::SimObject(std::string name, EventQueue *eq)
     StatRegistry::instance().add(&stats_);
 }
 
+void
+SimObject::retireStats()
+{
+    if (statsRetired_)
+        return;
+    statsRetired_ = true;
+    StatRegistry::instance().remove(&stats_);
+}
+
 SimObject::~SimObject()
 {
-    StatRegistry::instance().remove(&stats_);
+    retireStats();
 }
 
 } // namespace acamar

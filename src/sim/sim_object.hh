@@ -49,10 +49,21 @@ class SimObject
     /** The system event queue (not owned). */
     EventQueue *eventq() const { return eq_; }
 
+    /**
+     * Deregister this unit's stats from the global registry (idempotent).
+     * A retention snapshot is frozen at removal time, so units whose
+     * StatGroup references their own data members must call this first
+     * thing in their destructor: by the time ~SimObject() runs those
+     * members are already destroyed and the freeze would read dangling
+     * pointers.
+     */
+    void retireStats();
+
   private:
     std::string name_;
     EventQueue *eq_;
     StatGroup stats_;
+    bool statsRetired_ = false;
 };
 
 } // namespace acamar

@@ -1,5 +1,6 @@
 #include "solvers/bicg.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hh"
@@ -12,7 +13,8 @@ SolveResult
 BiCgSolver::solve(const CsrMatrix<float> &a,
                   const std::vector<float> &b,
                   const std::vector<float> &x0,
-                  const ConvergenceCriteria &criteria) const
+                  const ConvergenceCriteria &criteria,
+                  SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
     const auto n = static_cast<size_t>(a.numRows());
@@ -21,20 +23,24 @@ BiCgSolver::solve(const CsrMatrix<float> &a,
     std::vector<float> x = solver_detail::initialGuess(x0, n);
     const CsrMatrix<float> at = a.transpose();
 
-    std::vector<float> r(n);
-    std::vector<float> ap;
+    std::vector<float> &r = ws.vec(0, n);
+    std::vector<float> &ap = ws.vec(1, n);
     spmv(a, x, ap);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ap[i];
 
-    std::vector<float> rs = r; // shadow residual
-    std::vector<float> p = r;
-    std::vector<float> ps = rs;
-    std::vector<float> atps;
+    std::vector<float> &rs = ws.vec(2, n); // shadow residual
+    std::copy(r.begin(), r.end(), rs.begin());
+    std::vector<float> &p = ws.vec(3, n);
+    std::copy(r.begin(), r.end(), p.begin());
+    std::vector<float> &ps = ws.vec(4, n);
+    std::copy(rs.begin(), rs.end(), ps.begin());
+    std::vector<float> &atps = ws.vec(5, n);
 
     double rho = dot(r, rs);
     ConvergenceMonitor mon(criteria, norm2(r), "BiCG");
 
+    // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
         if (!std::isfinite(rho) || std::abs(rho) < 1e-30) {
             mon.flagBreakdown("rho_zero");
@@ -71,6 +77,7 @@ BiCgSolver::solve(const CsrMatrix<float> &a,
             ps[i] = rs[i] + beta * ps[i];
         }
     }
+    // acamar: hot-loop-end
 
     res.status = mon.status();
     res.iterations = mon.iterations();

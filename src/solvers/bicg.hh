@@ -23,11 +23,12 @@ class BiCgSolver : public IterativeSolver
   public:
     SolverKind kind() const override { return SolverKind::BiCg; }
 
+    using IterativeSolver::solve;
     SolveResult solve(const CsrMatrix<float> &a,
                       const std::vector<float> &b,
                       const std::vector<float> &x0,
-                      const ConvergenceCriteria &criteria)
-        const override;
+                      const ConvergenceCriteria &criteria,
+                      SolverWorkspace &ws) const override;
 
     /** Two SpMVs (A p and A^T p*), three dots, five axpys. */
     KernelProfile

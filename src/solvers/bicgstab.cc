@@ -1,5 +1,6 @@
 #include "solvers/bicgstab.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hh"
@@ -12,7 +13,8 @@ SolveResult
 BiCgStabSolver::solve(const CsrMatrix<float> &a,
                       const std::vector<float> &b,
                       const std::vector<float> &x0,
-                      const ConvergenceCriteria &criteria) const
+                      const ConvergenceCriteria &criteria,
+                      SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
     const auto n = static_cast<size_t>(a.numRows());
@@ -20,20 +22,23 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
 
-    std::vector<float> r(n);
-    std::vector<float> ap;
+    std::vector<float> &r = ws.vec(0, n);
+    std::vector<float> &ap = ws.vec(1, n);
     spmv(a, x, ap);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ap[i];
-    const std::vector<float> r0s = r; // shadow residual r0*
-    std::vector<float> p = r;
-    std::vector<float> s(n);
-    std::vector<float> as;
+    std::vector<float> &r0s = ws.vec(2, n); // shadow residual r0*
+    std::copy(r.begin(), r.end(), r0s.begin());
+    std::vector<float> &p = ws.vec(3, n);
+    std::copy(r.begin(), r.end(), p.begin());
+    std::vector<float> &s = ws.vec(4, n);
+    std::vector<float> &as = ws.vec(5, n);
 
     ConvergenceMonitor mon(criteria, norm2(r), "BiCG-STAB");
     double rho = dot(r, r0s);
     double last_beta = kTraceUnset;
 
+    // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
         if (!std::isfinite(rho) || std::abs(rho) < 1e-30) {
             // Serious breakdown: r orthogonal to the shadow residual.
@@ -112,6 +117,7 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
         for (size_t i = 0; i < n; ++i)
             p[i] = r[i] + beta * (p[i] - omega * ap[i]);
     }
+    // acamar: hot-loop-end
 
     res.status = mon.status();
     res.iterations = mon.iterations();

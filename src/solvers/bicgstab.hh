@@ -22,11 +22,12 @@ class BiCgStabSolver : public IterativeSolver
   public:
     SolverKind kind() const override { return SolverKind::BiCgStab; }
 
+    using IterativeSolver::solve;
     SolveResult solve(const CsrMatrix<float> &a,
                       const std::vector<float> &b,
                       const std::vector<float> &x0,
-                      const ConvergenceCriteria &criteria)
-        const override;
+                      const ConvergenceCriteria &criteria,
+                      SolverWorkspace &ws) const override;
 
     /** Two SpMVs (Ap and As), four dots, six axpy-class updates. */
     KernelProfile

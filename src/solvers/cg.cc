@@ -1,5 +1,6 @@
 #include "solvers/cg.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hh"
@@ -11,7 +12,8 @@ namespace acamar {
 SolveResult
 CgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
                 const std::vector<float> &x0,
-                const ConvergenceCriteria &criteria) const
+                const ConvergenceCriteria &criteria,
+                SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
     const auto n = static_cast<size_t>(a.numRows());
@@ -19,17 +21,19 @@ CgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
 
-    std::vector<float> r(n);
-    std::vector<float> ap;
+    std::vector<float> &r = ws.vec(0, n);
+    std::vector<float> &p = ws.vec(1, n);
+    std::vector<float> &ap = ws.vec(2, n);
     spmv(a, x, ap);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ap[i];
-    std::vector<float> p = r;
+    std::copy(r.begin(), r.end(), p.begin());
 
     double rr = dot(r, r);
     ConvergenceMonitor mon(criteria, std::sqrt(rr), "CG");
     double last_beta = kTraceUnset;
 
+    // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
         spmv(a, p, ap);
         const double pap = dot(p, ap);
@@ -68,6 +72,7 @@ CgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
         for (size_t i = 0; i < n; ++i)
             p[i] = r[i] + beta * p[i];
     }
+    // acamar: hot-loop-end
 
     res.status = mon.status();
     res.iterations = mon.iterations();

@@ -22,11 +22,12 @@ class CgSolver : public IterativeSolver
   public:
     SolverKind kind() const override { return SolverKind::CG; }
 
+    using IterativeSolver::solve;
     SolveResult solve(const CsrMatrix<float> &a,
                       const std::vector<float> &b,
                       const std::vector<float> &x0,
-                      const ConvergenceCriteria &criteria)
-        const override;
+                      const ConvergenceCriteria &criteria,
+                      SolverWorkspace &ws) const override;
 
     /** One SpMV, two dots (alpha and new rr), three axpys. */
     KernelProfile

@@ -1,5 +1,6 @@
 #include "solvers/conjugate_residual.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hh"
@@ -12,8 +13,8 @@ SolveResult
 ConjugateResidualSolver::solve(const CsrMatrix<float> &a,
                                const std::vector<float> &b,
                                const std::vector<float> &x0,
-                               const ConvergenceCriteria &criteria)
-    const
+                               const ConvergenceCriteria &criteria,
+                               SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
     const auto n = static_cast<size_t>(a.numRows());
@@ -21,20 +22,23 @@ ConjugateResidualSolver::solve(const CsrMatrix<float> &a,
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
 
-    std::vector<float> r(n);
-    std::vector<float> tmp;
-    spmv(a, x, tmp);
+    std::vector<float> &r = ws.vec(0, n);
+    // ar doubles as the A*x scratch during setup.
+    std::vector<float> &ar = ws.vec(1, n);
+    spmv(a, x, ar);
     for (size_t i = 0; i < n; ++i)
-        r[i] = b[i] - tmp[i];
+        r[i] = b[i] - ar[i];
 
-    std::vector<float> p = r;
-    std::vector<float> ar;
+    std::vector<float> &p = ws.vec(2, n);
+    std::copy(r.begin(), r.end(), p.begin());
     spmv(a, r, ar);
-    std::vector<float> ap = ar;
+    std::vector<float> &ap = ws.vec(3, n);
+    std::copy(ar.begin(), ar.end(), ap.begin());
 
     double r_ar = dot(r, ar);
     ConvergenceMonitor mon(criteria, norm2(r), "CR");
 
+    // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
         const double ap_ap = dot(ap, ap);
         if (!std::isfinite(ap_ap) || ap_ap < 1e-30 ||
@@ -67,6 +71,7 @@ ConjugateResidualSolver::solve(const CsrMatrix<float> &a,
             ap[i] = ar[i] + beta * ap[i];
         }
     }
+    // acamar: hot-loop-end
 
     res.status = mon.status();
     res.iterations = mon.iterations();

@@ -26,11 +26,12 @@ class ConjugateResidualSolver : public IterativeSolver
         return SolverKind::ConjugateResidual;
     }
 
+    using IterativeSolver::solve;
     SolveResult solve(const CsrMatrix<float> &a,
                       const std::vector<float> &b,
                       const std::vector<float> &x0,
-                      const ConvergenceCriteria &criteria)
-        const override;
+                      const ConvergenceCriteria &criteria,
+                      SolverWorkspace &ws) const override;
 
     /** One SpMV (Ar via recurrence reuse), two dots, four axpys. */
     KernelProfile

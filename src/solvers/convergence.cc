@@ -100,7 +100,14 @@ ConvergenceMonitor::flagBreakdown(const std::string &reason)
 double
 ConvergenceMonitor::relativeResidual() const
 {
-    return lastResidual_ / std::max(initialResidual_, 1e-30);
+    // A zero initial residual means x0 already solved the system;
+    // the constructor marked the run converged before any iteration
+    // could move lastResidual_, so the relative residual is exactly
+    // 0 — not lastResidual_ / 1e-30, which would report an
+    // astronomically large value for an immediately-converged solve.
+    if (initialResidual_ == 0.0)
+        return 0.0;
+    return lastResidual_ / initialResidual_;
 }
 
 } // namespace acamar

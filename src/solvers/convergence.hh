@@ -136,7 +136,11 @@ class ConvergenceMonitor
     /** Initial residual the run started from. */
     double initialResidual() const { return initialResidual_; }
 
-    /** Relative residual (last / max(initial, tiny)). */
+    /**
+     * Relative residual (last / initial). A zero initial residual
+     * converged immediately, so this is 0 — never a division by the
+     * tiny-floor that would misreport it as astronomically large.
+     */
     double relativeResidual() const;
 
     /** Entire residual trajectory (index 0 = initial). */

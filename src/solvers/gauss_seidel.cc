@@ -11,7 +11,8 @@ SolveResult
 GaussSeidelSolver::solve(const CsrMatrix<float> &a,
                          const std::vector<float> &b,
                          const std::vector<float> &x0,
-                         const ConvergenceCriteria &criteria) const
+                         const ConvergenceCriteria &criteria,
+                         SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
     const auto n = static_cast<size_t>(a.numRows());
@@ -32,13 +33,14 @@ GaussSeidelSolver::solve(const CsrMatrix<float> &a,
     const auto &ci = a.colIdx();
     const auto &va = a.values();
 
-    std::vector<float> ax;
-    std::vector<float> r(n);
+    std::vector<float> &ax = ws.vec(0, n);
+    std::vector<float> &r = ws.vec(1, n);
     spmv(a, x, ax);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
     ConvergenceMonitor mon(criteria, norm2(r), "GS");
 
+    // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
         // One forward sweep, updating in place.
         for (size_t i = 0; i < n; ++i) {
@@ -56,6 +58,7 @@ GaussSeidelSolver::solve(const CsrMatrix<float> &a,
         if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
             break;
     }
+    // acamar: hot-loop-end
 
     res.status = mon.status();
     res.iterations = mon.iterations();

@@ -23,11 +23,12 @@ class GaussSeidelSolver : public IterativeSolver
   public:
     SolverKind kind() const override { return SolverKind::GaussSeidel; }
 
+    using IterativeSolver::solve;
     SolveResult solve(const CsrMatrix<float> &a,
                       const std::vector<float> &b,
                       const std::vector<float> &x0,
-                      const ConvergenceCriteria &criteria)
-        const override;
+                      const ConvergenceCriteria &criteria,
+                      SolverWorkspace &ws) const override;
 
     /** One matrix sweep (counted as an SpMV) plus residual norm. */
     KernelProfile

@@ -1,5 +1,6 @@
 #include "solvers/gmres.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hh"
@@ -24,7 +25,8 @@ SolveResult
 GmresSolver::solve(const CsrMatrix<float> &a,
                    const std::vector<float> &b,
                    const std::vector<float> &x0,
-                   const ConvergenceCriteria &criteria) const
+                   const ConvergenceCriteria &criteria,
+                   SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
     const auto n = static_cast<size_t>(a.numRows());
@@ -33,22 +35,34 @@ GmresSolver::solve(const CsrMatrix<float> &a,
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
 
-    std::vector<float> ax;
-    std::vector<float> r(n);
+    std::vector<float> &ax = ws.vec(0, n);
+    std::vector<float> &r = ws.vec(1, n);
+    std::vector<float> &w = ws.vec(2, n);
     spmv(a, x, ax);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
     ConvergenceMonitor mon(criteria, norm2(r), "GMRES");
 
-    // Arnoldi basis and Hessenberg factors for one restart cycle.
-    std::vector<std::vector<float>> basis;
+    // Arnoldi basis for one restart cycle, pinned to workspace
+    // slots up front so the restart loop never grows the pool.
+    constexpr size_t kBasisSlot = 3;
+    std::vector<std::vector<float> *> basis(
+        static_cast<size_t>(m) + 1);
+    for (int j = 0; j <= m; ++j)
+        basis[static_cast<size_t>(j)] =
+            &ws.vec(kBasisSlot + static_cast<size_t>(j), n);
+
+    // Hessenberg factors for one restart cycle (sized by the restart
+    // length, not the matrix; allocated once per solve).
     std::vector<std::vector<double>> h(
         static_cast<size_t>(m) + 1,
         std::vector<double>(static_cast<size_t>(m), 0.0));
     std::vector<double> cs(static_cast<size_t>(m), 0.0);
     std::vector<double> sn(static_cast<size_t>(m), 0.0);
     std::vector<double> g(static_cast<size_t>(m) + 1, 0.0);
+    std::vector<double> y(static_cast<size_t>(m), 0.0);
 
+    // acamar: hot-loop
     bool done = mon.status() == SolveStatus::Converged;
     while (!done) {
         // Start a restart cycle from the current residual.
@@ -59,9 +73,8 @@ GmresSolver::solve(const CsrMatrix<float> &a,
         if (beta == 0.0)
             break;
 
-        basis.assign(1, r);
         for (size_t i = 0; i < n; ++i)
-            basis[0][i] = static_cast<float>(r[i] / beta);
+            (*basis[0])[i] = static_cast<float>(r[i] / beta);
         std::fill(g.begin(), g.end(), 0.0);
         g[0] = beta;
         for (auto &col : h)
@@ -69,13 +82,12 @@ GmresSolver::solve(const CsrMatrix<float> &a,
 
         int steps = 0;
         for (int j = 0; j < m; ++j) {
-            std::vector<float> w;
-            spmv(a, basis[j], w);
+            spmv(a, *basis[j], w);
             // Modified Gram-Schmidt.
             for (int i = 0; i <= j; ++i) {
-                const double hij = dot(w, basis[i]);
+                const double hij = dot(w, *basis[i]);
                 h[i][j] = hij;
-                axpy(static_cast<float>(-hij), basis[i], w);
+                axpy(static_cast<float>(-hij), *basis[i], w);
             }
             const double hnext = norm2(w);
             h[j + 1][j] = hnext;
@@ -113,16 +125,14 @@ GmresSolver::solve(const CsrMatrix<float> &a,
             if (hnext < 1e-30)
                 break; // lucky breakdown: exact solution in space
 
-            std::vector<float> v(n);
+            std::vector<float> &v = *basis[j + 1];
             for (size_t i = 0; i < n; ++i)
                 v[i] = static_cast<float>(w[i] / hnext);
-            basis.push_back(std::move(v));
         }
 
         if (steps > 0 && mon.status() != SolveStatus::Breakdown) {
             // Back-substitute y from the triangularized system and
             // update x += V y.
-            std::vector<double> y(static_cast<size_t>(steps), 0.0);
             for (int i = steps - 1; i >= 0; --i) {
                 double acc = g[i];
                 for (int k = i + 1; k < steps; ++k)
@@ -130,9 +140,10 @@ GmresSolver::solve(const CsrMatrix<float> &a,
                 y[i] = acc / h[i][i];
             }
             for (int i = 0; i < steps; ++i)
-                axpy(static_cast<float>(y[i]), basis[i], x);
+                axpy(static_cast<float>(y[i]), *basis[i], x);
         }
     }
+    // acamar: hot-loop-end
 
     res.status = mon.status();
     res.iterations = mon.iterations();

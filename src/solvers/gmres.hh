@@ -25,11 +25,12 @@ class GmresSolver : public IterativeSolver
 
     SolverKind kind() const override { return SolverKind::Gmres; }
 
+    using IterativeSolver::solve;
     SolveResult solve(const CsrMatrix<float> &a,
                       const std::vector<float> &b,
                       const std::vector<float> &x0,
-                      const ConvergenceCriteria &criteria)
-        const override;
+                      const ConvergenceCriteria &criteria,
+                      SolverWorkspace &ws) const override;
 
     /** Average inner step: one SpMV plus ~m/2 orthogonalizations. */
     KernelProfile iterationProfile() const override;

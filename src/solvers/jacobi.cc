@@ -11,7 +11,8 @@ SolveResult
 JacobiSolver::solve(const CsrMatrix<float> &a,
                     const std::vector<float> &b,
                     const std::vector<float> &x0,
-                    const ConvergenceCriteria &criteria) const
+                    const ConvergenceCriteria &criteria,
+                    SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
     const auto n = static_cast<size_t>(a.numRows());
@@ -20,7 +21,7 @@ JacobiSolver::solve(const CsrMatrix<float> &a,
     std::vector<float> x = solver_detail::initialGuess(x0, n);
 
     const std::vector<float> diag = a.diagonal();
-    std::vector<float> inv_diag(n);
+    std::vector<float> &inv_diag = ws.vec(0, n);
     for (size_t i = 0; i < n; ++i) {
         inv_diag[i] = 1.0f / diag[i];
         if (diag[i] == 0.0f || !std::isfinite(inv_diag[i])) {
@@ -32,14 +33,15 @@ JacobiSolver::solve(const CsrMatrix<float> &a,
         }
     }
 
-    std::vector<float> ax;
-    std::vector<float> r(n);
+    std::vector<float> &ax = ws.vec(1, n);
+    std::vector<float> &r = ws.vec(2, n);
 
     spmv(a, x, ax);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
     ConvergenceMonitor mon(criteria, norm2(r), "JB");
 
+    // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
         // x += D^-1 r; then refresh r = b - A x.
         for (size_t i = 0; i < n; ++i)
@@ -50,6 +52,7 @@ JacobiSolver::solve(const CsrMatrix<float> &a,
         if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
             break;
     }
+    // acamar: hot-loop-end
 
     res.status = mon.status();
     res.iterations = mon.iterations();

@@ -21,11 +21,12 @@ class JacobiSolver : public IterativeSolver
   public:
     SolverKind kind() const override { return SolverKind::Jacobi; }
 
+    using IterativeSolver::solve;
     SolveResult solve(const CsrMatrix<float> &a,
                       const std::vector<float> &b,
                       const std::vector<float> &x0,
-                      const ConvergenceCriteria &criteria)
-        const override;
+                      const ConvergenceCriteria &criteria,
+                      SolverWorkspace &ws) const override;
 
     /** One SpMV, one norm, one scaled update per iteration. */
     KernelProfile

@@ -1,5 +1,6 @@
 #include "solvers/preconditioner.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hh"
@@ -18,7 +19,9 @@ void
 IdentityPreconditioner::apply(const std::vector<float> &r,
                               std::vector<float> &z) const
 {
-    z = r;
+    ACAMAR_CHECK(z.size() == r.size())
+        << "preconditioner output not pre-sized";
+    std::copy(r.begin(), r.end(), z.begin());
 }
 
 void
@@ -42,7 +45,8 @@ JacobiPreconditioner::apply(const std::vector<float> &r,
 {
     ACAMAR_CHECK(r.size() == invDiag_.size())
         << "preconditioner size mismatch";
-    z.resize(r.size());
+    ACAMAR_CHECK(z.size() == r.size())
+        << "preconditioner output not pre-sized";
     for (size_t i = 0; i < r.size(); ++i)
         z[i] = invDiag_[i] * r[i];
 }
@@ -66,18 +70,19 @@ PcgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
     prec_->setup(a);
 
     std::vector<float> r(n);
-    std::vector<float> ap;
+    std::vector<float> ap(n);
     spmv(a, x, ap);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ap[i];
 
-    std::vector<float> z;
+    std::vector<float> z(n);
     prec_->apply(r, z);
     std::vector<float> p = z;
     double rz = dot(r, z);
 
     ConvergenceMonitor mon(criteria, norm2(r), "PCG");
 
+    // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
         spmv(a, p, ap);
         const double pap = dot(p, ap);
@@ -105,6 +110,7 @@ PcgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
         for (size_t i = 0; i < n; ++i)
             p[i] = z[i] + beta * p[i];
     }
+    // acamar: hot-loop-end
 
     res.status = mon.status();
     res.iterations = mon.iterations();

@@ -25,7 +25,11 @@ class Preconditioner
     /** Bind to a matrix (extract whatever M needs). */
     virtual void setup(const CsrMatrix<float> &a) = 0;
 
-    /** z = M^-1 r. */
+    /**
+     * z = M^-1 r. The output must already be sized to match r
+     * (ACAMAR_CHECK enforced): apply() runs once per PCG iteration
+     * and must not allocate.
+     */
     virtual void apply(const std::vector<float> &r,
                        std::vector<float> &z) const = 0;
 };

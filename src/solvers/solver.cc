@@ -29,6 +29,16 @@ to_string(SolverKind k)
     return "unknown";
 }
 
+SolveResult
+IterativeSolver::solve(const CsrMatrix<float> &a,
+                       const std::vector<float> &b,
+                       const std::vector<float> &x0,
+                       const ConvergenceCriteria &criteria) const
+{
+    SolverWorkspace ws;
+    return solve(a, b, x0, criteria, ws);
+}
+
 std::unique_ptr<IterativeSolver>
 makeSolver(SolverKind kind)
 {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "solvers/convergence.hh"
+#include "solvers/workspace.hh"
 #include "sparse/csr.hh"
 
 namespace acamar {
@@ -79,12 +80,22 @@ class IterativeSolver
      * @param b right-hand side (size = rows of a).
      * @param x0 starting guess; empty means the zero vector.
      * @param criteria convergence thresholds.
+     * @param ws scratch-vector pool; all work vectors come from
+     *        here so the iteration loop never allocates. Reuse one
+     *        workspace across solves to amortize the allocations
+     *        themselves (the ReconfigurableSolver does).
      */
     virtual SolveResult solve(const CsrMatrix<float> &a,
                               const std::vector<float> &b,
                               const std::vector<float> &x0,
-                              const ConvergenceCriteria &criteria)
-        const = 0;
+                              const ConvergenceCriteria &criteria,
+                              SolverWorkspace &ws) const = 0;
+
+    /** Convenience overload with a throwaway local workspace. */
+    SolveResult solve(const CsrMatrix<float> &a,
+                      const std::vector<float> &b,
+                      const std::vector<float> &x0,
+                      const ConvergenceCriteria &criteria) const;
 
     /** Kernel mix of one solver-loop iteration. */
     virtual KernelProfile iterationProfile() const = 0;

@@ -17,7 +17,8 @@ SorSolver::SorSolver(float omega) : omega_(omega)
 SolveResult
 SorSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
                  const std::vector<float> &x0,
-                 const ConvergenceCriteria &criteria) const
+                 const ConvergenceCriteria &criteria,
+                 SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
     const auto n = static_cast<size_t>(a.numRows());
@@ -38,13 +39,14 @@ SorSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
     const auto &ci = a.colIdx();
     const auto &va = a.values();
 
-    std::vector<float> ax;
-    std::vector<float> r(n);
+    std::vector<float> &ax = ws.vec(0, n);
+    std::vector<float> &r = ws.vec(1, n);
     spmv(a, x, ax);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
     ConvergenceMonitor mon(criteria, norm2(r), "SOR");
 
+    // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
         // One relaxed forward sweep, in place.
         for (size_t i = 0; i < n; ++i) {
@@ -63,6 +65,7 @@ SorSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
         if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
             break;
     }
+    // acamar: hot-loop-end
 
     res.status = mon.status();
     res.iterations = mon.iterations();

@@ -25,11 +25,12 @@ class SorSolver : public IterativeSolver
 
     SolverKind kind() const override { return SolverKind::Sor; }
 
+    using IterativeSolver::solve;
     SolveResult solve(const CsrMatrix<float> &a,
                       const std::vector<float> &b,
                       const std::vector<float> &x0,
-                      const ConvergenceCriteria &criteria)
-        const override;
+                      const ConvergenceCriteria &criteria,
+                      SolverWorkspace &ws) const override;
 
     /** One sweep (as an SpMV) plus the residual refresh. */
     KernelProfile

@@ -1,0 +1,32 @@
+#include "solvers/workspace.hh"
+
+namespace acamar {
+
+std::vector<float> &
+SolverWorkspace::vec(size_t slot, size_t n)
+{
+    if (slot >= floats_.size())
+        floats_.resize(slot + 1);
+    std::vector<float> &v = floats_[slot];
+    v.resize(n);
+    return v;
+}
+
+std::vector<double> &
+SolverWorkspace::dvec(size_t slot, size_t n)
+{
+    if (slot >= doubles_.size())
+        doubles_.resize(slot + 1);
+    std::vector<double> &v = doubles_[slot];
+    v.resize(n);
+    return v;
+}
+
+void
+SolverWorkspace::clear()
+{
+    floats_.clear();
+    doubles_.clear();
+}
+
+} // namespace acamar

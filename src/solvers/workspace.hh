@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Preallocated scratch vectors for solver hot loops.
+ *
+ * Every iterative solver needs a handful of work vectors (r, p, Ap,
+ * ...). Allocating them per solve() call is fine; allocating them per
+ * *iteration* is not — across a 3000-iteration Stalled run that is
+ * thousands of heap round-trips per job, and under the batch engine
+ * those round-trips serialize on the allocator lock. SolverWorkspace
+ * hands out reusable, correctly-sized vectors so the loop body
+ * touches the heap zero times (tools/acamar_lint.py enforces the
+ * no-resize/no-push_back rule inside `// acamar: hot-loop` regions).
+ *
+ * A workspace is single-threaded state: one per solve in flight. The
+ * batch engine gives each worker-resident ReconfigurableSolver its
+ * own instance, which amortizes allocations across the restart
+ * attempts of one Acamar::run too.
+ */
+
+#ifndef ACAMAR_SOLVERS_WORKSPACE_HH
+#define ACAMAR_SOLVERS_WORKSPACE_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace acamar {
+
+/**
+ * Slot-indexed pools of scratch vectors. vec(slot, n) returns the
+ * same (stable) vector for the same slot every time, sized to n;
+ * repeated solves at the same dimension never reallocate.
+ */
+class SolverWorkspace
+{
+  public:
+    /**
+     * Scratch fp32 vector for `slot`, resized to n elements.
+     * Contents are whatever the previous use left there — callers
+     * must fully initialize what they read. References stay valid
+     * across later vec() calls (deque-backed storage).
+     */
+    std::vector<float> &vec(size_t slot, size_t n);
+
+    /** Scratch fp64 vector, same contract as vec(). */
+    std::vector<double> &dvec(size_t slot, size_t n);
+
+    /** Drop every pooled vector's memory (mostly for tests). */
+    void clear();
+
+  private:
+    // deque: growing the pool must not move existing vectors, since
+    // solvers hold references to them across subsequent vec() calls.
+    std::deque<std::vector<float>> floats_;
+    std::deque<std::vector<double>> doubles_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_WORKSPACE_HH

@@ -462,7 +462,7 @@ jacobiSpectralRadius(const CsrMatrix<double> &a, int iters, Rng &rng)
     for (auto &x : v)
         x = rng.uniform(-1.0, 1.0);
 
-    std::vector<double> av;
+    std::vector<double> av(static_cast<size_t>(n));
     double radius = 0.0;
     for (int it = 0; it < iters; ++it) {
         // w = -D^-1 (A - D) v = v - D^-1 A v
@@ -486,7 +486,7 @@ template <typename T>
 std::vector<T>
 rhsForSolution(const CsrMatrix<T> &a, const std::vector<T> &x_true)
 {
-    std::vector<T> b;
+    std::vector<T> b(static_cast<size_t>(a.numRows()));
     spmv(a, x_true, b);
     return b;
 }

@@ -20,7 +20,9 @@ spmvRows(const CsrMatrix<T> &a, const std::vector<T> &x,
         << "spmv x size mismatch";
     ACAMAR_CHECK(begin >= 0 && begin <= end && end <= a.numRows())
         << "spmv row range out of bounds";
-    y.resize(static_cast<size_t>(a.numRows()));
+    ACAMAR_CHECK(y.size() == static_cast<size_t>(a.numRows()))
+        << "spmv output not pre-sized: " << y.size() << " != "
+        << a.numRows();
 
     const auto &rp = a.rowPtr();
     const auto &ci = a.colIdx();
@@ -41,7 +43,9 @@ spmvLaned(const CsrMatrix<T> &a, const std::vector<T> &x,
     ACAMAR_CHECK(unroll >= 1) << "unroll factor must be >= 1";
     ACAMAR_CHECK(x.size() == static_cast<size_t>(a.numCols()))
         << "spmv x size mismatch";
-    y.resize(static_cast<size_t>(a.numRows()));
+    ACAMAR_CHECK(y.size() == static_cast<size_t>(a.numRows()))
+        << "spmv output not pre-sized: " << y.size() << " != "
+        << a.numRows();
 
     const auto &rp = a.rowPtr();
     const auto &ci = a.colIdx();

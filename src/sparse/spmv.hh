@@ -16,7 +16,11 @@
 
 namespace acamar {
 
-/** y = A x (CSR row-order, sequential accumulate per row). */
+/**
+ * y = A x (CSR row-order, sequential accumulate per row). The output
+ * must already be sized to numRows (ACAMAR_CHECK enforced) — SpMV is
+ * the innermost solver kernel and must never allocate.
+ */
 template <typename T>
 void spmv(const CsrMatrix<T> &a, const std::vector<T> &x,
           std::vector<T> &y);

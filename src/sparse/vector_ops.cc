@@ -39,7 +39,9 @@ waxpby(T a, const std::vector<T> &x, T b, const std::vector<T> &y,
        std::vector<T> &w)
 {
     ACAMAR_CHECK(x.size() == y.size()) << "waxpby size mismatch";
-    w.resize(x.size());
+    ACAMAR_CHECK(w.size() == x.size())
+        << "waxpby output not pre-sized: " << w.size() << " != "
+        << x.size();
     for (size_t i = 0; i < x.size(); ++i)
         w[i] = a * x[i] + b * y[i];
 }
@@ -58,7 +60,9 @@ hadamard(const std::vector<T> &x, const std::vector<T> &y,
          std::vector<T> &w)
 {
     ACAMAR_CHECK(x.size() == y.size()) << "hadamard size mismatch";
-    w.resize(x.size());
+    ACAMAR_CHECK(w.size() == x.size())
+        << "hadamard output not pre-sized: " << w.size() << " != "
+        << x.size();
     for (size_t i = 0; i < x.size(); ++i)
         w[i] = x[i] * y[i];
 }

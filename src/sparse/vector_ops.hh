@@ -28,7 +28,11 @@ double norm2(const std::vector<T> &x);
 template <typename T>
 void axpy(T a, const std::vector<T> &x, std::vector<T> &y);
 
-/** w = a*x + b*y (write into w, which is resized). */
+/**
+ * w = a*x + b*y. The output must already be sized to match x
+ * (ACAMAR_CHECK enforced): these run inside solver hot loops, where
+ * a resize() would mean a per-iteration heap allocation.
+ */
 template <typename T>
 void waxpby(T a, const std::vector<T> &x, T b, const std::vector<T> &y,
             std::vector<T> &w);
@@ -37,7 +41,11 @@ void waxpby(T a, const std::vector<T> &x, T b, const std::vector<T> &y,
 template <typename T>
 void scale(std::vector<T> &x, T a);
 
-/** Elementwise w = x * y (Hadamard), used by Jacobi's D^-1 apply. */
+/**
+ * Elementwise w = x * y (Hadamard), used by Jacobi's D^-1 apply.
+ * The output must already be sized to match x (ACAMAR_CHECK
+ * enforced), same hot-loop contract as waxpby.
+ */
 template <typename T>
 void hadamard(const std::vector<T> &x, const std::vector<T> &y,
               std::vector<T> &w);

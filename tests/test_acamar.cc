@@ -38,7 +38,7 @@ double
 trueRelResidual(const CsrMatrix<float> &a, const std::vector<float> &b,
                 const std::vector<float> &x)
 {
-    std::vector<float> ax;
+    std::vector<float> ax(b.size());
     spmv(a, x, ax);
     std::vector<float> r(b.size());
     for (size_t i = 0; i < b.size(); ++i)

@@ -30,6 +30,15 @@ TEST(Monitor, ImmediateConvergenceOnZeroResidual)
     EXPECT_EQ(m.iterations(), 0);
 }
 
+TEST(Monitor, ZeroInitialResidualHasZeroRelativeResidual)
+{
+    // Regression: this used to report 0/0 = NaN even though the
+    // constructor had already marked the run Converged.
+    ConvergenceMonitor m(quick(), 0.0);
+    EXPECT_EQ(m.status(), SolveStatus::Converged);
+    EXPECT_DOUBLE_EQ(m.relativeResidual(), 0.0);
+}
+
 TEST(Monitor, ConvergesWhenRelativeResidualFalls)
 {
     ConvergenceMonitor m(quick(), 10.0);

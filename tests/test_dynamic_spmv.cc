@@ -151,7 +151,7 @@ TEST_F(DynamicSpmvTest, RunIsFunctionallyCorrect)
     plan.factors = {4, 4, 8, 2};
     plan.maxFactor = 8;
 
-    std::vector<float> y, ref;
+    std::vector<float> y, ref(96);
     const auto st = kernel_.run(a, x, y, plan);
     spmv(a, x, ref);
     ASSERT_EQ(y.size(), ref.size());

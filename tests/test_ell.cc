@@ -59,7 +59,7 @@ TEST(Ell, SpmvMatchesCsr)
     std::vector<float> x(128);
     for (auto &v : x)
         v = static_cast<float>(rng.uniform(-1.0, 1.0));
-    std::vector<float> ye, yc;
+    std::vector<float> ye, yc(128);
     e.spmv(x, ye);
     spmv(a, x, yc);
     ASSERT_EQ(ye.size(), yc.size());

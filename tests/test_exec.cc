@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the exec/ batch engine: the work-stealing ThreadPool,
+ * parallelForIndex, and BatchSolver's determinism contract (same
+ * root seed => byte-identical reports and stats at any --jobs).
+ *
+ * The *Mt tests hammer the thread-safe singletons from many threads
+ * at once; CI runs them under TSan (-DACAMAR_SANITIZE=thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "accel/report.hh"
+#include "common/stats.hh"
+#include "exec/batch_solver.hh"
+#include "exec/parallel_for.hh"
+#include "exec/thread_pool.hh"
+#include "obs/jsonl_sink.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
+#include "sparse/catalog.hh"
+
+namespace acamar {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    std::atomic<int> ran{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskError)
+{
+    std::atomic<int> ran{0};
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+        pool.submit([&, i] {
+            ran.fetch_add(1);
+            if (i == 7)
+                throw std::runtime_error("task 7 failed");
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The rest of the batch still ran to completion.
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, DefaultThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+}
+
+TEST(ParallelForMt, VisitsEachIndexExactlyOnce)
+{
+    constexpr size_t kN = 500;
+    std::vector<std::atomic<int>> visits(kN);
+    parallelForIndex(4, kN, [&](size_t i) {
+        visits[i].fetch_add(1);
+    });
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelForMt, ParallelMatchesSerialSlots)
+{
+    constexpr size_t kN = 256;
+    std::vector<uint64_t> serial(kN), parallel(kN);
+    const auto fill = [](std::vector<uint64_t> &out) {
+        return [&out](size_t i) {
+            out[i] = i * 2654435761u + 17;
+        };
+    };
+    parallelForIndex(1, kN, fill(serial));
+    parallelForIndex(8, kN, fill(parallel));
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelForMt, PropagatesTaskError)
+{
+    EXPECT_THROW(parallelForIndex(4, 64,
+                                  [](size_t i) {
+                                      if (i == 13)
+                                          throw std::runtime_error(
+                                              "cell 13");
+                                  }),
+                 std::runtime_error);
+}
+
+/** A small batch over the first few catalog datasets. */
+struct BatchFixture {
+    std::vector<CsrMatrix<float>> mats;
+    std::vector<std::vector<float>> rhs;
+
+    BatchFixture()
+    {
+        const auto &catalog = datasetCatalog();
+        const size_t n = std::min<size_t>(3, catalog.size());
+        for (size_t i = 0; i < n; ++i) {
+            mats.push_back(
+                generateDataset(catalog[i], 256).cast<float>());
+            rhs.push_back(datasetRhs(mats.back(), catalog[i].id));
+        }
+    }
+
+    /** Reports serialized to comparable bytes. */
+    std::vector<std::string>
+    runReports(int jobs, uint64_t root_seed) const
+    {
+        BatchOptions opts;
+        opts.jobs = jobs;
+        opts.rootSeed = root_seed;
+        BatchSolver batch(opts);
+        AcamarConfig cfg;
+        cfg.chunkRows = 256;
+        for (size_t i = 0; i < mats.size(); ++i)
+            batch.add(mats[i], rhs[i], cfg);
+        std::vector<std::string> out;
+        for (const auto &rep : batch.solveAll())
+            out.push_back(runReportJson(rep, 300e6).dump());
+        return out;
+    }
+};
+
+TEST(BatchSolverMt, ReportsAreByteIdenticalAcrossJobCounts)
+{
+    const BatchFixture fx;
+    const auto serial = fx.runReports(1, 42);
+    const auto parallel = fx.runReports(8, 42);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "job " << i;
+}
+
+TEST(BatchSolverMt, StatsSnapshotIsByteIdenticalAcrossJobCounts)
+{
+    const BatchFixture fx;
+    auto &reg = StatRegistry::instance();
+
+    reg.setRetainRemoved(true);
+    fx.runReports(1, 42);
+    const std::string serial = reg.snapshotJson().dump();
+    reg.setRetainRemoved(false);  // drop the serial run's snapshots
+
+    reg.setRetainRemoved(true);
+    fx.runReports(8, 42);
+    const std::string parallel = reg.snapshotJson().dump();
+    reg.setRetainRemoved(false);
+
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(BatchSolver, JobSeedsAreStablePerSubmissionIndex)
+{
+    BatchOptions opts;
+    opts.rootSeed = 1234;
+    const BatchFixture fx;
+    BatchSolver a(opts), b(opts);
+    for (size_t i = 0; i < fx.mats.size(); ++i) {
+        a.add(fx.mats[i], fx.rhs[i]);
+        b.add(fx.mats[i], fx.rhs[i]);
+    }
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a.jobSeed(i), b.jobSeed(i)) << "job " << i;
+    EXPECT_NE(a.jobSeed(0), a.jobSeed(1));
+}
+
+TEST(TraceMt, ConcurrentEmittersProduceWholeJsonlLines)
+{
+    struct SessionGuard {
+        ~SessionGuard() { TraceSession::instance().stop(); }
+    } guard;
+
+    const std::string path = testing::TempDir() + "trace_mt.jsonl";
+    auto &session = TraceSession::instance();
+    session.addSink(std::make_unique<JsonlTraceSink>(path));
+    ASSERT_TRUE(session.enabled());
+
+    constexpr size_t kEmitters = 32;
+    constexpr int kEventsEach = 50;
+    parallelForIndex(4, kEmitters, [&](size_t e) {
+        for (int i = 0; i < kEventsEach; ++i) {
+            ACAMAR_TRACE(SolveIterationEvent{
+                "CG", static_cast<int>(e), 1.0 / (i + 1)});
+        }
+        session.flushThisThread();
+    });
+    session.stop();
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    size_t lines = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ++lines;
+        // Interleaved writes would corrupt the JSON.
+        EXPECT_NO_THROW(JsonValue::parse(line)) << line;
+    }
+    EXPECT_EQ(lines, kEmitters * kEventsEach);
+}
+
+TEST(StatRegistryMt, ConcurrentAddRemoveKeepsCountsConsistent)
+{
+    auto &reg = StatRegistry::instance();
+    const size_t baseline = reg.liveGroups();
+    parallelForIndex(8, 64, [&](size_t i) {
+        StatGroup g("exec_test.group" + std::to_string(i));
+        ScalarStat s;
+        g.addScalar("value", &s, "per-thread scratch stat");
+        s.add(static_cast<double>(i));
+        reg.add(&g);
+        reg.snapshotJson();  // race the snapshot path too
+        reg.remove(&g);
+    });
+    EXPECT_EQ(reg.liveGroups(), baseline);
+}
+
+} // namespace
+} // namespace acamar

@@ -85,7 +85,7 @@ TEST(SlicedEll, SpmvMatchesCsr)
     std::vector<float> x(128);
     for (auto &v : x)
         v = static_cast<float>(rng.uniform(-1.0, 1.0));
-    std::vector<float> ye, yc;
+    std::vector<float> ye, yc(128);
     e.spmv(x, ye);
     spmv(a, x, yc);
     for (size_t i = 0; i < yc.size(); ++i)

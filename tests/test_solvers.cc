@@ -79,6 +79,24 @@ TEST_P(AllSolvers, WarmStartAtSolutionConvergesInstantly)
     EXPECT_LE(res.iterations, 3) << to_string(GetParam());
 }
 
+TEST_P(AllSolvers, ExactInitialGuessReportsZeroRelativeResidual)
+{
+    // Power-of-two data keeps the fp32 A*x0 product exact, so the
+    // initial residual is exactly zero. Regression: the reported
+    // relative residual used to be 0/0 = NaN on this path.
+    CooMatrix<double> coo(8, 8);
+    for (int32_t i = 0; i < 8; ++i)
+        coo.add(i, i, 2.0);
+    const auto a = coo.toCsr().cast<float>();
+    const std::vector<float> xt(8, 1.5f);
+    const auto b = rhsForSolution(a, xt);
+    const auto res = makeSolver(GetParam())
+                         ->solve(a, b, xt, ConvergenceCriteria{});
+    EXPECT_EQ(res.status, SolveStatus::Converged);
+    EXPECT_EQ(res.iterations, 0);
+    EXPECT_EQ(res.relativeResidual, 0.0);
+}
+
 TEST_P(AllSolvers, ResidualHistoryStartsAtInitial)
 {
     const auto p = makeSpdProblem(8);

@@ -28,7 +28,7 @@ TEST(Spmv, MatchesDenseComputation)
     coo.add(2, 2, 5.0);
     const auto a = coo.toCsr();
     std::vector<double> x{1.0, 2.0, 3.0};
-    std::vector<double> y;
+    std::vector<double> y(3);
     spmv(a, x, y);
     ASSERT_EQ(y.size(), 3u);
     EXPECT_DOUBLE_EQ(y[0], 5.0);
@@ -70,8 +70,18 @@ TEST(SpmvDeathTest, SizeMismatchPanics)
     coo.add(0, 0, 1.0f);
     const auto a = coo.toCsr();
     std::vector<float> x(2, 1.0f); // should be 3
-    std::vector<float> y;
+    std::vector<float> y(2);
     EXPECT_DEATH(spmv(a, x, y), "size mismatch");
+}
+
+TEST(SpmvDeathTest, UnsizedOutputPanics)
+{
+    CooMatrix<float> coo(2, 2);
+    coo.add(0, 0, 1.0f);
+    const auto a = coo.toCsr();
+    std::vector<float> x(2, 1.0f);
+    std::vector<float> y; // hot-loop contract: caller pre-sizes
+    EXPECT_DEATH(spmv(a, x, y), "not pre-sized");
 }
 
 class LanedSpmv : public ::testing::TestWithParam<int>
@@ -89,7 +99,7 @@ TEST_P(LanedSpmv, AgreesWithSequentialKernel)
     for (auto &v : x)
         v = static_cast<float>(rng.uniform(-1.0, 1.0));
 
-    std::vector<float> ref, laned;
+    std::vector<float> ref(128), laned(128);
     spmv(a, x, ref);
     spmvLaned(a, x, laned, unroll);
     ASSERT_EQ(ref.size(), laned.size());
@@ -106,7 +116,7 @@ TEST_P(LanedSpmv, ExactForDoublePoisson)
     const int unroll = GetParam();
     const auto a = poisson2d(8, 8, 0.5);
     std::vector<double> x(64, 1.0);
-    std::vector<double> ref, laned;
+    std::vector<double> ref(64), laned(64);
     spmv(a, x, ref);
     spmvLaned(a, x, laned, unroll);
     for (size_t i = 0; i < ref.size(); ++i)

@@ -48,7 +48,7 @@ TEST(VectorOps, Waxpby)
 {
     std::vector<double> x{1.0, 2.0};
     std::vector<double> y{3.0, 4.0};
-    std::vector<double> w;
+    std::vector<double> w(2);
     waxpby(2.0, x, -1.0, y, w);
     ASSERT_EQ(w.size(), 2u);
     EXPECT_DOUBLE_EQ(w[0], -1.0);
@@ -67,7 +67,7 @@ TEST(VectorOps, Hadamard)
 {
     std::vector<double> x{2.0, 3.0};
     std::vector<double> y{5.0, -1.0};
-    std::vector<double> w;
+    std::vector<double> w(2);
     hadamard(x, y, w);
     EXPECT_DOUBLE_EQ(w[0], 10.0);
     EXPECT_DOUBLE_EQ(w[1], -3.0);
@@ -79,6 +79,15 @@ TEST(VectorOpsDeathTest, SizeMismatchPanics)
     std::vector<float> b{1.0f, 2.0f};
     EXPECT_DEATH(dot(a, b), "size mismatch");
     EXPECT_DEATH(axpy(1.0f, a, b), "size mismatch");
+}
+
+TEST(VectorOpsDeathTest, UnsizedOutputPanics)
+{
+    std::vector<float> x{1.0f, 2.0f};
+    std::vector<float> y{3.0f, 4.0f};
+    std::vector<float> w; // hot-loop contract: caller pre-sizes
+    EXPECT_DEATH(waxpby(1.0f, x, 1.0f, y, w), "not pre-sized");
+    EXPECT_DEATH(hadamard(x, y, w), "not pre-sized");
 }
 
 } // namespace

@@ -250,6 +250,11 @@ def solver_convergence(files):
         if f.rel.endswith("convergence.cc") or \
                 f.rel.endswith("convergence.hh"):
             continue
+        # solver.cc holds the base-class convenience overload, which
+        # only delegates to the workspace-taking solve(); the monitor
+        # lives in each concrete implementation.
+        if f.rel.endswith("solvers/solver.cc"):
+            continue
         text = "\n".join(f.code_lines)
         defines_solve = re.search(r"::\s*solve\s*\(", text)
         if f.rel.endswith(".cc") and defines_solve and \
@@ -262,6 +267,37 @@ def solver_convergence(files):
                 yield Finding(f.rel, no, "solver-convergence",
                               "hand-rolled tolerance check: ask "
                               "ConvergenceMonitor::meetsTolerance()")
+
+
+@rule("hot-loop-alloc",
+      "solver regions between `// acamar: hot-loop` and "
+      "`// acamar: hot-loop-end` markers must not allocate: no "
+      "resize()/push_back()/emplace_back() inside the iteration loop "
+      "(use SolverWorkspace slots sized before the loop)")
+def hot_loop_alloc(files):
+    alloc = re.compile(r"\.\s*(resize|push_back|emplace_back)\s*\(")
+    for f in files:
+        if not f.rel.startswith("src/solvers/"):
+            continue
+        in_hot = False
+        hot_start = 0
+        for no, (raw, code) in enumerate(
+                zip(f.raw_lines, f.code_lines), 1):
+            # Markers live in comments, so match the raw line; check
+            # the -end marker first (the other is its prefix).
+            if "acamar: hot-loop-end" in raw:
+                in_hot = False
+                continue
+            if "acamar: hot-loop" in raw:
+                in_hot = True
+                hot_start = no
+                continue
+            if in_hot and alloc.search(code):
+                yield Finding(
+                    f.rel, no, "hot-loop-alloc",
+                    "allocation in the hot loop opened at line "
+                    f"{hot_start}: take a pre-sized SolverWorkspace "
+                    "vector instead")
 
 
 @rule("raw-stderr",
