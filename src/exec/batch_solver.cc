@@ -3,6 +3,7 @@
 #include "common/check.hh"
 #include "common/random.hh"
 #include "exec/parallel_for.hh"
+#include "obs/trace.hh"
 
 namespace acamar {
 
@@ -46,6 +47,9 @@ BatchSolver::solveAll() const
         // so the report depends only on the job's inputs.
         Acamar acc(job.cfg, job.device);
         reports[i] = acc.run(*job.a, *job.b);
+        // Job boundary: a job's trace events are durable once its
+        // report is (see TraceSession::flushThisThread).
+        TraceSession::instance().flushThisThread();
     });
     return reports;
 }

@@ -11,8 +11,11 @@
  *    simulated units), so jobs share nothing mutable;
  *  - results land in a vector indexed by submission order, never by
  *    completion order;
- *  - each job carries an Rng stream seed derived by splitmix64 from
- *    the batch's root seed, fixed at add() time.
+ *  - each job is assigned a splitmix64 seed derived from the batch's
+ *    root seed, fixed at add() time. The Acamar pipeline itself is
+ *    deterministic and consumes no randomness; the seed is exposed
+ *    via jobSeed() for callers that synthesize randomized per-job
+ *    inputs, so those inputs depend only on submission index.
  *
  * The observability layer (TraceSession, StatRegistry) is
  * mutex-protected, so jobs may run traced; JSONL lines from
@@ -45,7 +48,7 @@ struct BatchJob {
     const std::vector<float> *b = nullptr; //!< borrowed
     AcamarConfig cfg;
     FpgaDevice device = FpgaDevice::alveoU55c();
-    uint64_t seed = 0;  //!< this job's Rng stream seed
+    uint64_t seed = 0;  //!< caller-facing seed; see jobSeed()
 };
 
 /** Deterministic parallel batch runner over the Acamar facade. */
@@ -66,7 +69,13 @@ class BatchSolver
     /** Jobs queued so far. */
     size_t size() const { return jobs_.size(); }
 
-    /** The Rng stream seed job `index` was assigned at add() time. */
+    /**
+     * The splitmix64 seed job `index` was assigned at add() time.
+     * solveAll() itself never consumes it (Acamar runs are seed-free
+     * and deterministic); it exists for callers that generate
+     * randomized per-job inputs and want them tied to the submission
+     * index rather than to scheduling.
+     */
     uint64_t jobSeed(size_t index) const;
 
     /**

@@ -19,6 +19,19 @@ parallelForIndex(int jobs, size_t n,
     }
     ThreadPool pool(static_cast<int>(
         std::min<size_t>(static_cast<size_t>(jobs), n)));
+    parallelForIndex(pool, n, fn);
+}
+
+void
+parallelForIndex(ThreadPool &pool, size_t n,
+                 const std::function<void(size_t)> &fn)
+{
+    ACAMAR_CHECK(fn) << "parallelForIndex needs a body";
+    if (n <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
     for (size_t i = 0; i < n; ++i)
         pool.submit([&fn, i] { fn(i); });
     pool.wait();

@@ -18,6 +18,8 @@
 
 namespace acamar {
 
+class ThreadPool;
+
 /**
  * Run fn(0) .. fn(n-1), each exactly once. With jobs <= 1 the calls
  * happen inline, in order, on the calling thread — the reference
@@ -25,8 +27,19 @@ namespace acamar {
  * run on a ThreadPool in unspecified order, so fn must only touch
  * its own index's state. Rethrows the first task error after the
  * whole index space has run.
+ *
+ * This form spins up (and joins) a pool per call; callers issuing
+ * many sweeps back-to-back should construct one ThreadPool and use
+ * the pool-reusing overload below instead.
  */
 void parallelForIndex(int jobs, size_t n,
+                      const std::function<void(size_t)> &fn);
+
+/**
+ * Same contract, but fans out on an existing pool — no thread
+ * spawn/join per call. n <= 1 still runs inline on the caller.
+ */
+void parallelForIndex(ThreadPool &pool, size_t n,
                       const std::function<void(size_t)> &fn);
 
 } // namespace acamar

@@ -32,7 +32,12 @@ ThreadPool::~ThreadPool()
         wait();
     } catch (...) {
     }
-    stop_.store(true);
+    // Set under sleepMutex_ so no worker can check the predicate,
+    // miss the stop flag, and block after this notify (lost wakeup).
+    {
+        std::lock_guard<std::mutex> lk(sleepMutex_);
+        stop_.store(true);
+    }
     sleepCv_.notify_all();
     for (auto &w : workers_)
         w.join();
@@ -50,7 +55,13 @@ ThreadPool::submit(std::function<void()> task)
         std::lock_guard<std::mutex> lk(queues_[q]->m);
         queues_[q]->tasks.push_back(std::move(task));
     }
-    queued_.fetch_add(1);
+    // Publish under sleepMutex_: a worker between its wait predicate
+    // (queued_ == 0) and its cv block must not miss this task, or the
+    // pool can sleep with work stranded in a deque.
+    {
+        std::lock_guard<std::mutex> lk(sleepMutex_);
+        queued_.fetch_add(1);
+    }
     sleepCv_.notify_one();
 }
 

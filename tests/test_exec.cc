@@ -86,6 +86,23 @@ TEST(ParallelForMt, ParallelMatchesSerialSlots)
     EXPECT_EQ(serial, parallel);
 }
 
+TEST(ParallelForMt, ReusedPoolRunsBackToBackSweeps)
+{
+    // Repeated submit/wait cycles on one pool: between rounds every
+    // worker is asleep, so each new round exercises the
+    // wake-from-idle path in submit().
+    constexpr size_t kN = 128;
+    constexpr int kRounds = 5;
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> visits(kN);
+    for (int round = 0; round < kRounds; ++round)
+        parallelForIndex(pool, kN, [&](size_t i) {
+            visits[i].fetch_add(1);
+        });
+    for (size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(visits[i].load(), kRounds) << "index " << i;
+}
+
 TEST(ParallelForMt, PropagatesTaskError)
 {
     EXPECT_THROW(parallelForIndex(4, 64,
