@@ -26,6 +26,7 @@ main(int argc, char **argv)
     const int32_t dim = bench::dimFrom(cfg);
     bench::banner("Ablation — ELL padding vs Eq. 5 underutilization",
                   "extends Figure 2 / Section III-B");
+    PerfReporter perf(cfg, "ablation_formats", dim, 1);
 
     AcamarConfig acfg;
     acfg.chunkRows = dim;
@@ -67,5 +68,7 @@ main(int argc, char **argv)
                  " max-row-width unit, and the\nper-set plan removes"
                  " most of it — the format-level restatement of the"
                  " paper's\nresource-underutilization argument.\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

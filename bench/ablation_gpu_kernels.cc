@@ -22,6 +22,7 @@ main(int argc, char **argv)
     const int32_t dim = bench::dimFrom(cfg);
     bench::banner("Ablation — GPU SpMV kernel choice",
                   "robustness of Figures 8/9 (bottom)");
+    PerfReporter perf(cfg, "ablation_gpu_kernels", dim, 1);
 
     const GpuSpmvModel gpu(GpuDevice::gtx1650Super());
     const GpuKernel kernels[] = {GpuKernel::CsrVector,
@@ -61,5 +62,7 @@ main(int argc, char **argv)
     std::cout << "\nEvery kernel leaves the GPU far below peak on"
                  " these sparsities — the paper's\ncomparison does"
                  " not hinge on cuSPARSE's kernel choice.\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

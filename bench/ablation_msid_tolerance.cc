@@ -22,6 +22,7 @@ main(int argc, char **argv)
     const int32_t dim = bench::dimFrom(cfg);
     bench::banner("Ablation — MSID tolerance sweep",
                   "Section V-D 'tolerance' knob");
+    PerfReporter perf(cfg, "ablation_msid_tolerance", dim, 1);
 
     const std::vector<double> tols{0.0, 0.05, 0.15, 0.3, 0.6, 1.0};
     const auto workloads = bench::allWorkloads(dim);
@@ -60,5 +61,7 @@ main(int argc, char **argv)
                  " floor; past ~0.3 the chain copies factors across"
                  " genuinely different\nsets, paying RU without"
                  " buying fewer events — 0.15 is the sweet spot.\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

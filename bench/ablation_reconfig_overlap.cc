@@ -24,6 +24,7 @@ main(int argc, char **argv)
     bench::banner("Ablation — DFX overlap: blocking vs "
                   "double-buffered nested regions",
                   "extends Figure 13 / Section VIII-A");
+    PerfReporter perf(cfg, "ablation_reconfig_overlap", dim, 1);
 
     const auto dev = FpgaDevice::alveoU55c();
     AcamarConfig acfg;
@@ -87,5 +88,7 @@ main(int argc, char **argv)
                  " which per-set DFX would become free — the"
                  " quantified\nversion of the paper's Figure 13"
                  " budget argument. Try --bits=200000.\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

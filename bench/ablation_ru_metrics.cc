@@ -21,6 +21,7 @@ main(int argc, char **argv)
     const int32_t dim = bench::dimFrom(cfg);
     bench::banner("Ablation — Eq. 5 R.U vs occupancy idle fraction",
                   "DESIGN.md 'Eq. 5 fidelity'");
+    PerfReporter perf(cfg, "ablation_ru_metrics", dim, 1);
 
     const std::vector<int> urbs{2, 4, 8, 16, 32};
     std::vector<std::string> headers{"ID"};
@@ -42,5 +43,7 @@ main(int argc, char **argv)
                  " for multi-beat rows Eq. 5 reports only the last"
                  " beat's\nremainder, so it understates idle lanes"
                  " relative to the occupancy view.\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

@@ -9,6 +9,11 @@
  * chrome://tracing) and --stats=<path> (stats snapshot) — construct
  * a RunArtifacts right after parseArgs to honor them.
  *
+ * Performance flags are shared as well: --profile=1,
+ * --perf-json=<path>, --flamegraph=<path> and --profile-trace=<path>
+ * all route through PerfReporter — construct one right after the
+ * banner and feed it the bench's throughput before returning.
+ *
  * Diagnostics must go through the Logger (stderr); stdout carries
  * only the machine-parseable tables.
  */
@@ -25,6 +30,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "exec/parallel_for.hh"
+#include "obs/perf_report.hh"
 #include "obs/run_artifacts.hh"
 #include "sparse/catalog.hh"
 

@@ -23,6 +23,7 @@ main(int argc, char **argv)
     const int urb = static_cast<int>(cfg.getInt("urb", 16));
     bench::banner("Figure 10 — performance efficiency (GFLOPS/mm^2)",
                   "Figure 10, Section VI-D");
+    PerfReporter perf(cfg, "fig10_perf_efficiency", dim, 1);
 
     AcamarConfig acfg;
     acfg.chunkRows = dim;
@@ -80,5 +81,7 @@ main(int argc, char **argv)
               << "x, GMEAN area saving "
               << formatDouble(geomean(savings), 2)
               << "x (paper: ~2x more area efficient on average)\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

@@ -40,6 +40,7 @@ main(int argc, char **argv)
     const int jobs = bench::jobsFrom(cfg);
     bench::banner("Figure 11 — RU and SpMV latency vs MSID stages",
                   "Figure 11, Section VII-A");
+    PerfReporter perf(cfg, "fig11_msid_sweep", dim, jobs);
 
     const std::vector<int> stage_counts{0, 1, 2, 4, 8, 12};
     const auto workloads = bench::allWorkloads(dim, jobs);
@@ -94,5 +95,7 @@ main(int argc, char **argv)
     t.print(std::cout);
     std::cout << "\nRU and latency stay nearly constant while\n"
                  "events/pass drop — the Figure 11 behaviour.\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

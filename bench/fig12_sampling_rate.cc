@@ -37,6 +37,7 @@ main(int argc, char **argv)
     const int jobs = bench::jobsFrom(cfg);
     bench::banner("Figure 12 — underutilization vs sampling rate",
                   "Figure 12, Section VII-B");
+    PerfReporter perf(cfg, "fig12_sampling_rate", dim, jobs);
 
     const std::vector<int> rates{4, 8, 16, 32, 64, 128, 256};
     const auto workloads = bench::allWorkloads(dim, jobs);
@@ -80,5 +81,7 @@ main(int argc, char **argv)
     t.print(std::cout);
     std::cout << "\nRU falls as the rate rises; the paper picks 32"
                  " to balance reconfiguration latency.\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

@@ -24,6 +24,7 @@ main(int argc, char **argv)
     bench::banner("Figure 13 — allowed reconfiguration time per "
                   "event",
                   "Figure 13, Section VIII-A");
+    PerfReporter perf(cfg, "fig13_reconfig_bounds", dim, 1);
 
     AcamarConfig acfg;
     acfg.chunkRows = dim;
@@ -69,5 +70,7 @@ main(int argc, char **argv)
                  " the paper treats reconfiguration latency as a"
                  " budget (Fig. 13)\nrather than charging it to"
                  " every pass.\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

@@ -23,6 +23,7 @@ main(int argc, char **argv)
     bench::banner(
         "Figure 1 — share of solver latency spent in SpMV",
         "Figure 1, Section III-B");
+    PerfReporter perf(cfg, "fig1_spmv_latency", dim, 1);
 
     const auto dev = FpgaDevice::alveoU55c();
     EventQueue eq;
@@ -60,5 +61,7 @@ main(int argc, char **argv)
                      100.0 * sum / static_cast<double>(all.size()), 1)
               << "%  min " << formatDouble(100.0 * mn, 1)
               << "%  (paper: SpMV consumes most of the time)\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

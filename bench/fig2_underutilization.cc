@@ -21,6 +21,7 @@ main(int argc, char **argv)
     bench::banner("Figure 2 — baseline SpMV underutilization vs "
                   "unroll factor",
                   "Figure 2, Eq. 5");
+    PerfReporter perf(cfg, "fig2_underutilization", dim, 1);
 
     const std::vector<int> urbs{2, 4, 8, 16, 32};
     std::vector<std::string> headers{"ID"};
@@ -46,5 +47,7 @@ main(int argc, char **argv)
     t.print(std::cout);
     std::cout << "\nThe best fixed factor differs across datasets —\n"
                  "the paper's case for per-set dynamic unrolling.\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

@@ -39,6 +39,7 @@ main(int argc, char **argv)
     const int jobs = bench::jobsFrom(cfg);
     bench::banner("Figure 5 — reconfiguration rate vs MSID stages",
                   "Figure 5, Algorithm 4");
+    PerfReporter perf(cfg, "fig5_reconfig_rate", dim, jobs);
 
     const auto workloads = bench::allWorkloads(dim, jobs);
     const RowLengthTrace trace(rate, dim, 64);
@@ -80,5 +81,7 @@ main(int argc, char **argv)
     t.print(std::cout);
     std::cout << "\nThe rate flattens near rOpt = 8 (the paper's"
                  " operating point).\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

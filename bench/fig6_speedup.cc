@@ -30,6 +30,7 @@ main(int argc, char **argv)
     bench::banner("Figure 6 — latency speedup over static design vs "
                   "SpMV_URB",
                   "Figure 6, Section VI-A");
+    PerfReporter perf(cfg, "fig6_speedup", dim, jobs);
 
     const std::vector<int> urbs{1, 2, 4, 8, 16, 32};
     AcamarConfig acfg;
@@ -88,5 +89,7 @@ main(int argc, char **argv)
     std::cout << "\nmax speedup at URB=1: " << formatDouble(peak, 2)
               << "x (paper: up to 11.61x); gains shrink and flatten"
                  " past URB=16\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

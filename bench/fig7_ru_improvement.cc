@@ -23,6 +23,7 @@ main(int argc, char **argv)
     bench::banner("Figure 7 — underutilization improvement ratio vs "
                   "SpMV_URB",
                   "Figure 7, Section VI-B");
+    PerfReporter perf(cfg, "fig7_ru_improvement", dim, 1);
 
     const std::vector<int> urbs{2, 4, 8, 16, 32};
     AcamarConfig acfg;
@@ -57,5 +58,7 @@ main(int argc, char **argv)
     t.print(std::cout);
     std::cout << "\nImprovement grows with URB (paper: up to ~3x)"
                  " because surplus static lanes idle.\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

@@ -22,6 +22,7 @@ main(int argc, char **argv)
     bench::banner("Figure 8 — underutilization: Acamar vs GTX 1650 "
                   "Super (lower is better)",
                   "Figure 8, Section VI-B");
+    PerfReporter perf(cfg, "fig8_gpu_underutil", dim, 1);
 
     AcamarConfig acfg;
     acfg.chunkRows = dim;
@@ -53,5 +54,7 @@ main(int argc, char **argv)
               << formatDouble(100.0 * acc_sum / n, 1) << "%  GPU "
               << formatDouble(100.0 * gpu_sum / n, 1)
               << "%  (paper: 50% vs 81%)\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

@@ -23,6 +23,7 @@ main(int argc, char **argv)
     const int urb = static_cast<int>(cfg.getInt("urb", 16));
     bench::banner("Figure 9 — achieved % of peak throughput",
                   "Figure 9, Section VI-C");
+    PerfReporter perf(cfg, "fig9_throughput", dim, 1);
 
     AcamarConfig acfg;
     acfg.chunkRows = dim;
@@ -68,5 +69,7 @@ main(int argc, char **argv)
               << "%, GPU " << formatDouble(100.0 * g_sum / n, 2)
               << "%\n(paper: Acamar ~70% avg, up to 83%; GPU very"
                  " low)\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

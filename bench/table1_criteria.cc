@@ -42,6 +42,7 @@ main(int argc, char **argv)
     const int32_t dim = std::min<int32_t>(bench::dimFrom(cfg), 1024);
     bench::banner("Table I — structural requirements for convergence",
                   "Table I, Section III-B");
+    PerfReporter perf(cfg, "table1_criteria", dim, 1);
 
     Rng rng(7);
     const auto dd = ddNonsymmetric(dim, RowProfile::Uniform, 8.0,
@@ -94,5 +95,6 @@ main(int argc, char **argv)
     std::cout << "\nNote: 'criterion violated' failing confirms the\n"
                  "requirement is load-bearing, motivating Acamar's\n"
                  "structure-driven solver selection.\n";
+    perf.setThroughput("cases", 14.0);
     return 0;
 }

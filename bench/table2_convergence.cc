@@ -38,6 +38,7 @@ main(int argc, char **argv)
     const int jobs = bench::jobsFrom(cfg);
     bench::banner("Table II — solver convergence per dataset",
                   "Table II");
+    PerfReporter perf(cfg, "table2_convergence", dim, jobs);
 
     AcamarConfig acfg;
     acfg.chunkRows = dim;
@@ -93,5 +94,7 @@ main(int argc, char **argv)
     std::cout << "\npaper-cell agreement: " << matches << "/" << cells
               << " (known deviation: Bc/BiCG-STAB, see"
                  " EXPERIMENTS.md)\n";
+    perf.setThroughput(
+        "datasets", static_cast<double>(datasetCatalog().size()));
     return 0;
 }

@@ -5,6 +5,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "metrics/underutilization.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 
 namespace acamar {
@@ -39,6 +40,7 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
                      a.numRows());
 
     AcamarRunReport rep;
+    ACAMAR_PROFILE("accel/run");
 
     // Trace events carry kernel-clock cycle positions; tell the
     // session how to map them onto seconds.
@@ -47,8 +49,11 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
 
     // The three statically-programmed front-end units run
     // concurrently (Figure 3); their latency overlaps.
-    rep.structure = structUnit_.analyze(a);
-    rep.plan = fgrUnit_.plan(a);
+    {
+        ACAMAR_PROFILE("accel/analyze");
+        rep.structure = structUnit_.analyze(a);
+        rep.plan = fgrUnit_.plan(a);
+    }
     rep.analyzerCycles = std::max(rep.structure.analysisCycles,
                                   fgrUnit_.analysisCycles(a.numRows()));
     ACAMAR_TRACE(PhaseEvent{"analyze",
@@ -67,6 +72,7 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
     SolverKind kind = rep.structure.solver;
     Cycles cursor = rep.analyzerCycles;
     while (true) {
+        ACAMAR_PROFILE("accel/solve_attempt");
         const auto solver = makeSolver(kind);
         const Cycles init_cycles = init_.cycles(a, *solver);
         TimedSolve attempt =

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "sparse/spmv.hh"
 
@@ -44,6 +45,7 @@ SpmvRunStats
 DynamicSpmvKernel::timeRows(const CsrMatrix<T> &a, int64_t row_begin,
                             int64_t row_end, int unroll) const
 {
+    ACAMAR_PROFILE("accel/spmv_time_rows");
     ACAMAR_CHECK(unroll >= 1) << "unroll factor must be >= 1";
     ACAMAR_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= a.numRows())
         << "bad row range";
@@ -81,6 +83,7 @@ SpmvRunStats
 DynamicSpmvKernel::timePlanned(const CsrMatrix<T> &a,
                                const ReconfigPlan &plan) const
 {
+    ACAMAR_PROFILE("accel/spmv_time_planned");
     ACAMAR_CHECK(!plan.factors.empty()) << "empty reconfiguration plan";
     SpmvRunStats total;
     const int64_t rows = a.numRows();

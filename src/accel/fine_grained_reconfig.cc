@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "fpga/hls_kernel.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 
 namespace acamar {
@@ -25,6 +26,7 @@ template <typename T>
 ReconfigPlan
 FineGrainedReconfigUnit::plan(const CsrMatrix<T> &a)
 {
+    ACAMAR_PROFILE("accel/fgr_plan");
     ReconfigPlan p;
     const RowLengthTraceResult tr = trace_.compute(a);
     p.setSize = tr.setSize;

@@ -1,6 +1,7 @@
 #include "accel/reconfig_controller.hh"
 
 #include "common/check.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 
 namespace acamar {
@@ -54,6 +55,8 @@ ReconfigController::chargeSpmvReconfigs(int64_t n)
     spmvEvents_.add(static_cast<double>(n));
     icapBusyCycles_.add(static_cast<double>(n) *
                         static_cast<double>(spmvCycles_));
+    ACAMAR_PROFILE_COUNT("accel/spmv_reconfigs",
+                         static_cast<uint64_t>(n));
 }
 
 void
@@ -61,6 +64,7 @@ ReconfigController::chargeSolverReconfig()
 {
     solverEvents_.inc();
     icapBusyCycles_.add(static_cast<double>(solverCycles_));
+    ACAMAR_PROFILE_COUNT("accel/solver_reconfigs", 1);
 }
 
 void

@@ -3,6 +3,7 @@
 #include "common/check.hh"
 #include "common/random.hh"
 #include "exec/parallel_for.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 
 namespace acamar {
@@ -41,7 +42,9 @@ std::vector<AcamarRunReport>
 BatchSolver::solveAll() const
 {
     std::vector<AcamarRunReport> reports(jobs_.size());
+    ACAMAR_PROFILE("exec/batch_solve");
     parallelForIndex(opts_.jobs, jobs_.size(), [&](size_t i) {
+        ACAMAR_PROFILE("exec/batch_job");
         const BatchJob &job = jobs_[i];
         // A private accelerator per job: nothing mutable is shared,
         // so the report depends only on the job's inputs.

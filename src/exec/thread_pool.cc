@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hh"
+#include "obs/profiler.hh"
 
 namespace acamar {
 
@@ -58,11 +59,13 @@ ThreadPool::submit(std::function<void()> task)
     // Publish under sleepMutex_: a worker between its wait predicate
     // (queued_ == 0) and its cv block must not miss this task, or the
     // pool can sleep with work stranded in a deque.
+    size_t depth;
     {
         std::lock_guard<std::mutex> lk(sleepMutex_);
-        queued_.fetch_add(1);
+        depth = queued_.fetch_add(1) + 1;
     }
     sleepCv_.notify_one();
+    ACAMAR_PROFILE_VALUE("exec/queue_depth", depth);
 }
 
 void
@@ -109,7 +112,9 @@ void
 ThreadPool::runTask(std::function<void()> &task)
 {
     queued_.fetch_sub(1);
+    ACAMAR_PROFILE_COUNT("exec/tasks", 1);
     try {
+        ACAMAR_PROFILE("exec/task");
         task();
     } catch (...) {
         std::lock_guard<std::mutex> lk(waitMutex_);
@@ -129,16 +134,34 @@ ThreadPool::workerLoop(size_t self)
 {
     std::function<void()> task;
     while (true) {
-        if (popOwn(self, task) || steal(self, task)) {
+        if (popOwn(self, task)) {
             runTask(task);
             task = nullptr;
             continue;
         }
-        std::unique_lock<std::mutex> lk(sleepMutex_);
-        sleepCv_.wait(lk, [this] {
-            return stop_.load() || queued_.load() > 0;
-        });
-        if (stop_.load() && queued_.load() == 0)
+        if (steal(self, task)) {
+            ACAMAR_PROFILE_COUNT("exec/steals", 1);
+            runTask(task);
+            task = nullptr;
+            continue;
+        }
+        // Idle path: time spent parked on the cv is the pool's
+        // starvation signal (histogram "exec/idle_wait_ns").
+        const bool prof = profilerEnabled();
+        const uint64_t t0 = prof ? Profiler::nowNs() : 0;
+        bool exit_worker = false;
+        {
+            std::unique_lock<std::mutex> lk(sleepMutex_);
+            sleepCv_.wait(lk, [this] {
+                return stop_.load() || queued_.load() > 0;
+            });
+            exit_worker = stop_.load() && queued_.load() == 0;
+        }
+        if (prof) {
+            ACAMAR_PROFILE_VALUE("exec/idle_wait_ns",
+                                 Profiler::nowNs() - t0);
+        }
+        if (exit_worker)
             return;
     }
 }

@@ -13,9 +13,15 @@ constexpr int kTidSpmv = 1;
 constexpr int kTidReconfig = 2;
 constexpr int kTidEvents = 3;
 
+// Profiler zones render one track per recording thread, above the
+// fixed cycle-timeline tracks.
+constexpr int kTidProfileBase = 16;
+
 int
 tidFor(const TraceRecord &rec)
 {
+    if (const JsonValue *tid = rec.args.find("tid"))
+        return kTidProfileBase + static_cast<int>(tid->asInt());
     if (rec.type == "spmv_set")
         return kTidSpmv;
     if (rec.type == "reconfig" || rec.type == "icap_transfer")
@@ -93,7 +99,13 @@ ChromeTraceSink::write(const TraceRecord &rec)
         .set("cat", rec.type)
         .set("pid", 1)
         .set("tid", tidFor(rec));
-    if (rec.timed) {
+    if (rec.timed && rec.wallClock) {
+        // Profiler spans: nanoseconds of wall time, no kernel clock.
+        ev.set("ph", "X")
+            .set("ts", static_cast<double>(rec.startCycles) / 1e3)
+            .set("dur",
+                 static_cast<double>(rec.durationCycles) / 1e3);
+    } else if (rec.timed) {
         const double ts =
             static_cast<double>(rec.startCycles) / hz * 1e6;
         const double dur =
@@ -108,6 +120,14 @@ ChromeTraceSink::write(const TraceRecord &rec)
     }
     ev.set("args", rec.args);
     writeEvent(ev);
+}
+
+void
+ChromeTraceSink::flush()
+{
+    // A crashed run leaves a truncated JSON array; Perfetto and
+    // chrome://tracing both recover the events written so far.
+    out_.flush();
 }
 
 void

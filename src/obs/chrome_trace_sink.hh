@@ -29,6 +29,9 @@ class ChromeTraceSink : public TraceSink
 
     void write(const TraceRecord &rec) override;
 
+    /** Flush the stream (the array stays unterminated until finish). */
+    void flush() override;
+
     void finish() override;
 
   private:

@@ -1,0 +1,108 @@
+#include "obs/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.hh"
+
+namespace acamar {
+
+size_t
+LatencyHistogram::bucketIndex(uint64_t v)
+{
+    constexpr uint64_t kSub = uint64_t{1} << kSubBits;
+    if (v < kSub)
+        return static_cast<size_t>(v);
+    const int e = 63 - std::countl_zero(v);
+    const uint64_t sub = (v >> (e - kSubBits)) & (kSub - 1);
+    return (static_cast<size_t>(e - kSubBits) << kSubBits) +
+           static_cast<size_t>(sub) + kSub;
+}
+
+uint64_t
+LatencyHistogram::bucketLowerBound(size_t idx)
+{
+    constexpr uint64_t kSub = uint64_t{1} << kSubBits;
+    if (idx < kSub)
+        return idx;
+    const size_t block = (idx - kSub) >> kSubBits;
+    const uint64_t sub = (idx - kSub) & (kSub - 1);
+    const int e = static_cast<int>(block) + kSubBits;
+    return (kSub + sub) << (e - kSubBits);
+}
+
+void
+LatencyHistogram::record(uint64_t v)
+{
+    const size_t idx = bucketIndex(v);
+    ACAMAR_DCHECK(idx < kBuckets) << "histogram bucket overflow";
+    ++counts_[idx];
+    ++count_;
+    // Saturate rather than wrap: the mean degrades gracefully on a
+    // (pathological) multi-century total.
+    sum_ = sum_ > UINT64_MAX - v ? UINT64_MAX : sum_ + v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (size_t i = 0; i < kBuckets; ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ = sum_ > UINT64_MAX - other.sum_ ? UINT64_MAX
+                                          : sum_ + other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+LatencyHistogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double
+LatencyHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const auto target = static_cast<uint64_t>(std::max(
+        1.0, std::ceil(p / 100.0 * static_cast<double>(count_))));
+    // The rank-count_ sample is the max we tracked exactly; the
+    // bucket lower bound would under-report it (p100 == max()).
+    if (target >= count_)
+        return static_cast<double>(max_);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        seen += counts_[i];
+        if (seen >= target) {
+            const double v =
+                static_cast<double>(bucketLowerBound(i));
+            return std::clamp(v, static_cast<double>(min_),
+                              static_cast<double>(max_));
+        }
+    }
+    return static_cast<double>(max_);
+}
+
+JsonValue
+LatencyHistogram::summaryJson() const
+{
+    JsonValue o = JsonValue::object();
+    o.set("count", count_)
+        .set("min", min())
+        .set("max", max_)
+        .set("mean", mean())
+        .set("p50", percentile(50.0))
+        .set("p90", percentile(90.0))
+        .set("p99", percentile(99.0));
+    return o;
+}
+
+} // namespace acamar

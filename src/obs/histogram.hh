@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for the profiling layer.
+ *
+ * Wall-clock latencies span six orders of magnitude (a 100 ns zone
+ * next to a 100 ms solve), so buckets grow geometrically: values
+ * below 8 get exact buckets, everything above lands in one of eight
+ * linear sub-buckets per power of two (HdrHistogram's log-linear
+ * scheme with 3 sub-bucket bits). Recording is O(1) and allocation
+ * free; percentiles interpolate to the bucket lower bound and are
+ * clamped to the exact observed [min, max], so a single-sample
+ * histogram reports that sample for every percentile.
+ *
+ * Histograms add: merge() folds another histogram in bucket-wise,
+ * which is how per-thread shards combine into one distribution
+ * (merge of shard fills == one serial fill, bucket for bucket).
+ */
+
+#ifndef ACAMAR_OBS_HISTOGRAM_HH
+#define ACAMAR_OBS_HISTOGRAM_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/json.hh"
+
+namespace acamar {
+
+/** Fixed-footprint log-linear histogram of non-negative values. */
+class LatencyHistogram
+{
+  public:
+    /** Linear sub-buckets per power of two (2^3 = 8). */
+    static constexpr int kSubBits = 3;
+
+    /** Total bucket count covering the full uint64 range. */
+    static constexpr size_t kBuckets =
+        (64 - kSubBits) * (size_t{1} << kSubBits) + (1 << kSubBits);
+
+    /** Record one value. */
+    void record(uint64_t v);
+
+    /** Fold another histogram's samples into this one. */
+    void merge(const LatencyHistogram &other);
+
+    /** Samples recorded. */
+    uint64_t count() const { return count_; }
+
+    /** Sum of all recorded values (saturating at uint64 max). */
+    uint64_t sum() const { return sum_; }
+
+    /** Smallest recorded value (0 when empty). */
+    uint64_t min() const { return count_ ? min_ : 0; }
+
+    /** Largest recorded value (0 when empty). */
+    uint64_t max() const { return max_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /**
+     * Value at percentile `p` (0..100): the lower bound of the
+     * bucket holding the ceil(p/100 * count)-th sample, clamped to
+     * the exact [min, max]. Returns 0 on an empty histogram.
+     * Monotone non-decreasing in `p`.
+     */
+    double percentile(double p) const;
+
+    /**
+     * Summary object: {"count", "min", "max", "mean", "p50", "p90",
+     * "p99"} — the shape the perf-JSON schema embeds.
+     */
+    JsonValue summaryJson() const;
+
+    /** Bucket index a value lands in (exposed for tests). */
+    static size_t bucketIndex(uint64_t v);
+
+    /** Lower bound of bucket `idx` (exposed for tests). */
+    static uint64_t bucketLowerBound(size_t idx);
+
+  private:
+    std::array<uint64_t, kBuckets> counts_{};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = UINT64_MAX;
+    uint64_t max_ = 0;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_HISTOGRAM_HH

@@ -16,7 +16,11 @@ JsonlTraceSink::write(const TraceRecord &rec)
 {
     JsonValue line = JsonValue::object();
     line.set("type", rec.type).set("seq", rec.seq);
-    if (rec.timed) {
+    if (rec.timed && rec.wallClock) {
+        line.set("start_ns", rec.startCycles)
+            .set("duration_ns", rec.durationCycles)
+            .set("t_us", static_cast<double>(rec.startCycles) / 1e3);
+    } else if (rec.timed) {
         const double us = static_cast<double>(rec.startCycles) /
                           TraceSession::instance().clockHz() * 1e6;
         line.set("start_cycles", rec.startCycles)
@@ -27,6 +31,15 @@ JsonlTraceSink::write(const TraceRecord &rec)
         line.set(k, v);
     line.write(out_);
     out_ << '\n';
+}
+
+void
+JsonlTraceSink::flush()
+{
+    // Called after every stage drain: a crashed or aborted run keeps
+    // every line that made it through a drain instead of losing the
+    // whole stream buffer.
+    out_.flush();
 }
 
 void

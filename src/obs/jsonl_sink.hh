@@ -27,6 +27,9 @@ class JsonlTraceSink : public TraceSink
 
     void write(const TraceRecord &rec) override;
 
+    /** Flush the stream so drained lines survive a crashed run. */
+    void flush() override;
+
     void finish() override;
 
   private:

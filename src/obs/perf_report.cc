@@ -1,0 +1,136 @@
+#include "obs/perf_report.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <ostream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+namespace {
+
+/** Write one text/JSON artifact, warning instead of dying. */
+void
+writeArtifact(const std::string &path, const std::string &what,
+              const std::function<void(std::ostream &)> &emit)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot open ", what, " output '", path, "'");
+        return;
+    }
+    emit(out);
+    if (!out)
+        warn("short write on ", what, " output '", path, "'");
+    else
+        inform("wrote ", what, " to ", path);
+}
+
+} // namespace
+
+std::string
+perfGitSha()
+{
+    if (const char *env = std::getenv("ACAMAR_GIT_SHA"))
+        return env;
+#ifdef ACAMAR_GIT_SHA
+    return ACAMAR_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
+JsonValue
+perfRecordJson(const std::string &bench, int64_t dim, int jobs,
+               double wallSeconds, const std::string &throughputUnit,
+               double throughputCount, const ProfileReport &profile,
+               const std::string &gitSha)
+{
+    JsonValue rec = JsonValue::object();
+    rec.set("schema", kPerfSchema)
+        .set("bench", bench)
+        .set("dim", dim)
+        .set("jobs", jobs)
+        .set("git_sha", gitSha)
+        .set("wall_seconds", wallSeconds);
+    JsonValue thr = JsonValue::object();
+    thr.set("unit", throughputUnit)
+        .set("count", throughputCount)
+        .set("per_second",
+             wallSeconds > 0.0 ? throughputCount / wallSeconds : 0.0);
+    rec.set("throughput", std::move(thr));
+    rec.set("profile", profile.toJson());
+    return rec;
+}
+
+PerfReporter::PerfReporter(const Config &cfg, std::string benchId,
+                           int64_t dim, int jobs)
+    : benchId_(std::move(benchId)), dim_(dim), jobs_(jobs),
+      perfJsonPath_(cfg.getString("perf-json", "")),
+      flamegraphPath_(cfg.getString("flamegraph", "")),
+      chromePath_(cfg.getString("profile-trace", "")),
+      start_(std::chrono::steady_clock::now())
+{
+    profiling_ = cfg.getBool("profile", false) ||
+                 !perfJsonPath_.empty() || !flamegraphPath_.empty() ||
+                 !chromePath_.empty();
+    if (profiling_) {
+        Profiler::Options opts;
+        opts.captureTimeline = !chromePath_.empty();
+        Profiler::instance().start(opts);
+    }
+}
+
+PerfReporter::~PerfReporter()
+{
+    finalize();
+}
+
+void
+PerfReporter::setThroughput(const std::string &unit, double count)
+{
+    throughputUnit_ = unit;
+    throughputCount_ = count;
+}
+
+void
+PerfReporter::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    if (!profiling_)
+        return;
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    const ProfileReport report = Profiler::instance().stop();
+
+    if (!perfJsonPath_.empty()) {
+        const JsonValue rec = perfRecordJson(
+            benchId_, dim_, jobs_, wall, throughputUnit_,
+            throughputCount_, report, perfGitSha());
+        writeArtifact(perfJsonPath_, "perf record",
+                      [&](std::ostream &os) {
+                          rec.writePretty(os);
+                          os << '\n';
+                      });
+    }
+    if (!flamegraphPath_.empty()) {
+        writeArtifact(flamegraphPath_, "folded stacks",
+                      [&](std::ostream &os) {
+                          os << report.foldedStacks();
+                      });
+    }
+    if (!chromePath_.empty())
+        report.writeChromeTrace(chromePath_);
+
+    inform("profile: ", benchId_, " wall ", wall, " s, zone digest ",
+           report.digestHex());
+}
+
+} // namespace acamar

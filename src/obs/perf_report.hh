@@ -1,0 +1,115 @@
+/**
+ * @file
+ * PerfReporter: the bench-harness side of the profiler.
+ *
+ * Every fig/table/ablation bench constructs one right after its
+ * banner:
+ *
+ *     bench::PerfReporter perf(cfg, "fig6_speedup", dim, jobs);
+ *     ...
+ *     perf.setThroughput("workloads", n);
+ *
+ * Recognized --key=value flags:
+ *
+ *   --profile=1             enable profiling (implied by the paths)
+ *   --perf-json=<path>      schema-stable perf record (see below)
+ *   --flamegraph=<path>     folded stacks for flamegraph renderers
+ *   --profile-trace=<path>  Chrome trace_event zone timeline
+ *
+ * With none present the bench pays nothing: the profiler stays off
+ * and every ACAMAR_PROFILE site is one relaxed load, so --jobs=N
+ * stdout stays byte-identical to the unprofiled run.
+ *
+ * The perf record is the "acamar-perf-v1" schema that
+ * tools/bench_compare.py validates and diffs:
+ *
+ *   {"schema": "acamar-perf-v1", "bench", "dim", "jobs", "git_sha",
+ *    "wall_seconds", "throughput": {"unit", "count", "per_second"},
+ *    "profile": {"digest", "zones", "counters", "histograms",
+ *                "timeline_dropped"}}
+ */
+
+#ifndef ACAMAR_OBS_PERF_REPORT_HH
+#define ACAMAR_OBS_PERF_REPORT_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "obs/json.hh"
+#include "obs/profiler.hh"
+
+namespace acamar {
+
+/** Schema tag every perf record carries. */
+inline constexpr const char *kPerfSchema = "acamar-perf-v1";
+
+/**
+ * Build one perf record. Exposed separately from PerfReporter so
+ * tests can assert the schema without touching the filesystem.
+ */
+JsonValue perfRecordJson(const std::string &bench, int64_t dim,
+                         int jobs, double wallSeconds,
+                         const std::string &throughputUnit,
+                         double throughputCount,
+                         const ProfileReport &profile,
+                         const std::string &gitSha);
+
+/**
+ * Git SHA baked in at configure time (ACAMAR_GIT_SHA), overridable
+ * at runtime with the ACAMAR_GIT_SHA environment variable; "unknown"
+ * when neither is available.
+ */
+std::string perfGitSha();
+
+/** Scope guard running the profiler across one bench execution. */
+class PerfReporter
+{
+  public:
+    /**
+     * Starts the profiler when any of the flags above ask for it;
+     * `benchId` is the stable record key (the binary's name).
+     */
+    PerfReporter(const Config &cfg, std::string benchId, int64_t dim,
+                 int jobs);
+
+    /** Finalizes (stops the profiler, writes outputs) if needed. */
+    ~PerfReporter();
+
+    PerfReporter(const PerfReporter &) = delete;
+    PerfReporter &operator=(const PerfReporter &) = delete;
+
+    /**
+     * Name and count of the bench's unit of work (rows, cells,
+     * workloads); per_second is derived from the wall time.
+     */
+    void setThroughput(const std::string &unit, double count);
+
+    /**
+     * Stop the profiler, write the perf JSON / flamegraph / Chrome
+     * trace that were requested, and log where they went.
+     * Idempotent; the destructor calls it.
+     */
+    void finalize();
+
+    /** True when this run is being profiled. */
+    bool profiling() const { return profiling_; }
+
+  private:
+    std::string benchId_;
+    int64_t dim_;
+    int jobs_;
+    std::string perfJsonPath_;
+    std::string flamegraphPath_;
+    std::string chromePath_;
+    std::string throughputUnit_ = "items";
+    double throughputCount_ = 0.0;
+    bool profiling_ = false;
+    bool finalized_ = false;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_PERF_REPORT_HH

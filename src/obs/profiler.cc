@@ -1,0 +1,498 @@
+#include "obs/profiler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <iomanip>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <tuple>
+
+#include "common/check.hh"
+#include "common/logging.hh"
+#include "obs/chrome_trace_sink.hh"
+
+namespace acamar {
+
+namespace {
+
+/** Per-thread timeline ring capacity (spans, not bytes). */
+constexpr size_t kTimelineCapacity = size_t{1} << 16;
+
+/** An open zone on one thread's stack. */
+struct ZoneFrame {
+    int32_t node = 0;
+    uint64_t enterNs = 0;
+};
+
+/** One shard-local call-tree node (names are string literals). */
+struct ShardNode {
+    const char *name = "";
+    std::vector<int32_t> children;
+    uint64_t calls = 0;
+    uint64_t totalNs = 0;
+    LatencyHistogram hist;
+};
+
+/** One completed span staged for the Chrome timeline. */
+struct ShardSpan {
+    const char *name = "";
+    uint64_t startNs = 0;
+    uint64_t durNs = 0;
+};
+
+/** True when two literal zone names denote the same zone. */
+bool
+sameName(const char *a, const char *b)
+{
+    return a == b || std::strcmp(a, b) == 0;
+}
+
+} // namespace
+
+/**
+ * One thread's private recording state. The owner thread takes `m`
+ * per operation (uncontended in steady state); start()/stop() and
+ * the thread-exit handle take it briefly to reset or merge.
+ */
+struct ProfileShard {
+    std::mutex m;
+    int tid = 0;
+    bool captureTimeline = false;
+    uint64_t timelineBase = 0; //!< profiler-start anchor for spans
+    std::vector<ShardNode> nodes; //!< [0] is the shard root
+    std::vector<ZoneFrame> stack;
+    std::vector<ShardSpan> ring;
+    uint64_t ringDropped = 0;
+    std::vector<std::pair<const char *, uint64_t>> counters;
+    std::vector<std::pair<const char *, LatencyHistogram>> values;
+
+    ProfileShard() { nodes.push_back(ShardNode{}); }
+
+    /** Drop everything recorded; keep registration identity. */
+    void
+    resetLocked()
+    {
+        nodes.clear();
+        nodes.push_back(ShardNode{});
+        stack.clear();
+        ring.clear();
+        ringDropped = 0;
+        counters.clear();
+        values.clear();
+    }
+};
+
+namespace {
+
+/** Accumulator shards merge into (retired threads and stop()). */
+struct MergeState {
+    ProfileNode root{"root"};
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, LatencyHistogram> values;
+    std::vector<ProfileReport::TimelineSpan> timeline;
+    uint64_t timelineDropped = 0;
+};
+
+/** Process-wide profiler state behind Profiler's singleton. */
+struct ProfilerState {
+    std::mutex m; //!< guards everything below; taken before shard.m
+    std::vector<std::shared_ptr<ProfileShard>> shards;
+    MergeState merged;
+    Profiler::Options opts;
+    uint64_t startNs = 0;
+    int nextTid = 0;
+};
+
+ProfilerState &
+state()
+{
+    static ProfilerState s;
+    return s;
+}
+
+void
+mergeTreeLocked(ProfileNode &dst, const std::vector<ShardNode> &nodes,
+                int32_t src)
+{
+    for (int32_t ci : nodes[src].children) {
+        const ShardNode &c = nodes[ci];
+        ProfileNode &d = dst.child(c.name);
+        d.calls += c.calls;
+        d.totalNs += c.totalNs;
+        d.latency.merge(c.hist);
+        mergeTreeLocked(d, nodes, ci);
+    }
+}
+
+/** Fold one shard into the accumulator and clear it. Locks shard.m. */
+void
+mergeShard(MergeState &into, ProfileShard &shard)
+{
+    std::lock_guard<std::mutex> lk(shard.m);
+    mergeTreeLocked(into.root, shard.nodes, 0);
+    for (const auto &[name, n] : shard.counters)
+        into.counters[name] += n;
+    for (const auto &[name, h] : shard.values)
+        into.values[name].merge(h);
+    for (const auto &sp : shard.ring) {
+        into.timeline.push_back(
+            {sp.name, shard.tid, sp.startNs, sp.durNs});
+    }
+    into.timelineDropped += shard.ringDropped;
+    shard.resetLocked();
+}
+
+void
+sortChildren(ProfileNode &node)
+{
+    std::sort(node.children.begin(), node.children.end(),
+              [](const ProfileNode &a, const ProfileNode &b) {
+                  return a.name < b.name;
+              });
+    for (auto &c : node.children)
+        sortChildren(c);
+}
+
+/**
+ * Owns one thread's registration. Destroyed at thread exit (process
+ * exit for the main thread), folding whatever the thread still holds
+ * into the retained merge state.
+ */
+struct ShardHandle {
+    std::shared_ptr<ProfileShard> shard;
+
+    ~ShardHandle()
+    {
+        if (!shard)
+            return;
+        ProfilerState &st = state();
+        std::lock_guard<std::mutex> lk(st.m);
+        mergeShard(st.merged, *shard);
+        auto &shards = st.shards;
+        for (auto it = shards.begin(); it != shards.end(); ++it) {
+            if (it->get() == shard.get()) {
+                shards.erase(it);
+                break;
+            }
+        }
+    }
+};
+
+ProfileShard &
+thisShard()
+{
+    thread_local ShardHandle handle;
+    if (!handle.shard) {
+        handle.shard = std::make_shared<ProfileShard>();
+        ProfilerState &st = state();
+        std::lock_guard<std::mutex> lk(st.m);
+        handle.shard->tid = st.nextTid++;
+        handle.shard->captureTimeline = st.opts.captureTimeline;
+        handle.shard->timelineBase = st.startNs;
+        st.shards.push_back(handle.shard);
+    }
+    return *handle.shard;
+}
+
+int32_t
+findOrAddChild(ProfileShard &s, int32_t parent, const char *name)
+{
+    for (int32_t ci : s.nodes[parent].children) {
+        if (sameName(s.nodes[ci].name, name))
+            return ci;
+    }
+    const auto idx = static_cast<int32_t>(s.nodes.size());
+    ShardNode node;
+    node.name = name;
+    s.nodes.push_back(std::move(node));
+    s.nodes[parent].children.push_back(idx);
+    return idx;
+}
+
+template <typename T>
+T &
+findOrAddNamed(std::vector<std::pair<const char *, T>> &table,
+               const char *name)
+{
+    for (auto &[n, v] : table) {
+        if (sameName(n, name))
+            return v;
+    }
+    table.emplace_back(name, T{});
+    return table.back().second;
+}
+
+} // namespace
+
+uint64_t
+ProfileNode::selfNs() const
+{
+    uint64_t childNs = 0;
+    for (const auto &c : children)
+        childNs += c.totalNs;
+    return childNs > totalNs ? 0 : totalNs - childNs;
+}
+
+ProfileNode &
+ProfileNode::child(const std::string &childName)
+{
+    for (auto &c : children) {
+        if (c.name == childName)
+            return c;
+    }
+    ProfileNode n;
+    n.name = childName;
+    children.push_back(std::move(n));
+    return children.back();
+}
+
+Profiler &
+Profiler::instance()
+{
+    static Profiler profiler;
+    return profiler;
+}
+
+uint64_t
+Profiler::nowNs()
+{
+    using namespace std::chrono;
+    static const steady_clock::time_point t0 = steady_clock::now();
+    return static_cast<uint64_t>(
+        duration_cast<nanoseconds>(steady_clock::now() - t0).count());
+}
+
+void
+Profiler::start(const Options &opts)
+{
+    ProfilerState &st = state();
+    std::lock_guard<std::mutex> lk(st.m);
+    if (enabled()) {
+        warn("profiler already running; start() ignored");
+        return;
+    }
+    st.opts = opts;
+    st.merged = MergeState{};
+    st.startNs = nowNs();
+    for (const auto &shard : st.shards) {
+        std::lock_guard<std::mutex> slk(shard->m);
+        shard->resetLocked();
+        shard->captureTimeline = opts.captureTimeline;
+        shard->timelineBase = st.startNs;
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+ProfileReport
+Profiler::stop()
+{
+    // Disable first so new sites fall through to the cheap path while
+    // we drain; callers quiesce their worker pools for exact cuts.
+    enabled_.store(false, std::memory_order_relaxed);
+    ProfilerState &st = state();
+    std::lock_guard<std::mutex> lk(st.m);
+    for (const auto &shard : st.shards)
+        mergeShard(st.merged, *shard);
+
+    ProfileReport rep;
+    rep.root = std::move(st.merged.root);
+    sortChildren(rep.root);
+    rep.counters.assign(st.merged.counters.begin(),
+                        st.merged.counters.end());
+    rep.values.assign(st.merged.values.begin(),
+                      st.merged.values.end());
+    rep.timeline = std::move(st.merged.timeline);
+    std::sort(rep.timeline.begin(), rep.timeline.end(),
+              [](const ProfileReport::TimelineSpan &a,
+                 const ProfileReport::TimelineSpan &b) {
+                  return std::tie(a.startNs, a.tid, a.name) <
+                         std::tie(b.startNs, b.tid, b.name);
+              });
+    rep.timelineDropped = st.merged.timelineDropped;
+    st.merged = MergeState{};
+    return rep;
+}
+
+void
+Profiler::enterZone(const char *name)
+{
+    ACAMAR_DCHECK(name) << "null zone name";
+    ProfileShard &s = thisShard();
+    std::lock_guard<std::mutex> lk(s.m);
+    const int32_t parent = s.stack.empty() ? 0 : s.stack.back().node;
+    const int32_t node = findOrAddChild(s, parent, name);
+    s.stack.push_back({node, nowNs()});
+}
+
+void
+Profiler::exitZone()
+{
+    ProfileShard &s = thisShard();
+    std::lock_guard<std::mutex> lk(s.m);
+    // stop() may clear the stack under an open zone; that zone's
+    // exit (and its nested exits) then drop here.
+    if (s.stack.empty())
+        return;
+    const ZoneFrame frame = s.stack.back();
+    s.stack.pop_back();
+    const uint64_t dur = nowNs() - frame.enterNs;
+    ShardNode &node = s.nodes[frame.node];
+    ++node.calls;
+    node.totalNs += dur;
+    node.hist.record(dur);
+    if (s.captureTimeline) {
+        if (s.ring.size() < kTimelineCapacity) {
+            const uint64_t rel = frame.enterNs >= s.timelineBase
+                                     ? frame.enterNs - s.timelineBase
+                                     : 0;
+            s.ring.push_back({node.name, rel, dur});
+        } else {
+            ++s.ringDropped;
+        }
+    }
+}
+
+void
+Profiler::recordValue(const char *name, uint64_t v)
+{
+    ACAMAR_DCHECK(name) << "null histogram name";
+    ProfileShard &s = thisShard();
+    std::lock_guard<std::mutex> lk(s.m);
+    findOrAddNamed(s.values, name).record(v);
+}
+
+void
+Profiler::addCounter(const char *name, uint64_t delta)
+{
+    ACAMAR_DCHECK(name) << "null counter name";
+    ProfileShard &s = thisShard();
+    std::lock_guard<std::mutex> lk(s.m);
+    findOrAddNamed(s.counters, name) += delta;
+}
+
+// ---- ProfileReport ----------------------------------------------------
+
+namespace {
+
+void
+visitNodes(const ProfileNode &node, std::string path,
+           const std::function<void(const ProfileNode &,
+                                    const std::string &)> &fn)
+{
+    path = path.empty() ? node.name : path + ";" + node.name;
+    fn(node, path);
+    for (const auto &c : node.children)
+        visitNodes(c, path, fn);
+}
+
+} // namespace
+
+bool
+ProfileReport::empty() const
+{
+    return root.children.empty() && counters.empty() &&
+           values.empty();
+}
+
+JsonValue
+ProfileReport::zonesJson() const
+{
+    JsonValue zones = JsonValue::array();
+    visitNodes(root, "",
+               [&](const ProfileNode &n, const std::string &path) {
+                   if (&n == &root)
+                       return; // synthetic; carries no samples
+                   JsonValue z = JsonValue::object();
+                   z.set("path", path)
+                       .set("calls", n.calls)
+                       .set("total_ns", n.totalNs)
+                       .set("self_ns", n.selfNs())
+                       .set("p50_ns", n.latency.percentile(50.0))
+                       .set("p90_ns", n.latency.percentile(90.0))
+                       .set("p99_ns", n.latency.percentile(99.0));
+                   zones.push(std::move(z));
+               });
+    return zones;
+}
+
+JsonValue
+ProfileReport::toJson() const
+{
+    JsonValue o = JsonValue::object();
+    o.set("digest", digestHex());
+    o.set("zones", zonesJson());
+    JsonValue cnt = JsonValue::object();
+    for (const auto &[name, n] : counters)
+        cnt.set(name, n);
+    o.set("counters", std::move(cnt));
+    JsonValue hist = JsonValue::object();
+    for (const auto &[name, h] : values)
+        hist.set(name, h.summaryJson());
+    o.set("histograms", std::move(hist));
+    o.set("timeline_dropped", timelineDropped);
+    return o;
+}
+
+std::string
+ProfileReport::foldedStacks() const
+{
+    std::ostringstream out;
+    visitNodes(root, "",
+               [&](const ProfileNode &n, const std::string &path) {
+                   if (&n == &root)
+                       return;
+                   out << path << ' ' << n.selfNs() << '\n';
+               });
+    return out.str();
+}
+
+std::string
+ProfileReport::digestHex() const
+{
+    // FNV-1a 64 over the path set; children are name-sorted, so the
+    // DFS order (and the digest) is structural, not temporal.
+    uint64_t h = 1469598103934665603ull;
+    visitNodes(root, "",
+               [&](const ProfileNode &n, const std::string &path) {
+                   if (&n == &root)
+                       return;
+                   for (const char c : path) {
+                       h ^= static_cast<unsigned char>(c);
+                       h *= 1099511628211ull;
+                   }
+                   h ^= static_cast<unsigned char>('\n');
+                   h *= 1099511628211ull;
+               });
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << h;
+    return os.str();
+}
+
+void
+ProfileReport::writeChromeTrace(const std::string &path) const
+{
+    if (timeline.empty()) {
+        warn("profiler timeline empty (was captureTimeline off?); "
+             "writing an empty chrome trace to '", path, "'");
+    }
+    ChromeTraceSink sink(path);
+    for (const auto &sp : timeline) {
+        TraceRecord rec;
+        rec.type = "profile_zone";
+        rec.form = TraceRecord::Form::Span;
+        rec.timed = true;
+        rec.wallClock = true;
+        rec.startCycles = sp.startNs;
+        rec.durationCycles = sp.durNs;
+        rec.args = JsonValue::object();
+        rec.args.set("name", sp.name).set("tid", sp.tid);
+        sink.write(rec);
+    }
+    sink.finish();
+}
+
+} // namespace acamar

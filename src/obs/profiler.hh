@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Hierarchical wall-clock profiler behind the ACAMAR_PROFILE macro.
+ *
+ * Instrumentation sites open an RAII zone:
+ *
+ *     void solve(...) {
+ *         ACAMAR_PROFILE("solver/cg");
+ *         ...
+ *     }
+ *
+ * When the profiler is not running the site costs one relaxed bool
+ * load; defining ACAMAR_PROFILE_DISABLED at compile time removes it
+ * entirely (the ACAMAR_TRACE pattern). When running, each thread
+ * records into a private shard — a call-tree (node per zone path,
+ * with call count, total time and a per-node latency histogram), a
+ * bounded timeline ring for Chrome trace export, and named counter /
+ * value-histogram tables — and stop() drains every shard under one
+ * mutex (the TraceSession discipline) into a merged ProfileReport.
+ *
+ * Zone names must be string literals (the `profile-zone` lint rule):
+ * node matching is by pointer first, content second, and stable
+ * names are what make flamegraphs, digests and perf-JSON records
+ * comparable across runs.
+ *
+ * Zones never go inside `// acamar: hot-loop` regions; they wrap the
+ * solve/kernel call outside the innermost loop so the disabled-path
+ * cost stays out of the per-element work.
+ */
+
+#ifndef ACAMAR_OBS_PROFILER_HH
+#define ACAMAR_OBS_PROFILER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hh"
+#include "obs/json.hh"
+
+namespace acamar {
+
+/** One node of the merged zone call tree. */
+struct ProfileNode {
+    ProfileNode() = default;
+    explicit ProfileNode(std::string n) : name(std::move(n)) {}
+
+    std::string name;
+    uint64_t calls = 0;
+    uint64_t totalNs = 0;    //!< inclusive wall time
+    LatencyHistogram latency; //!< per-call duration distribution
+    std::vector<ProfileNode> children;
+
+    /** Inclusive time minus the children's inclusive time. */
+    uint64_t selfNs() const;
+
+    /** Find or create the child with `name`. */
+    ProfileNode &child(const std::string &name);
+};
+
+/** Everything Profiler::stop() hands back. */
+struct ProfileReport {
+    /** Synthetic root ("root"); real zones hang below it. */
+    ProfileNode root{"root"};
+
+    /** Named counters, name-sorted (e.g. "exec/steals"). */
+    std::vector<std::pair<std::string, uint64_t>> counters;
+
+    /** Named value histograms, name-sorted (e.g. queue depth). */
+    std::vector<std::pair<std::string, LatencyHistogram>> values;
+
+    /** One completed zone span for the Chrome timeline. */
+    struct TimelineSpan {
+        std::string name;
+        int tid = 0;          //!< shard (thread) id
+        uint64_t startNs = 0; //!< relative to profiler start
+        uint64_t durNs = 0;
+    };
+    std::vector<TimelineSpan> timeline;
+    uint64_t timelineDropped = 0; //!< spans lost to full rings
+
+    /** True when nothing was recorded. */
+    bool empty() const;
+
+    /**
+     * Flat zone array, path-sorted: [{"path": "root;solver/cg",
+     * "calls", "total_ns", "self_ns", "p50_ns", "p90_ns",
+     * "p99_ns"}]. The perf-JSON "zones" field.
+     */
+    JsonValue zonesJson() const;
+
+    /**
+     * Full profile object: {"digest", "zones", "counters",
+     * "histograms", "timeline_dropped"}.
+     */
+    JsonValue toJson() const;
+
+    /**
+     * Folded-stack lines ("root;a;b <self_ns>\n"), path-sorted —
+     * feed to any flamegraph renderer (e.g. speedscope, flamegraph.pl).
+     */
+    std::string foldedStacks() const;
+
+    /**
+     * FNV-1a hash (hex) over the sorted zone paths. Structural only
+     * — counts and times don't contribute — so two runs of the same
+     * binary agree and a changed instrumentation tree is visible in
+     * a perf diff.
+     */
+    std::string digestHex() const;
+
+    /**
+     * Write the captured timeline as a Chrome trace_event file
+     * (reuses ChromeTraceSink; wall-clock timebase). No-op warning
+     * when the timeline was not captured.
+     */
+    void writeChromeTrace(const std::string &path) const;
+};
+
+/**
+ * The process-wide profiler. Thread-safe: zones may open and close
+ * on any thread (the batch engine's workers included); each thread
+ * owns its shard and stop() merges them all.
+ */
+class Profiler
+{
+  public:
+    /** Collection knobs for one start()/stop() window. */
+    struct Options {
+        /**
+         * Keep raw zone spans for Chrome export (bounded per-thread
+         * rings). Off by default: aggregation alone is unbounded-run
+         * safe.
+         */
+        bool captureTimeline = false;
+    };
+
+    /** The singleton. */
+    static Profiler &instance();
+
+    /** True while a start()/stop() window is open. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Begin collecting. Ignored (with a warning) when running. */
+    void start(const Options &opts);
+
+    /** Begin collecting with default options. */
+    void start() { start(Options()); }
+
+    /** Stop collecting; merge and return everything recorded. */
+    ProfileReport stop();
+
+    /** Nanoseconds on the steady clock since process start. */
+    static uint64_t nowNs();
+
+    // Instrumentation entry points; call via the macros below so the
+    // sites compile away under ACAMAR_PROFILE_DISABLED.
+
+    /** Open a zone on this thread. `name` must be a literal. */
+    void enterZone(const char *name);
+
+    /** Close this thread's innermost zone. */
+    void exitZone();
+
+    /** Record one sample into the named value histogram. */
+    void recordValue(const char *name, uint64_t v);
+
+    /** Bump the named counter. */
+    void addCounter(const char *name, uint64_t delta = 1);
+
+  private:
+    Profiler() = default;
+
+    std::atomic<bool> enabled_{false};
+
+    friend struct ProfileShardHandle;
+};
+
+/** RAII zone: enters on construction (when enabled), exits in dtor. */
+class ProfileZone
+{
+  public:
+    explicit ProfileZone(const char *name)
+    {
+        Profiler &p = Profiler::instance();
+        if (p.enabled()) {
+            active_ = true;
+            p.enterZone(name);
+        }
+    }
+
+    ~ProfileZone()
+    {
+        if (active_)
+            Profiler::instance().exitZone();
+    }
+
+    ProfileZone(const ProfileZone &) = delete;
+    ProfileZone &operator=(const ProfileZone &) = delete;
+
+  private:
+    bool active_ = false;
+};
+
+#ifndef ACAMAR_PROFILE_DISABLED
+
+#define ACAMAR_PROFILE_CONCAT2(a, b) a##b
+#define ACAMAR_PROFILE_CONCAT(a, b) ACAMAR_PROFILE_CONCAT2(a, b)
+
+/** Scoped profiling zone; `name` must be a string literal. */
+#define ACAMAR_PROFILE(name)                                               \
+    ::acamar::ProfileZone ACAMAR_PROFILE_CONCAT(acamar_prof_zone_,         \
+                                                __LINE__)(name)
+
+/** Record a sample into the named value histogram when profiling. */
+#define ACAMAR_PROFILE_VALUE(name, v)                                      \
+    do {                                                                   \
+        if (::acamar::Profiler::instance().enabled())                      \
+            ::acamar::Profiler::instance().recordValue((name), (v));       \
+    } while (0)
+
+/** Bump the named profiler counter when profiling. */
+#define ACAMAR_PROFILE_COUNT(name, n)                                      \
+    do {                                                                   \
+        if (::acamar::Profiler::instance().enabled())                      \
+            ::acamar::Profiler::instance().addCounter((name), (n));        \
+    } while (0)
+
+#else
+
+#define ACAMAR_PROFILE(name) ((void)0)
+#define ACAMAR_PROFILE_VALUE(name, v) ((void)0)
+#define ACAMAR_PROFILE_COUNT(name, n) ((void)0)
+
+#endif // ACAMAR_PROFILE_DISABLED
+
+/** True when profiling is both compiled in and currently running. */
+inline bool
+profilerEnabled()
+{
+#ifndef ACAMAR_PROFILE_DISABLED
+    return Profiler::instance().enabled();
+#else
+    return false;
+#endif
+}
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_PROFILER_HH

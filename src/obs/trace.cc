@@ -76,6 +76,11 @@ TraceSession::flushStageLocked(ThreadStage &stage)
     for (const auto &rec : batch)
         for (auto &s : sinks_)
             s->write(rec);
+    // Flush after every drain so an aborted run's trace is not
+    // silently empty (finish() only runs on clean shutdown).
+    if (!batch.empty())
+        for (auto &s : sinks_)
+            s->flush();
 }
 
 void

@@ -42,6 +42,12 @@ struct TraceRecord {
     std::string type;  //!< schema name, e.g. "solve_iteration"
     Form form = Form::Instant;
     bool timed = false;       //!< start/duration fields are valid
+    /**
+     * When set, startCycles/durationCycles hold wall-clock
+     * nanoseconds (the profiler's timebase) instead of kernel
+     * cycles; sinks skip the cycles->seconds clock.
+     */
+    bool wallClock = false;
     Cycles startCycles = 0;
     Cycles durationCycles = 0;
     uint64_t seq = 0;         //!< global emission order
@@ -56,6 +62,13 @@ class TraceSink
 
     /** Consume one record. */
     virtual void write(const TraceRecord &rec) = 0;
+
+    /**
+     * Push buffered output to durable storage. Called after every
+     * stage drain so a crashed/aborted run still leaves its trace
+     * on disk; must be cheap enough to call often.
+     */
+    virtual void flush() {}
 
     /** Flush and finalize output (called once, from stop()). */
     virtual void finish() {}

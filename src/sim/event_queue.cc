@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/check.hh"
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 
 namespace acamar {
@@ -23,6 +24,7 @@ EventQueue::schedule(Event ev, Tick when)
 uint64_t
 EventQueue::run(uint64_t limit)
 {
+    ACAMAR_PROFILE("sim/event_queue_run");
     uint64_t processed = 0;
     while (!heap_.empty() && processed < limit) {
         Entry e = heap_.top();
@@ -41,6 +43,7 @@ EventQueue::run(uint64_t limit)
 uint64_t
 EventQueue::runUntil(Tick until)
 {
+    ACAMAR_PROFILE("sim/event_queue_run");
     uint64_t processed = 0;
     while (!heap_.empty() && heap_.top().when <= until) {
         Entry e = heap_.top();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hh"
+#include "obs/profiler.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
 
@@ -17,6 +18,7 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
                       SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
+    ACAMAR_PROFILE("solver/bicgstab");
     const auto n = static_cast<size_t>(a.numRows());
 
     SolveResult res;

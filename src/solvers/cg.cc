@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hh"
+#include "obs/profiler.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
 
@@ -16,6 +17,7 @@ CgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
                 SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
+    ACAMAR_PROFILE("solver/cg");
     const auto n = static_cast<size_t>(a.numRows());
 
     SolveResult res;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/profiler.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
 
@@ -15,6 +16,7 @@ GaussSeidelSolver::solve(const CsrMatrix<float> &a,
                          SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
+    ACAMAR_PROFILE("solver/gauss_seidel");
     const auto n = static_cast<size_t>(a.numRows());
 
     SolveResult res;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hh"
+#include "obs/profiler.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
 
@@ -29,6 +30,7 @@ GmresSolver::solve(const CsrMatrix<float> &a,
                    SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
+    ACAMAR_PROFILE("solver/gmres");
     const auto n = static_cast<size_t>(a.numRows());
     const int m = restart_;
 

@@ -5,6 +5,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
 
@@ -63,6 +64,7 @@ PcgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
                  const ConvergenceCriteria &criteria) const
 {
     solver_detail::checkInputs(a, b, x0);
+    ACAMAR_PROFILE("solver/pcg");
     const auto n = static_cast<size_t>(a.numRows());
 
     SolveResult res;

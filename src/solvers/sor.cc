@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 #include "sparse/spmv.hh"
 #include "sparse/vector_ops.hh"
 
@@ -21,6 +22,7 @@ SorSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
                  SolverWorkspace &ws) const
 {
     solver_detail::checkInputs(a, b, x0);
+    ACAMAR_PROFILE("solver/sor");
     const auto n = static_cast<size_t>(a.numRows());
 
     SolveResult res;

@@ -1,6 +1,7 @@
 #include "sparse/spmv.hh"
 
 #include "common/check.hh"
+#include "obs/profiler.hh"
 
 namespace acamar {
 
@@ -16,6 +17,7 @@ void
 spmvRows(const CsrMatrix<T> &a, const std::vector<T> &x,
          std::vector<T> &y, int32_t begin, int32_t end)
 {
+    ACAMAR_PROFILE("sparse/spmv_rows");
     ACAMAR_CHECK(x.size() == static_cast<size_t>(a.numCols()))
         << "spmv x size mismatch";
     ACAMAR_CHECK(begin >= 0 && begin <= end && end <= a.numRows())
@@ -40,6 +42,7 @@ void
 spmvLaned(const CsrMatrix<T> &a, const std::vector<T> &x,
           std::vector<T> &y, int unroll)
 {
+    ACAMAR_PROFILE("sparse/spmv_laned");
     ACAMAR_CHECK(unroll >= 1) << "unroll factor must be >= 1";
     ACAMAR_CHECK(x.size() == static_cast<size_t>(a.numCols()))
         << "spmv x size mismatch";

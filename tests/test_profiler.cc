@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the obs/ profiler layer: log-bucketed latency
+ * histograms (bucket math, percentiles, shard merging), the
+ * hierarchical zone tree, counters/value histograms, the perf
+ * record schema, and the disabled-profiling guarantees.
+ *
+ * The multi-thread suites are named "...Mt" so the TSan CI job
+ * (`ctest -R "ThreadPool|Mt\."`) picks them up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/config.hh"
+#include "obs/histogram.hh"
+#include "obs/json.hh"
+#include "obs/perf_report.hh"
+#include "obs/profiler.hh"
+
+namespace acamar {
+namespace {
+
+/** RAII: never leave the singleton profiling across tests. */
+struct ProfilerGuard {
+    ~ProfilerGuard()
+    {
+        if (Profiler::instance().enabled())
+            (void)Profiler::instance().stop();
+    }
+};
+
+TEST(LatencyHistogram, EmptyHistogramReportsZeros)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(50.0), 0u);
+    EXPECT_EQ(h.percentile(99.0), 0u);
+}
+
+TEST(LatencyHistogram, SingleSampleIsEveryPercentile)
+{
+    LatencyHistogram h;
+    h.record(1234);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 1234u);
+    EXPECT_EQ(h.max(), 1234u);
+    for (double p : {0.0, 50.0, 90.0, 99.0, 100.0})
+        EXPECT_EQ(h.percentile(p), 1234u) << "p=" << p;
+}
+
+TEST(LatencyHistogram, BucketBoundsRoundTrip)
+{
+    // Every bucket's lower bound must map back to the same bucket,
+    // and bounds must be strictly increasing.
+    uint64_t prev = 0;
+    for (size_t i = 0; i < 200; ++i) {
+        const uint64_t lo = LatencyHistogram::bucketLowerBound(i);
+        EXPECT_EQ(LatencyHistogram::bucketIndex(lo), i);
+        if (i > 0) {
+            EXPECT_GT(lo, prev);
+        }
+        prev = lo;
+    }
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotonic)
+{
+    LatencyHistogram h;
+    uint64_t v = 1;
+    for (int i = 0; i < 4000; ++i) {
+        h.record(v);
+        v = v * 2862933555777941757ull + 3037000493ull;
+        v %= 10'000'000u;
+    }
+    uint64_t prev = 0;
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+        const uint64_t q = h.percentile(p);
+        EXPECT_GE(q, prev) << "p=" << p;
+        prev = q;
+    }
+    EXPECT_GE(h.percentile(100.0), h.percentile(99.0));
+    EXPECT_EQ(h.percentile(100.0), h.max());
+}
+
+TEST(LatencyHistogram, PercentileBoundedBySampleRange)
+{
+    LatencyHistogram h;
+    for (uint64_t v : {5u, 50u, 500u, 5000u, 50000u})
+        h.record(v);
+    for (double p : {0.0, 50.0, 99.0, 100.0}) {
+        EXPECT_GE(h.percentile(p), h.min());
+        EXPECT_LE(h.percentile(p), h.max());
+    }
+}
+
+TEST(LatencyHistogram, MergeMatchesSerialFill)
+{
+    // Filling one histogram serially and merging N shard fills of
+    // the same stream must agree exactly (bucket-wise merge).
+    const int kShards = 4;
+    std::vector<uint64_t> samples;
+    uint64_t v = 7;
+    for (int i = 0; i < 10'000; ++i) {
+        samples.push_back(v % 1'000'000u);
+        v = v * 6364136223846793005ull + 1442695040888963407ull;
+    }
+
+    LatencyHistogram serial;
+    for (uint64_t s : samples)
+        serial.record(s);
+
+    std::vector<LatencyHistogram> shards(kShards);
+    for (size_t i = 0; i < samples.size(); ++i)
+        shards[i % kShards].record(samples[i]);
+    LatencyHistogram merged;
+    for (const auto &sh : shards)
+        merged.merge(sh);
+
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_EQ(merged.sum(), serial.sum());
+    EXPECT_EQ(merged.min(), serial.min());
+    EXPECT_EQ(merged.max(), serial.max());
+    for (double p : {50.0, 90.0, 99.0, 99.9})
+        EXPECT_EQ(merged.percentile(p), serial.percentile(p))
+            << "p=" << p;
+}
+
+TEST(LatencyHistogramMt, ConcurrentShardFillMatchesSerial)
+{
+    // The profiler's contract: one histogram per thread, merged at
+    // stop(). Emulate that and check against the serial result.
+    const int kThreads = 4;
+    const int kPerThread = 5'000;
+    std::vector<LatencyHistogram> shards(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([t, &shards] {
+            uint64_t v = 1000u + static_cast<uint64_t>(t);
+            for (int i = 0; i < kPerThread; ++i) {
+                shards[static_cast<size_t>(t)].record(v % 250'000u);
+                v = v * 2862933555777941757ull + 3037000493ull;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    LatencyHistogram serial;
+    for (int t = 0; t < kThreads; ++t) {
+        uint64_t v = 1000u + static_cast<uint64_t>(t);
+        for (int i = 0; i < kPerThread; ++i) {
+            serial.record(v % 250'000u);
+            v = v * 2862933555777941757ull + 3037000493ull;
+        }
+    }
+    LatencyHistogram merged;
+    for (const auto &sh : shards)
+        merged.merge(sh);
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_EQ(merged.sum(), serial.sum());
+    for (double p : {50.0, 90.0, 99.0})
+        EXPECT_EQ(merged.percentile(p), serial.percentile(p));
+}
+
+TEST(Profiler, DisabledByDefaultAndZonesAreFree)
+{
+    EXPECT_FALSE(Profiler::instance().enabled());
+    {
+        ACAMAR_PROFILE("test/should_not_record");
+        ACAMAR_PROFILE_COUNT("test/counter", 1);
+        ACAMAR_PROFILE_VALUE("test/value", 42);
+    }
+    Profiler::instance().start();
+    const auto rep = Profiler::instance().stop();
+    EXPECT_TRUE(rep.root.children.empty());
+    EXPECT_TRUE(rep.counters.empty());
+}
+
+TEST(Profiler, BuildsHierarchicalTreeWithCallCounts)
+{
+    ProfilerGuard guard;
+    Profiler::instance().start();
+    for (int i = 0; i < 3; ++i) {
+        ACAMAR_PROFILE("test/outer");
+        {
+            ACAMAR_PROFILE("test/inner");
+        }
+        {
+            ACAMAR_PROFILE("test/inner");
+        }
+    }
+    const auto rep = Profiler::instance().stop();
+    ASSERT_EQ(rep.root.children.size(), 1u);
+    const auto &outer = rep.root.children[0];
+    EXPECT_EQ(outer.name, "test/outer");
+    EXPECT_EQ(outer.calls, 3u);
+    ASSERT_EQ(outer.children.size(), 1u);
+    const auto &inner = outer.children[0];
+    EXPECT_EQ(inner.name, "test/inner");
+    EXPECT_EQ(inner.calls, 6u);
+    // Self time excludes children; total includes them.
+    EXPECT_GE(outer.totalNs, inner.totalNs);
+    EXPECT_EQ(outer.selfNs(), outer.totalNs - inner.totalNs);
+    EXPECT_EQ(outer.latency.count(), 3u);
+}
+
+TEST(Profiler, CountersAndValuesAggregate)
+{
+    ProfilerGuard guard;
+    Profiler::instance().start();
+    ACAMAR_PROFILE_COUNT("test/events", 2);
+    ACAMAR_PROFILE_COUNT("test/events", 3);
+    ACAMAR_PROFILE_VALUE("test/depth", 10);
+    ACAMAR_PROFILE_VALUE("test/depth", 30);
+    const auto rep = Profiler::instance().stop();
+    ASSERT_EQ(rep.counters.size(), 1u);
+    EXPECT_EQ(rep.counters[0].first, "test/events");
+    EXPECT_EQ(rep.counters[0].second, 5u);
+    ASSERT_EQ(rep.values.size(), 1u);
+    EXPECT_EQ(rep.values[0].first, "test/depth");
+    EXPECT_EQ(rep.values[0].second.count(), 2u);
+    EXPECT_EQ(rep.values[0].second.sum(), 40u);
+}
+
+TEST(Profiler, DigestDependsOnStructureNotTiming)
+{
+    ProfilerGuard guard;
+    Profiler::instance().start();
+    {
+        ACAMAR_PROFILE("test/a");
+        ACAMAR_PROFILE("test/b");
+    }
+    const auto rep1 = Profiler::instance().stop();
+
+    Profiler::instance().start();
+    for (int i = 0; i < 50; ++i) {
+        ACAMAR_PROFILE("test/a");
+        ACAMAR_PROFILE("test/b");
+    }
+    const auto rep2 = Profiler::instance().stop();
+    EXPECT_EQ(rep1.digestHex(), rep2.digestHex());
+
+    Profiler::instance().start();
+    {
+        ACAMAR_PROFILE("test/a");
+        ACAMAR_PROFILE("test/c");
+    }
+    const auto rep3 = Profiler::instance().stop();
+    EXPECT_NE(rep1.digestHex(), rep3.digestHex());
+}
+
+TEST(ProfilerMt, ShardsFromManyThreadsMergeIntoOneTree)
+{
+    ProfilerGuard guard;
+    Profiler::instance().start();
+    const int kThreads = 4;
+    const int kPerThread = 100;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            for (int i = 0; i < kPerThread; ++i) {
+                ACAMAR_PROFILE("test/worker");
+                ACAMAR_PROFILE_COUNT("test/work_items", 1);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    const auto rep = Profiler::instance().stop();
+    ASSERT_EQ(rep.root.children.size(), 1u);
+    EXPECT_EQ(rep.root.children[0].name, "test/worker");
+    EXPECT_EQ(rep.root.children[0].calls,
+              static_cast<uint64_t>(kThreads * kPerThread));
+    ASSERT_EQ(rep.counters.size(), 1u);
+    EXPECT_EQ(rep.counters[0].second,
+              static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(PerfRecord, SchemaFieldsPresentAndStable)
+{
+    ProfilerGuard guard;
+    Profiler::instance().start();
+    {
+        ACAMAR_PROFILE("test/zone");
+    }
+    const auto profile = Profiler::instance().stop();
+    const JsonValue rec = perfRecordJson(
+        "test_bench", 256, 2, 0.5, "datasets", 25.0, profile,
+        "abc1234");
+
+    EXPECT_EQ(rec.find("schema")->str(), kPerfSchema);
+    EXPECT_EQ(rec.find("bench")->str(), "test_bench");
+    EXPECT_EQ(rec.find("dim")->asInt(), 256);
+    EXPECT_EQ(rec.find("jobs")->asInt(), 2);
+    EXPECT_EQ(rec.find("git_sha")->str(), "abc1234");
+    const JsonValue *tput = rec.find("throughput");
+    ASSERT_NE(tput, nullptr);
+    EXPECT_EQ(tput->find("unit")->str(), "datasets");
+    EXPECT_DOUBLE_EQ(tput->find("per_second")->asDouble(), 50.0);
+    const JsonValue *prof = rec.find("profile");
+    ASSERT_NE(prof, nullptr);
+    EXPECT_EQ(prof->find("digest")->str(), profile.digestHex());
+    ASSERT_NE(prof->find("zones"), nullptr);
+    // Round-trips through the parser (i.e. is valid JSON).
+    const JsonValue back = JsonValue::parse(rec.dump());
+    EXPECT_EQ(back.find("schema")->str(), kPerfSchema);
+}
+
+TEST(PerfRecord, FoldedStacksListEveryZonePath)
+{
+    ProfilerGuard guard;
+    Profiler::instance().start();
+    {
+        ACAMAR_PROFILE("test/outer");
+        ACAMAR_PROFILE("test/inner");
+    }
+    const auto rep = Profiler::instance().stop();
+    const std::string folded = rep.foldedStacks();
+    EXPECT_NE(folded.find("root;test/outer "), std::string::npos);
+    EXPECT_NE(folded.find("root;test/outer;test/inner "),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace acamar

@@ -300,6 +300,47 @@ def hot_loop_alloc(files):
                     "vector instead")
 
 
+@rule("profile-zone",
+      "ACAMAR_PROFILE zone names must be string literals (the "
+      "profiler aggregates by pointer identity, and tooling greps "
+      "for them), and no profiling site may sit inside a "
+      "`// acamar: hot-loop` region — zones wrap the loop, never "
+      "the iteration body")
+def profile_zone(files):
+    site = re.compile(r"\bACAMAR_PROFILE(?:_VALUE|_COUNT)?\s*\(")
+    literal = re.compile(
+        r"\bACAMAR_PROFILE(?:_VALUE|_COUNT)?\s*\(\s*\"")
+    for f in files:
+        if f.rel == "src/obs/profiler.hh":
+            continue  # the macro definitions themselves
+        in_hot = False
+        hot_start = 0
+        for no, (raw, code) in enumerate(
+                zip(f.raw_lines, f.code_lines), 1):
+            if "acamar: hot-loop-end" in raw:
+                in_hot = False
+                continue
+            if "acamar: hot-loop" in raw:
+                in_hot = True
+                hot_start = no
+                continue
+            # Match on the raw line: string literals are blanked out
+            # of code_lines, and macro names never appear in strings.
+            if raw.lstrip().startswith("#") or not site.search(code):
+                continue
+            if in_hot:
+                yield Finding(
+                    f.rel, no, "profile-zone",
+                    "profiling site inside the hot loop opened at "
+                    f"line {hot_start}: even the disabled check is "
+                    "per-iteration overhead — hoist the zone above "
+                    "the marker")
+            elif not literal.search(raw):
+                yield Finding(
+                    f.rel, no, "profile-zone",
+                    "zone/counter name must be a string literal")
+
+
 @rule("raw-stderr",
       "diagnostics go through the Logger (common/logging.hh) so "
       "stderr severity filtering works and stdout stays parseable; "

@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Validate, merge and diff Acamar perf records (acamar-perf-v1).
+
+Every fig/table/ablation bench emits one record via --perf-json=<p>;
+tools/perf_smoke.sh merges the smoke set into one file. This tool
+closes the loop: it checks records against the schema, merges per-
+bench files into a baseline set, and diffs a current run against a
+checked-in baseline, failing on regressions.
+
+    python3 tools/bench_compare.py validate out/*.json
+    python3 tools/bench_compare.py merge out/*.json --out set.json
+    python3 tools/bench_compare.py compare BENCH_baseline.json \\
+        current.json [--threshold 15] [--report-only]
+
+compare matches records by (bench, dim, jobs). A record regresses
+when wall_seconds grows or throughput.per_second shrinks by more
+than --threshold percent (default 15). Digest changes (the zone
+tree gained or lost paths) are reported but never fail the run:
+instrumenting new code is an expected, reviewable event.
+
+Exit status: 0 = ok, 1 = regression (or records missing from the
+current run), 2 = usage/validation error. --report-only prints the
+same report but always exits 0/2 — CI uses it while a shared runner
+makes wall-clock thresholds too noisy to gate on.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "acamar-perf-v1"
+SET_SCHEMA = "acamar-perf-set-v1"
+
+# Required fields and their types; "throughput" and "profile" are
+# nested objects checked separately.
+_TOP_FIELDS = {
+    "schema": str,
+    "bench": str,
+    "dim": int,
+    "jobs": int,
+    "git_sha": str,
+    "wall_seconds": (int, float),
+    "throughput": dict,
+    "profile": dict,
+}
+_THROUGHPUT_FIELDS = {
+    "unit": str,
+    "count": (int, float),
+    "per_second": (int, float),
+}
+_PROFILE_FIELDS = {
+    "digest": str,
+    "zones": list,
+    "counters": dict,
+    "histograms": dict,
+    "timeline_dropped": int,
+}
+_ZONE_FIELDS = {
+    "path": str,
+    "calls": int,
+    "total_ns": int,
+    "self_ns": int,
+    "p50_ns": int,
+    "p90_ns": int,
+    "p99_ns": int,
+}
+
+
+def _check_fields(obj, fields, where, errors):
+    for name, ty in fields.items():
+        if name not in obj:
+            errors.append(f"{where}: missing '{name}'")
+        elif not isinstance(obj[name], ty):
+            errors.append(f"{where}: '{name}' has type "
+                          f"{type(obj[name]).__name__}")
+
+
+def validate_record(rec, where):
+    """Return a list of schema violations (empty = valid)."""
+    errors = []
+    if not isinstance(rec, dict):
+        return [f"{where}: record is not an object"]
+    _check_fields(rec, _TOP_FIELDS, where, errors)
+    if rec.get("schema") not in (None, SCHEMA):
+        errors.append(f"{where}: schema '{rec.get('schema')}' != "
+                      f"'{SCHEMA}'")
+    if isinstance(rec.get("throughput"), dict):
+        _check_fields(rec["throughput"], _THROUGHPUT_FIELDS,
+                      f"{where}.throughput", errors)
+    if isinstance(rec.get("profile"), dict):
+        _check_fields(rec["profile"], _PROFILE_FIELDS,
+                      f"{where}.profile", errors)
+        for i, zone in enumerate(rec["profile"].get("zones") or []):
+            if not isinstance(zone, dict):
+                errors.append(f"{where}.profile.zones[{i}]: "
+                              "not an object")
+                continue
+            _check_fields(zone, _ZONE_FIELDS,
+                          f"{where}.profile.zones[{i}]", errors)
+    return errors
+
+
+def load_records(path):
+    """Load a record file or a set file into a list of records."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, dict) and data.get("schema") == SET_SCHEMA:
+        records = data.get("records")
+        if not isinstance(records, list):
+            raise ValueError(f"{path}: set file has no record list")
+        return records
+    return [data]
+
+
+def key_of(rec):
+    return (rec.get("bench"), rec.get("dim"), rec.get("jobs"))
+
+
+def fmt_key(key):
+    bench, dim, jobs = key
+    return f"{bench} (dim={dim}, jobs={jobs})"
+
+
+def cmd_validate(args):
+    n_bad = 0
+    for path in args.files:
+        try:
+            records = load_records(path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"bench_compare: {path}: {e}", file=sys.stderr)
+            n_bad += 1
+            continue
+        for rec in records:
+            where = f"{path}:{rec.get('bench', '?')}"
+            errors = validate_record(rec, where)
+            for err in errors:
+                print(f"bench_compare: {err}", file=sys.stderr)
+            n_bad += bool(errors)
+    if n_bad:
+        return 2
+    print(f"bench_compare: {len(args.files)} file(s) valid "
+          f"({SCHEMA})")
+    return 0
+
+
+def cmd_merge(args):
+    by_key = {}
+    for path in args.files:
+        try:
+            records = load_records(path)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"bench_compare: {path}: {e}", file=sys.stderr)
+            return 2
+        for rec in records:
+            errors = validate_record(rec, path)
+            if errors:
+                for err in errors:
+                    print(f"bench_compare: {err}", file=sys.stderr)
+                return 2
+            by_key[key_of(rec)] = rec
+    merged = {
+        "schema": SET_SCHEMA,
+        "records": [by_key[k] for k in sorted(by_key)],
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"bench_compare: merged {len(by_key)} record(s) into "
+          f"{args.out}")
+    return 0
+
+
+def pct_change(old, new):
+    if old == 0:
+        return 0.0
+    return 100.0 * (new - old) / old
+
+
+def cmd_compare(args):
+    try:
+        base = {key_of(r): r for r in load_records(args.baseline)}
+        cur = {key_of(r): r for r in load_records(args.current)}
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    regressions, missing, digest_changes = [], [], []
+    for key in sorted(base):
+        if key not in cur:
+            missing.append(key)
+            continue
+        b, c = base[key], cur[key]
+        d_wall = pct_change(b["wall_seconds"], c["wall_seconds"])
+        d_tput = pct_change(b["throughput"]["per_second"],
+                            c["throughput"]["per_second"])
+        worst = max(d_wall, -d_tput)
+        status = "ok"
+        if worst > args.threshold:
+            status = "REGRESSION"
+            regressions.append(key)
+        print(f"{fmt_key(key):<44} wall {d_wall:+7.1f}%  "
+              f"throughput {d_tput:+7.1f}%  {status}")
+        if b["profile"]["digest"] != c["profile"]["digest"]:
+            digest_changes.append(key)
+    for key in sorted(set(cur) - set(base)):
+        print(f"{fmt_key(key):<44} new (not in baseline)")
+
+    if digest_changes:
+        print(f"\nzone-tree digest changed for "
+              f"{len(digest_changes)} bench(es) — instrumentation "
+              "differs from baseline (informational):")
+        for key in digest_changes:
+            print(f"  {fmt_key(key)}")
+    if missing:
+        print(f"\n{len(missing)} baseline record(s) missing from "
+              "the current run:")
+        for key in missing:
+            print(f"  {fmt_key(key)}")
+
+    failed = bool(regressions or missing)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%")
+    if failed and args.report_only:
+        print("(report-only mode: not failing the run)")
+    elif not failed:
+        print(f"\nno regressions beyond {args.threshold:.0f}% "
+              f"across {len(base)} baseline record(s)")
+    return 1 if failed and not args.report_only else 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    ap_val = sub.add_parser("validate",
+                            help="check records against the schema")
+    ap_val.add_argument("files", nargs="+")
+    ap_val.set_defaults(func=cmd_validate)
+
+    ap_merge = sub.add_parser("merge",
+                              help="merge records into one set file")
+    ap_merge.add_argument("files", nargs="+")
+    ap_merge.add_argument("--out", required=True)
+    ap_merge.set_defaults(func=cmd_merge)
+
+    ap_cmp = sub.add_parser("compare",
+                            help="diff a run against a baseline")
+    ap_cmp.add_argument("baseline")
+    ap_cmp.add_argument("current")
+    ap_cmp.add_argument("--threshold", type=float, default=15.0,
+                        help="regression threshold in percent "
+                             "(default 15)")
+    ap_cmp.add_argument("--report-only", action="store_true",
+                        help="print the report but do not fail")
+    ap_cmp.set_defaults(func=cmd_compare)
+
+    args = ap.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

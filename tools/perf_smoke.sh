@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Run the bench smoke set with profiling on and merge the perf
+# records into one set file.
+#
+#   tools/perf_smoke.sh [build_dir] [out_dir] [dim]
+#
+# Defaults: build_dir=build, out_dir=<build_dir>/perf, dim=256 (small
+# enough for CI, large enough that every zone fires). Produces
+# <out_dir>/<bench>.json + .folded per bench and the merged
+# <out_dir>/perf_smoke.json that bench_compare.py diffs against
+# BENCH_baseline.json. Refresh the checked-in baseline with:
+#
+#   tools/perf_smoke.sh && cp build/perf/perf_smoke.json BENCH_baseline.json
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-${BUILD_DIR}/perf}"
+DIM="${3:-256}"
+
+BENCHES=(
+    table1_criteria
+    table2_convergence
+    fig1_spmv_latency
+    fig2_underutilization
+    fig5_reconfig_rate
+    fig6_speedup
+    fig7_ru_improvement
+    fig8_gpu_underutil
+    fig9_throughput
+    fig10_perf_efficiency
+    fig11_msid_sweep
+    fig12_sampling_rate
+    fig13_reconfig_bounds
+    ablation_reconfig_overlap
+    ablation_formats
+    ablation_ru_metrics
+    ablation_gpu_kernels
+    ablation_msid_tolerance
+)
+
+mkdir -p "${OUT_DIR}"
+
+for bench in "${BENCHES[@]}"; do
+    bin="${BUILD_DIR}/bench/${bench}"
+    if [[ ! -x "${bin}" ]]; then
+        echo "perf_smoke: missing ${bin} (build the benches first)" >&2
+        exit 2
+    fi
+    echo "perf_smoke: ${bench} (dim=${DIM})" >&2
+    "${bin}" --dim="${DIM}" --profile=1 \
+        --perf-json="${OUT_DIR}/${bench}.json" \
+        --flamegraph="${OUT_DIR}/${bench}.folded" \
+        > "${OUT_DIR}/${bench}.out"
+done
+
+python3 "$(dirname "$0")/bench_compare.py" merge \
+    "${OUT_DIR}"/*.json --out "${OUT_DIR}/perf_smoke.json"
+python3 "$(dirname "$0")/bench_compare.py" validate \
+    "${OUT_DIR}/perf_smoke.json"

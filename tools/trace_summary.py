@@ -21,8 +21,11 @@ from collections import Counter, defaultdict
 
 
 def load_events(path):
+    # errors="replace": a trace truncated mid-character (killed run)
+    # or accidentally binary must degrade to skipped lines, not an
+    # unhandled UnicodeDecodeError.
     events, bad = [], 0
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
         for line in fh:
             line = line.strip()
             if not line:
@@ -134,8 +137,15 @@ def main(argv):
         return 2
 
     if not events:
-        print("trace_summary: no valid trace events in "
-              f"{args.trace}", file=sys.stderr)
+        if bad:
+            print(f"trace_summary: {args.trace} holds no valid "
+                  f"trace events ({bad} malformed lines — "
+                  "truncated or not a JSONL trace?)",
+                  file=sys.stderr)
+        else:
+            print(f"trace_summary: {args.trace} is empty — did the "
+                  "run execute with --trace=<path>?",
+                  file=sys.stderr)
         return 1
 
     print(f"{args.trace}: {len(events)} events"
@@ -145,4 +155,8 @@ def main(argv):
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # `trace_summary.py out.jsonl | head` must not traceback.
+        sys.exit(0)
