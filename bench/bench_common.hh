@@ -70,6 +70,18 @@ jobsFrom(const Config &cfg)
 }
 
 /**
+ * Worker threads *inside* one solve (--threads, default 1). Feeds
+ * AcamarConfig::hostThreads: nnz-balanced parallel SpMV plus
+ * deterministic blocked reductions, so — like --jobs — any value
+ * must print byte-identical tables.
+ */
+inline int
+threadsFrom(const Config &cfg)
+{
+    return static_cast<int>(cfg.getInt("threads", 1));
+}
+
+/**
  * Generate every catalog dataset at the requested dimension.
  * Generation is per-spec deterministic (each dataset seeds its own
  * Rng), so the jobs > 1 path fills the same vector slot-by-slot.

@@ -22,6 +22,7 @@ set(ACAMAR_BENCHES
     ablation_ru_metrics
     ablation_gpu_kernels
     ablation_msid_tolerance
+    spmv_kernels
 )
 
 foreach(bench IN LISTS ACAMAR_BENCHES)

@@ -27,6 +27,7 @@ main(int argc, char **argv)
     const RunArtifacts artifacts(cfg);
     const int32_t dim = bench::dimFrom(cfg);
     const int jobs = bench::jobsFrom(cfg);
+    const int threads = bench::threadsFrom(cfg);
     bench::banner("Figure 6 — latency speedup over static design vs "
                   "SpMV_URB",
                   "Figure 6, Section VI-A");
@@ -35,6 +36,7 @@ main(int argc, char **argv)
     const std::vector<int> urbs{1, 2, 4, 8, 16, 32};
     AcamarConfig acfg;
     acfg.chunkRows = dim;
+    acfg.hostThreads = threads;
     const auto dev = FpgaDevice::alveoU55c();
 
     const auto workloads = bench::allWorkloads(dim, jobs);

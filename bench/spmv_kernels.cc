@@ -1,0 +1,133 @@
+/**
+ * @file
+ * SpMV kernel shoot-out on the largest catalog matrix: serial CSR
+ * vs nnz-balanced parallel CSR vs SELL-C-sigma (serial and
+ * parallel), at --threads workers inside one solve.
+ *
+ * Every variant must produce output byte-identical to the serial
+ * CSR kernel — the parallel paths write disjoint row blocks and the
+ * SELL kernel accumulates each row in CSR column order, so
+ * "bit-identical" is an invariant here, not a tolerance. The bench
+ * checks it per variant and says so in the table.
+ *
+ * Timing columns vary run to run like any micro-benchmark; only the
+ * identity column is deterministic.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "exec/parallel_context.hh"
+#include "sparse/partition.hh"
+#include "sparse/sell.hh"
+#include "sparse/spmv.hh"
+
+using namespace acamar;
+
+namespace {
+
+double
+timeReps(int reps, const std::function<void()> &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r)
+        fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
+    const int32_t dim = bench::dimFrom(cfg);
+    const int threads = bench::threadsFrom(cfg);
+    const auto reps = static_cast<int>(cfg.getInt("reps", 50));
+    bench::banner("SpMV kernels — serial CSR vs parallel CSR vs "
+                  "SELL-C-sigma",
+                  "Section IV-B (Dynamic SpMV Kernel), host side");
+    PerfReporter perf(cfg, "spmv_kernels", dim, threads);
+
+    // Largest catalog matrix by nnz at this dimension: the workload
+    // where intra-solve parallelism has the most to win.
+    const auto workloads = bench::allWorkloads(dim);
+    size_t pick = 0;
+    for (size_t i = 1; i < workloads.size(); ++i)
+        if (workloads[i].a.nnz() > workloads[pick].a.nnz())
+            pick = i;
+    const auto &a = workloads[pick].a;
+    const auto n = static_cast<size_t>(a.numRows());
+    inform("   matrix: ", workloads[pick].spec.id, " (", a.numRows(),
+           "x", a.numCols(), ", ", a.nnz(), " nnz), threads=",
+           threads, ", reps=", reps);
+
+    ParallelContext pc(threads);
+    if (threads > 1) {
+        const RowPartition &part = pc.partition(a);
+        int64_t widest = 0;
+        for (const auto &blk : part)
+            widest = std::max(widest, blk.nnz);
+        const double ideal =
+            static_cast<double>(a.nnz()) /
+            static_cast<double>(part.size());
+        inform("   partition: ", part.size(), " blocks, widest ",
+               widest, " nnz (", formatDouble(widest / ideal, 2),
+               "x ideal)");
+    }
+
+    const SellMatrix<float> sell = SellMatrix<float>::fromCsr(a);
+    inform("   SELL-C-sigma padding overhead: ",
+           formatDouble(sell.paddingOverhead() * 100.0, 1), "%");
+
+    const std::vector<float> &x = workloads[pick].b;
+    std::vector<float> ref(n);
+    std::vector<float> y(n);
+    spmv(a, x, ref);
+
+    struct Variant {
+        std::string name;
+        std::function<void()> run;
+    };
+    const std::vector<Variant> variants{
+        {"csr serial", [&] { spmv(a, x, y); }},
+        {"csr parallel", [&] { spmvParallel(a, x, y, pc); }},
+        {"sell serial", [&] { sell.spmv(x, y); }},
+        {"sell parallel", [&] { sell.spmvParallel(x, y, pc); }},
+    };
+
+    Table t({"kernel", "us/op", "Mnnz/s", "speedup", "identical"});
+    double serial_sec = 0.0;
+    for (const auto &v : variants) {
+        std::fill(y.begin(), y.end(), 0.0f);
+        v.run(); // warm caches and verify before timing
+        const bool same =
+            std::memcmp(y.data(), ref.data(),
+                        n * sizeof(float)) == 0;
+        const double sec = timeReps(reps, v.run) /
+                           static_cast<double>(reps);
+        if (v.name == "csr serial")
+            serial_sec = sec;
+        t.newRow()
+            .cell(v.name)
+            .cell(sec * 1e6, 2)
+            .cell(static_cast<double>(a.nnz()) / sec / 1e6, 1)
+            .cell(serial_sec / sec, 2)
+            .cell(same ? "yes" : "NO");
+    }
+    t.print(std::cout);
+    std::cout << "\nall variants must be bit-identical to serial "
+                 "CSR; speedups are vs csr serial at --threads="
+              << threads << "\n";
+
+    perf.setThroughput(
+        "spmv_nnz", static_cast<double>(a.nnz()) *
+                        static_cast<double>(reps) *
+                        static_cast<double>(variants.size()));
+    return 0;
+}

@@ -27,6 +27,11 @@ Acamar::Acamar(const AcamarConfig &cfg, const FpgaDevice &device)
       modifier_(&eq_, cfg_.extendedSolverChain)
 {
     cfg_.validate();
+    if (cfg_.hostThreads > 1) {
+        parallel_ =
+            std::make_unique<ParallelContext>(cfg_.hostThreads);
+        solver_.setParallel(parallel_.get());
+    }
 }
 
 AcamarRunReport

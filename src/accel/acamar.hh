@@ -12,6 +12,7 @@
 #ifndef ACAMAR_ACCEL_ACAMAR_HH
 #define ACAMAR_ACCEL_ACAMAR_HH
 
+#include <memory>
 #include <ostream>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "accel/reconfig_controller.hh"
 #include "accel/reconfigurable_solver.hh"
 #include "accel/solver_modifier.hh"
+#include "exec/parallel_context.hh"
 #include "fpga/device.hh"
 #include "fpga/resource_model.hh"
 
@@ -102,6 +104,9 @@ class Acamar
   private:
     AcamarConfig cfg_;
     FpgaDevice device_;
+    // Host-side parallel context for the functional solves; null at
+    // hostThreads == 1 so the serial path stays pointer-free.
+    std::unique_ptr<ParallelContext> parallel_;
     EventQueue eq_;
     ResourceModel res_;
     MemoryModel mem_;

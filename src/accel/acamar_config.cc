@@ -21,6 +21,8 @@ AcamarConfig::validate() const
     if (initUnroll < 1 || initUnroll > maxUnroll)
         ACAMAR_FATAL("initUnroll must be in [1, maxUnroll], got ",
                      initUnroll);
+    if (hostThreads < 1)
+        ACAMAR_FATAL("hostThreads must be >= 1, got ", hostThreads);
     if (criteria.tolerance <= 0.0)
         ACAMAR_FATAL("convergence tolerance must be positive");
     if (criteria.maxIterations < 1)

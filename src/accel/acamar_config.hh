@@ -31,6 +31,13 @@ struct AcamarConfig {
     int initUnroll = 8;
 
     /**
+     * Host worker threads for the functional solve (parallel SpMV
+     * and deterministic reductions). 1 keeps every kernel on the
+     * caller's thread; results are bit-identical at any value.
+     */
+    int hostThreads = 1;
+
+    /**
      * When true the Solver Modifier chain continues past the three
      * fabric solvers into GS and GMRES (library extension).
      */

@@ -80,6 +80,15 @@ class ReconfigurableSolver : public SimObject
                    const std::vector<float> &b, SolverKind kind,
                    const ReconfigPlan &plan, Cycles init_cycles);
 
+    /**
+     * Attach the host-side parallel context (or nullptr for serial)
+     * the functional solves should use. Not owned.
+     */
+    void setParallel(ParallelContext *pc)
+    {
+        workspace_.setParallel(pc);
+    }
+
   private:
     AcamarConfig cfg_;
     DynamicSpmvKernel *spmv_;

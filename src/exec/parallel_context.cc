@@ -1,0 +1,78 @@
+#include "exec/parallel_context.hh"
+
+#include <algorithm>
+
+#include "common/check.hh"
+#include "exec/thread_pool.hh"
+
+namespace acamar {
+
+namespace {
+
+/**
+ * Entries the partition cache holds before evicting FIFO. A solve
+ * touches one matrix (two for BiCG's transpose); the fallback chain
+ * cycles through the same handful, so a small window never thrashes.
+ */
+constexpr size_t kPartitionCacheSlots = 8;
+
+} // namespace
+
+ParallelContext::ParallelContext(int threads)
+    : threads_(std::max(threads, 1))
+{
+}
+
+ParallelContext::~ParallelContext() = default;
+
+ThreadPool *
+ParallelContext::pool()
+{
+    if (threads_ <= 1)
+        return nullptr;
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(threads_);
+    return pool_.get();
+}
+
+const RowPartition &
+ParallelContext::cachedPartition(uint64_t revision,
+                                 const std::vector<int64_t> &rp,
+                                 int32_t rows)
+{
+    for (const auto &e : cache_) {
+        if (e.revision == revision)
+            return e.blocks;
+    }
+    CacheEntry entry{revision, partitionRowsByNnz(rp, rows, threads_)};
+    if (cache_.size() < kPartitionCacheSlots) {
+        cache_.push_back(std::move(entry));
+        return cache_.back().blocks;
+    }
+    CacheEntry &slot = cache_[nextEvict_];
+    nextEvict_ = (nextEvict_ + 1) % kPartitionCacheSlots;
+    slot = std::move(entry);
+    return slot.blocks;
+}
+
+const RowPartition &
+ParallelContext::partition(const CsrMatrix<float> &a)
+{
+    return cachedPartition(a.revision(), a.rowPtr(), a.numRows());
+}
+
+const RowPartition &
+ParallelContext::partition(const CsrMatrix<double> &a)
+{
+    return cachedPartition(a.revision(), a.rowPtr(), a.numRows());
+}
+
+std::vector<double> &
+ParallelContext::reductionScratch(size_t n)
+{
+    if (scratch_.size() < n)
+        scratch_.resize(n);
+    return scratch_;
+}
+
+} // namespace acamar

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * ParallelContext: everything one solve needs to go wide.
+ *
+ * PR 3's BatchSolver parallelizes *across* solves; this context
+ * parallelizes *inside* one. It bundles the three pieces the kernels
+ * need so they never re-derive them per iteration:
+ *
+ *  - the worker count (--threads=N),
+ *  - a lazily-spawned ThreadPool (none is created at threads=1, so
+ *    the serial path stays thread-free),
+ *  - a partition cache keyed on CsrMatrix::revision(), so a
+ *    3000-iteration solve binary-searches rowPtr once, not 3000
+ *    times.
+ *
+ * A context is single-owner state, exactly like SolverWorkspace: one
+ * solve drives it at a time (the pool's workers only ever touch
+ * disjoint output slots handed to them). Acamar owns one per
+ * instance; benches own one per run. Every kernel taking a context
+ * is bit-deterministic in the thread count — see DESIGN.md §10 for
+ * the argument.
+ */
+
+#ifndef ACAMAR_EXEC_PARALLEL_CONTEXT_HH
+#define ACAMAR_EXEC_PARALLEL_CONTEXT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sparse/csr.hh"
+#include "sparse/partition.hh"
+
+namespace acamar {
+
+class ThreadPool;
+
+/** Pool + thread count + per-matrix partition cache for one solve. */
+class ParallelContext
+{
+  public:
+    /** @param threads worker count; clamped to at least 1. */
+    explicit ParallelContext(int threads);
+    ~ParallelContext();
+
+    ParallelContext(const ParallelContext &) = delete;
+    ParallelContext &operator=(const ParallelContext &) = delete;
+
+    /** Configured worker count (>= 1). */
+    int threads() const { return threads_; }
+
+    /** True when kernels should fan out (threads > 1). */
+    bool wide() const { return threads_ > 1; }
+
+    /**
+     * The worker pool, spawned on first use. Null at threads=1 —
+     * the serial path never pays for idle workers.
+     */
+    ThreadPool *pool();
+
+    /**
+     * NNZ-balanced partition of `a` into threads() blocks, computed
+     * once per matrix revision and cached (small FIFO, so solver
+     * fallback chains re-running the same matrix never repartition).
+     */
+    const RowPartition &partition(const CsrMatrix<float> &a);
+
+    /** Same cache, fp64 matrices. */
+    const RowPartition &partition(const CsrMatrix<double> &a);
+
+    /**
+     * Scratch buffer for block partial sums, resized to n (only
+     * grows; repeated reductions at one size never allocate).
+     */
+    std::vector<double> &reductionScratch(size_t n);
+
+  private:
+    const RowPartition &cachedPartition(uint64_t revision,
+                                        const std::vector<int64_t> &rp,
+                                        int32_t rows);
+
+    struct CacheEntry {
+        uint64_t revision;
+        RowPartition blocks;
+    };
+
+    int threads_;
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<CacheEntry> cache_; //!< tiny FIFO, linear scan
+    size_t nextEvict_ = 0;
+    std::vector<double> scratch_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_EXEC_PARALLEL_CONTEXT_HH

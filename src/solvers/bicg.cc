@@ -20,6 +20,7 @@ BiCgSolver::solve(const CsrMatrix<float> &a,
     solver_detail::checkInputs(a, b, x0);
     ACAMAR_PROFILE("solver/bicg");
     const auto n = static_cast<size_t>(a.numRows());
+    ParallelContext *const pc = ws.parallel();
 
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
@@ -27,7 +28,7 @@ BiCgSolver::solve(const CsrMatrix<float> &a,
 
     std::vector<float> &r = ws.vec(0, n);
     std::vector<float> &ap = ws.vec(1, n);
-    spmv(a, x, ap);
+    spmv(a, x, ap, pc);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ap[i];
 
@@ -39,8 +40,8 @@ BiCgSolver::solve(const CsrMatrix<float> &a,
     std::copy(rs.begin(), rs.end(), ps.begin());
     std::vector<float> &atps = ws.vec(5, n);
 
-    double rho = dot(r, rs);
-    ConvergenceMonitor mon(criteria, norm2(r), "BiCG");
+    double rho = dot(r, rs, pc);
+    ConvergenceMonitor mon(criteria, norm2(r, pc), "BiCG");
 
     // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
@@ -48,8 +49,8 @@ BiCgSolver::solve(const CsrMatrix<float> &a,
             mon.flagBreakdown("rho_zero");
             break;
         }
-        spmv(a, p, ap);
-        const double ps_ap = dot(ps, ap);
+        spmv(a, p, ap, pc);
+        const double ps_ap = dot(ps, ap, pc);
         if (!std::isfinite(ps_ap) || std::abs(ps_ap) < 1e-30) {
             mon.flagBreakdown("psAp_zero");
             break;
@@ -61,12 +62,13 @@ BiCgSolver::solve(const CsrMatrix<float> &a,
         }
         axpy(alpha, p, x);
         axpy(-alpha, ap, r);
-        spmv(at, ps, atps);
+        spmv(at, ps, atps, pc);
         axpy(-alpha, atps, rs);
-        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+        if (mon.observe(norm2(r, pc)) ==
+            ConvergenceMonitor::Action::Stop)
             break;
 
-        const double rho_new = dot(r, rs);
+        const double rho_new = dot(r, rs, pc);
         const auto beta = static_cast<float>(rho_new / rho);
         if (!std::isfinite(beta)) {
             mon.flagBreakdown("beta_nonfinite");

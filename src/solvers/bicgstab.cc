@@ -20,13 +20,14 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
     solver_detail::checkInputs(a, b, x0);
     ACAMAR_PROFILE("solver/bicgstab");
     const auto n = static_cast<size_t>(a.numRows());
+    ParallelContext *const pc = ws.parallel();
 
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
 
     std::vector<float> &r = ws.vec(0, n);
     std::vector<float> &ap = ws.vec(1, n);
-    spmv(a, x, ap);
+    spmv(a, x, ap, pc);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ap[i];
     std::vector<float> &r0s = ws.vec(2, n); // shadow residual r0*
@@ -36,8 +37,8 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
     std::vector<float> &s = ws.vec(4, n);
     std::vector<float> &as = ws.vec(5, n);
 
-    ConvergenceMonitor mon(criteria, norm2(r), "BiCG-STAB");
-    double rho = dot(r, r0s);
+    ConvergenceMonitor mon(criteria, norm2(r, pc), "BiCG-STAB");
+    double rho = dot(r, r0s, pc);
     double last_beta = kTraceUnset;
 
     // acamar: hot-loop
@@ -47,8 +48,8 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
             mon.flagBreakdown("rho_zero");
             break;
         }
-        spmv(a, p, ap);
-        const double ap_r0s = dot(ap, r0s);
+        spmv(a, p, ap, pc);
+        const double ap_r0s = dot(ap, r0s, pc);
         if (!std::isfinite(ap_r0s) || std::abs(ap_r0s) < 1e-30) {
             mon.flagBreakdown("Ap_r0_zero");
             break;
@@ -63,7 +64,7 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
         for (size_t i = 0; i < n; ++i)
             s[i] = r[i] - alpha * ap[i];
 
-        const double s_norm = norm2(s);
+        const double s_norm = norm2(s, pc);
         if (mon.meetsTolerance(s_norm)) {
             // Early half-step convergence: omega step unnecessary.
             axpy(alpha, p, x);
@@ -75,9 +76,9 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
             break;
         }
 
-        spmv(a, s, as);
-        const double as_s = dot(as, s);
-        const double as_as = dot(as, as);
+        spmv(a, s, as, pc);
+        const double as_s = dot(as, s, pc);
+        const double as_as = dot(as, as, pc);
         if (!std::isfinite(as_as) || as_as < 1e-30) {
             mon.flagBreakdown("AsAs_zero");
             break;
@@ -102,10 +103,11 @@ BiCgStabSolver::solve(const CsrMatrix<float> &a,
         sc.rho = rho;
         sc.omega = omega;
         mon.stageScalars(sc);
-        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+        if (mon.observe(norm2(r, pc)) ==
+            ConvergenceMonitor::Action::Stop)
             break;
 
-        const double rho_new = dot(r, r0s);
+        const double rho_new = dot(r, r0s, pc);
         const auto beta =
             static_cast<float>((rho_new / rho) * (alpha / omega));
         if (!std::isfinite(beta)) {

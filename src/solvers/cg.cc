@@ -19,6 +19,7 @@ CgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
     solver_detail::checkInputs(a, b, x0);
     ACAMAR_PROFILE("solver/cg");
     const auto n = static_cast<size_t>(a.numRows());
+    ParallelContext *const pc = ws.parallel();
 
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
@@ -26,19 +27,19 @@ CgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
     std::vector<float> &r = ws.vec(0, n);
     std::vector<float> &p = ws.vec(1, n);
     std::vector<float> &ap = ws.vec(2, n);
-    spmv(a, x, ap);
+    spmv(a, x, ap, pc);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ap[i];
     std::copy(r.begin(), r.end(), p.begin());
 
-    double rr = dot(r, r);
+    double rr = dot(r, r, pc);
     ConvergenceMonitor mon(criteria, std::sqrt(rr), "CG");
     double last_beta = kTraceUnset;
 
     // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
-        spmv(a, p, ap);
-        const double pap = dot(p, ap);
+        spmv(a, p, ap, pc);
+        const double pap = dot(p, ap, pc);
         if (!(std::abs(pap) > 1e-30) || !std::isfinite(pap)) {
             // p^T A p ~ 0: A is (numerically) not definite along p.
             mon.flagBreakdown("pAp_zero");
@@ -53,7 +54,7 @@ CgSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
         }
         axpy(alpha, p, x);
         axpy(-alpha, ap, r);
-        const double rr_new = dot(r, r);
+        const double rr_new = dot(r, r, pc);
         IterationScalars sc;
         sc.alpha = alpha;
         sc.beta = last_beta; // beta that built this search direction

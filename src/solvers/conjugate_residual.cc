@@ -20,6 +20,7 @@ ConjugateResidualSolver::solve(const CsrMatrix<float> &a,
     solver_detail::checkInputs(a, b, x0);
     ACAMAR_PROFILE("solver/conjugate_residual");
     const auto n = static_cast<size_t>(a.numRows());
+    ParallelContext *const pc = ws.parallel();
 
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
@@ -27,22 +28,22 @@ ConjugateResidualSolver::solve(const CsrMatrix<float> &a,
     std::vector<float> &r = ws.vec(0, n);
     // ar doubles as the A*x scratch during setup.
     std::vector<float> &ar = ws.vec(1, n);
-    spmv(a, x, ar);
+    spmv(a, x, ar, pc);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ar[i];
 
     std::vector<float> &p = ws.vec(2, n);
     std::copy(r.begin(), r.end(), p.begin());
-    spmv(a, r, ar);
+    spmv(a, r, ar, pc);
     std::vector<float> &ap = ws.vec(3, n);
     std::copy(ar.begin(), ar.end(), ap.begin());
 
-    double r_ar = dot(r, ar);
-    ConvergenceMonitor mon(criteria, norm2(r), "CR");
+    double r_ar = dot(r, ar, pc);
+    ConvergenceMonitor mon(criteria, norm2(r, pc), "CR");
 
     // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
-        const double ap_ap = dot(ap, ap);
+        const double ap_ap = dot(ap, ap, pc);
         if (!std::isfinite(ap_ap) || ap_ap < 1e-30 ||
             !std::isfinite(r_ar) || std::abs(r_ar) < 1e-30) {
             mon.flagBreakdown("rAr_or_ApAp_zero");
@@ -55,11 +56,12 @@ ConjugateResidualSolver::solve(const CsrMatrix<float> &a,
         }
         axpy(alpha, p, x);
         axpy(-alpha, ap, r);
-        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+        if (mon.observe(norm2(r, pc)) ==
+            ConvergenceMonitor::Action::Stop)
             break;
 
-        spmv(a, r, ar);
-        const double r_ar_new = dot(r, ar);
+        spmv(a, r, ar, pc);
+        const double r_ar_new = dot(r, ar, pc);
         const auto beta = static_cast<float>(r_ar_new / r_ar);
         if (!std::isfinite(beta)) {
             mon.flagBreakdown("beta_nonfinite");

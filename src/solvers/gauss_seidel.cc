@@ -18,6 +18,7 @@ GaussSeidelSolver::solve(const CsrMatrix<float> &a,
     solver_detail::checkInputs(a, b, x0);
     ACAMAR_PROFILE("solver/gauss_seidel");
     const auto n = static_cast<size_t>(a.numRows());
+    ParallelContext *const pc = ws.parallel();
 
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
@@ -37,10 +38,10 @@ GaussSeidelSolver::solve(const CsrMatrix<float> &a,
 
     std::vector<float> &ax = ws.vec(0, n);
     std::vector<float> &r = ws.vec(1, n);
-    spmv(a, x, ax);
+    spmv(a, x, ax, pc);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
-    ConvergenceMonitor mon(criteria, norm2(r), "GS");
+    ConvergenceMonitor mon(criteria, norm2(r, pc), "GS");
 
     // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
@@ -54,10 +55,11 @@ GaussSeidelSolver::solve(const CsrMatrix<float> &a,
             }
             x[i] = acc / diag[i];
         }
-        spmv(a, x, ax);
+        spmv(a, x, ax, pc);
         for (size_t i = 0; i < n; ++i)
             r[i] = b[i] - ax[i];
-        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+        if (mon.observe(norm2(r, pc)) ==
+            ConvergenceMonitor::Action::Stop)
             break;
     }
     // acamar: hot-loop-end

@@ -33,6 +33,7 @@ GmresSolver::solve(const CsrMatrix<float> &a,
     ACAMAR_PROFILE("solver/gmres");
     const auto n = static_cast<size_t>(a.numRows());
     const int m = restart_;
+    ParallelContext *const pc = ws.parallel();
 
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
@@ -40,10 +41,10 @@ GmresSolver::solve(const CsrMatrix<float> &a,
     std::vector<float> &ax = ws.vec(0, n);
     std::vector<float> &r = ws.vec(1, n);
     std::vector<float> &w = ws.vec(2, n);
-    spmv(a, x, ax);
+    spmv(a, x, ax, pc);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
-    ConvergenceMonitor mon(criteria, norm2(r), "GMRES");
+    ConvergenceMonitor mon(criteria, norm2(r, pc), "GMRES");
 
     // Arnoldi basis for one restart cycle, pinned to workspace
     // slots up front so the restart loop never grows the pool.
@@ -68,10 +69,10 @@ GmresSolver::solve(const CsrMatrix<float> &a,
     bool done = mon.status() == SolveStatus::Converged;
     while (!done) {
         // Start a restart cycle from the current residual.
-        spmv(a, x, ax);
+        spmv(a, x, ax, pc);
         for (size_t i = 0; i < n; ++i)
             r[i] = b[i] - ax[i];
-        double beta = norm2(r);
+        double beta = norm2(r, pc);
         if (beta == 0.0)
             break;
 
@@ -84,14 +85,14 @@ GmresSolver::solve(const CsrMatrix<float> &a,
 
         int steps = 0;
         for (int j = 0; j < m; ++j) {
-            spmv(a, *basis[j], w);
+            spmv(a, *basis[j], w, pc);
             // Modified Gram-Schmidt.
             for (int i = 0; i <= j; ++i) {
-                const double hij = dot(w, *basis[i]);
+                const double hij = dot(w, *basis[i], pc);
                 h[i][j] = hij;
                 axpy(static_cast<float>(-hij), *basis[i], w);
             }
-            const double hnext = norm2(w);
+            const double hnext = norm2(w, pc);
             h[j + 1][j] = hnext;
 
             // Apply accumulated Givens rotations to column j.

@@ -18,6 +18,7 @@ JacobiSolver::solve(const CsrMatrix<float> &a,
     solver_detail::checkInputs(a, b, x0);
     ACAMAR_PROFILE("solver/jacobi");
     const auto n = static_cast<size_t>(a.numRows());
+    ParallelContext *const pc = ws.parallel();
 
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
@@ -38,20 +39,21 @@ JacobiSolver::solve(const CsrMatrix<float> &a,
     std::vector<float> &ax = ws.vec(1, n);
     std::vector<float> &r = ws.vec(2, n);
 
-    spmv(a, x, ax);
+    spmv(a, x, ax, pc);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
-    ConvergenceMonitor mon(criteria, norm2(r), "JB");
+    ConvergenceMonitor mon(criteria, norm2(r, pc), "JB");
 
     // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
         // x += D^-1 r; then refresh r = b - A x.
         for (size_t i = 0; i < n; ++i)
             x[i] += inv_diag[i] * r[i];
-        spmv(a, x, ax);
+        spmv(a, x, ax, pc);
         for (size_t i = 0; i < n; ++i)
             r[i] = b[i] - ax[i];
-        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+        if (mon.observe(norm2(r, pc)) ==
+            ConvergenceMonitor::Action::Stop)
             break;
     }
     // acamar: hot-loop-end

@@ -24,6 +24,7 @@ SorSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
     solver_detail::checkInputs(a, b, x0);
     ACAMAR_PROFILE("solver/sor");
     const auto n = static_cast<size_t>(a.numRows());
+    ParallelContext *const pc = ws.parallel();
 
     SolveResult res;
     std::vector<float> x = solver_detail::initialGuess(x0, n);
@@ -43,10 +44,10 @@ SorSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
 
     std::vector<float> &ax = ws.vec(0, n);
     std::vector<float> &r = ws.vec(1, n);
-    spmv(a, x, ax);
+    spmv(a, x, ax, pc);
     for (size_t i = 0; i < n; ++i)
         r[i] = b[i] - ax[i];
-    ConvergenceMonitor mon(criteria, norm2(r), "SOR");
+    ConvergenceMonitor mon(criteria, norm2(r, pc), "SOR");
 
     // acamar: hot-loop
     while (mon.status() != SolveStatus::Converged) {
@@ -61,10 +62,11 @@ SorSolver::solve(const CsrMatrix<float> &a, const std::vector<float> &b,
             const float gs = acc / diag[i];
             x[i] = (1.0f - omega_) * x[i] + omega_ * gs;
         }
-        spmv(a, x, ax);
+        spmv(a, x, ax, pc);
         for (size_t i = 0; i < n; ++i)
             r[i] = b[i] - ax[i];
-        if (mon.observe(norm2(r)) == ConvergenceMonitor::Action::Stop)
+        if (mon.observe(norm2(r, pc)) ==
+            ConvergenceMonitor::Action::Stop)
             break;
     }
     // acamar: hot-loop-end

@@ -26,10 +26,17 @@
 
 namespace acamar {
 
+class ParallelContext; // exec/parallel_context.hh
+
 /**
  * Slot-indexed pools of scratch vectors. vec(slot, n) returns the
  * same (stable) vector for the same slot every time, sized to n;
  * repeated solves at the same dimension never reallocate.
+ *
+ * The workspace also carries the solve's ParallelContext (when one
+ * is attached): it is the single object every solver already
+ * receives, so threading intra-solve parallelism through it reaches
+ * all eight implementations without touching their signatures.
  */
 class SolverWorkspace
 {
@@ -48,7 +55,18 @@ class SolverWorkspace
     /** Drop every pooled vector's memory (mostly for tests). */
     void clear();
 
+    /**
+     * Attach (or detach, with nullptr) the parallel context solves
+     * through this workspace should use. Not owned; the caller keeps
+     * it alive across the solve.
+     */
+    void setParallel(ParallelContext *pc) { parallel_ = pc; }
+
+    /** The attached context, or nullptr for the serial path. */
+    ParallelContext *parallel() const { return parallel_; }
+
   private:
+    ParallelContext *parallel_ = nullptr;
     // deque: growing the pool must not move existing vectors, since
     // solvers hold references to them across subsequent vec() calls.
     std::deque<std::vector<float>> floats_;

@@ -1,12 +1,24 @@
 #include "sparse/csr.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/check.hh"
 #include "sparse/csc.hh"
 
 namespace acamar {
+
+namespace csr_detail {
+
+uint64_t
+nextRevision()
+{
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+} // namespace csr_detail
 
 template <typename T>
 CsrMatrix<T>::CsrMatrix(int32_t rows, int32_t cols,

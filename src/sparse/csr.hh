@@ -18,6 +18,11 @@ namespace acamar {
 template <typename T>
 class CscMatrix;
 
+namespace csr_detail {
+/** Next value of the process-wide matrix revision counter. */
+uint64_t nextRevision();
+} // namespace csr_detail
+
 /** An immutable CSR sparse matrix. */
 template <typename T>
 class CsrMatrix
@@ -97,12 +102,21 @@ class CsrMatrix
         return rows_ ? static_cast<double>(nnz()) / rows_ : 0.0;
     }
 
+    /**
+     * Process-unique identity of this matrix's (immutable) contents,
+     * stamped at construction. Copies share the revision — their
+     * contents are the same — so caches keyed on it (the partition
+     * cache in exec/parallel_context.hh) hit across copies.
+     */
+    uint64_t revision() const { return revision_; }
+
   private:
     int32_t rows_;
     int32_t cols_;
     std::vector<int64_t> rowPtr_;
     std::vector<int32_t> colIdx_;
     std::vector<T> values_;
+    uint64_t revision_ = csr_detail::nextRevision();
 };
 
 extern template class CsrMatrix<float>;

@@ -1,0 +1,61 @@
+#include "sparse/partition.hh"
+
+#include <algorithm>
+
+#include "common/check.hh"
+#include "obs/profiler.hh"
+
+namespace acamar {
+
+RowPartition
+partitionRowsByNnz(const std::vector<int64_t> &rowPtr, int32_t numRows,
+                   int parts)
+{
+    ACAMAR_PROFILE("sparse/partition");
+    ACAMAR_CHECK(parts >= 1) << "partition needs parts >= 1";
+    ACAMAR_CHECK(numRows >= 0) << "negative row count";
+    ACAMAR_CHECK(rowPtr.size() == static_cast<size_t>(numRows) + 1)
+        << "rowPtr size " << rowPtr.size() << " != rows + 1";
+
+    RowPartition out;
+    if (numRows == 0)
+        return out;
+
+    const int64_t total = rowPtr[numRows];
+    const auto n_parts =
+        static_cast<int64_t>(std::min<int32_t>(parts, numRows));
+    out.reserve(static_cast<size_t>(n_parts));
+
+    int32_t begin = 0;
+    for (int64_t k = 1; k <= n_parts && begin < numRows; ++k) {
+        int32_t end;
+        if (k == n_parts) {
+            end = numRows;
+        } else if (total == 0) {
+            // All rows empty: fall back to an even row split.
+            end = static_cast<int32_t>(
+                static_cast<int64_t>(numRows) * k / n_parts);
+        } else {
+            // Row boundary nearest k/parts of the nnz: lower_bound
+            // finds the first prefix at or past the target, then the
+            // preceding boundary wins when it is closer. Rounding
+            // (rather than always overshooting) is what isolates a
+            // pathologically dense row into its own block instead of
+            // dragging every row before it along.
+            const int64_t target = total * k / n_parts;
+            const auto it = std::lower_bound(
+                rowPtr.begin() + begin + 1, rowPtr.end(), target);
+            end = static_cast<int32_t>(it - rowPtr.begin());
+            if (end > begin + 1 && end <= numRows &&
+                target - rowPtr[end - 1] < rowPtr[end] - target)
+                --end;
+        }
+        end = std::max(end, begin + 1); // every block takes >= 1 row
+        end = std::min(end, numRows);
+        out.push_back({begin, end, rowPtr[end] - rowPtr[begin]});
+        begin = end;
+    }
+    return out;
+}
+
+} // namespace acamar

@@ -1,0 +1,214 @@
+#include "sparse/sell.hh"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "common/check.hh"
+#include "exec/parallel_context.hh"
+#include "exec/parallel_for.hh"
+#include "exec/thread_pool.hh"
+#include "obs/profiler.hh"
+
+namespace acamar {
+
+template <typename T>
+SellMatrix<T>
+SellMatrix<T>::fromCsr(const CsrMatrix<T> &a, int32_t chunk,
+                       int32_t sigma)
+{
+    ACAMAR_CHECK(chunk >= 1 && chunk <= kMaxSellChunk)
+        << "SELL chunk must be in [1, " << kMaxSellChunk << "], got "
+        << chunk;
+    ACAMAR_CHECK(sigma >= 0) << "SELL sigma must be >= 0";
+
+    SellMatrix m;
+    m.rows_ = a.numRows();
+    m.cols_ = a.numCols();
+    m.chunk_ = chunk;
+    m.sigma_ = sigma == 0 ? std::max(a.numRows(), 1) : sigma;
+    m.nnz_ = a.nnz();
+
+    const int32_t rows = m.rows_;
+    const auto &rp = a.rowPtr();
+    const auto &ci = a.colIdx();
+    const auto &va = a.values();
+
+    // Stable sort by descending length inside each σ window, so
+    // equal-length rows keep their original order and the layout is
+    // a pure function of the row-length trace.
+    m.perm_.resize(static_cast<size_t>(rows));
+    std::iota(m.perm_.begin(), m.perm_.end(), 0);
+    for (int32_t w = 0; w < rows; w += m.sigma_) {
+        const auto begin = m.perm_.begin() + w;
+        const auto end =
+            m.perm_.begin() + std::min(rows, w + m.sigma_);
+        std::stable_sort(begin, end, [&](int32_t l, int32_t r) {
+            return rp[l + 1] - rp[l] > rp[r + 1] - rp[r];
+        });
+    }
+
+    const size_t n_chunks =
+        rows == 0 ? 0
+                  : (static_cast<size_t>(rows) +
+                     static_cast<size_t>(chunk) - 1) /
+                        static_cast<size_t>(chunk);
+    m.widths_.resize(n_chunks);
+    m.chunkBase_.resize(n_chunks);
+
+    int64_t slots = 0;
+    for (size_t c = 0; c < n_chunks; ++c) {
+        const auto base_row = static_cast<int32_t>(c) * chunk;
+        const int32_t lanes = std::min(chunk, rows - base_row);
+        int64_t width = 0;
+        for (int32_t l = 0; l < lanes; ++l) {
+            const int32_t r = m.perm_[base_row + l];
+            width = std::max(width, rp[r + 1] - rp[r]);
+        }
+        m.widths_[c] = width;
+        m.chunkBase_[c] = slots;
+        slots += width * lanes;
+    }
+
+    m.colIdx_.assign(static_cast<size_t>(slots), -1);
+    m.values_.assign(static_cast<size_t>(slots), T(0));
+    for (size_t c = 0; c < n_chunks; ++c) {
+        const auto base_row = static_cast<int32_t>(c) * chunk;
+        const int32_t lanes = std::min(chunk, rows - base_row);
+        for (int32_t l = 0; l < lanes; ++l) {
+            const int32_t r = m.perm_[base_row + l];
+            const int64_t len = rp[r + 1] - rp[r];
+            for (int64_t j = 0; j < len; ++j) {
+                // Chunk-column-major: slot j of every lane is
+                // contiguous, the stream a C-lane unit wants.
+                const int64_t at = m.chunkBase_[c] + j * lanes + l;
+                m.colIdx_[at] = ci[rp[r] + j];
+                m.values_[at] = va[rp[r] + j];
+            }
+        }
+    }
+    return m;
+}
+
+template <typename T>
+double
+SellMatrix<T>::paddingOverhead() const
+{
+    const auto slots = static_cast<double>(paddedSize());
+    if (slots == 0.0)
+        return 0.0;
+    return (slots - static_cast<double>(nnz_)) / slots;
+}
+
+template <typename T>
+void
+SellMatrix<T>::spmvChunks(const std::vector<T> &x, std::vector<T> &y,
+                          size_t begin, size_t end) const
+{
+    std::array<T, kMaxSellChunk> acc;
+    // acamar: hot-loop
+    for (size_t c = begin; c < end; ++c) {
+        const auto base_row = static_cast<int32_t>(c) * chunk_;
+        const int32_t lanes = std::min(chunk_, rows_ - base_row);
+        const int64_t width = widths_[c];
+        const int32_t *cols = colIdx_.data() + chunkBase_[c];
+        const T *vals = values_.data() + chunkBase_[c];
+        for (int32_t l = 0; l < lanes; ++l)
+            acc[static_cast<size_t>(l)] = T(0);
+        for (int64_t j = 0; j < width; ++j) {
+            const int32_t *col_slot = cols + j * lanes;
+            const T *val_slot = vals + j * lanes;
+            for (int32_t l = 0; l < lanes; ++l) {
+                const int32_t col = col_slot[l];
+                // Skipping padding (instead of multiplying a stored
+                // zero) keeps the accumulate bit-identical to CSR —
+                // adding +0.0 would flip a -0.0 partial sum.
+                if (col >= 0)
+                    acc[static_cast<size_t>(l)] += val_slot[l] * x[col];
+            }
+        }
+        for (int32_t l = 0; l < lanes; ++l)
+            y[perm_[base_row + l]] = acc[static_cast<size_t>(l)];
+    }
+    // acamar: hot-loop-end
+}
+
+template <typename T>
+void
+SellMatrix<T>::spmv(const std::vector<T> &x, std::vector<T> &y) const
+{
+    ACAMAR_PROFILE("sparse/spmv_sell");
+    ACAMAR_CHECK(x.size() == static_cast<size_t>(cols_))
+        << "sell spmv x size mismatch";
+    ACAMAR_CHECK(y.size() == static_cast<size_t>(rows_))
+        << "sell spmv output not pre-sized: " << y.size() << " != "
+        << rows_;
+    spmvChunks(x, y, 0, numChunks());
+}
+
+template <typename T>
+void
+SellMatrix<T>::spmvParallel(const std::vector<T> &x, std::vector<T> &y,
+                            ParallelContext &pc) const
+{
+    ACAMAR_PROFILE("sparse/spmv_sell");
+    ACAMAR_CHECK(x.size() == static_cast<size_t>(cols_))
+        << "sell spmv x size mismatch";
+    ACAMAR_CHECK(y.size() == static_cast<size_t>(rows_))
+        << "sell spmv output not pre-sized: " << y.size() << " != "
+        << rows_;
+    const size_t n_chunks = numChunks();
+    ThreadPool *pool = pc.pool();
+    if (!pool || n_chunks < 2) {
+        spmvChunks(x, y, 0, n_chunks);
+        return;
+    }
+    // Contiguous chunk ranges per task: each chunk's rows (via the
+    // permutation) are disjoint, so workers never share output.
+    const auto n_tasks =
+        std::min<size_t>(static_cast<size_t>(pc.threads()), n_chunks);
+    const size_t per_task = (n_chunks + n_tasks - 1) / n_tasks;
+    parallelForIndex(*pool, n_tasks, [&](size_t t) {
+        const size_t first = t * per_task;
+        const size_t last = std::min(n_chunks, first + per_task);
+        spmvChunks(x, y, first, last);
+    });
+}
+
+template <typename T>
+CsrMatrix<T>
+SellMatrix<T>::toCsr() const
+{
+    // Sorted position of each original row.
+    std::vector<int32_t> pos(static_cast<size_t>(rows_));
+    for (int32_t p = 0; p < rows_; ++p)
+        pos[perm_[p]] = p;
+
+    std::vector<int64_t> row_ptr(static_cast<size_t>(rows_) + 1, 0);
+    std::vector<int32_t> col_idx;
+    std::vector<T> values;
+    col_idx.reserve(static_cast<size_t>(nnz_));
+    values.reserve(static_cast<size_t>(nnz_));
+    for (int32_t r = 0; r < rows_; ++r) {
+        const int32_t p = pos[r];
+        const auto c = static_cast<size_t>(p / chunk_);
+        const int32_t l = p % chunk_;
+        const auto base_row = static_cast<int32_t>(c) * chunk_;
+        const int32_t lanes = std::min(chunk_, rows_ - base_row);
+        for (int64_t j = 0; j < widths_[c]; ++j) {
+            const int64_t at = chunkBase_[c] + j * lanes + l;
+            if (colIdx_[at] < 0)
+                break; // a row's real entries precede its padding
+            col_idx.push_back(colIdx_[at]);
+            values.push_back(values_[at]);
+        }
+        row_ptr[r + 1] = static_cast<int64_t>(col_idx.size());
+    }
+    return CsrMatrix<T>(rows_, cols_, std::move(row_ptr),
+                        std::move(col_idx), std::move(values));
+}
+
+template class SellMatrix<float>;
+template class SellMatrix<double>;
+
+} // namespace acamar

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * SELL-C-σ: sliced ELL with sorted slices, the lane-friendly format.
+ *
+ * The plain sliced-ELL format (sparse/ell.hh) already pads each
+ * slice only to its own widest row; SELL-C-σ adds the second trick
+ * from the SpMV accelerator literature: rows are sorted by length
+ * inside windows of σ rows before slicing, so rows sharing a chunk
+ * of C have near-equal lengths and the padding collapses further.
+ * Storage inside a chunk is column-major (slot j of all C rows is
+ * contiguous), which is exactly the memory order a C-lane vector
+ * unit — or the compiler's auto-vectorizer — wants to stream.
+ *
+ * Determinism contract: each row's products accumulate in slot
+ * order, which is the row's CSR column order, so SELL SpMV is
+ * bit-identical to the serial CSR kernel — sorting permutes rows,
+ * never the accumulation inside one. Conversion back to CSR is an
+ * exact round trip, explicit stored zeros included (padding is
+ * marked by column -1, not by value).
+ */
+
+#ifndef ACAMAR_SPARSE_SELL_HH
+#define ACAMAR_SPARSE_SELL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hh"
+
+namespace acamar {
+
+class ParallelContext; // exec/parallel_context.hh
+
+/** Widest chunk (C) the kernel's fixed accumulator array supports. */
+inline constexpr int32_t kMaxSellChunk = 64;
+
+/**
+ * An immutable SELL-C-σ matrix: rows sorted by descending length
+ * within σ-row windows (stable, so equal-length rows keep their
+ * order), then grouped into chunks of C rows padded to the chunk's
+ * widest row. Column index -1 marks padding.
+ */
+template <typename T>
+class SellMatrix
+{
+  public:
+    /**
+     * Convert from CSR.
+     *
+     * @param chunk rows per chunk (C); capped at kMaxSellChunk.
+     * @param sigma sort-window size in rows; 1 disables sorting,
+     *        0 (default) means "whole matrix" — the strongest
+     *        padding reduction, at the cost of the least-local row
+     *        permutation.
+     */
+    static SellMatrix fromCsr(const CsrMatrix<T> &a,
+                              int32_t chunk = 32, int32_t sigma = 0);
+
+    /** Number of rows. */
+    int32_t numRows() const { return rows_; }
+
+    /** Number of columns. */
+    int32_t numCols() const { return cols_; }
+
+    /** Rows per chunk (C). */
+    int32_t chunkRows() const { return chunk_; }
+
+    /** Sort-window size (σ) the matrix was built with. */
+    int32_t sigmaWindow() const { return sigma_; }
+
+    /** Number of chunks. */
+    size_t numChunks() const { return widths_.size(); }
+
+    /** Padded width (slots per lane) of chunk c. */
+    int64_t chunkWidth(size_t c) const { return widths_.at(c); }
+
+    /** Real stored entries (explicit zeros included). */
+    int64_t nnz() const { return nnz_; }
+
+    /** Total slots including padding. */
+    int64_t paddedSize() const
+    {
+        return static_cast<int64_t>(colIdx_.size());
+    }
+
+    /** Fraction of slots wasted on padding, in [0, 1). */
+    double paddingOverhead() const;
+
+    /** sortedRow -> original row (size numRows). */
+    const std::vector<int32_t> &permutation() const { return perm_; }
+
+    /** Column indices (-1 = padding), chunk-column-major. */
+    const std::vector<int32_t> &colIdx() const { return colIdx_; }
+
+    /** Values (0 in padding slots), parallel to colIdx(). */
+    const std::vector<T> &values() const { return values_; }
+
+    /**
+     * y = A x over the sliced layout, y in original row order. The
+     * output must already be sized to numRows (ACAMAR_CHECK
+     * enforced). Bit-identical to the serial CSR spmv().
+     */
+    void spmv(const std::vector<T> &x, std::vector<T> &y) const;
+
+    /**
+     * Parallel y = A x: chunks fan out over `pc`'s pool (each chunk
+     * owns disjoint output rows); serial when the context is narrow.
+     * Bit-identical to spmv() at any thread count.
+     */
+    void spmvParallel(const std::vector<T> &x, std::vector<T> &y,
+                      ParallelContext &pc) const;
+
+    /** Convert back to CSR — exact inverse of fromCsr. */
+    CsrMatrix<T> toCsr() const;
+
+  private:
+    SellMatrix() = default;
+
+    void spmvChunks(const std::vector<T> &x, std::vector<T> &y,
+                    size_t begin, size_t end) const;
+
+    int32_t rows_ = 0;
+    int32_t cols_ = 0;
+    int32_t chunk_ = 0;
+    int32_t sigma_ = 0;
+    int64_t nnz_ = 0;
+    std::vector<int64_t> widths_;    //!< per-chunk padded width
+    std::vector<int64_t> chunkBase_; //!< slot offset of each chunk
+    std::vector<int32_t> perm_;      //!< sorted position -> orig row
+    std::vector<int32_t> colIdx_;    //!< -1 = padding
+    std::vector<T> values_;
+};
+
+extern template class SellMatrix<float>;
+extern template class SellMatrix<double>;
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_SELL_HH

@@ -1,6 +1,11 @@
 #include "sparse/spmv.hh"
 
+#include <array>
+
 #include "common/check.hh"
+#include "exec/parallel_context.hh"
+#include "exec/parallel_for.hh"
+#include "exec/thread_pool.hh"
 #include "obs/profiler.hh"
 
 namespace acamar {
@@ -10,6 +15,17 @@ void
 spmv(const CsrMatrix<T> &a, const std::vector<T> &x, std::vector<T> &y)
 {
     spmvRows(a, x, y, 0, a.numRows());
+}
+
+template <typename T>
+void
+spmv(const CsrMatrix<T> &a, const std::vector<T> &x, std::vector<T> &y,
+     ParallelContext *pc)
+{
+    if (pc && pc->wide())
+        spmvParallel(a, x, y, *pc);
+    else
+        spmvRows(a, x, y, 0, a.numRows());
 }
 
 template <typename T>
@@ -29,12 +45,34 @@ spmvRows(const CsrMatrix<T> &a, const std::vector<T> &x,
     const auto &rp = a.rowPtr();
     const auto &ci = a.colIdx();
     const auto &va = a.values();
+    // acamar: hot-loop
     for (int32_t r = begin; r < end; ++r) {
         T acc = 0;
         for (int64_t k = rp[r]; k < rp[r + 1]; ++k)
             acc += va[k] * x[ci[k]];
         y[r] = acc;
     }
+    // acamar: hot-loop-end
+}
+
+template <typename T>
+void
+spmvParallel(const CsrMatrix<T> &a, const std::vector<T> &x,
+             std::vector<T> &y, ParallelContext &pc)
+{
+    ACAMAR_PROFILE("sparse/spmv_parallel");
+    const RowPartition &blocks = pc.partition(a);
+    ThreadPool *pool = pc.pool();
+    if (blocks.size() <= 1 || !pool) {
+        spmvRows(a, x, y, 0, a.numRows());
+        return;
+    }
+    // Disjoint row blocks: every worker owns its slice of y, and
+    // each row still accumulates in CSR order, so the result is
+    // bit-identical to the serial kernel at any thread count.
+    parallelForIndex(*pool, blocks.size(), [&](size_t i) {
+        spmvRows(a, x, y, blocks[i].begin, blocks[i].end);
+    });
 }
 
 template <typename T>
@@ -44,6 +82,9 @@ spmvLaned(const CsrMatrix<T> &a, const std::vector<T> &x,
 {
     ACAMAR_PROFILE("sparse/spmv_laned");
     ACAMAR_CHECK(unroll >= 1) << "unroll factor must be >= 1";
+    ACAMAR_CHECK(unroll <= kMaxSpmvUnroll)
+        << "unroll factor " << unroll << " exceeds the "
+        << kMaxSpmvUnroll << "-lane beat buffer";
     ACAMAR_CHECK(x.size() == static_cast<size_t>(a.numCols()))
         << "spmv x size mismatch";
     ACAMAR_CHECK(y.size() == static_cast<size_t>(a.numRows()))
@@ -53,7 +94,10 @@ spmvLaned(const CsrMatrix<T> &a, const std::vector<T> &x,
     const auto &rp = a.rowPtr();
     const auto &ci = a.colIdx();
     const auto &va = a.values();
-    std::vector<T> lanes(static_cast<size_t>(unroll));
+    // Fixed lane buffer: this runs inside solver iterations, where a
+    // heap-backed scratch vector would mean one allocation per call.
+    std::array<T, kMaxSpmvUnroll> lanes;
+    // acamar: hot-loop
     for (int32_t r = 0; r < a.numRows(); ++r) {
         T row_acc = 0;
         for (int64_t beat = rp[r]; beat < rp[r + 1];
@@ -62,15 +106,17 @@ spmvLaned(const CsrMatrix<T> &a, const std::vector<T> &x,
             const int64_t n = std::min<int64_t>(unroll,
                                                 rp[r + 1] - beat);
             for (int64_t l = 0; l < n; ++l)
-                lanes[l] = va[beat + l] * x[ci[beat + l]];
+                lanes[static_cast<size_t>(l)] =
+                    va[beat + l] * x[ci[beat + l]];
             // ...then a sequential model of the adder tree.
             T beat_sum = 0;
             for (int64_t l = 0; l < n; ++l)
-                beat_sum += lanes[l];
+                beat_sum += lanes[static_cast<size_t>(l)];
             row_acc += beat_sum;
         }
         y[r] = row_acc;
     }
+    // acamar: hot-loop-end
 }
 
 template void spmv<float>(const CsrMatrix<float> &,
@@ -79,12 +125,26 @@ template void spmv<float>(const CsrMatrix<float> &,
 template void spmv<double>(const CsrMatrix<double> &,
                            const std::vector<double> &,
                            std::vector<double> &);
+template void spmv<float>(const CsrMatrix<float> &,
+                          const std::vector<float> &,
+                          std::vector<float> &, ParallelContext *);
+template void spmv<double>(const CsrMatrix<double> &,
+                           const std::vector<double> &,
+                           std::vector<double> &, ParallelContext *);
 template void spmvRows<float>(const CsrMatrix<float> &,
                               const std::vector<float> &,
                               std::vector<float> &, int32_t, int32_t);
 template void spmvRows<double>(const CsrMatrix<double> &,
                                const std::vector<double> &,
                                std::vector<double> &, int32_t, int32_t);
+template void spmvParallel<float>(const CsrMatrix<float> &,
+                                  const std::vector<float> &,
+                                  std::vector<float> &,
+                                  ParallelContext &);
+template void spmvParallel<double>(const CsrMatrix<double> &,
+                                   const std::vector<double> &,
+                                   std::vector<double> &,
+                                   ParallelContext &);
 template void spmvLaned<float>(const CsrMatrix<float> &,
                                const std::vector<float> &,
                                std::vector<float> &, int);

@@ -4,7 +4,9 @@
  *
  * Functional (bit-deterministic) sparse matrix-vector products used
  * by the CPU solvers and as the golden model for the accelerator's
- * Dynamic SpMV Kernel.
+ * Dynamic SpMV Kernel. The parallel variants write disjoint row
+ * blocks of a shared output, so every one of them is bit-identical
+ * to the serial kernel at any thread count.
  */
 
 #ifndef ACAMAR_SPARSE_SPMV_HH
@@ -16,6 +18,16 @@
 
 namespace acamar {
 
+class ParallelContext; // exec/parallel_context.hh
+
+/**
+ * Widest SpMV unroll factor the lane model supports. Matches the
+ * largest SpMV unit the DFX region hosts (AcamarConfig::maxUnroll
+ * defaults to it); the laned kernel's beat buffer is a fixed array
+ * of this many slots so the hot loop never allocates.
+ */
+inline constexpr int kMaxSpmvUnroll = 64;
+
 /**
  * y = A x (CSR row-order, sequential accumulate per row). The output
  * must already be sized to numRows (ACAMAR_CHECK enforced) — SpMV is
@@ -26,6 +38,15 @@ void spmv(const CsrMatrix<T> &a, const std::vector<T> &x,
           std::vector<T> &y);
 
 /**
+ * Context-aware y = A x: fans out over `pc`'s thread pool when the
+ * context is wide, falls back to the serial kernel when `pc` is null
+ * or single-threaded. Bit-identical to spmv() either way.
+ */
+template <typename T>
+void spmv(const CsrMatrix<T> &a, const std::vector<T> &x,
+          std::vector<T> &y, ParallelContext *pc);
+
+/**
  * y[begin:end) = (A x)[begin:end) — row-range variant used by the
  * chunked accelerator model. Rows outside the range are untouched.
  */
@@ -34,10 +55,22 @@ void spmvRows(const CsrMatrix<T> &a, const std::vector<T> &x,
               std::vector<T> &y, int32_t begin, int32_t end);
 
 /**
+ * y = A x with the rows cut into nnz-balanced blocks (cached in the
+ * context) and fanned onto its ThreadPool. Each worker writes only
+ * its own block's rows, and each row accumulates in the same order
+ * as spmv(), so the result is bit-identical to the serial kernel at
+ * any thread count.
+ */
+template <typename T>
+void spmvParallel(const CsrMatrix<T> &a, const std::vector<T> &x,
+                  std::vector<T> &y, ParallelContext &pc);
+
+/**
  * y = A x computed exactly as a U-lane hardware unit would: each row
  * is processed in ceil(nnz/U) beats of U-wide partial sums reduced
  * by an adder tree. Numerically different association from spmv();
- * used to validate lane-order independence bounds in tests.
+ * used to validate lane-order independence bounds in tests. The
+ * unroll factor is capped at kMaxSpmvUnroll (ACAMAR_CHECK enforced).
  */
 template <typename T>
 void spmvLaned(const CsrMatrix<T> &a, const std::vector<T> &x,
@@ -49,6 +82,14 @@ extern template void spmv<float>(const CsrMatrix<float> &,
 extern template void spmv<double>(const CsrMatrix<double> &,
                                   const std::vector<double> &,
                                   std::vector<double> &);
+extern template void spmv<float>(const CsrMatrix<float> &,
+                                 const std::vector<float> &,
+                                 std::vector<float> &,
+                                 ParallelContext *);
+extern template void spmv<double>(const CsrMatrix<double> &,
+                                  const std::vector<double> &,
+                                  std::vector<double> &,
+                                  ParallelContext *);
 extern template void spmvRows<float>(const CsrMatrix<float> &,
                                      const std::vector<float> &,
                                      std::vector<float> &, int32_t,
@@ -57,6 +98,14 @@ extern template void spmvRows<double>(const CsrMatrix<double> &,
                                       const std::vector<double> &,
                                       std::vector<double> &, int32_t,
                                       int32_t);
+extern template void spmvParallel<float>(const CsrMatrix<float> &,
+                                         const std::vector<float> &,
+                                         std::vector<float> &,
+                                         ParallelContext &);
+extern template void spmvParallel<double>(const CsrMatrix<double> &,
+                                          const std::vector<double> &,
+                                          std::vector<double> &,
+                                          ParallelContext &);
 extern template void spmvLaned<float>(const CsrMatrix<float> &,
                                       const std::vector<float> &,
                                       std::vector<float> &, int);

@@ -1,19 +1,76 @@
 #include "sparse/vector_ops.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hh"
+#include "exec/parallel_context.hh"
+#include "exec/parallel_for.hh"
+#include "exec/thread_pool.hh"
 
 namespace acamar {
+
+namespace {
+
+/** Serial partial sum of one reduction block. */
+template <typename T>
+double
+blockDot(const std::vector<T> &x, const std::vector<T> &y,
+         size_t begin, size_t end)
+{
+    double acc = 0.0;
+    for (size_t i = begin; i < end; ++i)
+        acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    return acc;
+}
+
+} // namespace
 
 template <typename T>
 double
 dot(const std::vector<T> &x, const std::vector<T> &y)
 {
     ACAMAR_CHECK(x.size() == y.size()) << "dot size mismatch";
+    const size_t n = x.size();
+    // Fixed-size blocks reduced in index order: the association (and
+    // rounding) depends only on n, never on who computes the blocks.
     double acc = 0.0;
-    for (size_t i = 0; i < x.size(); ++i)
-        acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+    for (size_t b = 0; b < n; b += kReductionBlock)
+        acc += blockDot(x, y, b, std::min(n, b + kReductionBlock));
+    return acc;
+}
+
+template <typename T>
+double
+dot(const std::vector<T> &x, const std::vector<T> &y,
+    ParallelContext *pc)
+{
+    ACAMAR_CHECK(x.size() == y.size()) << "dot size mismatch";
+    const size_t n = x.size();
+    const size_t n_blocks = (n + kReductionBlock - 1) / kReductionBlock;
+    ThreadPool *pool = pc ? pc->pool() : nullptr;
+    if (!pool || n_blocks < 2)
+        return dot(x, y);
+
+    // Workers fill disjoint slots of the partial-sum buffer; the
+    // final reduction walks it serially in block order, making the
+    // result bit-identical to the serial blocked accumulate.
+    std::vector<double> &partials = pc->reductionScratch(n_blocks);
+    const auto n_tasks =
+        std::min<size_t>(static_cast<size_t>(pc->threads()), n_blocks);
+    const size_t per_task = (n_blocks + n_tasks - 1) / n_tasks;
+    parallelForIndex(*pool, n_tasks, [&](size_t t) {
+        const size_t first = t * per_task;
+        const size_t last = std::min(n_blocks, first + per_task);
+        for (size_t blk = first; blk < last; ++blk) {
+            const size_t begin = blk * kReductionBlock;
+            partials[blk] = blockDot(
+                x, y, begin, std::min(n, begin + kReductionBlock));
+        }
+    });
+    double acc = 0.0;
+    for (size_t blk = 0; blk < n_blocks; ++blk)
+        acc += partials[blk];
     return acc;
 }
 
@@ -22,6 +79,13 @@ double
 norm2(const std::vector<T> &x)
 {
     return std::sqrt(dot(x, x));
+}
+
+template <typename T>
+double
+norm2(const std::vector<T> &x, ParallelContext *pc)
+{
+    return std::sqrt(dot(x, x, pc));
 }
 
 template <typename T>
@@ -71,8 +135,18 @@ template double dot<float>(const std::vector<float> &,
                            const std::vector<float> &);
 template double dot<double>(const std::vector<double> &,
                             const std::vector<double> &);
+template double dot<float>(const std::vector<float> &,
+                           const std::vector<float> &,
+                           ParallelContext *);
+template double dot<double>(const std::vector<double> &,
+                            const std::vector<double> &,
+                            ParallelContext *);
 template double norm2<float>(const std::vector<float> &);
 template double norm2<double>(const std::vector<double> &);
+template double norm2<float>(const std::vector<float> &,
+                             ParallelContext *);
+template double norm2<double>(const std::vector<double> &,
+                              ParallelContext *);
 template void axpy<float>(float, const std::vector<float> &,
                           std::vector<float> &);
 template void axpy<double>(double, const std::vector<double> &,

@@ -11,18 +11,45 @@
 #ifndef ACAMAR_SPARSE_VECTOR_OPS_HH
 #define ACAMAR_SPARSE_VECTOR_OPS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace acamar {
 
+class ParallelContext; // exec/parallel_context.hh
+
+/**
+ * Elements per reduction block. dot/norm2 accumulate each block
+ * serially and then reduce the block partial sums in index order, so
+ * the rounding (and therefore every residual history built on top)
+ * is a function of the data alone — not of the thread count. One
+ * block covers the paper's whole 4096-row chunk, so reductions at
+ * the default dimension are bit-identical to a plain serial
+ * accumulate.
+ */
+inline constexpr std::size_t kReductionBlock = 4096;
+
 /** Inner product (x, y). Accumulates in double for stability. */
 template <typename T>
 double dot(const std::vector<T> &x, const std::vector<T> &y);
 
+/**
+ * Context-aware inner product: block partial sums computed on `pc`'s
+ * pool when the context is wide, serially otherwise, then reduced in
+ * block index order. Bit-identical to dot(x, y) at any thread count.
+ */
+template <typename T>
+double dot(const std::vector<T> &x, const std::vector<T> &y,
+           ParallelContext *pc);
+
 /** Euclidean norm ||x||_2. */
 template <typename T>
 double norm2(const std::vector<T> &x);
+
+/** Context-aware norm; same determinism contract as dot(x, y, pc). */
+template <typename T>
+double norm2(const std::vector<T> &x, ParallelContext *pc);
 
 /** y += a * x. */
 template <typename T>
@@ -54,8 +81,18 @@ extern template double dot<float>(const std::vector<float> &,
                                   const std::vector<float> &);
 extern template double dot<double>(const std::vector<double> &,
                                    const std::vector<double> &);
+extern template double dot<float>(const std::vector<float> &,
+                                  const std::vector<float> &,
+                                  ParallelContext *);
+extern template double dot<double>(const std::vector<double> &,
+                                   const std::vector<double> &,
+                                   ParallelContext *);
 extern template double norm2<float>(const std::vector<float> &);
 extern template double norm2<double>(const std::vector<double> &);
+extern template double norm2<float>(const std::vector<float> &,
+                                    ParallelContext *);
+extern template double norm2<double>(const std::vector<double> &,
+                                     ParallelContext *);
 extern template void axpy<float>(float, const std::vector<float> &,
                                  std::vector<float> &);
 extern template void axpy<double>(double, const std::vector<double> &,

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Determinism tests for intra-solve parallelism: the parallel SpMV,
+ * SELL kernels and blocked reductions must be *bit-identical* to
+ * their serial forms at any thread count, and therefore every solver
+ * must produce byte-identical residual histories at --threads=1 vs
+ * --threads=8.
+ *
+ * Suites ending in "Mt" run under the CI ThreadSanitizer job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "accel/acamar.hh"
+#include "common/random.hh"
+#include "exec/parallel_context.hh"
+#include "solvers/solver.hh"
+#include "sparse/catalog.hh"
+#include "sparse/generators.hh"
+#include "sparse/sell.hh"
+#include "sparse/spmv.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+namespace {
+
+std::vector<float>
+denseInput(int32_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> x(static_cast<size_t>(n));
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return x;
+}
+
+bool
+bitEqual(const std::vector<float> &a, const std::vector<float> &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(float)) == 0;
+}
+
+TEST(SpmvParallelMt, BitIdenticalToSerialAcrossThreadCounts)
+{
+    Rng rng(29);
+    const auto a =
+        graphLaplacianPowerLaw(700, 1.8, 64, 1.0, rng).cast<float>();
+    const auto x = denseInput(a.numCols(), 4);
+    std::vector<float> ref(static_cast<size_t>(a.numRows()));
+    spmv(a, x, ref);
+
+    for (int threads : {2, 3, 8}) {
+        ParallelContext pc(threads);
+        std::vector<float> y(ref.size(), -1.0f);
+        spmvParallel(a, x, y, pc);
+        EXPECT_TRUE(bitEqual(y, ref)) << "threads=" << threads;
+
+        // The dispatch overload must take the same path.
+        std::fill(y.begin(), y.end(), -1.0f);
+        spmv(a, x, y, &pc);
+        EXPECT_TRUE(bitEqual(y, ref)) << "threads=" << threads;
+    }
+}
+
+TEST(SpmvParallelMt, CatalogMatricesMatchSerial)
+{
+    ParallelContext pc(8);
+    for (const auto &spec : datasetCatalog()) {
+        const auto a = generateDataset(spec, 192).cast<float>();
+        const auto x = datasetRhs(a, spec.id);
+        std::vector<float> ref(static_cast<size_t>(a.numRows()));
+        std::vector<float> y(ref.size(), -1.0f);
+        spmv(a, x, ref);
+        spmvParallel(a, x, y, pc);
+        EXPECT_TRUE(bitEqual(y, ref)) << spec.id;
+    }
+}
+
+TEST(SellParallelMt, BitIdenticalToSerialSell)
+{
+    Rng rng(31);
+    const auto a =
+        graphLaplacianPowerLaw(500, 2.0, 48, 1.0, rng).cast<float>();
+    const auto sell = SellMatrix<float>::fromCsr(a);
+    const auto x = denseInput(a.numCols(), 6);
+    std::vector<float> ref(static_cast<size_t>(a.numRows()));
+    sell.spmv(x, ref);
+
+    for (int threads : {2, 8}) {
+        ParallelContext pc(threads);
+        std::vector<float> y(ref.size(), -1.0f);
+        sell.spmvParallel(x, y, pc);
+        EXPECT_TRUE(bitEqual(y, ref)) << "threads=" << threads;
+    }
+}
+
+TEST(ReductionMt, BlockedDotMatchesSerialBitForBit)
+{
+    // Sizes straddling the block boundary, including several blocks.
+    for (size_t n : {size_t{1}, kReductionBlock - 1, kReductionBlock,
+                     kReductionBlock + 1, 5 * kReductionBlock + 37}) {
+        Rng rng(n);
+        std::vector<float> x(n);
+        std::vector<float> y(n);
+        for (size_t i = 0; i < n; ++i) {
+            x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+            y[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+        }
+        const double serial = dot(x, y);
+        for (int threads : {2, 8}) {
+            ParallelContext pc(threads);
+            const double wide = dot(x, y, &pc);
+            EXPECT_EQ(serial, wide)
+                << "n=" << n << " threads=" << threads;
+            EXPECT_EQ(norm2(x), norm2(x, &pc)) << "n=" << n;
+        }
+    }
+}
+
+TEST(ParallelContextMt, PartitionCacheHitsAcrossCalls)
+{
+    Rng rng(41);
+    const auto a =
+        graphLaplacianPowerLaw(300, 2.0, 32, 1.0, rng).cast<float>();
+    ParallelContext pc(4);
+    const RowPartition *first = &pc.partition(a);
+    // Same matrix revision: the cached partition comes back — a
+    // 3000-iteration solve must not re-search rowPtr per SpMV.
+    EXPECT_EQ(first, &pc.partition(a));
+    // A copy shares the revision and therefore the cache entry.
+    const CsrMatrix<float> copy = a;
+    EXPECT_EQ(first, &pc.partition(copy));
+}
+
+/**
+ * Every solver, run on the full catalog: residual history, iteration
+ * count and solution must be byte-identical at threads=1 vs 8.
+ */
+class ParallelSolversMt : public ::testing::TestWithParam<SolverKind>
+{
+};
+
+TEST_P(ParallelSolversMt, ByteIdenticalHistoryAtOneVsEightThreads)
+{
+    ConvergenceCriteria criteria;
+    criteria.maxIterations = 250;
+    criteria.setupIterations = 50;
+    const auto solver = makeSolver(GetParam());
+
+    ParallelContext serial_ctx(1);
+    ParallelContext wide_ctx(8);
+    SolverWorkspace ws_serial;
+    SolverWorkspace ws_wide;
+    ws_serial.setParallel(&serial_ctx);
+    ws_wide.setParallel(&wide_ctx);
+
+    for (const auto &spec : datasetCatalog()) {
+        const auto a = generateDataset(spec, 128).cast<float>();
+        const auto b = datasetRhs(a, spec.id);
+        const auto serial =
+            solver->solve(a, b, {}, criteria, ws_serial);
+        const auto wide = solver->solve(a, b, {}, criteria, ws_wide);
+
+        EXPECT_EQ(serial.status, wide.status) << spec.id;
+        EXPECT_EQ(serial.iterations, wide.iterations) << spec.id;
+        ASSERT_EQ(serial.residualHistory.size(),
+                  wide.residualHistory.size())
+            << spec.id;
+        // memcmp, not ==: a diverging solver legitimately logs NaN
+        // residuals, and those must match bit-for-bit too.
+        EXPECT_EQ(std::memcmp(serial.residualHistory.data(),
+                              wide.residualHistory.data(),
+                              serial.residualHistory.size() *
+                                  sizeof(double)),
+                  0)
+            << spec.id;
+        EXPECT_TRUE(bitEqual(serial.solution, wide.solution))
+            << spec.id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Portfolio, ParallelSolversMt,
+    ::testing::Values(SolverKind::Jacobi, SolverKind::CG,
+                      SolverKind::BiCgStab, SolverKind::GaussSeidel,
+                      SolverKind::Gmres, SolverKind::Sor,
+                      SolverKind::BiCg,
+                      SolverKind::ConjugateResidual),
+    [](const auto &info) {
+        std::string n = to_string(info.param);
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(ParallelAcamar, RunReportsIdenticalAtAnyHostThreads)
+{
+    // The facade wiring: an Acamar built with hostThreads=8 must
+    // reproduce the serial run verbatim (attempts, iterations,
+    // solution bits).
+    const auto spec = datasetCatalog().front();
+    const auto a = generateDataset(spec, 256).cast<float>();
+    const auto b = datasetRhs(a, spec.id);
+
+    AcamarConfig serial_cfg;
+    serial_cfg.chunkRows = 256;
+    AcamarConfig wide_cfg = serial_cfg;
+    wide_cfg.hostThreads = 8;
+
+    Acamar serial(serial_cfg);
+    Acamar wide(wide_cfg);
+    const auto r1 = serial.run(a, b);
+    const auto r8 = wide.run(a, b);
+
+    EXPECT_EQ(r1.converged, r8.converged);
+    EXPECT_EQ(r1.finalSolver, r8.finalSolver);
+    ASSERT_EQ(r1.attempts.size(), r8.attempts.size());
+    for (size_t i = 0; i < r1.attempts.size(); ++i) {
+        EXPECT_EQ(r1.attempts[i].result.iterations,
+                  r8.attempts[i].result.iterations);
+        EXPECT_EQ(r1.attempts[i].result.residualHistory,
+                  r8.attempts[i].result.residualHistory);
+    }
+    EXPECT_TRUE(bitEqual(r1.solution(), r8.solution()));
+}
+
+TEST(ParallelAcamar, RejectsNonPositiveHostThreads)
+{
+    AcamarConfig cfg;
+    cfg.hostThreads = 0;
+    EXPECT_THROW(cfg.validate(), std::runtime_error);
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the nnz-balanced row partitioner: exact disjoint
+ * coverage, balance bounds, and the pathological shapes (empty
+ * matrices, all-empty rows, one dense row) that break naive splits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+#include "sparse/partition.hh"
+
+namespace acamar {
+namespace {
+
+/** Blocks must tile [0, numRows) in order with correct nnz counts. */
+void
+expectCovers(const RowPartition &part,
+             const std::vector<int64_t> &row_ptr, int32_t num_rows)
+{
+    if (num_rows == 0) {
+        EXPECT_TRUE(part.empty());
+        return;
+    }
+    ASSERT_FALSE(part.empty());
+    EXPECT_EQ(part.front().begin, 0);
+    EXPECT_EQ(part.back().end, num_rows);
+    for (size_t i = 0; i < part.size(); ++i) {
+        EXPECT_LT(part[i].begin, part[i].end) << "empty block " << i;
+        if (i > 0) {
+            EXPECT_EQ(part[i].begin, part[i - 1].end)
+                << "gap/overlap before block " << i;
+        }
+        EXPECT_EQ(part[i].nnz,
+                  row_ptr[part[i].end] - row_ptr[part[i].begin]);
+    }
+}
+
+int64_t
+maxRowNnz(const std::vector<int64_t> &row_ptr)
+{
+    int64_t widest = 0;
+    for (size_t r = 0; r + 1 < row_ptr.size(); ++r)
+        widest = std::max(widest, row_ptr[r + 1] - row_ptr[r]);
+    return widest;
+}
+
+TEST(Partition, EmptyMatrixYieldsEmptyPartition)
+{
+    const std::vector<int64_t> rp{0};
+    EXPECT_TRUE(partitionRowsByNnz(rp, 0, 4).empty());
+}
+
+TEST(Partition, AllEmptyRowsFallBackToEvenRowSplit)
+{
+    // Total nnz = 0: work balance is meaningless, row balance isn't.
+    const std::vector<int64_t> rp(9, 0); // 8 rows, all empty
+    const auto part = partitionRowsByNnz(rp, 8, 4);
+    expectCovers(part, rp, 8);
+    ASSERT_EQ(part.size(), 4u);
+    for (const auto &blk : part) {
+        EXPECT_EQ(blk.rows(), 2);
+        EXPECT_EQ(blk.nnz, 0);
+    }
+}
+
+TEST(Partition, MoreThreadsThanRowsCapsAtOneBlockPerRow)
+{
+    const std::vector<int64_t> rp{0, 2, 4, 6};
+    const auto part = partitionRowsByNnz(rp, 3, 16);
+    expectCovers(part, rp, 3);
+    EXPECT_LE(part.size(), 3u);
+    for (const auto &blk : part)
+        EXPECT_GE(blk.rows(), 1);
+}
+
+TEST(Partition, SingleRowMatrix)
+{
+    const std::vector<int64_t> rp{0, 5};
+    const auto part = partitionRowsByNnz(rp, 1, 8);
+    expectCovers(part, rp, 1);
+    ASSERT_EQ(part.size(), 1u);
+    EXPECT_EQ(part[0].nnz, 5);
+}
+
+TEST(Partition, DenseRowBiggerThanIdealBecomesItsOwnBlock)
+{
+    // Row 4 holds 100 of 114 entries; ideal share at 4 parts is
+    // ~28.5. The dense row cannot be split, so it dominates one
+    // block and the remaining rows balance around it.
+    std::vector<int64_t> rp{0};
+    for (int r = 0; r < 8; ++r)
+        rp.push_back(rp.back() + (r == 4 ? 100 : 2));
+    const auto part = partitionRowsByNnz(rp, 8, 4);
+    expectCovers(part, rp, 8);
+
+    // Some block is exactly the dense row plus at most its
+    // neighbors; every block obeys the documented bound.
+    const int64_t total = rp.back();
+    const double ideal =
+        static_cast<double>(total) / static_cast<double>(part.size());
+    for (const auto &blk : part)
+        EXPECT_LE(static_cast<double>(blk.nnz),
+                  std::max(2.0 * ideal,
+                           static_cast<double>(maxRowNnz(rp))));
+}
+
+TEST(Partition, BalanceWithinTwiceIdealOnCatalogShapes)
+{
+    // Power-law and flat traces both: blocks may not exceed twice
+    // their ideal share unless a single row already does.
+    Rng rng(7);
+    const auto mats = {
+        poisson2d(20, 20, 0.0),
+        graphLaplacianPowerLaw(400, 2.0, 64, 1.0, rng),
+    };
+    for (const auto &a : mats) {
+        for (int parts : {2, 3, 4, 8}) {
+            const auto part = partitionRowsByNnz(a.rowPtr(),
+                                                 a.numRows(), parts);
+            expectCovers(part, a.rowPtr(), a.numRows());
+            const double ideal = static_cast<double>(a.nnz()) /
+                                 static_cast<double>(part.size());
+            for (const auto &blk : part)
+                EXPECT_LE(
+                    static_cast<double>(blk.nnz),
+                    std::max(2.0 * ideal,
+                             static_cast<double>(
+                                 maxRowNnz(a.rowPtr()))))
+                    << "parts=" << parts;
+        }
+    }
+}
+
+TEST(Partition, SinglePartIsWholeMatrix)
+{
+    const auto a = poisson2d(8, 8, 0.0);
+    const auto part = partitionRowsByNnz(a, 1);
+    ASSERT_EQ(part.size(), 1u);
+    EXPECT_EQ(part[0].begin, 0);
+    EXPECT_EQ(part[0].end, a.numRows());
+    EXPECT_EQ(part[0].nnz, a.nnz());
+}
+
+TEST(Partition, BlockNnzSumsToTotal)
+{
+    Rng rng(11);
+    const auto a = graphLaplacianPowerLaw(300, 1.8, 48, 1.0, rng);
+    for (int parts : {2, 5, 7}) {
+        const auto part = partitionRowsByNnz(a, parts);
+        int64_t sum = 0;
+        for (const auto &blk : part)
+            sum += blk.nnz;
+        EXPECT_EQ(sum, a.nnz()) << "parts=" << parts;
+    }
+}
+
+} // namespace
+} // namespace acamar

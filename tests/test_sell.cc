@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the SELL-C-σ format: exact CSR round-trips (explicit
+ * zeros included), bit-identical SpMV against the CSR kernel, and
+ * the layout invariants (σ-window sorting, padding accounting).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/random.hh"
+#include "sparse/coo.hh"
+#include "sparse/generators.hh"
+#include "sparse/sell.hh"
+#include "sparse/spmv.hh"
+
+namespace acamar {
+namespace {
+
+/** Two CSR matrices are structurally and numerically identical. */
+void
+expectSameCsr(const CsrMatrix<float> &a, const CsrMatrix<float> &b)
+{
+    ASSERT_EQ(a.numRows(), b.numRows());
+    ASSERT_EQ(a.numCols(), b.numCols());
+    EXPECT_EQ(a.rowPtr(), b.rowPtr());
+    EXPECT_EQ(a.colIdx(), b.colIdx());
+    ASSERT_EQ(a.values().size(), b.values().size());
+    // memcmp: -0.0f == 0.0f would hide a sign flip.
+    EXPECT_EQ(std::memcmp(a.values().data(), b.values().data(),
+                          a.values().size() * sizeof(float)),
+              0);
+}
+
+std::vector<float>
+denseInput(int32_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> x(static_cast<size_t>(n));
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return x;
+}
+
+TEST(Sell, RoundTripIsExactOnIrregularMatrix)
+{
+    Rng rng(3);
+    const auto a =
+        graphLaplacianPowerLaw(200, 2.0, 48, 1.0, rng).cast<float>();
+    for (int32_t chunk : {1, 4, 32}) {
+        for (int32_t sigma : {0, 1, 64}) {
+            const auto sell =
+                SellMatrix<float>::fromCsr(a, chunk, sigma);
+            expectSameCsr(sell.toCsr(), a);
+        }
+    }
+}
+
+TEST(Sell, RoundTripKeepsExplicitZeros)
+{
+    // Stored zeros are entries, not padding: they must survive the
+    // trip even though padded slots also hold value 0.
+    CooMatrix<float> coo(4, 4);
+    coo.add(0, 0, 1.0f);
+    coo.add(0, 2, 0.0f); // explicit zero
+    coo.add(1, 1, 0.0f); // explicit zero
+    coo.add(2, 0, 3.0f);
+    coo.add(2, 1, 0.0f); // explicit zero
+    coo.add(2, 3, 4.0f);
+    // Row 3 left genuinely empty.
+    const auto a = coo.toCsr();
+    const auto sell = SellMatrix<float>::fromCsr(a, 2, 0);
+    const auto back = sell.toCsr();
+    expectSameCsr(back, a);
+    EXPECT_EQ(back.nnz(), 6);
+}
+
+TEST(Sell, RoundTripEmptyAndAllEmptyMatrices)
+{
+    const CsrMatrix<float> empty;
+    expectSameCsr(SellMatrix<float>::fromCsr(empty, 8).toCsr(),
+                  empty);
+
+    CooMatrix<float> coo(5, 5); // rows exist, no entries
+    const auto a = coo.toCsr();
+    const auto sell = SellMatrix<float>::fromCsr(a, 2);
+    EXPECT_EQ(sell.paddedSize(), 0);
+    expectSameCsr(sell.toCsr(), a);
+}
+
+TEST(Sell, SpmvBitIdenticalToCsr)
+{
+    Rng rng(9);
+    const auto a =
+        graphLaplacianPowerLaw(257, 1.8, 32, 1.0, rng).cast<float>();
+    const auto x = denseInput(a.numCols(), 21);
+    std::vector<float> ref(static_cast<size_t>(a.numRows()));
+    spmv(a, x, ref);
+
+    for (int32_t chunk : {1, 8, 32}) {
+        for (int32_t sigma : {0, 1, 128}) {
+            const auto sell =
+                SellMatrix<float>::fromCsr(a, chunk, sigma);
+            std::vector<float> y(ref.size(), -7.0f);
+            sell.spmv(x, y);
+            EXPECT_EQ(std::memcmp(y.data(), ref.data(),
+                                  ref.size() * sizeof(float)),
+                      0)
+                << "chunk=" << chunk << " sigma=" << sigma;
+        }
+    }
+}
+
+TEST(Sell, SortingShrinksPaddingOnSkewedRows)
+{
+    // Skewed row lengths: whole-matrix sorting (sigma=0) groups
+    // like-length rows into chunks, so it never pads more than the
+    // unsorted layout (sigma=1).
+    Rng rng(5);
+    const auto a =
+        graphLaplacianPowerLaw(512, 1.6, 64, 1.0, rng).cast<float>();
+    const auto sorted = SellMatrix<float>::fromCsr(a, 16, 0);
+    const auto unsorted = SellMatrix<float>::fromCsr(a, 16, 1);
+    EXPECT_LE(sorted.paddedSize(), unsorted.paddedSize());
+    EXPECT_LE(sorted.paddingOverhead(),
+              unsorted.paddingOverhead());
+}
+
+TEST(Sell, SigmaOneKeepsOriginalRowOrder)
+{
+    Rng rng(13);
+    const auto a =
+        graphLaplacianPowerLaw(64, 2.0, 16, 1.0, rng).cast<float>();
+    const auto sell = SellMatrix<float>::fromCsr(a, 8, 1);
+    for (int32_t r = 0; r < a.numRows(); ++r)
+        EXPECT_EQ(sell.permutation()[static_cast<size_t>(r)], r);
+}
+
+TEST(Sell, PermutationIsAPermutation)
+{
+    Rng rng(17);
+    const auto a =
+        graphLaplacianPowerLaw(100, 2.0, 24, 1.0, rng).cast<float>();
+    const auto sell = SellMatrix<float>::fromCsr(a, 8, 32);
+    auto perm = sell.permutation();
+    std::sort(perm.begin(), perm.end());
+    for (int32_t r = 0; r < a.numRows(); ++r)
+        EXPECT_EQ(perm[static_cast<size_t>(r)], r);
+}
+
+TEST(Sell, RejectsOversizedChunk)
+{
+    ScopedCheckThrowMode guard;
+    const auto a = poisson2d(4, 4, 0.0).cast<float>();
+    EXPECT_THROW(SellMatrix<float>::fromCsr(a, kMaxSellChunk + 1),
+                 CheckError);
+    EXPECT_THROW(SellMatrix<float>::fromCsr(a, 0), CheckError);
+}
+
+} // namespace
+} // namespace acamar

@@ -270,14 +270,16 @@ def solver_convergence(files):
 
 
 @rule("hot-loop-alloc",
-      "solver regions between `// acamar: hot-loop` and "
-      "`// acamar: hot-loop-end` markers must not allocate: no "
+      "solver and sparse-kernel regions between `// acamar: hot-loop`"
+      " and `// acamar: hot-loop-end` markers must not allocate: no "
       "resize()/push_back()/emplace_back() inside the iteration loop "
-      "(use SolverWorkspace slots sized before the loop)")
+      "(use SolverWorkspace slots or fixed std::array scratch sized "
+      "before the loop)")
 def hot_loop_alloc(files):
     alloc = re.compile(r"\.\s*(resize|push_back|emplace_back)\s*\(")
     for f in files:
-        if not f.rel.startswith("src/solvers/"):
+        if not (f.rel.startswith("src/solvers/") or
+                f.rel.startswith("src/sparse/")):
             continue
         in_hot = False
         hot_start = 0

@@ -176,6 +176,20 @@ def pct_change(old, new):
     return 100.0 * (new - old) / old
 
 
+def profile_digest(rec):
+    """The record's zone-tree digest, or None when the run was not
+    profiled: no digest at all, or an empty zone tree (whose digest
+    is just the hash seed and would spuriously "match" or "differ"
+    against a profiled run)."""
+    prof = rec.get("profile")
+    if not isinstance(prof, dict):
+        return None
+    digest = prof.get("digest")
+    if not digest or not prof.get("zones"):
+        return None
+    return digest
+
+
 def cmd_compare(args):
     try:
         base = {key_of(r): r for r in load_records(args.baseline)}
@@ -184,7 +198,8 @@ def cmd_compare(args):
         print(f"bench_compare: {e}", file=sys.stderr)
         return 2
 
-    regressions, missing, digest_changes = [], [], []
+    regressions, missing = [], []
+    digest_changes, digest_skipped = [], []
     for key in sorted(base):
         if key not in cur:
             missing.append(key)
@@ -200,7 +215,10 @@ def cmd_compare(args):
             regressions.append(key)
         print(f"{fmt_key(key):<44} wall {d_wall:+7.1f}%  "
               f"throughput {d_tput:+7.1f}%  {status}")
-        if b["profile"]["digest"] != c["profile"]["digest"]:
+        b_digest, c_digest = profile_digest(b), profile_digest(c)
+        if b_digest is None or c_digest is None:
+            digest_skipped.append(key)
+        elif b_digest != c_digest:
             digest_changes.append(key)
     for key in sorted(set(cur) - set(base)):
         print(f"{fmt_key(key):<44} new (not in baseline)")
@@ -210,6 +228,12 @@ def cmd_compare(args):
               f"{len(digest_changes)} bench(es) — instrumentation "
               "differs from baseline (informational):")
         for key in digest_changes:
+            print(f"  {fmt_key(key)}")
+    if digest_skipped:
+        print(f"\nzone-tree digest not comparable for "
+              f"{len(digest_skipped)} bench(es) — unprofiled on at "
+              "least one side, skipped (informational):")
+        for key in digest_skipped:
             print(f"  {fmt_key(key)}")
     if missing:
         print(f"\n{len(missing)} baseline record(s) missing from "

@@ -37,7 +37,12 @@ BENCHES=(
     ablation_ru_metrics
     ablation_gpu_kernels
     ablation_msid_tolerance
+    spmv_kernels
 )
+
+# The compare tooling itself is under test too: run its unit suite
+# before trusting it to merge/validate this run's records.
+python3 "$(dirname "$0")/test_bench_compare.py" --quiet
 
 mkdir -p "${OUT_DIR}"
 

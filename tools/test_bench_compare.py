@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py (run by perf_smoke.sh).
+
+    python3 tools/test_bench_compare.py
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def record(bench="fig6_speedup", dim=4096, jobs=1, wall=1.0,
+           per_second=100.0, digest="abc123", zones=None):
+    if zones is None:
+        zones = [{"path": "accel/run", "calls": 1, "total_ns": 10,
+                  "self_ns": 10, "p50_ns": 10, "p90_ns": 10,
+                  "p99_ns": 10}]
+    return {
+        "schema": bench_compare.SCHEMA,
+        "bench": bench,
+        "dim": dim,
+        "jobs": jobs,
+        "git_sha": "deadbee",
+        "wall_seconds": wall,
+        "throughput": {"unit": "items", "count": per_second * wall,
+                       "per_second": per_second},
+        "profile": {"digest": digest, "zones": zones,
+                    "counters": {}, "histograms": {},
+                    "timeline_dropped": 0},
+    }
+
+
+def write_json(tmpdir, name, obj):
+    path = os.path.join(tmpdir, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(obj, fh)
+    return path
+
+
+def run_compare(baseline, current, threshold=15.0, report_only=False):
+    """Invoke cmd_compare; return (exit_status, captured_stdout)."""
+    args = type("Args", (), {"baseline": baseline, "current": current,
+                             "threshold": threshold,
+                             "report_only": report_only})()
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        status = bench_compare.cmd_compare(args)
+    return status, out.getvalue()
+
+
+class ValidateTest(unittest.TestCase):
+    def test_good_record_has_no_errors(self):
+        self.assertEqual(
+            bench_compare.validate_record(record(), "t"), [])
+
+    def test_missing_field_is_reported(self):
+        rec = record()
+        del rec["wall_seconds"]
+        errors = bench_compare.validate_record(rec, "t")
+        self.assertTrue(any("wall_seconds" in e for e in errors))
+
+
+class ProfileDigestTest(unittest.TestCase):
+    def test_profiled_record_yields_digest(self):
+        self.assertEqual(bench_compare.profile_digest(record()),
+                         "abc123")
+
+    def test_empty_digest_is_none(self):
+        self.assertIsNone(
+            bench_compare.profile_digest(record(digest="")))
+
+    def test_empty_zone_tree_is_none(self):
+        # An unprofiled run writes a seed-only digest over zero
+        # zones; it must not be compared against profiled runs.
+        self.assertIsNone(
+            bench_compare.profile_digest(record(zones=[])))
+
+
+class CompareTest(unittest.TestCase):
+    def test_identical_runs_pass(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            b = write_json(tmp, "b.json", record())
+            c = write_json(tmp, "c.json", record())
+            status, out = run_compare(b, c)
+        self.assertEqual(status, 0)
+        self.assertIn("no regressions", out)
+
+    def test_slowdown_beyond_threshold_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            b = write_json(tmp, "b.json", record(wall=1.0))
+            c = write_json(tmp, "c.json", record(wall=2.0))
+            status, out = run_compare(b, c)
+        self.assertEqual(status, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_report_only_never_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            b = write_json(tmp, "b.json", record(wall=1.0))
+            c = write_json(tmp, "c.json", record(wall=2.0))
+            status, _ = run_compare(b, c, report_only=True)
+        self.assertEqual(status, 0)
+
+    def test_digest_change_is_informational(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            b = write_json(tmp, "b.json", record(digest="aaa"))
+            c = write_json(tmp, "c.json", record(digest="bbb"))
+            status, out = run_compare(b, c)
+        self.assertEqual(status, 0)
+        self.assertIn("digest changed", out)
+
+    def test_unprofiled_side_skips_digest_with_note(self):
+        # Missing digest on either side: not comparable, skip — the
+        # run must still pass and say why.
+        with tempfile.TemporaryDirectory() as tmp:
+            b = write_json(tmp, "b.json", record(digest="aaa"))
+            c = write_json(tmp, "c.json", record(zones=[]))
+            status, out = run_compare(b, c)
+        self.assertEqual(status, 0)
+        self.assertIn("not comparable", out)
+        self.assertNotIn("digest changed", out)
+
+
+class MergeTest(unittest.TestCase):
+    def test_merge_dedups_by_key_and_validates(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            a = write_json(tmp, "a.json", record(wall=1.0))
+            b = write_json(tmp, "b.json", record(wall=2.0))
+            other = write_json(tmp, "o.json", record(bench="fig9"))
+            out_path = os.path.join(tmp, "set.json")
+            args = type("Args", (), {"files": [a, b, other],
+                                     "out": out_path})()
+            with contextlib.redirect_stdout(io.StringIO()):
+                status = bench_compare.cmd_merge(args)
+            self.assertEqual(status, 0)
+            with open(out_path, encoding="utf-8") as fh:
+                merged = json.load(fh)
+        self.assertEqual(merged["schema"], bench_compare.SET_SCHEMA)
+        self.assertEqual(len(merged["records"]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
