@@ -1,0 +1,146 @@
+#include "common/sync.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace acamar {
+
+namespace sync_detail {
+namespace {
+
+/**
+ * The calling thread's held-lock stack. Fixed capacity: the deepest
+ * legal nesting is bounded by the rank table (every acquisition
+ * strictly increases the held rank), so 16 frames is generous.
+ */
+struct LockSet {
+    static constexpr int kMaxDepth = 16;
+    const Mutex *held[kMaxDepth];
+    int depth = 0;
+};
+
+LockSet &
+thisThreadLockSet()
+{
+    thread_local LockSet set;
+    return set;
+}
+
+std::string
+describe(const LockSet &set)
+{
+    std::ostringstream os;
+    if (set.depth == 0) {
+        os << "(no locks held)";
+        return os.str();
+    }
+    for (int i = 0; i < set.depth; ++i) {
+        if (i)
+            os << ", ";
+        os << '"' << set.held[i]->name() << "\" (rank "
+           << static_cast<int>(set.held[i]->rank()) << ')';
+    }
+    return os.str();
+}
+
+/**
+ * Enforce the global order before `mu` is acquired: every held lock
+ * must rank strictly below it. Violations are library bugs, so they
+ * panic (abort) rather than throw — a deadlock-shaped nesting must
+ * never be allowed to proceed, even under ScopedCheckThrowMode.
+ */
+void
+checkRankOnAcquire(const Mutex &mu)
+{
+    const LockSet &set = thisThreadLockSet();
+    for (int i = 0; i < set.depth; ++i) {
+        if (set.held[i]->rank() >= mu.rank()) {
+            ACAMAR_PANIC(
+                "lock-rank violation: acquiring \"", mu.name(),
+                "\" (rank ", static_cast<int>(mu.rank()),
+                ") while this thread holds ", describe(set),
+                "; mutexes must be acquired in strictly increasing "
+                "LockRank order (see common/sync.hh)");
+        }
+    }
+}
+
+void
+pushHeld(const Mutex &mu)
+{
+    LockSet &set = thisThreadLockSet();
+    if (set.depth >= LockSet::kMaxDepth) {
+        ACAMAR_PANIC("lock nesting deeper than ", LockSet::kMaxDepth,
+                     " while acquiring \"", mu.name(),
+                     "\"; held: ", describe(set));
+    }
+    set.held[set.depth++] = &mu;
+}
+
+void
+popHeld(const Mutex &mu)
+{
+    LockSet &set = thisThreadLockSet();
+    // Scan from the top: releases are usually LIFO, but
+    // ReleasableMutexLock and manual unlock() may release an inner
+    // frame early.
+    for (int i = set.depth - 1; i >= 0; --i) {
+        if (set.held[i] == &mu) {
+            for (int j = i; j + 1 < set.depth; ++j)
+                set.held[j] = set.held[j + 1];
+            --set.depth;
+            return;
+        }
+    }
+    ACAMAR_PANIC("unlock of \"", mu.name(),
+                 "\" which this thread does not hold; held: ",
+                 describe(set));
+}
+
+} // namespace
+
+std::string
+heldLocksDescription()
+{
+    return describe(thisThreadLockSet());
+}
+
+} // namespace sync_detail
+
+void
+Mutex::lock()
+{
+#if ACAMAR_SYNC_RANK_CHECKS
+    sync_detail::checkRankOnAcquire(*this);
+#endif
+    m_.lock();
+#if ACAMAR_SYNC_RANK_CHECKS
+    sync_detail::pushHeld(*this);
+#endif
+}
+
+void
+Mutex::unlock()
+{
+#if ACAMAR_SYNC_RANK_CHECKS
+    sync_detail::popHeld(*this);
+#endif
+    m_.unlock();
+}
+
+bool
+Mutex::tryLock()
+{
+#if ACAMAR_SYNC_RANK_CHECKS
+    sync_detail::checkRankOnAcquire(*this);
+#endif
+    if (!m_.try_lock())
+        return false;
+#if ACAMAR_SYNC_RANK_CHECKS
+    sync_detail::pushHeld(*this);
+#endif
+    return true;
+}
+
+} // namespace acamar

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Capability-annotated synchronization layer: the one way this
+ * codebase locks.
+ *
+ * Raw std::mutex gives review two jobs the compiler could do: check
+ * that guarded state is only touched under its lock, and check that
+ * locks nest in one global order. The ThreadPool lost-wakeup races
+ * (see exec/thread_pool.cc history) were exactly the class of bug
+ * these checks catch. This header makes both machine-enforced:
+ *
+ *  - **Capabilities.** `Mutex`, `CondVar` and the RAII
+ *    `MutexLock`/`ReleasableMutexLock` carry Clang thread-safety
+ *    attributes (no-ops on other compilers). Annotate guarded state
+ *    with `ACAMAR_GUARDED_BY(mu)` and lock-requiring helpers with
+ *    `ACAMAR_REQUIRES(mu)`; building with `-DACAMAR_THREAD_SAFETY=ON`
+ *    under Clang turns violations into `-Wthread-safety` diagnostics
+ *    (errors in CI).
+ *
+ *  - **Lock ranks.** Every `Mutex` is constructed with a `LockRank`.
+ *    A thread may only acquire a mutex whose rank is strictly greater
+ *    than every mutex it already holds; any out-of-rank acquisition
+ *    panics immediately with the thread's held-lock set, turning a
+ *    maybe-someday deadlock into a deterministic abort at the first
+ *    wrong nesting — on any thread, in any build. Define
+ *    `ACAMAR_SYNC_NO_RANK_CHECKS` to compile the checker out.
+ *
+ *  - **No lost wakeups by construction.** `CondVar::wait` only
+ *    exists in predicate form, so every wait re-checks its condition
+ *    under the lock (the `cond-wait-predicate` lint rule keeps it
+ *    that way; `raw-sync` bans the std primitives outside this
+ *    header).
+ *
+ * The rank table below is the global lock order. When adding a
+ * mutex, place it by answering: "which locks can be held when this
+ * one is acquired?" — they must all rank lower. DESIGN.md §12
+ * documents the discipline.
+ */
+
+#ifndef ACAMAR_COMMON_SYNC_HH
+#define ACAMAR_COMMON_SYNC_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+
+#include "common/check.hh"
+
+// ---- Clang thread-safety attribute macros -----------------------------
+//
+// The attribute spellings follow the Clang thread-safety analysis
+// documentation (and abseil's thread_annotations.h). On compilers
+// without the attributes the macros expand to nothing, so GCC builds
+// are unaffected and the annotations cannot rot out of the build.
+
+#if defined(__clang__)
+#define ACAMAR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ACAMAR_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a class as a lockable capability (e.g. a mutex type). */
+#define ACAMAR_CAPABILITY(x) ACAMAR_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in dtor. */
+#define ACAMAR_SCOPED_CAPABILITY ACAMAR_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while holding `x`. */
+#define ACAMAR_GUARDED_BY(x) ACAMAR_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose pointee is guarded by `x`. */
+#define ACAMAR_PT_GUARDED_BY(x) ACAMAR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function that must be called with the listed capabilities held. */
+#define ACAMAR_REQUIRES(...) \
+    ACAMAR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function that acquires the listed capabilities (or `this`). */
+#define ACAMAR_ACQUIRE(...) \
+    ACAMAR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function that releases the listed capabilities (or `this`). */
+#define ACAMAR_RELEASE(...) \
+    ACAMAR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function that acquires on the given return value. */
+#define ACAMAR_TRY_ACQUIRE(...) \
+    ACAMAR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function that must NOT be called with the capabilities held. */
+#define ACAMAR_EXCLUDES(...) \
+    ACAMAR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Escape hatch; use only with a comment saying why. */
+#define ACAMAR_NO_THREAD_SAFETY_ANALYSIS \
+    ACAMAR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---- Lock-rank checker toggle -----------------------------------------
+
+#ifndef ACAMAR_SYNC_NO_RANK_CHECKS
+#define ACAMAR_SYNC_RANK_CHECKS 1
+#else
+#define ACAMAR_SYNC_RANK_CHECKS 0
+#endif
+
+namespace acamar {
+
+/**
+ * The global lock order, one rank per mutex family. Acquisition must
+ * be in strictly increasing rank order per thread; two mutexes of
+ * the same rank may never be held simultaneously (same-rank members
+ * of one family, e.g. the per-worker pool queues, are taken one at a
+ * time by design).
+ *
+ * Current nesting facts the table encodes:
+ *  - TraceSession drains per-thread stages while holding the sink
+ *    directory lock (kTraceSinks -> kTraceStage);
+ *  - the Profiler merges per-thread shards while holding its state
+ *    lock (kProfilerState -> kProfilerShard);
+ *  - pool workers never hold a pool lock while running a task, so
+ *    obs ranks sit below the pool ranks and instrumented tasks can
+ *    take them freely;
+ *  - kLeaf is for strictly-leaf locks (e.g. a test sink's own
+ *    counter): nothing may be acquired while holding one.
+ */
+enum class LockRank : int {
+    kStatRegistry = 10,   //!< obs/stats_registry.hh directory
+    kTraceSinks = 20,     //!< obs/trace.hh sink + stage directory
+    kTraceStage = 30,     //!< obs/trace.hh per-thread staging buffer
+    kProfilerState = 40,  //!< obs/profiler.cc shard directory
+    kProfilerShard = 50,  //!< obs/profiler.cc per-thread shard
+    kPoolQueue = 60,      //!< exec/thread_pool.hh per-worker deque
+    kPoolSleep = 70,      //!< exec/thread_pool.hh idle-worker wakeup
+    kPoolWait = 80,       //!< exec/thread_pool.hh wait()/error state
+    kLeaf = 1000,         //!< leaf locks: acquire nothing beyond
+};
+
+/**
+ * A ranked, capability-annotated mutex. Construct with the rank slot
+ * from the table above and a short diagnostic name; lock via
+ * MutexLock (preferred) or lock()/unlock() in the rare manual case.
+ */
+class ACAMAR_CAPABILITY("mutex") Mutex
+{
+  public:
+    explicit Mutex(LockRank rank, const char *name)
+        : rank_(rank), name_(name)
+    {}
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    /**
+     * Acquire. Panics (lock-rank violation) if this thread already
+     * holds a mutex of equal or greater rank — checked before
+     * blocking, so a wrong nesting aborts even when it would not
+     * have deadlocked this time.
+     */
+    void lock() ACAMAR_ACQUIRE();
+
+    /** Release. */
+    void unlock() ACAMAR_RELEASE();
+
+    /**
+     * Non-blocking acquire. Rank discipline is enforced exactly as
+     * for lock(): an out-of-rank tryLock is a bug, not a probe.
+     */
+    bool tryLock() ACAMAR_TRY_ACQUIRE(true);
+
+    /** This mutex's slot in the global lock order. */
+    LockRank rank() const { return rank_; }
+
+    /** Diagnostic name printed in lock-rank violation reports. */
+    const char *name() const { return name_; }
+
+  private:
+    friend class CondVar;
+
+    std::mutex m_;
+    const LockRank rank_;
+    const char *const name_;
+};
+
+/** RAII lock: acquires in the constructor, releases in the dtor. */
+class ACAMAR_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) ACAMAR_ACQUIRE(mu) : mu_(&mu)
+    {
+        mu_->lock();
+    }
+
+    ~MutexLock() ACAMAR_RELEASE() { mu_->unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    friend class CondVar;
+
+    Mutex *const mu_;
+};
+
+/**
+ * RAII lock that can be released before scope end — for the
+ * "mutate under the lock, then notify/rethrow/report outside it"
+ * shape. Calling release() twice is a contract violation.
+ */
+class ACAMAR_SCOPED_CAPABILITY ReleasableMutexLock
+{
+  public:
+    explicit ReleasableMutexLock(Mutex &mu) ACAMAR_ACQUIRE(mu)
+        : mu_(&mu)
+    {
+        mu_->lock();
+    }
+
+    ~ReleasableMutexLock() ACAMAR_RELEASE()
+    {
+        if (mu_)
+            mu_->unlock();
+    }
+
+    /** Release now instead of at scope end. */
+    void
+    release() ACAMAR_RELEASE()
+    {
+        ACAMAR_DCHECK(mu_) << "ReleasableMutexLock released twice";
+        mu_->unlock();
+        mu_ = nullptr;
+    }
+
+    ReleasableMutexLock(const ReleasableMutexLock &) = delete;
+    ReleasableMutexLock &operator=(const ReleasableMutexLock &) = delete;
+
+  private:
+    Mutex *mu_;
+};
+
+/**
+ * Condition variable over Mutex. Wait exists only in predicate form:
+ * the lost-wakeup/spurious-wakeup bugs of bare wait() cannot be
+ * written through this API (and the `cond-wait-predicate` lint rule
+ * rejects bare waits textually, wrapper or not).
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /**
+     * Atomically release `lk`'s mutex and sleep until `pred()` is
+     * true, with the mutex re-held both for every predicate check
+     * and on return. The mutex stays in this thread's rank set for
+     * the duration: the thread is blocked or evaluating the
+     * predicate under the lock, so it cannot acquire elsewhere
+     * out of order.
+     */
+    template <typename Pred>
+    void
+    wait(MutexLock &lk, Pred pred)
+    {
+        std::unique_lock<std::mutex> native(lk.mu_->m_,
+                                            std::adopt_lock);
+        cv_.wait(native, std::move(pred));
+        native.release();
+    }
+
+    /** Wake one waiter. Callers need not hold the mutex. */
+    void notifyOne() { cv_.notify_one(); }
+
+    /** Wake every waiter. Callers need not hold the mutex. */
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+namespace sync_detail {
+
+/** Locks this thread currently holds, for violation reports. */
+std::string heldLocksDescription();
+
+} // namespace sync_detail
+
+} // namespace acamar
+
+#endif // ACAMAR_COMMON_SYNC_HH

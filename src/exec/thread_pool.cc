@@ -33,13 +33,15 @@ ThreadPool::~ThreadPool()
         wait();
     } catch (...) {
     }
-    // Set under sleepMutex_ so no worker can check the predicate,
-    // miss the stop flag, and block after this notify (lost wakeup).
+    // stop_ is guarded by sleepMutex_, the same lock the workers'
+    // wait predicate holds: a worker between its predicate check and
+    // its cv block cannot miss this store (no lost wakeup).
     {
-        std::lock_guard<std::mutex> lk(sleepMutex_);
-        stop_.store(true);
+        ReleasableMutexLock lk(sleepMutex_);
+        stop_ = true;
+        lk.release();
+        sleepCv_.notifyAll();
     }
-    sleepCv_.notify_all();
     for (auto &w : workers_)
         w.join();
 }
@@ -48,43 +50,51 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     ACAMAR_CHECK(task) << "null task submitted to thread pool";
-    pending_.fetch_add(1);
+    {
+        MutexLock lk(waitMutex_);
+        ++pending_;
+    }
     const size_t q =
         nextQueue_.fetch_add(1, std::memory_order_relaxed) %
         queues_.size();
     {
-        std::lock_guard<std::mutex> lk(queues_[q]->m);
+        MutexLock lk(queues_[q]->m);
         queues_[q]->tasks.push_back(std::move(task));
     }
-    // Publish under sleepMutex_: a worker between its wait predicate
-    // (queued_ == 0) and its cv block must not miss this task, or the
-    // pool can sleep with work stranded in a deque.
+    // Publish under sleepMutex_ (the workers' predicate lock), then
+    // notify outside it so the woken worker never stalls on the
+    // mutex we still hold.
     size_t depth;
     {
-        std::lock_guard<std::mutex> lk(sleepMutex_);
-        depth = queued_.fetch_add(1) + 1;
+        ReleasableMutexLock lk(sleepMutex_);
+        depth = ++queued_;
+        lk.release();
+        sleepCv_.notifyOne();
     }
-    sleepCv_.notify_one();
     ACAMAR_PROFILE_VALUE("exec/queue_depth", depth);
 }
 
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lk(waitMutex_);
-    waitCv_.wait(lk, [this] { return pending_.load() == 0; });
-    if (firstError_) {
-        auto err = firstError_;
+    std::exception_ptr err;
+    {
+        MutexLock lk(waitMutex_);
+        waitCv_.wait(lk, [this]() ACAMAR_REQUIRES(waitMutex_) {
+            return pending_ == 0;
+        });
+        err = firstError_;
         firstError_ = nullptr;
-        std::rethrow_exception(err);
     }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 bool
 ThreadPool::popOwn(size_t self, std::function<void()> &task)
 {
     Queue &q = *queues_[self];
-    std::lock_guard<std::mutex> lk(q.m);
+    MutexLock lk(q.m);
     if (q.tasks.empty())
         return false;
     task = std::move(q.tasks.back());
@@ -98,7 +108,7 @@ ThreadPool::steal(size_t self, std::function<void()> &task)
     const size_t n = queues_.size();
     for (size_t k = 1; k < n; ++k) {
         Queue &q = *queues_[(self + k) % n];
-        std::lock_guard<std::mutex> lk(q.m);
+        MutexLock lk(q.m);
         if (q.tasks.empty())
             continue;
         task = std::move(q.tasks.front());
@@ -111,21 +121,30 @@ ThreadPool::steal(size_t self, std::function<void()> &task)
 void
 ThreadPool::runTask(std::function<void()> &task)
 {
-    queued_.fetch_sub(1);
+    {
+        MutexLock lk(sleepMutex_);
+        --queued_;
+    }
     ACAMAR_PROFILE_COUNT("exec/tasks", 1);
+    std::exception_ptr err;
     try {
         ACAMAR_PROFILE("exec/task");
         task();
     } catch (...) {
-        std::lock_guard<std::mutex> lk(waitMutex_);
-        if (!firstError_)
-            firstError_ = std::current_exception();
+        err = std::current_exception();
     }
-    // The 1 -> 0 transition must be visible to a wait()er that is
-    // between its predicate check and its sleep, hence the lock.
-    if (pending_.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lk(waitMutex_);
-        waitCv_.notify_all();
+    // The pending_ 1 -> 0 transition happens under waitMutex_, the
+    // wait() predicate's lock, so a wait()er between its predicate
+    // check and its sleep cannot miss it; the notify itself runs
+    // after release so the waiter wakes into a free mutex.
+    {
+        ReleasableMutexLock lk(waitMutex_);
+        if (err && !firstError_)
+            firstError_ = err;
+        const bool last = --pending_ == 0;
+        lk.release();
+        if (last)
+            waitCv_.notifyAll();
     }
 }
 
@@ -151,11 +170,11 @@ ThreadPool::workerLoop(size_t self)
         const uint64_t t0 = prof ? Profiler::nowNs() : 0;
         bool exit_worker = false;
         {
-            std::unique_lock<std::mutex> lk(sleepMutex_);
-            sleepCv_.wait(lk, [this] {
-                return stop_.load() || queued_.load() > 0;
+            MutexLock lk(sleepMutex_);
+            sleepCv_.wait(lk, [this]() ACAMAR_REQUIRES(sleepMutex_) {
+                return stop_ || queued_ > 0;
             });
-            exit_worker = stop_.load() && queued_.load() == 0;
+            exit_worker = stop_ && queued_ == 0;
         }
         if (prof) {
             ACAMAR_PROFILE_VALUE("exec/idle_wait_ns",

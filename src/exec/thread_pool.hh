@@ -17,14 +17,14 @@
 #define ACAMAR_EXEC_THREAD_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hh"
 
 namespace acamar {
 
@@ -45,14 +45,15 @@ class ThreadPool
      * Enqueue one task. Tasks are distributed round-robin across the
      * worker deques; an idle worker steals from its siblings.
      */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task)
+        ACAMAR_EXCLUDES(sleepMutex_, waitMutex_);
 
     /**
      * Block until every submitted task has finished. If any task
      * threw, the first exception (in completion order) is rethrown
      * here and the rest of the batch still runs to completion.
      */
-    void wait();
+    void wait() ACAMAR_EXCLUDES(waitMutex_);
 
     /** Number of worker threads. */
     int threads() const { return static_cast<int>(workers_.size()); }
@@ -63,29 +64,35 @@ class ThreadPool
   private:
     /** One worker's deque; owner pops back, thieves take the front. */
     struct Queue {
-        std::mutex m;
-        std::deque<std::function<void()>> tasks;
+        /** Same rank pool-wide: queues are never held in pairs. */
+        Mutex m{LockRank::kPoolQueue, "pool-queue"};
+        std::deque<std::function<void()>> tasks ACAMAR_GUARDED_BY(m);
     };
 
     void workerLoop(size_t self);
     bool popOwn(size_t self, std::function<void()> &task);
     bool steal(size_t self, std::function<void()> &task);
-    void runTask(std::function<void()> &task);
+    void runTask(std::function<void()> &task)
+        ACAMAR_EXCLUDES(sleepMutex_, waitMutex_);
 
+    // Built in the constructor before any worker starts, immutable
+    // after; safe to read without a lock.
     std::vector<std::unique_ptr<Queue>> queues_;
     std::vector<std::thread> workers_;
 
-    std::atomic<bool> stop_{false};
-    std::atomic<size_t> queued_{0};   //!< tasks sitting in deques
-    std::atomic<size_t> pending_{0};  //!< submitted, not yet finished
-    std::atomic<size_t> nextQueue_{0};
+    std::atomic<size_t> nextQueue_{0}; //!< round-robin cursor only
 
-    std::mutex sleepMutex_;
-    std::condition_variable sleepCv_;  //!< wakes idle workers
+    Mutex sleepMutex_{LockRank::kPoolSleep, "pool-sleep"};
+    CondVar sleepCv_;                  //!< wakes idle workers
+    bool stop_ ACAMAR_GUARDED_BY(sleepMutex_) = false;
+    /** Tasks sitting in deques (the workers' wakeup predicate). */
+    size_t queued_ ACAMAR_GUARDED_BY(sleepMutex_) = 0;
 
-    std::mutex waitMutex_;
-    std::condition_variable waitCv_;   //!< wakes wait() callers
-    std::exception_ptr firstError_;    //!< guarded by waitMutex_
+    Mutex waitMutex_{LockRank::kPoolWait, "pool-wait"};
+    CondVar waitCv_;                   //!< wakes wait() callers
+    /** Submitted, not yet finished (the wait() predicate). */
+    size_t pending_ ACAMAR_GUARDED_BY(waitMutex_) = 0;
+    std::exception_ptr firstError_ ACAMAR_GUARDED_BY(waitMutex_);
 };
 
 } // namespace acamar

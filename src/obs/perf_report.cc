@@ -34,7 +34,9 @@ writeArtifact(const std::string &path, const std::string &what,
 std::string
 perfGitSha()
 {
-    if (const char *env = std::getenv("ACAMAR_GIT_SHA"))
+    // Read once at report time; nothing in the process calls setenv,
+    // so the mt-unsafe concern (concurrent env mutation) cannot bite.
+    if (const char *env = std::getenv("ACAMAR_GIT_SHA"))  // NOLINT(concurrency-mt-unsafe)
         return env;
 #ifdef ACAMAR_GIT_SHA
     return ACAMAR_GIT_SHA;

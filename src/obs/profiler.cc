@@ -7,12 +7,12 @@
 #include <iomanip>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <tuple>
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "common/sync.hh"
 #include "obs/chrome_trace_sink.hh"
 
 namespace acamar {
@@ -59,22 +59,26 @@ sameName(const char *a, const char *b)
  * the thread-exit handle take it briefly to reset or merge.
  */
 struct ProfileShard {
-    std::mutex m;
-    int tid = 0;
-    bool captureTimeline = false;
-    uint64_t timelineBase = 0; //!< profiler-start anchor for spans
-    std::vector<ShardNode> nodes; //!< [0] is the shard root
-    std::vector<ZoneFrame> stack;
-    std::vector<ShardSpan> ring;
-    uint64_t ringDropped = 0;
-    std::vector<std::pair<const char *, uint64_t>> counters;
-    std::vector<std::pair<const char *, LatencyHistogram>> values;
+    Mutex m{LockRank::kProfilerShard, "profiler-shard"};
+    int tid ACAMAR_GUARDED_BY(m) = 0;
+    bool captureTimeline ACAMAR_GUARDED_BY(m) = false;
+    //! profiler-start anchor for spans
+    uint64_t timelineBase ACAMAR_GUARDED_BY(m) = 0;
+    //! [0] is the shard root
+    std::vector<ShardNode> nodes ACAMAR_GUARDED_BY(m);
+    std::vector<ZoneFrame> stack ACAMAR_GUARDED_BY(m);
+    std::vector<ShardSpan> ring ACAMAR_GUARDED_BY(m);
+    uint64_t ringDropped ACAMAR_GUARDED_BY(m) = 0;
+    std::vector<std::pair<const char *, uint64_t>> counters
+        ACAMAR_GUARDED_BY(m);
+    std::vector<std::pair<const char *, LatencyHistogram>> values
+        ACAMAR_GUARDED_BY(m);
 
     ProfileShard() { nodes.push_back(ShardNode{}); }
 
     /** Drop everything recorded; keep registration identity. */
     void
-    resetLocked()
+    resetLocked() ACAMAR_REQUIRES(m)
     {
         nodes.clear();
         nodes.push_back(ShardNode{});
@@ -99,12 +103,14 @@ struct MergeState {
 
 /** Process-wide profiler state behind Profiler's singleton. */
 struct ProfilerState {
-    std::mutex m; //!< guards everything below; taken before shard.m
-    std::vector<std::shared_ptr<ProfileShard>> shards;
-    MergeState merged;
-    Profiler::Options opts;
-    uint64_t startNs = 0;
-    int nextTid = 0;
+    /** Guards everything below; taken before any shard.m. */
+    Mutex m{LockRank::kProfilerState, "profiler-state"};
+    std::vector<std::shared_ptr<ProfileShard>> shards
+        ACAMAR_GUARDED_BY(m);
+    MergeState merged ACAMAR_GUARDED_BY(m);
+    Profiler::Options opts ACAMAR_GUARDED_BY(m);
+    uint64_t startNs ACAMAR_GUARDED_BY(m) = 0;
+    int nextTid ACAMAR_GUARDED_BY(m) = 0;
 };
 
 ProfilerState &
@@ -132,7 +138,7 @@ mergeTreeLocked(ProfileNode &dst, const std::vector<ShardNode> &nodes,
 void
 mergeShard(MergeState &into, ProfileShard &shard)
 {
-    std::lock_guard<std::mutex> lk(shard.m);
+    MutexLock lk(shard.m);
     mergeTreeLocked(into.root, shard.nodes, 0);
     for (const auto &[name, n] : shard.counters)
         into.counters[name] += n;
@@ -170,7 +176,7 @@ struct ShardHandle {
         if (!shard)
             return;
         ProfilerState &st = state();
-        std::lock_guard<std::mutex> lk(st.m);
+        MutexLock lk(st.m);
         mergeShard(st.merged, *shard);
         auto &shards = st.shards;
         for (auto it = shards.begin(); it != shards.end(); ++it) {
@@ -189,10 +195,13 @@ thisShard()
     if (!handle.shard) {
         handle.shard = std::make_shared<ProfileShard>();
         ProfilerState &st = state();
-        std::lock_guard<std::mutex> lk(st.m);
-        handle.shard->tid = st.nextTid++;
-        handle.shard->captureTimeline = st.opts.captureTimeline;
-        handle.shard->timelineBase = st.startNs;
+        MutexLock lk(st.m);
+        {
+            MutexLock slk(handle.shard->m);
+            handle.shard->tid = st.nextTid++;
+            handle.shard->captureTimeline = st.opts.captureTimeline;
+            handle.shard->timelineBase = st.startNs;
+        }
         st.shards.push_back(handle.shard);
     }
     return *handle.shard;
@@ -200,6 +209,7 @@ thisShard()
 
 int32_t
 findOrAddChild(ProfileShard &s, int32_t parent, const char *name)
+    ACAMAR_REQUIRES(s.m)
 {
     for (int32_t ci : s.nodes[parent].children) {
         if (sameName(s.nodes[ci].name, name))
@@ -270,7 +280,7 @@ void
 Profiler::start(const Options &opts)
 {
     ProfilerState &st = state();
-    std::lock_guard<std::mutex> lk(st.m);
+    MutexLock lk(st.m);
     if (enabled()) {
         warn("profiler already running; start() ignored");
         return;
@@ -279,7 +289,7 @@ Profiler::start(const Options &opts)
     st.merged = MergeState{};
     st.startNs = nowNs();
     for (const auto &shard : st.shards) {
-        std::lock_guard<std::mutex> slk(shard->m);
+        MutexLock slk(shard->m);
         shard->resetLocked();
         shard->captureTimeline = opts.captureTimeline;
         shard->timelineBase = st.startNs;
@@ -294,26 +304,33 @@ Profiler::stop()
     // we drain; callers quiesce their worker pools for exact cuts.
     enabled_.store(false, std::memory_order_relaxed);
     ProfilerState &st = state();
-    std::lock_guard<std::mutex> lk(st.m);
-    for (const auto &shard : st.shards)
-        mergeShard(st.merged, *shard);
+    // Merge under the state lock, then release it before the report
+    // is sorted and assembled — only the drain itself needs to block
+    // late-arriving instrumentation.
+    MergeState merged;
+    {
+        ReleasableMutexLock lk(st.m);
+        for (const auto &shard : st.shards)
+            mergeShard(st.merged, *shard);
+        merged = std::move(st.merged);
+        st.merged = MergeState{};
+        lk.release();
+    }
 
     ProfileReport rep;
-    rep.root = std::move(st.merged.root);
+    rep.root = std::move(merged.root);
     sortChildren(rep.root);
-    rep.counters.assign(st.merged.counters.begin(),
-                        st.merged.counters.end());
-    rep.values.assign(st.merged.values.begin(),
-                      st.merged.values.end());
-    rep.timeline = std::move(st.merged.timeline);
+    rep.counters.assign(merged.counters.begin(),
+                        merged.counters.end());
+    rep.values.assign(merged.values.begin(), merged.values.end());
+    rep.timeline = std::move(merged.timeline);
     std::sort(rep.timeline.begin(), rep.timeline.end(),
               [](const ProfileReport::TimelineSpan &a,
                  const ProfileReport::TimelineSpan &b) {
                   return std::tie(a.startNs, a.tid, a.name) <
                          std::tie(b.startNs, b.tid, b.name);
               });
-    rep.timelineDropped = st.merged.timelineDropped;
-    st.merged = MergeState{};
+    rep.timelineDropped = merged.timelineDropped;
     return rep;
 }
 
@@ -322,7 +339,7 @@ Profiler::enterZone(const char *name)
 {
     ACAMAR_DCHECK(name) << "null zone name";
     ProfileShard &s = thisShard();
-    std::lock_guard<std::mutex> lk(s.m);
+    MutexLock lk(s.m);
     const int32_t parent = s.stack.empty() ? 0 : s.stack.back().node;
     const int32_t node = findOrAddChild(s, parent, name);
     s.stack.push_back({node, nowNs()});
@@ -332,7 +349,7 @@ void
 Profiler::exitZone()
 {
     ProfileShard &s = thisShard();
-    std::lock_guard<std::mutex> lk(s.m);
+    MutexLock lk(s.m);
     // stop() may clear the stack under an open zone; that zone's
     // exit (and its nested exits) then drop here.
     if (s.stack.empty())
@@ -361,7 +378,7 @@ Profiler::recordValue(const char *name, uint64_t v)
 {
     ACAMAR_DCHECK(name) << "null histogram name";
     ProfileShard &s = thisShard();
-    std::lock_guard<std::mutex> lk(s.m);
+    MutexLock lk(s.m);
     findOrAddNamed(s.values, name).record(v);
 }
 
@@ -370,7 +387,7 @@ Profiler::addCounter(const char *name, uint64_t delta)
 {
     ACAMAR_DCHECK(name) << "null counter name";
     ProfileShard &s = thisShard();
-    std::lock_guard<std::mutex> lk(s.m);
+    MutexLock lk(s.m);
     findOrAddNamed(s.counters, name) += delta;
 }
 

@@ -66,14 +66,14 @@ void
 StatRegistry::add(const StatGroup *g)
 {
     ACAMAR_CHECK(g) << "null stat group";
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     live_.push_back(g);
 }
 
 void
 StatRegistry::remove(const StatGroup *g)
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     auto it = std::find(live_.begin(), live_.end(), g);
     if (it == live_.end())
         return;
@@ -85,7 +85,7 @@ StatRegistry::remove(const StatGroup *g)
 void
 StatRegistry::setRetainRemoved(bool retain)
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     retainRemoved_ = retain;
     if (!retain)
         frozen_.clear();
@@ -94,14 +94,14 @@ StatRegistry::setRetainRemoved(bool retain)
 size_t
 StatRegistry::liveGroups() const
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     return live_.size();
 }
 
 JsonValue
 StatRegistry::snapshotJson() const
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
 
     std::vector<JsonValue> all;
     for (const StatGroup *g : live_)
@@ -136,7 +136,7 @@ StatRegistry::snapshotJson() const
 void
 StatRegistry::dumpText(std::ostream &os) const
 {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexLock lk(mutex_);
     std::vector<const StatGroup *> live = live_;
     std::stable_sort(live.begin(), live.end(),
                      [](const StatGroup *a, const StatGroup *b) {

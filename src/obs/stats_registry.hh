@@ -13,12 +13,12 @@
 #ifndef ACAMAR_OBS_STATS_REGISTRY_HH
 #define ACAMAR_OBS_STATS_REGISTRY_HH
 
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/sync.hh"
 #include "obs/json.hh"
 
 namespace acamar {
@@ -44,20 +44,20 @@ class StatRegistry
     static StatRegistry &instance();
 
     /** Track a live group (pointer valid until remove()). */
-    void add(const StatGroup *g);
+    void add(const StatGroup *g) ACAMAR_EXCLUDES(mutex_);
 
     /** Stop tracking; freezes a snapshot when retention is on. */
-    void remove(const StatGroup *g);
+    void remove(const StatGroup *g) ACAMAR_EXCLUDES(mutex_);
 
     /**
      * Keep snapshots of removed groups (off by default so ordinary
      * runs never accumulate memory). Turning retention off drops
      * existing snapshots.
      */
-    void setRetainRemoved(bool retain);
+    void setRetainRemoved(bool retain) ACAMAR_EXCLUDES(mutex_);
 
     /** Number of currently live groups. */
-    size_t liveGroups() const;
+    size_t liveGroups() const ACAMAR_EXCLUDES(mutex_);
 
     /**
      * Full snapshot: {"groups": [...]} with every live and frozen
@@ -72,10 +72,10 @@ class StatRegistry
   private:
     StatRegistry() = default;
 
-    mutable std::mutex mutex_;
-    std::vector<const StatGroup *> live_;
-    std::vector<JsonValue> frozen_;
-    bool retainRemoved_ = false;
+    mutable Mutex mutex_{LockRank::kStatRegistry, "stat-registry"};
+    std::vector<const StatGroup *> live_ ACAMAR_GUARDED_BY(mutex_);
+    std::vector<JsonValue> frozen_ ACAMAR_GUARDED_BY(mutex_);
+    bool retainRemoved_ ACAMAR_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace acamar

@@ -34,7 +34,7 @@ struct TraceStageHandle {
         if (!stage)
             return;
         TraceSession &session = TraceSession::instance();
-        std::lock_guard<std::mutex> lk(session.sinkMutex_);
+        MutexLock lk(session.sinkMutex_);
         session.flushStageLocked(*stage);
         auto &stages = session.stages_;
         for (auto it = stages.begin(); it != stages.end(); ++it) {
@@ -59,7 +59,7 @@ TraceSession::thisThreadStage()
     thread_local TraceStageHandle handle;
     if (!handle.stage) {
         handle.stage = std::make_shared<ThreadStage>();
-        std::lock_guard<std::mutex> lk(sinkMutex_);
+        MutexLock lk(sinkMutex_);
         stages_.push_back(handle.stage);
     }
     return *handle.stage;
@@ -70,7 +70,7 @@ TraceSession::flushStageLocked(ThreadStage &stage)
 {
     std::vector<TraceRecord> batch;
     {
-        std::lock_guard<std::mutex> lk(stage.m);
+        MutexLock lk(stage.m);
         batch.swap(stage.records);
     }
     for (const auto &rec : batch)
@@ -87,7 +87,7 @@ void
 TraceSession::flushThisThread()
 {
     ThreadStage &stage = thisThreadStage();
-    std::lock_guard<std::mutex> lk(sinkMutex_);
+    MutexLock lk(sinkMutex_);
     flushStageLocked(stage);
 }
 
@@ -95,7 +95,7 @@ void
 TraceSession::addSink(std::unique_ptr<TraceSink> sink)
 {
     ACAMAR_CHECK(sink) << "null trace sink";
-    std::lock_guard<std::mutex> lk(sinkMutex_);
+    MutexLock lk(sinkMutex_);
     sinks_.push_back(std::move(sink));
     enabled_.store(true);
 }
@@ -106,7 +106,7 @@ TraceSession::stop()
     // Callers quiesce their worker threads first (the batch engine
     // joins its pool before RunArtifacts stops the session), so
     // every staged record is visible here.
-    std::lock_guard<std::mutex> lk(sinkMutex_);
+    MutexLock lk(sinkMutex_);
     for (const auto &stage : stages_)
         flushStageLocked(*stage);
     for (auto &s : sinks_)
@@ -130,12 +130,12 @@ TraceSession::emit(TraceRecord rec)
     ThreadStage &stage = thisThreadStage();
     bool full = false;
     {
-        std::lock_guard<std::mutex> lk(stage.m);
+        MutexLock lk(stage.m);
         stage.records.push_back(std::move(rec));
         full = stage.records.size() >= kStageCapacity;
     }
     if (full) {
-        std::lock_guard<std::mutex> lk(sinkMutex_);
+        MutexLock lk(sinkMutex_);
         flushStageLocked(stage);
     }
 }

@@ -21,11 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/sync.hh"
 #include "obs/json.hh"
 #include "obs/trace_events.hh"
 
@@ -101,10 +101,11 @@ class TraceSession
     }
 
     /** Attach a sink; collection turns on. */
-    void addSink(std::unique_ptr<TraceSink> sink);
+    void addSink(std::unique_ptr<TraceSink> sink)
+        ACAMAR_EXCLUDES(sinkMutex_);
 
     /** Flush all staged records, finish and detach every sink. */
-    void stop();
+    void stop() ACAMAR_EXCLUDES(sinkMutex_);
 
     /**
      * Kernel clock used to map cycle fields onto seconds (mirrors
@@ -124,7 +125,7 @@ class TraceSession
      * batch engine calls this at job boundaries so a job's events
      * are durable once its report is.
      */
-    void flushThisThread();
+    void flushThisThread() ACAMAR_EXCLUDES(sinkMutex_);
 
     void record(const SolveIterationEvent &e);
     void record(const SolverBreakdownEvent &e);
@@ -139,24 +140,27 @@ class TraceSession
   private:
     /** One thread's staged records; `m` nests inside sinkMutex_. */
     struct ThreadStage {
-        std::mutex m;
-        std::vector<TraceRecord> records;
+        Mutex m{LockRank::kTraceStage, "trace-stage"};
+        std::vector<TraceRecord> records ACAMAR_GUARDED_BY(m);
     };
 
     TraceSession() = default;
 
     void emit(TraceRecord rec);
-    ThreadStage &thisThreadStage();
-    void flushStageLocked(ThreadStage &stage);
+    ThreadStage &thisThreadStage() ACAMAR_EXCLUDES(sinkMutex_);
+    void flushStageLocked(ThreadStage &stage)
+        ACAMAR_REQUIRES(sinkMutex_);
 
     std::atomic<bool> enabled_{false};
     std::atomic<double> clockHz_{300e6};  // Alveo u55c default
     std::atomic<uint64_t> seq_{0};
 
     /** Guards sinks_ and stages_; taken before any ThreadStage::m. */
-    std::mutex sinkMutex_;
-    std::vector<std::unique_ptr<TraceSink>> sinks_;
-    std::vector<std::shared_ptr<ThreadStage>> stages_;
+    Mutex sinkMutex_{LockRank::kTraceSinks, "trace-sinks"};
+    std::vector<std::unique_ptr<TraceSink>> sinks_
+        ACAMAR_GUARDED_BY(sinkMutex_);
+    std::vector<std::shared_ptr<ThreadStage>> stages_
+        ACAMAR_GUARDED_BY(sinkMutex_);
 
     friend struct TraceStageHandle;
 };

@@ -378,6 +378,94 @@ def header_guard(files):
                           "missing `#ifndef ACAMAR_..._HH` guard")
 
 
+@rule("raw-sync",
+      "threads synchronize through the capability-annotated wrappers "
+      "in common/sync.hh (Mutex, MutexLock, CondVar) so Clang's "
+      "-Wthread-safety and the lock-rank checker see every lock; raw "
+      "std primitives are allowed only inside the wrapper itself")
+def raw_sync(files):
+    prim = re.compile(
+        r"\bstd::(?:recursive_|timed_|recursive_timed_)?mutex\b|"
+        r"\bstd::shared_(?:timed_)?mutex\b|"
+        r"\bstd::condition_variable(?:_any)?\b|"
+        r"\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b|"
+        r"\bstd::(?:once_flag|call_once)\b")
+    inc = re.compile(
+        r"#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>")
+    for f in files:
+        if not f.rel.startswith("src/"):
+            continue
+        if f.rel in ("src/common/sync.hh", "src/common/sync.cc"):
+            continue  # the wrapper's own implementation
+        for no, line in enumerate(f.code_lines, 1):
+            if inc.search(line):
+                yield Finding(f.rel, no, "raw-sync",
+                              "include common/sync.hh, not the std "
+                              "synchronization headers")
+            elif prim.search(line):
+                yield Finding(f.rel, no, "raw-sync",
+                              "use acamar::Mutex / MutexLock / "
+                              "CondVar (common/sync.hh) so the "
+                              "thread-safety analysis and lock-rank "
+                              "checker apply")
+
+
+@rule("cond-wait-predicate",
+      "condition-variable waits must pass a predicate — a bare "
+      "wait() invites lost wakeups and spurious-wake bugs (CondVar "
+      "only offers the predicate form; this catches the timed "
+      "variants and any stragglers)")
+def cond_wait_predicate(files):
+
+    def top_level_args(f, lineno, col):
+        """Count top-level comma-separated args of the call opening
+        at (lineno, col) — col indexes the '(' in code_lines. Returns
+        None if the closing paren is missing (malformed/truncated)."""
+        depth = 0
+        args = 1
+        empty = True
+        no, i = lineno, col
+        while no <= len(f.code_lines):
+            line = f.code_lines[no - 1]
+            while i < len(line):
+                c = line[i]
+                if c in "([{":
+                    depth += 1
+                elif c in ")]}":
+                    depth -= 1
+                    if depth == 0:
+                        return 0 if empty else args
+                elif depth == 1:
+                    if c == ",":
+                        args += 1
+                    elif not c.isspace():
+                        empty = False
+                i += 1
+            no, i = no + 1, 0
+        return None
+
+    call = re.compile(r"[.\->]\s*(wait|wait_for|wait_until)\s*(\()")
+    required = {"wait": 2, "wait_for": 3, "wait_until": 3}
+    for f in files:
+        for no, line in enumerate(f.code_lines, 1):
+            for m in call.finditer(line):
+                name = m.group(1)
+                # Only condition-variable-ish receivers: the call must
+                # be on something cv-named, or any CondVar/condition_
+                # variable use in the file. Futures also have wait();
+                # anchor on the receiver spelling to stay precise.
+                recv = line[:m.start()].rstrip()
+                if not re.search(r"(?i)(cv|cond|condition)\w*$", recv):
+                    continue
+                n = top_level_args(f, no, m.start(2))
+                if n is not None and n < required[name]:
+                    yield Finding(
+                        f.rel, no, "cond-wait-predicate",
+                        f"{name}() without a predicate argument: "
+                        "pass the wake condition so spurious and "
+                        "lost wakeups are handled by construction")
+
+
 def collect(root, globs):
     seen = {}
     for g in globs:

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Changed-files-aware clang-tidy runner.
+
+Compiling the whole tree under `-DACAMAR_CLANG_TIDY=ON` re-tidies
+every TU on every run; CI and pre-commit only need the TUs a change
+can have affected. This runner reads compile_commands.json (exported
+by the normal configure: CMAKE_EXPORT_COMPILE_COMMANDS is always on)
+and tidies:
+
+  * every changed .cc that the build compiles, and
+  * for every changed .hh, each TU whose text includes it (headers
+    are not TUs; findings in them surface through includers, matching
+    the .clang-tidy HeaderFilterRegex).
+
+Usage:
+    python3 tools/run_clang_tidy.py [--build-dir build]
+        [--base <git-ref>] [--all] [--jobs N]
+
+With --base, changed files come from `git diff <base>` (committed and
+working-tree changes against that ref); the default base is HEAD.
+--all ignores git and tidies every TU in the compile database.
+
+Exit status: 0 clean, 1 clang-tidy reported findings, 2 usage /
+environment error (no clang-tidy, no compile database, bad ref).
+"""
+
+import argparse
+import concurrent.futures
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def changed_files(base):
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", "--diff-filter=d", base],
+        cwd=ROOT, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"run_clang_tidy: git diff against '{base}' failed:\n"
+              f"{proc.stderr.strip()}", file=sys.stderr)
+        return None
+    return [ln.strip() for ln in proc.stdout.splitlines() if ln.strip()]
+
+
+def load_compile_db(build_dir):
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"run_clang_tidy: {db_path} not found — configure "
+              "first (cmake -B build -S .)", file=sys.stderr)
+        return None
+    entries = json.loads(db_path.read_text())
+    db = {}
+    for e in entries:
+        p = Path(e["file"])
+        if not p.is_absolute():
+            p = (Path(e["directory"]) / p).resolve()
+        db[p] = e
+    return db
+
+
+def tus_including(header_rel, db):
+    """TUs whose text mentions the header's include spelling.
+
+    Headers are included by their src/-relative path (the project's
+    only include root), so a plain substring scan of each TU and the
+    headers it pulls in would be exact; scanning just the TU text
+    misses transitive includes, so also follow one level of project
+    includes — enough for this tree's shallow header graph.
+    """
+    # `common/sync.hh` from `src/common/sync.hh`
+    spelling = re.sub(r"^src/", "", header_rel)
+    pat = re.compile(
+        r'#\s*include\s*"' + re.escape(spelling) + '"')
+    inc_any = re.compile(r'#\s*include\s*"([^"]+)"')
+    text_cache = {}
+
+    def text_of(path):
+        if path not in text_cache:
+            try:
+                text_cache[path] = path.read_text(errors="replace")
+            except OSError:
+                text_cache[path] = ""
+        return text_cache[path]
+
+    hits = []
+    for tu in db:
+        tu_text = text_of(tu)
+        if pat.search(tu_text):
+            hits.append(tu)
+            continue
+        for inc in inc_any.findall(tu_text):
+            if pat.search(text_of(ROOT / "src" / inc)):
+                hits.append(tu)
+                break
+    return hits
+
+
+def run_one(tidy, build_dir, path):
+    proc = subprocess.run(
+        [tidy, "-p", str(build_dir), "--quiet", str(path)],
+        capture_output=True, text=True)
+    # clang-tidy exits non-zero for errors; warnings land on stdout.
+    noisy = [ln for ln in proc.stdout.splitlines()
+             if ln.strip() and "warnings generated" not in ln]
+    return path, proc.returncode, noisy, proc.stderr
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", type=Path, default=ROOT / "build")
+    ap.add_argument("--base", default="HEAD",
+                    help="git ref to diff against (default HEAD)")
+    ap.add_argument("--all", action="store_true",
+                    help="tidy every TU in the compile database")
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="parallel clang-tidy processes (0 = auto)")
+    args = ap.parse_args(argv)
+
+    tidy = shutil.which("clang-tidy")
+    if not tidy:
+        print("run_clang_tidy: clang-tidy not in PATH",
+              file=sys.stderr)
+        return 2
+
+    db = load_compile_db(args.build_dir.resolve())
+    if db is None:
+        return 2
+
+    if args.all:
+        targets = sorted(db)
+    else:
+        changed = changed_files(args.base)
+        if changed is None:
+            return 2
+        targets = set()
+        for rel in changed:
+            p = (ROOT / rel).resolve()
+            if p in db:
+                targets.add(p)
+            elif rel.endswith((".hh", ".h")):
+                targets.update(tus_including(rel, db))
+        targets = sorted(targets)
+
+    if not targets:
+        print("run_clang_tidy: no affected TUs")
+        return 0
+    print(f"run_clang_tidy: {len(targets)} TU(s)")
+
+    failed = False
+    jobs = args.jobs or None  # None = executor default
+    with concurrent.futures.ThreadPoolExecutor(jobs) as pool:
+        for path, rc, noisy, err in pool.map(
+                lambda p: run_one(tidy, args.build_dir, p), targets):
+            rel = path.relative_to(ROOT)
+            if rc != 0 or noisy:
+                failed = True
+                print(f"--- {rel}")
+                for ln in noisy:
+                    print(ln)
+                if rc != 0 and err.strip():
+                    print(err.strip(), file=sys.stderr)
+            else:
+                print(f"ok  {rel}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Selftests for tools/acamar_lint.py.
+
+Each case materializes a fixture tree in a temp directory, runs the
+linter against it, and checks how many findings the rule under test
+produced (other rules' findings are filtered out, so fixtures don't
+have to be clean for every rule at once). Run standalone or as the
+`lint-selftest` ctest:
+
+    python3 tools/test_acamar_lint.py
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+LINT = Path(__file__).resolve().parent / "acamar_lint.py"
+
+# Reusable fixture fragments.
+GUARD = "#ifndef ACAMAR_X_HH\n#define ACAMAR_X_HH\n{}\n#endif\n"
+
+
+class Case:
+    def __init__(self, name, rule, files, expect):
+        """`files` maps repo-relative path -> content; `expect` is the
+        number of findings the rule should report on the fixture."""
+        self.name, self.rule = name, rule
+        self.files, self.expect = files, expect
+
+
+CASES = [
+    # ----- raw-sync (the thread-safety tentpole) -----
+    Case("raw-sync: std::mutex member flagged", "raw-sync",
+         {"src/exec/pool.hh": GUARD.format("std::mutex m_;")}, 1),
+    Case("raw-sync: std header include flagged", "raw-sync",
+         {"src/exec/pool.cc": "#include <mutex>\n"}, 1),
+    Case("raw-sync: condition_variable flagged", "raw-sync",
+         {"src/exec/pool.cc": "std::condition_variable cv_;\n"}, 1),
+    Case("raw-sync: lock_guard flagged (one finding per line)",
+         "raw-sync",
+         {"src/exec/pool.cc":
+          "void f() { std::lock_guard<std::mutex> lk(m_); }\n"}, 1),
+    Case("raw-sync: call_once flagged", "raw-sync",
+         {"src/exec/pool.cc":
+          "std::once_flag once;\nstd::call_once(once, init);\n"}, 2),
+    Case("raw-sync: wrapper types allowed", "raw-sync",
+         {"src/exec/pool.cc":
+          '#include "common/sync.hh"\n'
+          'Mutex m_{LockRank::kLeaf, "leaf"};\n'
+          "void f() { MutexLock lk(m_); }\n"}, 0),
+    Case("raw-sync: sync.hh itself exempt", "raw-sync",
+         {"src/common/sync.hh":
+          GUARD.format("#include <mutex>\nstd::mutex m_;")}, 0),
+    Case("raw-sync: tests exempt (src-only rule)", "raw-sync",
+         {"tests/test_x.cc": "std::mutex m;\n"}, 0),
+    Case("raw-sync: comment mention not flagged", "raw-sync",
+         {"src/exec/pool.cc": "// was std::mutex before sync.hh\n"}, 0),
+    Case("raw-sync: lint-ok suppression honored", "raw-sync",
+         {"src/exec/pool.cc":
+          "std::mutex m_;  // lint-ok: raw-sync\n"}, 0),
+
+    # ----- cond-wait-predicate -----
+    Case("cond-wait: bare wait flagged", "cond-wait-predicate",
+         {"src/exec/pool.cc": "void f() { cv_.wait(lk); }\n"}, 1),
+    Case("cond-wait: predicate wait allowed", "cond-wait-predicate",
+         {"src/exec/pool.cc":
+          "void f() { cv_.wait(lk, [&] { return ready; }); }\n"}, 0),
+    Case("cond-wait: multi-line predicate allowed",
+         "cond-wait-predicate",
+         {"src/exec/pool.cc":
+          "void f() {\n"
+          "    cv_.wait(lk, [this] {\n"
+          "        return stop_ || queued_ > 0;\n"
+          "    });\n"
+          "}\n"}, 0),
+    Case("cond-wait: wait_for without predicate flagged",
+         "cond-wait-predicate",
+         {"src/exec/pool.cc":
+          "void f() { cond.wait_for(lk, 1s); }\n"}, 1),
+    Case("cond-wait: wait_for with predicate allowed",
+         "cond-wait-predicate",
+         {"src/exec/pool.cc":
+          "void f() { cond.wait_for(lk, 1s, [&] { return ok; }); }\n"},
+         0),
+    Case("cond-wait: wait_until without predicate flagged",
+         "cond-wait-predicate",
+         {"src/exec/pool.cc":
+          "void f() { my_cv.wait_until(lk, deadline); }\n"}, 1),
+    Case("cond-wait: future.wait() not a cv, ignored",
+         "cond-wait-predicate",
+         {"src/exec/pool.cc": "void f() { future.wait(); }\n"}, 1 - 1),
+    Case("cond-wait: commas inside nested parens don't count",
+         "cond-wait-predicate",
+         {"src/exec/pool.cc":
+          "void f() { cv_.wait(std::max(a, b)); }\n"}, 1),
+    Case("cond-wait: suppression honored", "cond-wait-predicate",
+         {"src/exec/pool.cc":
+          "void f() { cv_.wait(lk); }  // lint-ok: cond-wait-predicate\n"},
+         0),
+
+    # ----- pre-existing rules: one positive / one negative each -----
+    Case("raw-new-delete: new flagged", "raw-new-delete",
+         {"src/a.cc": "int *p = new int;\n"}, 1),
+    Case("raw-new-delete: make_unique allowed", "raw-new-delete",
+         {"src/a.cc": "auto p = std::make_unique<int>(3);\n"}, 0),
+    Case("std-rand: rand() flagged", "std-rand",
+         {"src/a.cc": "int x = rand();\n"}, 1),
+    Case("std-rand: Rng allowed", "std-rand",
+         {"src/a.cc": "Rng rng(7); int x = rng.nextInt(9);\n"}, 0),
+    Case("legacy-assert: flagged", "legacy-assert",
+         {"src/a.cc": "ACAMAR_ASSERT(x > 0);\n"}, 1),
+    Case("legacy-assert: check macros allowed", "legacy-assert",
+         {"src/a.cc": "ACAMAR_CHECK(x > 0) << x;\n"}, 0),
+    Case("narrowing: implicit flagged", "narrowing",
+         {"src/fpga/a.cc": "int lut = 1.5 * scale;\n"}, 1),
+    Case("narrowing: explicit cast allowed", "narrowing",
+         {"src/fpga/a.cc":
+          "int lut = static_cast<int>(1.5 * scale);\n"}, 0),
+    Case("c-int-cast: C cast flagged", "c-int-cast",
+         {"src/fpga/a.cc": "auto v = (int)x;\n"}, 1),
+    Case("c-int-cast: static_cast allowed", "c-int-cast",
+         {"src/fpga/a.cc": "auto v = static_cast<int>(x);\n"}, 0),
+    Case("solver-convergence: bare solve flagged",
+         "solver-convergence",
+         {"src/solvers/foo.cc":
+          "Result Foo::solve(W &w) { return r; }\n"}, 1),
+    Case("solver-convergence: monitor present allowed",
+         "solver-convergence",
+         {"src/solvers/foo.cc":
+          "Result Foo::solve(W &w) {\n"
+          "    ConvergenceMonitor mon(criteria);\n"
+          "    return r;\n"
+          "}\n"}, 0),
+    Case("hot-loop-alloc: push_back in region flagged",
+         "hot-loop-alloc",
+         {"src/solvers/a.cc":
+          "// acamar: hot-loop\n"
+          "v.push_back(x);\n"
+          "// acamar: hot-loop-end\n"}, 1),
+    Case("hot-loop-alloc: outside region allowed", "hot-loop-alloc",
+         {"src/solvers/a.cc":
+          "v.push_back(x);\n"
+          "// acamar: hot-loop\n"
+          "y += v[i];\n"
+          "// acamar: hot-loop-end\n"}, 0),
+    Case("profile-zone: non-literal name flagged", "profile-zone",
+         {"src/a.cc": "ACAMAR_PROFILE(zoneName);\n"}, 1),
+    Case("profile-zone: literal name allowed", "profile-zone",
+         {"src/a.cc": 'ACAMAR_PROFILE("solver/cg");\n'}, 0),
+    Case("raw-stderr: std::cerr flagged", "raw-stderr",
+         {"src/a.cc": 'std::cerr << "oops";\n'}, 1),
+    Case("raw-stderr: logging.cc exempt", "raw-stderr",
+         {"src/common/logging.cc": 'std::cerr << "oops";\n'}, 0),
+    Case("header-guard: missing guard flagged", "header-guard",
+         {"src/a.hh": "struct A {};\n"}, 1),
+    Case("header-guard: guard present allowed", "header-guard",
+         {"src/a.hh": GUARD.format("struct A {};")}, 0),
+]
+
+
+def run_case(case):
+    with tempfile.TemporaryDirectory(prefix="lintself_") as td:
+        root = Path(td)
+        (root / "src").mkdir()
+        for rel, content in case.files.items():
+            p = root / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(content)
+        proc = subprocess.run(
+            [sys.executable, str(LINT), "--root", str(root)],
+            capture_output=True, text=True)
+        tag = f"[{case.rule}]"
+        hits = [ln for ln in proc.stdout.splitlines() if tag in ln]
+        if len(hits) != case.expect:
+            return (f"{case.name}: expected {case.expect} "
+                    f"{case.rule} finding(s), got {len(hits)}:\n"
+                    + "\n".join(f"    {h}" for h in hits))
+        # Exit-code contract: 1 iff any findings at all, else 0.
+        any_findings = bool(proc.stdout.strip()
+                            and "files clean" not in proc.stdout)
+        if any_findings and proc.returncode != 1:
+            return f"{case.name}: findings but exit {proc.returncode}"
+        if not any_findings and proc.returncode != 0:
+            return f"{case.name}: clean but exit {proc.returncode}"
+        return None
+
+
+def main():
+    # Every rule the linter registers must have at least one fixture,
+    # so a new rule without selftests fails here, not in review.
+    listing = subprocess.run(
+        [sys.executable, str(LINT), "--list-rules"],
+        capture_output=True, text=True)
+    registered = {ln.split(":", 1)[0]
+                  for ln in listing.stdout.splitlines() if ":" in ln}
+    covered = {c.rule for c in CASES}
+    failures = []
+    missing = registered - covered
+    if missing:
+        failures.append("rules without selftest fixtures: "
+                        + ", ".join(sorted(missing)))
+
+    for case in CASES:
+        err = run_case(case)
+        status = "FAIL" if err else "ok"
+        print(f"  {status:4} {case.name}")
+        if err:
+            failures.append(err)
+
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nlint selftest: {len(CASES)} cases, "
+          f"{len(registered)} rules covered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
