@@ -14,6 +14,12 @@
  * all route through PerfReporter — construct one right after the
  * banner and feed it the bench's throughput before returning.
  *
+ * Run-health flags: --metrics=1 / --metrics-out=<path> /
+ * --metrics-period=<ms> turn on live metrics (RunArtifacts owns the
+ * sampler), and --deadline-ms=<ms> / --deadline-iters=<n> arm the
+ * per-solve watchdog — apply them to a config with
+ * applyRunHealthFlags before constructing jobs.
+ *
  * Diagnostics must go through the Logger (stderr); stdout carries
  * only the machine-parseable tables.
  */
@@ -32,6 +38,7 @@
 #include "exec/parallel_for.hh"
 #include "obs/perf_report.hh"
 #include "obs/run_artifacts.hh"
+#include "solvers/convergence.hh"
 #include "sparse/catalog.hh"
 
 namespace acamar {
@@ -98,6 +105,21 @@ allWorkloads(int32_t dim, int jobs = 1)
         out[i].b = datasetRhs(out[i].a, spec.id);
     });
     return out;
+}
+
+/**
+ * Fold the shared run-health flags into a set of convergence
+ * criteria: --deadline-ms=<ms> (per-run wall budget, distributed
+ * across fallback attempts) and --deadline-iters=<n> (per-solve
+ * iteration budget; deterministic, so the CI smoke target uses it).
+ * Leaves the criteria untouched when neither flag is present.
+ */
+inline void
+applyRunHealthFlags(const Config &cfg, ConvergenceCriteria &criteria)
+{
+    criteria.deadlineMs = cfg.getDouble("deadline-ms", 0.0);
+    criteria.deadlineIterations =
+        static_cast<int>(cfg.getInt("deadline-iters", 0));
 }
 
 /**

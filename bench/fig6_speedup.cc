@@ -37,6 +37,7 @@ main(int argc, char **argv)
     AcamarConfig acfg;
     acfg.chunkRows = dim;
     acfg.hostThreads = threads;
+    bench::applyRunHealthFlags(cfg, acfg.criteria);
     const auto dev = FpgaDevice::alveoU55c();
 
     const auto workloads = bench::allWorkloads(dim, jobs);

@@ -42,6 +42,7 @@ main(int argc, char **argv)
 
     AcamarConfig acfg;
     acfg.chunkRows = dim;
+    bench::applyRunHealthFlags(cfg, acfg.criteria);
 
     const auto workloads = bench::allWorkloads(dim, jobs);
     BatchSolver batch({.jobs = jobs});

@@ -5,6 +5,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "metrics/underutilization.hh"
+#include "obs/correlation.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
 
@@ -46,6 +47,9 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
 
     AcamarRunReport rep;
     ACAMAR_PROFILE("accel/run");
+    const Correlation corr = currentCorrelation();
+    rep.runId = corr.runId;
+    rep.spanId = corr.spanId;
 
     // Trace events carry kernel-clock cycle positions; tell the
     // session how to map them onto seconds.
@@ -76,12 +80,29 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
     modifier_.reset();
     SolverKind kind = rep.structure.solver;
     Cycles cursor = rep.analyzerCycles;
+    // The wall deadline (if any) budgets the whole run: each attempt
+    // gets whatever the earlier attempts left, so a slow first solver
+    // cannot hand the fallback chain an already-spent clock.
+    const double wall_budget_ms = cfg_.criteria.deadlineMs;
+    const uint64_t run_start_ns =
+        wall_budget_ms > 0.0 ? Profiler::nowNs() : 0;
     while (true) {
         ACAMAR_PROFILE("accel/solve_attempt");
         const auto solver = makeSolver(kind);
         const Cycles init_cycles = init_.cycles(a, *solver);
+        ConvergenceCriteria criteria = cfg_.criteria;
+        if (wall_budget_ms > 0.0) {
+            const double spent_ms =
+                static_cast<double>(Profiler::nowNs() -
+                                    run_start_ns) / 1e6;
+            // Keep an expired budget armed (epsilon, not zero): the
+            // watchdog then fires on the first observation instead
+            // of silently disarming.
+            criteria.deadlineMs =
+                std::max(wall_budget_ms - spent_ms, 1e-3);
+        }
         TimedSolve attempt =
-            solver_.run(a, b, kind, rep.plan, init_cycles);
+            solver_.run(a, b, kind, rep.plan, init_cycles, criteria);
         modifier_.markTried(kind);
         rep.totalTiming += attempt.timing;
         ACAMAR_TRACE(PhaseEvent{
@@ -96,6 +117,13 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
         rep.finalSolver = kind;
         if (ok) {
             rep.converged = true;
+            break;
+        }
+        if (why == SolveStatus::TimedOut) {
+            // The deadline bounds the run, not the attempt: walking
+            // the fallback chain after a timeout would just spend
+            // wall time the operator said the job doesn't have.
+            rep.timedOut = true;
             break;
         }
         const auto next = modifier_.onDivergence(

@@ -43,6 +43,9 @@ struct AcamarRunReport {
     SpmvRunStats passStats;           //!< one planned SpMV pass
     double paperRu = 0.0;             //!< Eq. 5 mean, per-set plan
     double occupancyRu = 0.0;         //!< idle-slot fraction
+    bool timedOut = false;            //!< watchdog ended the run
+    uint64_t runId = 0;               //!< batch correlation (0 = none)
+    uint64_t spanId = 0;              //!< job correlation (0 = none)
 
     /** Final iterate of the last attempt. */
     const std::vector<float> &

@@ -39,14 +39,15 @@ ReconfigurableSolver::ReconfigurableSolver(EventQueue *eq,
 TimedSolve
 ReconfigurableSolver::run(const CsrMatrix<float> &a,
                           const std::vector<float> &b, SolverKind kind,
-                          const ReconfigPlan &plan, Cycles init_cycles)
+                          const ReconfigPlan &plan, Cycles init_cycles,
+                          const ConvergenceCriteria &criteria)
 {
     runs_.inc();
     TimedSolve ts;
     ts.kind = kind;
 
     const auto solver = makeSolver(kind);
-    ts.result = solver->solve(a, b, {}, cfg_.criteria, workspace_);
+    ts.result = solver->solve(a, b, {}, criteria, workspace_);
 
     const KernelProfile prof = solver->iterationProfile();
     const auto iters =

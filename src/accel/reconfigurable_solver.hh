@@ -75,10 +75,22 @@ class ReconfigurableSolver : public SimObject
      * against the hardware models.
      *
      * @param init_cycles Initialize-unit cost to fold into timing.
+     * @param criteria per-attempt convergence criteria (the top
+     *        level shrinks the wall deadline as a run's budget is
+     *        spent across fallback attempts).
      */
     TimedSolve run(const CsrMatrix<float> &a,
                    const std::vector<float> &b, SolverKind kind,
-                   const ReconfigPlan &plan, Cycles init_cycles);
+                   const ReconfigPlan &plan, Cycles init_cycles,
+                   const ConvergenceCriteria &criteria);
+
+    /** Same, with the configured criteria unmodified. */
+    TimedSolve
+    run(const CsrMatrix<float> &a, const std::vector<float> &b,
+        SolverKind kind, const ReconfigPlan &plan, Cycles init_cycles)
+    {
+        return run(a, b, kind, plan, init_cycles, cfg_.criteria);
+    }
 
     /**
      * Attach the host-side parallel context (or nullptr for serial)

@@ -3,6 +3,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/correlation.hh"
+
 namespace acamar {
 
 std::string
@@ -31,7 +33,10 @@ printRunReport(std::ostream &os, const AcamarRunReport &rep,
     for (const auto &attempt : rep.attempts)
         os << "  attempt " << attemptSummary(attempt) << '\n';
     os << "outcome: " << (rep.converged ? "converged" : "FAILED")
-       << " with " << to_string(rep.finalSolver) << '\n';
+       << " with " << to_string(rep.finalSolver);
+    if (rep.timedOut)
+        os << " (watchdog deadline expired)";
+    os << '\n';
 
     const Cycles lat = rep.latencyCycles(false);
     os << "compute latency: " << lat << " cycles ("
@@ -125,6 +130,12 @@ runReportJson(const AcamarRunReport &rep, double clock_hz)
     v.set("attempts", std::move(attempts));
 
     v.set("converged", JsonValue(rep.converged));
+    v.set("timed_out", JsonValue(rep.timedOut));
+    if (rep.runId != 0) {
+        v.set("run_id", JsonValue(runIdHex(rep.runId)));
+        v.set("span_id",
+              JsonValue(static_cast<int64_t>(rep.spanId)));
+    }
     v.set("final_solver", JsonValue(to_string(rep.finalSolver)));
     v.set("analyzer_cycles", JsonValue(rep.analyzerCycles));
     v.set("total_timing", timingJson(rep.totalTiming));

@@ -63,6 +63,7 @@ StatGroup::addScalar(const std::string &name, ScalarStat *s,
     Entry e;
     e.desc = desc;
     e.scalar = s;
+    MutexLock lk(mu_);
     entries_[name] = e;
 }
 
@@ -74,6 +75,7 @@ StatGroup::addAverage(const std::string &name, AverageStat *s,
     Entry e;
     e.desc = desc;
     e.average = s;
+    MutexLock lk(mu_);
     entries_[name] = e;
 }
 
@@ -85,12 +87,14 @@ StatGroup::addDist(const std::string &name, DistStat *s,
     Entry e;
     e.desc = desc;
     e.dist = s;
+    MutexLock lk(mu_);
     entries_[name] = e;
 }
 
 const ScalarStat *
 StatGroup::scalar(const std::string &name) const
 {
+    MutexLock lk(mu_);
     auto it = entries_.find(name);
     return it == entries_.end() ? nullptr : it->second.scalar;
 }
@@ -98,6 +102,7 @@ StatGroup::scalar(const std::string &name) const
 const AverageStat *
 StatGroup::average(const std::string &name) const
 {
+    MutexLock lk(mu_);
     auto it = entries_.find(name);
     return it == entries_.end() ? nullptr : it->second.average;
 }
@@ -105,6 +110,7 @@ StatGroup::average(const std::string &name) const
 const DistStat *
 StatGroup::dist(const std::string &name) const
 {
+    MutexLock lk(mu_);
     auto it = entries_.find(name);
     return it == entries_.end() ? nullptr : it->second.dist;
 }
@@ -113,6 +119,7 @@ std::vector<StatGroup::StatView>
 StatGroup::view() const
 {
     // std::map iteration is already name-sorted.
+    MutexLock lk(mu_);
     std::vector<StatView> out;
     out.reserve(entries_.size());
     for (const auto &[name, e] : entries_) {
@@ -154,6 +161,7 @@ formatStatValue(double v)
 void
 StatGroup::dump(std::ostream &os) const
 {
+    MutexLock lk(mu_);
     for (const auto &[name, e] : entries_) {
         os << name_ << '.' << name << ' ';
         if (e.scalar) {
@@ -180,6 +188,7 @@ StatGroup::dump(std::ostream &os) const
 void
 StatGroup::resetAll()
 {
+    MutexLock lk(mu_);
     for (auto &[name, e] : entries_) {
         if (e.scalar)
             e.scalar->reset();

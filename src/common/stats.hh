@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.hh"
+
 namespace acamar {
 
 /** A monotonically-growing named counter. */
@@ -116,6 +118,15 @@ class DistStat
 /**
  * A named collection of statistics. Units own a StatGroup and
  * register their stats once; dump() renders every registered stat.
+ *
+ * The registration directory is internally locked (leaf rank):
+ * SimObject's base constructor publishes the group to StatRegistry
+ * before the derived constructor registers its stats, so a
+ * concurrent registry snapshot can iterate the directory while a
+ * registration is still inserting. Stat *values* stay unlocked —
+ * they are owned and mutated by one unit, and snapshots of a live
+ * run read them racily by design (StatRegistry freezes at run end
+ * for the deterministic snapshot).
  */
 class StatGroup
 {
@@ -125,24 +136,27 @@ class StatGroup
 
     /** Register a scalar under this group. Pointer must outlive it. */
     void addScalar(const std::string &name, ScalarStat *s,
-                   const std::string &desc = "");
+                   const std::string &desc = "") ACAMAR_EXCLUDES(mu_);
 
     /** Register an average under this group. */
     void addAverage(const std::string &name, AverageStat *s,
-                    const std::string &desc = "");
+                    const std::string &desc = "") ACAMAR_EXCLUDES(mu_);
 
     /** Register a distribution under this group. */
     void addDist(const std::string &name, DistStat *s,
-                 const std::string &desc = "");
+                 const std::string &desc = "") ACAMAR_EXCLUDES(mu_);
 
     /** Look up a registered scalar, nullptr when absent. */
-    const ScalarStat *scalar(const std::string &name) const;
+    const ScalarStat *scalar(const std::string &name) const
+        ACAMAR_EXCLUDES(mu_);
 
     /** Look up a registered average, nullptr when absent. */
-    const AverageStat *average(const std::string &name) const;
+    const AverageStat *average(const std::string &name) const
+        ACAMAR_EXCLUDES(mu_);
 
     /** Look up a registered distribution, nullptr when absent. */
-    const DistStat *dist(const std::string &name) const;
+    const DistStat *dist(const std::string &name) const
+        ACAMAR_EXCLUDES(mu_);
 
     /** One registered stat, for snapshot consumers (obs/). */
     struct StatView {
@@ -154,17 +168,17 @@ class StatGroup
     };
 
     /** Every registered stat, sorted by name (deterministic). */
-    std::vector<StatView> view() const;
+    std::vector<StatView> view() const ACAMAR_EXCLUDES(mu_);
 
     /**
      * Render "group.stat value # desc" lines. Ordering is the sorted
      * stat name and floats use a fixed shortest-round-trip format,
      * so two runs with equal stats dump byte-identical text.
      */
-    void dump(std::ostream &os) const;
+    void dump(std::ostream &os) const ACAMAR_EXCLUDES(mu_);
 
     /** Reset every registered stat. */
-    void resetAll();
+    void resetAll() ACAMAR_EXCLUDES(mu_);
 
     /** Group name. */
     const std::string &name() const { return name_; }
@@ -178,7 +192,9 @@ class StatGroup
     };
 
     std::string name_;
-    std::map<std::string, Entry> entries_;
+    /** Leaf rank: legal under StatRegistry's rank-10 snapshot lock. */
+    mutable Mutex mu_{LockRank::kLeaf, "stat-group"};
+    std::map<std::string, Entry> entries_ ACAMAR_GUARDED_BY(mu_);
 };
 
 /**

@@ -40,6 +40,7 @@
 #ifndef ACAMAR_COMMON_SYNC_HH
 #define ACAMAR_COMMON_SYNC_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <string>
@@ -113,6 +114,12 @@ namespace acamar {
  * time by design).
  *
  * Current nesting facts the table encodes:
+ *  - the metrics sampler parks on its own wakeup lock and releases
+ *    it before touching anything else, and metric handles are only
+ *    registered/snapshotted with no other lock held, so the two
+ *    metrics ranks sit at the very bottom (a sampler pass may still
+ *    emit trace events and read every other subsystem); the
+ *    per-histogram record locks are kLeaf;
  *  - TraceSession drains per-thread stages while holding the sink
  *    directory lock (kTraceSinks -> kTraceStage);
  *  - the Profiler merges per-thread shards while holding its state
@@ -124,6 +131,8 @@ namespace acamar {
  *    counter): nothing may be acquired while holding one.
  */
 enum class LockRank : int {
+    kMetricsSampler = 4,  //!< obs/metrics_sampler.hh wakeup state
+    kMetricsRegistry = 5, //!< obs/metrics.hh directory + histograms
     kStatRegistry = 10,   //!< obs/stats_registry.hh directory
     kTraceSinks = 20,     //!< obs/trace.hh sink + stage directory
     kTraceStage = 30,     //!< obs/trace.hh per-thread staging buffer
@@ -267,6 +276,29 @@ class CondVar
                                             std::adopt_lock);
         cv_.wait(native, std::move(pred));
         native.release();
+    }
+
+    /**
+     * Predicate wait with a timeout: sleeps until `pred()` is true
+     * or `timeout` elapses, whichever comes first, re-checking the
+     * predicate under the lock exactly like wait(). Returns pred()'s
+     * value on wakeup, so a false return means the deadline passed
+     * with the condition still unmet. The timed form exists for
+     * periodic background work (the metrics sampler); state machines
+     * waiting on a condition alone should use wait().
+     */
+    template <typename Rep, typename Period, typename Pred>
+    bool
+    waitFor(MutexLock &lk,
+            const std::chrono::duration<Rep, Period> &timeout,
+            Pred pred)
+    {
+        std::unique_lock<std::mutex> native(lk.mu_->m_,
+                                            std::adopt_lock);
+        const bool satisfied =
+            cv_.wait_for(native, timeout, std::move(pred));
+        native.release();
+        return satisfied;
     }
 
     /** Wake one waiter. Callers need not hold the mutex. */

@@ -3,13 +3,34 @@
 #include "common/check.hh"
 #include "common/random.hh"
 #include "exec/parallel_for.hh"
+#include "obs/correlation.hh"
+#include "obs/metrics.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
 
 namespace acamar {
 
+namespace {
+
+/**
+ * Mint the batch RunId from the root seed without touching the job
+ * seed stream: a copy of the root xor a distinct constant keeps the
+ * id deterministic per batch yet never equal to any job seed.
+ */
+uint64_t
+mintRunId(uint64_t root_seed)
+{
+    uint64_t state = root_seed ^ 0xa5a5a5a55a5a5a5aull;
+    const uint64_t id = splitmix64(state);
+    // Zero means "no correlation scope"; dodge it deterministically.
+    return id != 0 ? id : 0x1ull;
+}
+
+} // namespace
+
 BatchSolver::BatchSolver(const BatchOptions &opts)
-    : opts_(opts), seedState_(opts.rootSeed)
+    : opts_(opts), seedState_(opts.rootSeed),
+      runId_(mintRunId(opts.rootSeed))
 {
 }
 
@@ -43,13 +64,49 @@ BatchSolver::solveAll() const
 {
     std::vector<AcamarRunReport> reports(jobs_.size());
     ACAMAR_PROFILE("exec/batch_solve");
+
+    // Metric handles are looked up once, with no other lock held
+    // (MetricsRegistry discipline); the per-job updates below are
+    // lock-free atomics, so they never perturb job scheduling.
+    const bool metrics = metricsEnabled();
+    MetricGauge *in_flight = nullptr;
+    MetricCounter *completed = nullptr;
+    MetricCounter *failed = nullptr;
+    MetricCounter *timed_out = nullptr;
+    if (metrics) {
+        auto &reg = MetricsRegistry::instance();
+        in_flight = &reg.gauge("acamar_batch_jobs_in_flight",
+                               "batch jobs running right now");
+        completed = &reg.counter("acamar_batch_jobs_completed_total",
+                                 "batch jobs that converged");
+        failed = &reg.counter("acamar_batch_jobs_failed_total",
+                              "batch jobs that failed to converge");
+        timed_out =
+            &reg.counter("acamar_batch_jobs_timed_out_total",
+                         "batch jobs stopped by the deadline");
+    }
+
     parallelForIndex(opts_.jobs, jobs_.size(), [&](size_t i) {
         ACAMAR_PROFILE("exec/batch_job");
+        // Make the (run, span) pair ambient: every trace event and
+        // the report itself get stamped with it.
+        CorrelationScope scope(runId_, static_cast<uint64_t>(i) + 1);
+        if (in_flight)
+            in_flight->add(1.0);
         const BatchJob &job = jobs_[i];
         // A private accelerator per job: nothing mutable is shared,
         // so the report depends only on the job's inputs.
         Acamar acc(job.cfg, job.device);
         reports[i] = acc.run(*job.a, *job.b);
+        if (metrics) {
+            in_flight->add(-1.0);
+            if (reports[i].converged)
+                completed->add(1);
+            else
+                failed->add(1);
+            if (reports[i].timedOut)
+                timed_out->add(1);
+        }
         // Job boundary: a job's trace events are durable once its
         // report is (see TraceSession::flushThisThread).
         TraceSession::instance().flushThisThread();

@@ -85,9 +85,18 @@ class BatchSolver
      */
     std::vector<AcamarRunReport> solveAll() const;
 
+    /**
+     * The batch's correlation RunId: derived from the root seed (so
+     * identical across --jobs values and reruns), stamped with a
+     * per-job SpanId (1-based submission index) onto every trace
+     * event and run report a job produces.
+     */
+    uint64_t runId() const { return runId_; }
+
   private:
     BatchOptions opts_;
     uint64_t seedState_;
+    uint64_t runId_;
     std::vector<BatchJob> jobs_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hh"
+#include "obs/metrics.hh"
 #include "obs/profiler.hh"
 
 namespace acamar {
@@ -16,6 +17,21 @@ ThreadPool::defaultThreads()
 
 ThreadPool::ThreadPool(int threads)
 {
+    // Bind metric handles before any worker exists: no lock is held
+    // here, so the rank-5 registry lock is safe to take, and the
+    // workers only ever touch the returned lock-free handles.
+    if (metricsEnabled()) {
+        auto &reg = MetricsRegistry::instance();
+        queueDepthMetric_ = &reg.gauge("acamar_pool_queue_depth",
+                                       "tasks sitting in the deques");
+        tasksMetric_ = &reg.counter("acamar_pool_tasks_total",
+                                    "tasks executed by the pool");
+        stealsMetric_ = &reg.counter("acamar_pool_steals_total",
+                                     "tasks taken from a sibling");
+        idleWaitMetric_ =
+            &reg.histogram("acamar_pool_idle_wait_ns",
+                           "worker time parked waiting for work");
+    }
     const auto n = static_cast<size_t>(std::max(1, threads));
     queues_.reserve(n);
     for (size_t i = 0; i < n; ++i)
@@ -72,6 +88,8 @@ ThreadPool::submit(std::function<void()> task)
         sleepCv_.notifyOne();
     }
     ACAMAR_PROFILE_VALUE("exec/queue_depth", depth);
+    if (queueDepthMetric_)
+        queueDepthMetric_->set(static_cast<double>(depth));
 }
 
 void
@@ -126,6 +144,8 @@ ThreadPool::runTask(std::function<void()> &task)
         --queued_;
     }
     ACAMAR_PROFILE_COUNT("exec/tasks", 1);
+    if (tasksMetric_)
+        tasksMetric_->add(1);
     std::exception_ptr err;
     try {
         ACAMAR_PROFILE("exec/task");
@@ -160,14 +180,17 @@ ThreadPool::workerLoop(size_t self)
         }
         if (steal(self, task)) {
             ACAMAR_PROFILE_COUNT("exec/steals", 1);
+            if (stealsMetric_)
+                stealsMetric_->add(1);
             runTask(task);
             task = nullptr;
             continue;
         }
         // Idle path: time spent parked on the cv is the pool's
         // starvation signal (histogram "exec/idle_wait_ns").
-        const bool prof = profilerEnabled();
-        const uint64_t t0 = prof ? Profiler::nowNs() : 0;
+        const bool timing = profilerEnabled() ||
+                            idleWaitMetric_ != nullptr;
+        const uint64_t t0 = timing ? Profiler::nowNs() : 0;
         bool exit_worker = false;
         {
             MutexLock lk(sleepMutex_);
@@ -176,9 +199,12 @@ ThreadPool::workerLoop(size_t self)
             });
             exit_worker = stop_ && queued_ == 0;
         }
-        if (prof) {
-            ACAMAR_PROFILE_VALUE("exec/idle_wait_ns",
-                                 Profiler::nowNs() - t0);
+        if (timing) {
+            const uint64_t waited = Profiler::nowNs() - t0;
+            ACAMAR_PROFILE_VALUE("exec/idle_wait_ns", waited);
+            // Per-histogram lock is kLeaf: legal with nothing held.
+            if (idleWaitMetric_)
+                idleWaitMetric_->record(waited);
         }
         if (exit_worker)
             return;

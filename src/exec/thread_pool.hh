@@ -28,6 +28,10 @@
 
 namespace acamar {
 
+class MetricCounter;
+class MetricGauge;
+class MetricHistogram;
+
 /** A fixed crew of workers draining work-stealing deques. */
 class ThreadPool
 {
@@ -93,6 +97,14 @@ class ThreadPool
     /** Submitted, not yet finished (the wait() predicate). */
     size_t pending_ ACAMAR_GUARDED_BY(waitMutex_) = 0;
     std::exception_ptr firstError_ ACAMAR_GUARDED_BY(waitMutex_);
+
+    // Metric mirrors of the profiler's pool instrumentation, bound
+    // once in the constructor (null when metrics were off then).
+    // Updates are lock-free atomics placed outside all lock scopes.
+    MetricGauge *queueDepthMetric_ = nullptr;
+    MetricCounter *tasksMetric_ = nullptr;
+    MetricCounter *stealsMetric_ = nullptr;
+    MetricHistogram *idleWaitMetric_ = nullptr;
 };
 
 } // namespace acamar

@@ -1,6 +1,7 @@
 #include "obs/chrome_trace_sink.hh"
 
 #include "common/logging.hh"
+#include "obs/correlation.hh"
 
 namespace acamar {
 
@@ -118,7 +119,12 @@ ChromeTraceSink::write(const TraceRecord &rec)
             .set("s", "t")
             .set("ts", static_cast<double>(rec.seq));
     }
-    ev.set("args", rec.args);
+    JsonValue args = rec.args;
+    if (rec.runId != 0) {
+        args.set("run_id", runIdHex(rec.runId))
+            .set("span_id", rec.spanId);
+    }
+    ev.set("args", std::move(args));
     writeEvent(ev);
 }
 

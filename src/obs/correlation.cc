@@ -1,0 +1,41 @@
+#include "obs/correlation.hh"
+
+namespace acamar {
+
+namespace {
+
+thread_local Correlation tls_correlation;
+
+} // namespace
+
+Correlation
+currentCorrelation()
+{
+    return tls_correlation;
+}
+
+CorrelationScope::CorrelationScope(uint64_t run_id, uint64_t span_id)
+    : previous_(tls_correlation)
+{
+    tls_correlation = Correlation{run_id, span_id};
+}
+
+CorrelationScope::~CorrelationScope()
+{
+    tls_correlation = previous_;
+}
+
+std::string
+runIdHex(uint64_t run_id)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<size_t>(i)] =
+            digits[run_id & 0xf];
+        run_id >>= 4;
+    }
+    return out;
+}
+
+} // namespace acamar

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-job correlation identifiers for the observability layer.
+ *
+ * The batch engine mints one RunId per batch (derived from the root
+ * seed, so it is identical across --jobs values and reruns) and one
+ * SpanId per job (the 1-based submission index). A CorrelationScope
+ * on the worker thread makes the pair ambient: every trace record,
+ * profiler timeline span and run report produced inside the scope is
+ * stamped with it, so any event in any artifact can be stitched back
+ * to the job that caused it — the prerequisite for service-side
+ * request tracing (ROADMAP open item 1).
+ *
+ * RunIds are 64-bit and serialize as 16-hex-char strings ("run_id")
+ * because the JSON layer stores numbers as doubles (53-bit mantissa);
+ * SpanIds are small integers and serialize as numbers ("span_id").
+ */
+
+#ifndef ACAMAR_OBS_CORRELATION_HH
+#define ACAMAR_OBS_CORRELATION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace acamar {
+
+/** The ambient (run, span) pair; zero means "no scope active". */
+struct Correlation {
+    uint64_t runId = 0;
+    uint64_t spanId = 0;
+
+    /** True when a scope is active on this thread. */
+    bool active() const { return runId != 0; }
+};
+
+/** The calling thread's current correlation (zeros outside scopes). */
+Correlation currentCorrelation();
+
+/**
+ * RAII: makes a correlation ambient on this thread for the scope's
+ * lifetime, restoring the previous one on exit (scopes nest; the
+ * innermost wins, which is what a job-inside-a-batch wants).
+ */
+class CorrelationScope
+{
+  public:
+    CorrelationScope(uint64_t run_id, uint64_t span_id);
+    ~CorrelationScope();
+
+    CorrelationScope(const CorrelationScope &) = delete;
+    CorrelationScope &operator=(const CorrelationScope &) = delete;
+
+  private:
+    Correlation previous_;
+};
+
+/** Canonical 16-hex-char spelling of a RunId ("00c0ffee..."). */
+std::string runIdHex(uint64_t run_id);
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_CORRELATION_HH

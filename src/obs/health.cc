@@ -1,0 +1,163 @@
+#include "obs/health.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
+#include "obs/trace.hh"
+
+namespace acamar {
+
+std::string
+to_string(ConvergenceHealthMonitor::Anomaly a)
+{
+    switch (a) {
+      case ConvergenceHealthMonitor::Anomaly::None:
+        return "none";
+      case ConvergenceHealthMonitor::Anomaly::Stall:
+        return "stall";
+      case ConvergenceHealthMonitor::Anomaly::Divergence:
+        return "divergence";
+      case ConvergenceHealthMonitor::Anomaly::NanPrecursor:
+        return "nan_precursor";
+    }
+    return "unknown";
+}
+
+ConvergenceHealthMonitor::ConvergenceHealthMonitor(
+    const HealthOptions &opts, double initial_residual,
+    std::string solver)
+    : opts_(opts), initialResidual_(initial_residual),
+      solver_(std::move(solver)), prevResidual_(initial_residual)
+{
+    ACAMAR_CHECK(opts_.stallWindow > 0) << "non-positive stall window";
+    ACAMAR_CHECK(opts_.divergenceWindow > 0)
+        << "non-positive divergence window";
+    window_.assign(static_cast<size_t>(opts_.stallWindow), 0.0);
+}
+
+void
+ConvergenceHealthMonitor::flag(Anomaly kind, int iteration,
+                               double residual,
+                               const std::string &detail)
+{
+    ACAMAR_TRACE(HealthEvent{to_string(kind), solver_, iteration,
+                             residual, detail});
+    if (metricsEnabled()) {
+        MetricsRegistry::instance()
+            .counter("acamar_health_" + to_string(kind) + "_total",
+                     "solves that flagged this anomaly")
+            .add(1);
+    }
+}
+
+ConvergenceHealthMonitor::Anomaly
+ConvergenceHealthMonitor::observe(int iteration, double residual)
+{
+    Anomaly detected = Anomaly::None;
+
+    // --- NaN precursor ------------------------------------------------
+    // Magnitude ramp, window growth factor, or an already non-finite
+    // residual: all the shapes an fp32 overflow trajectory takes.
+    if (!nanPrecursor_) {
+        std::string why;
+        if (!std::isfinite(residual)) {
+            why = "non-finite residual";
+        } else if (residual > opts_.nanMagnitude) {
+            why = "residual magnitude beyond nan_magnitude";
+        } else if (filled_ > 0) {
+            double window_min = window_[0];
+            for (size_t i = 1; i < filled_; ++i)
+                window_min = std::min(window_min, window_[i]);
+            if (window_min > 0.0 &&
+                residual > opts_.nanGrowthFactor * window_min)
+                why = "within-window growth beyond nan_growth_factor";
+        }
+        if (!why.empty()) {
+            nanPrecursor_ = true;
+            detected = Anomaly::NanPrecursor;
+            flag(Anomaly::NanPrecursor, iteration, residual, why);
+        }
+    }
+
+    // --- Divergence ---------------------------------------------------
+    // Monotone growth sustained for the window, ending above the
+    // starting point (a rising tail inside an overall descent is not
+    // divergence).
+    if (std::isfinite(residual) && residual > prevResidual_)
+        ++growthRun_;
+    else
+        growthRun_ = 0;
+    if (!diverging_ && growthRun_ >= opts_.divergenceWindow &&
+        residual > initialResidual_) {
+        diverging_ = true;
+        if (detected == Anomaly::None)
+            detected = Anomaly::Divergence;
+        flag(Anomaly::Divergence, iteration, residual,
+             "monotone growth for " +
+                 std::to_string(opts_.divergenceWindow) +
+                 " iterations");
+    }
+
+    // --- Stall --------------------------------------------------------
+    // Compare against the residual stallWindow trips ago; a plateau
+    // must outlast the whole window before it can flag.
+    const size_t cap = window_.size();
+    if (!stall_ && filled_ == cap) {
+        const double oldest = window_[head_];
+        if (std::isfinite(residual) && oldest > 0.0 &&
+            residual >= oldest * (1.0 - opts_.stallImprovement)) {
+            stall_ = true;
+            if (detected == Anomaly::None)
+                detected = Anomaly::Stall;
+            flag(Anomaly::Stall, iteration, residual,
+                 "improvement below stall_improvement over " +
+                     std::to_string(opts_.stallWindow) +
+                     " iterations");
+        }
+    }
+
+    // Push into the ring after the checks so "oldest" really is
+    // stallWindow trips back.
+    window_[head_] = residual;
+    head_ = (head_ + 1) % cap;
+    filled_ = std::min(filled_ + 1, cap);
+    prevResidual_ = residual;
+    return detected;
+}
+
+SolveWatchdog::SolveWatchdog(int deadline_iterations,
+                             double deadline_ms, NowFn now)
+    : deadlineIterations_(deadline_iterations),
+      deadlineMs_(deadline_ms), now_(now ? now : &Profiler::nowNs)
+{
+    if (deadlineMs_ > 0.0)
+        startNs_ = now_();
+}
+
+bool
+SolveWatchdog::expired(int iteration)
+{
+    if (expired_)
+        return true;
+    if (deadlineIterations_ > 0 && iteration >= deadlineIterations_) {
+        expired_ = true;
+        reason_ = "iterations";
+        return true;
+    }
+    if (deadlineMs_ > 0.0) {
+        const double elapsed_ms =
+            static_cast<double>(now_() - startNs_) / 1e6;
+        if (elapsed_ms >= deadlineMs_) {
+            expired_ = true;
+            reason_ = "wall_ms";
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace acamar

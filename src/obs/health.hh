@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Convergence anomaly detection and solve deadlines.
+ *
+ * The paper's robustness story (Section IV-B) reacts to divergence
+ * only after a solver has failed; an operator running a long batch
+ * wants the earlier signals too. ConvergenceHealthMonitor watches
+ * the per-iteration residual trajectory that ConvergenceMonitor
+ * already stages and detects three anomaly patterns while the solve
+ * is still running:
+ *
+ *  - **residual stall**: no relative improvement over a window of
+ *    iterations (a plateau shorter than the window never flags, so
+ *    plateau-then-recover trajectories stay clean);
+ *  - **divergence**: residual growth on `divergenceWindow`
+ *    consecutive iterations ending above the initial residual —
+ *    caught long before the 1e4 growth factor that stops the solve;
+ *  - **NaN precursor**: residual magnitude or within-window growth
+ *    consistent with the fp32 overflow ramps the paper documents,
+ *    or an already non-finite residual.
+ *
+ * Each anomaly latches once per solve, emitting one typed `health`
+ * trace event and bumping an `acamar_health_*_total` metric, so a
+ * noisy trajectory cannot flood the trace.
+ *
+ * SolveWatchdog is the companion hard limit: a per-solve iteration
+ * and/or wall-time deadline. ConvergenceMonitor consults it each
+ * observation and reports SolveStatus::TimedOut when it expires, so
+ * a stuck job ends up `timed_out` in the batch report instead of
+ * spinning to the 3000-iteration cap. The clock is injectable for
+ * deterministic tests.
+ */
+
+#ifndef ACAMAR_OBS_HEALTH_HH
+#define ACAMAR_OBS_HEALTH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acamar {
+
+/** Detection thresholds for ConvergenceHealthMonitor. */
+struct HealthOptions {
+    /** Iterations of lookback for stall detection. */
+    int stallWindow = 50;
+
+    /**
+     * Minimum relative residual improvement over the stall window;
+     * less than this flags a stall (0.01 = 1% in stallWindow trips).
+     */
+    double stallImprovement = 0.01;
+
+    /** Consecutive growing iterations that flag divergence. */
+    int divergenceWindow = 10;
+
+    /** Residual magnitude treated as a NaN/overflow precursor. */
+    double nanMagnitude = 1e30;
+
+    /** Within-window growth factor treated as a NaN precursor. */
+    double nanGrowthFactor = 1e12;
+};
+
+/** Online anomaly detector over one solve's residual trajectory. */
+class ConvergenceHealthMonitor
+{
+  public:
+    /** What (if anything) a single observation newly detected. */
+    enum class Anomaly {
+        None,
+        Stall,
+        Divergence,
+        NanPrecursor,
+    };
+
+    /**
+     * @param opts detection thresholds.
+     * @param initial_residual the solve's starting ||r||.
+     * @param solver short solver name for the emitted events.
+     */
+    ConvergenceHealthMonitor(const HealthOptions &opts,
+                             double initial_residual,
+                             std::string solver = {});
+
+    /**
+     * Feed one residual observation. Returns the anomaly this
+     * observation newly detected (None for a healthy step or one
+     * whose anomaly kind already latched). Detection also emits a
+     * `health` trace event and bumps the matching metric counter.
+     */
+    Anomaly observe(int iteration, double residual);
+
+    /** True once a stall has been flagged this solve. */
+    bool stallDetected() const { return stall_; }
+
+    /** True once divergence has been flagged this solve. */
+    bool divergenceDetected() const { return diverging_; }
+
+    /** True once a NaN precursor has been flagged this solve. */
+    bool nanPrecursorDetected() const { return nanPrecursor_; }
+
+    /** True when any anomaly has been flagged this solve. */
+    bool
+    anyDetected() const
+    {
+        return stall_ || diverging_ || nanPrecursor_;
+    }
+
+  private:
+    void flag(Anomaly kind, int iteration, double residual,
+              const std::string &detail);
+
+    HealthOptions opts_;
+    double initialResidual_;
+    std::string solver_;
+
+    /** Residual ring buffer, capacity stallWindow (allocated once). */
+    std::vector<double> window_;
+    size_t head_ = 0;
+    size_t filled_ = 0;
+
+    double prevResidual_;
+    int growthRun_ = 0;
+
+    bool stall_ = false;
+    bool diverging_ = false;
+    bool nanPrecursor_ = false;
+};
+
+/** Human-readable anomaly name ("stall", ...). */
+std::string to_string(ConvergenceHealthMonitor::Anomaly a);
+
+/** Per-solve iteration/wall-time deadline. */
+class SolveWatchdog
+{
+  public:
+    /** Nanosecond steady-clock source (injectable for tests). */
+    using NowFn = uint64_t (*)();
+
+    /**
+     * @param deadline_iterations iteration budget; <= 0 disables.
+     * @param deadline_ms wall budget in ms; <= 0 disables.
+     * @param now clock override, nullptr = the profiler's steady
+     *        clock. The start time is read at construction.
+     */
+    SolveWatchdog(int deadline_iterations, double deadline_ms,
+                  NowFn now = nullptr);
+
+    /** True when at least one deadline is armed. */
+    bool
+    enabled() const
+    {
+        return deadlineIterations_ > 0 || deadlineMs_ > 0.0;
+    }
+
+    /**
+     * Check the deadlines after `iteration` completed trips.
+     * Latches: once expired, stays expired.
+     */
+    bool expired(int iteration);
+
+    /** Which deadline fired: "iterations", "wall_ms", or "". */
+    const char *reason() const { return reason_; }
+
+  private:
+    int deadlineIterations_;
+    double deadlineMs_;
+    NowFn now_;
+    uint64_t startNs_ = 0;
+    bool expired_ = false;
+    const char *reason_ = "";
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_HEALTH_HH

@@ -1,6 +1,7 @@
 #include "obs/jsonl_sink.hh"
 
 #include "common/logging.hh"
+#include "obs/correlation.hh"
 
 namespace acamar {
 
@@ -16,6 +17,10 @@ JsonlTraceSink::write(const TraceRecord &rec)
 {
     JsonValue line = JsonValue::object();
     line.set("type", rec.type).set("seq", rec.seq);
+    if (rec.runId != 0) {
+        line.set("run_id", runIdHex(rec.runId))
+            .set("span_id", rec.spanId);
+    }
     if (rec.timed && rec.wallClock) {
         line.set("start_ns", rec.startCycles)
             .set("duration_ns", rec.durationCycles)

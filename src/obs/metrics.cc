@@ -1,0 +1,203 @@
+#include "obs/metrics.hh"
+
+#include <cstring>
+
+#include "common/check.hh"
+
+namespace acamar {
+
+uint64_t
+MetricGauge::pack(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+MetricGauge::unpack(uint64_t bits)
+{
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+void
+MetricHistogram::record(uint64_t v)
+{
+    MutexLock lk(mu_);
+    hist_.record(v);
+}
+
+LatencyHistogram
+MetricHistogram::snapshot() const
+{
+    MutexLock lk(mu_);
+    return hist_;
+}
+
+void
+MetricHistogram::reset()
+{
+    MutexLock lk(mu_);
+    hist_ = LatencyHistogram();
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+namespace {
+
+/** Registered names must be scrape-ready Prometheus identifiers. */
+bool
+validMetricName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        const bool alpha = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') || c == '_' ||
+                           c == ':';
+        if (!(alpha || (i > 0 && c >= '0' && c <= '9')))
+            return false;
+    }
+    return true;
+}
+
+template <typename Map, typename T>
+T &
+findOrCreate(Map &map, const std::string &name,
+             const std::string &help)
+{
+    ACAMAR_CHECK(validMetricName(name))
+        << "invalid metric name '" << name << "'";
+    auto it = map.find(name);
+    if (it == map.end()) {
+        it = map.emplace(name,
+                         typename Map::mapped_type{
+                             help, std::make_unique<T>()})
+                 .first;
+    }
+    return *it->second.metric;
+}
+
+} // namespace
+
+MetricCounter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help)
+{
+    MutexLock lk(mutex_);
+    return findOrCreate<decltype(counters_), MetricCounter>(
+        counters_, name, help);
+}
+
+MetricGauge &
+MetricsRegistry::gauge(const std::string &name,
+                       const std::string &help)
+{
+    MutexLock lk(mutex_);
+    return findOrCreate<decltype(gauges_), MetricGauge>(gauges_, name,
+                                                        help);
+}
+
+MetricHistogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help)
+{
+    MutexLock lk(mutex_);
+    return findOrCreate<decltype(histograms_), MetricHistogram>(
+        histograms_, name, help);
+}
+
+JsonValue
+MetricsRegistry::snapshotJson() const
+{
+    MutexLock lk(mutex_);
+    JsonValue out = JsonValue::object();
+    out.set("schema", "acamar-metrics-v1");
+
+    JsonValue counters = JsonValue::object();
+    for (const auto &[name, named] : counters_) {
+        JsonValue m = JsonValue::object();
+        m.set("value", named.metric->value());
+        if (!named.help.empty())
+            m.set("help", named.help);
+        counters.set(name, std::move(m));
+    }
+    out.set("counters", std::move(counters));
+
+    JsonValue gauges = JsonValue::object();
+    for (const auto &[name, named] : gauges_) {
+        JsonValue m = JsonValue::object();
+        m.set("value", named.metric->value());
+        if (!named.help.empty())
+            m.set("help", named.help);
+        gauges.set(name, std::move(m));
+    }
+    out.set("gauges", std::move(gauges));
+
+    JsonValue histograms = JsonValue::object();
+    for (const auto &[name, named] : histograms_) {
+        JsonValue m = named.metric->snapshot().summaryJson();
+        if (!named.help.empty())
+            m.set("help", named.help);
+        histograms.set(name, std::move(m));
+    }
+    out.set("histograms", std::move(histograms));
+    return out;
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    MutexLock lk(mutex_);
+    const auto header = [&os](const std::string &name,
+                              const std::string &help,
+                              const char *type) {
+        if (!help.empty())
+            os << "# HELP " << name << ' ' << help << '\n';
+        os << "# TYPE " << name << ' ' << type << '\n';
+    };
+    for (const auto &[name, named] : counters_) {
+        header(name, named.help, "counter");
+        os << name << ' ' << named.metric->value() << '\n';
+    }
+    for (const auto &[name, named] : gauges_) {
+        header(name, named.help, "gauge");
+        os << name << ' '
+           << JsonValue::formatNumber(named.metric->value()) << '\n';
+    }
+    for (const auto &[name, named] : histograms_) {
+        const LatencyHistogram h = named.metric->snapshot();
+        header(name, named.help, "summary");
+        for (const double q : {0.5, 0.9, 0.99}) {
+            os << name << "{quantile=\""
+               << JsonValue::formatNumber(q) << "\"} "
+               << JsonValue::formatNumber(h.percentile(q * 100.0))
+               << '\n';
+        }
+        os << name << "_sum " << h.sum() << '\n';
+        os << name << "_count " << h.count() << '\n';
+    }
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    MutexLock lk(mutex_);
+    for (auto &[name, named] : counters_)
+        named.metric->reset();
+    for (auto &[name, named] : gauges_)
+        named.metric->reset();
+    for (auto &[name, named] : histograms_)
+        named.metric->reset();
+}
+
+} // namespace acamar

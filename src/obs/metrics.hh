@@ -1,0 +1,226 @@
+/**
+ * @file
+ * MetricsRegistry: live counters/gauges/histograms for run-health
+ * monitoring.
+ *
+ * StatRegistry is an end-of-run model: units accumulate, a snapshot
+ * is frozen when the run quiesces. This registry is the opposite —
+ * every metric is snapshot-able at any instant from any thread, so a
+ * background sampler (obs/metrics_sampler.hh) can export a live view
+ * of a run in flight. The cost model follows the trace/profiler
+ * discipline: when metrics are off (`metricsEnabled()` false) an
+ * instrumentation site costs one relaxed bool load; when on, counter
+ * and gauge updates are single atomic operations and only histogram
+ * records take a (leaf-ranked) lock.
+ *
+ * Handles returned by counter()/gauge()/histogram() are stable for
+ * the life of the process — the registry never erases a metric — so
+ * sites may cache them across the short-lived objects that update
+ * them (thread pools, monitors). Registration takes the registry
+ * lock (LockRank::kMetricsRegistry, near the bottom of the rank
+ * table): call the lookup with no other lock held, exactly like the
+ * ACAMAR_PROFILE macros.
+ *
+ * Naming follows Prometheus conventions ("acamar_jobs_completed_total",
+ * unit-suffixed, [a-zA-Z_:][a-zA-Z0-9_:]*) so the text exposition
+ * (writePrometheus) is scrape-ready and the JSON form
+ * (acamar-metrics-v1) mirrors it key-for-key.
+ */
+
+#ifndef ACAMAR_OBS_METRICS_HH
+#define ACAMAR_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/sync.hh"
+#include "obs/histogram.hh"
+#include "obs/json.hh"
+
+namespace acamar {
+
+/** Monotone event count (Prometheus counter semantics). */
+class MetricCounter
+{
+  public:
+    /** Add `n` events. */
+    void
+    add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Current count. */
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Zero the count (tests and run boundaries only). */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Instantaneous value that can move both ways (gauge semantics). */
+class MetricGauge
+{
+  public:
+    /** Overwrite the value. */
+    void
+    set(double v)
+    {
+        bits_.store(pack(v), std::memory_order_relaxed);
+    }
+
+    /** Add a (possibly negative) delta atomically. */
+    void
+    add(double delta)
+    {
+        uint64_t cur = bits_.load(std::memory_order_relaxed);
+        while (!bits_.compare_exchange_weak(
+            cur, pack(unpack(cur) + delta), std::memory_order_relaxed,
+            std::memory_order_relaxed)) {
+        }
+    }
+
+    /** Current value. */
+    double
+    value() const
+    {
+        return unpack(bits_.load(std::memory_order_relaxed));
+    }
+
+    /** Zero the gauge (tests and run boundaries only). */
+    void reset() { set(0.0); }
+
+  private:
+    static uint64_t pack(double v);
+    static double unpack(uint64_t bits);
+
+    std::atomic<uint64_t> bits_{0};
+};
+
+/** Locked latency/size distribution (histogram semantics). */
+class MetricHistogram
+{
+  public:
+    /** Record one sample. */
+    void record(uint64_t v) ACAMAR_EXCLUDES(mu_);
+
+    /** Consistent copy of the underlying distribution. */
+    LatencyHistogram snapshot() const ACAMAR_EXCLUDES(mu_);
+
+    /** Forget all samples (tests and run boundaries only). */
+    void reset() ACAMAR_EXCLUDES(mu_);
+
+  private:
+    mutable Mutex mu_{LockRank::kLeaf, "metric-histogram"};
+    LatencyHistogram hist_ ACAMAR_GUARDED_BY(mu_);
+};
+
+/**
+ * The process-wide live-metrics directory.
+ *
+ * Thread-safe throughout: metrics register from any thread, update
+ * lock-free (counters/gauges), and snapshot consistently while a run
+ * is mutating them — each read is one atomic load, so a snapshot is
+ * per-metric consistent (not a cross-metric transaction, which live
+ * monitoring does not need).
+ */
+class MetricsRegistry
+{
+  public:
+    /** The singleton. */
+    static MetricsRegistry &instance();
+
+    /**
+     * True while a consumer (sampler, --metrics run) is listening.
+     * Instrumentation sites check this before updating so idle runs
+     * pay one relaxed load per site.
+     */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Turn collection on/off (RunArtifacts / tests). */
+    void setEnabled(bool on) { enabled_.store(on); }
+
+    /** Find-or-create a counter. Handle is valid forever. */
+    MetricCounter &counter(const std::string &name,
+                           const std::string &help = "")
+        ACAMAR_EXCLUDES(mutex_);
+
+    /** Find-or-create a gauge. Handle is valid forever. */
+    MetricGauge &gauge(const std::string &name,
+                       const std::string &help = "")
+        ACAMAR_EXCLUDES(mutex_);
+
+    /** Find-or-create a histogram. Handle is valid forever. */
+    MetricHistogram &histogram(const std::string &name,
+                               const std::string &help = "")
+        ACAMAR_EXCLUDES(mutex_);
+
+    /**
+     * Full snapshot: {"schema": "acamar-metrics-v1", "counters":
+     * {name: {"value", "help"}}, "gauges": {...}, "histograms":
+     * {name: {"count", "min", "max", "mean", "p50", "p90", "p99",
+     * "help"}}}. Keys are name-sorted, so the bytes are stable for
+     * a given metric state.
+     */
+    JsonValue snapshotJson() const ACAMAR_EXCLUDES(mutex_);
+
+    /**
+     * Prometheus text exposition (one HELP/TYPE header per metric;
+     * histograms export _count/_sum plus p50/p90/p99 quantile-tagged
+     * samples). Name-sorted and deterministic like the JSON form.
+     */
+    void writePrometheus(std::ostream &os) const
+        ACAMAR_EXCLUDES(mutex_);
+
+    /**
+     * Zero every registered metric (handles stay valid). Run
+     * boundaries and tests only — never concurrent with a sampler.
+     */
+    void resetAll() ACAMAR_EXCLUDES(mutex_);
+
+  private:
+    MetricsRegistry() = default;
+
+    template <typename T>
+    struct Named {
+        std::string help;
+        std::unique_ptr<T> metric;
+    };
+
+    std::atomic<bool> enabled_{false};
+
+    /** Guards the directories, not the metric values themselves. */
+    mutable Mutex mutex_{LockRank::kMetricsRegistry,
+                         "metrics-registry"};
+    std::map<std::string, Named<MetricCounter>> counters_
+        ACAMAR_GUARDED_BY(mutex_);
+    std::map<std::string, Named<MetricGauge>> gauges_
+        ACAMAR_GUARDED_BY(mutex_);
+    std::map<std::string, Named<MetricHistogram>> histograms_
+        ACAMAR_GUARDED_BY(mutex_);
+};
+
+/** True when live-metrics collection is currently on. */
+inline bool
+metricsEnabled()
+{
+    return MetricsRegistry::instance().enabled();
+}
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_METRICS_HH

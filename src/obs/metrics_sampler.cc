@@ -1,0 +1,177 @@
+#include "obs/metrics_sampler.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hh"
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/profiler.hh"
+#include "obs/trace.hh"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace acamar {
+
+namespace {
+
+/** True when `path` names the JSON exposition format. */
+bool
+wantsJson(const std::string &path)
+{
+    const std::string suffix = ".json";
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace
+
+double
+MetricsSampler::processRssBytes()
+{
+#ifdef __linux__
+    // statm field 2 is resident pages; no parsing beyond two longs.
+    std::ifstream statm("/proc/self/statm");
+    long total_pages = 0;
+    long resident_pages = 0;
+    if (!(statm >> total_pages >> resident_pages))
+        return 0.0;
+    const long page = sysconf(_SC_PAGESIZE);
+    if (page <= 0)
+        return 0.0;
+    return static_cast<double>(resident_pages) *
+           static_cast<double>(page);
+#else
+    return 0.0;
+#endif
+}
+
+void
+MetricsSampler::writeExposition(const std::string &path)
+{
+    ACAMAR_CHECK(!path.empty()) << "empty metrics exposition path";
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out) {
+            warn("cannot open metrics exposition temp '", tmp, "'");
+            return;
+        }
+        if (wantsJson(path)) {
+            MetricsRegistry::instance().snapshotJson().writePretty(
+                out);
+            out << '\n';
+        } else {
+            MetricsRegistry::instance().writePrometheus(out);
+        }
+        out.flush();
+        if (!out) {
+            warn("short write on metrics exposition '", tmp, "'");
+            return;
+        }
+    }
+    // rename(2) is atomic within a filesystem: a concurrent reader
+    // sees either the previous snapshot or this one, never a tear.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        warn("cannot rename '", tmp, "' over '", path, "'");
+}
+
+MetricsSampler::MetricsSampler(const MetricsSamplerOptions &opts)
+    : opts_(opts)
+{
+    ACAMAR_CHECK(opts_.periodMs > 0.0)
+        << "non-positive metrics sample period";
+    lastNs_ = Profiler::nowNs();
+    thread_ = std::thread([this] { loop(); });
+}
+
+MetricsSampler::~MetricsSampler()
+{
+    stop();
+}
+
+void
+MetricsSampler::stop()
+{
+    if (joined_)
+        return;
+    joined_ = true;
+    {
+        ReleasableMutexLock lk(mutex_);
+        stop_ = true;
+        lk.release();
+        cv_.notifyOne();
+    }
+    thread_.join();
+    // Final pass from the stopping thread: the exposition file and
+    // the last metrics_sample event reflect the end-of-run state.
+    samplePass();
+}
+
+void
+MetricsSampler::loop()
+{
+    using MsDuration = std::chrono::duration<double, std::milli>;
+    const MsDuration period(opts_.periodMs);
+    while (true) {
+        {
+            MutexLock lk(mutex_);
+            const bool stopping = cv_.waitFor(
+                lk, period, [this]() ACAMAR_REQUIRES(mutex_) {
+                    return stop_;
+                });
+            if (stopping)
+                return; // stop() takes the final pass
+        }
+        // The wakeup lock is released before sampling: the pass
+        // takes the registry lock and trace-stage locks freely.
+        samplePass();
+    }
+}
+
+void
+MetricsSampler::samplePass()
+{
+    auto &reg = MetricsRegistry::instance();
+    const uint64_t pass =
+        samples_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    const double rss = processRssBytes();
+    reg.gauge("acamar_process_rss_bytes",
+              "process resident set size")
+        .set(rss);
+
+    // Solver throughput since the previous pass.
+    const uint64_t now_ns = Profiler::nowNs();
+    const uint64_t iters =
+        reg.counter("acamar_solver_iterations_total",
+                    "solver loop trips across all solves")
+            .value();
+    double ips = 0.0;
+    if (now_ns > lastNs_) {
+        ips = static_cast<double>(iters - lastIterations_) /
+              (static_cast<double>(now_ns - lastNs_) / 1e9);
+    }
+    lastIterations_ = iters;
+    lastNs_ = now_ns;
+    reg.gauge("acamar_solver_iterations_per_sec",
+              "solver throughput over the last sample period")
+        .set(ips);
+
+    const double in_flight =
+        reg.gauge("acamar_batch_jobs_in_flight",
+                  "batch jobs running right now")
+            .value();
+
+    ACAMAR_TRACE(MetricsSampleEvent{static_cast<int64_t>(pass), rss,
+                                    in_flight, ips});
+
+    if (!opts_.outPath.empty())
+        writeExposition(opts_.outPath);
+}
+
+} // namespace acamar

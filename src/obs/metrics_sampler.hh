@@ -1,0 +1,98 @@
+/**
+ * @file
+ * MetricsSampler: background thread exporting live metrics.
+ *
+ * Wakes every `periodMs`, samples process RSS and the derived solver
+ * throughput into gauges, emits one `metrics_sample` trace event and
+ * atomically refreshes the exposition file (write temp + rename, so
+ * a `watch`/scraper never sees a torn file). The file format follows
+ * the extension: ".json" gets the acamar-metrics-v1 snapshot, every
+ * other name the Prometheus text exposition.
+ *
+ * Locking: the sampler parks on its own wakeup lock
+ * (LockRank::kMetricsSampler) and releases it before touching the
+ * registry or the trace session, so it can never participate in a
+ * rank inversion with the rest of the observability layer.
+ */
+
+#ifndef ACAMAR_OBS_METRICS_SAMPLER_HH
+#define ACAMAR_OBS_METRICS_SAMPLER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/sync.hh"
+
+namespace acamar {
+
+/** Knobs for one sampler. */
+struct MetricsSamplerOptions {
+    /** Exposition file to refresh; empty disables the file. */
+    std::string outPath;
+
+    /** Sampling period in milliseconds. */
+    double periodMs = 250.0;
+};
+
+/** The background sampling thread (one per monitored run). */
+class MetricsSampler
+{
+  public:
+    /** Starts the thread; metrics collection must already be on. */
+    explicit MetricsSampler(const MetricsSamplerOptions &opts);
+
+    /** Stops the thread and writes one final sample. */
+    ~MetricsSampler();
+
+    MetricsSampler(const MetricsSampler &) = delete;
+    MetricsSampler &operator=(const MetricsSampler &) = delete;
+
+    /**
+     * Stop sampling: wake the thread, join it, then take one final
+     * pass so the exposition file holds the end-of-run state.
+     * Idempotent.
+     */
+    void stop() ACAMAR_EXCLUDES(mutex_);
+
+    /** Sampling passes completed so far. */
+    uint64_t
+    samples() const
+    {
+        return samples_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Write the current registry state to `path` atomically
+     * (temp file + rename). Format by extension: ".json" is the
+     * acamar-metrics-v1 snapshot, anything else Prometheus text.
+     */
+    static void writeExposition(const std::string &path);
+
+    /** Process resident set size in bytes (0 when unavailable). */
+    static double processRssBytes();
+
+  private:
+    void loop() ACAMAR_EXCLUDES(mutex_);
+    void samplePass();
+
+    MetricsSamplerOptions opts_;
+
+    Mutex mutex_{LockRank::kMetricsSampler, "metrics-sampler"};
+    CondVar cv_;
+    bool stop_ ACAMAR_GUARDED_BY(mutex_) = false;
+    bool joined_ = false;  //!< stop() ran (caller thread only)
+
+    std::atomic<uint64_t> samples_{0};
+
+    /** Throughput derivation state (sampler thread only). */
+    uint64_t lastIterations_ = 0;
+    uint64_t lastNs_ = 0;
+
+    std::thread thread_;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_METRICS_SAMPLER_HH

@@ -14,6 +14,7 @@
 #include "common/logging.hh"
 #include "common/sync.hh"
 #include "obs/chrome_trace_sink.hh"
+#include "obs/correlation.hh"
 
 namespace acamar {
 
@@ -42,6 +43,8 @@ struct ShardSpan {
     const char *name = "";
     uint64_t startNs = 0;
     uint64_t durNs = 0;
+    uint64_t runId = 0;
+    uint64_t spanId = 0;
 };
 
 /** True when two literal zone names denote the same zone. */
@@ -145,8 +148,8 @@ mergeShard(MergeState &into, ProfileShard &shard)
     for (const auto &[name, h] : shard.values)
         into.values[name].merge(h);
     for (const auto &sp : shard.ring) {
-        into.timeline.push_back(
-            {sp.name, shard.tid, sp.startNs, sp.durNs});
+        into.timeline.push_back({sp.name, shard.tid, sp.startNs,
+                                 sp.durNs, sp.runId, sp.spanId});
     }
     into.timelineDropped += shard.ringDropped;
     shard.resetLocked();
@@ -366,7 +369,9 @@ Profiler::exitZone()
             const uint64_t rel = frame.enterNs >= s.timelineBase
                                      ? frame.enterNs - s.timelineBase
                                      : 0;
-            s.ring.push_back({node.name, rel, dur});
+            const Correlation corr = currentCorrelation();
+            s.ring.push_back(
+                {node.name, rel, dur, corr.runId, corr.spanId});
         } else {
             ++s.ringDropped;
         }
@@ -507,6 +512,8 @@ ProfileReport::writeChromeTrace(const std::string &path) const
         rec.durationCycles = sp.durNs;
         rec.args = JsonValue::object();
         rec.args.set("name", sp.name).set("tid", sp.tid);
+        rec.runId = sp.runId;
+        rec.spanId = sp.spanId;
         sink.write(rec);
     }
     sink.finish();

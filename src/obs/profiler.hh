@@ -77,6 +77,8 @@ struct ProfileReport {
         int tid = 0;          //!< shard (thread) id
         uint64_t startNs = 0; //!< relative to profiler start
         uint64_t durNs = 0;
+        uint64_t runId = 0;   //!< batch correlation (0 = none)
+        uint64_t spanId = 0;  //!< job correlation (0 = none)
     };
     std::vector<TimelineSpan> timeline;
     uint64_t timelineDropped = 0; //!< spans lost to full rings

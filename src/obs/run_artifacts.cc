@@ -6,6 +6,8 @@
 #include "common/logging.hh"
 #include "obs/chrome_trace_sink.hh"
 #include "obs/jsonl_sink.hh"
+#include "obs/metrics.hh"
+#include "obs/metrics_sampler.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
 
@@ -31,12 +33,32 @@ RunArtifacts::RunArtifacts(const Config &cfg)
         // loops) must still appear in it.
         StatRegistry::instance().setRetainRemoved(true);
     }
+
+    metricsPath_ = cfg.getString("metrics-out", "");
+    metrics_ = cfg.getBool("metrics", false) || !metricsPath_.empty();
+    if (metrics_) {
+        // Enable collection before any instrumented object binds its
+        // handles (thread pools cache them at construction).
+        MetricsRegistry::instance().setEnabled(true);
+        MetricsSamplerOptions opts;
+        opts.outPath = metricsPath_;
+        opts.periodMs = cfg.getDouble("metrics-period", 250.0);
+        sampler_ = std::make_unique<MetricsSampler>(opts);
+    }
 }
 
 RunArtifacts::~RunArtifacts()
 {
+    // Sampler first: its final pass emits one last metrics_sample
+    // trace event, which the session stop below then flushes.
+    if (sampler_)
+        sampler_->stop();
     if (tracing_)
         TraceSession::instance().stop();
+    if (metrics_) {
+        MetricsRegistry::instance().setEnabled(false);
+        MetricsRegistry::instance().resetAll();
+    }
     if (statsPath_.empty())
         return;
     std::ofstream out(statsPath_);

@@ -1,27 +1,33 @@
 /**
  * @file
  * RunArtifacts: one RAII object that turns --trace / --chrome-trace /
- * --stats command-line keys into machine-readable run outputs.
+ * --stats / --metrics command-line keys into machine-readable run
+ * outputs.
  *
  * Benches and examples construct it right after parsing arguments:
  *
  *     const auto cfg = Config::fromArgs(argc, argv);
  *     const RunArtifacts artifacts(cfg);
  *
- * While it lives, trace sinks are attached to the TraceSession; on
- * destruction the session is stopped (flushing the sinks) and the
- * stats snapshot is written. With none of the keys present it does
- * nothing at all.
+ * While it lives, trace sinks are attached to the TraceSession and
+ * (when requested) live-metrics collection runs with a background
+ * sampler refreshing the exposition file; on destruction the sampler
+ * stops (writing a final snapshot), the session is stopped (flushing
+ * the sinks) and the stats snapshot is written. With none of the
+ * keys present it does nothing at all.
  */
 
 #ifndef ACAMAR_OBS_RUN_ARTIFACTS_HH
 #define ACAMAR_OBS_RUN_ARTIFACTS_HH
 
+#include <memory>
 #include <string>
 
 #include "common/config.hh"
 
 namespace acamar {
+
+class MetricsSampler;
 
 /** Scope guard wiring observability outputs from a Config. */
 class RunArtifacts
@@ -29,11 +35,15 @@ class RunArtifacts
   public:
     /**
      * Recognized keys: "trace" (JSONL path), "chrome-trace"
-     * (chrome://tracing JSON path), "stats" (stats snapshot path).
+     * (chrome://tracing JSON path), "stats" (stats snapshot path),
+     * "metrics" (enable live metrics, bool), "metrics-out"
+     * (exposition file, implies "metrics"; ".json" extension selects
+     * the JSON snapshot, anything else Prometheus text) and
+     * "metrics-period" (sampler period in ms, default 250).
      */
     explicit RunArtifacts(const Config &cfg);
 
-    /** Flushes traces and writes the stats snapshot. */
+    /** Flushes traces and writes the stats/metrics snapshots. */
     ~RunArtifacts();
 
     RunArtifacts(const RunArtifacts &) = delete;
@@ -45,9 +55,15 @@ class RunArtifacts
     /** True when a stats snapshot will be written. */
     bool statsRequested() const { return !statsPath_.empty(); }
 
+    /** True when live metrics collection is on for this run. */
+    bool metricsRequested() const { return metrics_; }
+
   private:
     bool tracing_ = false;
+    bool metrics_ = false;
     std::string statsPath_;
+    std::string metricsPath_;
+    std::unique_ptr<MetricsSampler> sampler_;
 };
 
 } // namespace acamar

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.hh"
+#include "obs/correlation.hh"
 
 namespace acamar {
 
@@ -127,6 +128,9 @@ void
 TraceSession::emit(TraceRecord rec)
 {
     rec.seq = seq_.fetch_add(1) + 1;
+    const Correlation corr = currentCorrelation();
+    rec.runId = corr.runId;
+    rec.spanId = corr.spanId;
     ThreadStage &stage = thisThreadStage();
     bool full = false;
     {
@@ -260,6 +264,31 @@ TraceSession::record(const SimEventTrace &e)
     TraceRecord rec;
     rec.type = "sim_event";
     rec.args.set("name", e.name).set("tick", e.tick);
+    emit(std::move(rec));
+}
+
+void
+TraceSession::record(const HealthEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "health";
+    rec.args.set("kind", e.kind)
+        .set("solver", e.solver)
+        .set("iteration", e.iteration)
+        .set("residual", e.residual)
+        .set("detail", e.detail);
+    emit(std::move(rec));
+}
+
+void
+TraceSession::record(const MetricsSampleEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "metrics_sample";
+    rec.args.set("sample", e.sample)
+        .set("rss_bytes", e.rssBytes)
+        .set("jobs_in_flight", e.jobsInFlight)
+        .set("iterations_per_sec", e.iterationsPerSec);
     emit(std::move(rec));
 }
 

@@ -51,6 +51,8 @@ struct TraceRecord {
     Cycles startCycles = 0;
     Cycles durationCycles = 0;
     uint64_t seq = 0;         //!< global emission order
+    uint64_t runId = 0;       //!< batch correlation (0 = none)
+    uint64_t spanId = 0;      //!< job correlation (0 = none)
     JsonValue args;           //!< schema payload (object)
 };
 
@@ -136,6 +138,8 @@ class TraceSession
     void record(const IcapTransferEvent &e);
     void record(const PhaseEvent &e);
     void record(const SimEventTrace &e);
+    void record(const HealthEvent &e);
+    void record(const MetricsSampleEvent &e);
 
   private:
     /** One thread's staged records; `m` nests inside sinkMutex_. */

@@ -111,6 +111,23 @@ struct SimEventTrace {
     Tick tick = 0;
 };
 
+/** A run-health anomaly or deadline flagged mid-solve. */
+struct HealthEvent {
+    std::string kind;    //!< "stall"/"divergence"/"nan_precursor"/"timeout"
+    std::string solver;  //!< solver running when it was flagged
+    int iteration = 0;   //!< loop trip of the detection
+    double residual = 0.0;
+    std::string detail;  //!< threshold rationale ("no improvement...")
+};
+
+/** One pass of the background metrics sampler. */
+struct MetricsSampleEvent {
+    int64_t sample = 0;            //!< 1-based pass index
+    double rssBytes = 0.0;         //!< process RSS (0 = unavailable)
+    double jobsInFlight = 0.0;     //!< batch jobs running right now
+    double iterationsPerSec = 0.0; //!< solver throughput since last pass
+};
+
 } // namespace acamar
 
 #endif // ACAMAR_OBS_TRACE_EVENTS_HH

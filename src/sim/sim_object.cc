@@ -9,9 +9,11 @@ SimObject::SimObject(std::string name, EventQueue *eq)
     : name_(std::move(name)), eq_(eq), stats_(name_)
 {
     ACAMAR_CHECK(eq_) << "SimObject '" << name_ << "' needs an event queue";
-    // Every unit's stats are discoverable process-wide; derived
+    // Every unit's stats are discoverable process-wide. Derived
     // constructors register individual stats into the group after
-    // this runs, which is fine — the registry reads at dump time.
+    // this runs — the group is already visible to a concurrent
+    // registry snapshot by then, which is safe because StatGroup's
+    // directory is internally locked (see common/stats.hh).
     StatRegistry::instance().add(&stats_);
 }
 

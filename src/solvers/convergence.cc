@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace acamar {
@@ -16,6 +17,7 @@ to_string(SolveStatus s)
       case SolveStatus::Diverged:  return "diverged";
       case SolveStatus::Breakdown: return "breakdown";
       case SolveStatus::Stalled:   return "stalled";
+      case SolveStatus::TimedOut:  return "timed_out";
     }
     return "unknown";
 }
@@ -24,7 +26,9 @@ ConvergenceMonitor::ConvergenceMonitor(
     const ConvergenceCriteria &criteria, double initial_residual,
     std::string solver)
     : criteria_(criteria), initialResidual_(initial_residual),
-      lastResidual_(initial_residual), solver_(std::move(solver))
+      lastResidual_(initial_residual), solver_(std::move(solver)),
+      health_(criteria.health, initial_residual, solver_),
+      watchdog_(criteria.deadlineIterations, criteria.deadlineMs)
 {
     ACAMAR_CHECK(criteria_.tolerance > 0.0) << "non-positive tolerance";
     ACAMAR_CHECK(criteria_.maxIterations > 0) << "non-positive cap";
@@ -33,6 +37,13 @@ ConvergenceMonitor::ConvergenceMonitor(
     ACAMAR_CHECK(initial_residual >= 0.0)
         << "negative residual norm " << initial_residual;
     history_.push_back(initial_residual);
+    // One registry lookup per solve attempt (no lock is held here);
+    // the per-iteration bump below is then a lock-free atomic add.
+    if (metricsEnabled()) {
+        iterationMetric_ = &MetricsRegistry::instance().counter(
+            "acamar_solver_iterations_total",
+            "solver loop trips across all solves");
+    }
     if (initial_residual == 0.0 || meetsTolerance(initial_residual)) {
         status_ = SolveStatus::Converged;
         done_ = true;
@@ -55,11 +66,17 @@ ConvergenceMonitor::observe(double residual)
     ++iterations_;
     lastResidual_ = residual;
     history_.push_back(residual);
+    if (iterationMetric_)
+        iterationMetric_->add(1);
 
     ACAMAR_TRACE(SolveIterationEvent{solver_, iterations_, residual,
                                      staged_.alpha, staged_.beta,
                                      staged_.rho, staged_.omega});
     staged_ = IterationScalars{};
+
+    // Purely observational: anomalies latch and emit health events
+    // but never change the stopping decision below.
+    health_.observe(iterations_, residual);
 
     if (meetsTolerance(residual)) {
         status_ = SolveStatus::Converged;
@@ -79,6 +96,20 @@ ConvergenceMonitor::observe(double residual)
                        std::max(initialResidual_, 1e-30)) {
         status_ = SolveStatus::Diverged;
         done_ = true;
+        return Action::Stop;
+    }
+    if (watchdog_.enabled() && watchdog_.expired(iterations_)) {
+        status_ = SolveStatus::TimedOut;
+        done_ = true;
+        ACAMAR_TRACE(HealthEvent{
+            "timeout", solver_, iterations_, residual,
+            std::string("deadline expired: ") + watchdog_.reason()});
+        if (metricsEnabled()) {
+            MetricsRegistry::instance()
+                .counter("acamar_health_timeout_total",
+                         "solves stopped by the watchdog deadline")
+                .add(1);
+        }
         return Action::Stop;
     }
     if (iterations_ >= criteria_.maxIterations) {

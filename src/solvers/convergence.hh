@@ -14,9 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "obs/health.hh"
 #include "obs/trace_events.hh"
 
 namespace acamar {
+
+class MetricCounter;
 
 /** Outcome of one solver run. */
 enum class SolveStatus {
@@ -24,6 +27,7 @@ enum class SolveStatus {
     Diverged,   //!< residual blew up or became non-finite
     Breakdown,  //!< solver recurrence hit a zero pivot (rho/omega/pAp)
     Stalled,    //!< iteration budget exhausted without converging
+    TimedOut,   //!< solve deadline (iterations or wall time) expired
 };
 
 /** Human-readable status name. */
@@ -49,6 +53,20 @@ struct ConvergenceCriteria {
 
     /** Hard iteration cap; exceeding it is SolveStatus::Stalled. */
     int maxIterations = 3000;
+
+    /**
+     * Per-solve iteration deadline; <= 0 disables. Unlike
+     * maxIterations (which reports Stalled and lets the Solver
+     * Modifier walk the fallback chain), an expired deadline is
+     * SolveStatus::TimedOut and ends the whole run.
+     */
+    int deadlineIterations = 0;
+
+    /** Per-solve wall-time deadline in milliseconds; <= 0 disables. */
+    double deadlineMs = 0.0;
+
+    /** Anomaly-detection thresholds (always-on, purely observational). */
+    HealthOptions health;
 };
 
 /**
@@ -146,6 +164,9 @@ class ConvergenceMonitor
     /** Entire residual trajectory (index 0 = initial). */
     const std::vector<double> &history() const { return history_; }
 
+    /** The anomaly detector fed from this monitor's observations. */
+    const ConvergenceHealthMonitor &health() const { return health_; }
+
   private:
     ConvergenceCriteria criteria_;
     double initialResidual_;
@@ -156,6 +177,11 @@ class ConvergenceMonitor
     std::vector<double> history_;
     std::string solver_;
     IterationScalars staged_;
+    ConvergenceHealthMonitor health_;
+    SolveWatchdog watchdog_;
+
+    /** Throughput counter (null when metrics are off at ctor time). */
+    MetricCounter *iterationMetric_ = nullptr;
 };
 
 } // namespace acamar

@@ -20,6 +20,8 @@
 #include "accel/report.hh"
 #include "common/stats.hh"
 #include "exec/batch_solver.hh"
+#include "obs/correlation.hh"
+#include "solvers/convergence.hh"
 #include "exec/parallel_for.hh"
 #include "exec/thread_pool.hh"
 #include "obs/jsonl_sink.hh"
@@ -192,6 +194,89 @@ TEST(BatchSolver, JobSeedsAreStablePerSubmissionIndex)
     EXPECT_NE(a.jobSeed(0), a.jobSeed(1));
 }
 
+TEST(BatchSolver, WatchdogDeadlineMarksJobTimedOut)
+{
+    const BatchFixture fx;
+    BatchSolver batch({.jobs = 1});
+    AcamarConfig cfg;
+    cfg.chunkRows = 256;
+    // An iteration budget no solver can meet: the job must end
+    // timed_out, not walk the fallback chain to the 3000-iter cap.
+    cfg.criteria.deadlineIterations = 2;
+    batch.add(fx.mats[0], fx.rhs[0], cfg);
+    const auto reports = batch.solveAll();
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_TRUE(reports[0].timedOut);
+    EXPECT_FALSE(reports[0].converged);
+    ASSERT_EQ(reports[0].attempts.size(), 1u);
+    EXPECT_EQ(reports[0].attempts[0].result.status,
+              SolveStatus::TimedOut);
+
+    const JsonValue v = runReportJson(reports[0], 300e6);
+    EXPECT_TRUE(v.find("timed_out")->asBool());
+    EXPECT_EQ(v.find("attempts")->at(0).find("status")->str(),
+              "timed_out");
+}
+
+TEST(BatchSolver, RunIdIsStableAcrossJobCountsAndSeedDerived)
+{
+    const BatchFixture fx;
+    BatchSolver a({.jobs = 1, .rootSeed = 42});
+    BatchSolver b({.jobs = 8, .rootSeed = 42});
+    BatchSolver other({.jobs = 1, .rootSeed = 43});
+    EXPECT_NE(a.runId(), 0u);
+    EXPECT_EQ(a.runId(), b.runId());
+    EXPECT_NE(a.runId(), other.runId());
+}
+
+TEST(BatchSolver, TraceEventsCarryResolvableCorrelationIds)
+{
+    struct SessionGuard {
+        ~SessionGuard() { TraceSession::instance().stop(); }
+    } guard;
+
+    const std::string path = testing::TempDir() + "batch_corr.jsonl";
+    auto &session = TraceSession::instance();
+    session.addSink(std::make_unique<JsonlTraceSink>(path));
+    ASSERT_TRUE(session.enabled());
+
+    const BatchFixture fx;
+    BatchSolver batch({.jobs = 4});
+    AcamarConfig cfg;
+    cfg.chunkRows = 256;
+    for (size_t i = 0; i < fx.mats.size(); ++i)
+        batch.add(fx.mats[i], fx.rhs[i], cfg);
+    const auto reports = batch.solveAll();
+    session.stop();
+
+    const std::string run_hex = runIdHex(batch.runId());
+    for (size_t i = 0; i < reports.size(); ++i) {
+        EXPECT_EQ(reports[i].runId, batch.runId());
+        EXPECT_EQ(reports[i].spanId, i + 1);
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    size_t correlated = 0;
+    std::string line;
+    std::vector<bool> span_seen(batch.size(), false);
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const JsonValue ev = JsonValue::parse(line);
+        ASSERT_TRUE(ev.has("run_id")) << line;
+        EXPECT_EQ(ev.find("run_id")->str(), run_hex);
+        const int64_t span = ev.find("span_id")->asInt();
+        ASSERT_GE(span, 1) << line;
+        ASSERT_LE(span, static_cast<int64_t>(batch.size())) << line;
+        span_seen[static_cast<size_t>(span - 1)] = true;
+        ++correlated;
+    }
+    EXPECT_GT(correlated, 0u);
+    for (size_t i = 0; i < span_seen.size(); ++i)
+        EXPECT_TRUE(span_seen[i]) << "no events for span " << i + 1;
+}
+
 TEST(TraceMt, ConcurrentEmittersProduceWholeJsonlLines)
 {
     struct SessionGuard {
@@ -239,6 +324,33 @@ TEST(StatRegistryMt, ConcurrentAddRemoveKeepsCountsConsistent)
         s.add(static_cast<double>(i));
         reg.add(&g);
         reg.snapshotJson();  // race the snapshot path too
+        reg.remove(&g);
+    });
+    EXPECT_EQ(reg.liveGroups(), baseline);
+}
+
+TEST(StatRegistryMt, StatsRegisteredAfterAddSurviveConcurrentSnapshot)
+{
+    // SimObject's base constructor publishes the group to the
+    // registry before the derived constructor registers individual
+    // stats. A snapshot racing that window must neither crash nor
+    // corrupt the group directory — StatGroup's internal lock covers
+    // it. Mimic the ordering: add() first, register stats after.
+    auto &reg = StatRegistry::instance();
+    const size_t baseline = reg.liveGroups();
+    parallelForIndex(8, 64, [&](size_t i) {
+        StatGroup g("exec_test.late" + std::to_string(i));
+        reg.add(&g);  // visible to snapshots while still empty
+        reg.snapshotJson();
+        ScalarStat s;
+        g.addScalar("late_value", &s, "registered after add()");
+        s.add(static_cast<double>(i));
+        // The group's own view must now hold the stat, snapshot
+        // races notwithstanding.
+        const auto view = g.view();
+        ASSERT_EQ(view.size(), 1u) << "group " << i;
+        EXPECT_EQ(view[0].name, "late_value");
+        reg.snapshotJson();
         reg.remove(&g);
     });
     EXPECT_EQ(reg.liveGroups(), baseline);

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Tests for the run-health layer: ConvergenceHealthMonitor anomaly
+ * detection on crafted residual series, the SolveWatchdog deadlines
+ * (with an injected clock), the live MetricsRegistry, correlation
+ * scopes, and the MetricsSampler exposition writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/correlation.hh"
+#include "obs/health.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/metrics_sampler.hh"
+
+namespace acamar {
+namespace {
+
+using Anomaly = ConvergenceHealthMonitor::Anomaly;
+
+TEST(HealthMonitor, CleanConvergenceNeverFlags)
+{
+    ConvergenceHealthMonitor mon({}, 1.0, "CG");
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(mon.observe(i, std::pow(0.95, i + 1)),
+                  Anomaly::None)
+            << "iteration " << i;
+    }
+    EXPECT_FALSE(mon.anyDetected());
+}
+
+TEST(HealthMonitor, PlateauShorterThanWindowStaysClean)
+{
+    HealthOptions opts;
+    opts.stallWindow = 20;
+    ConvergenceHealthMonitor mon(opts, 1.0, "CG");
+    int it = 0;
+    double r = 1.0;
+    // Descend, hold for half a window, then resume the descent:
+    // every stallWindow-wide lookback still sees >= 1% improvement.
+    for (int i = 0; i < 30; ++i)
+        EXPECT_EQ(mon.observe(it++, r *= 0.9), Anomaly::None);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(mon.observe(it++, r), Anomaly::None);
+    for (int i = 0; i < 30; ++i)
+        EXPECT_EQ(mon.observe(it++, r *= 0.9), Anomaly::None);
+    EXPECT_FALSE(mon.anyDetected());
+}
+
+TEST(HealthMonitor, HardStallFlagsOnceAndLatches)
+{
+    HealthOptions opts;
+    opts.stallWindow = 10;
+    ConvergenceHealthMonitor mon(opts, 1.0, "CG");
+    int flagged = 0;
+    for (int i = 0; i < 30; ++i) {
+        const Anomaly a = mon.observe(i, 0.5);
+        if (a == Anomaly::Stall)
+            ++flagged;
+        else
+            EXPECT_EQ(a, Anomaly::None) << "iteration " << i;
+    }
+    EXPECT_EQ(flagged, 1);
+    EXPECT_TRUE(mon.stallDetected());
+    EXPECT_FALSE(mon.divergenceDetected());
+    EXPECT_FALSE(mon.nanPrecursorDetected());
+}
+
+TEST(HealthMonitor, SustainedGrowthAboveInitialIsDivergence)
+{
+    HealthOptions opts;
+    opts.divergenceWindow = 5;
+    ConvergenceHealthMonitor mon(opts, 1.0, "BiCGSTAB");
+    double r = 0.9;
+    Anomaly got = Anomaly::None;
+    for (int i = 0; i < 8 && got == Anomaly::None; ++i)
+        got = mon.observe(i, r *= 1.3);
+    EXPECT_EQ(got, Anomaly::Divergence);
+    EXPECT_TRUE(mon.divergenceDetected());
+    EXPECT_FALSE(mon.stallDetected());
+}
+
+TEST(HealthMonitor, GrowthBelowInitialResidualIsNotDivergence)
+{
+    // A rising stretch that never exceeds the starting point is a
+    // normal non-monotone trajectory (BiCG-STAB does this), not
+    // divergence.
+    HealthOptions opts;
+    opts.divergenceWindow = 3;
+    ConvergenceHealthMonitor mon(opts, 1.0, "BiCGSTAB");
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(mon.observe(i, 0.1 + 0.1 * i), Anomaly::None);
+    EXPECT_FALSE(mon.divergenceDetected());
+}
+
+TEST(HealthMonitor, NonFiniteResidualIsNanPrecursor)
+{
+    ConvergenceHealthMonitor mon({}, 1.0, "JB");
+    EXPECT_EQ(mon.observe(0, 0.5), Anomaly::None);
+    EXPECT_EQ(mon.observe(1, std::nan("")), Anomaly::NanPrecursor);
+    EXPECT_TRUE(mon.nanPrecursorDetected());
+    // Latched: the second non-finite observation stays quiet.
+    EXPECT_EQ(mon.observe(2, std::nan("")), Anomaly::None);
+}
+
+TEST(HealthMonitor, MagnitudeRampIsNanPrecursor)
+{
+    ConvergenceHealthMonitor mon({}, 1.0, "JB");
+    EXPECT_EQ(mon.observe(0, 0.5), Anomaly::None);
+    EXPECT_EQ(mon.observe(1, 1e31), Anomaly::NanPrecursor);
+}
+
+TEST(HealthMonitor, WindowGrowthFactorIsNanPrecursor)
+{
+    ConvergenceHealthMonitor mon({}, 1.0, "JB");
+    EXPECT_EQ(mon.observe(0, 1e-6), Anomaly::None);
+    EXPECT_EQ(mon.observe(1, 1e-6), Anomaly::None);
+    // 1e13x the window minimum: the fp32 overflow ramp shape.
+    EXPECT_EQ(mon.observe(2, 1e7), Anomaly::NanPrecursor);
+}
+
+TEST(HealthMonitor, FlagBumpsMetricCounterWhenEnabled)
+{
+    auto &reg = MetricsRegistry::instance();
+    auto &counter = reg.counter("acamar_health_stall_total");
+    const uint64_t before = counter.value();
+    reg.setEnabled(true);
+
+    HealthOptions opts;
+    opts.stallWindow = 4;
+    ConvergenceHealthMonitor mon(opts, 1.0, "CG");
+    for (int i = 0; i < 10; ++i)
+        mon.observe(i, 0.5);
+
+    reg.setEnabled(false);
+    EXPECT_EQ(counter.value(), before + 1);
+}
+
+TEST(SolveWatchdog, DisabledWatchdogNeverExpires)
+{
+    SolveWatchdog wd(0, 0.0);
+    EXPECT_FALSE(wd.enabled());
+    EXPECT_FALSE(wd.expired(1000000));
+}
+
+TEST(SolveWatchdog, IterationDeadlineLatches)
+{
+    SolveWatchdog wd(5, 0.0);
+    EXPECT_TRUE(wd.enabled());
+    EXPECT_FALSE(wd.expired(4));
+    EXPECT_STREQ(wd.reason(), "");
+    EXPECT_TRUE(wd.expired(5));
+    EXPECT_STREQ(wd.reason(), "iterations");
+    // Latched: an earlier iteration number cannot un-expire it.
+    EXPECT_TRUE(wd.expired(0));
+}
+
+// Injectable clock for the wall-deadline tests (NowFn is a plain
+// function pointer, so the fake time lives in a file-scope variable).
+uint64_t fake_now_ns = 0;
+
+uint64_t
+fakeNow()
+{
+    return fake_now_ns;
+}
+
+TEST(SolveWatchdog, WallDeadlineUsesInjectedClock)
+{
+    fake_now_ns = 1'000'000'000;
+    SolveWatchdog wd(0, 10.0, &fakeNow);
+    EXPECT_TRUE(wd.enabled());
+
+    fake_now_ns += 5'000'000;  // +5 ms
+    EXPECT_FALSE(wd.expired(1));
+
+    fake_now_ns += 5'000'000;  // +10 ms total
+    EXPECT_TRUE(wd.expired(2));
+    EXPECT_STREQ(wd.reason(), "wall_ms");
+
+    // Latched even if the clock were to rewind.
+    fake_now_ns = 1'000'000'000;
+    EXPECT_TRUE(wd.expired(3));
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndValuesRoundTrip)
+{
+    auto &reg = MetricsRegistry::instance();
+    auto &c = reg.counter("test_health_counter_total", "help text");
+    EXPECT_EQ(&c, &reg.counter("test_health_counter_total"));
+    const uint64_t before = c.value();
+    c.add(3);
+    EXPECT_EQ(c.value(), before + 3);
+
+    auto &g = reg.gauge("test_health_gauge");
+    g.set(2.5);
+    g.add(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+
+    auto &h = reg.histogram("test_health_hist_ns");
+    const uint64_t hist_before = h.snapshot().count();
+    h.record(10);
+    h.record(20);
+    EXPECT_EQ(h.snapshot().count(), hist_before + 2);
+}
+
+TEST(MetricsRegistry, SnapshotJsonIsDeterministicAndSchemaTagged)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("test_health_snap_total").add(1);
+    const JsonValue snap = reg.snapshotJson();
+    ASSERT_TRUE(snap.has("schema"));
+    EXPECT_EQ(snap.find("schema")->str(), "acamar-metrics-v1");
+    ASSERT_TRUE(snap.has("counters"));
+    EXPECT_TRUE(snap.find("counters")->has("test_health_snap_total"));
+    EXPECT_EQ(snap.dump(), reg.snapshotJson().dump());
+}
+
+TEST(MetricsRegistry, PrometheusExpositionCarriesTypesAndValues)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("test_health_prom_total", "a test counter").reset();
+    reg.counter("test_health_prom_total").add(7);
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("# HELP test_health_prom_total a test counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE test_health_prom_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_health_prom_total 7"),
+              std::string::npos);
+}
+
+TEST(Correlation, ScopesNestAndRestore)
+{
+    EXPECT_FALSE(currentCorrelation().active());
+    {
+        CorrelationScope outer(0xabcull, 1);
+        EXPECT_EQ(currentCorrelation().runId, 0xabcull);
+        EXPECT_EQ(currentCorrelation().spanId, 1u);
+        {
+            CorrelationScope inner(0xdefull, 2);
+            EXPECT_EQ(currentCorrelation().runId, 0xdefull);
+            EXPECT_EQ(currentCorrelation().spanId, 2u);
+        }
+        EXPECT_EQ(currentCorrelation().runId, 0xabcull);
+    }
+    EXPECT_FALSE(currentCorrelation().active());
+}
+
+TEST(Correlation, RunIdHexIsSixteenLowercaseChars)
+{
+    EXPECT_EQ(runIdHex(0xabcull), "0000000000000abc");
+    EXPECT_EQ(runIdHex(0xDEADBEEFCAFEF00Dull), "deadbeefcafef00d");
+}
+
+TEST(MetricsSampler, FinalPassWritesParseableJsonExposition)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.setEnabled(true);
+    reg.counter("test_health_sampler_total").add(5);
+
+    const std::string path =
+        testing::TempDir() + "health_metrics.json";
+    {
+        MetricsSampler sampler({path, 10.0});
+        sampler.stop();  // final pass writes the exposition
+        EXPECT_GE(sampler.samples(), 1u);
+    }
+    reg.setEnabled(false);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    JsonValue doc;
+    ASSERT_NO_THROW(doc = JsonValue::parse(buf.str()));
+    ASSERT_TRUE(doc.has("schema"));
+    EXPECT_EQ(doc.find("schema")->str(), "acamar-metrics-v1");
+    ASSERT_TRUE(doc.has("counters"));
+    EXPECT_TRUE(
+        doc.find("counters")->has("test_health_sampler_total"));
+    ASSERT_TRUE(doc.has("gauges"));
+    EXPECT_TRUE(
+        doc.find("gauges")->has("acamar_process_rss_bytes"));
+}
+
+TEST(MetricsSampler, NonJsonExtensionGetsPrometheusText)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("test_health_prom_file_total").add(1);
+    const std::string path = testing::TempDir() + "health_metrics.prom";
+    MetricsSampler::writeExposition(path);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("# TYPE test_health_prom_file_total "
+                             "counter"),
+              std::string::npos);
+}
+
+TEST(MetricsSampler, ProcessRssIsPositiveOnLinux)
+{
+#ifdef __linux__
+    EXPECT_GT(MetricsSampler::processRssBytes(), 0.0);
+#else
+    GTEST_SKIP() << "RSS sampling is Linux-only";
+#endif
+}
+
+} // namespace
+} // namespace acamar

@@ -30,10 +30,13 @@ expectSameCsr(const CsrMatrix<float> &a, const CsrMatrix<float> &b)
     EXPECT_EQ(a.rowPtr(), b.rowPtr());
     EXPECT_EQ(a.colIdx(), b.colIdx());
     ASSERT_EQ(a.values().size(), b.values().size());
-    // memcmp: -0.0f == 0.0f would hide a sign flip.
-    EXPECT_EQ(std::memcmp(a.values().data(), b.values().data(),
-                          a.values().size() * sizeof(float)),
-              0);
+    // memcmp: -0.0f == 0.0f would hide a sign flip. Guard the empty
+    // case — memcmp's arguments are declared nonnull even for n=0.
+    if (!a.values().empty()) {
+        EXPECT_EQ(std::memcmp(a.values().data(), b.values().data(),
+                              a.values().size() * sizeof(float)),
+                  0);
+    }
 }
 
 std::vector<float>

@@ -444,8 +444,14 @@ def cond_wait_predicate(files):
             no, i = no + 1, 0
         return None
 
-    call = re.compile(r"[.\->]\s*(wait|wait_for|wait_until)\s*(\()")
-    required = {"wait": 2, "wait_for": 3, "wait_until": 3}
+    # Covers std::condition_variable spellings and acamar::CondVar's
+    # camelCase timed variants (waitFor/waitUntil take lock, time,
+    # predicate).
+    call = re.compile(
+        r"[.\->]\s*(wait|wait_for|wait_until|waitFor|waitUntil)"
+        r"\s*(\()")
+    required = {"wait": 2, "wait_for": 3, "wait_until": 3,
+                "waitFor": 3, "waitUntil": 3}
     for f in files:
         for no, line in enumerate(f.code_lines, 1):
             for m in call.finditer(line):

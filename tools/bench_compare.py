@@ -18,6 +18,13 @@ than --threshold percent (default 15). Digest changes (the zone
 tree gained or lost paths) are reported but never fail the run:
 instrumenting new code is an expected, reviewable event.
 
+compare --update-baseline accepts the current run as the new
+reference: after printing the usual report it rewrites the baseline
+file (e.g. BENCH_baseline.json) as a set whose records come from the
+merged current run, keeping any baseline record the current run did
+not re-measure. Implies --report-only (you are accepting the new
+numbers, not gating on the old ones).
+
 Exit status: 0 = ok, 1 = regression (or records missing from the
 current run), 2 = usage/validation error. --report-only prints the
 same report but always exits 0/2 — CI uses it while a shared runner
@@ -198,6 +205,20 @@ def cmd_compare(args):
         print(f"bench_compare: {e}", file=sys.stderr)
         return 2
 
+    if args.update_baseline:
+        # Gate before the report: a schema-invalid current run must
+        # never become the reference (and would crash the field
+        # accesses below anyway).
+        errors = []
+        for key, rec in sorted(cur.items()):
+            errors += validate_record(rec, fmt_key(key))
+        if errors:
+            for err in errors:
+                print(f"bench_compare: {err}", file=sys.stderr)
+            print("bench_compare: current run is not schema-valid; "
+                  "baseline left untouched", file=sys.stderr)
+            return 2
+
     regressions, missing = [], []
     digest_changes, digest_skipped = [], []
     for key in sorted(base):
@@ -245,11 +266,31 @@ def cmd_compare(args):
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.threshold:.0f}%")
-    if failed and args.report_only:
+    if failed and (args.report_only or args.update_baseline):
         print("(report-only mode: not failing the run)")
     elif not failed:
         print(f"\nno regressions beyond {args.threshold:.0f}% "
               f"across {len(base)} baseline record(s)")
+
+    if args.update_baseline:
+        # Current records win; baseline records the current run did
+        # not re-measure survive, so a partial smoke run cannot
+        # silently shrink baseline coverage.
+        merged = dict(base)
+        merged.update(cur)
+        doc = {
+            "schema": SET_SCHEMA,
+            "records": [merged[k] for k in sorted(merged)],
+        }
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        carried = len(merged) - len(cur)
+        print(f"\nbaseline {args.baseline} updated: "
+              f"{len(cur)} record(s) from the current run"
+              + (f", {carried} carried over" if carried else ""))
+        return 0
+
     return 1 if failed and not args.report_only else 0
 
 
@@ -277,6 +318,9 @@ def main(argv):
                              "(default 15)")
     ap_cmp.add_argument("--report-only", action="store_true",
                         help="print the report but do not fail")
+    ap_cmp.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline file from the "
+                             "current run (implies --report-only)")
     ap_cmp.set_defaults(func=cmd_compare)
 
     args = ap.parse_args(argv)

@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Summarize (or validate) the run-health artifacts of an Acamar run.
+
+Consumes the live-metrics JSON exposition written by
+--metrics-out=<file>.json (schema acamar-metrics-v1) and, optionally,
+the JSONL trace written by --trace=<path>, and prints a run-health
+report: batch job outcomes, solver throughput, health anomaly
+counters, and — when a trace is given — the per-job anomaly table
+keyed by correlation ID.
+
+    python3 tools/health_report.py metrics.json
+    python3 tools/health_report.py metrics.json --trace out.jsonl
+
+CI runs the schema gate instead of the report:
+
+    python3 tools/health_report.py metrics.json --validate
+
+Exit status 0 = report printed / validation passed, 1 = validation
+failed or no usable input, 2 = usage / IO error.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+SCHEMA = "acamar-metrics-v1"
+
+# Every sampler pass refreshes the RSS gauge, and the final pass on
+# teardown writes the exposition, so a well-formed run always exports
+# at least this gauge.
+REQUIRED_GAUGES = ("acamar_process_rss_bytes",)
+
+HEALTH_COUNTERS = (
+    "acamar_health_stall_total",
+    "acamar_health_divergence_total",
+    "acamar_health_nan_precursor_total",
+    "acamar_health_timeout_total",
+)
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def validate_metrics(doc, errors):
+    """Append schema violations to `errors`; empty list = valid."""
+    if not isinstance(doc, dict):
+        errors.append("top level is not a JSON object")
+        return
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, "
+                      f"expected {SCHEMA!r}")
+    for family in ("counters", "gauges", "histograms"):
+        section = doc.get(family)
+        if not isinstance(section, dict):
+            errors.append(f"missing or non-object section "
+                          f"{family!r}")
+            continue
+        for name, metric in section.items():
+            if not isinstance(metric, dict):
+                errors.append(f"{family}/{name}: not an object")
+                continue
+            if family == "histograms":
+                for key in ("count", "min", "max", "mean",
+                            "p50", "p90", "p99"):
+                    if not isinstance(metric.get(key), (int, float)):
+                        errors.append(f"{family}/{name}: missing "
+                                      f"numeric {key!r}")
+            elif not isinstance(metric.get("value"), (int, float)):
+                errors.append(f"{family}/{name}: missing numeric "
+                              "'value'")
+    if isinstance(doc.get("gauges"), dict):
+        for name in REQUIRED_GAUGES:
+            if name not in doc["gauges"]:
+                errors.append(f"required gauge {name!r} absent — "
+                              "did the sampler ever run?")
+
+
+def metric_value(doc, family, name, default=0):
+    metric = doc.get(family, {}).get(name)
+    if isinstance(metric, dict):
+        value = metric.get("value")
+        if isinstance(value, (int, float)):
+            return value
+    return default
+
+
+def load_trace(path):
+    events, bad = [], 0
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+                continue
+            if isinstance(ev, dict) and "type" in ev:
+                events.append(ev)
+            else:
+                bad += 1
+    return events, bad
+
+
+def report_metrics(doc, out):
+    completed = metric_value(doc, "counters",
+                             "acamar_batch_jobs_completed_total")
+    failed = metric_value(doc, "counters",
+                          "acamar_batch_jobs_failed_total")
+    timed_out = metric_value(doc, "counters",
+                             "acamar_batch_jobs_timed_out_total")
+    if completed or failed or timed_out:
+        out.write(f"batch jobs: {completed:.0f} completed, "
+                  f"{failed:.0f} failed, {timed_out:.0f} timed out\n")
+
+    iters = metric_value(doc, "counters",
+                         "acamar_solver_iterations_total")
+    ips = metric_value(doc, "gauges",
+                       "acamar_solver_iterations_per_sec")
+    if iters:
+        out.write(f"solver: {iters:.0f} iterations total, last "
+                  f"sampled throughput {ips:.0f} it/s\n")
+
+    rss = metric_value(doc, "gauges", "acamar_process_rss_bytes")
+    if rss:
+        out.write(f"process: rss {rss / (1 << 20):.1f} MiB\n")
+
+    flagged = [(name, metric_value(doc, "counters", name))
+               for name in HEALTH_COUNTERS]
+    flagged = [(name, n) for name, n in flagged if n]
+    out.write("health anomalies:")
+    if flagged:
+        out.write("\n")
+        for name, n in flagged:
+            kind = name[len("acamar_health_"):-len("_total")]
+            out.write(f"  {kind:<14} {n:.0f}\n")
+    else:
+        out.write(" none\n")
+
+
+def report_trace(events, out):
+    jobs = defaultdict(Counter)
+    for ev in events:
+        if ev.get("type") != "health":
+            continue
+        key = (ev.get("run_id", "-"), ev.get("span_id", "-"))
+        jobs[key][ev.get("kind", "?")] += 1
+    if not jobs:
+        out.write("per-job anomalies: none in trace\n")
+        return
+    out.write("per-job anomalies:\n")
+    out.write(f"  {'run_id':<17} {'span':>4}  anomalies\n")
+    for (run_id, span_id), kinds in sorted(jobs.items()):
+        detail = ", ".join(f"{k}x{n}" if n > 1 else k
+                           for k, n in sorted(kinds.items()))
+        out.write(f"  {run_id:<17} {span_id:>4}  {detail}\n")
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("metrics",
+                    help="metrics JSON from --metrics-out=<file>.json")
+    ap.add_argument("--trace", metavar="JSONL",
+                    help="JSONL trace from --trace=<path> for the "
+                         "per-job anomaly table")
+    ap.add_argument("--validate", action="store_true",
+                    help="check the metrics file against the "
+                         f"{SCHEMA} schema and exit (CI gate)")
+    args = ap.parse_args(argv)
+
+    try:
+        doc = load_metrics(args.metrics)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"health_report: {args.metrics}: {e}", file=sys.stderr)
+        return 2
+
+    errors = []
+    validate_metrics(doc, errors)
+    if args.validate:
+        if errors:
+            for err in errors:
+                print(f"health_report: {args.metrics}: {err}",
+                      file=sys.stderr)
+            return 1
+        counters = len(doc.get("counters", {}))
+        gauges = len(doc.get("gauges", {}))
+        hists = len(doc.get("histograms", {}))
+        print(f"{args.metrics}: valid {SCHEMA} ({counters} counters, "
+              f"{gauges} gauges, {hists} histograms)")
+        return 0
+
+    if errors:
+        # The human report tolerates partial files (e.g. a run killed
+        # mid-write) but says so up front.
+        print(f"health_report: warning: {len(errors)} schema "
+              f"issue(s) in {args.metrics}; report may be partial",
+              file=sys.stderr)
+
+    print(f"{args.metrics}:")
+    report_metrics(doc, sys.stdout)
+
+    if args.trace:
+        try:
+            events, bad = load_trace(args.trace)
+        except OSError as e:
+            print(f"health_report: {args.trace}: {e}",
+                  file=sys.stderr)
+            return 2
+        print(f"\n{args.trace}: {len(events)} events"
+              + (f" ({bad} malformed lines skipped)" if bad else ""))
+        report_trace(events, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        sys.exit(0)

@@ -98,6 +98,19 @@ CASES = [
          {"src/exec/pool.cc":
           "void f() { cv_.wait(lk); }  // lint-ok: cond-wait-predicate\n"},
          0),
+    Case("cond-wait: CondVar waitFor without predicate flagged",
+         "cond-wait-predicate",
+         {"src/exec/pool.cc":
+          "void f() { cv_.waitFor(lk, period); }\n"}, 1),
+    Case("cond-wait: CondVar waitFor with predicate allowed",
+         "cond-wait-predicate",
+         {"src/exec/pool.cc":
+          "void f() { cv_.waitFor(lk, period, "
+          "[this] { return stop_; }); }\n"}, 0),
+    Case("cond-wait: CondVar waitUntil without predicate flagged",
+         "cond-wait-predicate",
+         {"src/exec/pool.cc":
+          "void f() { cond_.waitUntil(lk, deadline); }\n"}, 1),
 
     # ----- pre-existing rules: one positive / one negative each -----
     Case("raw-new-delete: new flagged", "raw-new-delete",

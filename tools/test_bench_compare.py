@@ -44,11 +44,13 @@ def write_json(tmpdir, name, obj):
     return path
 
 
-def run_compare(baseline, current, threshold=15.0, report_only=False):
+def run_compare(baseline, current, threshold=15.0, report_only=False,
+                update_baseline=False):
     """Invoke cmd_compare; return (exit_status, captured_stdout)."""
     args = type("Args", (), {"baseline": baseline, "current": current,
                              "threshold": threshold,
-                             "report_only": report_only})()
+                             "report_only": report_only,
+                             "update_baseline": update_baseline})()
     out = io.StringIO()
     with contextlib.redirect_stdout(out):
         status = bench_compare.cmd_compare(args)
@@ -125,6 +127,57 @@ class CompareTest(unittest.TestCase):
         self.assertEqual(status, 0)
         self.assertIn("not comparable", out)
         self.assertNotIn("digest changed", out)
+
+
+class UpdateBaselineTest(unittest.TestCase):
+    def test_rewrites_baseline_from_current_run(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            b = write_json(tmp, "b.json", record(wall=1.0))
+            c = write_json(tmp, "c.json", record(wall=2.0))
+            status, out = run_compare(b, c, update_baseline=True)
+            with open(b, encoding="utf-8") as fh:
+                updated = json.load(fh)
+        # Even a >threshold slowdown exits 0: the point is accepting
+        # the new numbers as the reference.
+        self.assertEqual(status, 0)
+        self.assertIn("baseline", out)
+        self.assertEqual(updated["schema"], bench_compare.SET_SCHEMA)
+        self.assertEqual(len(updated["records"]), 1)
+        self.assertEqual(updated["records"][0]["wall_seconds"], 2.0)
+
+    def test_keeps_records_absent_from_current_run(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline_set = {
+                "schema": bench_compare.SET_SCHEMA,
+                "records": [record(wall=1.0),
+                            record(bench="fig9", wall=3.0)],
+            }
+            b = write_json(tmp, "b.json", baseline_set)
+            c = write_json(tmp, "c.json", record(wall=2.0))
+            status, out = run_compare(b, c, update_baseline=True)
+            with open(b, encoding="utf-8") as fh:
+                updated = json.load(fh)
+        self.assertEqual(status, 0)
+        self.assertIn("carried over", out)
+        by_bench = {r["bench"]: r for r in updated["records"]}
+        self.assertEqual(by_bench["fig6_speedup"]["wall_seconds"],
+                         2.0)
+        self.assertEqual(by_bench["fig9"]["wall_seconds"], 3.0)
+
+    def test_invalid_current_leaves_baseline_untouched(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            bad = record(wall=2.0)
+            del bad["throughput"]
+            b = write_json(tmp, "b.json", record(wall=1.0))
+            c = write_json(tmp, "c.json", bad)
+            err = io.StringIO()
+            with contextlib.redirect_stderr(err):
+                status, _ = run_compare(b, c, update_baseline=True)
+            with open(b, encoding="utf-8") as fh:
+                untouched = json.load(fh)
+        self.assertEqual(status, 2)
+        self.assertIn("untouched", err.getvalue())
+        self.assertEqual(untouched["wall_seconds"], 1.0)
 
 
 class MergeTest(unittest.TestCase):

@@ -124,6 +124,50 @@ def summarize(events, out):
                       f"{ev.get('duration_cycles', 0):>12}  "
                       f"{ev.get('detail', '')}\n")
 
+    health = by_type.get("health", [])
+    if health:
+        out.write("\nrun health:\n")
+        for ev in health:
+            out.write(f"  {ev.get('kind', '?'):<14} "
+                      f"{ev.get('solver', '?'):<12} iteration "
+                      f"{ev.get('iteration', '?'):>5} residual "
+                      f"{ev.get('residual', '?')}  "
+                      f"{ev.get('detail', '')}\n")
+
+    samples = by_type.get("metrics_sample", [])
+    if samples:
+        last = samples[-1]
+        rss = last.get("rss_bytes", 0.0)
+        out.write(f"\nmetrics sampler: {len(samples)} passes, last "
+                  f"rss {rss / (1 << 20):.1f} MiB, last throughput "
+                  f"{last.get('iterations_per_sec', 0.0):.0f} it/s\n")
+
+    # Per-job correlation table: any event stamped with a run/span id
+    # resolves back to its submitting batch job.
+    jobs = defaultdict(lambda: {"events": 0, "iterations": 0,
+                                "anomalies": Counter()})
+    for ev in events:
+        run_id, span_id = ev.get("run_id"), ev.get("span_id")
+        if run_id is None or span_id is None:
+            continue
+        job = jobs[(run_id, span_id)]
+        job["events"] += 1
+        if ev["type"] == "solve_iteration":
+            job["iterations"] += 1
+        elif ev["type"] == "health":
+            job["anomalies"][ev.get("kind", "?")] += 1
+    if jobs:
+        out.write("\nper-job correlation:\n")
+        out.write(f"  {'run_id':<17} {'span':>4} {'events':>7} "
+                  f"{'iters':>6}  anomalies\n")
+        for (run_id, span_id), job in sorted(jobs.items()):
+            anomalies = ", ".join(
+                f"{k}x{n}" if n > 1 else k
+                for k, n in sorted(job["anomalies"].items())) or "-"
+            out.write(f"  {run_id:<17} {span_id:>4} "
+                      f"{job['events']:>7} {job['iterations']:>6}  "
+                      f"{anomalies}\n")
+
 
 def main(argv):
     ap = argparse.ArgumentParser(description=__doc__)
