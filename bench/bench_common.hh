@@ -20,6 +20,13 @@
  * per-solve watchdog — apply them to a config with
  * applyRunHealthFlags before constructing jobs.
  *
+ * Utilization attribution: --util-report=<path> makes RunArtifacts
+ * calibrate memory bandwidth (bench/mem_calibrate.cc standalone;
+ * tune with --util-calib-mb / --util-calib-reps), open a WorkLedger
+ * window for the run and write the acamar-util-v1 report on exit —
+ * per-kernel achieved GB/s vs peak, pool busy/idle split, host and
+ * FPGA-model RU side by side (DESIGN.md §14).
+ *
  * Diagnostics must go through the Logger (stderr); stdout carries
  * only the machine-parseable tables.
  */

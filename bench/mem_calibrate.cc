@@ -1,0 +1,54 @@
+/**
+ * @file
+ * STREAM-style memory-bandwidth calibration (the roofline
+ * denominator for utilization attribution, DESIGN.md §14).
+ *
+ * Runs the four STREAM kernels via calibrateMemoryBandwidth() and
+ * prints one table of sustainable rates plus the peak every
+ * --util-report run states achieved GB/s against. Standalone so the
+ * machine can be characterized (and the number archived) without
+ * running a solve; a --util-report run performs the same calibration
+ * internally.
+ *
+ * Flags: --calib-mb=<MiB> working set (default 64, matching the
+ * library default), --calib-reps=<n> repetitions per kernel
+ * (default 5), --perf-json et al. via PerfReporter.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "obs/mem_calibration.hh"
+
+using namespace acamar;
+
+int
+main(int argc, char **argv)
+{
+    const auto cfg = bench::parseArgs(argc, argv);
+    const RunArtifacts artifacts(cfg);
+    bench::banner("memory-bandwidth calibration",
+                  "roofline denominator, HBM-CFD framing");
+    PerfReporter perf(cfg, "mem_calibrate", 0, 1);
+
+    MemCalibrationOptions opts;
+    opts.bufferBytes = static_cast<uint64_t>(
+        cfg.getDouble("calib-mb", 64.0) * (1 << 20));
+    opts.repetitions =
+        static_cast<int>(cfg.getInt("calib-reps", 5));
+    const MemCalibration calib = calibrateMemoryBandwidth(opts);
+    setProcessMemCalibration(calib);
+
+    Table t({"kernel", "GB/s"});
+    t.newRow().cell("copy").cell(calib.copyGbps);
+    t.newRow().cell("scale").cell(calib.scaleGbps);
+    t.newRow().cell("add").cell(calib.addGbps);
+    t.newRow().cell("triad").cell(calib.triadGbps);
+    t.newRow().cell("peak").cell(calib.peakGbps);
+    t.print(std::cout);
+
+    perf.setThroughput("bytes",
+                       static_cast<double>(calib.bufferBytes) * 4 *
+                           static_cast<double>(calib.repetitions));
+    return 0;
+}

@@ -8,6 +8,7 @@
 #include "obs/correlation.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
+#include "obs/work_ledger.hh"
 
 namespace acamar {
 
@@ -73,6 +74,11 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
     rep.paperRu = meanUnderutilizationPerSet(a, rep.plan.factors,
                                              rep.plan.setSize);
     rep.occupancyRu = rep.passStats.occupancyUnderutilization();
+    // Feed the FPGA-model RU pair to the utilization ledger so the
+    // util report states model RU next to host RU for the same run.
+    if (workLedgerEnabled())
+        WorkLedger::instance().recordFpgaRu(rep.paperRu,
+                                            rep.occupancyRu);
     reconfig_.tracePlan(rep.plan, rep.analyzerCycles);
 
     // Solve loop with Solver Modifier fallback. `cursor` places the

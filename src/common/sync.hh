@@ -123,7 +123,10 @@ namespace acamar {
  *  - TraceSession drains per-thread stages while holding the sink
  *    directory lock (kTraceSinks -> kTraceStage);
  *  - the Profiler merges per-thread shards while holding its state
- *    lock (kProfilerState -> kProfilerShard);
+ *    lock (kProfilerState -> kProfilerShard); the WorkLedger follows
+ *    the same shape with its own pair of ranks interleaved so a
+ *    ledger drain may read profiler-adjacent state but never the
+ *    reverse;
  *  - pool workers never hold a pool lock while running a task, so
  *    obs ranks sit below the pool ranks and instrumented tasks can
  *    take them freely;
@@ -137,7 +140,9 @@ enum class LockRank : int {
     kTraceSinks = 20,     //!< obs/trace.hh sink + stage directory
     kTraceStage = 30,     //!< obs/trace.hh per-thread staging buffer
     kProfilerState = 40,  //!< obs/profiler.cc shard directory
+    kWorkLedgerState = 44, //!< obs/work_ledger.cc shard directory
     kProfilerShard = 50,  //!< obs/profiler.cc per-thread shard
+    kWorkLedgerShard = 54, //!< obs/work_ledger.cc per-thread shard
     kPoolQueue = 60,      //!< exec/thread_pool.hh per-worker deque
     kPoolSleep = 70,      //!< exec/thread_pool.hh idle-worker wakeup
     kPoolWait = 80,       //!< exec/thread_pool.hh wait()/error state

@@ -7,6 +7,7 @@
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
+#include "obs/work_ledger.hh"
 
 namespace acamar {
 
@@ -93,6 +94,8 @@ BatchSolver::solveAll() const
         CorrelationScope scope(runId_, static_cast<uint64_t>(i) + 1);
         if (in_flight)
             in_flight->add(1.0);
+        const bool ledger = workLedgerEnabled();
+        const uint64_t job0 = ledger ? Profiler::nowNs() : 0;
         const BatchJob &job = jobs_[i];
         // A private accelerator per job: nothing mutable is shared,
         // so the report depends only on the job's inputs.
@@ -106,6 +109,10 @@ BatchSolver::solveAll() const
                 failed->add(1);
             if (reports[i].timedOut)
                 timed_out->add(1);
+        }
+        if (ledger) {
+            WorkLedger::instance().addBatchJob(Profiler::nowNs() -
+                                               job0);
         }
         // Job boundary: a job's trace events are durable once its
         // report is (see TraceSession::flushThisThread).

@@ -5,6 +5,7 @@
 #include "common/check.hh"
 #include "obs/metrics.hh"
 #include "obs/profiler.hh"
+#include "obs/work_ledger.hh"
 
 namespace acamar {
 
@@ -171,11 +172,27 @@ ThreadPool::runTask(std::function<void()> &task)
 void
 ThreadPool::workerLoop(size_t self)
 {
+    // Worker-lifetime anchor for the ledger's busy/idle cross-check:
+    // one unconditional clock read per thread, recorded at exit only
+    // when a ledger window is open.
+    const uint64_t loop0 = Profiler::nowNs();
     std::function<void()> task;
     while (true) {
+        // Every iteration lands in exactly one ledger bucket — busy
+        // when it ran a task, idle when it parked — both measured
+        // from the same iteration start, so busy + idle covers the
+        // loop's wall time (failed pop/steal scans charge to the
+        // bucket the iteration ends in).
+        const bool ledger = workLedgerEnabled();
+        const uint64_t iter0 = ledger ? Profiler::nowNs() : 0;
         if (popOwn(self, task)) {
             runTask(task);
             task = nullptr;
+            if (ledger) {
+                WorkLedger &wl = WorkLedger::instance();
+                wl.addPoolBusyNs(Profiler::nowNs() - iter0);
+                wl.addPoolTask(0);
+            }
             continue;
         }
         if (steal(self, task)) {
@@ -184,6 +201,11 @@ ThreadPool::workerLoop(size_t self)
                 stealsMetric_->add(1);
             runTask(task);
             task = nullptr;
+            if (ledger) {
+                WorkLedger &wl = WorkLedger::instance();
+                wl.addPoolBusyNs(Profiler::nowNs() - iter0);
+                wl.addPoolTask(1);
+            }
             continue;
         }
         // Idle path: time spent parked on the cv is the pool's
@@ -206,8 +228,17 @@ ThreadPool::workerLoop(size_t self)
             if (idleWaitMetric_)
                 idleWaitMetric_->record(waited);
         }
-        if (exit_worker)
+        if (ledger) {
+            WorkLedger::instance().addPoolIdleNs(Profiler::nowNs() -
+                                                 iter0);
+        }
+        if (exit_worker) {
+            if (workLedgerEnabled()) {
+                WorkLedger::instance().addPoolWorkerNs(
+                    Profiler::nowNs() - loop0);
+            }
             return;
+        }
     }
 }
 

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Analytic bytes-moved / flop models for the host sparse kernels.
+ *
+ * The WorkLedger (obs/work_ledger.hh) attributes achieved bandwidth
+ * to every kernel zone; these functions are the single source of
+ * truth for how many bytes a kernel *must* move and how many flops
+ * it performs, derived from the formats' storage layouts rather than
+ * measured. The models count compulsory traffic — each operand array
+ * streamed once, every x[] gather charged one element — so achieved
+ * GB/s compares runs fairly even when caches absorb part of it.
+ *
+ * Conventions shared by all models:
+ *  - `elem` is sizeof(T) of the value type (4 for float, 8 for
+ *    double);
+ *  - column indices are int32 (4 bytes), row pointers / chunk
+ *    offsets are int64 (8 bytes), matching the CSR/SELL/ELL layouts
+ *    in src/sparse;
+ *  - flops count useful multiply-adds as two flops each, so they
+ *    match the nnz-derived numbers the paper's roofline uses.
+ */
+
+#ifndef ACAMAR_OBS_KERNEL_WORK_HH
+#define ACAMAR_OBS_KERNEL_WORK_HH
+
+#include <cstdint>
+
+namespace acamar {
+
+/** One kernel invocation's analytically derived work. */
+struct WorkCounts {
+    uint64_t bytes = 0; //!< compulsory memory traffic
+    uint64_t flops = 0; //!< useful floating-point operations
+    int64_t rows = 0;   //!< rows produced (0 for vector kernels)
+    int64_t nnz = 0;    //!< stored entries touched
+};
+
+/**
+ * CSR row-range SpMV (spmvRows / the laned variant): values and
+ * column indices stream once per stored entry, x is gathered once
+ * per entry, the row-pointer window is read once per row (plus the
+ * fence), and each row writes one output element.
+ */
+inline WorkCounts
+csrSpmvWork(int64_t rows, int64_t nnz, uint64_t elem)
+{
+    WorkCounts w;
+    const auto r = static_cast<uint64_t>(rows);
+    const auto z = static_cast<uint64_t>(nnz);
+    w.bytes = z * (2 * elem + 4) + (r + 1) * 8 + r * elem;
+    w.flops = 2 * z;
+    w.rows = rows;
+    w.nnz = nnz;
+    return w;
+}
+
+/**
+ * SELL-C-σ chunk-range SpMV: every padded slot's value and column
+ * index stream once (padding is read, then skipped), x is gathered
+ * once per real entry, each row reads its permutation slot and
+ * writes one output element, and each chunk reads its width and base
+ * offset (8 bytes each).
+ */
+inline WorkCounts
+sellSpmvWork(int64_t rows, int64_t nnz, int64_t paddedSlots,
+             int64_t chunks, uint64_t elem)
+{
+    WorkCounts w;
+    const auto r = static_cast<uint64_t>(rows);
+    const auto z = static_cast<uint64_t>(nnz);
+    const auto s = static_cast<uint64_t>(paddedSlots);
+    w.bytes = s * (elem + 4) + z * elem + r * (4 + elem) +
+              static_cast<uint64_t>(chunks) * 16;
+    w.flops = 2 * z;
+    w.rows = rows;
+    w.nnz = nnz;
+    return w;
+}
+
+/**
+ * ELL / sliced-ELL SpMV: every padded slot streams a value and a
+ * column index, x is gathered once per real entry, each row writes
+ * one output element; `sliceMeta` charges the per-slice width/base
+ * reads (0 for plain ELL, 16 bytes per slice for the sliced form).
+ */
+inline WorkCounts
+ellSpmvWork(int64_t rows, int64_t nnz, int64_t paddedSlots,
+            uint64_t sliceMeta, uint64_t elem)
+{
+    WorkCounts w;
+    const auto r = static_cast<uint64_t>(rows);
+    const auto z = static_cast<uint64_t>(nnz);
+    const auto s = static_cast<uint64_t>(paddedSlots);
+    w.bytes = s * (elem + 4) + z * elem + r * elem + sliceMeta;
+    w.flops = 2 * z;
+    w.rows = rows;
+    w.nnz = nnz;
+    return w;
+}
+
+/** dot(x, y): both operands stream once; one MAC per element. */
+inline WorkCounts
+dotWork(uint64_t n, uint64_t elem)
+{
+    return WorkCounts{2 * n * elem, 2 * n, 0, 0};
+}
+
+/** axpy: read x and y, write y; one MAC per element. */
+inline WorkCounts
+axpyWork(uint64_t n, uint64_t elem)
+{
+    return WorkCounts{3 * n * elem, 2 * n, 0, 0};
+}
+
+/** waxpby: read x and y, write w; two multiplies plus one add. */
+inline WorkCounts
+waxpbyWork(uint64_t n, uint64_t elem)
+{
+    return WorkCounts{3 * n * elem, 3 * n, 0, 0};
+}
+
+/** scale: read and write x in place; one multiply per element. */
+inline WorkCounts
+scaleWork(uint64_t n, uint64_t elem)
+{
+    return WorkCounts{2 * n * elem, n, 0, 0};
+}
+
+/** hadamard: read x and y, write w; one multiply per element. */
+inline WorkCounts
+hadamardWork(uint64_t n, uint64_t elem)
+{
+    return WorkCounts{3 * n * elem, n, 0, 0};
+}
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_KERNEL_WORK_HH

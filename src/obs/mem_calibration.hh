@@ -1,0 +1,87 @@
+/**
+ * @file
+ * STREAM-style sustainable-bandwidth calibration.
+ *
+ * Roofline placement needs a denominator: "this SpMV achieved
+ * 9 GB/s" means nothing until it is stated against what the machine
+ * can actually sustain. calibrateMemoryBandwidth() runs the four
+ * classic STREAM kernels (copy/scale/add/triad) over buffers sized
+ * well past cache, takes the best of a few repetitions per kernel,
+ * and reports each rate plus their max as the calibrated peak. The
+ * clock is injectable so tests can pin the measured rates to exact
+ * expected values; production callers take the default (the
+ * profiler's steady clock).
+ *
+ * RunArtifacts runs this once per process under --util-report and
+ * publishes the result via setProcessMemCalibration(), so every
+ * consumer (util report, perf records, trace summary) states
+ * achieved GB/s against the same peak.
+ */
+
+#ifndef ACAMAR_OBS_MEM_CALIBRATION_HH
+#define ACAMAR_OBS_MEM_CALIBRATION_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "obs/json.hh"
+
+namespace acamar {
+
+/** Result of one calibration pass (rates in GB/s, 1e9 bytes). */
+struct MemCalibration {
+    double copyGbps = 0.0;
+    double scaleGbps = 0.0;
+    double addGbps = 0.0;
+    double triadGbps = 0.0;
+    double peakGbps = 0.0; //!< max of the four rates
+    uint64_t bufferBytes = 0;
+    int repetitions = 0;
+
+    /** True when the pass produced a usable (positive) peak. */
+    bool
+    valid() const
+    {
+        return peakGbps > 0.0;
+    }
+
+    /** The report/JSON form embedded in acamar-util-v1. */
+    JsonValue toJson() const;
+};
+
+/** Knobs for calibrateMemoryBandwidth(). */
+struct MemCalibrationOptions {
+    /**
+     * Total working-set bytes across the three arrays. The default
+     * comfortably exceeds last-level caches on the machines we run
+     * on; tests shrink it for speed.
+     */
+    uint64_t bufferBytes = uint64_t{64} << 20;
+
+    /** Repetitions per kernel; the best (shortest) one counts. */
+    int repetitions = 5;
+
+    /**
+     * Nanosecond clock used to time each kernel sweep. Defaults to
+     * Profiler::nowNs; tests inject a fake for determinism.
+     */
+    std::function<uint64_t()> clock;
+};
+
+/** Run the STREAM kernels and measure sustainable bandwidth. */
+MemCalibration
+calibrateMemoryBandwidth(const MemCalibrationOptions &opts = {});
+
+/** Publish `calib` as this process's calibration of record. */
+void setProcessMemCalibration(const MemCalibration &calib);
+
+/**
+ * The process-wide calibration published by
+ * setProcessMemCalibration(), or an invalid (all-zero) result when
+ * no calibration ran — check valid().
+ */
+MemCalibration processMemCalibration();
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_MEM_CALIBRATION_HH

@@ -7,10 +7,48 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/mem_calibration.hh"
+#include "obs/util_report.hh"
+#include "obs/work_ledger.hh"
 
 namespace acamar {
 
 namespace {
+
+/**
+ * The utilization core embedded in a perf record when a WorkLedger
+ * window is open (RunArtifacts --util-report): enough for
+ * bench_compare.py to diff achieved bandwidth without the full
+ * acamar-util-v1 document.
+ */
+JsonValue
+perfUtilJson(const WorkLedgerReport &ledger,
+             const MemCalibration &calib)
+{
+    JsonValue util = JsonValue::object();
+    if (calib.valid())
+        util.set("peak_gbps", calib.peakGbps);
+    JsonValue kernels = JsonValue::array();
+    for (const auto &k : ledger.kernels) {
+        const KernelUtil u = kernelUtil(k, calib);
+        JsonValue z = JsonValue::object();
+        z.set("zone", k.name)
+            .set("calls", k.calls)
+            .set("bytes", k.bytes)
+            .set("flops", k.flops)
+            .set("total_ns", k.totalNs)
+            .set("achieved_gbps", u.achievedGbps);
+        kernels.push(std::move(z));
+    }
+    util.set("kernels", std::move(kernels));
+    JsonValue pool = JsonValue::object();
+    pool.set("busy_ns", ledger.poolBusyNs)
+        .set("idle_ns", ledger.poolIdleNs)
+        .set("tasks", ledger.poolTasks)
+        .set("steals", ledger.poolSteals);
+    util.set("pool", std::move(pool));
+    return util;
+}
 
 /** Write one text/JSON artifact, warning instead of dying. */
 void
@@ -113,9 +151,18 @@ PerfReporter::finalize()
     const ProfileReport report = Profiler::instance().stop();
 
     if (!perfJsonPath_.empty()) {
-        const JsonValue rec = perfRecordJson(
+        JsonValue rec = perfRecordJson(
             benchId_, dim_, jobs_, wall, throughputUnit_,
             throughputCount_, report, perfGitSha());
+        // Utilization rides along when a ledger window is open
+        // (--util-report); snapshot() keeps the window running for
+        // whoever owns it. Older records simply lack the field —
+        // bench_compare.py skips it gracefully.
+        if (workLedgerEnabled()) {
+            rec.set("util",
+                    perfUtilJson(WorkLedger::instance().snapshot(),
+                                 processMemCalibration()));
+        }
         writeArtifact(perfJsonPath_, "perf record",
                       [&](std::ostream &os) {
                           rec.writePretty(os);

@@ -6,10 +6,14 @@
 #include "common/logging.hh"
 #include "obs/chrome_trace_sink.hh"
 #include "obs/jsonl_sink.hh"
+#include "obs/mem_calibration.hh"
 #include "obs/metrics.hh"
 #include "obs/metrics_sampler.hh"
+#include "obs/perf_report.hh"
 #include "obs/stats_registry.hh"
 #include "obs/trace.hh"
+#include "obs/util_report.hh"
+#include "obs/work_ledger.hh"
 
 namespace acamar {
 
@@ -34,6 +38,19 @@ RunArtifacts::RunArtifacts(const Config &cfg)
         StatRegistry::instance().setRetainRemoved(true);
     }
 
+    utilPath_ = cfg.getString("util-report", "");
+    if (!utilPath_.empty()) {
+        // Calibrate before the ledger window opens: the STREAM sweep
+        // must never appear in its own utilization report.
+        MemCalibrationOptions copts;
+        copts.bufferBytes = static_cast<uint64_t>(
+            cfg.getDouble("util-calib-mb", 32.0) * (1 << 20));
+        copts.repetitions = static_cast<int>(
+            cfg.getDouble("util-calib-reps", 3.0));
+        setProcessMemCalibration(calibrateMemoryBandwidth(copts));
+        WorkLedger::instance().start();
+    }
+
     metricsPath_ = cfg.getString("metrics-out", "");
     metrics_ = cfg.getBool("metrics", false) || !metricsPath_.empty();
     if (metrics_) {
@@ -49,7 +66,50 @@ RunArtifacts::RunArtifacts(const Config &cfg)
 
 RunArtifacts::~RunArtifacts()
 {
-    // Sampler first: its final pass emits one last metrics_sample
+    // Utilization first: closing the ledger window publishes the
+    // acamar_util_* gauges the sampler's final pass should see and
+    // stages util_* trace events the session stop below flushes.
+    if (!utilPath_.empty()) {
+        const WorkLedgerReport ledger = WorkLedger::instance().stop();
+        const MemCalibration calib = processMemCalibration();
+        publishUtilMetrics(ledger, calib);
+        if (tracing_) {
+            for (const auto &k : ledger.kernels) {
+                const KernelUtil u = kernelUtil(k, calib);
+                UtilKernelEvent ev;
+                ev.zone = k.name;
+                ev.calls = static_cast<int64_t>(k.calls);
+                ev.bytes = static_cast<int64_t>(k.bytes);
+                ev.flops = static_cast<int64_t>(k.flops);
+                ev.rows = k.rows;
+                ev.nnz = k.nnz;
+                ev.totalNs = static_cast<int64_t>(k.totalNs);
+                ev.achievedGbps = u.achievedGbps;
+                if (calib.valid())
+                    ev.peakGbps = calib.peakGbps;
+                ACAMAR_TRACE(ev);
+            }
+            UtilPoolEvent pool;
+            pool.busyNs = static_cast<int64_t>(ledger.poolBusyNs);
+            pool.idleNs = static_cast<int64_t>(ledger.poolIdleNs);
+            pool.workerNs =
+                static_cast<int64_t>(ledger.poolWorkerNs);
+            pool.tasks = static_cast<int64_t>(ledger.poolTasks);
+            pool.steals = static_cast<int64_t>(ledger.poolSteals);
+            ACAMAR_TRACE(pool);
+        }
+        std::ofstream out(utilPath_);
+        if (!out) {
+            warn("cannot open util report output '", utilPath_, "'");
+        } else {
+            utilReportJson(ledger, calib, perfGitSha())
+                .writePretty(out);
+            out << '\n';
+            inform("wrote utilization report to ", utilPath_);
+        }
+    }
+
+    // Sampler next: its final pass emits one last metrics_sample
     // trace event, which the session stop below then flushes.
     if (sampler_)
         sampler_->stop();

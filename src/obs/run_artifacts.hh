@@ -38,8 +38,13 @@ class RunArtifacts
      * (chrome://tracing JSON path), "stats" (stats snapshot path),
      * "metrics" (enable live metrics, bool), "metrics-out"
      * (exposition file, implies "metrics"; ".json" extension selects
-     * the JSON snapshot, anything else Prometheus text) and
-     * "metrics-period" (sampler period in ms, default 250).
+     * the JSON snapshot, anything else Prometheus text),
+     * "metrics-period" (sampler period in ms, default 250),
+     * "util-report" (acamar-util-v1 utilization report path; runs
+     * the STREAM calibration once and opens a WorkLedger window for
+     * the run), "util-calib-mb" (calibration working set in MiB,
+     * default 32) and "util-calib-reps" (calibration repetitions per
+     * kernel, default 3).
      */
     explicit RunArtifacts(const Config &cfg);
 
@@ -58,11 +63,15 @@ class RunArtifacts
     /** True when live metrics collection is on for this run. */
     bool metricsRequested() const { return metrics_; }
 
+    /** True when a utilization report will be written. */
+    bool utilRequested() const { return !utilPath_.empty(); }
+
   private:
     bool tracing_ = false;
     bool metrics_ = false;
     std::string statsPath_;
     std::string metricsPath_;
+    std::string utilPath_;
     std::unique_ptr<MetricsSampler> sampler_;
 };
 

@@ -292,4 +292,34 @@ TraceSession::record(const MetricsSampleEvent &e)
     emit(std::move(rec));
 }
 
+void
+TraceSession::record(const UtilKernelEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "util_kernel";
+    rec.args.set("zone", e.zone)
+        .set("calls", e.calls)
+        .set("bytes", e.bytes)
+        .set("flops", e.flops)
+        .set("rows", e.rows)
+        .set("nnz", e.nnz)
+        .set("total_ns", e.totalNs);
+    setIfFinite(rec.args, "achieved_gbps", e.achievedGbps);
+    setIfFinite(rec.args, "peak_gbps", e.peakGbps);
+    emit(std::move(rec));
+}
+
+void
+TraceSession::record(const UtilPoolEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "util_pool";
+    rec.args.set("busy_ns", e.busyNs)
+        .set("idle_ns", e.idleNs)
+        .set("worker_ns", e.workerNs)
+        .set("tasks", e.tasks)
+        .set("steals", e.steals);
+    emit(std::move(rec));
+}
+
 } // namespace acamar

@@ -140,6 +140,8 @@ class TraceSession
     void record(const SimEventTrace &e);
     void record(const HealthEvent &e);
     void record(const MetricsSampleEvent &e);
+    void record(const UtilKernelEvent &e);
+    void record(const UtilPoolEvent &e);
 
   private:
     /** One thread's staged records; `m` nests inside sinkMutex_. */

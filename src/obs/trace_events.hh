@@ -120,6 +120,32 @@ struct HealthEvent {
     std::string detail;  //!< threshold rationale ("no improvement...")
 };
 
+/**
+ * One kernel zone's merged utilization totals, emitted when a
+ * --util-report run finalizes. Peak-relative fields stay NaN (and
+ * are omitted) when no bandwidth calibration ran.
+ */
+struct UtilKernelEvent {
+    std::string zone;    //!< ledger zone, e.g. "sparse/spmv_rows"
+    int64_t calls = 0;
+    int64_t bytes = 0;   //!< analytic compulsory traffic
+    int64_t flops = 0;
+    int64_t rows = 0;
+    int64_t nnz = 0;
+    int64_t totalNs = 0; //!< scope wall time summed across threads
+    double achievedGbps = kTraceUnset;
+    double peakGbps = kTraceUnset; //!< calibrated STREAM peak
+};
+
+/** Thread-pool attribution totals for one --util-report window. */
+struct UtilPoolEvent {
+    int64_t busyNs = 0;   //!< iterations that ran a task
+    int64_t idleNs = 0;   //!< iterations parked on the wakeup cv
+    int64_t workerNs = 0; //!< summed worker-loop lifetimes
+    int64_t tasks = 0;
+    int64_t steals = 0;
+};
+
 /** One pass of the background metrics sampler. */
 struct MetricsSampleEvent {
     int64_t sample = 0;            //!< 1-based pass index

@@ -1,0 +1,202 @@
+#include "obs/util_report.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+
+namespace acamar {
+
+namespace {
+
+/** bytes / ns is numerically GB/s (1e9 bytes per second). */
+double
+rate(uint64_t amount, uint64_t ns)
+{
+    if (ns == 0)
+        return 0.0;
+    return static_cast<double>(amount) / static_cast<double>(ns);
+}
+
+} // namespace
+
+KernelUtil
+kernelUtil(const KernelWorkEntry &entry, const MemCalibration &calib)
+{
+    KernelUtil u;
+    u.achievedGbps = rate(entry.bytes, entry.totalNs);
+    u.achievedGflops = rate(entry.flops, entry.totalNs);
+    if (entry.bytes > 0) {
+        u.arithmeticIntensity = static_cast<double>(entry.flops) /
+                                static_cast<double>(entry.bytes);
+    }
+    if (calib.valid()) {
+        u.peakFraction = u.achievedGbps / calib.peakGbps;
+        u.hostRu = std::max(0.0, 1.0 - u.peakFraction);
+    }
+    return u;
+}
+
+JsonValue
+utilReportJson(const WorkLedgerReport &ledger,
+               const MemCalibration &calib, const std::string &gitSha)
+{
+    JsonValue o = JsonValue::object();
+    o.set("schema", kUtilSchema);
+    o.set("git_sha", gitSha);
+    if (calib.valid())
+        o.set("calibration", calib.toJson());
+
+    uint64_t hostBytes = 0;
+    uint64_t hostFlops = 0;
+    uint64_t hostNs = 0;
+    JsonValue kernels = JsonValue::array();
+    for (const auto &k : ledger.kernels) {
+        hostBytes += k.bytes;
+        hostFlops += k.flops;
+        hostNs += k.totalNs;
+        const KernelUtil u = kernelUtil(k, calib);
+        JsonValue z = JsonValue::object();
+        z.set("zone", k.name)
+            .set("calls", k.calls)
+            .set("bytes", k.bytes)
+            .set("flops", k.flops)
+            .set("rows", k.rows)
+            .set("nnz", k.nnz)
+            .set("total_ns", k.totalNs)
+            .set("achieved_gbps", u.achievedGbps)
+            .set("achieved_gflops", u.achievedGflops)
+            .set("arithmetic_intensity", u.arithmeticIntensity);
+        if (calib.valid()) {
+            z.set("peak_fraction", u.peakFraction)
+                .set("host_ru", u.hostRu);
+        }
+        kernels.push(std::move(z));
+    }
+    o.set("kernels", std::move(kernels));
+
+    // Host aggregate: kernel zones summed — the run's overall
+    // roofline position.
+    {
+        JsonValue host = JsonValue::object();
+        host.set("bytes", hostBytes)
+            .set("flops", hostFlops)
+            .set("kernel_ns", hostNs)
+            .set("achieved_gbps", rate(hostBytes, hostNs));
+        if (calib.valid()) {
+            const double frac =
+                rate(hostBytes, hostNs) / calib.peakGbps;
+            host.set("peak_fraction", frac)
+                .set("host_ru", std::max(0.0, 1.0 - frac));
+        }
+        o.set("host", std::move(host));
+    }
+
+    {
+        JsonValue pool = JsonValue::object();
+        const uint64_t accounted =
+            ledger.poolBusyNs + ledger.poolIdleNs;
+        pool.set("busy_ns", ledger.poolBusyNs)
+            .set("idle_ns", ledger.poolIdleNs)
+            .set("worker_ns", ledger.poolWorkerNs)
+            .set("tasks", ledger.poolTasks)
+            .set("steals", ledger.poolSteals);
+        if (accounted > 0) {
+            pool.set("busy_fraction",
+                     static_cast<double>(ledger.poolBusyNs) /
+                         static_cast<double>(accounted));
+        }
+        o.set("pool", std::move(pool));
+    }
+
+    {
+        JsonValue batch = JsonValue::object();
+        batch.set("jobs", ledger.batchJobs)
+            .set("job_ns", ledger.batchJobNs);
+        o.set("batch", std::move(batch));
+    }
+
+    {
+        JsonValue samples = JsonValue::array();
+        for (const auto &sp : ledger.samples) {
+            JsonValue s = JsonValue::object();
+            s.set("zone", sp.name)
+                .set("rows", sp.rows)
+                .set("nnz", sp.nnz)
+                .set("ns", sp.ns);
+            if (sp.rows > 0) {
+                s.set("ns_per_row",
+                      static_cast<double>(sp.ns) /
+                          static_cast<double>(sp.rows));
+            }
+            samples.push(std::move(s));
+        }
+        JsonValue blocks = JsonValue::object();
+        blocks.set("count", ledger.samples.size())
+            .set("dropped", ledger.samplesDropped)
+            .set("samples", std::move(samples));
+        o.set("block_samples", std::move(blocks));
+    }
+
+    {
+        JsonValue fpga = JsonValue::object();
+        fpga.set("runs", ledger.fpgaRuns);
+        if (ledger.fpgaRuns > 0) {
+            const auto runs = static_cast<double>(ledger.fpgaRuns);
+            fpga.set("paper_ru", ledger.fpgaPaperRuSum / runs)
+                .set("occupancy_ru",
+                     ledger.fpgaOccupancyRuSum / runs);
+        }
+        o.set("fpga_model", std::move(fpga));
+    }
+    return o;
+}
+
+void
+publishUtilMetrics(const WorkLedgerReport &ledger,
+                   const MemCalibration &calib)
+{
+    if (!metricsEnabled())
+        return;
+    MetricsRegistry &reg = MetricsRegistry::instance();
+
+    uint64_t hostBytes = 0;
+    uint64_t hostFlops = 0;
+    uint64_t hostNs = 0;
+    for (const auto &k : ledger.kernels) {
+        hostBytes += k.bytes;
+        hostFlops += k.flops;
+        hostNs += k.totalNs;
+    }
+    reg.gauge("acamar_util_kernel_bytes",
+              "bytes moved by ledgered kernels")
+        .set(static_cast<double>(hostBytes));
+    reg.gauge("acamar_util_kernel_flops",
+              "flops performed by ledgered kernels")
+        .set(static_cast<double>(hostFlops));
+    reg.gauge("acamar_util_pool_busy_ns",
+              "thread-pool wall time spent running tasks")
+        .set(static_cast<double>(ledger.poolBusyNs));
+    reg.gauge("acamar_util_pool_idle_ns",
+              "thread-pool wall time spent parked idle")
+        .set(static_cast<double>(ledger.poolIdleNs));
+    if (calib.valid()) {
+        reg.gauge("acamar_util_peak_gbps",
+                  "calibrated sustainable memory bandwidth")
+            .set(calib.peakGbps);
+        const double achieved =
+            hostNs > 0 ? static_cast<double>(hostBytes) /
+                             static_cast<double>(hostNs)
+                       : 0.0;
+        reg.gauge("acamar_util_host_ru",
+                  "host resource underutilization vs calibrated peak")
+            .set(std::max(0.0, 1.0 - achieved / calib.peakGbps));
+    }
+    if (ledger.fpgaRuns > 0) {
+        reg.gauge("acamar_util_fpga_paper_ru",
+                  "mean FPGA-model RU (paper Eq. 5) per run")
+            .set(ledger.fpgaPaperRuSum /
+                 static_cast<double>(ledger.fpgaRuns));
+    }
+}
+
+} // namespace acamar

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * acamar-util-v1: the machine-readable utilization report.
+ *
+ * One JSON document answers "how well did this run use the
+ * hardware": per-kernel achieved GB/s against the calibrated STREAM
+ * peak (roofline position), host resource underutilization (RU =
+ * 1 - achieved/peak, mirroring the paper's Eq. 5 on the host side),
+ * ThreadPool busy/idle attribution, BatchSolver job totals, the
+ * per-row-block cost samples the autotuner consumes, and the
+ * FPGA-model RU of the same run — host and model utilization in one
+ * place. RunArtifacts writes it under --util-report;
+ * tools/util_report.py validates and pretty-prints it; PerfReporter
+ * embeds the kernel/pool core of it in acamar-perf-v1 records.
+ */
+
+#ifndef ACAMAR_OBS_UTIL_REPORT_HH
+#define ACAMAR_OBS_UTIL_REPORT_HH
+
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/mem_calibration.hh"
+#include "obs/work_ledger.hh"
+
+namespace acamar {
+
+/** Schema tag stamped on every utilization report. */
+inline constexpr const char *kUtilSchema = "acamar-util-v1";
+
+/**
+ * Per-kernel derived rates for one merged ledger entry. achievedGbps
+ * divides bytes by the scope wall time summed across threads, so for
+ * kernels that ran concurrently it understates per-thread rate and
+ * reflects aggregate occupancy instead — the quantity RU wants.
+ * Fields depending on the calibrated peak are negative when no
+ * calibration is available (JSON omits them).
+ */
+struct KernelUtil {
+    double achievedGbps = 0.0;
+    double achievedGflops = 0.0;
+    double arithmeticIntensity = 0.0; //!< flops per byte
+    double peakFraction = -1.0;       //!< achieved/peak, [0, ...)
+    double hostRu = -1.0;             //!< max(0, 1 - achieved/peak)
+};
+
+/** Derived rates for `entry` against `calib` (see KernelUtil). */
+KernelUtil kernelUtil(const KernelWorkEntry &entry,
+                      const MemCalibration &calib);
+
+/**
+ * Build the full acamar-util-v1 document from a closed (or
+ * snapshotted) ledger window and the calibration of record. An
+ * invalid calibration omits the calibration block and every
+ * peak-relative field; the report is still schema-valid.
+ */
+JsonValue utilReportJson(const WorkLedgerReport &ledger,
+                         const MemCalibration &calib,
+                         const std::string &gitSha);
+
+/**
+ * Mirror the report's headline numbers into the metrics registry as
+ * acamar_util_* gauges (no-op when metrics are disabled), so live
+ * samplers export utilization alongside run health.
+ */
+void publishUtilMetrics(const WorkLedgerReport &ledger,
+                        const MemCalibration &calib);
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_UTIL_REPORT_HH

@@ -1,0 +1,354 @@
+#include "obs/work_ledger.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "common/check.hh"
+#include "common/logging.hh"
+#include "common/sync.hh"
+
+namespace acamar {
+
+namespace {
+
+/** Per-thread block-sample ring capacity (samples, not bytes). */
+constexpr size_t kSampleCapacity = 1024;
+
+/** Shard-local totals for one zone (names are string literals). */
+struct ShardEntry {
+    uint64_t calls = 0;
+    uint64_t bytes = 0;
+    uint64_t flops = 0;
+    uint64_t totalNs = 0;
+    int64_t rows = 0;
+    int64_t nnz = 0;
+};
+
+/** One staged row-block sample. */
+struct ShardSample {
+    const char *name = "";
+    int64_t rows = 0;
+    int64_t nnz = 0;
+    uint64_t ns = 0;
+};
+
+/** True when two literal zone names denote the same zone. */
+bool
+sameName(const char *a, const char *b)
+{
+    return a == b || std::strcmp(a, b) == 0;
+}
+
+/**
+ * One thread's private recording state — the profiler shard shape
+ * under the ledger's own rank. The owner thread takes `m` per scope
+ * close (uncontended in steady state); start()/stop()/snapshot() and
+ * the thread-exit handle take it briefly to reset or merge.
+ */
+struct WorkShard {
+    Mutex m{LockRank::kWorkLedgerShard, "work-ledger-shard"};
+    std::vector<std::pair<const char *, ShardEntry>> entries
+        ACAMAR_GUARDED_BY(m);
+    std::vector<ShardSample> ring ACAMAR_GUARDED_BY(m);
+    uint64_t ringDropped ACAMAR_GUARDED_BY(m) = 0;
+
+    /** Drop everything recorded; keep registration identity. */
+    void
+    resetLocked() ACAMAR_REQUIRES(m)
+    {
+        entries.clear();
+        ring.clear();
+        ringDropped = 0;
+    }
+};
+
+/** Accumulator shards merge into (retired threads and stop()). */
+struct LedgerMergeState {
+    std::map<std::string, KernelWorkEntry> kernels;
+    std::vector<WorkBlockSample> samples;
+    uint64_t samplesDropped = 0;
+};
+
+/** Process-wide ledger state behind WorkLedger's singleton. */
+struct LedgerState {
+    /** Guards everything below; taken before any shard.m. */
+    Mutex m{LockRank::kWorkLedgerState, "work-ledger-state"};
+    std::vector<std::shared_ptr<WorkShard>> shards
+        ACAMAR_GUARDED_BY(m);
+    LedgerMergeState merged ACAMAR_GUARDED_BY(m);
+};
+
+LedgerState &
+state()
+{
+    static LedgerState s;
+    return s;
+}
+
+/** Fold one shard into the accumulator and clear it. Locks shard.m. */
+void
+mergeShard(LedgerMergeState &into, WorkShard &shard)
+{
+    MutexLock lk(shard.m);
+    for (const auto &[name, e] : shard.entries) {
+        KernelWorkEntry &dst = into.kernels[name];
+        dst.name = name;
+        dst.calls += e.calls;
+        dst.bytes += e.bytes;
+        dst.flops += e.flops;
+        dst.totalNs += e.totalNs;
+        dst.rows += e.rows;
+        dst.nnz += e.nnz;
+    }
+    for (const auto &sp : shard.ring)
+        into.samples.push_back({sp.name, sp.rows, sp.nnz, sp.ns});
+    into.samplesDropped += shard.ringDropped;
+    shard.resetLocked();
+}
+
+/**
+ * Owns one thread's registration. Destroyed at thread exit (process
+ * exit for the main thread), folding whatever the thread still holds
+ * into the retained merge state.
+ */
+struct ShardHandle {
+    std::shared_ptr<WorkShard> shard;
+
+    ~ShardHandle()
+    {
+        if (!shard)
+            return;
+        LedgerState &st = state();
+        MutexLock lk(st.m);
+        mergeShard(st.merged, *shard);
+        auto &shards = st.shards;
+        for (auto it = shards.begin(); it != shards.end(); ++it) {
+            if (it->get() == shard.get()) {
+                shards.erase(it);
+                break;
+            }
+        }
+    }
+};
+
+WorkShard &
+thisShard()
+{
+    thread_local ShardHandle handle;
+    if (!handle.shard) {
+        handle.shard = std::make_shared<WorkShard>();
+        LedgerState &st = state();
+        MutexLock lk(st.m);
+        st.shards.push_back(handle.shard);
+    }
+    return *handle.shard;
+}
+
+ShardEntry &
+findOrAddEntry(std::vector<std::pair<const char *, ShardEntry>> &table,
+               const char *name)
+{
+    for (auto &[n, v] : table) {
+        if (sameName(n, name))
+            return v;
+    }
+    table.emplace_back(name, ShardEntry{});
+    return table.back().second;
+}
+
+/** Flatten and name-sort a merge accumulator into a report. */
+WorkLedgerReport
+reportFromMerged(LedgerMergeState &&merged)
+{
+    WorkLedgerReport rep;
+    rep.kernels.reserve(merged.kernels.size());
+    for (auto &[name, e] : merged.kernels)
+        rep.kernels.push_back(std::move(e));
+    rep.samples = std::move(merged.samples);
+    std::sort(rep.samples.begin(), rep.samples.end(),
+              [](const WorkBlockSample &a, const WorkBlockSample &b) {
+                  return std::tie(a.name, a.rows, a.nnz, a.ns) <
+                         std::tie(b.name, b.rows, b.nnz, b.ns);
+              });
+    rep.samplesDropped = merged.samplesDropped;
+    return rep;
+}
+
+/** fetch_add for a double packed into a uint64 atomic (CAS loop). */
+void
+atomicAddDouble(std::atomic<uint64_t> &bits, double delta)
+{
+    uint64_t prev = bits.load(std::memory_order_relaxed);
+    for (;;) {
+        double next;
+        std::memcpy(&next, &prev, sizeof next);
+        next += delta;
+        uint64_t nextBits;
+        std::memcpy(&nextBits, &next, sizeof nextBits);
+        if (bits.compare_exchange_weak(prev, nextBits,
+                                       std::memory_order_relaxed))
+            return;
+    }
+}
+
+double
+loadDouble(const std::atomic<uint64_t> &bits)
+{
+    const uint64_t raw = bits.load(std::memory_order_relaxed);
+    double v;
+    std::memcpy(&v, &raw, sizeof v);
+    return v;
+}
+
+} // namespace
+
+bool
+WorkLedgerReport::empty() const
+{
+    return kernels.empty() && samples.empty() && poolTasks == 0 &&
+           batchJobs == 0 && fpgaRuns == 0;
+}
+
+const KernelWorkEntry *
+WorkLedgerReport::find(const std::string &name) const
+{
+    for (const auto &k : kernels) {
+        if (k.name == name)
+            return &k;
+    }
+    return nullptr;
+}
+
+WorkLedger &
+WorkLedger::instance()
+{
+    static WorkLedger ledger;
+    return ledger;
+}
+
+void
+WorkLedger::start()
+{
+    LedgerState &st = state();
+    MutexLock lk(st.m);
+    if (enabled()) {
+        warn("work ledger already running; start() ignored");
+        return;
+    }
+    st.merged = LedgerMergeState{};
+    for (const auto &shard : st.shards) {
+        MutexLock slk(shard->m);
+        shard->resetLocked();
+    }
+    resetAggregates();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+WorkLedgerReport
+WorkLedger::stop()
+{
+    // Disable first so new scopes fall through to the cheap path
+    // while we drain; callers quiesce worker pools for exact cuts.
+    enabled_.store(false, std::memory_order_relaxed);
+    LedgerState &st = state();
+    LedgerMergeState merged;
+    {
+        ReleasableMutexLock lk(st.m);
+        for (const auto &shard : st.shards)
+            mergeShard(st.merged, *shard);
+        merged = std::move(st.merged);
+        st.merged = LedgerMergeState{};
+        lk.release();
+    }
+    WorkLedgerReport rep = reportFromMerged(std::move(merged));
+    fillAggregates(rep);
+    return rep;
+}
+
+WorkLedgerReport
+WorkLedger::snapshot()
+{
+    LedgerState &st = state();
+    LedgerMergeState copy;
+    {
+        // Fold every live shard into the retained accumulator (they
+        // reset, but the accumulator keeps running totals), then copy
+        // it out: totals-so-far without closing the window.
+        ReleasableMutexLock lk(st.m);
+        for (const auto &shard : st.shards)
+            mergeShard(st.merged, *shard);
+        copy = st.merged;
+        lk.release();
+    }
+    WorkLedgerReport rep = reportFromMerged(std::move(copy));
+    fillAggregates(rep);
+    return rep;
+}
+
+void
+WorkLedger::record(const char *name, const WorkCounts &counts,
+                   uint64_t ns)
+{
+    ACAMAR_DCHECK(name) << "null work zone name";
+    WorkShard &s = thisShard();
+    MutexLock lk(s.m);
+    ShardEntry &e = findOrAddEntry(s.entries, name);
+    ++e.calls;
+    e.bytes += counts.bytes;
+    e.flops += counts.flops;
+    e.totalNs += ns;
+    e.rows += counts.rows;
+    e.nnz += counts.nnz;
+    // Row-producing scopes double as the per-row-block cost sampler
+    // feeding the host autotuner; vector kernels (rows == 0) carry no
+    // structure worth sampling.
+    if (counts.rows > 0) {
+        if (s.ring.size() < kSampleCapacity)
+            s.ring.push_back({name, counts.rows, counts.nnz, ns});
+        else
+            ++s.ringDropped;
+    }
+}
+
+void
+WorkLedger::recordFpgaRu(double paperRu, double occupancyRu)
+{
+    fpgaRuns_.fetch_add(1, std::memory_order_relaxed);
+    atomicAddDouble(fpgaPaperRuBits_, paperRu);
+    atomicAddDouble(fpgaOccupancyRuBits_, occupancyRu);
+}
+
+void
+WorkLedger::resetAggregates()
+{
+    poolBusyNs_.store(0, std::memory_order_relaxed);
+    poolIdleNs_.store(0, std::memory_order_relaxed);
+    poolWorkerNs_.store(0, std::memory_order_relaxed);
+    poolTasks_.store(0, std::memory_order_relaxed);
+    poolSteals_.store(0, std::memory_order_relaxed);
+    batchJobs_.store(0, std::memory_order_relaxed);
+    batchJobNs_.store(0, std::memory_order_relaxed);
+    fpgaRuns_.store(0, std::memory_order_relaxed);
+    fpgaPaperRuBits_.store(0, std::memory_order_relaxed);
+    fpgaOccupancyRuBits_.store(0, std::memory_order_relaxed);
+}
+
+void
+WorkLedger::fillAggregates(WorkLedgerReport &rep) const
+{
+    rep.poolBusyNs = poolBusyNs_.load(std::memory_order_relaxed);
+    rep.poolIdleNs = poolIdleNs_.load(std::memory_order_relaxed);
+    rep.poolWorkerNs = poolWorkerNs_.load(std::memory_order_relaxed);
+    rep.poolTasks = poolTasks_.load(std::memory_order_relaxed);
+    rep.poolSteals = poolSteals_.load(std::memory_order_relaxed);
+    rep.batchJobs = batchJobs_.load(std::memory_order_relaxed);
+    rep.batchJobNs = batchJobNs_.load(std::memory_order_relaxed);
+    rep.fpgaRuns = fpgaRuns_.load(std::memory_order_relaxed);
+    rep.fpgaPaperRuSum = loadDouble(fpgaPaperRuBits_);
+    rep.fpgaOccupancyRuSum = loadDouble(fpgaOccupancyRuBits_);
+}
+
+} // namespace acamar

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * WorkLedger: byte-accurate utilization attribution behind the
+ * ACAMAR_WORK_SCOPE macro.
+ *
+ * Kernel entry points in src/sparse open a work scope right before
+ * their hot loop:
+ *
+ *     void spmvRows(...) {
+ *         ACAMAR_WORK_SCOPE("sparse/spmv_rows",
+ *                           csrSpmvWork(end - begin, nnz, sizeof(T)));
+ *         // acamar: hot-loop
+ *         ...
+ *     }
+ *
+ * When the ledger is not running the site costs one relaxed bool
+ * load — the counts expression is wrapped in a lambda and never
+ * evaluated. When running, the scope's destructor folds the counts
+ * plus the measured wall time into a per-thread shard (the Profiler
+ * shard discipline, under its own pair of lock ranks) and stages one
+ * bounded per-row-block sample, so the same sites that meter bytes
+ * also feed the ns/row data the host autotuner consumes.
+ *
+ * The ledger additionally aggregates, via plain relaxed atomics:
+ * ThreadPool busy/idle/steal wall time (every worker-loop iteration
+ * lands in exactly one bucket), BatchSolver per-job wall time, and
+ * the FPGA-model RU of each accelerator run — so stop() hands back
+ * host utilization and model utilization in one report.
+ */
+
+#ifndef ACAMAR_OBS_WORK_LEDGER_HH
+#define ACAMAR_OBS_WORK_LEDGER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/kernel_work.hh"
+#include "obs/profiler.hh"
+
+namespace acamar {
+
+/** Merged per-zone totals for one kernel entry point. */
+struct KernelWorkEntry {
+    std::string name;    //!< zone name (e.g. "sparse/spmv_rows")
+    uint64_t calls = 0;
+    uint64_t bytes = 0;
+    uint64_t flops = 0;
+    uint64_t totalNs = 0; //!< summed across threads
+    int64_t rows = 0;
+    int64_t nnz = 0;
+};
+
+/** One sampled row-block: the autotuner's ns/row data point. */
+struct WorkBlockSample {
+    std::string name;
+    int64_t rows = 0;
+    int64_t nnz = 0;
+    uint64_t ns = 0;
+};
+
+/** Everything WorkLedger::stop() / snapshot() hands back. */
+struct WorkLedgerReport {
+    /** Per-kernel totals, name-sorted. */
+    std::vector<KernelWorkEntry> kernels;
+
+    /** Bounded row-block samples (rows > 0 scopes only). */
+    std::vector<WorkBlockSample> samples;
+    uint64_t samplesDropped = 0;
+
+    // Pool attribution: every worker-loop iteration is classified as
+    // busy (ran a task) or idle (parked on the wakeup cv), so busy +
+    // idle covers the loop; workerNs is each worker's independently
+    // measured loop lifetime (recorded at thread exit, so it stays 0
+    // for pools that outlive the collection window).
+    uint64_t poolBusyNs = 0;
+    uint64_t poolIdleNs = 0;
+    uint64_t poolWorkerNs = 0;
+    uint64_t poolTasks = 0;
+    uint64_t poolSteals = 0;
+
+    uint64_t batchJobs = 0;
+    uint64_t batchJobNs = 0;
+
+    // FPGA-model RU, summed over recorded accelerator runs; divide
+    // by fpgaRuns for the means the util report exports.
+    uint64_t fpgaRuns = 0;
+    double fpgaPaperRuSum = 0.0;
+    double fpgaOccupancyRuSum = 0.0;
+
+    /** True when nothing was recorded. */
+    bool empty() const;
+
+    /** Merged totals for one zone; nullptr when absent. */
+    const KernelWorkEntry *find(const std::string &name) const;
+};
+
+/**
+ * The process-wide ledger. Thread-safe: scopes may open and close on
+ * any thread; each thread owns its shard and stop() merges them all
+ * under the state lock (LockRank::kWorkLedgerState ->
+ * kWorkLedgerShard).
+ */
+class WorkLedger
+{
+  public:
+    /** The singleton. */
+    static WorkLedger &instance();
+
+    /** True while a start()/stop() window is open. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Begin collecting. Ignored (with a warning) when running. */
+    void start();
+
+    /** Stop collecting; merge and return everything recorded. */
+    WorkLedgerReport stop();
+
+    /**
+     * Merge what every shard holds so far and return a copy without
+     * stopping: totals keep accumulating, and a later stop() returns
+     * the full window. PerfReporter uses this to embed utilization
+     * into perf records while RunArtifacts still owns the window.
+     */
+    WorkLedgerReport snapshot();
+
+    /** Fold one scope's counts into this thread's shard. */
+    void record(const char *name, const WorkCounts &counts,
+                uint64_t ns);
+
+    // Pool / batch / accelerator attribution; relaxed atomics so the
+    // recording sites never take a lock.
+
+    /** Worker-loop iteration that ran a task. */
+    void
+    addPoolBusyNs(uint64_t ns)
+    {
+        poolBusyNs_.fetch_add(ns, std::memory_order_relaxed);
+    }
+
+    /** Worker-loop iteration that parked on the wakeup cv. */
+    void
+    addPoolIdleNs(uint64_t ns)
+    {
+        poolIdleNs_.fetch_add(ns, std::memory_order_relaxed);
+    }
+
+    /** One worker thread's whole loop lifetime (at thread exit). */
+    void
+    addPoolWorkerNs(uint64_t ns)
+    {
+        poolWorkerNs_.fetch_add(ns, std::memory_order_relaxed);
+    }
+
+    /** One task executed by a pool worker. */
+    void
+    addPoolTask(uint64_t stolen)
+    {
+        poolTasks_.fetch_add(1, std::memory_order_relaxed);
+        poolSteals_.fetch_add(stolen, std::memory_order_relaxed);
+    }
+
+    /** One batch job finished after `ns` of wall time. */
+    void
+    addBatchJob(uint64_t ns)
+    {
+        batchJobs_.fetch_add(1, std::memory_order_relaxed);
+        batchJobNs_.fetch_add(ns, std::memory_order_relaxed);
+    }
+
+    /** One accelerator run's FPGA-model RU pair (Eq. 5 + occupancy). */
+    void recordFpgaRu(double paperRu, double occupancyRu);
+
+  private:
+    WorkLedger() = default;
+
+    void resetAggregates();
+    void fillAggregates(WorkLedgerReport &rep) const;
+
+    std::atomic<bool> enabled_{false};
+
+    std::atomic<uint64_t> poolBusyNs_{0};
+    std::atomic<uint64_t> poolIdleNs_{0};
+    std::atomic<uint64_t> poolWorkerNs_{0};
+    std::atomic<uint64_t> poolTasks_{0};
+    std::atomic<uint64_t> poolSteals_{0};
+    std::atomic<uint64_t> batchJobs_{0};
+    std::atomic<uint64_t> batchJobNs_{0};
+    std::atomic<uint64_t> fpgaRuns_{0};
+    std::atomic<uint64_t> fpgaPaperRuBits_{0};
+    std::atomic<uint64_t> fpgaOccupancyRuBits_{0};
+
+    friend struct WorkShardHandle;
+};
+
+/**
+ * RAII work scope: latches the counts and the clock on construction
+ * (when enabled), records in the destructor. The counts functor is
+ * only invoked on the enabled path, so disabled sites never compute
+ * byte models.
+ */
+class WorkScope
+{
+  public:
+    template <typename CountsFn>
+    WorkScope(const char *name, CountsFn &&counts)
+    {
+        WorkLedger &ledger = WorkLedger::instance();
+        if (ledger.enabled()) {
+            active_ = true;
+            name_ = name;
+            counts_ = counts();
+            startNs_ = Profiler::nowNs();
+        }
+    }
+
+    ~WorkScope()
+    {
+        if (active_) {
+            WorkLedger::instance().record(
+                name_, counts_, Profiler::nowNs() - startNs_);
+        }
+    }
+
+    WorkScope(const WorkScope &) = delete;
+    WorkScope &operator=(const WorkScope &) = delete;
+
+  private:
+    bool active_ = false;
+    const char *name_ = "";
+    WorkCounts counts_;
+    uint64_t startNs_ = 0;
+};
+
+#define ACAMAR_WORK_CONCAT2(a, b) a##b
+#define ACAMAR_WORK_CONCAT(a, b) ACAMAR_WORK_CONCAT2(a, b)
+
+/**
+ * Open a work scope; `name` must be a string literal and the
+ * variadic tail an expression yielding WorkCounts, evaluated only
+ * when the ledger is running. Place the site above the kernel's
+ * `// acamar: hot-loop` marker (the `ledger-coverage` lint rule
+ * checks that every marked sparse kernel has one).
+ */
+#define ACAMAR_WORK_SCOPE(name, ...)                                       \
+    ::acamar::WorkScope ACAMAR_WORK_CONCAT(acamar_work_scope_,             \
+                                           __LINE__)((name), [&] {         \
+        return __VA_ARGS__;                                                \
+    })
+
+/** True when the ledger is currently collecting. */
+inline bool
+workLedgerEnabled()
+{
+    return WorkLedger::instance().enabled();
+}
+
+} // namespace acamar
+
+#endif // ACAMAR_OBS_WORK_LEDGER_HH

@@ -4,6 +4,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "obs/work_ledger.hh"
 #include "sparse/coo.hh"
 
 namespace acamar {
@@ -58,6 +59,10 @@ EllMatrix<T>::spmv(const std::vector<T> &x, std::vector<T> &y) const
     ACAMAR_CHECK(x.size() == static_cast<size_t>(cols_))
         << "ELL spmv x size mismatch";
     y.resize(static_cast<size_t>(rows_));
+    ACAMAR_WORK_SCOPE("sparse/spmv_ell",
+                      ellSpmvWork(rows_, nnz_, paddedSize(), 0,
+                                  sizeof(T)));
+    // acamar: hot-loop
     for (int32_t r = 0; r < rows_; ++r) {
         const int64_t base = static_cast<int64_t>(r) * width_;
         T acc = 0;
@@ -68,6 +73,7 @@ EllMatrix<T>::spmv(const std::vector<T> &x, std::vector<T> &y) const
         }
         y[r] = acc;
     }
+    // acamar: hot-loop-end
 }
 
 template <typename T>
@@ -162,6 +168,12 @@ SlicedEllMatrix<T>::spmv(const std::vector<T> &x,
     ACAMAR_CHECK(x.size() == static_cast<size_t>(cols_))
         << "sliced-ELL spmv x size mismatch";
     y.resize(static_cast<size_t>(rows_));
+    ACAMAR_WORK_SCOPE(
+        "sparse/spmv_sliced_ell",
+        ellSpmvWork(rows_, nnz_, paddedSize(),
+                    16 * static_cast<uint64_t>(widths_.size()),
+                    sizeof(T)));
+    // acamar: hot-loop
     for (int32_t r = 0; r < rows_; ++r) {
         const auto s = static_cast<size_t>(r / sliceRows_);
         const int64_t base = sliceBase_[s] +
@@ -174,6 +186,7 @@ SlicedEllMatrix<T>::spmv(const std::vector<T> &x,
         }
         y[r] = acc;
     }
+    // acamar: hot-loop-end
 }
 
 template <typename T>

@@ -9,6 +9,7 @@
 #include "exec/parallel_for.hh"
 #include "exec/thread_pool.hh"
 #include "obs/profiler.hh"
+#include "obs/work_ledger.hh"
 
 namespace acamar {
 
@@ -55,18 +56,22 @@ SellMatrix<T>::fromCsr(const CsrMatrix<T> &a, int32_t chunk,
                         static_cast<size_t>(chunk);
     m.widths_.resize(n_chunks);
     m.chunkBase_.resize(n_chunks);
+    m.chunkNnzPrefix_.assign(n_chunks + 1, 0);
 
     int64_t slots = 0;
     for (size_t c = 0; c < n_chunks; ++c) {
         const auto base_row = static_cast<int32_t>(c) * chunk;
         const int32_t lanes = std::min(chunk, rows - base_row);
         int64_t width = 0;
+        int64_t chunk_nnz = 0;
         for (int32_t l = 0; l < lanes; ++l) {
             const int32_t r = m.perm_[base_row + l];
             width = std::max(width, rp[r + 1] - rp[r]);
+            chunk_nnz += rp[r + 1] - rp[r];
         }
         m.widths_[c] = width;
         m.chunkBase_[c] = slots;
+        m.chunkNnzPrefix_[c + 1] = m.chunkNnzPrefix_[c] + chunk_nnz;
         slots += width * lanes;
     }
 
@@ -106,6 +111,20 @@ SellMatrix<T>::spmvChunks(const std::vector<T> &x, std::vector<T> &y,
                           size_t begin, size_t end) const
 {
     std::array<T, kMaxSellChunk> acc;
+    // Recording in the chunk-range kernel (not the public wrappers)
+    // attributes exactly once on every path, and under spmvParallel
+    // each task's range doubles as one per-row-block cost sample.
+    ACAMAR_WORK_SCOPE(
+        "sparse/spmv_sell",
+        sellSpmvWork(
+            std::min<int64_t>(static_cast<int64_t>(end) * chunk_,
+                              rows_) -
+                static_cast<int64_t>(begin) * chunk_,
+            chunkNnzPrefix_[end] - chunkNnzPrefix_[begin],
+            (end < numChunks() ? chunkBase_[end] : paddedSize()) -
+                (begin < numChunks() ? chunkBase_[begin]
+                                     : paddedSize()),
+            static_cast<int64_t>(end - begin), sizeof(T)));
     // acamar: hot-loop
     for (size_t c = begin; c < end; ++c) {
         const auto base_row = static_cast<int32_t>(c) * chunk_;

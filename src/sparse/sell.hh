@@ -127,6 +127,9 @@ class SellMatrix
     int64_t nnz_ = 0;
     std::vector<int64_t> widths_;    //!< per-chunk padded width
     std::vector<int64_t> chunkBase_; //!< slot offset of each chunk
+    //! entries before each chunk (size numChunks + 1), so any chunk
+    //! range's real nnz — which the work ledger charges — is O(1)
+    std::vector<int64_t> chunkNnzPrefix_;
     std::vector<int32_t> perm_;      //!< sorted position -> orig row
     std::vector<int32_t> colIdx_;    //!< -1 = padding
     std::vector<T> values_;

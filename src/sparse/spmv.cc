@@ -7,6 +7,7 @@
 #include "exec/parallel_for.hh"
 #include "exec/thread_pool.hh"
 #include "obs/profiler.hh"
+#include "obs/work_ledger.hh"
 
 namespace acamar {
 
@@ -45,6 +46,9 @@ spmvRows(const CsrMatrix<T> &a, const std::vector<T> &x,
     const auto &rp = a.rowPtr();
     const auto &ci = a.colIdx();
     const auto &va = a.values();
+    ACAMAR_WORK_SCOPE("sparse/spmv_rows",
+                      csrSpmvWork(end - begin, rp[end] - rp[begin],
+                                  sizeof(T)));
     // acamar: hot-loop
     for (int32_t r = begin; r < end; ++r) {
         T acc = 0;
@@ -97,6 +101,8 @@ spmvLaned(const CsrMatrix<T> &a, const std::vector<T> &x,
     // Fixed lane buffer: this runs inside solver iterations, where a
     // heap-backed scratch vector would mean one allocation per call.
     std::array<T, kMaxSpmvUnroll> lanes;
+    ACAMAR_WORK_SCOPE("sparse/spmv_laned",
+                      csrSpmvWork(a.numRows(), a.nnz(), sizeof(T)));
     // acamar: hot-loop
     for (int32_t r = 0; r < a.numRows(); ++r) {
         T row_acc = 0;

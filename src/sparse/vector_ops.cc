@@ -7,6 +7,7 @@
 #include "exec/parallel_context.hh"
 #include "exec/parallel_for.hh"
 #include "exec/thread_pool.hh"
+#include "obs/work_ledger.hh"
 
 namespace acamar {
 
@@ -32,11 +33,14 @@ dot(const std::vector<T> &x, const std::vector<T> &y)
 {
     ACAMAR_CHECK(x.size() == y.size()) << "dot size mismatch";
     const size_t n = x.size();
+    ACAMAR_WORK_SCOPE("sparse/dot", dotWork(n, sizeof(T)));
     // Fixed-size blocks reduced in index order: the association (and
     // rounding) depends only on n, never on who computes the blocks.
     double acc = 0.0;
+    // acamar: hot-loop
     for (size_t b = 0; b < n; b += kReductionBlock)
         acc += blockDot(x, y, b, std::min(n, b + kReductionBlock));
+    // acamar: hot-loop-end
     return acc;
 }
 
@@ -59,6 +63,11 @@ dot(const std::vector<T> &x, const std::vector<T> &y,
     const auto n_tasks =
         std::min<size_t>(static_cast<size_t>(pc->threads()), n_blocks);
     const size_t per_task = (n_blocks + n_tasks - 1) / n_tasks;
+    // One scope for the whole fan-out: the serial kernel records in
+    // the fallback above, so each dot lands in the ledger exactly
+    // once whichever path runs.
+    ACAMAR_WORK_SCOPE("sparse/dot", dotWork(n, sizeof(T)));
+    // acamar: hot-loop
     parallelForIndex(*pool, n_tasks, [&](size_t t) {
         const size_t first = t * per_task;
         const size_t last = std::min(n_blocks, first + per_task);
@@ -71,6 +80,7 @@ dot(const std::vector<T> &x, const std::vector<T> &y,
     double acc = 0.0;
     for (size_t blk = 0; blk < n_blocks; ++blk)
         acc += partials[blk];
+    // acamar: hot-loop-end
     return acc;
 }
 
@@ -93,8 +103,11 @@ void
 axpy(T a, const std::vector<T> &x, std::vector<T> &y)
 {
     ACAMAR_CHECK(x.size() == y.size()) << "axpy size mismatch";
+    ACAMAR_WORK_SCOPE("sparse/axpy", axpyWork(x.size(), sizeof(T)));
+    // acamar: hot-loop
     for (size_t i = 0; i < x.size(); ++i)
         y[i] += a * x[i];
+    // acamar: hot-loop-end
 }
 
 template <typename T>
@@ -106,16 +119,23 @@ waxpby(T a, const std::vector<T> &x, T b, const std::vector<T> &y,
     ACAMAR_CHECK(w.size() == x.size())
         << "waxpby output not pre-sized: " << w.size() << " != "
         << x.size();
+    ACAMAR_WORK_SCOPE("sparse/waxpby",
+                      waxpbyWork(x.size(), sizeof(T)));
+    // acamar: hot-loop
     for (size_t i = 0; i < x.size(); ++i)
         w[i] = a * x[i] + b * y[i];
+    // acamar: hot-loop-end
 }
 
 template <typename T>
 void
 scale(std::vector<T> &x, T a)
 {
+    ACAMAR_WORK_SCOPE("sparse/scale", scaleWork(x.size(), sizeof(T)));
+    // acamar: hot-loop
     for (auto &v : x)
         v *= a;
+    // acamar: hot-loop-end
 }
 
 template <typename T>
@@ -127,8 +147,12 @@ hadamard(const std::vector<T> &x, const std::vector<T> &y,
     ACAMAR_CHECK(w.size() == x.size())
         << "hadamard output not pre-sized: " << w.size() << " != "
         << x.size();
+    ACAMAR_WORK_SCOPE("sparse/hadamard",
+                      hadamardWork(x.size(), sizeof(T)));
+    // acamar: hot-loop
     for (size_t i = 0; i < x.size(); ++i)
         w[i] = x[i] * y[i];
+    // acamar: hot-loop-end
 }
 
 template double dot<float>(const std::vector<float> &,

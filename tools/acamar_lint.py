@@ -343,6 +343,41 @@ def profile_zone(files):
                     "zone/counter name must be a string literal")
 
 
+@rule("ledger-coverage",
+      "every sparse kernel entry point marked `// acamar: hot-loop` "
+      "must open an ACAMAR_WORK_SCOPE above the marker (same "
+      "function), so the utilization report never under-counts bytes "
+      "moved — a kernel missing from the work ledger silently "
+      "inflates every achieved-GB/s figure derived from it")
+def ledger_coverage(files):
+    for f in files:
+        if not (f.rel.startswith("src/sparse/") and
+                f.rel.endswith(".cc")):
+            continue
+        for no, raw in enumerate(f.raw_lines, 1):
+            # Markers live in comments; skip the -end marker (the
+            # opening marker is its prefix).
+            if "acamar: hot-loop-end" in raw or \
+                    "acamar: hot-loop" not in raw:
+                continue
+            # Walk back to the enclosing function's opening brace
+            # (house style puts it alone at column 0) and require a
+            # work scope between it and the marker.
+            covered = False
+            for back in range(no - 2, -1, -1):
+                if "ACAMAR_WORK_SCOPE" in f.raw_lines[back]:
+                    covered = True
+                    break
+                if f.code_lines[back].startswith("{"):
+                    break
+            if not covered:
+                yield Finding(
+                    f.rel, no, "ledger-coverage",
+                    "hot-loop kernel without an ACAMAR_WORK_SCOPE: "
+                    "charge its bytes/flops to the work ledger "
+                    "(obs/kernel_work.hh has the analytic models)")
+
+
 @rule("raw-stderr",
       "diagnostics go through the Logger (common/logging.hh) so "
       "stderr severity filtering works and stdout stays parseable; "

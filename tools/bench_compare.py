@@ -18,6 +18,15 @@ than --threshold percent (default 15). Digest changes (the zone
 tree gained or lost paths) are reported but never fail the run:
 instrumenting new code is an expected, reviewable event.
 
+Records written under --util-report additionally carry a "util"
+object (the kernel/pool core of acamar-util-v1: per-kernel bytes,
+flops and achieved GB/s plus the pool busy/idle split). The field is
+optional — validate checks it only when present, and compare prints
+an informational achieved-bandwidth diff when both sides carry it,
+skipping (with a note) baselines recorded before the schema grew the
+field. Utilization never gates: it explains a wall-clock regression,
+it does not define one.
+
 compare --update-baseline accepts the current run as the new
 reference: after printing the usual report it rewrites the baseline
 file (e.g. BENCH_baseline.json) as a set whose records come from the
@@ -71,6 +80,23 @@ _ZONE_FIELDS = {
     "p90_ns": int,
     "p99_ns": int,
 }
+# The optional "util" object (--util-report runs only). peak_gbps is
+# itself optional within it: a run may open a ledger window without a
+# usable calibration.
+_UTIL_KERNEL_FIELDS = {
+    "zone": str,
+    "calls": int,
+    "bytes": int,
+    "flops": int,
+    "total_ns": int,
+    "achieved_gbps": (int, float),
+}
+_UTIL_POOL_FIELDS = {
+    "busy_ns": int,
+    "idle_ns": int,
+    "tasks": int,
+    "steals": int,
+}
 
 
 def _check_fields(obj, fields, where, errors):
@@ -104,7 +130,37 @@ def validate_record(rec, where):
                 continue
             _check_fields(zone, _ZONE_FIELDS,
                           f"{where}.profile.zones[{i}]", errors)
+    if "util" in rec:
+        _validate_util(rec["util"], f"{where}.util", errors)
     return errors
+
+
+def _validate_util(util, where, errors):
+    """Check the optional utilization object (present only when the
+    run had a WorkLedger window open)."""
+    if not isinstance(util, dict):
+        errors.append(f"{where}: not an object")
+        return
+    if "peak_gbps" in util and \
+            not isinstance(util["peak_gbps"], (int, float)):
+        errors.append(f"{where}: 'peak_gbps' has type "
+                      f"{type(util['peak_gbps']).__name__}")
+    kernels = util.get("kernels")
+    if not isinstance(kernels, list):
+        errors.append(f"{where}: missing 'kernels' list")
+    else:
+        for i, k in enumerate(kernels):
+            if not isinstance(k, dict):
+                errors.append(f"{where}.kernels[{i}]: not an object")
+                continue
+            _check_fields(k, _UTIL_KERNEL_FIELDS,
+                          f"{where}.kernels[{i}]", errors)
+    pool = util.get("pool")
+    if not isinstance(pool, dict):
+        errors.append(f"{where}: missing 'pool' object")
+    else:
+        _check_fields(pool, _UTIL_POOL_FIELDS, f"{where}.pool",
+                      errors)
 
 
 def load_records(path):
@@ -197,6 +253,27 @@ def profile_digest(rec):
     return digest
 
 
+def util_gbps(rec):
+    """Aggregate achieved GB/s across the record's util kernels, or
+    None when the record has no usable util object (pre-util
+    baselines, runs without --util-report)."""
+    util = rec.get("util")
+    if not isinstance(util, dict):
+        return None
+    kernels = util.get("kernels")
+    if not isinstance(kernels, list) or not kernels:
+        return None
+    total_bytes = total_ns = 0
+    for k in kernels:
+        if not isinstance(k, dict):
+            return None
+        total_bytes += k.get("bytes", 0)
+        total_ns += k.get("total_ns", 0)
+    if total_ns <= 0:
+        return None
+    return total_bytes / total_ns  # bytes/ns == GB/s
+
+
 def cmd_compare(args):
     try:
         base = {key_of(r): r for r in load_records(args.baseline)}
@@ -221,6 +298,7 @@ def cmd_compare(args):
 
     regressions, missing = [], []
     digest_changes, digest_skipped = [], []
+    util_diffs, util_skipped = [], []
     for key in sorted(base):
         if key not in cur:
             missing.append(key)
@@ -241,6 +319,12 @@ def cmd_compare(args):
             digest_skipped.append(key)
         elif b_digest != c_digest:
             digest_changes.append(key)
+        b_gbps, c_gbps = util_gbps(b), util_gbps(c)
+        if b_gbps is None or c_gbps is None:
+            if b_gbps is not None or c_gbps is not None:
+                util_skipped.append(key)
+        else:
+            util_diffs.append((key, b_gbps, c_gbps))
     for key in sorted(set(cur) - set(base)):
         print(f"{fmt_key(key):<44} new (not in baseline)")
 
@@ -255,6 +339,20 @@ def cmd_compare(args):
               f"{len(digest_skipped)} bench(es) — unprofiled on at "
               "least one side, skipped (informational):")
         for key in digest_skipped:
+            print(f"  {fmt_key(key)}")
+    if util_diffs:
+        print(f"\nachieved bandwidth ({len(util_diffs)} bench(es), "
+              "informational):")
+        for key, b_gbps, c_gbps in util_diffs:
+            print(f"  {fmt_key(key):<42} {b_gbps:7.2f} -> "
+                  f"{c_gbps:7.2f} GB/s "
+                  f"({pct_change(b_gbps, c_gbps):+.1f}%)")
+    if util_skipped:
+        print(f"\nutilization not comparable for "
+              f"{len(util_skipped)} bench(es) — one side predates "
+              "util attribution or ran without --util-report, "
+              "skipped (informational):")
+        for key in util_skipped:
             print(f"  {fmt_key(key)}")
     if missing:
         print(f"\n{len(missing)} baseline record(s) missing from "

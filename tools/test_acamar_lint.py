@@ -157,6 +157,55 @@ CASES = [
           "// acamar: hot-loop\n"
           "y += v[i];\n"
           "// acamar: hot-loop-end\n"}, 0),
+    Case("ledger-coverage: unledgered sparse kernel flagged",
+         "ledger-coverage",
+         {"src/sparse/a.cc":
+          "void f()\n"
+          "{\n"
+          "    // acamar: hot-loop\n"
+          "    y += v[i];\n"
+          "    // acamar: hot-loop-end\n"
+          "}\n"}, 1),
+    Case("ledger-coverage: work scope above marker allowed",
+         "ledger-coverage",
+         {"src/sparse/a.cc":
+          "void f()\n"
+          "{\n"
+          '    ACAMAR_WORK_SCOPE("sparse/f", fWork(n, 8));\n'
+          "    // acamar: hot-loop\n"
+          "    y += v[i];\n"
+          "    // acamar: hot-loop-end\n"
+          "}\n"}, 1 - 1),
+    Case("ledger-coverage: scope in a different function not "
+         "credited", "ledger-coverage",
+         {"src/sparse/a.cc":
+          "void g()\n"
+          "{\n"
+          '    ACAMAR_WORK_SCOPE("sparse/g", gWork(n, 8));\n'
+          "}\n"
+          "void f()\n"
+          "{\n"
+          "    // acamar: hot-loop\n"
+          "    y += v[i];\n"
+          "    // acamar: hot-loop-end\n"
+          "}\n"}, 1),
+    Case("ledger-coverage: solvers out of scope (profiler zones "
+         "cover them)", "ledger-coverage",
+         {"src/solvers/a.cc":
+          "void f()\n"
+          "{\n"
+          "    // acamar: hot-loop\n"
+          "    y += v[i];\n"
+          "    // acamar: hot-loop-end\n"
+          "}\n"}, 0),
+    Case("ledger-coverage: suppression honored", "ledger-coverage",
+         {"src/sparse/a.cc":
+          "void f()\n"
+          "{\n"
+          "    // acamar: hot-loop  (lint-ok: ledger-coverage)\n"
+          "    y += v[i];\n"
+          "    // acamar: hot-loop-end\n"
+          "}\n"}, 0),
     Case("profile-zone: non-literal name flagged", "profile-zone",
          {"src/a.cc": "ACAMAR_PROFILE(zoneName);\n"}, 1),
     Case("profile-zone: literal name allowed", "profile-zone",

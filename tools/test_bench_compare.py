@@ -17,11 +17,31 @@ import bench_compare  # noqa: E402
 
 
 def record(bench="fig6_speedup", dim=4096, jobs=1, wall=1.0,
-           per_second=100.0, digest="abc123", zones=None):
+           per_second=100.0, digest="abc123", zones=None, util=None):
     if zones is None:
         zones = [{"path": "accel/run", "calls": 1, "total_ns": 10,
                   "self_ns": 10, "p50_ns": 10, "p90_ns": 10,
                   "p99_ns": 10}]
+    rec = _base_record(bench, dim, jobs, wall, per_second, digest,
+                       zones)
+    if util is not None:
+        rec["util"] = util
+    return rec
+
+
+def util_object(gbps=2.0, total_ns=1000):
+    """A minimal valid "util" object whose aggregate rate is gbps."""
+    return {
+        "peak_gbps": 10.0,
+        "kernels": [{"zone": "sparse/spmv_rows", "calls": 1,
+                     "bytes": int(gbps * total_ns), "flops": 100,
+                     "total_ns": total_ns, "achieved_gbps": gbps}],
+        "pool": {"busy_ns": 900, "idle_ns": 100, "tasks": 4,
+                 "steals": 1},
+    }
+
+
+def _base_record(bench, dim, jobs, wall, per_second, digest, zones):
     return {
         "schema": bench_compare.SCHEMA,
         "bench": bench,
@@ -83,6 +103,67 @@ class ProfileDigestTest(unittest.TestCase):
         # zones; it must not be compared against profiled runs.
         self.assertIsNone(
             bench_compare.profile_digest(record(zones=[])))
+
+
+class UtilFieldTest(unittest.TestCase):
+    def test_record_with_util_is_valid(self):
+        rec = record(util=util_object())
+        self.assertEqual(bench_compare.validate_record(rec, "t"), [])
+
+    def test_record_without_util_is_valid(self):
+        # Pre-util baselines must keep validating unchanged.
+        self.assertEqual(
+            bench_compare.validate_record(record(), "t"), [])
+
+    def test_malformed_util_is_reported(self):
+        rec = record(util={"kernels": "nope"})
+        errors = bench_compare.validate_record(rec, "t")
+        self.assertTrue(any("kernels" in e for e in errors))
+        self.assertTrue(any("pool" in e for e in errors))
+
+    def test_bad_kernel_field_type_is_reported(self):
+        util = util_object()
+        util["kernels"][0]["bytes"] = "many"
+        errors = bench_compare.validate_record(record(util=util), "t")
+        self.assertTrue(any("bytes" in e for e in errors))
+
+    def test_util_gbps_aggregates_kernels(self):
+        rec = record(util=util_object(gbps=2.0, total_ns=1000))
+        self.assertAlmostEqual(bench_compare.util_gbps(rec), 2.0)
+
+    def test_util_gbps_none_without_util(self):
+        self.assertIsNone(bench_compare.util_gbps(record()))
+
+    def test_compare_prints_bandwidth_diff_when_both_carry_util(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = write_json(tmp, "b.json",
+                              record(util=util_object(gbps=2.0)))
+            cur = write_json(tmp, "c.json",
+                             record(util=util_object(gbps=3.0)))
+            status, out = run_compare(base, cur)
+            self.assertEqual(status, 0)
+            self.assertIn("achieved bandwidth", out)
+            self.assertIn("GB/s", out)
+
+    def test_compare_skips_pre_util_baseline_with_note(self):
+        # A baseline recorded before the schema grew "util" must not
+        # fail a current run that carries it.
+        with tempfile.TemporaryDirectory() as tmp:
+            base = write_json(tmp, "b.json", record())
+            cur = write_json(tmp, "c.json",
+                             record(util=util_object()))
+            status, out = run_compare(base, cur)
+            self.assertEqual(status, 0)
+            self.assertIn("utilization not comparable", out)
+            self.assertNotIn("achieved bandwidth", out)
+
+    def test_compare_stays_silent_when_neither_side_has_util(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = write_json(tmp, "b.json", record())
+            cur = write_json(tmp, "c.json", record())
+            status, out = run_compare(base, cur)
+            self.assertEqual(status, 0)
+            self.assertNotIn("utilization not comparable", out)
 
 
 class CompareTest(unittest.TestCase):

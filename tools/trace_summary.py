@@ -5,7 +5,12 @@ Reads the JSON Lines file written by --trace=<path> and prints, per
 event type, counts plus the figures the paper cares about: iterations
 per solver, how often the Solver Modifier had to walk the fallback
 chain, reconfiguration events and ICAP busy time, MSID smoothing
-activity and the SpMV per-set utilization histogram.
+activity, the SpMV per-set utilization histogram, and — for runs
+traced with --util-report — the host utilization attribution
+(per-kernel bytes moved and achieved GB/s against the calibrated
+peak, plus the thread-pool busy/idle split). Traces recorded before
+the acamar-util-v1 schema simply lack those events; the summary says
+so instead of guessing.
 
     python3 tools/trace_summary.py out.jsonl
 
@@ -141,6 +146,34 @@ def summarize(events, out):
         out.write(f"\nmetrics sampler: {len(samples)} passes, last "
                   f"rss {rss / (1 << 20):.1f} MiB, last throughput "
                   f"{last.get('iterations_per_sec', 0.0):.0f} it/s\n")
+
+    util_kernels = by_type.get("util_kernel", [])
+    util_pool = by_type.get("util_pool", [])
+    if util_kernels or util_pool:
+        out.write("\nutilization attribution:\n")
+        for ev in sorted(util_kernels,
+                         key=lambda e: e.get("zone", "?")):
+            gbps = ev.get("achieved_gbps")
+            peak = ev.get("peak_gbps")
+            rate = "-" if gbps is None else f"{gbps:8.2f} GB/s"
+            if gbps is not None and peak:
+                rate += f" ({100.0 * gbps / peak:.0f}% of " \
+                        f"{peak:.1f} peak)"
+            out.write(f"  {ev.get('zone', '?'):<24} "
+                      f"{ev.get('calls', 0):>8} calls "
+                      f"{ev.get('bytes', 0):>14} B  {rate}\n")
+        for ev in util_pool:
+            busy = ev.get("busy_ns", 0)
+            idle = ev.get("idle_ns", 0)
+            frac = busy / (busy + idle) if busy + idle else 0.0
+            out.write(f"  pool: busy {busy} ns, idle {idle} ns "
+                      f"({100.0 * frac:.1f}% busy), "
+                      f"{ev.get('tasks', 0)} tasks, "
+                      f"{ev.get('steals', 0)} stolen\n")
+    else:
+        out.write("\nutilization attribution: no util events — the "
+                  "trace predates acamar-util-v1 or the run had no "
+                  "--util-report\n")
 
     # Per-job correlation table: any event stamped with a run/span id
     # resolves back to its submitting batch job.

@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Summarize (or validate) an acamar-util-v1 utilization report.
+
+Consumes the JSON document written by --util-report=<file>.json and
+prints the attribution headlines: per-kernel bytes moved and achieved
+GB/s against the calibrated STREAM peak, the host aggregate roofline
+position (and its RU), the thread-pool busy/idle split, and the
+FPGA-model RU of the same run — host and model utilization side by
+side.
+
+    python3 tools/util_report.py util.json
+
+CI runs the schema gate instead of the report:
+
+    python3 tools/util_report.py util.json --validate
+
+The gate additionally rejects reports where a kernel zone carries
+zero bytes or flops (an instrumented kernel that recorded nothing
+means its analytic work model broke) and pool accounting where
+busy + idle exceeds the measured worker wall time.
+
+Exit status 0 = report printed / validation passed, 1 = validation
+failed, 2 = usage / IO error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "acamar-util-v1"
+
+_CALIBRATION_FIELDS = ("copy_gbps", "scale_gbps", "add_gbps",
+                       "triad_gbps", "peak_gbps")
+_KERNEL_INT_FIELDS = ("calls", "bytes", "flops", "total_ns")
+_POOL_FIELDS = ("busy_ns", "idle_ns", "worker_ns", "tasks", "steals")
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _num(obj, key):
+    return isinstance(obj.get(key), (int, float))
+
+
+def validate_report(doc, errors):
+    """Append schema violations to `errors`; empty list = valid."""
+    if not isinstance(doc, dict):
+        errors.append("top level is not a JSON object")
+        return
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, "
+                      f"expected {SCHEMA!r}")
+    if not isinstance(doc.get("git_sha"), str):
+        errors.append("missing string 'git_sha'")
+
+    calib = doc.get("calibration")
+    if calib is not None:
+        if not isinstance(calib, dict):
+            errors.append("'calibration' is not an object")
+        else:
+            for key in _CALIBRATION_FIELDS:
+                if not _num(calib, key):
+                    errors.append(f"calibration: missing numeric "
+                                  f"{key!r}")
+
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, list):
+        errors.append("missing 'kernels' list")
+        kernels = []
+    for i, k in enumerate(kernels):
+        where = f"kernels[{i}]"
+        if not isinstance(k, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not isinstance(k.get("zone"), str):
+            errors.append(f"{where}: missing string 'zone'")
+            continue
+        for key in _KERNEL_INT_FIELDS:
+            if not _num(k, key):
+                errors.append(f"{where} ({k['zone']}): missing "
+                              f"numeric {key!r}")
+        if not _num(k, "achieved_gbps"):
+            errors.append(f"{where} ({k['zone']}): missing numeric "
+                          "'achieved_gbps'")
+        # Every ledgered kernel models compulsory traffic; a zone
+        # with zero bytes means its analytic model broke.
+        if k.get("bytes") == 0:
+            errors.append(f"{where} ({k['zone']}): zero bytes — "
+                          "work model recorded nothing")
+        if k.get("flops") == 0:
+            errors.append(f"{where} ({k['zone']}): zero flops — "
+                          "work model recorded nothing")
+
+    host = doc.get("host")
+    if not isinstance(host, dict):
+        errors.append("missing 'host' object")
+    else:
+        for key in ("bytes", "flops", "kernel_ns", "achieved_gbps"):
+            if not _num(host, key):
+                errors.append(f"host: missing numeric {key!r}")
+
+    pool = doc.get("pool")
+    if not isinstance(pool, dict):
+        errors.append("missing 'pool' object")
+    else:
+        for key in _POOL_FIELDS:
+            if not _num(pool, key):
+                errors.append(f"pool: missing numeric {key!r}")
+        busy = pool.get("busy_ns", 0)
+        idle = pool.get("idle_ns", 0)
+        worker = pool.get("worker_ns", 0)
+        # busy + idle classifies worker-loop iterations, so it can
+        # never exceed the workers' measured loop lifetime (worker_ns
+        # is 0 for pools outliving the window — then nothing to gate).
+        if isinstance(busy, (int, float)) and \
+                isinstance(idle, (int, float)) and \
+                isinstance(worker, (int, float)) and \
+                worker > 0 and busy + idle > worker * 1.01:
+            errors.append(f"pool: busy+idle ({busy + idle}) exceeds "
+                          f"worker wall time ({worker})")
+
+    batch = doc.get("batch")
+    if not isinstance(batch, dict) or not _num(batch, "jobs") or \
+            not _num(batch, "job_ns"):
+        errors.append("missing 'batch' object with jobs/job_ns")
+
+    blocks = doc.get("block_samples")
+    if not isinstance(blocks, dict) or \
+            not _num(blocks, "count") or \
+            not _num(blocks, "dropped") or \
+            not isinstance(blocks.get("samples"), list):
+        errors.append("missing 'block_samples' object with "
+                      "count/dropped/samples")
+
+    fpga = doc.get("fpga_model")
+    if not isinstance(fpga, dict) or not _num(fpga, "runs"):
+        errors.append("missing 'fpga_model' object with runs")
+
+
+def report(doc, out):
+    calib = doc.get("calibration") or {}
+    peak = calib.get("peak_gbps")
+    if peak:
+        out.write(f"calibrated peak: {peak:.2f} GB/s "
+                  f"(copy {calib.get('copy_gbps', 0):.2f}, "
+                  f"triad {calib.get('triad_gbps', 0):.2f})\n")
+    else:
+        out.write("no calibration in report — achieved GB/s stated "
+                  "without a roofline denominator\n")
+
+    kernels = doc.get("kernels") or []
+    if kernels:
+        out.write("\nkernels:\n")
+    for k in sorted(kernels, key=lambda k: k.get("zone", "?")):
+        gbps = k.get("achieved_gbps", 0.0)
+        line = (f"  {k.get('zone', '?'):<24} "
+                f"{k.get('calls', 0):>8} calls "
+                f"{k.get('bytes', 0):>14} B  {gbps:8.2f} GB/s")
+        if "peak_fraction" in k:
+            line += f"  ({100.0 * k['peak_fraction']:.0f}% of peak)"
+        out.write(line + "\n")
+
+    host = doc.get("host") or {}
+    if host:
+        line = (f"\nhost aggregate: {host.get('bytes', 0)} B in "
+                f"{host.get('kernel_ns', 0)} kernel-ns, "
+                f"{host.get('achieved_gbps', 0.0):.2f} GB/s")
+        if "host_ru" in host:
+            line += f", RU {host['host_ru']:.3f}"
+        out.write(line + "\n")
+
+    pool = doc.get("pool") or {}
+    if pool.get("tasks"):
+        busy = pool.get("busy_ns", 0)
+        idle = pool.get("idle_ns", 0)
+        frac = pool.get("busy_fraction")
+        detail = f" ({100.0 * frac:.1f}% busy)" if frac is not None \
+            else ""
+        out.write(f"pool: busy {busy} ns, idle {idle} ns{detail}, "
+                  f"{pool.get('tasks', 0)} tasks, "
+                  f"{pool.get('steals', 0)} stolen\n")
+
+    batch = doc.get("batch") or {}
+    if batch.get("jobs"):
+        out.write(f"batch: {batch['jobs']} jobs, "
+                  f"{batch.get('job_ns', 0)} job-ns\n")
+
+    blocks = doc.get("block_samples") or {}
+    if blocks.get("count"):
+        out.write(f"block samples: {blocks['count']} kept, "
+                  f"{blocks.get('dropped', 0)} dropped\n")
+
+    fpga = doc.get("fpga_model") or {}
+    if fpga.get("runs"):
+        out.write(f"fpga model: {fpga['runs']} runs, "
+                  f"paper RU {fpga.get('paper_ru', 0.0):.3f}, "
+                  f"occupancy RU "
+                  f"{fpga.get('occupancy_ru', 0.0):.3f}\n")
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report",
+                    help="utilization JSON from --util-report=<path>")
+    ap.add_argument("--validate", action="store_true",
+                    help="check the report against the "
+                         f"{SCHEMA} schema and exit (CI gate)")
+    args = ap.parse_args(argv)
+
+    try:
+        doc = load_report(args.report)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"util_report: {args.report}: {e}", file=sys.stderr)
+        return 2
+
+    errors = []
+    validate_report(doc, errors)
+    if args.validate:
+        if errors:
+            for err in errors:
+                print(f"util_report: {args.report}: {err}",
+                      file=sys.stderr)
+            return 1
+        n_kernels = len(doc.get("kernels", []))
+        print(f"{args.report}: valid {SCHEMA} ({n_kernels} kernel "
+              f"zone(s))")
+        return 0
+
+    if errors:
+        print(f"util_report: warning: {len(errors)} schema issue(s) "
+              f"in {args.report}; report may be partial",
+              file=sys.stderr)
+
+    print(f"{args.report}:")
+    report(doc, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        sys.exit(0)
