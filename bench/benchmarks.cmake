@@ -23,6 +23,7 @@ set(ACAMAR_BENCHES
     ablation_gpu_kernels
     ablation_msid_tolerance
     spmv_kernels
+    spmm_kernels
     mem_calibrate
 )
 

@@ -5,6 +5,7 @@
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "metrics/underutilization.hh"
+#include "solvers/block_solver.hh"
 #include "obs/correlation.hh"
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
@@ -37,17 +38,9 @@ Acamar::Acamar(const AcamarConfig &cfg, const FpgaDevice &device)
 }
 
 AcamarRunReport
-Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
+Acamar::analyzeFrontEnd(const CsrMatrix<float> &a)
 {
-    if (a.numRows() != a.numCols())
-        ACAMAR_FATAL("Acamar needs a square matrix, got ", a.numRows(),
-                     "x", a.numCols());
-    if (b.size() != static_cast<size_t>(a.numRows()))
-        ACAMAR_FATAL("rhs size ", b.size(), " != matrix dim ",
-                     a.numRows());
-
     AcamarRunReport rep;
-    ACAMAR_PROFILE("accel/run");
     const Correlation corr = currentCorrelation();
     rep.runId = corr.runId;
     rep.spanId = corr.spanId;
@@ -74,13 +67,85 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
     rep.paperRu = meanUnderutilizationPerSet(a, rep.plan.factors,
                                              rep.plan.setSize);
     rep.occupancyRu = rep.passStats.occupancyUnderutilization();
+    reconfig_.tracePlan(rep.plan, rep.analyzerCycles);
+    return rep;
+}
+
+AcamarRunReport
+Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
+{
+    if (a.numRows() != a.numCols())
+        ACAMAR_FATAL("Acamar needs a square matrix, got ", a.numRows(),
+                     "x", a.numCols());
+    if (b.size() != static_cast<size_t>(a.numRows()))
+        ACAMAR_FATAL("rhs size ", b.size(), " != matrix dim ",
+                     a.numRows());
+
+    ACAMAR_PROFILE("accel/run");
+    AcamarRunReport rep = analyzeFrontEnd(a);
     // Feed the FPGA-model RU pair to the utilization ledger so the
     // util report states model RU next to host RU for the same run.
     if (workLedgerEnabled())
         WorkLedger::instance().recordFpgaRu(rep.paperRu,
                                             rep.occupancyRu);
-    reconfig_.tracePlan(rep.plan, rep.analyzerCycles);
+    runSolveChain(a, b, rep, nullptr);
+    return rep;
+}
 
+std::vector<AcamarRunReport>
+Acamar::runBlock(const CsrMatrix<float> &a,
+                 const std::vector<const std::vector<float> *> &bs)
+{
+    if (a.numRows() != a.numCols())
+        ACAMAR_FATAL("Acamar needs a square matrix, got ", a.numRows(),
+                     "x", a.numCols());
+    if (bs.empty() || bs.size() > kMaxBlockWidth)
+        ACAMAR_FATAL("block width ", bs.size(), " outside [1, ",
+                     kMaxBlockWidth, "]");
+    for (const std::vector<float> *b : bs) {
+        if (!b || b->size() != static_cast<size_t>(a.numRows()))
+            ACAMAR_FATAL("block rhs size mismatch for matrix dim ",
+                         a.numRows());
+    }
+    if (bs.size() == 1)
+        return {run(a, *bs[0])};
+
+    ACAMAR_PROFILE("accel/run_block");
+    const AcamarRunReport proto = analyzeFrontEnd(a);
+    // One RU ledger sample per member, exactly as k solo runs would
+    // book: the analysis is shared but the jobs are not.
+    if (workLedgerEnabled()) {
+        for (size_t j = 0; j < bs.size(); ++j)
+            WorkLedger::instance().recordFpgaRu(proto.paperRu,
+                                                proto.occupancyRu);
+    }
+
+    std::vector<AcamarRunReport> reps(bs.size(), proto);
+    const SolverKind kind = proto.structure.solver;
+    if (blockSolverAvailable(kind)) {
+        // Fused first attempt: one block solve serves every member.
+        // Each column's result and timing match a solo first attempt
+        // bit for bit (solvers/block_solver.hh), so the per-member
+        // fallback chains below resume from identical state.
+        ACAMAR_PROFILE("accel/solve_attempt");
+        const auto solver = makeSolver(kind);
+        const Cycles init_cycles = init_.cycles(a, *solver);
+        std::vector<TimedSolve> firsts = solver_.runBlock(
+            a, bs, kind, proto.plan, init_cycles, cfg_.criteria);
+        for (size_t j = 0; j < bs.size(); ++j)
+            runSolveChain(a, *bs[j], reps[j], &firsts[j]);
+    } else {
+        for (size_t j = 0; j < bs.size(); ++j)
+            runSolveChain(a, *bs[j], reps[j], nullptr);
+    }
+    return reps;
+}
+
+void
+Acamar::runSolveChain(const CsrMatrix<float> &a,
+                      const std::vector<float> &b, AcamarRunReport &rep,
+                      TimedSolve *first_attempt)
+{
     // Solve loop with Solver Modifier fallback. `cursor` places the
     // phase spans of successive attempts on one run timeline.
     modifier_.reset();
@@ -92,23 +157,32 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
     const double wall_budget_ms = cfg_.criteria.deadlineMs;
     const uint64_t run_start_ns =
         wall_budget_ms > 0.0 ? Profiler::nowNs() : 0;
+    bool use_preset = first_attempt != nullptr;
     while (true) {
         ACAMAR_PROFILE("accel/solve_attempt");
-        const auto solver = makeSolver(kind);
-        const Cycles init_cycles = init_.cycles(a, *solver);
-        ConvergenceCriteria criteria = cfg_.criteria;
-        if (wall_budget_ms > 0.0) {
-            const double spent_ms =
-                static_cast<double>(Profiler::nowNs() -
-                                    run_start_ns) / 1e6;
-            // Keep an expired budget armed (epsilon, not zero): the
-            // watchdog then fires on the first observation instead
-            // of silently disarming.
-            criteria.deadlineMs =
-                std::max(wall_budget_ms - spent_ms, 1e-3);
+        TimedSolve attempt;
+        if (use_preset) {
+            // The block path already executed this member's first
+            // attempt; book it without re-solving.
+            use_preset = false;
+            attempt = std::move(*first_attempt);
+        } else {
+            const auto solver = makeSolver(kind);
+            const Cycles init_cycles = init_.cycles(a, *solver);
+            ConvergenceCriteria criteria = cfg_.criteria;
+            if (wall_budget_ms > 0.0) {
+                const double spent_ms =
+                    static_cast<double>(Profiler::nowNs() -
+                                        run_start_ns) / 1e6;
+                // Keep an expired budget armed (epsilon, not zero):
+                // the watchdog then fires on the first observation
+                // instead of silently disarming.
+                criteria.deadlineMs =
+                    std::max(wall_budget_ms - spent_ms, 1e-3);
+            }
+            attempt = solver_.run(a, b, kind, rep.plan, init_cycles,
+                                  criteria);
         }
-        TimedSolve attempt =
-            solver_.run(a, b, kind, rep.plan, init_cycles, criteria);
         modifier_.markTried(kind);
         rep.totalTiming += attempt.timing;
         ACAMAR_TRACE(PhaseEvent{
@@ -146,7 +220,6 @@ Acamar::run(const CsrMatrix<float> &a, const std::vector<float> &b)
         cursor += reconfig_.solverReconfigCycles();
         kind = *next;
     }
-    return rep;
 }
 
 double

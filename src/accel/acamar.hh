@@ -73,6 +73,21 @@ class Acamar
     AcamarRunReport run(const CsrMatrix<float> &a,
                         const std::vector<float> &b);
 
+    /**
+     * Solve A x_j = b_j for a block of right-hand sides sharing one
+     * matrix (the grouped batch path; 1 <= k <= kMaxBlockWidth).
+     * The front-end analysis runs once and is shared; when the
+     * structure unit's pick has a block implementation the first
+     * solve attempt is fused (one SpMM streams the matrix for all
+     * columns), and any columns it leaves unconverged walk the
+     * Solver Modifier fallback chain individually. Every member's
+     * report is byte-identical to run(a, b_j) on its own — same
+     * attempts, same timing, same residual histories.
+     */
+    std::vector<AcamarRunReport>
+    runBlock(const CsrMatrix<float> &a,
+             const std::vector<const std::vector<float> *> &bs);
+
     /** Time-weighted fabric area of the dynamic design on `a`. */
     double dynamicAreaMm2(const CsrMatrix<float> &a,
                           const ReconfigPlan &plan) const;
@@ -105,6 +120,28 @@ class Acamar
     void resetStats();
 
   private:
+    /**
+     * Run the concurrent front-end units (structure analysis + FGR
+     * plan + pass timing + RU metrics) and stamp the report's
+     * correlation ids. Pure analysis — the caller records the FPGA
+     * RU ledger sample (once per *job*, so a grouped run books the
+     * same sample count as its members would solo).
+     */
+    AcamarRunReport analyzeFrontEnd(const CsrMatrix<float> &a);
+
+    /**
+     * The solve loop with Solver Modifier fallback, appending
+     * attempts to `rep`. When `first_attempt` is non-null it is
+     * consumed as the already-executed first attempt (the block
+     * path) and the chain continues from its verdict — the exact
+     * control flow run() uses, so grouped and solo runs book
+     * identical attempt sequences.
+     */
+    void runSolveChain(const CsrMatrix<float> &a,
+                       const std::vector<float> &b,
+                       AcamarRunReport &rep,
+                       TimedSolve *first_attempt);
+
     AcamarConfig cfg_;
     FpgaDevice device_;
     // Host-side parallel context for the functional solves; null at

@@ -1,6 +1,9 @@
 #include "accel/reconfigurable_solver.hh"
 
+#include <algorithm>
+
 #include "common/check.hh"
+#include "solvers/block_solver.hh"
 
 namespace acamar {
 
@@ -36,6 +39,40 @@ ReconfigurableSolver::ReconfigurableSolver(EventQueue *eq,
                       "solver loop trips across all runs");
 }
 
+TimingBreakdown
+ReconfigurableSolver::timeReplay(const CsrMatrix<float> &a,
+                                 const ReconfigPlan &plan,
+                                 const KernelProfile &prof,
+                                 Cycles init_cycles, int iterations)
+{
+    TimingBreakdown t;
+    const auto iters = static_cast<Cycles>(std::max(iterations, 1));
+
+    // SpMV: `prof.spmvs` planned passes per iteration.
+    const SpmvRunStats pass = spmv_->timePlanned(a, plan);
+    const auto passes =
+        static_cast<int64_t>(prof.spmvs) *
+        static_cast<int64_t>(iters);
+    t.spmvCycles = pass.cycles * static_cast<Cycles>(passes);
+    t.spmvUsefulMacs = pass.usefulMacs * passes;
+    t.spmvOfferedMacs = pass.offeredMacs * passes;
+
+    // Dense kernels: static units, fixed shape per iteration.
+    t.denseCycles =
+        dense_->iterationDenseCycles(prof, a.numRows()) * iters;
+
+    t.initCycles = init_cycles;
+    t.iterations = iterations;
+
+    // Each planned pass replays the plan's DFX events.
+    t.reconfigEvents =
+        static_cast<int64_t>(plan.reconfigEvents) * passes;
+    reconfig_->chargeSpmvReconfigs(t.reconfigEvents);
+    t.reconfigCycles = reconfig_->spmvReconfigCycles() *
+                       static_cast<Cycles>(t.reconfigEvents);
+    return t;
+}
+
 TimedSolve
 ReconfigurableSolver::run(const CsrMatrix<float> &a,
                           const std::vector<float> &b, SolverKind kind,
@@ -48,42 +85,48 @@ ReconfigurableSolver::run(const CsrMatrix<float> &a,
 
     const auto solver = makeSolver(kind);
     ts.result = solver->solve(a, b, {}, criteria, workspace_);
-
-    const KernelProfile prof = solver->iterationProfile();
-    const auto iters =
-        static_cast<Cycles>(std::max(ts.result.iterations, 1));
-
-    // SpMV: `prof.spmvs` planned passes per iteration.
-    const SpmvRunStats pass = spmv_->timePlanned(a, plan);
-    const auto passes =
-        static_cast<int64_t>(prof.spmvs) *
-        static_cast<int64_t>(iters);
-    ts.timing.spmvCycles =
-        pass.cycles * static_cast<Cycles>(passes);
-    ts.timing.spmvUsefulMacs = pass.usefulMacs * passes;
-    ts.timing.spmvOfferedMacs = pass.offeredMacs * passes;
-
-    // Dense kernels: static units, fixed shape per iteration.
-    ts.timing.denseCycles =
-        dense_->iterationDenseCycles(prof, a.numRows()) * iters;
-
-    ts.timing.initCycles = init_cycles;
-    ts.timing.iterations = ts.result.iterations;
+    ts.timing = timeReplay(a, plan, solver->iterationProfile(),
+                           init_cycles, ts.result.iterations);
     iterations_.add(static_cast<double>(ts.result.iterations));
-
-    // Each planned pass replays the plan's DFX events.
-    ts.timing.reconfigEvents =
-        static_cast<int64_t>(plan.reconfigEvents) * passes;
-    reconfig_->chargeSpmvReconfigs(ts.timing.reconfigEvents);
-    ts.timing.reconfigCycles =
-        reconfig_->spmvReconfigCycles() *
-        static_cast<Cycles>(ts.timing.reconfigEvents);
 
     if (ts.result.ok())
         converged_.inc();
     else
         diverged_.inc();
     return ts;
+}
+
+std::vector<TimedSolve>
+ReconfigurableSolver::runBlock(
+    const CsrMatrix<float> &a,
+    const std::vector<const std::vector<float> *> &bs, SolverKind kind,
+    const ReconfigPlan &plan, Cycles init_cycles,
+    const ConvergenceCriteria &criteria)
+{
+    const auto block = makeBlockSolver(kind);
+    ACAMAR_CHECK(block) << "no block solver for " << to_string(kind);
+    BlockSolveResult br = block->solve(a, bs, criteria, workspace_);
+    const KernelProfile prof = makeSolver(kind)->iterationProfile();
+
+    // Per-column accounting in submission order, exactly as k
+    // scalar run() calls would book it: one runs_ tick, one timing
+    // replay (with its reconfig charge), one converged/diverged
+    // verdict per rhs.
+    std::vector<TimedSolve> out(bs.size());
+    for (size_t j = 0; j < bs.size(); ++j) {
+        runs_.inc();
+        out[j].kind = kind;
+        out[j].result = std::move(br.columns[j]);
+        out[j].timing = timeReplay(a, plan, prof, init_cycles,
+                                   out[j].result.iterations);
+        iterations_.add(
+            static_cast<double>(out[j].result.iterations));
+        if (out[j].result.ok())
+            converged_.inc();
+        else
+            diverged_.inc();
+    }
+    return out;
 }
 
 } // namespace acamar

@@ -93,6 +93,22 @@ class ReconfigurableSolver : public SimObject
     }
 
     /**
+     * Run one *block* solve over k right-hand sides (the grouped
+     * batch path; requires blockSolverAvailable(kind)). Returns one
+     * TimedSolve per rhs, in order. Each column's functional result
+     * is byte-identical to run() on that rhs alone, and each
+     * column's timing replays the scalar kernel profile against its
+     * own iteration count — so per-job timing, the runs/converged/
+     * iterations stats, and the reconfig charges all match k scalar
+     * runs exactly.
+     */
+    std::vector<TimedSolve>
+    runBlock(const CsrMatrix<float> &a,
+             const std::vector<const std::vector<float> *> &bs,
+             SolverKind kind, const ReconfigPlan &plan,
+             Cycles init_cycles, const ConvergenceCriteria &criteria);
+
+    /**
      * Attach the host-side parallel context (or nullptr for serial)
      * the functional solves should use. Not owned.
      */
@@ -102,6 +118,18 @@ class ReconfigurableSolver : public SimObject
     }
 
   private:
+    /**
+     * Replay one solve's kernel profile against the hardware models:
+     * a pure function of (a, plan, prof, init_cycles, iterations)
+     * plus the reconfig charge side effect — shared by run() and
+     * runBlock() so a block column's timing cannot drift from the
+     * scalar path's.
+     */
+    TimingBreakdown timeReplay(const CsrMatrix<float> &a,
+                               const ReconfigPlan &plan,
+                               const KernelProfile &prof,
+                               Cycles init_cycles, int iterations);
+
     AcamarConfig cfg_;
     DynamicSpmvKernel *spmv_;
     DenseKernelModel *dense_;

@@ -1,5 +1,9 @@
 #include "exec/batch_solver.hh"
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
 #include "common/check.hh"
 #include "common/random.hh"
 #include "exec/parallel_for.hh"
@@ -8,6 +12,7 @@
 #include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "obs/work_ledger.hh"
+#include "sparse/properties.hh"
 
 namespace acamar {
 
@@ -17,6 +22,14 @@ namespace {
  * Mint the batch RunId from the root seed without touching the job
  * seed stream: a copy of the root xor a distinct constant keeps the
  * id deterministic per batch yet never equal to any job seed.
+ *
+ * The id depends ONLY on the seed — that is what keeps reports
+ * byte-identical when the same batch is rebuilt at a different
+ * --jobs value. The flip side: a program running several batches
+ * must give them distinct rootSeeds, or their (run, span) scopes
+ * collide and trace consumers fold unrelated jobs together
+ * (examples/solver_portfolio.cc separates its grid and sweep
+ * batches this way).
  */
 uint64_t
 mintRunId(uint64_t root_seed)
@@ -25,6 +38,77 @@ mintRunId(uint64_t root_seed)
     const uint64_t id = splitmix64(state);
     // Zero means "no correlation scope"; dodge it deterministically.
     return id != 0 ? id : 0x1ull;
+}
+
+/** FNV-1a accumulator for the config half of the group key. */
+struct KeyHasher {
+    uint64_t h = 14695981039346656037ull;
+
+    void
+    bytes(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ull;
+        }
+    }
+
+    void f64(double v) { bytes(&v, sizeof(v)); }
+    void i64(int64_t v) { bytes(&v, sizeof(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        i64(static_cast<int64_t>(s.size()));
+        bytes(s.data(), s.size());
+    }
+};
+
+/**
+ * Fingerprint of everything besides the matrix that shapes a job's
+ * report: every AcamarConfig knob (criteria and health thresholds
+ * included) and the device model. Jobs may share a block solve only
+ * when this matches — a grouped member must behave exactly as its
+ * solo run would, and any differing knob could fork the two paths.
+ */
+uint64_t
+configFingerprint(const AcamarConfig &cfg, const FpgaDevice &dev)
+{
+    KeyHasher k;
+    k.i64(cfg.samplingRate);
+    k.i64(cfg.rOptStages);
+    k.f64(cfg.msidTolerance);
+    k.i64(cfg.chunkRows);
+    k.i64(cfg.maxUnroll);
+    k.i64(cfg.initUnroll);
+    k.i64(cfg.hostThreads);
+    k.i64(cfg.extendedSolverChain ? 1 : 0);
+    k.i64(cfg.chargeReconfigTime ? 1 : 0);
+    const ConvergenceCriteria &c = cfg.criteria;
+    k.f64(c.tolerance);
+    k.i64(c.setupIterations);
+    k.f64(c.divergenceGrowth);
+    k.i64(c.maxIterations);
+    k.i64(c.deadlineIterations);
+    k.f64(c.deadlineMs);
+    k.i64(c.health.stallWindow);
+    k.f64(c.health.stallImprovement);
+    k.i64(c.health.divergenceWindow);
+    k.f64(c.health.nanMagnitude);
+    k.f64(c.health.nanGrowthFactor);
+    k.str(dev.name);
+    k.i64(dev.capacity.luts);
+    k.i64(dev.capacity.ffs);
+    k.i64(dev.capacity.dsps);
+    k.i64(dev.capacity.brams);
+    k.f64(dev.dieAreaMm2);
+    k.f64(dev.kernelClockHz);
+    k.f64(dev.icapClockHz);
+    k.f64(dev.icapBitsPerSecond);
+    k.f64(dev.hbmBytesPerSecond);
+    k.f64(dev.portBytesPerCycle);
+    return k.h;
 }
 
 } // namespace
@@ -87,35 +171,130 @@ BatchSolver::solveAll() const
                          "batch jobs stopped by the deadline");
     }
 
-    parallelForIndex(opts_.jobs, jobs_.size(), [&](size_t i) {
-        ACAMAR_PROFILE("exec/batch_job");
-        // Make the (run, span) pair ambient: every trace event and
-        // the report itself get stamped with it.
-        CorrelationScope scope(runId_, static_cast<uint64_t>(i) + 1);
-        if (in_flight)
-            in_flight->add(1.0);
+    // Group formation runs serially over submission order, so group
+    // membership depends only on the queue contents — never on
+    // scheduling or worker count. A group is a list of submission
+    // indices sharing (matrix fingerprint, config+device
+    // fingerprint), closed at the width cap; the ungrouped batch is
+    // the width-1 special case (every group a singleton).
+    const auto width = static_cast<size_t>(std::clamp<int>(
+        opts_.blockWidth, 1, static_cast<int>(kMaxBlockWidth)));
+    std::vector<std::vector<size_t>> groups;
+    if (width <= 1) {
+        groups.reserve(jobs_.size());
+        for (size_t i = 0; i < jobs_.size(); ++i)
+            groups.push_back({i});
+    } else {
+        std::map<uint64_t, uint64_t> fp_by_revision; // memo
+        std::map<std::pair<uint64_t, uint64_t>, size_t> open;
+        for (size_t i = 0; i < jobs_.size(); ++i) {
+            const BatchJob &job = jobs_[i];
+            auto [memo, fresh] =
+                fp_by_revision.try_emplace(job.a->revision(), 0);
+            if (fresh)
+                memo->second = matrixFingerprint(*job.a);
+            const std::pair<uint64_t, uint64_t> key{
+                memo->second,
+                configFingerprint(job.cfg, job.device)};
+            auto [slot, opened] = open.try_emplace(key, groups.size());
+            if (opened)
+                groups.emplace_back();
+            std::vector<size_t> &members = groups[slot->second];
+            members.push_back(i);
+            if (members.size() >= width)
+                open.erase(slot); // full: a later match starts fresh
+        }
+    }
+
+    parallelForIndex(opts_.jobs, groups.size(), [&](size_t g) {
+        const std::vector<size_t> &members = groups[g];
         const bool ledger = workLedgerEnabled();
-        const uint64_t job0 = ledger ? Profiler::nowNs() : 0;
-        const BatchJob &job = jobs_[i];
-        // A private accelerator per job: nothing mutable is shared,
-        // so the report depends only on the job's inputs.
-        Acamar acc(job.cfg, job.device);
-        reports[i] = acc.run(*job.a, *job.b);
-        if (metrics) {
-            in_flight->add(-1.0);
-            if (reports[i].converged)
-                completed->add(1);
-            else
-                failed->add(1);
-            if (reports[i].timedOut)
-                timed_out->add(1);
+        if (members.size() == 1) {
+            const size_t i = members[0];
+            ACAMAR_PROFILE("exec/batch_job");
+            // Make the (run, span) pair ambient: every trace event
+            // and the report itself get stamped with it.
+            CorrelationScope scope(runId_,
+                                   static_cast<uint64_t>(i) + 1);
+            if (in_flight)
+                in_flight->add(1.0);
+            const uint64_t job0 = ledger ? Profiler::nowNs() : 0;
+            const BatchJob &job = jobs_[i];
+            // A private accelerator per job: nothing mutable is
+            // shared, so the report depends only on the job's inputs.
+            Acamar acc(job.cfg, job.device);
+            reports[i] = acc.run(*job.a, *job.b);
+            if (metrics) {
+                in_flight->add(-1.0);
+                if (reports[i].converged)
+                    completed->add(1);
+                else
+                    failed->add(1);
+                if (reports[i].timedOut)
+                    timed_out->add(1);
+            }
+            if (ledger) {
+                WorkLedger::instance().addBatchJob(Profiler::nowNs() -
+                                                   job0);
+            }
+            // Job boundary: a job's trace events are durable once
+            // its report is (see TraceSession::flushThisThread).
+            TraceSession::instance().flushThisThread();
+            return;
         }
+
+        ACAMAR_PROFILE("exec/batch_group");
+        // The group's shared work (analysis + fused solve) runs
+        // under the primary member's span; each member's report is
+        // re-stamped with its own SpanId below, and a block_group
+        // trace event ties the remaining spans to the primary's.
+        const size_t primary = members[0];
+        CorrelationScope scope(runId_,
+                               static_cast<uint64_t>(primary) + 1);
+        if (in_flight)
+            in_flight->add(static_cast<double>(members.size()));
+        const uint64_t grp0 = ledger ? Profiler::nowNs() : 0;
+        const BatchJob &lead = jobs_[primary];
+        std::vector<const std::vector<float> *> bs(members.size());
+        for (size_t m = 0; m < members.size(); ++m)
+            bs[m] = jobs_[members[m]].b;
+        Acamar acc(lead.cfg, lead.device);
+        std::vector<AcamarRunReport> reps = acc.runBlock(*lead.a, bs);
+        if (traceEnabled()) {
+            BlockGroupEvent ev;
+            ev.solver = to_string(reps[0].structure.solver);
+            ev.width = static_cast<int>(members.size());
+            for (size_t m = 0; m < members.size(); ++m)
+                ev.memberSpans.push_back(
+                    static_cast<uint64_t>(members[m]) + 1);
+            ACAMAR_TRACE(ev);
+        }
+        for (size_t m = 0; m < members.size(); ++m) {
+            AcamarRunReport &rep = reps[m];
+            // The ambient scope stamped the primary span on every
+            // member; restore each job's own submission-index span.
+            rep.spanId = static_cast<uint64_t>(members[m]) + 1;
+            if (metrics) {
+                if (rep.converged)
+                    completed->add(1);
+                else
+                    failed->add(1);
+                if (rep.timedOut)
+                    timed_out->add(1);
+            }
+            reports[members[m]] = std::move(rep);
+        }
+        if (in_flight)
+            in_flight->add(-static_cast<double>(members.size()));
         if (ledger) {
-            WorkLedger::instance().addBatchJob(Profiler::nowNs() -
-                                               job0);
+            // One wall charge per member so the ledger's batch-job
+            // count matches the queue; the group's wall time splits
+            // evenly across the jobs it served.
+            const uint64_t wall = Profiler::nowNs() - grp0;
+            for (size_t m = 0; m < members.size(); ++m)
+                WorkLedger::instance().addBatchJob(wall /
+                                                   members.size());
         }
-        // Job boundary: a job's trace events are durable once its
-        // report is (see TraceSession::flushThisThread).
         TraceSession::instance().flushThisThread();
     });
     return reports;

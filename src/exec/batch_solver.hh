@@ -40,6 +40,19 @@ struct BatchOptions {
 
     /** Root of the per-job splitmix64 seed stream. */
     uint64_t rootSeed = 0x9e3779b97f4a7c15ull;
+
+    /**
+     * Maximum right-hand sides coalesced into one block solve. Jobs
+     * sharing a matrix (content fingerprint — sparse/properties.hh)
+     * and an identical config + device are grouped in submission
+     * order up to this cap and solved via Acamar::runBlock, paying
+     * one matrix stream per iteration instead of one per job. 1
+     * (the default) keeps every job on the scalar path; values are
+     * clamped to kMaxBlockWidth. Grouping never changes results:
+     * each member's report stays byte-identical to its solo run, in
+     * submission order, with its own correlation SpanId.
+     */
+    int blockWidth = 1;
 };
 
 /** One queued solve: borrowed inputs plus per-job configuration. */
@@ -89,7 +102,9 @@ class BatchSolver
      * The batch's correlation RunId: derived from the root seed (so
      * identical across --jobs values and reruns), stamped with a
      * per-job SpanId (1-based submission index) onto every trace
-     * event and run report a job produces.
+     * event and run report a job produces. Programs running several
+     * batches should give each a distinct rootSeed so their
+     * correlation scopes never collide in a shared trace.
      */
     uint64_t runId() const { return runId_; }
 

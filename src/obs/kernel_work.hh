@@ -98,6 +98,47 @@ ellSpmvWork(int64_t rows, int64_t nnz, int64_t paddedSlots,
     return w;
 }
 
+/**
+ * CSR row-range SpMM over k right-hand sides (spmmRows): the matrix
+ * streams exactly once — values, column indices and the row-pointer
+ * window cost the same as one SpMV — while x is gathered and y
+ * written k times per entry/row. The amortization the block solvers
+ * buy is visible directly: bytes grow far slower than k * SpMV.
+ */
+inline WorkCounts
+csrSpmmWork(int64_t rows, int64_t nnz, uint64_t k, uint64_t elem)
+{
+    WorkCounts w;
+    const auto r = static_cast<uint64_t>(rows);
+    const auto z = static_cast<uint64_t>(nnz);
+    w.bytes = z * (elem + 4) + (r + 1) * 8 + k * (z + r) * elem;
+    w.flops = 2 * z * k;
+    w.rows = rows;
+    w.nnz = nnz;
+    return w;
+}
+
+/**
+ * SELL-C-σ chunk-range SpMM over k right-hand sides: the padded
+ * slots, permutation and chunk metadata stream once (as in
+ * sellSpmvWork), x gathers and y writes scale by k.
+ */
+inline WorkCounts
+sellSpmmWork(int64_t rows, int64_t nnz, int64_t paddedSlots,
+             int64_t chunks, uint64_t k, uint64_t elem)
+{
+    WorkCounts w;
+    const auto r = static_cast<uint64_t>(rows);
+    const auto z = static_cast<uint64_t>(nnz);
+    const auto s = static_cast<uint64_t>(paddedSlots);
+    w.bytes = s * (elem + 4) + r * 4 + k * (z + r) * elem +
+              static_cast<uint64_t>(chunks) * 16;
+    w.flops = 2 * z * k;
+    w.rows = rows;
+    w.nnz = nnz;
+    return w;
+}
+
 /** dot(x, y): both operands stream once; one MAC per element. */
 inline WorkCounts
 dotWork(uint64_t n, uint64_t elem)

@@ -137,6 +137,32 @@ PerfReporter::setThroughput(const std::string &unit, double count)
 }
 
 void
+PerfReporter::setExtra(const std::string &key, JsonValue value)
+{
+    // The required schema fields and the ledger-owned "util" object
+    // must never be shadowed by a bench.
+    static const char *const kReserved[] = {
+        "schema", "bench",       "dim",     "jobs",
+        "git_sha", "wall_seconds", "throughput", "profile",
+        "util",
+    };
+    for (const char *r : kReserved) {
+        if (key == r) {
+            warn("perf extra section '", key,
+                 "' is a reserved record field; ignored");
+            return;
+        }
+    }
+    for (auto &kv : extras_) {
+        if (kv.first == key) {
+            kv.second = std::move(value);
+            return;
+        }
+    }
+    extras_.emplace_back(key, std::move(value));
+}
+
+void
 PerfReporter::finalize()
 {
     if (finalized_)
@@ -163,6 +189,10 @@ PerfReporter::finalize()
                     perfUtilJson(WorkLedger::instance().snapshot(),
                                  processMemCalibration()));
         }
+        // Bench-specific sections ride along the same way: optional
+        // fields bench_compare.py diffs when both sides carry them.
+        for (auto &kv : extras_)
+            rec.set(kv.first, std::move(kv.second));
         writeArtifact(perfJsonPath_, "perf record",
                       [&](std::ostream &os) {
                           rec.writePretty(os);

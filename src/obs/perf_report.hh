@@ -35,6 +35,8 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/config.hh"
 #include "obs/json.hh"
@@ -87,6 +89,16 @@ class PerfReporter
     void setThroughput(const std::string &unit, double count);
 
     /**
+     * Attach a bench-specific top-level section to the perf record
+     * (e.g. spmm_kernels' "spmm" amortization summary). Optional in
+     * the schema: bench_compare.py diffs a section when both sides
+     * carry it and skips older baselines gracefully, exactly like
+     * the "util" object. Reserved keys (the required schema fields,
+     * "util") are rejected. Last set wins per key.
+     */
+    void setExtra(const std::string &key, JsonValue value);
+
+    /**
      * Stop the profiler, write the perf JSON / flamegraph / Chrome
      * trace that were requested, and log where they went.
      * Idempotent; the destructor calls it.
@@ -105,6 +117,7 @@ class PerfReporter
     std::string chromePath_;
     std::string throughputUnit_ = "items";
     double throughputCount_ = 0.0;
+    std::vector<std::pair<std::string, JsonValue>> extras_;
     bool profiling_ = false;
     bool finalized_ = false;
     std::chrono::steady_clock::time_point start_;

@@ -259,6 +259,20 @@ TraceSession::record(const PhaseEvent &e)
 }
 
 void
+TraceSession::record(const BlockGroupEvent &e)
+{
+    TraceRecord rec;
+    rec.type = "block_group";
+    JsonValue spans = JsonValue::array();
+    for (uint64_t s : e.memberSpans)
+        spans.push(JsonValue(s));
+    rec.args.set("solver", e.solver)
+        .set("width", e.width)
+        .set("member_spans", std::move(spans));
+    emit(std::move(rec));
+}
+
+void
 TraceSession::record(const SimEventTrace &e)
 {
     TraceRecord rec;

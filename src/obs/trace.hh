@@ -137,6 +137,7 @@ class TraceSession
     void record(const SpmvSetEvent &e);
     void record(const IcapTransferEvent &e);
     void record(const PhaseEvent &e);
+    void record(const BlockGroupEvent &e);
     void record(const SimEventTrace &e);
     void record(const HealthEvent &e);
     void record(const MetricsSampleEvent &e);

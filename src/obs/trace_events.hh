@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "sim/event_queue.hh"
 
@@ -103,6 +104,19 @@ struct PhaseEvent {
     std::string detail;
     Cycles startCycles = 0;
     Cycles durationCycles = 0;
+};
+
+/**
+ * The batch scheduler coalesced several jobs into one block solve.
+ * Emitted under the group's primary correlation span; memberSpans
+ * lists every job the solve served, so trace consumers can attribute
+ * the group's solve events to all members instead of double-counting
+ * them against the primary (tools/trace_summary.py does).
+ */
+struct BlockGroupEvent {
+    std::string solver;  //!< block solver kind ("CG", "BiCG-STAB")
+    int width = 0;       //!< right-hand sides in the block
+    std::vector<uint64_t> memberSpans; //!< span ids, submission order
 };
 
 /** One discrete event processed by the simulation queue. */

@@ -1,0 +1,212 @@
+#include "solvers/block_bicgstab.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/check.hh"
+#include "obs/profiler.hh"
+#include "solvers/block_detail.hh"
+#include "sparse/spmm.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+
+BlockSolveResult
+BlockBiCgStabSolver::solve(
+    const CsrMatrix<float> &a,
+    const std::vector<const std::vector<float> *> &bs,
+    const ConvergenceCriteria &criteria, SolverWorkspace &ws) const
+{
+    solver_detail::checkBlockInputs(a, bs);
+    ACAMAR_PROFILE("solver/block_bicgstab");
+    const auto n = static_cast<size_t>(a.numRows());
+    const size_t k = bs.size();
+    ParallelContext *const pc = ws.parallel();
+
+    // Slots 0-3 carry the same roles as block CG (x, r, p, Ap), so a
+    // fallback chain that runs both solvers reuses those pools.
+    DenseBlock<float> &x = ws.block(0, n, k);
+    DenseBlock<float> &r = ws.block(1, n, k);
+    DenseBlock<float> &p = ws.block(2, n, k);
+    DenseBlock<float> &ap = ws.block(3, n, k);
+    DenseBlock<float> &r0s = ws.block(4, n, k); // shadow residual r0*
+    DenseBlock<float> &sb = ws.block(5, n, k);
+    DenseBlock<float> &as = ws.block(6, n, k);
+    x.fill(0.0f);
+
+    // Setup mirrors BiCgStabSolver column by column, in its order:
+    // the monitor sees ||r|| before rho = (r, r0*) is taken.
+    spmm(a, x, ap, k, pc);
+    std::array<double, kMaxBlockWidth> rho{};
+    std::array<double, kMaxBlockWidth> last_beta{};
+    std::array<float, kMaxBlockWidth> alpha_col{};
+    std::vector<ConvergenceMonitor> monitors;
+    monitors.reserve(k);
+    for (size_t j = 0; j < k; ++j) {
+        const std::vector<float> &b = *bs[j];
+        float *rj = r.col(j);
+        const float *apj = ap.col(j);
+        for (size_t i = 0; i < n; ++i)
+            rj[i] = b[i] - apj[i];
+        std::copy(rj, rj + n, r0s.col(j));
+        std::copy(rj, rj + n, p.col(j));
+        monitors.emplace_back(criteria, norm2Span(rj, n, pc),
+                              "BiCG-STAB");
+        rho[j] = dotSpan(rj, r0s.col(j), n, pc);
+        last_beta[j] = kTraceUnset;
+    }
+
+    block_detail::DeflationMap map;
+    map.reset(k);
+    const std::array<DenseBlock<float> *, 7> state{&x,   &r,  &p, &ap,
+                                                   &r0s, &sb, &as};
+    for (size_t sl = 0; sl < k; ++sl)
+        map.stop[sl] = monitors[map.slot2col[sl]].status() ==
+                       SolveStatus::Converged;
+    map.compact(state);
+
+    // A column can stop at three points inside one iteration, so
+    // deflation runs between the phases: neither SpMM may stream a
+    // column that already finished this iteration.
+    // acamar: hot-loop
+    while (map.active > 0) {
+        // Phase 1: the rho breakdown guard at the scalar loop's top.
+        for (size_t sl = 0; sl < map.active; ++sl) {
+            const size_t col = map.slot2col[sl];
+            if (!std::isfinite(rho[col]) ||
+                std::abs(rho[col]) < 1e-30) {
+                // Serious breakdown: r orthogonal to the shadow
+                // residual.
+                monitors[col].flagBreakdown("rho_zero");
+                map.stop[sl] = true;
+            }
+        }
+        map.compact(state);
+        if (map.active == 0)
+            break;
+
+        spmm(a, p, ap, map.active, pc);
+
+        // Phase 2: alpha, the half step s = r - alpha A p, and the
+        // early-exit tolerance peek.
+        for (size_t sl = 0; sl < map.active; ++sl) {
+            const size_t col = map.slot2col[sl];
+            ConvergenceMonitor &mon = monitors[col];
+            const double ap_r0s =
+                dotSpan(ap.col(sl), r0s.col(sl), n, pc);
+            if (!std::isfinite(ap_r0s) || std::abs(ap_r0s) < 1e-30) {
+                mon.flagBreakdown("Ap_r0_zero");
+                map.stop[sl] = true;
+                continue;
+            }
+            const auto alpha = static_cast<float>(rho[col] / ap_r0s);
+            if (!std::isfinite(alpha)) {
+                mon.flagBreakdown("alpha_nonfinite");
+                map.stop[sl] = true;
+                continue;
+            }
+
+            // s = r - alpha A p
+            float *ss = sb.col(sl);
+            const float *rs = r.col(sl);
+            const float *aps = ap.col(sl);
+            for (size_t i = 0; i < n; ++i)
+                ss[i] = rs[i] - alpha * aps[i];
+
+            const double s_norm = norm2Span(ss, n, pc);
+            if (mon.meetsTolerance(s_norm)) {
+                // Early half-step convergence: omega unnecessary.
+                axpySpan(alpha, p.col(sl), x.col(sl), n);
+                IterationScalars sc;
+                sc.alpha = alpha;
+                sc.rho = rho[col];
+                mon.stageScalars(sc);
+                mon.observe(s_norm);
+                map.stop[sl] = true;
+                continue;
+            }
+            alpha_col[col] = alpha;
+        }
+        map.compact(state);
+        if (map.active == 0)
+            break;
+
+        spmm(a, sb, as, map.active, pc);
+
+        // Phase 3: omega, the full update, and the next direction.
+        for (size_t sl = 0; sl < map.active; ++sl) {
+            const size_t col = map.slot2col[sl];
+            ConvergenceMonitor &mon = monitors[col];
+            const float alpha = alpha_col[col];
+            const double as_s = dotSpan(as.col(sl), sb.col(sl), n, pc);
+            const double as_as =
+                dotSpan(as.col(sl), as.col(sl), n, pc);
+            if (!std::isfinite(as_as) || as_as < 1e-30) {
+                mon.flagBreakdown("AsAs_zero");
+                map.stop[sl] = true;
+                continue;
+            }
+            const auto omega = static_cast<float>(as_s / as_as);
+            if (!std::isfinite(omega) || std::abs(omega) < 1e-12) {
+                // Stabilization stalls: no progress possible.
+                mon.flagBreakdown("omega_zero");
+                map.stop[sl] = true;
+                continue;
+            }
+
+            float *xs = x.col(sl);
+            float *rs = r.col(sl);
+            float *ps = p.col(sl);
+            const float *ss = sb.col(sl);
+            const float *aps = ap.col(sl);
+            const float *ass = as.col(sl);
+            // x += alpha p + omega s
+            for (size_t i = 0; i < n; ++i)
+                xs[i] += alpha * ps[i] + omega * ss[i];
+            // r = s - omega A s
+            for (size_t i = 0; i < n; ++i)
+                rs[i] = ss[i] - omega * ass[i];
+
+            IterationScalars sc;
+            sc.alpha = alpha;
+            sc.beta = last_beta[col];
+            sc.rho = rho[col];
+            sc.omega = omega;
+            mon.stageScalars(sc);
+            if (mon.observe(norm2Span(rs, n, pc)) ==
+                ConvergenceMonitor::Action::Stop) {
+                map.stop[sl] = true;
+                continue;
+            }
+
+            const double rho_new = dotSpan(rs, r0s.col(sl), n, pc);
+            const auto beta = static_cast<float>((rho_new / rho[col]) *
+                                                 (alpha / omega));
+            if (!std::isfinite(beta)) {
+                mon.flagBreakdown("beta_nonfinite");
+                map.stop[sl] = true;
+                continue;
+            }
+            last_beta[col] = beta;
+            ACAMAR_DCHECK_FINITE(omega) << "stabilization scalar";
+            rho[col] = rho_new;
+            // p = r + beta (p - omega A p)
+            for (size_t i = 0; i < n; ++i)
+                ps[i] = rs[i] + beta * (ps[i] - omega * aps[i]);
+        }
+        map.compact(state);
+    }
+    // acamar: hot-loop-end
+
+    BlockSolveResult out;
+    out.columns.resize(k);
+    for (size_t sl = 0; sl < k; ++sl) {
+        const size_t col = map.slot2col[sl];
+        out.columns[col] =
+            block_detail::harvest(monitors[col], x.column(sl));
+    }
+    return out;
+}
+
+} // namespace acamar

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Block BiCG-STAB: k independent BiCG-STAB recurrences sharing each
+ * matrix sweep.
+ */
+
+#ifndef ACAMAR_SOLVERS_BLOCK_BICGSTAB_HH
+#define ACAMAR_SOLVERS_BLOCK_BICGSTAB_HH
+
+#include "solvers/block_solver.hh"
+
+namespace acamar {
+
+/**
+ * BiCG-STAB over a block of right-hand sides. Each column runs
+ * BiCgStabSolver's exact recurrence; the two per-iteration SpMVs
+ * (A p and A s) fuse into two SpMMs over the active prefix. Because
+ * a column can stop at three points inside one iteration (rho
+ * breakdown, the early half step, the omega step), deflation runs
+ * between the phases so neither SpMM streams a finished column.
+ */
+class BlockBiCgStabSolver : public BlockIterativeSolver
+{
+  public:
+    SolverKind kind() const override { return SolverKind::BiCgStab; }
+
+    BlockSolveResult
+    solve(const CsrMatrix<float> &a,
+          const std::vector<const std::vector<float> *> &bs,
+          const ConvergenceCriteria &criteria,
+          SolverWorkspace &ws) const override;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_BLOCK_BICGSTAB_HH

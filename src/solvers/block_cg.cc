@@ -1,0 +1,125 @@
+#include "solvers/block_cg.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/check.hh"
+#include "obs/profiler.hh"
+#include "solvers/block_detail.hh"
+#include "sparse/spmm.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+
+BlockSolveResult
+BlockCgSolver::solve(const CsrMatrix<float> &a,
+                     const std::vector<const std::vector<float> *> &bs,
+                     const ConvergenceCriteria &criteria,
+                     SolverWorkspace &ws) const
+{
+    solver_detail::checkBlockInputs(a, bs);
+    ACAMAR_PROFILE("solver/block_cg");
+    const auto n = static_cast<size_t>(a.numRows());
+    const size_t k = bs.size();
+    ParallelContext *const pc = ws.parallel();
+
+    DenseBlock<float> &x = ws.block(0, n, k);
+    DenseBlock<float> &r = ws.block(1, n, k);
+    DenseBlock<float> &p = ws.block(2, n, k);
+    DenseBlock<float> &ap = ws.block(3, n, k);
+    x.fill(0.0f); // the zero guess, as the accelerator path uses
+
+    // Setup mirrors CgSolver column by column: SpMV on the guess
+    // (fused), r = b - A x, p = r, rr = (r, r). Monitors live in a
+    // reserve()d vector indexed by original column — they never move.
+    spmm(a, x, ap, k, pc);
+    std::array<double, kMaxBlockWidth> rr{};
+    std::array<double, kMaxBlockWidth> last_beta{};
+    std::vector<ConvergenceMonitor> monitors;
+    monitors.reserve(k);
+    for (size_t j = 0; j < k; ++j) {
+        const std::vector<float> &b = *bs[j];
+        float *rj = r.col(j);
+        const float *apj = ap.col(j);
+        for (size_t i = 0; i < n; ++i)
+            rj[i] = b[i] - apj[i];
+        std::copy(rj, rj + n, p.col(j));
+        rr[j] = dotSpan(rj, rj, n, pc);
+        monitors.emplace_back(criteria, std::sqrt(rr[j]), "CG");
+        last_beta[j] = kTraceUnset;
+    }
+
+    block_detail::DeflationMap map;
+    map.reset(k);
+    const std::array<DenseBlock<float> *, 4> state{&x, &r, &p, &ap};
+    // A zero initial residual is Converged at construction and the
+    // scalar loop never runs for it; deflate those columns before
+    // the first sweep so the SpMM never streams them.
+    for (size_t s = 0; s < k; ++s)
+        map.stop[s] = monitors[map.slot2col[s]].status() ==
+                      SolveStatus::Converged;
+    map.compact(state);
+
+    // acamar: hot-loop
+    while (map.active > 0) {
+        spmm(a, p, ap, map.active, pc);
+        for (size_t s = 0; s < map.active; ++s) {
+            const size_t col = map.slot2col[s];
+            ConvergenceMonitor &mon = monitors[col];
+            const double pap = dotSpan(p.col(s), ap.col(s), n, pc);
+            if (!(std::abs(pap) > 1e-30) || !std::isfinite(pap)) {
+                // p^T A p ~ 0: A (numerically) not definite along p.
+                mon.flagBreakdown("pAp_zero");
+                map.stop[s] = true;
+                continue;
+            }
+            const auto alpha = static_cast<float>(rr[col] / pap);
+            if (!std::isfinite(alpha)) {
+                mon.flagBreakdown("alpha_nonfinite");
+                map.stop[s] = true;
+                continue;
+            }
+            axpySpan(alpha, p.col(s), x.col(s), n);
+            axpySpan(-alpha, ap.col(s), r.col(s), n);
+            const double rr_new = dotSpan(r.col(s), r.col(s), n, pc);
+            IterationScalars sc;
+            sc.alpha = alpha;
+            sc.beta = last_beta[col];
+            mon.stageScalars(sc);
+            if (mon.observe(std::sqrt(rr_new)) ==
+                ConvergenceMonitor::Action::Stop) {
+                map.stop[s] = true;
+                continue;
+            }
+            const auto beta = static_cast<float>(rr_new / rr[col]);
+            if (!std::isfinite(beta)) {
+                mon.flagBreakdown("beta_nonfinite");
+                map.stop[s] = true;
+                continue;
+            }
+            last_beta[col] = beta;
+            ACAMAR_DCHECK_FINITE(rr_new)
+                << "residual energy after step";
+            rr[col] = rr_new;
+            // p = r + beta p
+            float *ps = p.col(s);
+            const float *rs = r.col(s);
+            for (size_t i = 0; i < n; ++i)
+                ps[i] = rs[i] + beta * ps[i];
+        }
+        map.compact(state);
+    }
+    // acamar: hot-loop-end
+
+    BlockSolveResult out;
+    out.columns.resize(k);
+    for (size_t s = 0; s < k; ++s) {
+        const size_t col = map.slot2col[s];
+        out.columns[col] =
+            block_detail::harvest(monitors[col], x.column(s));
+    }
+    return out;
+}
+
+} // namespace acamar

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Block CG: k independent CG recurrences sharing each matrix sweep.
+ */
+
+#ifndef ACAMAR_SOLVERS_BLOCK_CG_HH
+#define ACAMAR_SOLVERS_BLOCK_CG_HH
+
+#include "solvers/block_solver.hh"
+
+namespace acamar {
+
+/**
+ * CG over a block of right-hand sides. Each column runs CgSolver's
+ * exact recurrence (same guards, same scalar casts, same span
+ * kernels); only the k per-iteration SpMVs fuse into one SpMM.
+ * Columns deflate out of the active prefix as they stop — converge,
+ * break down, or time out — each keeping its own ConvergenceMonitor
+ * verdict and residual history.
+ */
+class BlockCgSolver : public BlockIterativeSolver
+{
+  public:
+    SolverKind kind() const override { return SolverKind::CG; }
+
+    BlockSolveResult
+    solve(const CsrMatrix<float> &a,
+          const std::vector<const std::vector<float> *> &bs,
+          const ConvergenceCriteria &criteria,
+          SolverWorkspace &ws) const override;
+};
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_BLOCK_CG_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared deflation bookkeeping for the block solvers.
+ *
+ * Block solvers keep the still-running columns as a contiguous
+ * prefix of every state block so the fused SpMM streams only live
+ * columns. A column that stops (converged, breakdown, timed out)
+ * physically swaps to the back of the prefix; slot2col remembers
+ * which submission column each storage slot holds. Monitors and
+ * per-column recurrence scalars are indexed by the *original* column
+ * and never move.
+ */
+
+#ifndef ACAMAR_SOLVERS_BLOCK_DETAIL_HH
+#define ACAMAR_SOLVERS_BLOCK_DETAIL_HH
+
+#include <array>
+#include <cstddef>
+#include <utility>
+
+#include "solvers/convergence.hh"
+#include "solvers/solver.hh"
+#include "sparse/dense_block.hh"
+
+namespace acamar {
+namespace block_detail {
+
+/** Active-prefix map: which column lives in which storage slot. */
+struct DeflationMap {
+    std::size_t active = 0;
+    //! storage slot -> original column; a permutation of [0, k)
+    std::array<std::size_t, kMaxBlockWidth> slot2col{};
+    //! slots flagged for deflation by the current scan
+    std::array<bool, kMaxBlockWidth> stop{};
+
+    void
+    reset(std::size_t k)
+    {
+        active = k;
+        for (std::size_t j = 0; j < k; ++j)
+            slot2col[j] = j;
+        stop.fill(false);
+    }
+
+    /**
+     * Retire every flagged slot: swap it (in all state blocks) with
+     * the last active slot and shrink the prefix. Scanning downward
+     * means a slot swapped into a lower position was already
+     * examined and unflagged, so one pass suffices and the surviving
+     * prefix ends with every stop flag clear.
+     */
+    template <std::size_t N>
+    void
+    compact(const std::array<DenseBlock<float> *, N> &state)
+    {
+        for (std::size_t s = active; s-- > 0;) {
+            if (!stop[s])
+                continue;
+            --active;
+            if (s != active) {
+                for (DenseBlock<float> *blk : state)
+                    blk->swapColumns(s, active);
+                std::swap(slot2col[s], slot2col[active]);
+                std::swap(stop[s], stop[active]);
+            }
+        }
+    }
+};
+
+/** Assemble one column's SolveResult from its monitor + solution. */
+inline SolveResult
+harvest(const ConvergenceMonitor &mon, std::vector<float> solution)
+{
+    SolveResult res;
+    res.status = mon.status();
+    res.iterations = mon.iterations();
+    res.initialResidual = mon.initialResidual();
+    res.finalResidual = mon.lastResidual();
+    res.relativeResidual = mon.relativeResidual();
+    res.residualHistory = mon.history();
+    res.solution = std::move(solution);
+    return res;
+}
+
+} // namespace block_detail
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_BLOCK_DETAIL_HH

@@ -1,0 +1,53 @@
+#include "solvers/block_solver.hh"
+
+#include "common/check.hh"
+#include "common/logging.hh"
+#include "solvers/block_bicgstab.hh"
+#include "solvers/block_cg.hh"
+#include "sparse/dense_block.hh"
+
+namespace acamar {
+
+bool
+blockSolverAvailable(SolverKind kind)
+{
+    return kind == SolverKind::CG || kind == SolverKind::BiCgStab;
+}
+
+std::unique_ptr<BlockIterativeSolver>
+makeBlockSolver(SolverKind kind)
+{
+    switch (kind) {
+      case SolverKind::CG:
+        return std::make_unique<BlockCgSolver>();
+      case SolverKind::BiCgStab:
+        return std::make_unique<BlockBiCgStabSolver>();
+      default:
+        return nullptr;
+    }
+}
+
+namespace solver_detail {
+
+void
+checkBlockInputs(const CsrMatrix<float> &a,
+                 const std::vector<const std::vector<float> *> &bs)
+{
+    if (a.numRows() != a.numCols())
+        ACAMAR_FATAL("block solver needs a square matrix, got ",
+                     a.numRows(), "x", a.numCols());
+    if (bs.empty() || bs.size() > kMaxBlockWidth)
+        ACAMAR_FATAL("block width ", bs.size(), " outside [1, ",
+                     kMaxBlockWidth, "]");
+    for (size_t j = 0; j < bs.size(); ++j) {
+        ACAMAR_CHECK(bs[j] != nullptr) << "null rhs in block slot "
+                                       << j;
+        // Per-column content checks (finiteness) run through the
+        // scalar checkInputs so a block solve rejects exactly what k
+        // scalar solves would.
+        checkInputs(a, *bs[j], {});
+    }
+}
+
+} // namespace solver_detail
+} // namespace acamar

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Block solvers: k right-hand sides of one matrix solved together.
+ *
+ * A block solver runs k *independent* instances of a scalar solver's
+ * recurrence in lockstep, fusing only the matrix sweep: the k SpMVs
+ * of an iteration become one SpMM (sparse/spmm.hh) that streams the
+ * matrix once. Every other operation — dots, axpys, breakdown
+ * guards, convergence decisions — is the scalar solver's arithmetic
+ * applied per column, via the span kernels the whole-vector kernels
+ * themselves delegate to. The payoff is the deliberately strong
+ * contract the batch scheduler leans on:
+ *
+ *   Column j of a block solve is byte-identical to the scalar
+ *   solver on (A, b_j) alone — same residual history, same
+ *   iteration count, same solution bits — at any thread count and
+ *   any block width.
+ *
+ * (One caveat it inherits from the scalar path: a wall-clock solve
+ * deadline, criteria.deadlineMs > 0, is inherently timing-dependent
+ * on either path.)
+ *
+ * Columns converge at different iterations; the solver deflates
+ * finished columns by swapping them out of the active prefix
+ * (DenseBlock::swapColumns) so the fused SpMM only streams dense
+ * columns that still need it. This is NOT the coupled block-Krylov
+ * family (O'Leary block CG shares one Krylov space across columns):
+ * coupling changes every column's arithmetic, which would break the
+ * identity above — and with it byte-stable batch reports.
+ */
+
+#ifndef ACAMAR_SOLVERS_BLOCK_SOLVER_HH
+#define ACAMAR_SOLVERS_BLOCK_SOLVER_HH
+
+#include <memory>
+#include <vector>
+
+#include "solvers/solver.hh"
+
+namespace acamar {
+
+/** One SolveResult per right-hand side, in submission order. */
+struct BlockSolveResult {
+    std::vector<SolveResult> columns;
+
+    /** True when every column converged. */
+    bool
+    allOk() const
+    {
+        for (const SolveResult &c : columns)
+            if (!c.ok())
+                return false;
+        return !columns.empty();
+    }
+};
+
+/**
+ * Abstract multi-RHS solver. Mirrors IterativeSolver::solve but takes
+ * k right-hand sides and always starts from the zero guess (the only
+ * starting point the accelerator facade uses).
+ */
+class BlockIterativeSolver
+{
+  public:
+    virtual ~BlockIterativeSolver() = default;
+
+    /** Which scalar configuration each column runs. */
+    virtual SolverKind kind() const = 0;
+
+    /**
+     * Solve A x_j = b_j for all j from the zero guess.
+     *
+     * @param a square coefficient matrix.
+     * @param bs k right-hand sides (1 <= k <= kMaxBlockWidth), each
+     *        of size rows(a); pointers must outlive the call.
+     * @param criteria convergence thresholds, applied per column.
+     * @param ws scratch pool; the block state (X, R, P, ...) comes
+     *        from ws.block() so repeated solves at one shape never
+     *        reallocate.
+     */
+    virtual BlockSolveResult
+    solve(const CsrMatrix<float> &a,
+          const std::vector<const std::vector<float> *> &bs,
+          const ConvergenceCriteria &criteria,
+          SolverWorkspace &ws) const = 0;
+};
+
+/**
+ * True when `kind` has a block implementation (CG and BiCG-STAB —
+ * the two solvers the structure unit actually picks for the
+ * conforming workloads the batch scheduler groups).
+ */
+bool blockSolverAvailable(SolverKind kind);
+
+/** Construct a block solver, or nullptr when none exists for kind. */
+std::unique_ptr<BlockIterativeSolver> makeBlockSolver(SolverKind kind);
+
+namespace solver_detail {
+
+/** Validate block solve() inputs; fatal on misuse. */
+void checkBlockInputs(const CsrMatrix<float> &a,
+                      const std::vector<const std::vector<float> *> &bs);
+
+} // namespace solver_detail
+
+} // namespace acamar
+
+#endif // ACAMAR_SOLVERS_BLOCK_SOLVER_HH

@@ -22,11 +22,23 @@ SolverWorkspace::dvec(size_t slot, size_t n)
     return v;
 }
 
+DenseBlock<float> &
+SolverWorkspace::block(size_t slot, size_t n, size_t k)
+{
+    if (slot >= blocks_.size())
+        blocks_.resize(slot + 1);
+    DenseBlock<float> &b = blocks_[slot];
+    if (b.rows() != n || b.cols() != k)
+        b.resize(n, k);
+    return b;
+}
+
 void
 SolverWorkspace::clear()
 {
     floats_.clear();
     doubles_.clear();
+    blocks_.clear();
 }
 
 } // namespace acamar

@@ -24,6 +24,8 @@
 #include <deque>
 #include <vector>
 
+#include "sparse/dense_block.hh"
+
 namespace acamar {
 
 class ParallelContext; // exec/parallel_context.hh
@@ -52,6 +54,14 @@ class SolverWorkspace
     /** Scratch fp64 vector, same contract as vec(). */
     std::vector<double> &dvec(size_t slot, size_t n);
 
+    /**
+     * Scratch fp32 n x k DenseBlock for `slot` (block solvers'
+     * multi-RHS state: X, R, P, AP, ...). Same pooling contract as
+     * vec(): stable reference, reshaped to n x k — repeated solves at
+     * the same shape never reallocate. Contents are stale.
+     */
+    DenseBlock<float> &block(size_t slot, size_t n, size_t k);
+
     /** Drop every pooled vector's memory (mostly for tests). */
     void clear();
 
@@ -71,6 +81,7 @@ class SolverWorkspace
     // solvers hold references to them across subsequent vec() calls.
     std::deque<std::vector<float>> floats_;
     std::deque<std::vector<double>> doubles_;
+    std::deque<DenseBlock<float>> blocks_;
 };
 
 } // namespace acamar

@@ -1,0 +1,105 @@
+#include "sparse/dense_block.hh"
+
+#include "common/check.hh"
+#include "obs/profiler.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+
+namespace {
+
+template <typename T>
+void
+checkBlockPair(const DenseBlock<T> &x, const DenseBlock<T> &y,
+               std::size_t k, const char *what)
+{
+    ACAMAR_CHECK(x.rows() == y.rows())
+        << what << " row mismatch: " << x.rows() << " != " << y.rows();
+    ACAMAR_CHECK(k <= x.cols() && k <= y.cols())
+        << what << " width " << k << " exceeds block cols "
+        << x.cols() << "/" << y.cols();
+}
+
+} // namespace
+
+template <typename T>
+void
+blockDot(const DenseBlock<T> &x, const DenseBlock<T> &y, std::size_t k,
+         double *out, ParallelContext *pc)
+{
+    ACAMAR_PROFILE("sparse/block_dot");
+    checkBlockPair(x, y, k, "blockDot");
+    // Column by column through the span kernel: each column charges
+    // the ledger and rounds exactly as the whole-vector dot would.
+    for (std::size_t j = 0; j < k; ++j)
+        out[j] = dotSpan(x.col(j), y.col(j), x.rows(), pc);
+}
+
+template <typename T>
+void
+blockNorm2(const DenseBlock<T> &x, std::size_t k, double *out,
+           ParallelContext *pc)
+{
+    ACAMAR_PROFILE("sparse/block_norm2");
+    ACAMAR_CHECK(k <= x.cols())
+        << "blockNorm2 width " << k << " exceeds block cols "
+        << x.cols();
+    for (std::size_t j = 0; j < k; ++j)
+        out[j] = norm2Span(x.col(j), x.rows(), pc);
+}
+
+template <typename T>
+void
+blockAxpy(const T *a, const DenseBlock<T> &x, DenseBlock<T> &y,
+          std::size_t k)
+{
+    ACAMAR_PROFILE("sparse/block_axpy");
+    checkBlockPair(x, y, k, "blockAxpy");
+    for (std::size_t j = 0; j < k; ++j)
+        axpySpan(a[j], x.col(j), y.col(j), x.rows());
+}
+
+template <typename T>
+void
+blockWaxpby(const T *a, const DenseBlock<T> &x, const T *b,
+            const DenseBlock<T> &y, DenseBlock<T> &w, std::size_t k)
+{
+    ACAMAR_PROFILE("sparse/block_waxpby");
+    checkBlockPair(x, y, k, "blockWaxpby");
+    ACAMAR_CHECK(w.rows() == x.rows() && k <= w.cols())
+        << "blockWaxpby output not pre-sized: " << w.rows() << "x"
+        << w.cols() << " for width " << k;
+    for (std::size_t j = 0; j < k; ++j)
+        waxpbySpan(a[j], x.col(j), b[j], y.col(j), w.col(j), x.rows());
+}
+
+template class DenseBlock<float>;
+template class DenseBlock<double>;
+template void blockDot<float>(const DenseBlock<float> &,
+                              const DenseBlock<float> &, std::size_t,
+                              double *, ParallelContext *);
+template void blockDot<double>(const DenseBlock<double> &,
+                               const DenseBlock<double> &, std::size_t,
+                               double *, ParallelContext *);
+template void blockNorm2<float>(const DenseBlock<float> &, std::size_t,
+                                double *, ParallelContext *);
+template void blockNorm2<double>(const DenseBlock<double> &,
+                                 std::size_t, double *,
+                                 ParallelContext *);
+template void blockAxpy<float>(const float *, const DenseBlock<float> &,
+                               DenseBlock<float> &, std::size_t);
+template void blockAxpy<double>(const double *,
+                                const DenseBlock<double> &,
+                                DenseBlock<double> &, std::size_t);
+template void blockWaxpby<float>(const float *,
+                                 const DenseBlock<float> &,
+                                 const float *,
+                                 const DenseBlock<float> &,
+                                 DenseBlock<float> &, std::size_t);
+template void blockWaxpby<double>(const double *,
+                                  const DenseBlock<double> &,
+                                  const double *,
+                                  const DenseBlock<double> &,
+                                  DenseBlock<double> &, std::size_t);
+
+} // namespace acamar

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * DenseBlock: a column-major multi-vector (n x k) for block solves.
+ *
+ * The multi-RHS path amortizes one matrix sweep across k right-hand
+ * sides (sparse/spmm.hh); this is the dense operand it streams.
+ * Columns are contiguous, so one column of a block is exactly a
+ * dense vector — the blocked kernels below delegate to the span
+ * kernels in sparse/vector_ops.hh, making every per-column result
+ * bit-identical to the corresponding whole-vector kernel. That
+ * identity is what lets a block solve reproduce the scalar solvers'
+ * residual histories byte for byte (solvers/block_solver.hh).
+ *
+ * Like the solver scratch vectors, a DenseBlock is pre-sized before
+ * the hot loop; the kernels ACAMAR_CHECK the shape instead of
+ * resizing.
+ */
+
+#ifndef ACAMAR_SPARSE_DENSE_BLOCK_HH
+#define ACAMAR_SPARSE_DENSE_BLOCK_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace acamar {
+
+class ParallelContext; // exec/parallel_context.hh
+
+/**
+ * Widest block the fused kernels support: per-row/per-lane
+ * accumulators in the SpMM kernels (sparse/spmm.hh, the SELL
+ * variant in sparse/sell.hh) are fixed arrays of this many slots so
+ * their hot loops never allocate. Doubles as the cap on
+ * BatchSolver's --block-width grouping.
+ */
+inline constexpr std::size_t kMaxBlockWidth = 32;
+
+/** Column-major n x k dense block; column j is contiguous. */
+template <typename T>
+class DenseBlock
+{
+  public:
+    DenseBlock() = default;
+
+    /** An n x k block, zero-initialized. */
+    DenseBlock(std::size_t n, std::size_t k) { resize(n, k); }
+
+    /** Rows (the vector length n). */
+    std::size_t rows() const { return rows_; }
+
+    /** Columns (the block width k). */
+    std::size_t cols() const { return cols_; }
+
+    /**
+     * Reshape to n x k. New elements are zero; existing columns are
+     * NOT preserved across a row-count change. Never called from hot
+     * loops — solvers size their blocks once up front (the
+     * SolverWorkspace pools reuse the allocation across solves).
+     */
+    void
+    resize(std::size_t n, std::size_t k)
+    {
+        rows_ = n;
+        cols_ = k;
+        data_.assign(n * k, T(0));
+    }
+
+    /** Zero every element. */
+    void
+    fill(T v)
+    {
+        std::fill(data_.begin(), data_.end(), v);
+    }
+
+    /** Contiguous storage pointer of column j. */
+    T *col(std::size_t j) { return data_.data() + j * rows_; }
+
+    /** Const storage pointer of column j. */
+    const T *
+    col(std::size_t j) const
+    {
+        return data_.data() + j * rows_;
+    }
+
+    /** Element (i, j). */
+    T &at(std::size_t i, std::size_t j) { return col(j)[i]; }
+
+    /** Const element (i, j). */
+    T at(std::size_t i, std::size_t j) const { return col(j)[i]; }
+
+    /** Copy a length-n vector into column j. */
+    void
+    setColumn(std::size_t j, const std::vector<T> &v)
+    {
+        std::copy(v.begin(), v.end(), col(j));
+    }
+
+    /** Copy column j out as a vector. */
+    std::vector<T>
+    column(std::size_t j) const
+    {
+        return std::vector<T>(col(j), col(j) + rows_);
+    }
+
+    /**
+     * Swap the storage of columns i and j (element-wise, no
+     * allocation) — the deflation primitive: converged columns swap
+     * to the back so the active columns stay a contiguous prefix
+     * the fused SpMM can stream.
+     */
+    void
+    swapColumns(std::size_t i, std::size_t j)
+    {
+        if (i == j)
+            return;
+        std::swap_ranges(col(i), col(i) + rows_, col(j));
+    }
+
+    /** Raw storage (column-major, size rows * cols). */
+    const std::vector<T> &data() const { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+/**
+ * Per-column inner products: out[j] = (x_j, y_j) for the first k
+ * columns. Each column runs the exact blocked reduction of
+ * dot(x, y, pc), so out[j] is bit-identical to the whole-vector dot
+ * of those columns at any thread count.
+ */
+template <typename T>
+void blockDot(const DenseBlock<T> &x, const DenseBlock<T> &y,
+              std::size_t k, double *out, ParallelContext *pc);
+
+/** Per-column norms: out[j] = ||x_j||_2, same contract as blockDot. */
+template <typename T>
+void blockNorm2(const DenseBlock<T> &x, std::size_t k, double *out,
+                ParallelContext *pc);
+
+/** Per-column y_j += a[j] * x_j for the first k columns. */
+template <typename T>
+void blockAxpy(const T *a, const DenseBlock<T> &x, DenseBlock<T> &y,
+               std::size_t k);
+
+/**
+ * Per-column w_j = a[j]*x_j + b[j]*y_j for the first k columns. The
+ * output must already match x's shape (ACAMAR_CHECK enforced, the
+ * hot-loop contract of waxpby).
+ */
+template <typename T>
+void blockWaxpby(const T *a, const DenseBlock<T> &x, const T *b,
+                 const DenseBlock<T> &y, DenseBlock<T> &w,
+                 std::size_t k);
+
+extern template class DenseBlock<float>;
+extern template class DenseBlock<double>;
+extern template void blockDot<float>(const DenseBlock<float> &,
+                                     const DenseBlock<float> &,
+                                     std::size_t, double *,
+                                     ParallelContext *);
+extern template void blockDot<double>(const DenseBlock<double> &,
+                                      const DenseBlock<double> &,
+                                      std::size_t, double *,
+                                      ParallelContext *);
+extern template void blockNorm2<float>(const DenseBlock<float> &,
+                                       std::size_t, double *,
+                                       ParallelContext *);
+extern template void blockNorm2<double>(const DenseBlock<double> &,
+                                        std::size_t, double *,
+                                        ParallelContext *);
+extern template void blockAxpy<float>(const float *,
+                                      const DenseBlock<float> &,
+                                      DenseBlock<float> &, std::size_t);
+extern template void blockAxpy<double>(const double *,
+                                       const DenseBlock<double> &,
+                                       DenseBlock<double> &,
+                                       std::size_t);
+extern template void blockWaxpby<float>(const float *,
+                                        const DenseBlock<float> &,
+                                        const float *,
+                                        const DenseBlock<float> &,
+                                        DenseBlock<float> &,
+                                        std::size_t);
+extern template void blockWaxpby<double>(const double *,
+                                         const DenseBlock<double> &,
+                                         const double *,
+                                         const DenseBlock<double> &,
+                                         DenseBlock<double> &,
+                                         std::size_t);
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_DENSE_BLOCK_HH

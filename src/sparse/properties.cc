@@ -1,12 +1,31 @@
 #include "sparse/properties.hh"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "sparse/csc.hh"
 
 namespace acamar {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t
+fnv1a(uint64_t h, const void *data, size_t bytes)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
 
 std::string
 StructureReport::describe() const
@@ -153,6 +172,24 @@ analyzeStructure(const CsrMatrix<T> &a, T sym_tol)
     return rep;
 }
 
+template <typename T>
+uint64_t
+matrixFingerprint(const CsrMatrix<T> &a)
+{
+    // Dimensions first so shape-degenerate matrices (0 x n vs n x 0)
+    // cannot collide, then the three CSR arrays byte-wise. Value
+    // bytes (not rounded doubles) keep the hash exact: two matrices
+    // group together only when a block solve is truly safe.
+    const int64_t dims[2] = {a.numRows(), a.numCols()};
+    uint64_t h = fnv1a(kFnvOffset, dims, sizeof(dims));
+    h = fnv1a(h, a.rowPtr().data(),
+              a.rowPtr().size() * sizeof(int64_t));
+    h = fnv1a(h, a.colIdx().data(),
+              a.colIdx().size() * sizeof(int32_t));
+    h = fnv1a(h, a.values().data(), a.values().size() * sizeof(T));
+    return h;
+}
+
 template bool isStrictlyDiagDominant<float>(const CsrMatrix<float> &);
 template bool isStrictlyDiagDominant<double>(const CsrMatrix<double> &);
 template bool isSymmetric<float>(const CsrMatrix<float> &, float);
@@ -163,6 +200,8 @@ template int32_t bandwidth<float>(const CsrMatrix<float> &);
 template int32_t bandwidth<double>(const CsrMatrix<double> &);
 template bool gershgorinPositive<float>(const CsrMatrix<float> &);
 template bool gershgorinPositive<double>(const CsrMatrix<double> &);
+template uint64_t matrixFingerprint<float>(const CsrMatrix<float> &);
+template uint64_t matrixFingerprint<double>(const CsrMatrix<double> &);
 template StructureReport analyzeStructure<float>(const CsrMatrix<float> &,
                                                  float);
 template StructureReport analyzeStructure<double>(

@@ -82,6 +82,19 @@ bool gershgorinPositive(const CsrMatrix<T> &a);
 template <typename T>
 StructureReport analyzeStructure(const CsrMatrix<T> &a, T sym_tol);
 
+/**
+ * 64-bit content fingerprint of a matrix: FNV-1a over the dimensions
+ * and the raw CSR arrays (row offsets, column indices, value bytes).
+ * Equal contents hash equal across distinct revision()s, so the
+ * batch scheduler can group jobs that share a matrix even when the
+ * copies were built independently. Pure and O(nnz): callers that
+ * fingerprint repeatedly memoize per revision() (BatchSolver does).
+ * Also the seed of the analysis-cache key (ROADMAP item 1): two
+ * matrices with one fingerprint get one structure analysis.
+ */
+template <typename T>
+uint64_t matrixFingerprint(const CsrMatrix<T> &a);
+
 extern template bool isStrictlyDiagDominant<float>(
     const CsrMatrix<float> &);
 extern template bool isStrictlyDiagDominant<double>(
@@ -101,6 +114,10 @@ extern template StructureReport analyzeStructure<float>(
     const CsrMatrix<float> &, float);
 extern template StructureReport analyzeStructure<double>(
     const CsrMatrix<double> &, double);
+extern template uint64_t matrixFingerprint<float>(
+    const CsrMatrix<float> &);
+extern template uint64_t matrixFingerprint<double>(
+    const CsrMatrix<double> &);
 
 } // namespace acamar
 

@@ -195,6 +195,122 @@ SellMatrix<T>::spmvParallel(const std::vector<T> &x, std::vector<T> &y,
 }
 
 template <typename T>
+void
+SellMatrix<T>::spmmChunks(const DenseBlock<T> &x, DenseBlock<T> &y,
+                          std::size_t k, size_t begin, size_t end) const
+{
+    // Lane-major fixed accumulator: lane l's k partial sums live at
+    // acc[l * kMaxBlockWidth ...]. Sized for the caps, so the hot
+    // loop never allocates at any (chunk, width) combination.
+    std::array<T, static_cast<size_t>(kMaxSellChunk) * kMaxBlockWidth>
+        acc;
+    const T *xd = x.data().data();
+    const size_t ld = x.rows();
+    ACAMAR_WORK_SCOPE(
+        "sparse/spmm_sell",
+        sellSpmmWork(
+            std::min<int64_t>(static_cast<int64_t>(end) * chunk_,
+                              rows_) -
+                static_cast<int64_t>(begin) * chunk_,
+            chunkNnzPrefix_[end] - chunkNnzPrefix_[begin],
+            (end < numChunks() ? chunkBase_[end] : paddedSize()) -
+                (begin < numChunks() ? chunkBase_[begin]
+                                     : paddedSize()),
+            static_cast<int64_t>(end - begin), k, sizeof(T)));
+    // acamar: hot-loop
+    for (size_t c = begin; c < end; ++c) {
+        const auto base_row = static_cast<int32_t>(c) * chunk_;
+        const int32_t lanes = std::min(chunk_, rows_ - base_row);
+        const int64_t width = widths_[c];
+        const int32_t *cols = colIdx_.data() + chunkBase_[c];
+        const T *vals = values_.data() + chunkBase_[c];
+        for (int32_t l = 0; l < lanes; ++l)
+            for (size_t j = 0; j < k; ++j)
+                acc[static_cast<size_t>(l) * kMaxBlockWidth + j] =
+                    T(0);
+        for (int64_t j = 0; j < width; ++j) {
+            const int32_t *col_slot = cols + j * lanes;
+            const T *val_slot = vals + j * lanes;
+            for (int32_t l = 0; l < lanes; ++l) {
+                const int32_t col = col_slot[l];
+                // Same padding skip as spmvChunks: each lane's each
+                // column accumulates real entries in slot (= CSR)
+                // order, so every column stays bit-identical to the
+                // scalar CSR kernel.
+                if (col >= 0) {
+                    const T v = val_slot[l];
+                    T *lane_acc =
+                        acc.data() +
+                        static_cast<size_t>(l) * kMaxBlockWidth;
+                    for (size_t jj = 0; jj < k; ++jj)
+                        lane_acc[jj] +=
+                            v * xd[jj * ld +
+                                   static_cast<size_t>(col)];
+                }
+            }
+        }
+        for (int32_t l = 0; l < lanes; ++l)
+            for (size_t jj = 0; jj < k; ++jj)
+                y.col(jj)[perm_[base_row + l]] =
+                    acc[static_cast<size_t>(l) * kMaxBlockWidth + jj];
+    }
+    // acamar: hot-loop-end
+}
+
+template <typename T>
+void
+SellMatrix<T>::spmm(const DenseBlock<T> &x, DenseBlock<T> &y,
+                    std::size_t k) const
+{
+    ACAMAR_PROFILE("sparse/spmm_sell");
+    ACAMAR_CHECK(k >= 1 && k <= kMaxBlockWidth)
+        << "sell spmm width " << k << " outside [1, " << kMaxBlockWidth
+        << "]";
+    ACAMAR_CHECK(x.rows() == static_cast<size_t>(cols_) &&
+                 k <= x.cols())
+        << "sell spmm x block shape mismatch";
+    ACAMAR_CHECK(y.rows() == static_cast<size_t>(rows_) &&
+                 k <= y.cols())
+        << "sell spmm output not pre-sized: " << y.rows() << "x"
+        << y.cols() << " for width " << k;
+    spmmChunks(x, y, k, 0, numChunks());
+}
+
+template <typename T>
+void
+SellMatrix<T>::spmmParallel(const DenseBlock<T> &x, DenseBlock<T> &y,
+                            std::size_t k, ParallelContext &pc) const
+{
+    ACAMAR_PROFILE("sparse/spmm_sell");
+    ACAMAR_CHECK(k >= 1 && k <= kMaxBlockWidth)
+        << "sell spmm width " << k << " outside [1, " << kMaxBlockWidth
+        << "]";
+    ACAMAR_CHECK(x.rows() == static_cast<size_t>(cols_) &&
+                 k <= x.cols())
+        << "sell spmm x block shape mismatch";
+    ACAMAR_CHECK(y.rows() == static_cast<size_t>(rows_) &&
+                 k <= y.cols())
+        << "sell spmm output not pre-sized: " << y.rows() << "x"
+        << y.cols() << " for width " << k;
+    const size_t n_chunks = numChunks();
+    ThreadPool *pool = pc.pool();
+    if (!pool || n_chunks < 2) {
+        spmmChunks(x, y, k, 0, n_chunks);
+        return;
+    }
+    // Same contiguous chunk split as spmvParallel: chunks own
+    // disjoint rows of every output column.
+    const auto n_tasks =
+        std::min<size_t>(static_cast<size_t>(pc.threads()), n_chunks);
+    const size_t per_task = (n_chunks + n_tasks - 1) / n_tasks;
+    parallelForIndex(*pool, n_tasks, [&](size_t t) {
+        const size_t first = t * per_task;
+        const size_t last = std::min(n_chunks, first + per_task);
+        spmmChunks(x, y, k, first, last);
+    });
+}
+
+template <typename T>
 CsrMatrix<T>
 SellMatrix<T>::toCsr() const
 {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sparse/csr.hh"
+#include "sparse/dense_block.hh"
 
 namespace acamar {
 
@@ -111,6 +112,23 @@ class SellMatrix
     void spmvParallel(const std::vector<T> &x, std::vector<T> &y,
                       ParallelContext &pc) const;
 
+    /**
+     * Fused Y(:, 0:k) = A X(:, 0:k): each padded slot streams once
+     * and applies to all k columns (capped at kMaxBlockWidth). The
+     * output must already be sized to numRows x >= k. Every column
+     * is bit-identical to spmv() of that column alone.
+     */
+    void spmm(const DenseBlock<T> &x, DenseBlock<T> &y,
+              std::size_t k) const;
+
+    /**
+     * Parallel fused SpMM: chunk ranges fan out over `pc`'s pool
+     * (each chunk owns disjoint output rows of every column).
+     * Bit-identical to spmm() at any thread count.
+     */
+    void spmmParallel(const DenseBlock<T> &x, DenseBlock<T> &y,
+                      std::size_t k, ParallelContext &pc) const;
+
     /** Convert back to CSR — exact inverse of fromCsr. */
     CsrMatrix<T> toCsr() const;
 
@@ -119,6 +137,9 @@ class SellMatrix
 
     void spmvChunks(const std::vector<T> &x, std::vector<T> &y,
                     size_t begin, size_t end) const;
+
+    void spmmChunks(const DenseBlock<T> &x, DenseBlock<T> &y,
+                    std::size_t k, size_t begin, size_t end) const;
 
     int32_t rows_ = 0;
     int32_t cols_ = 0;

@@ -1,0 +1,258 @@
+#include "sparse/spmm.hh"
+
+#include <array>
+#include <utility>
+
+#include "common/check.hh"
+#include "exec/parallel_context.hh"
+#include "exec/parallel_for.hh"
+#include "exec/thread_pool.hh"
+#include "obs/profiler.hh"
+#include "obs/work_ledger.hh"
+
+namespace acamar {
+
+namespace {
+
+template <typename T>
+void
+checkSpmmShapes(const CsrMatrix<T> &a, const DenseBlock<T> &x,
+                const DenseBlock<T> &y, std::size_t k)
+{
+    ACAMAR_CHECK(k >= 1 && k <= kMaxBlockWidth)
+        << "spmm width " << k << " outside [1, " << kMaxBlockWidth
+        << "]";
+    ACAMAR_CHECK(x.rows() == static_cast<size_t>(a.numCols()) &&
+                 k <= x.cols())
+        << "spmm x block shape mismatch: " << x.rows() << "x"
+        << x.cols() << " for width " << k;
+    ACAMAR_CHECK(y.rows() == static_cast<size_t>(a.numRows()) &&
+                 k <= y.cols())
+        << "spmm output not pre-sized: " << y.rows() << "x" << y.cols()
+        << " for width " << k;
+}
+
+/**
+ * Row sweep at compile-time width K over a row-major packed operand:
+ * xp[c * K + j] holds X(c, j), so one stored entry gathers K
+ * *contiguous* values (one or two cache lines) instead of K loads
+ * strided a column apart — the gather traffic that made the fused
+ * kernel slower than k separate SpMVs. The j-loops fully unroll and
+ * the K accumulators live in registers. Per column the entry order
+ * over a row is identical to a runtime-k loop (and to spmv()), so
+ * neither the packing nor the fixed-width dispatch changes a bit of
+ * output.
+ */
+template <typename T, size_t K>
+void
+spmmRowsPacked(const int64_t *rp, const int32_t *ci, const T *va,
+               const T *xp, T *yd, size_t ldy, int32_t begin,
+               int32_t end)
+{
+    // The work scope lives in sweepPacked(), which dispatches to one
+    // fixed-K instantiation per call — opening it here would charge
+    // the ledger once per template width.
+    // acamar: ledger-covered-by sparse/spmm_rows
+    // acamar: hot-loop
+    for (int32_t r = begin; r < end; ++r) {
+        T acc[K];
+        for (size_t j = 0; j < K; ++j)
+            acc[j] = 0;
+        for (int64_t e = rp[r]; e < rp[r + 1]; ++e) {
+            const T v = va[e];
+            const T *xe = xp + static_cast<size_t>(ci[e]) * K;
+            for (size_t j = 0; j < K; ++j)
+                acc[j] += v * xe[j];
+        }
+        for (size_t j = 0; j < K; ++j)
+            yd[j * ldy + r] = acc[j];
+    }
+    // acamar: hot-loop-end
+}
+
+/** Transpose the first K columns of X into the row-major pack. */
+template <typename T, size_t K>
+void
+packColumnsFixed(const T *xd, size_t ldx, size_t n, T *xp)
+{
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < K; ++j)
+            xp[i * K + j] = xd[j * ldx + i];
+    }
+}
+
+template <typename T>
+using SpmmRowFn = void (*)(const int64_t *, const int32_t *,
+                           const T *, const T *, T *, size_t, int32_t,
+                           int32_t);
+
+template <typename T>
+using SpmmPackFn = void (*)(const T *, size_t, size_t, T *);
+
+template <typename T, size_t... K>
+constexpr std::array<SpmmRowFn<T>, sizeof...(K)>
+spmmRowTable(std::index_sequence<K...>)
+{
+    return {&spmmRowsPacked<T, K + 1>...};
+}
+
+template <typename T, size_t... K>
+constexpr std::array<SpmmPackFn<T>, sizeof...(K)>
+spmmPackTable(std::index_sequence<K...>)
+{
+    return {&packColumnsFixed<T, K + 1>...};
+}
+
+/** One instantiation per width in [1, kMaxBlockWidth]. */
+template <typename T>
+constexpr std::array<SpmmRowFn<T>, kMaxBlockWidth> kSpmmRowFns =
+    spmmRowTable<T>(std::make_index_sequence<kMaxBlockWidth>{});
+
+template <typename T>
+constexpr std::array<SpmmPackFn<T>, kMaxBlockWidth> kSpmmPackFns =
+    spmmPackTable<T>(std::make_index_sequence<kMaxBlockWidth>{});
+
+/**
+ * Per-thread pack scratch (n * k values). Grows monotonically and is
+ * reused across calls, so the per-iteration solver path allocates
+ * only on its first solve per thread — never inside the marked hot
+ * loops. Workers in spmmParallel READ the calling thread's pack
+ * through a plain pointer; the pool's task dispatch orders the pack
+ * writes before every reader.
+ */
+template <typename T>
+std::vector<T> &
+packScratch()
+{
+    thread_local std::vector<T> buf;
+    return buf;
+}
+
+/** Pack the first k columns of x into this thread's scratch. */
+template <typename T>
+const T *
+packX(const DenseBlock<T> &x, std::size_t k)
+{
+    std::vector<T> &buf = packScratch<T>();
+    const size_t need = x.rows() * k;
+    if (buf.size() < need)
+        buf.resize(need);
+    kSpmmPackFns<T>[k - 1](x.data().data(), x.rows(), x.rows(),
+                           buf.data());
+    return buf.data();
+}
+
+/** The work-scoped packed sweep both entry points share. */
+template <typename T>
+void
+sweepPacked(const CsrMatrix<T> &a, const T *xp, DenseBlock<T> &y,
+            std::size_t k, int32_t begin, int32_t end)
+{
+    const auto &rp = a.rowPtr();
+    ACAMAR_WORK_SCOPE("sparse/spmm_rows",
+                      csrSpmmWork(end - begin, rp[end] - rp[begin], k,
+                                  sizeof(T)));
+    kSpmmRowFns<T>[k - 1](rp.data(), a.colIdx().data(),
+                          a.values().data(), xp, y.col(0), y.rows(),
+                          begin, end);
+}
+
+} // namespace
+
+template <typename T>
+void
+spmm(const CsrMatrix<T> &a, const DenseBlock<T> &x, DenseBlock<T> &y,
+     std::size_t k)
+{
+    spmmRows(a, x, y, k, 0, a.numRows());
+}
+
+template <typename T>
+void
+spmm(const CsrMatrix<T> &a, const DenseBlock<T> &x, DenseBlock<T> &y,
+     std::size_t k, ParallelContext *pc)
+{
+    if (pc && pc->wide())
+        spmmParallel(a, x, y, k, *pc);
+    else
+        spmm(a, x, y, k);
+}
+
+template <typename T>
+void
+spmmRows(const CsrMatrix<T> &a, const DenseBlock<T> &x,
+         DenseBlock<T> &y, std::size_t k, int32_t begin, int32_t end)
+{
+    ACAMAR_PROFILE("sparse/spmm_rows");
+    checkSpmmShapes(a, x, y, k);
+    ACAMAR_CHECK(begin >= 0 && begin <= end && end <= a.numRows())
+        << "spmm row range out of bounds";
+
+    // One pass over each row's entries serves every column: the
+    // matrix value and column index are loaded once and applied k
+    // times — the whole point of the fused kernel. The operand is
+    // packed row-major first (contiguous k-gathers), then the width
+    // dispatches to a compile-time-K sweep; each column still
+    // accumulates in CSR entry order, so column j stays
+    // bit-identical to spmv() on that column alone. The pack covers
+    // all of x regardless of the row range — callers sweeping many
+    // disjoint ranges should pack once (spmmParallel does).
+    sweepPacked(a, packX(x, k), y, k, begin, end);
+}
+
+template <typename T>
+void
+spmmParallel(const CsrMatrix<T> &a, const DenseBlock<T> &x,
+             DenseBlock<T> &y, std::size_t k, ParallelContext &pc)
+{
+    ACAMAR_PROFILE("sparse/spmm_parallel");
+    const RowPartition &blocks = pc.partition(a);
+    ThreadPool *pool = pc.pool();
+    if (blocks.size() <= 1 || !pool) {
+        spmmRows(a, x, y, k, 0, a.numRows());
+        return;
+    }
+    checkSpmmShapes(a, x, y, k);
+    // Pack once on the calling thread; the pool's task dispatch
+    // publishes it to every worker. Disjoint row blocks across every
+    // column: each worker owns its slice of all k outputs, and each
+    // row still accumulates in CSR order, so the result is
+    // bit-identical to the serial kernel.
+    const T *xp = packX(x, k);
+    parallelForIndex(*pool, blocks.size(), [&](size_t i) {
+        sweepPacked(a, xp, y, k, blocks[i].begin, blocks[i].end);
+    });
+}
+
+template void spmm<float>(const CsrMatrix<float> &,
+                          const DenseBlock<float> &,
+                          DenseBlock<float> &, std::size_t);
+template void spmm<double>(const CsrMatrix<double> &,
+                           const DenseBlock<double> &,
+                           DenseBlock<double> &, std::size_t);
+template void spmm<float>(const CsrMatrix<float> &,
+                          const DenseBlock<float> &,
+                          DenseBlock<float> &, std::size_t,
+                          ParallelContext *);
+template void spmm<double>(const CsrMatrix<double> &,
+                           const DenseBlock<double> &,
+                           DenseBlock<double> &, std::size_t,
+                           ParallelContext *);
+template void spmmRows<float>(const CsrMatrix<float> &,
+                              const DenseBlock<float> &,
+                              DenseBlock<float> &, std::size_t,
+                              int32_t, int32_t);
+template void spmmRows<double>(const CsrMatrix<double> &,
+                               const DenseBlock<double> &,
+                               DenseBlock<double> &, std::size_t,
+                               int32_t, int32_t);
+template void spmmParallel<float>(const CsrMatrix<float> &,
+                                  const DenseBlock<float> &,
+                                  DenseBlock<float> &, std::size_t,
+                                  ParallelContext &);
+template void spmmParallel<double>(const CsrMatrix<double> &,
+                                   const DenseBlock<double> &,
+                                   DenseBlock<double> &, std::size_t,
+                                   ParallelContext &);
+
+} // namespace acamar

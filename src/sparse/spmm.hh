@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fused SpMM kernels: Y = A X for a DenseBlock of k right-hand sides.
+ *
+ * PR 9's work ledger proved the host SpMV path is bandwidth-bound:
+ * nearly all of an iteration's bytes are the matrix stream. These
+ * kernels read each matrix row ONCE and apply it to all k columns,
+ * so k solves pay one matrix sweep instead of k — the multiplier the
+ * block solvers and the grouped batch scheduler are built on (the
+ * analytic win is csrSpmmWork vs k * csrSpmvWork in
+ * obs/kernel_work.hh; bench/spmm_kernels measures the achieved one).
+ *
+ * Determinism contract: column j of the output accumulates each row
+ * in CSR column order with the same fp32 accumulator the scalar
+ * spmv() uses, so every column is bit-identical to an independent
+ * spmv() of that column — serial or parallel, at any thread count.
+ */
+
+#ifndef ACAMAR_SPARSE_SPMM_HH
+#define ACAMAR_SPARSE_SPMM_HH
+
+#include <cstddef>
+
+#include "sparse/csr.hh"
+#include "sparse/dense_block.hh"
+
+namespace acamar {
+
+class ParallelContext; // exec/parallel_context.hh
+
+// kMaxBlockWidth (the width cap the fixed accumulators impose)
+// lives in sparse/dense_block.hh with the block type itself.
+
+/**
+ * Y(:, 0:k) = A X(:, 0:k) over the first k columns (the active
+ * prefix under deflation). Y must already be sized to numRows x >= k
+ * (ACAMAR_CHECK enforced) — SpMM is the innermost block-solver
+ * kernel and must never allocate.
+ */
+template <typename T>
+void spmm(const CsrMatrix<T> &a, const DenseBlock<T> &x,
+          DenseBlock<T> &y, std::size_t k);
+
+/**
+ * Context-aware SpMM: fans row blocks out over `pc`'s pool when the
+ * context is wide, serial otherwise. Bit-identical either way.
+ */
+template <typename T>
+void spmm(const CsrMatrix<T> &a, const DenseBlock<T> &x,
+          DenseBlock<T> &y, std::size_t k, ParallelContext *pc);
+
+/**
+ * Row-range SpMM: rows [begin, end) of all k active columns. Rows
+ * outside the range are untouched.
+ */
+template <typename T>
+void spmmRows(const CsrMatrix<T> &a, const DenseBlock<T> &x,
+              DenseBlock<T> &y, std::size_t k, int32_t begin,
+              int32_t end);
+
+/**
+ * Parallel SpMM over the context's nnz-balanced row partition; each
+ * worker owns disjoint output rows of every column, and each row
+ * accumulates in CSR order, so the result is bit-identical to the
+ * serial kernel at any thread count.
+ */
+template <typename T>
+void spmmParallel(const CsrMatrix<T> &a, const DenseBlock<T> &x,
+                  DenseBlock<T> &y, std::size_t k,
+                  ParallelContext &pc);
+
+extern template void spmm<float>(const CsrMatrix<float> &,
+                                 const DenseBlock<float> &,
+                                 DenseBlock<float> &, std::size_t);
+extern template void spmm<double>(const CsrMatrix<double> &,
+                                  const DenseBlock<double> &,
+                                  DenseBlock<double> &, std::size_t);
+extern template void spmm<float>(const CsrMatrix<float> &,
+                                 const DenseBlock<float> &,
+                                 DenseBlock<float> &, std::size_t,
+                                 ParallelContext *);
+extern template void spmm<double>(const CsrMatrix<double> &,
+                                  const DenseBlock<double> &,
+                                  DenseBlock<double> &, std::size_t,
+                                  ParallelContext *);
+extern template void spmmRows<float>(const CsrMatrix<float> &,
+                                     const DenseBlock<float> &,
+                                     DenseBlock<float> &, std::size_t,
+                                     int32_t, int32_t);
+extern template void spmmRows<double>(const CsrMatrix<double> &,
+                                      const DenseBlock<double> &,
+                                      DenseBlock<double> &,
+                                      std::size_t, int32_t, int32_t);
+extern template void spmmParallel<float>(const CsrMatrix<float> &,
+                                         const DenseBlock<float> &,
+                                         DenseBlock<float> &,
+                                         std::size_t,
+                                         ParallelContext &);
+extern template void spmmParallel<double>(const CsrMatrix<double> &,
+                                          const DenseBlock<double> &,
+                                          DenseBlock<double> &,
+                                          std::size_t,
+                                          ParallelContext &);
+
+} // namespace acamar
+
+#endif // ACAMAR_SPARSE_SPMM_HH

@@ -16,8 +16,7 @@ namespace {
 /** Serial partial sum of one reduction block. */
 template <typename T>
 double
-blockDot(const std::vector<T> &x, const std::vector<T> &y,
-         size_t begin, size_t end)
+blockDot(const T *x, const T *y, size_t begin, size_t end)
 {
     double acc = 0.0;
     for (size_t i = begin; i < end; ++i)
@@ -29,10 +28,8 @@ blockDot(const std::vector<T> &x, const std::vector<T> &y,
 
 template <typename T>
 double
-dot(const std::vector<T> &x, const std::vector<T> &y)
+dotSpan(const T *x, const T *y, std::size_t n)
 {
-    ACAMAR_CHECK(x.size() == y.size()) << "dot size mismatch";
-    const size_t n = x.size();
     ACAMAR_WORK_SCOPE("sparse/dot", dotWork(n, sizeof(T)));
     // Fixed-size blocks reduced in index order: the association (and
     // rounding) depends only on n, never on who computes the blocks.
@@ -46,15 +43,12 @@ dot(const std::vector<T> &x, const std::vector<T> &y)
 
 template <typename T>
 double
-dot(const std::vector<T> &x, const std::vector<T> &y,
-    ParallelContext *pc)
+dotSpan(const T *x, const T *y, std::size_t n, ParallelContext *pc)
 {
-    ACAMAR_CHECK(x.size() == y.size()) << "dot size mismatch";
-    const size_t n = x.size();
     const size_t n_blocks = (n + kReductionBlock - 1) / kReductionBlock;
     ThreadPool *pool = pc ? pc->pool() : nullptr;
     if (!pool || n_blocks < 2)
-        return dot(x, y);
+        return dotSpan(x, y, n);
 
     // Workers fill disjoint slots of the partial-sum buffer; the
     // final reduction walks it serially in block order, making the
@@ -86,6 +80,59 @@ dot(const std::vector<T> &x, const std::vector<T> &y,
 
 template <typename T>
 double
+norm2Span(const T *x, std::size_t n)
+{
+    return std::sqrt(dotSpan(x, x, n));
+}
+
+template <typename T>
+double
+norm2Span(const T *x, std::size_t n, ParallelContext *pc)
+{
+    return std::sqrt(dotSpan(x, x, n, pc));
+}
+
+template <typename T>
+void
+axpySpan(T a, const T *x, T *y, std::size_t n)
+{
+    ACAMAR_WORK_SCOPE("sparse/axpy", axpyWork(n, sizeof(T)));
+    // acamar: hot-loop
+    for (size_t i = 0; i < n; ++i)
+        y[i] += a * x[i];
+    // acamar: hot-loop-end
+}
+
+template <typename T>
+void
+waxpbySpan(T a, const T *x, T b, const T *y, T *w, std::size_t n)
+{
+    ACAMAR_WORK_SCOPE("sparse/waxpby", waxpbyWork(n, sizeof(T)));
+    // acamar: hot-loop
+    for (size_t i = 0; i < n; ++i)
+        w[i] = a * x[i] + b * y[i];
+    // acamar: hot-loop-end
+}
+
+template <typename T>
+double
+dot(const std::vector<T> &x, const std::vector<T> &y)
+{
+    ACAMAR_CHECK(x.size() == y.size()) << "dot size mismatch";
+    return dotSpan(x.data(), y.data(), x.size());
+}
+
+template <typename T>
+double
+dot(const std::vector<T> &x, const std::vector<T> &y,
+    ParallelContext *pc)
+{
+    ACAMAR_CHECK(x.size() == y.size()) << "dot size mismatch";
+    return dotSpan(x.data(), y.data(), x.size(), pc);
+}
+
+template <typename T>
+double
 norm2(const std::vector<T> &x)
 {
     return std::sqrt(dot(x, x));
@@ -103,11 +150,7 @@ void
 axpy(T a, const std::vector<T> &x, std::vector<T> &y)
 {
     ACAMAR_CHECK(x.size() == y.size()) << "axpy size mismatch";
-    ACAMAR_WORK_SCOPE("sparse/axpy", axpyWork(x.size(), sizeof(T)));
-    // acamar: hot-loop
-    for (size_t i = 0; i < x.size(); ++i)
-        y[i] += a * x[i];
-    // acamar: hot-loop-end
+    axpySpan(a, x.data(), y.data(), x.size());
 }
 
 template <typename T>
@@ -119,12 +162,7 @@ waxpby(T a, const std::vector<T> &x, T b, const std::vector<T> &y,
     ACAMAR_CHECK(w.size() == x.size())
         << "waxpby output not pre-sized: " << w.size() << " != "
         << x.size();
-    ACAMAR_WORK_SCOPE("sparse/waxpby",
-                      waxpbyWork(x.size(), sizeof(T)));
-    // acamar: hot-loop
-    for (size_t i = 0; i < x.size(); ++i)
-        w[i] = a * x[i] + b * y[i];
-    // acamar: hot-loop-end
+    waxpbySpan(a, x.data(), b, y.data(), w.data(), x.size());
 }
 
 template <typename T>
@@ -155,6 +193,29 @@ hadamard(const std::vector<T> &x, const std::vector<T> &y,
     // acamar: hot-loop-end
 }
 
+template double dotSpan<float>(const float *, const float *,
+                               std::size_t);
+template double dotSpan<double>(const double *, const double *,
+                                std::size_t);
+template double dotSpan<float>(const float *, const float *,
+                               std::size_t, ParallelContext *);
+template double dotSpan<double>(const double *, const double *,
+                                std::size_t, ParallelContext *);
+template double norm2Span<float>(const float *, std::size_t);
+template double norm2Span<double>(const double *, std::size_t);
+template double norm2Span<float>(const float *, std::size_t,
+                                 ParallelContext *);
+template double norm2Span<double>(const double *, std::size_t,
+                                  ParallelContext *);
+template void axpySpan<float>(float, const float *, float *,
+                              std::size_t);
+template void axpySpan<double>(double, const double *, double *,
+                               std::size_t);
+template void waxpbySpan<float>(float, const float *, float,
+                                const float *, float *, std::size_t);
+template void waxpbySpan<double>(double, const double *, double,
+                                 const double *, double *,
+                                 std::size_t);
 template double dot<float>(const std::vector<float> &,
                            const std::vector<float> &);
 template double dot<double>(const std::vector<double> &,

@@ -30,6 +30,39 @@ class ParallelContext; // exec/parallel_context.hh
  */
 inline constexpr std::size_t kReductionBlock = 4096;
 
+/**
+ * Span forms of the kernels below, shared with the DenseBlock
+ * column operations (sparse/dense_block.hh): one column of a block
+ * runs the exact same blocked arithmetic as a whole vector, so a
+ * block solve's per-column rounding is bit-identical to the scalar
+ * solve's. Callers validate sizes; the ledger charge and hot-loop
+ * discipline live here so every path records exactly once.
+ */
+template <typename T>
+double dotSpan(const T *x, const T *y, std::size_t n);
+
+/** Context-aware span inner product; see dot(x, y, pc). */
+template <typename T>
+double dotSpan(const T *x, const T *y, std::size_t n,
+               ParallelContext *pc);
+
+/** Span Euclidean norm. */
+template <typename T>
+double norm2Span(const T *x, std::size_t n);
+
+/** Context-aware span norm. */
+template <typename T>
+double norm2Span(const T *x, std::size_t n, ParallelContext *pc);
+
+/** Span y += a * x. */
+template <typename T>
+void axpySpan(T a, const T *x, T *y, std::size_t n);
+
+/** Span w = a*x + b*y. */
+template <typename T>
+void waxpbySpan(T a, const T *x, T b, const T *y, T *w,
+                std::size_t n);
+
 /** Inner product (x, y). Accumulates in double for stability. */
 template <typename T>
 double dot(const std::vector<T> &x, const std::vector<T> &y);
@@ -77,6 +110,30 @@ template <typename T>
 void hadamard(const std::vector<T> &x, const std::vector<T> &y,
               std::vector<T> &w);
 
+extern template double dotSpan<float>(const float *, const float *,
+                                      std::size_t);
+extern template double dotSpan<double>(const double *, const double *,
+                                       std::size_t);
+extern template double dotSpan<float>(const float *, const float *,
+                                      std::size_t, ParallelContext *);
+extern template double dotSpan<double>(const double *, const double *,
+                                       std::size_t, ParallelContext *);
+extern template double norm2Span<float>(const float *, std::size_t);
+extern template double norm2Span<double>(const double *, std::size_t);
+extern template double norm2Span<float>(const float *, std::size_t,
+                                        ParallelContext *);
+extern template double norm2Span<double>(const double *, std::size_t,
+                                         ParallelContext *);
+extern template void axpySpan<float>(float, const float *, float *,
+                                     std::size_t);
+extern template void axpySpan<double>(double, const double *, double *,
+                                      std::size_t);
+extern template void waxpbySpan<float>(float, const float *, float,
+                                       const float *, float *,
+                                       std::size_t);
+extern template void waxpbySpan<double>(double, const double *, double,
+                                        const double *, double *,
+                                        std::size_t);
 extern template double dot<float>(const std::vector<float> &,
                                   const std::vector<float> &);
 extern template double dot<double>(const std::vector<double> &,

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for matrix-grouped batch scheduling: BatchSolver with
+ * blockWidth > 1 coalesces jobs sharing a matrix and config into
+ * fused block solves, and that grouping must be invisible in the
+ * results — every report byte-identical to the ungrouped run, in
+ * submission order, with its own correlation SpanId.
+ *
+ * Suites ending in "Mt" run under the CI ThreadSanitizer job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "exec/batch_solver.hh"
+#include "sparse/catalog.hh"
+
+namespace acamar {
+namespace {
+
+CsrMatrix<float>
+catalogMatrix(const char *id, int32_t dim)
+{
+    return generateDataset(*findDataset(id), dim).cast<float>();
+}
+
+std::vector<std::vector<float>>
+scaledRhs(const CsrMatrix<float> &a, const char *id, size_t k)
+{
+    const auto base = datasetRhs(a, id);
+    std::vector<std::vector<float>> bs(k, base);
+    for (size_t j = 0; j < k; ++j)
+        for (float &v : bs[j])
+            v *= 1.0f + 0.125f * static_cast<float>(j);
+    return bs;
+}
+
+bool
+bitEqual(const std::vector<float> &a, const std::vector<float> &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(float)) == 0;
+}
+
+/** Reports must agree on everything observable, bit for bit. */
+void
+expectReportsEqual(const std::vector<AcamarRunReport> &got,
+                   const std::vector<AcamarRunReport> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+        const AcamarRunReport &g = got[i], &w = want[i];
+        EXPECT_EQ(g.converged, w.converged) << "job " << i;
+        EXPECT_EQ(g.timedOut, w.timedOut) << "job " << i;
+        EXPECT_EQ(g.finalSolver, w.finalSolver) << "job " << i;
+        ASSERT_EQ(g.attempts.size(), w.attempts.size()) << "job " << i;
+        for (size_t t = 0; t < g.attempts.size(); ++t) {
+            EXPECT_EQ(g.attempts[t].kind, w.attempts[t].kind)
+                << "job " << i << " attempt " << t;
+            EXPECT_EQ(g.attempts[t].result.iterations,
+                      w.attempts[t].result.iterations)
+                << "job " << i << " attempt " << t;
+            EXPECT_EQ(g.attempts[t].result.residualHistory,
+                      w.attempts[t].result.residualHistory)
+                << "job " << i << " attempt " << t;
+            EXPECT_TRUE(bitEqual(g.attempts[t].result.solution,
+                                 w.attempts[t].result.solution))
+                << "job " << i << " attempt " << t;
+        }
+    }
+}
+
+/** Queue the same job list on a solver built with `opts`. */
+std::vector<AcamarRunReport>
+runBatch(const BatchOptions &opts, const CsrMatrix<float> &a,
+         const std::vector<std::vector<float>> &bs,
+         const AcamarConfig &cfg = {})
+{
+    BatchSolver batch(opts);
+    for (const auto &b : bs)
+        batch.add(a, b, cfg);
+    return batch.solveAll();
+}
+
+TEST(BatchGrouping, GroupedEqualsUngroupedInSubmissionOrder)
+{
+    const auto a = catalogMatrix("2C", 256);
+    const auto bs = scaledRhs(a, "2C", 7);
+    const auto ref = runBatch({.jobs = 1, .blockWidth = 1}, a, bs);
+    // 7 jobs at width 4 → one full group, one partial.
+    const auto grouped =
+        runBatch({.jobs = 1, .blockWidth = 4}, a, bs);
+    expectReportsEqual(grouped, ref);
+}
+
+TEST(BatchGrouping, SpanIdsFollowSubmissionOrder)
+{
+    const auto a = catalogMatrix("2C", 192);
+    const auto bs = scaledRhs(a, "2C", 5);
+    BatchSolver batch({.jobs = 1, .blockWidth = 4});
+    for (const auto &b : bs)
+        batch.add(a, b);
+    const auto reports = batch.solveAll();
+    for (size_t i = 0; i < reports.size(); ++i) {
+        EXPECT_EQ(reports[i].runId, batch.runId()) << i;
+        EXPECT_EQ(reports[i].spanId, i + 1) << i;
+    }
+}
+
+TEST(BatchGrouping, MixedMatricesNeverCrossGroup)
+{
+    // Interleave two matrices: grouping keys on the content
+    // fingerprint, so each job must still match its solo run.
+    const auto a1 = catalogMatrix("2C", 192);
+    const auto a2 = catalogMatrix("If", 192);
+    const auto bs1 = scaledRhs(a1, "2C", 3);
+    const auto bs2 = scaledRhs(a2, "If", 3);
+
+    auto queue = [&](const BatchOptions &opts) {
+        BatchSolver batch(opts);
+        for (size_t j = 0; j < 3; ++j) {
+            batch.add(a1, bs1[j]);
+            batch.add(a2, bs2[j]);
+        }
+        return batch.solveAll();
+    };
+    expectReportsEqual(queue({.jobs = 1, .blockWidth = 4}),
+                       queue({.jobs = 1, .blockWidth = 1}));
+}
+
+TEST(BatchGrouping, DifferentConfigsNeverGroup)
+{
+    // Same matrix, different convergence criteria: the config
+    // fingerprint must keep them apart, and each job must honor ITS
+    // criteria (a loose-tolerance job converges in fewer iterations).
+    const auto a = catalogMatrix("2C", 192);
+    const auto bs = scaledRhs(a, "2C", 4);
+    AcamarConfig tight;
+    tight.criteria.tolerance = 1e-7;
+    AcamarConfig loose;
+    loose.criteria.tolerance = 1e-3;
+
+    auto queue = [&](int width) {
+        BatchSolver batch({.jobs = 1, .blockWidth = width});
+        for (size_t j = 0; j < bs.size(); ++j)
+            batch.add(a, bs[j], j % 2 == 0 ? tight : loose);
+        return batch.solveAll();
+    };
+    const auto ref = queue(1);
+    expectReportsEqual(queue(4), ref);
+    EXPECT_GT(ref[0].attempts.back().result.iterations,
+              ref[1].attempts.back().result.iterations);
+}
+
+TEST(BatchGrouping, WidthBeyondQueueAndWidthOneAgree)
+{
+    const auto a = catalogMatrix("If", 192);
+    const auto bs = scaledRhs(a, "If", 3);
+    const auto ref = runBatch({.jobs = 1, .blockWidth = 1}, a, bs);
+    // Width larger than the queue: one group takes everything.
+    expectReportsEqual(
+        runBatch({.jobs = 1, .blockWidth = 64}, a, bs), ref);
+}
+
+TEST(BatchGrouping, DistinctRootSeedsMintDistinctRunIds)
+{
+    // RunIds are seed-derived (that is what keeps them stable
+    // across --jobs re-instantiations); programs separate
+    // concurrent batches' correlation scopes by root seed.
+    BatchOptions other;
+    other.rootSeed ^= 0x5eedb10cull;
+    BatchSolver first{BatchOptions{}}, second{other};
+    EXPECT_NE(first.runId(), second.runId());
+}
+
+TEST(BatchGroupingMt, GroupedParallelBitIdenticalToSerialUngrouped)
+{
+    const auto a = catalogMatrix("2C", 256);
+    const auto bs = scaledRhs(a, "2C", 8);
+    const auto ref = runBatch({.jobs = 1, .blockWidth = 1}, a, bs);
+    for (int jobs : {2, 8}) {
+        for (int width : {2, 4, 8}) {
+            expectReportsEqual(
+                runBatch({.jobs = jobs, .blockWidth = width}, a, bs),
+                ref);
+        }
+    }
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the block (multi-RHS) solvers: column j of a block solve
+ * must be byte-identical to the scalar solver run on (A, b_j) alone
+ * — same status, same iteration count, same residual history, same
+ * solution bits — including when columns converge at different
+ * iterations and the deflation machinery compacts the active prefix.
+ *
+ * Suites ending in "Mt" run under the CI ThreadSanitizer job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "exec/parallel_context.hh"
+#include "solvers/block_solver.hh"
+#include "solvers/solver.hh"
+#include "solvers/workspace.hh"
+#include "sparse/catalog.hh"
+
+namespace acamar {
+namespace {
+
+/** The catalog workload routed to `id`'s structural class. */
+CsrMatrix<float>
+catalogMatrix(const char *id, int32_t dim)
+{
+    return generateDataset(*findDataset(id), dim).cast<float>();
+}
+
+/** k right-hand sides: the dataset rhs at k different scales. */
+std::vector<std::vector<float>>
+scaledRhs(const CsrMatrix<float> &a, const char *id, size_t k)
+{
+    const auto base = datasetRhs(a, id);
+    std::vector<std::vector<float>> bs(k, base);
+    for (size_t j = 0; j < k; ++j)
+        for (float &v : bs[j])
+            v *= 1.0f + 0.125f * static_cast<float>(j);
+    return bs;
+}
+
+std::vector<const std::vector<float> *>
+borrow(const std::vector<std::vector<float>> &bs)
+{
+    std::vector<const std::vector<float> *> ptrs;
+    for (const auto &b : bs)
+        ptrs.push_back(&b);
+    return ptrs;
+}
+
+bool
+bitEqual(const std::vector<float> &a, const std::vector<float> &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(float)) == 0;
+}
+
+/**
+ * The whole contract in one helper: every column of the block solve
+ * equals the scalar solve of that column, byte for byte.
+ */
+void
+expectColumnsMatchScalar(SolverKind kind, const CsrMatrix<float> &a,
+                         const std::vector<std::vector<float>> &bs,
+                         const ConvergenceCriteria &criteria)
+{
+    SolverWorkspace block_ws;
+    const auto block = makeBlockSolver(kind);
+    ASSERT_NE(block, nullptr);
+    const BlockSolveResult res =
+        block->solve(a, borrow(bs), criteria, block_ws);
+    ASSERT_EQ(res.columns.size(), bs.size());
+
+    const auto scalar = makeSolver(kind);
+    for (size_t j = 0; j < bs.size(); ++j) {
+        SolverWorkspace ws;
+        const SolveResult ref =
+            scalar->solve(a, bs[j], {}, criteria, ws);
+        const SolveResult &col = res.columns[j];
+        EXPECT_EQ(col.status, ref.status) << "col " << j;
+        EXPECT_EQ(col.iterations, ref.iterations) << "col " << j;
+        EXPECT_EQ(col.residualHistory, ref.residualHistory)
+            << "col " << j;
+        EXPECT_TRUE(bitEqual(col.solution, ref.solution))
+            << "col " << j;
+    }
+}
+
+TEST(BlockSolverRegistry, CgAndBicgstabOnly)
+{
+    EXPECT_TRUE(blockSolverAvailable(SolverKind::CG));
+    EXPECT_TRUE(blockSolverAvailable(SolverKind::BiCgStab));
+    EXPECT_FALSE(blockSolverAvailable(SolverKind::Jacobi));
+    EXPECT_EQ(makeBlockSolver(SolverKind::Jacobi), nullptr);
+    EXPECT_EQ(makeBlockSolver(SolverKind::CG)->kind(),
+              SolverKind::CG);
+    EXPECT_EQ(makeBlockSolver(SolverKind::BiCgStab)->kind(),
+              SolverKind::BiCgStab);
+}
+
+TEST(BlockSolveResult, EmptyIsNotOk)
+{
+    EXPECT_FALSE(BlockSolveResult{}.allOk());
+}
+
+TEST(BlockCg, ColumnsMatchScalarCgByteForByte)
+{
+    const auto a = catalogMatrix("2C", 256);
+    expectColumnsMatchScalar(SolverKind::CG, a,
+                             scaledRhs(a, "2C", 6), {});
+}
+
+TEST(BlockCg, SingleColumnMatchesScalar)
+{
+    const auto a = catalogMatrix("2C", 192);
+    expectColumnsMatchScalar(SolverKind::CG, a,
+                             scaledRhs(a, "2C", 1), {});
+}
+
+TEST(BlockBicgstab, ColumnsMatchScalarBicgstabByteForByte)
+{
+    // The nonsym-hard workload: per-column iteration counts
+    // genuinely differ here, so deflation compacts mid-solve.
+    const auto a = catalogMatrix("If", 256);
+    expectColumnsMatchScalar(SolverKind::BiCgStab, a,
+                             scaledRhs(a, "If", 5), {});
+}
+
+TEST(BlockBicgstab, PerColumnIterationCountsDiffer)
+{
+    const auto a = catalogMatrix("If", 256);
+    const auto bs = scaledRhs(a, "If", 6);
+    SolverWorkspace ws;
+    const auto res = makeBlockSolver(SolverKind::BiCgStab)
+                         ->solve(a, borrow(bs), {}, ws);
+    ASSERT_TRUE(res.allOk());
+    int lo = res.columns[0].iterations, hi = lo;
+    for (const auto &c : res.columns) {
+        lo = std::min(lo, c.iterations);
+        hi = std::max(hi, c.iterations);
+    }
+    // If every column always took the same count, the deflation
+    // paths would never be exercised by this suite.
+    EXPECT_LT(lo, hi);
+}
+
+TEST(BlockSolvers, MixedConvergenceDeflationMatchesScalar)
+{
+    // Cap iterations between the columns' natural counts: some
+    // columns converge (and deflate), the rest stall at the cap.
+    const auto a = catalogMatrix("If", 256);
+    const auto bs = scaledRhs(a, "If", 6);
+
+    SolverWorkspace probe_ws;
+    const auto probe = makeBlockSolver(SolverKind::BiCgStab)
+                           ->solve(a, borrow(bs), {}, probe_ws);
+    ASSERT_TRUE(probe.allOk());
+    int lo = probe.columns[0].iterations, hi = lo;
+    for (const auto &c : probe.columns) {
+        lo = std::min(lo, c.iterations);
+        hi = std::max(hi, c.iterations);
+    }
+    ASSERT_LT(lo, hi);
+
+    ConvergenceCriteria capped;
+    capped.maxIterations = (lo + hi) / 2;
+    expectColumnsMatchScalar(SolverKind::BiCgStab, a, bs, capped);
+}
+
+TEST(BlockCg, ReusedWorkspaceStaysByteIdentical)
+{
+    // The ws.block() pool hands back stale storage on the second
+    // solve; results must not depend on what the first left there.
+    const auto a = catalogMatrix("2C", 192);
+    const auto bs = scaledRhs(a, "2C", 4);
+    SolverWorkspace ws;
+    const auto block = makeBlockSolver(SolverKind::CG);
+    const auto first = block->solve(a, borrow(bs), {}, ws);
+    const auto second = block->solve(a, borrow(bs), {}, ws);
+    ASSERT_EQ(first.columns.size(), second.columns.size());
+    for (size_t j = 0; j < first.columns.size(); ++j) {
+        EXPECT_EQ(first.columns[j].residualHistory,
+                  second.columns[j].residualHistory);
+        EXPECT_TRUE(bitEqual(first.columns[j].solution,
+                             second.columns[j].solution));
+    }
+}
+
+TEST(BlockSolversMt, BitIdenticalAcrossThreadCounts)
+{
+    for (SolverKind kind : {SolverKind::CG, SolverKind::BiCgStab}) {
+        const char *id = kind == SolverKind::CG ? "2C" : "If";
+        const auto a = catalogMatrix(id, 256);
+        const auto bs = scaledRhs(a, id, 5);
+
+        SolverWorkspace serial_ws;
+        const auto block = makeBlockSolver(kind);
+        const auto ref = block->solve(a, borrow(bs), {}, serial_ws);
+
+        for (int threads : {2, 8}) {
+            ParallelContext pc(threads);
+            SolverWorkspace ws;
+            ws.setParallel(&pc);
+            const auto res = block->solve(a, borrow(bs), {}, ws);
+            ASSERT_EQ(res.columns.size(), ref.columns.size());
+            for (size_t j = 0; j < ref.columns.size(); ++j) {
+                EXPECT_EQ(res.columns[j].iterations,
+                          ref.columns[j].iterations)
+                    << to_string(kind) << " threads=" << threads;
+                EXPECT_EQ(res.columns[j].residualHistory,
+                          ref.columns[j].residualHistory)
+                    << to_string(kind) << " threads=" << threads;
+                EXPECT_TRUE(bitEqual(res.columns[j].solution,
+                                     ref.columns[j].solution))
+                    << to_string(kind) << " threads=" << threads;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace acamar

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for DenseBlock and the blocked vector kernels: shape and
+ * column accessors, the swapColumns deflation primitive, and the
+ * per-column bit-identity of blockDot/blockNorm2/blockAxpy/
+ * blockWaxpby against the whole-vector kernels they delegate to.
+ *
+ * Suites ending in "Mt" run under the CI ThreadSanitizer job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.hh"
+#include "exec/parallel_context.hh"
+#include "sparse/dense_block.hh"
+#include "sparse/vector_ops.hh"
+
+namespace acamar {
+namespace {
+
+std::vector<float>
+denseInput(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> x(n);
+    for (auto &v : x)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return x;
+}
+
+bool
+bitEqual(const std::vector<float> &a, const std::vector<float> &b)
+{
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(float)) == 0;
+}
+
+TEST(DenseBlock, ShapeAndColumnAccess)
+{
+    DenseBlock<float> blk(5, 3);
+    EXPECT_EQ(blk.rows(), 5u);
+    EXPECT_EQ(blk.cols(), 3u);
+    // Zero-initialized.
+    for (size_t j = 0; j < 3; ++j)
+        for (size_t i = 0; i < 5; ++i)
+            EXPECT_EQ(blk.at(i, j), 0.0f);
+
+    blk.at(2, 1) = 7.0f;
+    EXPECT_EQ(blk.col(1)[2], 7.0f);
+    // Columns are contiguous and a column apart.
+    EXPECT_EQ(blk.col(1), blk.col(0) + 5);
+    EXPECT_EQ(blk.col(2), blk.col(0) + 10);
+}
+
+TEST(DenseBlock, SetColumnRoundTrips)
+{
+    const auto v = denseInput(17, 3);
+    DenseBlock<float> blk(17, 4);
+    blk.setColumn(2, v);
+    EXPECT_TRUE(bitEqual(blk.column(2), v));
+    // Neighbors untouched.
+    for (size_t i = 0; i < 17; ++i) {
+        EXPECT_EQ(blk.at(i, 1), 0.0f);
+        EXPECT_EQ(blk.at(i, 3), 0.0f);
+    }
+}
+
+TEST(DenseBlock, SwapColumnsExchangesStorage)
+{
+    const auto u = denseInput(9, 5);
+    const auto v = denseInput(9, 6);
+    DenseBlock<float> blk(9, 3);
+    blk.setColumn(0, u);
+    blk.setColumn(2, v);
+    blk.swapColumns(0, 2);
+    EXPECT_TRUE(bitEqual(blk.column(0), v));
+    EXPECT_TRUE(bitEqual(blk.column(2), u));
+    // Self-swap is a no-op.
+    blk.swapColumns(1, 1);
+    for (size_t i = 0; i < 9; ++i)
+        EXPECT_EQ(blk.at(i, 1), 0.0f);
+}
+
+TEST(DenseBlock, ResizeZeroesAndReshapes)
+{
+    DenseBlock<float> blk(4, 2);
+    blk.fill(3.0f);
+    blk.resize(6, 3);
+    EXPECT_EQ(blk.rows(), 6u);
+    EXPECT_EQ(blk.cols(), 3u);
+    for (size_t j = 0; j < 3; ++j)
+        for (size_t i = 0; i < 6; ++i)
+            EXPECT_EQ(blk.at(i, j), 0.0f);
+}
+
+TEST(BlockVectorOps, DotAndNormMatchWholeVectorBitForBit)
+{
+    constexpr size_t n = 777, k = 5;
+    DenseBlock<float> x(n, k), y(n, k);
+    for (size_t j = 0; j < k; ++j) {
+        x.setColumn(j, denseInput(n, 10 + j));
+        y.setColumn(j, denseInput(n, 20 + j));
+    }
+    double dots[k], norms[k];
+    blockDot(x, y, k, dots, nullptr);
+    blockNorm2(x, k, norms, nullptr);
+    for (size_t j = 0; j < k; ++j) {
+        EXPECT_EQ(dots[j], dot(x.column(j), y.column(j))) << j;
+        EXPECT_EQ(norms[j], norm2(x.column(j))) << j;
+    }
+}
+
+TEST(BlockVectorOps, AxpyAndWaxpbyMatchWholeVectorBitForBit)
+{
+    constexpr size_t n = 513, k = 4;
+    DenseBlock<float> x(n, k), y(n, k), w(n, k);
+    float as[k], bs[k];
+    for (size_t j = 0; j < k; ++j) {
+        x.setColumn(j, denseInput(n, 30 + j));
+        y.setColumn(j, denseInput(n, 40 + j));
+        as[j] = 0.25f * static_cast<float>(j + 1);
+        bs[j] = -0.5f * static_cast<float>(j + 1);
+    }
+    const DenseBlock<float> y0 = y; // pre-axpy snapshot
+
+    blockAxpy(as, x, y, k);
+    blockWaxpby(as, x, bs, y0, w, k);
+    for (size_t j = 0; j < k; ++j) {
+        auto yref = y0.column(j);
+        axpy(as[j], x.column(j), yref);
+        EXPECT_TRUE(bitEqual(y.column(j), yref)) << j;
+
+        std::vector<float> wref(n);
+        waxpby(as[j], x.column(j), bs[j], y0.column(j), wref);
+        EXPECT_TRUE(bitEqual(w.column(j), wref)) << j;
+    }
+}
+
+TEST(BlockVectorOps, ActivePrefixLeavesTailColumnsUntouched)
+{
+    constexpr size_t n = 64, k = 4;
+    DenseBlock<float> x(n, k), y(n, k);
+    for (size_t j = 0; j < k; ++j)
+        x.setColumn(j, denseInput(n, 50 + j));
+    y.fill(-9.0f);
+    float as[k] = {1.0f, 1.0f, 1.0f, 1.0f};
+    blockAxpy(as, x, y, 2); // only the first two columns are active
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(y.at(i, 2), -9.0f);
+        EXPECT_EQ(y.at(i, 3), -9.0f);
+    }
+}
+
+TEST(BlockVectorOpsMt, ReductionsBitIdenticalAcrossThreadCounts)
+{
+    constexpr size_t n = 4099, k = 6;
+    DenseBlock<float> x(n, k), y(n, k);
+    for (size_t j = 0; j < k; ++j) {
+        x.setColumn(j, denseInput(n, 60 + j));
+        y.setColumn(j, denseInput(n, 70 + j));
+    }
+    double ref_dots[k], ref_norms[k];
+    blockDot(x, y, k, ref_dots, nullptr);
+    blockNorm2(x, k, ref_norms, nullptr);
+
+    for (int threads : {2, 8}) {
+        ParallelContext pc(threads);
+        double dots[k], norms[k];
+        blockDot(x, y, k, dots, &pc);
+        blockNorm2(x, k, norms, &pc);
+        for (size_t j = 0; j < k; ++j) {
+            EXPECT_EQ(dots[j], ref_dots[j])
+                << "threads=" << threads << " col=" << j;
+            EXPECT_EQ(norms[j], ref_norms[j])
+                << "threads=" << threads << " col=" << j;
+        }
+    }
+}
+
+} // namespace
+} // namespace acamar

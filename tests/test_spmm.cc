@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the fused SpMM kernels (CSR and SELL-C-sigma): every
+ * column of Y = A X must be bit-identical to an independent spmv()
+ * of that column — the packing and fixed-width dispatch inside the
+ * kernel may change the memory traffic but never a bit of output.
+ *
+ * Suites ending in "Mt" run under the CI ThreadSanitizer job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/random.hh"
+#include "exec/parallel_context.hh"
+#include "sparse/catalog.hh"
+#include "sparse/dense_block.hh"
+#include "sparse/generators.hh"
+#include "sparse/sell.hh"
+#include "sparse/spmm.hh"
+#include "sparse/spmv.hh"
+
+namespace acamar {
+namespace {
+
+DenseBlock<float>
+randomBlock(size_t n, size_t k, uint64_t seed)
+{
+    Rng rng(seed);
+    DenseBlock<float> x(n, k);
+    for (size_t j = 0; j < k; ++j)
+        for (size_t i = 0; i < n; ++i)
+            x.at(i, j) = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return x;
+}
+
+/** k independent serial SpMVs, the reference the kernels must hit. */
+DenseBlock<float>
+stackedSpmv(const CsrMatrix<float> &a, const DenseBlock<float> &x,
+            size_t k)
+{
+    DenseBlock<float> ref(static_cast<size_t>(a.numRows()), k);
+    std::vector<float> y(static_cast<size_t>(a.numRows()));
+    for (size_t j = 0; j < k; ++j) {
+        spmv(a, x.column(j), y);
+        ref.setColumn(j, y);
+    }
+    return ref;
+}
+
+bool
+columnsBitEqual(const DenseBlock<float> &a, const DenseBlock<float> &b,
+                size_t k)
+{
+    for (size_t j = 0; j < k; ++j) {
+        if (std::memcmp(a.col(j), b.col(j),
+                        a.rows() * sizeof(float)) != 0)
+            return false;
+    }
+    return true;
+}
+
+TEST(Spmm, EqualsStackedSpmvBitForBitAcrossWidths)
+{
+    Rng rng(17);
+    const auto a =
+        graphLaplacianPowerLaw(600, 1.9, 48, 1.0, rng).cast<float>();
+    const size_t n = static_cast<size_t>(a.numRows());
+    // 1 (the scalar edge), small widths, and the widest block.
+    for (size_t k : {size_t{1}, size_t{2}, size_t{3}, size_t{8},
+                     kMaxBlockWidth}) {
+        const auto x = randomBlock(n, k, 100 + k);
+        const auto ref = stackedSpmv(a, x, k);
+        DenseBlock<float> y(n, k);
+        spmm(a, x, y, k);
+        EXPECT_TRUE(columnsBitEqual(y, ref, k)) << "k=" << k;
+    }
+}
+
+TEST(Spmm, CatalogMatricesMatchStackedSpmv)
+{
+    constexpr size_t k = 4;
+    for (const auto &spec : datasetCatalog()) {
+        const auto a = generateDataset(spec, 192).cast<float>();
+        const size_t n = static_cast<size_t>(a.numRows());
+        const auto x = randomBlock(n, k, 7);
+        const auto ref = stackedSpmv(a, x, k);
+        DenseBlock<float> y(n, k);
+        spmm(a, x, y, k);
+        EXPECT_TRUE(columnsBitEqual(y, ref, k)) << spec.id;
+    }
+}
+
+TEST(Spmm, ActivePrefixNarrowerThanBlock)
+{
+    // Deflation streams only the first k columns of a wider block:
+    // the inactive tail must stay untouched.
+    Rng rng(21);
+    const auto a =
+        randomSparse(128, RowProfile::Uniform, 6.0, 2.0, rng)
+            .cast<float>();
+    const size_t n = static_cast<size_t>(a.numRows());
+    const auto x = randomBlock(n, 6, 11);
+    DenseBlock<float> y(n, 6);
+    y.fill(-3.0f);
+    spmm(a, x, y, 2);
+    const auto ref = stackedSpmv(a, x, 2);
+    EXPECT_TRUE(columnsBitEqual(y, ref, 2));
+    for (size_t j = 2; j < 6; ++j)
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(y.at(i, j), -3.0f) << "col " << j;
+}
+
+TEST(Spmm, RowRangeLeavesOtherRowsUntouched)
+{
+    Rng rng(23);
+    const auto a =
+        randomSparse(64, RowProfile::Uniform, 5.0, 2.0, rng)
+            .cast<float>();
+    const size_t n = static_cast<size_t>(a.numRows());
+    constexpr size_t k = 3;
+    const auto x = randomBlock(n, k, 13);
+    const auto ref = stackedSpmv(a, x, k);
+    DenseBlock<float> y(n, k);
+    y.fill(-7.0f);
+    spmmRows(a, x, y, k, 16, 48);
+    for (size_t j = 0; j < k; ++j) {
+        for (size_t i = 0; i < n; ++i) {
+            if (i >= 16 && i < 48)
+                EXPECT_EQ(y.at(i, j), ref.at(i, j));
+            else
+                EXPECT_EQ(y.at(i, j), -7.0f);
+        }
+    }
+}
+
+TEST(SellSpmm, EqualsStackedSpmvBitForBit)
+{
+    Rng rng(29);
+    const auto a =
+        graphLaplacianPowerLaw(500, 2.0, 40, 1.0, rng).cast<float>();
+    const auto sell = SellMatrix<float>::fromCsr(a);
+    const size_t n = static_cast<size_t>(a.numRows());
+    for (size_t k : {size_t{1}, size_t{4}, size_t{8}}) {
+        const auto x = randomBlock(n, k, 200 + k);
+        const auto ref = stackedSpmv(a, x, k);
+        DenseBlock<float> y(n, k);
+        sell.spmm(x, y, k);
+        EXPECT_TRUE(columnsBitEqual(y, ref, k)) << "k=" << k;
+    }
+}
+
+TEST(SpmmParallelMt, BitIdenticalToSerialAcrossThreadCounts)
+{
+    Rng rng(31);
+    const auto a =
+        graphLaplacianPowerLaw(700, 1.8, 64, 1.0, rng).cast<float>();
+    const size_t n = static_cast<size_t>(a.numRows());
+    constexpr size_t k = 5;
+    const auto x = randomBlock(n, k, 17);
+    DenseBlock<float> ref(n, k);
+    spmm(a, x, ref, k);
+
+    for (int threads : {2, 3, 8}) {
+        ParallelContext pc(threads);
+        DenseBlock<float> y(n, k);
+        y.fill(-1.0f);
+        spmmParallel(a, x, y, k, pc);
+        EXPECT_TRUE(columnsBitEqual(y, ref, k))
+            << "threads=" << threads;
+
+        // The dispatch overload must take the same path.
+        y.fill(-1.0f);
+        spmm(a, x, y, k, &pc);
+        EXPECT_TRUE(columnsBitEqual(y, ref, k))
+            << "threads=" << threads;
+    }
+}
+
+TEST(SellSpmmParallelMt, BitIdenticalToSerialAcrossThreadCounts)
+{
+    Rng rng(37);
+    const auto a =
+        graphLaplacianPowerLaw(480, 2.1, 56, 1.0, rng).cast<float>();
+    const auto sell = SellMatrix<float>::fromCsr(a);
+    const size_t n = static_cast<size_t>(a.numRows());
+    constexpr size_t k = 6;
+    const auto x = randomBlock(n, k, 19);
+    DenseBlock<float> ref(n, k);
+    sell.spmm(x, ref, k);
+
+    for (int threads : {2, 8}) {
+        ParallelContext pc(threads);
+        DenseBlock<float> y(n, k);
+        y.fill(-1.0f);
+        sell.spmmParallel(x, y, k, pc);
+        EXPECT_TRUE(columnsBitEqual(y, ref, k))
+            << "threads=" << threads;
+    }
+}
+
+} // namespace
+} // namespace acamar

@@ -272,11 +272,19 @@ def solver_convergence(files):
 @rule("hot-loop-alloc",
       "solver and sparse-kernel regions between `// acamar: hot-loop`"
       " and `// acamar: hot-loop-end` markers must not allocate: no "
-      "resize()/push_back()/emplace_back() inside the iteration loop "
-      "(use SolverWorkspace slots or fixed std::array scratch sized "
-      "before the loop)")
+      "resize()/push_back()/emplace_back()/assign()/reserve()/"
+      "insert() and no std::vector / DenseBlock construction inside "
+      "the iteration loop (use SolverWorkspace slots — scalar or "
+      "block pools — or fixed std::array scratch sized before the "
+      "loop)")
 def hot_loop_alloc(files):
-    alloc = re.compile(r"\.\s*(resize|push_back|emplace_back)\s*\(")
+    alloc = re.compile(
+        r"\.\s*(resize|push_back|emplace_back|assign|reserve|insert)"
+        r"\s*\(")
+    # A container constructed inside the region allocates even
+    # without a growth call; DenseBlock's constructor zero-fills an
+    # n*k buffer (the block-vector kernels take pre-sized blocks).
+    ctor = re.compile(r"\b(?:std::vector|DenseBlock)\s*<[^>]*>\s+\w")
     for f in files:
         if not (f.rel.startswith("src/solvers/") or
                 f.rel.startswith("src/sparse/")):
@@ -294,12 +302,20 @@ def hot_loop_alloc(files):
                 in_hot = True
                 hot_start = no
                 continue
-            if in_hot and alloc.search(code):
+            if not in_hot:
+                continue
+            if alloc.search(code):
                 yield Finding(
                     f.rel, no, "hot-loop-alloc",
                     "allocation in the hot loop opened at line "
                     f"{hot_start}: take a pre-sized SolverWorkspace "
                     "vector instead")
+            elif ctor.search(code):
+                yield Finding(
+                    f.rel, no, "hot-loop-alloc",
+                    "container constructed in the hot loop opened "
+                    f"at line {hot_start}: size a workspace slot "
+                    "(SolverWorkspace::vec/block) before the loop")
 
 
 @rule("profile-zone",
@@ -348,34 +364,65 @@ def profile_zone(files):
       "must open an ACAMAR_WORK_SCOPE above the marker (same "
       "function), so the utilization report never under-counts bytes "
       "moved — a kernel missing from the work ledger silently "
-      "inflates every achieved-GB/s figure derived from it")
+      "inflates every achieved-GB/s figure derived from it; a "
+      "fixed-width helper whose scope lives in its dispatcher (e.g. "
+      "the width-templated SpMM row kernels) declares that with "
+      "`// acamar: ledger-covered-by <zone>`, which is accepted only "
+      "when the same file opens ACAMAR_WORK_SCOPE(\"<zone>\"...)")
 def ledger_coverage(files):
+    covered_by = re.compile(r"acamar:\s*ledger-covered-by\s+(\S+)")
     for f in files:
         if not (f.rel.startswith("src/sparse/") and
                 f.rel.endswith(".cc")):
             continue
         for no, raw in enumerate(f.raw_lines, 1):
             # Markers live in comments; skip the -end marker (the
-            # opening marker is its prefix).
+            # opening marker is its prefix) and the ledger-covered-by
+            # marker (which also contains "acamar:" but is not a
+            # hot-loop opener).
             if "acamar: hot-loop-end" in raw or \
                     "acamar: hot-loop" not in raw:
                 continue
             # Walk back to the enclosing function's opening brace
             # (house style puts it alone at column 0) and require a
-            # work scope between it and the marker.
+            # work scope — or a ledger-covered-by delegation —
+            # between it and the marker.
             covered = False
+            delegated = None  # (zone, line) from ledger-covered-by
             for back in range(no - 2, -1, -1):
                 if "ACAMAR_WORK_SCOPE" in f.raw_lines[back]:
                     covered = True
                     break
+                m = covered_by.search(f.raw_lines[back])
+                if m:
+                    delegated = (m.group(1), back + 1)
+                    break
                 if f.code_lines[back].startswith("{"):
                     break
-            if not covered:
+            if covered:
+                continue
+            if delegated is not None:
+                # The delegation is honest only if the named zone is
+                # actually opened somewhere in this file (the
+                # dispatcher that calls the helper).
+                zone, marker_no = delegated
+                opener = f'ACAMAR_WORK_SCOPE("{zone}"'
+                if any(opener in ln for ln in f.raw_lines):
+                    continue
                 yield Finding(
-                    f.rel, no, "ledger-coverage",
-                    "hot-loop kernel without an ACAMAR_WORK_SCOPE: "
-                    "charge its bytes/flops to the work ledger "
-                    "(obs/kernel_work.hh has the analytic models)")
+                    f.rel, marker_no, "ledger-coverage",
+                    f"ledger-covered-by names zone '{zone}' but no "
+                    f'ACAMAR_WORK_SCOPE("{zone}"...) opens it in '
+                    "this file — the delegation must point at the "
+                    "dispatcher that charges the work")
+                continue
+            yield Finding(
+                f.rel, no, "ledger-coverage",
+                "hot-loop kernel without an ACAMAR_WORK_SCOPE: "
+                "charge its bytes/flops to the work ledger "
+                "(obs/kernel_work.hh has the analytic models), or "
+                "mark a helper whose dispatcher owns the scope with "
+                "`// acamar: ledger-covered-by <zone>`")
 
 
 @rule("raw-stderr",

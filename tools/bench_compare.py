@@ -27,6 +27,14 @@ skipping (with a note) baselines recorded before the schema grew the
 field. Utilization never gates: it explains a wall-clock regression,
 it does not define one.
 
+bench/spmm_kernels emits a second optional section, "spmm": the
+block width, the per-kernel effective GB/s table and the best fused
+amortization vs k independent SpMVs. Handled exactly like "util":
+validate checks it only when present, compare prints an
+informational amortization diff (flagging runs below the 1.5x
+target) when both sides carry it and skips pre-SpMM baselines with
+a note. Amortization never gates either.
+
 compare --update-baseline accepts the current run as the new
 reference: after printing the usual report it rewrites the baseline
 file (e.g. BENCH_baseline.json) as a set whose records come from the
@@ -97,6 +105,26 @@ _UTIL_POOL_FIELDS = {
     "tasks": int,
     "steals": int,
 }
+# The optional "spmm" object (bench/spmm_kernels only): block width,
+# best fused amortization vs k independent SpMVs, per-kernel rows.
+_SPMM_FIELDS = {
+    "k": int,
+    "scalar_bytes": (int, float),
+    "amortization": (int, float),
+    "kernels": list,
+}
+_SPMM_KERNEL_FIELDS = {
+    "kernel": str,
+    "us_per_op": (int, float),
+    "eff_gbps": (int, float),
+    "amortization": (int, float),
+    "identical": bool,
+}
+
+# The fused kernels' report-only target: SpMM at k=8 should reach at
+# least this multiple of 8 independent SpMVs' effective bandwidth on
+# a bandwidth-bound workload.
+SPMM_AMORTIZATION_TARGET = 1.5
 
 
 def _check_fields(obj, fields, where, errors):
@@ -132,6 +160,8 @@ def validate_record(rec, where):
                           f"{where}.profile.zones[{i}]", errors)
     if "util" in rec:
         _validate_util(rec["util"], f"{where}.util", errors)
+    if "spmm" in rec:
+        _validate_spmm(rec["spmm"], f"{where}.spmm", errors)
     return errors
 
 
@@ -161,6 +191,21 @@ def _validate_util(util, where, errors):
     else:
         _check_fields(pool, _UTIL_POOL_FIELDS, f"{where}.pool",
                       errors)
+
+
+def _validate_spmm(spmm, where, errors):
+    """Check the optional SpMM amortization object (present only on
+    bench/spmm_kernels records)."""
+    if not isinstance(spmm, dict):
+        errors.append(f"{where}: not an object")
+        return
+    _check_fields(spmm, _SPMM_FIELDS, where, errors)
+    for i, k in enumerate(spmm.get("kernels") or []):
+        if not isinstance(k, dict):
+            errors.append(f"{where}.kernels[{i}]: not an object")
+            continue
+        _check_fields(k, _SPMM_KERNEL_FIELDS,
+                      f"{where}.kernels[{i}]", errors)
 
 
 def load_records(path):
@@ -274,6 +319,19 @@ def util_gbps(rec):
     return total_bytes / total_ns  # bytes/ns == GB/s
 
 
+def spmm_amortization(rec):
+    """The record's best fused-SpMM amortization, or None when the
+    record has no usable spmm object (pre-SpMM baselines, benches
+    other than spmm_kernels)."""
+    spmm = rec.get("spmm")
+    if not isinstance(spmm, dict):
+        return None
+    amort = spmm.get("amortization")
+    if not isinstance(amort, (int, float)):
+        return None
+    return amort
+
+
 def cmd_compare(args):
     try:
         base = {key_of(r): r for r in load_records(args.baseline)}
@@ -299,6 +357,7 @@ def cmd_compare(args):
     regressions, missing = [], []
     digest_changes, digest_skipped = [], []
     util_diffs, util_skipped = [], []
+    spmm_diffs, spmm_skipped = [], []
     for key in sorted(base):
         if key not in cur:
             missing.append(key)
@@ -325,6 +384,12 @@ def cmd_compare(args):
                 util_skipped.append(key)
         else:
             util_diffs.append((key, b_gbps, c_gbps))
+        b_amort, c_amort = spmm_amortization(b), spmm_amortization(c)
+        if b_amort is None or c_amort is None:
+            if b_amort is not None or c_amort is not None:
+                spmm_skipped.append(key)
+        else:
+            spmm_diffs.append((key, b_amort, c_amort))
     for key in sorted(set(cur) - set(base)):
         print(f"{fmt_key(key):<44} new (not in baseline)")
 
@@ -353,6 +418,22 @@ def cmd_compare(args):
               "util attribution or ran without --util-report, "
               "skipped (informational):")
         for key in util_skipped:
+            print(f"  {fmt_key(key)}")
+    if spmm_diffs:
+        print(f"\nSpMM amortization vs k independent SpMVs "
+              f"({len(spmm_diffs)} bench(es), informational, "
+              f"target >= {SPMM_AMORTIZATION_TARGET:.1f}x on "
+              "bandwidth-bound workloads):")
+        for key, b_amort, c_amort in spmm_diffs:
+            below = (" (below target)"
+                     if c_amort < SPMM_AMORTIZATION_TARGET else "")
+            print(f"  {fmt_key(key):<42} {b_amort:5.2f}x -> "
+                  f"{c_amort:5.2f}x{below}")
+    if spmm_skipped:
+        print(f"\nSpMM amortization not comparable for "
+              f"{len(spmm_skipped)} bench(es) — one side predates "
+              "the fused-SpMM kernels, skipped (informational):")
+        for key in spmm_skipped:
             print(f"  {fmt_key(key)}")
     if missing:
         print(f"\n{len(missing)} baseline record(s) missing from "

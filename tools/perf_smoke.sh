@@ -38,6 +38,7 @@ BENCHES=(
     ablation_gpu_kernels
     ablation_msid_tolerance
     spmv_kernels
+    spmm_kernels
 )
 
 # The compare tooling itself is under test too: run its unit suite

@@ -157,6 +157,29 @@ CASES = [
           "// acamar: hot-loop\n"
           "y += v[i];\n"
           "// acamar: hot-loop-end\n"}, 0),
+    Case("hot-loop-alloc: assign/reserve in region flagged",
+         "hot-loop-alloc",
+         {"src/sparse/a.cc":
+          "// acamar: hot-loop\n"
+          "buf.assign(n, 0.0f);\n"
+          "buf.reserve(n);\n"
+          "// acamar: hot-loop-end\n"}, 2),
+    Case("hot-loop-alloc: container constructed in region flagged",
+         "hot-loop-alloc",
+         {"src/sparse/a.cc":
+          "// acamar: hot-loop\n"
+          "DenseBlock<float> scratch(n, k);\n"
+          "std::vector<float> tmp(n);\n"
+          "// acamar: hot-loop-end\n"}, 2),
+    Case("hot-loop-alloc: block param reference outside region "
+         "allowed", "hot-loop-alloc",
+         {"src/sparse/a.cc":
+          "void f(const DenseBlock<float> &x, std::vector<float> &y)\n"
+          "{\n"
+          "    // acamar: hot-loop\n"
+          "    y[0] += x.at(0, 0);\n"
+          "    // acamar: hot-loop-end\n"
+          "}\n"}, 0),
     Case("ledger-coverage: unledgered sparse kernel flagged",
          "ledger-coverage",
          {"src/sparse/a.cc":
@@ -198,6 +221,54 @@ CASES = [
           "    y += v[i];\n"
           "    // acamar: hot-loop-end\n"
           "}\n"}, 0),
+    Case("ledger-coverage: ledger-covered-by with matching scope in "
+         "file allowed", "ledger-coverage",
+         {"src/sparse/a.cc":
+          "template <typename T, size_t K>\n"
+          "void helper(const T *x, T *y)\n"
+          "{\n"
+          "    // acamar: ledger-covered-by sparse/f\n"
+          "    // acamar: hot-loop\n"
+          "    y[0] += x[0];\n"
+          "    // acamar: hot-loop-end\n"
+          "}\n"
+          "void f()\n"
+          "{\n"
+          '    ACAMAR_WORK_SCOPE("sparse/f", fWork(n, 8));\n'
+          "    helper(x, y);\n"
+          "}\n"}, 0),
+    Case("ledger-coverage: ledger-covered-by naming an unopened zone "
+         "flagged", "ledger-coverage",
+         {"src/sparse/a.cc":
+          "void helper(const float *x, float *y)\n"
+          "{\n"
+          "    // acamar: ledger-covered-by sparse/nope\n"
+          "    // acamar: hot-loop\n"
+          "    y[0] += x[0];\n"
+          "    // acamar: hot-loop-end\n"
+          "}\n"
+          "void f()\n"
+          "{\n"
+          '    ACAMAR_WORK_SCOPE("sparse/f", fWork(n, 8));\n'
+          "    helper(x, y);\n"
+          "}\n"}, 1),
+    Case("ledger-coverage: ledger-covered-by in a different function "
+         "not credited", "ledger-coverage",
+         {"src/sparse/a.cc":
+          "void g()\n"
+          "{\n"
+          "    // acamar: ledger-covered-by sparse/f\n"
+          "}\n"
+          "void helper(const float *x, float *y)\n"
+          "{\n"
+          "    // acamar: hot-loop\n"
+          "    y[0] += x[0];\n"
+          "    // acamar: hot-loop-end\n"
+          "}\n"
+          "void f()\n"
+          "{\n"
+          '    ACAMAR_WORK_SCOPE("sparse/f", fWork(n, 8));\n'
+          "}\n"}, 1),
     Case("ledger-coverage: suppression honored", "ledger-coverage",
          {"src/sparse/a.cc":
           "void f()\n"

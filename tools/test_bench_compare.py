@@ -17,7 +17,8 @@ import bench_compare  # noqa: E402
 
 
 def record(bench="fig6_speedup", dim=4096, jobs=1, wall=1.0,
-           per_second=100.0, digest="abc123", zones=None, util=None):
+           per_second=100.0, digest="abc123", zones=None, util=None,
+           spmm=None):
     if zones is None:
         zones = [{"path": "accel/run", "calls": 1, "total_ns": 10,
                   "self_ns": 10, "p50_ns": 10, "p90_ns": 10,
@@ -26,6 +27,8 @@ def record(bench="fig6_speedup", dim=4096, jobs=1, wall=1.0,
                        zones)
     if util is not None:
         rec["util"] = util
+    if spmm is not None:
+        rec["spmm"] = spmm
     return rec
 
 
@@ -38,6 +41,18 @@ def util_object(gbps=2.0, total_ns=1000):
                      "total_ns": total_ns, "achieved_gbps": gbps}],
         "pool": {"busy_ns": 900, "idle_ns": 100, "tasks": 4,
                  "steals": 1},
+    }
+
+
+def spmm_object(amortization=2.0, k=8):
+    """A minimal valid "spmm" object (bench/spmm_kernels records)."""
+    return {
+        "k": k,
+        "scalar_bytes": 1.0e9,
+        "amortization": amortization,
+        "kernels": [{"kernel": "csr spmm", "us_per_op": 100.0,
+                     "eff_gbps": 20.0, "amortization": amortization,
+                     "identical": True}],
     }
 
 
@@ -164,6 +179,66 @@ class UtilFieldTest(unittest.TestCase):
             status, out = run_compare(base, cur)
             self.assertEqual(status, 0)
             self.assertNotIn("utilization not comparable", out)
+
+
+class SpmmFieldTest(unittest.TestCase):
+    def test_record_with_spmm_is_valid(self):
+        rec = record(bench="spmm_kernels", spmm=spmm_object())
+        self.assertEqual(bench_compare.validate_record(rec, "t"), [])
+
+    def test_malformed_spmm_is_reported(self):
+        rec = record(spmm={"k": "eight", "kernels": [{}]})
+        errors = bench_compare.validate_record(rec, "t")
+        self.assertTrue(any("'k'" in e for e in errors))
+        self.assertTrue(any("amortization" in e for e in errors))
+        self.assertTrue(any("kernels[0]" in e for e in errors))
+
+    def test_amortization_none_without_spmm(self):
+        self.assertIsNone(
+            bench_compare.spmm_amortization(record()))
+
+    def test_compare_prints_amortization_when_both_carry_spmm(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = write_json(tmp, "b.json",
+                              record(spmm=spmm_object(2.0)))
+            cur = write_json(tmp, "c.json",
+                             record(spmm=spmm_object(2.2)))
+            status, out = run_compare(base, cur)
+            self.assertEqual(status, 0)
+            self.assertIn("SpMM amortization", out)
+            self.assertIn("2.20x", out)
+            self.assertNotIn("below target", out)
+
+    def test_compare_flags_amortization_below_target(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = write_json(tmp, "b.json",
+                              record(spmm=spmm_object(2.0)))
+            cur = write_json(tmp, "c.json",
+                             record(spmm=spmm_object(1.1)))
+            status, out = run_compare(base, cur)
+            # Report-only by design: below-target amortization is
+            # flagged, never failed.
+            self.assertEqual(status, 0)
+            self.assertIn("below target", out)
+
+    def test_compare_skips_pre_spmm_baseline_with_note(self):
+        # A baseline recorded before the fused kernels existed must
+        # not fail a current run whose record carries "spmm".
+        with tempfile.TemporaryDirectory() as tmp:
+            base = write_json(tmp, "b.json", record())
+            cur = write_json(tmp, "c.json",
+                             record(spmm=spmm_object()))
+            status, out = run_compare(base, cur)
+            self.assertEqual(status, 0)
+            self.assertIn("SpMM amortization not comparable", out)
+
+    def test_compare_stays_silent_when_neither_side_has_spmm(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            base = write_json(tmp, "b.json", record())
+            cur = write_json(tmp, "c.json", record())
+            status, out = run_compare(base, cur)
+            self.assertEqual(status, 0)
+            self.assertNotIn("SpMM amortization", out)
 
 
 class CompareTest(unittest.TestCase):

@@ -12,6 +12,13 @@ peak, plus the thread-pool busy/idle split). Traces recorded before
 the acamar-util-v1 schema simply lack those events; the summary says
 so instead of guessing.
 
+The per-job correlation table understands block grouping: when the
+batch scheduler fused several jobs into one block solve, the shared
+solve events are stamped with the group's primary span and a
+block_group event lists every span served, so the table shows one
+row per group covering all member spans — shared events counted
+exactly once.
+
     python3 tools/trace_summary.py out.jsonl
 
 Exit status 0 = summary printed, 1 = no valid events found, 2 =
@@ -49,6 +56,17 @@ def load_events(path):
 
 def fmt_count(n, unit):
     return f"{n} {unit}{'' if n == 1 else 's'}"
+
+
+def span_label(spans):
+    """Compact label for a set of span ids: "3-6" when contiguous
+    (the common case — groups form over adjacent submissions), else
+    the comma-joined list."""
+    spans = sorted(spans)
+    if len(spans) > 1 and \
+            spans[-1] - spans[0] == len(spans) - 1:
+        return f"{spans[0]}-{spans[-1]}"
+    return ",".join(str(s) for s in spans)
 
 
 def summarize(events, out):
@@ -189,17 +207,64 @@ def summarize(events, out):
             job["iterations"] += 1
         elif ev["type"] == "health":
             job["anomalies"][ev.get("kind", "?")] += 1
+
+    # When the batch scheduler coalesced jobs into a block solve, the
+    # shared solve events carry the group's PRIMARY span only, and a
+    # block_group event lists every span the solve served. Aggregate
+    # each group into one row covering all its member spans: the
+    # shared events appear exactly once — neither credited to the
+    # primary alone (which hides the members) nor replicated per
+    # member (which would double-count them).
+    block_groups = {}
+    for ev in by_type.get("block_group", []):
+        run_id, span_id = ev.get("run_id"), ev.get("span_id")
+        if run_id is None or span_id is None:
+            continue
+        block_groups[(run_id, span_id)] = {
+            "solver": ev.get("solver", "?"),
+            "members": [int(s) for s in ev.get("member_spans", [])],
+        }
+    folded = set()  # non-primary member keys absorbed into a group row
+    for (run_id, primary), group in block_groups.items():
+        for s in group["members"]:
+            if s != primary:
+                folded.add((run_id, s))
+
     if jobs:
         out.write("\nper-job correlation:\n")
-        out.write(f"  {'run_id':<17} {'span':>4} {'events':>7} "
+        out.write(f"  {'run_id':<17} {'spans':>9} {'events':>7} "
                   f"{'iters':>6}  anomalies\n")
         for (run_id, span_id), job in sorted(jobs.items()):
+            if (run_id, span_id) in folded:
+                continue  # shown on its group's row
+            events_n = job["events"]
+            iters_n = job["iterations"]
+            anomalies_c = Counter(job["anomalies"])
+            label = str(span_id)
+            note = ""
+            group = block_groups.get((run_id, span_id))
+            if group:
+                members = group["members"]
+                for s in members:
+                    if s == span_id:
+                        continue
+                    # A member span usually has no events of its own
+                    # (the group runs under the primary span), but if
+                    # any were stamped with it, merge them here.
+                    other = jobs.get((run_id, s))
+                    if other:
+                        events_n += other["events"]
+                        iters_n += other["iterations"]
+                        anomalies_c.update(other["anomalies"])
+                label = span_label(members)
+                note = (f"  [block x{len(members)} "
+                        f"{group['solver']}]")
             anomalies = ", ".join(
                 f"{k}x{n}" if n > 1 else k
-                for k, n in sorted(job["anomalies"].items())) or "-"
-            out.write(f"  {run_id:<17} {span_id:>4} "
-                      f"{job['events']:>7} {job['iterations']:>6}  "
-                      f"{anomalies}\n")
+                for k, n in sorted(anomalies_c.items())) or "-"
+            out.write(f"  {run_id:<17} {label:>9} "
+                      f"{events_n:>7} {iters_n:>6}  "
+                      f"{anomalies}{note}\n")
 
 
 def main(argv):
